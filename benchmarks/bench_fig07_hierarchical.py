@@ -1,0 +1,80 @@
+"""Fig. 7: hierarchical optimization -- solve time and objective quality.
+
+Paper shape: grouping (G = 3/5/10) speeds solving by large factors at high
+job counts (up to ~64x at 200 jobs) while keeping the normalized objective
+within a few percent of the flat (G = 1-per-job) solution; at small job
+counts aggregation can slightly degrade the objective.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.core.hierarchical import solve_hierarchical
+from repro.core.objectives import make_objective
+from repro.core.optimizer import ClusterCapacity, OptimizationJob
+from repro.core.utility import SLO
+from repro.experiments.report import format_table
+
+JOB_COUNTS = (50, 100, 200)
+GROUPS = (1, 5, 10)
+
+
+def make_jobs(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        OptimizationJob(
+            name=f"j{i}",
+            proc_time=0.18,
+            slo=SLO(0.72),
+            rates=(float(rng.uniform(2.0, 12.0)),),
+        )
+        for i in range(count)
+    ]
+
+
+def run_grid():
+    outcomes = {}
+    for count in JOB_COUNTS:
+        jobs = make_jobs(count)
+        capacity = ClusterCapacity.of_replicas(3 * count)
+        for groups in GROUPS:
+            effective = count if groups == 1 else groups  # G=1 = flat solve
+            result = solve_hierarchical(
+                jobs,
+                capacity,
+                make_objective("sum"),
+                groups=effective,
+                maxiter=300,
+                refine_moves=0,  # time the pure grouped solve (paper Fig. 7a)
+                seed=0,
+            )
+            outcomes[(count, groups)] = (
+                result.allocation.solve_time,
+                result.allocation.objective_value / count,
+            )
+    return outcomes
+
+
+def test_fig07_hierarchical(benchmark):
+    outcomes = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = []
+    for (count, groups), (seconds, normalized) in sorted(outcomes.items()):
+        rows.append(
+            (f"{count} jobs, G={groups}", "", f"t={seconds:.2f}s obj={normalized:.3f}")
+        )
+    speedup_200 = outcomes[(200, 1)][0] / max(outcomes[(200, 10)][0], 1e-9)
+    rows.append(("speedup G=10 vs G=1 at 200 jobs", "~64x", f"{speedup_200:.0f}x"))
+    text = format_table(
+        ["configuration", "paper", "measured"],
+        rows,
+        title="== Fig. 7: hierarchical optimization ==",
+    )
+    write_result("fig07_hierarchical", text)
+
+    # Grouping speeds up solving substantially at scale...
+    assert speedup_200 > 5.0
+    # ...while the normalized objective stays within a few percent.
+    for count in JOB_COUNTS:
+        flat = outcomes[(count, 1)][1]
+        grouped = outcomes[(count, 10)][1]
+        assert grouped >= flat - 0.1

@@ -1,0 +1,41 @@
+"""Fig. 12: fairness -- per-job lost-utility spread across policies.
+
+Paper shape: Faro-*Fair* variants show the tightest boxes (smallest
+utility spread across jobs); FairShare is counterintuitively unfair;
+Oneshot is unfair and poor; Mark's independent decisions leave some jobs
+starved (max lost utility ~7x its median at SO).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import ALL_POLICIES, write_result
+from repro.experiments.report import format_table
+
+
+def job_spread(result) -> tuple[float, float]:
+    lost = list(result.lost_job_utilities().values())
+    return float(np.max(lost) - np.min(lost)), float(np.median(lost))
+
+
+def test_fig12_fairness(benchmark, bench_cache):
+    def run():
+        return {name: bench_cache.run("SO", name) for name in ALL_POLICIES}
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    spreads = {}
+    for name, st in stats.items():
+        spread, median = job_spread(st.results[0])
+        spreads[name] = spread
+        rows.append((name, "tight for Faro-*Fair*", f"spread={spread:.2f} median={median:.2f}"))
+    text = format_table(
+        ["policy", "paper", "measured per-job lost-utility"],
+        rows,
+        title="== Fig. 12: per-job lost utility spread (SO cluster) ==",
+    )
+    write_result("fig12_fairness", text)
+
+    fair_variants = [spreads[p] for p in ("faro-fair", "faro-fairsum", "faro-penaltyfairsum")]
+    # Faro's fairness variants are fairer than Oneshot and FairShare.
+    assert min(fair_variants) <= spreads["oneshot"]
+    assert np.mean(fair_variants) <= np.mean([spreads["fairshare"], spreads["oneshot"]])

@@ -1,0 +1,59 @@
+"""Fig. 13: all Faro variants vs baselines -- lost utility and effective
+utility at RS/SO/HO.
+
+Paper shape: every Faro variant beats every baseline at RS and SO; cluster
+utilities of Faro variants are similar; penalty variants do not improve
+(effective) utility in a right-sized cluster; at HO, Sum/PenaltySum lead
+and the *Fair* variants fall behind ("equitable division lowers cluster
+utility when resources are short").
+"""
+
+import numpy as np
+
+from benchmarks.conftest import ALL_POLICIES, write_result
+from repro.experiments.report import format_table
+
+PAPER_SO = {
+    "fairshare": 2.42, "oneshot": 4.83, "aiad": 1.96, "mark": 2.02,
+    "faro-fair": 0.80, "faro-sum": 0.92, "faro-fairsum": 0.79,
+    "faro-penaltysum": 1.05, "faro-penaltyfairsum": 1.20,
+}
+
+
+def test_fig13_variants(benchmark, bench_cache):
+    def run():
+        stats = {}
+        for size in ("RS", "SO", "HO"):
+            stats[size] = {name: bench_cache.run(size, name) for name in ALL_POLICIES}
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for size in ("RS", "SO", "HO"):
+        for name, st in stats[size].items():
+            paper = PAPER_SO.get(name, "") if size == "SO" else ""
+            rows.append(
+                (
+                    f"{size}/{name}",
+                    paper,
+                    f"lost={st.lost_utility_mean:.2f} lostEU={st.lost_effective_mean:.2f}",
+                )
+            )
+    text = format_table(
+        ["size/policy", "paper (SO lost)", "measured"],
+        rows,
+        title="== Fig. 13: Faro variants vs baselines (RS/SO/HO) ==",
+    )
+    write_result("fig13_variants", text)
+
+    for size in ("RS", "SO"):
+        lost = {n: s.lost_utility_mean for n, s in stats[size].items()}
+        best_baseline = min(lost[b] for b in ("fairshare", "oneshot", "aiad", "mark"))
+        faro_values = [lost[n] for n in lost if n.startswith("faro")]
+        # Every Faro variant beats the best baseline at RS and SO.
+        assert max(faro_values) <= best_baseline * 1.1
+        # Faro variants land close to each other.
+        assert max(faro_values) - min(faro_values) < 1.0
+    # HO: the Sum-family leads the Fair-family (paper's §6.4 observation).
+    ho = {n: s.lost_utility_mean for n, s in stats["HO"].items()}
+    assert ho["faro-sum"] <= ho["faro-fair"] + 0.3

@@ -1,0 +1,61 @@
+"""Fig. 14: mixed workloads -- ResNet18 (400 ms SLO) + ResNet34 (720 ms).
+
+Paper (right-sized cluster): FairShare 1.26, Oneshot 2.89, AIAD 1.19,
+Mark 0.51, Faro 0.22 lost utility; Faro lowers violation rates 4x-23x.
+"""
+
+from benchmarks.conftest import BENCH_MINUTES, BENCH_PROFILE, write_result
+from repro.experiments.report import format_table, ratio
+from repro.experiments.runner import run_trials
+from repro.experiments.scenarios import mixed_model_scenario
+
+PAPER = {
+    "fairshare": (1.26, 0.10),
+    "oneshot": (2.89, 0.23),
+    "aiad": (1.19, 0.06),
+    "mark": (0.51, 0.04),
+    "faro-fairsum": (0.22, 0.01),
+}
+
+
+def test_fig14_mixed_models(benchmark):
+    scenario = mixed_model_scenario(
+        total_replicas=30, duration_minutes=BENCH_MINUTES, seed=0
+    )
+
+    def run():
+        return {
+            name: run_trials(
+                scenario, name, trials=1, seed=0, predictor_profile=BENCH_PROFILE
+            )
+            for name in PAPER
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            f"lost={PAPER[name][0]:.2f} viol={PAPER[name][1]:.2f}",
+            f"lost={st.lost_utility_mean:.2f} viol={st.violation_rate_mean:.2f}",
+        )
+        for name, st in stats.items()
+    ]
+    faro = stats["faro-fairsum"]
+    worst = max(stats.values(), key=lambda s: s.violation_rate_mean)
+    rows.append(
+        (
+            "worst-baseline/Faro violation ratio",
+            "4x-23x",
+            f"{ratio(worst.violation_rate_mean, faro.violation_rate_mean):.1f}x",
+        )
+    )
+    text = format_table(
+        ["policy", "paper", "measured"],
+        rows,
+        title="== Fig. 14: mixed ResNet18/ResNet34 workload ==",
+    )
+    write_result("fig14_mixed", text)
+
+    lost = {n: s.lost_utility_mean for n, s in stats.items()}
+    assert lost["faro-fairsum"] == min(lost.values())
+    assert lost["oneshot"] == max(lost.values())

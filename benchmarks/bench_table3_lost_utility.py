@@ -1,0 +1,37 @@
+"""Table 3: average lost cluster utility, 32 total replicas.
+
+Paper: FairShare 2.42, Oneshot 4.83, AIAD 1.96, Mark 2.02, Faro 0.79.
+Shape: Faro lowest; Oneshot worst; AIAD/Mark in between.
+"""
+
+from benchmarks.conftest import HEADLINE_POLICIES, write_result
+from repro.experiments.report import format_table
+
+PAPER = {
+    "fairshare": 2.42,
+    "oneshot": 4.83,
+    "aiad": 1.96,
+    "mark": 2.02,
+    "faro-fairsum": 0.79,
+}
+
+
+def test_table3_lost_utility(benchmark, bench_cache):
+    def run():
+        return {name: bench_cache.run("SO", name) for name in HEADLINE_POLICIES}
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (name, PAPER[name], stats[name].lost_utility_mean) for name in HEADLINE_POLICIES
+    ]
+    text = format_table(
+        ["policy (lost cluster utility)", "paper", "measured"],
+        rows,
+        title="== Table 3: average lost cluster utility (32 replicas) ==",
+    )
+    write_result("table3_lost_utility", text)
+
+    lost = {name: s.lost_utility_mean for name, s in stats.items()}
+    assert lost["faro-fairsum"] == min(lost.values())
+    assert lost["oneshot"] == max(lost.values())
+    assert lost["aiad"] < lost["fairshare"]

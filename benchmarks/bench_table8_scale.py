@@ -1,0 +1,89 @@
+"""Table 8: large-scale workloads.
+
+Paper: 20 jobs / 70 replicas (cluster) and 100 jobs / 320 replicas
+(simulation); Faro-FairSum lowers violations 3x-18.5x and lost utility
+2.07x-13.76x vs baselines at both scales.
+"""
+
+from benchmarks.conftest import BENCH_PROFILE, write_result
+from repro.experiments.report import format_table, ratio
+from repro.experiments.runner import run_trials
+from repro.experiments.scenarios import large_scale_scenario
+
+PAPER_20 = {
+    "fairshare": (3.48, 0.14),
+    "oneshot": (8.67, 0.37),
+    "aiad": (2.37, 0.07),
+    "mark": (1.77, 0.08),
+    "faro-fairsum": (0.63, 0.02),
+}
+PAPER_100 = {
+    "fairshare": (20.82, 0.16),
+    "oneshot": (53.37, 0.48),
+    "aiad": (16.72, 0.09),
+    "mark": (16.24, 0.13),
+    "faro-fairsum": (7.83, 0.03),
+}
+
+
+def test_table8_large_scale(benchmark):
+    scenario_20 = large_scale_scenario(
+        num_jobs=20, total_replicas=70, duration_minutes=45, seed=0
+    )
+    scenario_100 = large_scale_scenario(
+        num_jobs=100, total_replicas=320, duration_minutes=45, seed=0
+    )
+
+    def run():
+        stats_20 = {
+            name: run_trials(
+                scenario_20, name, trials=1, seed=0, predictor_profile=BENCH_PROFILE
+            )
+            for name in PAPER_20
+        }
+        stats_100 = {
+            name: run_trials(
+                scenario_100,
+                name,
+                trials=1,
+                simulator="flow",
+                seed=0,
+                predictor_profile=BENCH_PROFILE,
+            )
+            for name in PAPER_100
+        }
+        return stats_20, stats_100
+
+    stats_20, stats_100 = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label, paper, stats in (
+        ("20 jobs/70 repl", PAPER_20, stats_20),
+        ("100 jobs/320 repl", PAPER_100, stats_100),
+    ):
+        for name, st in stats.items():
+            rows.append(
+                (
+                    f"{label}/{name}",
+                    f"lost={paper[name][0]:.2f} viol={paper[name][1]:.2f}",
+                    f"lost={st.lost_utility_mean:.2f} viol={st.violation_rate_mean:.2f}",
+                )
+            )
+    faro20 = stats_20["faro-fairsum"]
+    worst20 = max(stats_20.values(), key=lambda s: s.lost_utility_mean)
+    rows.append(
+        (
+            "20-job worst-baseline/Faro lost ratio",
+            "up to 13.76x",
+            f"{ratio(worst20.lost_utility_mean, faro20.lost_utility_mean):.1f}x",
+        )
+    )
+    text = format_table(
+        ["scale/policy", "paper", "measured"],
+        rows,
+        title="== Table 8: large-scale workloads ==",
+    )
+    write_result("table8_scale", text)
+
+    for stats in (stats_20, stats_100):
+        lost = {n: s.lost_utility_mean for n, s in stats.items()}
+        assert lost["faro-fairsum"] == min(lost.values())

@@ -1,0 +1,75 @@
+"""Budget-limited cloud deployment (paper §7, "Beyond On-Premises Clusters").
+
+A team rents VM instances on a public cloud under an hourly budget instead
+of owning a fixed cluster.  This example replays a skewed two-day workload
+against three planners from :mod:`repro.cloud`:
+
+- Faro's budget allocation (utility-per-dollar greedy with swap repair),
+- the Mark/Barista-style independent cost-per-request greedy, and
+- an even-dollar split (FairShare transplanted to budgets),
+
+then sweeps the budget to show where cross-job budget movement matters.
+
+Run:  python examples/budget_cloud.py
+"""
+
+from repro.cloud import (
+    DEFAULT_CATALOG,
+    CloudJob,
+    evaluate_planner,
+    even_split_plan,
+    mark_greedy_plan,
+    solve_budget_allocation,
+)
+from repro.core.utility import SLO
+from repro.experiments.report import format_table
+from repro.traces import standard_job_mix
+
+PLANNERS = [
+    ("faro-budget", solve_budget_allocation),
+    ("mark-greedy", mark_greedy_plan),
+    ("even-split", even_split_plan),
+]
+
+
+def main() -> None:
+    minutes = 90
+    slo = SLO(target=0.72, percentile=99.0)
+    mix = standard_job_mix(num_jobs=4, days=2, rate_hi=1200.0, seed=3)
+    traces = {t.name: t.eval[:minutes] for t in mix}
+    jobs = [
+        CloudJob(name=t.name, slo=slo, proc_time=0.18, arrival_rate=0.0) for t in mix
+    ]
+
+    print("Budget-limited cloud: 4 jobs, 90 minutes, replanning every 5 min")
+    print("=" * 66)
+    rows = []
+    for budget in (1.0, 1.6, 2.5, 4.0):
+        for name, planner in PLANNERS:
+            result = evaluate_planner(
+                planner, jobs, traces, DEFAULT_CATALOG, budget, planner_name=name
+            )
+            rows.append(
+                [
+                    f"${budget:.1f}/h",
+                    name,
+                    f"{result.avg_lost_utility:.3f}",
+                    f"{result.mean_cost_per_hour:.3f}",
+                ]
+            )
+    print(
+        format_table(
+            ["budget", "planner", "avg lost utility", "mean spend $/h"],
+            rows,
+        )
+    )
+    print()
+    print("Reading the table: at generous budgets every planner satisfies all")
+    print("SLOs; as the budget tightens, Faro's cross-job utility-per-dollar")
+    print("allocation degrades most gracefully, the independent Mark greedy")
+    print("overspends on its favourite instance type, and the even split")
+    print("starves the heavy job first -- the cloud analogue of Fig. 10.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Replica failures and recovery (paper §7, orthogonal fault tolerance).
+
+The paper treats Ray's and Kubernetes' fault-tolerance mechanisms as
+orthogonal to Faro.  This example injects an aggressive per-replica fault
+process (MTTF 10 minutes!) into the request-level simulator and compares a
+fixed allocation against the hybrid Faro controller on the same faulty
+cluster: failed pods are recreated by Kubernetes-style reconciliation and
+pay a fresh cold start, and Faro's short-term reactive path additionally
+scales up when failures push latency over the SLO.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import numpy as np
+
+from repro.baselines.fairshare import FairSharePolicy
+from repro.cluster import RESNET34, InferenceJobSpec, ResourceQuota
+from repro.core.autoscaler import FaroAutoscaler, FaroConfig, JobSpec
+from repro.core.hybrid import HybridAutoscaler
+from repro.core.optimizer import ClusterCapacity
+from repro.sim import Simulation, SimulationConfig
+from repro.sim.faults import FaultConfig
+from repro.traces import standard_job_mix
+
+MINUTES = 40
+TOTAL_REPLICAS = 12
+
+
+def run(policy, faults, jobs, traces, seed=0):
+    config = SimulationConfig(
+        duration_minutes=MINUTES,
+        seed=seed,
+        faults=faults,
+        cold_start_range=(30.0, 30.0),
+    )
+    simulation = Simulation(
+        jobs, traces, policy, ResourceQuota.of_replicas(TOTAL_REPLICAS), config=config
+    )
+    return simulation.run()
+
+
+def make_faro(jobs):
+    faro = FaroAutoscaler(
+        jobs=[JobSpec(name=j.name, slo=j.slo, proc_time=j.model.proc_time) for j in jobs],
+        capacity=ClusterCapacity.of_replicas(TOTAL_REPLICAS),
+        config=FaroConfig(objective="sum", seed=0),
+    )
+    return HybridAutoscaler(faro, capacity_replicas=TOTAL_REPLICAS)
+
+
+def main() -> None:
+    mix = standard_job_mix(num_jobs=3, days=2, rate_hi=700.0, seed=5)
+    jobs = [InferenceJobSpec.with_default_slo(t.name, RESNET34) for t in mix]
+    traces = {t.name: t.eval[:MINUTES] for t in mix}
+    faults = FaultConfig(mttf_seconds=600.0, seed=1)
+
+    print(f"Fault tolerance: 3 jobs, {TOTAL_REPLICAS} replicas, MTTF 10 min/replica")
+    print("=" * 68)
+    rows = []
+    for label, policy_factory, fault_config in [
+        ("fairshare, no faults", lambda: FairSharePolicy(TOTAL_REPLICAS), None),
+        ("fairshare, faults", lambda: FairSharePolicy(TOTAL_REPLICAS), faults),
+        ("faro-hybrid, faults", lambda: make_faro(jobs), faults),
+    ]:
+        result = run(policy_factory(), fault_config, jobs, traces)
+        failures = result.metadata.get("total_failures", 0)
+        rows.append((label, failures, result.cluster_slo_violation_rate,
+                     result.avg_lost_cluster_utility))
+    for label, failures, violations, lost in rows:
+        print(f"  {label:22s} failures={failures:3d} "
+              f"violations={violations:.2%} lost-utility={lost:.3f}")
+    print()
+    print("Failures cost the fixed allocation real SLO headroom (each kill")
+    print("removes capacity for ~30-40 s of reconciliation + cold start).")
+    print("Faro absorbs most of it: reconciliation restores the planned")
+    print("replica count and the 10 s reactive path tops up any job whose")
+    print("p99 slips over the SLO while pods restart.")
+
+
+if __name__ == "__main__":
+    main()

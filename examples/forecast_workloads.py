@@ -1,0 +1,68 @@
+"""Probabilistic workload forecasting with the from-scratch N-HiTS.
+
+Trains Faro's probabilistic N-HiTS on two days of a synthetic Azure
+Functions trace and compares it against classical baselines (naive, EWMA,
+AR) on the held-out evaluation day -- RMSE for point quality and
+percentile-band coverage for the probabilistic signal the autoscaler
+actually consumes (paper §3.5, Fig. 8).
+
+Run:  python examples/forecast_workloads.py
+"""
+
+import numpy as np
+
+from repro.forecast import (
+    ARForecaster,
+    EWMAForecaster,
+    NaiveForecaster,
+    NHiTSConfig,
+    NHiTSForecaster,
+    coverage,
+    rmse,
+)
+from repro.traces import standard_job_mix
+
+INPUT, HORIZON = 16, 8
+
+
+def backtest(forecaster, series, eval_start):
+    rng = np.random.default_rng(0)
+    errors, covs = [], []
+    for start in range(eval_start, len(series) - HORIZON - INPUT, 47):
+        history = series[start : start + INPUT]
+        truth = series[start + INPUT : start + INPUT + HORIZON]
+        errors.append(rmse(forecaster.predict(history, HORIZON), truth))
+        samples = forecaster.sample_paths(history, HORIZON, 100, rng=rng)
+        covs.append(coverage(samples, truth, 10, 90))
+    return float(np.mean(errors)), float(np.mean(covs))
+
+
+def main() -> None:
+    trace = standard_job_mix(num_jobs=1, days=3, seed=0)[0]
+    series = trace.rates_per_min
+    train = trace.train
+    eval_start = len(train)
+
+    print(f"trace: {trace.name}, {len(train)} train minutes, "
+          f"{len(series) - eval_start} eval minutes")
+    print("-" * 64)
+    models = {
+        "naive": NaiveForecaster().fit(train),
+        "ewma": EWMAForecaster(alpha=0.3).fit(train),
+        "AR(16)": ARForecaster(order=16).fit(train),
+        "N-HiTS (Gaussian)": NHiTSForecaster(
+            NHiTSConfig(input_size=INPUT, horizon=HORIZON, epochs=10)
+        ).fit(train),
+    }
+    print(f"{'model':20s} {'RMSE':>8s} {'10-90% coverage':>16s}")
+    for name, model in models.items():
+        error, cov = backtest(model, series, eval_start)
+        print(f"{name:20s} {error:8.1f} {cov:16.2f}")
+    print()
+    print("The Gaussian N-HiTS trades a little point accuracy for a")
+    print("calibrated band -- exactly what Faro samples to provision for")
+    print("workload fluctuation instead of the damped average (Fig. 8).")
+
+
+if __name__ == "__main__":
+    main()

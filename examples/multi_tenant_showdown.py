@@ -1,0 +1,58 @@
+"""Faro vs baseline autoscalers on a constrained multi-tenant cluster.
+
+Reproduces the paper's headline comparison at a small scale: ten inference
+jobs (nine Azure-like + one Twitter-like trace) share a slightly
+oversubscribed 32-replica cluster.  Prints per-policy lost utility and SLO
+violation rates plus an ASCII cluster-utility timeline -- the shape of the
+paper's Fig. 10/11.
+
+Run:  python examples/multi_tenant_showdown.py            (~1-2 minutes)
+"""
+
+import numpy as np
+
+from repro.experiments import paper_scenario
+from repro.experiments.policies import PredictorProfile
+from repro.experiments.runner import run_trials
+
+POLICIES = ("fairshare", "aiad", "mark", "faro-fairsum")
+MINUTES = 45
+
+
+def sparkline(values: np.ndarray, lo: float, hi: float, width: int = 64) -> str:
+    chars = " .:-=+*#%@"
+    idx = np.linspace(0, len(values) - 1, width).astype(int)
+    span = max(hi - lo, 1e-9)
+    return "".join(
+        chars[min(int((values[i] - lo) / span * (len(chars) - 1)), len(chars) - 1)]
+        for i in idx
+    )
+
+
+def main() -> None:
+    scenario = paper_scenario("SO", duration_minutes=MINUTES, seed=0)
+    print(
+        f"scenario: {len(scenario.jobs)} jobs, {scenario.total_replicas} replicas, "
+        f"{MINUTES} minutes of the evaluation day"
+    )
+    print("-" * 78)
+    profile = PredictorProfile.fast()
+    outcomes = {}
+    for policy in POLICIES:
+        stats = run_trials(scenario, policy, trials=1, seed=0, predictor_profile=profile)
+        outcomes[policy] = stats
+        print(
+            f"{policy:14s} lost-utility={stats.lost_utility_mean:5.2f}  "
+            f"violations={stats.violation_rate_mean:6.2%}"
+        )
+    print("-" * 78)
+    print("cluster utility timelines (0 .. 10):")
+    for policy, stats in outcomes.items():
+        timeline = stats.results[0].cluster_utility_timeline()
+        print(f"  {policy:14s} [{sparkline(timeline, 0, len(scenario.jobs))}]")
+    workload = outcomes[POLICIES[0]].results[0].workload_timeline()
+    print(f"  {'workload':14s} [{sparkline(workload, workload.min(), workload.max())}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Overload management with Faro-PenaltySum: explicit request dropping.
+
+When a cluster is heavily oversubscribed, some requests must be shed to
+protect the SLO of the rest (and avoid unbounded queues).  Faro's penalty
+variants optimize *effective utility* (Eq. 2): utility of served requests
+times an AWS-SLA-style penalty multiplier on the drop rate.
+
+This example overloads a tiny cluster and compares Faro-Sum (never drops
+explicitly; queues tail-drop on their own) with Faro-PenaltySum (plans
+drops as part of the optimization).
+
+Run:  python examples/overload_with_drops.py
+"""
+
+import numpy as np
+
+from repro.cluster.job import InferenceJobSpec
+from repro.cluster.kubernetes import ResourceQuota
+from repro.cluster.models import RESNET34
+from repro.core.autoscaler import FaroAutoscaler, FaroConfig, JobSpec
+from repro.core.hybrid import HybridAutoscaler, ReactiveConfig
+from repro.core.optimizer import ClusterCapacity
+from repro.sim.simulation import Simulation, SimulationConfig
+from repro.traces import standard_job_mix
+
+TOTAL_REPLICAS = 6  # far below what the workload needs
+MINUTES = 25
+
+
+def run(objective: str):
+    mix = standard_job_mix(num_jobs=3, days=2, rate_hi=1400.0, seed=4)
+    jobs = [InferenceJobSpec.with_default_slo(t.name, RESNET34) for t in mix]
+    traces = {t.name: t.eval[:MINUTES] for t in mix}
+    faro = FaroAutoscaler(
+        [JobSpec(name=j.name, slo=j.slo, proc_time=j.model.proc_time) for j in jobs],
+        ClusterCapacity.of_replicas(TOTAL_REPLICAS),
+        config=FaroConfig(objective=objective, seed=0),
+    )
+    policy = HybridAutoscaler(faro, ReactiveConfig(), capacity_replicas=TOTAL_REPLICAS)
+    sim = Simulation(
+        jobs,
+        traces,
+        policy,
+        ResourceQuota.of_replicas(TOTAL_REPLICAS),
+        config=SimulationConfig(duration_minutes=MINUTES, seed=0),
+    )
+    return sim.run()
+
+
+def main() -> None:
+    print(f"3 hot jobs on {TOTAL_REPLICAS} replicas (heavily oversubscribed)")
+    print("=" * 66)
+    for objective in ("sum", "penaltysum"):
+        result = run(objective)
+        total_arrivals = sum(s.total_arrivals for s in result.jobs.values())
+        total_drops = sum(int(s.drops.sum()) for s in result.jobs.values())
+        print(f"\nFaro-{objective.capitalize()}:")
+        print(f"  lost cluster utility:     {result.avg_lost_cluster_utility:.2f}")
+        print(f"  lost effective utility:   {result.avg_lost_effective_utility:.2f}")
+        print(f"  cluster violation rate:   {result.cluster_slo_violation_rate:.2%}")
+        print(f"  dropped requests:         {total_drops}/{total_arrivals} "
+              f"({total_drops/max(total_arrivals,1):.2%})")
+    print(
+        "\nNote (paper §6.4): in heavily overloaded clusters, implicit queue "
+        "tail-drops often overshadow the optimizer's explicit drops, which "
+        "is why Faro-Sum can match or beat Faro-PenaltySum."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Quickstart: autoscale a small multi-tenant inference cluster with Faro.
+
+Builds four ResNet34 inference jobs with paper-default SLOs (p99 latency
+<= 4x processing time), drives them with synthetic Azure/Twitter-style
+traces, and lets the hybrid Faro autoscaler (long-term predictive +
+short-term reactive) manage a 12-replica cluster.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import quickstart_faro
+
+
+def main() -> None:
+    result = quickstart_faro(num_jobs=4, total_replicas=12, minutes=30, seed=0)
+
+    print("Faro quickstart (4 jobs, 12 replicas, 30 minutes)")
+    print("-" * 55)
+    summary = result.summary()
+    print(f"policy:                    {summary['policy']}")
+    print(f"avg lost cluster utility:  {summary['avg_lost_cluster_utility']:.3f}")
+    print(f"cluster SLO violation rate:{summary['cluster_slo_violation_rate']:.3%}")
+    print()
+    print("per-job outcomes:")
+    for name, series in result.jobs.items():
+        print(
+            f"  {name:18s} requests={series.total_arrivals:6d} "
+            f"violations={series.slo_violation_rate:.2%} "
+            f"drops={series.drop_fraction:.2%} "
+            f"replicas(mean)={series.replicas.mean():.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment has setuptools 65 without the ``wheel`` package, so
+PEP 660 editable installs (which need ``bdist_wheel``) fail.  Keeping a
+``setup.py`` and omitting the ``[build-system]`` table from pyproject.toml
+lets ``pip install -e .`` use the legacy ``setup.py develop`` path, which
+works offline.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

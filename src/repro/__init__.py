@@ -1,0 +1,124 @@
+"""Faro reproduction: SLO-aware autoscaling for multi-tenant ML inference.
+
+Reimplementation of "A House United Within Itself: SLO-Awareness for
+On-Premises Containerized ML Inference Clusters via Faro" (EuroSys '25),
+including every substrate the paper depends on: queueing models, a
+from-scratch autodiff engine and probabilistic N-HiTS forecaster, synthetic
+Azure/Twitter trace generators, a matched Ray Serve | Kubernetes cluster
+simulator, baseline autoscalers, and a full experiment harness.
+
+Quickstart::
+
+    from repro import quickstart_faro
+    result = quickstart_faro(num_jobs=4, total_replicas=12, minutes=30)
+    print(result.summary())
+
+See ``examples/`` for richer scenarios and ``benchmarks/`` for the
+per-table/per-figure reproduction harness.
+"""
+
+from repro.core.autoscaler import FaroAutoscaler, FaroConfig, JobSpec, PersistencePredictor
+from repro.core.decentralized import DecentralizedFaro, RebalanceConfig
+from repro.core.hybrid import HybridAutoscaler, ReactiveConfig
+from repro.core.objectives import ClusterObjective, make_objective
+from repro.core.optimizer import (
+    Allocation,
+    AllocationProblem,
+    ClusterCapacity,
+    OptimizationJob,
+    solve_allocation,
+)
+from repro.core.utility import SLO, inverse_utility, step_utility
+from repro.admission import AdmissionController, AdmissionRequest
+from repro.cluster import (
+    RESNET18,
+    RESNET34,
+    InferenceJobSpec,
+    ModelProfile,
+    RayServeCluster,
+    ResourceQuota,
+)
+from repro.policy import AutoscalePolicy, JobObservation, ScalingDecision
+from repro.sim import FlowSimulation, Simulation, SimulationConfig, SimulationResult
+from repro.sim.faults import FaultConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SLO",
+    "step_utility",
+    "inverse_utility",
+    "ClusterObjective",
+    "make_objective",
+    "OptimizationJob",
+    "AllocationProblem",
+    "ClusterCapacity",
+    "Allocation",
+    "solve_allocation",
+    "FaroAutoscaler",
+    "FaroConfig",
+    "JobSpec",
+    "PersistencePredictor",
+    "HybridAutoscaler",
+    "ReactiveConfig",
+    "DecentralizedFaro",
+    "RebalanceConfig",
+    "AdmissionController",
+    "AdmissionRequest",
+    "ModelProfile",
+    "RESNET18",
+    "RESNET34",
+    "InferenceJobSpec",
+    "ResourceQuota",
+    "RayServeCluster",
+    "AutoscalePolicy",
+    "JobObservation",
+    "ScalingDecision",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "FlowSimulation",
+    "FaultConfig",
+    "quickstart_faro",
+]
+
+
+def quickstart_faro(
+    num_jobs: int = 4,
+    total_replicas: int = 12,
+    minutes: int = 30,
+    objective: str = "fairsum",
+    seed: int = 0,
+) -> SimulationResult:
+    """Run a small end-to-end Faro experiment and return its result.
+
+    Builds a job mix of ResNet34 services with paper-default SLOs, drives
+    them with synthetic Azure/Twitter traces, and autoscales with the hybrid
+    Faro controller.  Meant as a 'hello world' -- see ``examples/`` for the
+    full-size scenarios.
+    """
+    from repro.traces import standard_job_mix
+
+    mix = standard_job_mix(num_jobs=num_jobs, days=2, rate_hi=400.0, seed=seed)
+    jobs = [
+        InferenceJobSpec.with_default_slo(trace.name, RESNET34) for trace in mix
+    ]
+    traces = {trace.name: trace.eval[:minutes] for trace in mix}
+    capacity = ClusterCapacity.of_replicas(total_replicas)
+    faro = FaroAutoscaler(
+        jobs=[
+            JobSpec(name=j.name, slo=j.slo, proc_time=j.model.proc_time)
+            for j in jobs
+        ],
+        capacity=capacity,
+        config=FaroConfig(objective=objective, seed=seed),
+    )
+    policy = HybridAutoscaler(faro)
+    simulation = Simulation(
+        jobs,
+        traces,
+        policy,
+        ResourceQuota.of_replicas(total_replicas),
+        config=SimulationConfig(duration_minutes=minutes, seed=seed),
+    )
+    return simulation.run()

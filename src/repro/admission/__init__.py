@@ -1,0 +1,21 @@
+"""Admission control for job arrivals (paper §7).
+
+The paper leaves open "whether admission control decisions can be designed
+to guarantee SLO satisfaction, perhaps with some workload assumptions".
+This subpackage supplies that layer under the workload assumptions the rest
+of Faro already makes (Poisson arrivals, stable per-model processing time):
+
+- :class:`~repro.admission.controller.AdmissionController` tracks the
+  registered job set with per-job planning rates (predicted peaks) and
+  evaluates whether a newly arriving job fits, by either a fast M/D/c
+  capacity check or a full utility-impact re-solve of Faro's cluster
+  allocation problem.
+"""
+
+from repro.admission.controller import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionRequest,
+)
+
+__all__ = ["AdmissionRequest", "AdmissionDecision", "AdmissionController"]

@@ -1,0 +1,228 @@
+"""Admission controller: can a new job join without breaking SLOs?
+
+Two admission policies are provided:
+
+``capacity``
+    Fast path.  Each registered job's replica requirement at its planning
+    rate is computed with the M/D/c capacity planner
+    (:func:`repro.core.latency.replicas_for_slo`); the new job is admitted
+    when the summed requirement plus the newcomer's still fits the cluster.
+    Under Faro's workload assumptions (Poisson arrivals, stable processing
+    times, planning rates that upper-bound real load) this check is a
+    guarantee: the autoscaler can always reach an allocation where every
+    job's estimated percentile latency meets its SLO.
+
+``utility``
+    Exact path.  Re-solves Faro's cluster allocation problem including the
+    newcomer and admits only if the minimum utility across *all* jobs
+    (newcomer included -- it has an SLO to meet too) stays above
+    ``utility_floor``.  With a floor below 1.0 this admits jobs into
+    clusters the capacity check would refuse, trading guarantee strength
+    for occupancy -- useful when the administrator tolerates partial SLO
+    satisfaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.latency import MDC, LatencyModel, replicas_for_slo
+from repro.core.objectives import make_objective
+from repro.core.optimizer import (
+    AllocationProblem,
+    ClusterCapacity,
+    OptimizationJob,
+    solve_allocation,
+)
+from repro.core.utility import SLO
+
+__all__ = ["AdmissionRequest", "AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionRequest:
+    """A job asking to join: SLO, processing time, and a planning rate.
+
+    ``planning_rate`` is the arrival rate (requests/second) the decision is
+    made against -- callers pass a predicted peak (e.g. a high percentile of
+    probabilistic-prediction samples), not a mean, to keep the capacity
+    check conservative.
+    """
+
+    name: str
+    slo: SLO
+    proc_time: float
+    planning_rate: float
+    priority: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.proc_time <= 0:
+            raise ValueError(f"proc_time must be positive, got {self.proc_time}")
+        if self.planning_rate < 0:
+            raise ValueError(f"planning_rate must be non-negative, got {self.planning_rate}")
+        if self.priority <= 0:
+            raise ValueError(f"priority must be positive, got {self.priority}")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission evaluation.
+
+    ``required_replicas`` is the newcomer's own requirement;
+    ``cluster_required`` sums all jobs including the newcomer;
+    ``min_utility`` (over all jobs, newcomer included, after re-solving
+    the allocation) is only populated by the utility policy.
+    """
+
+    admitted: bool
+    reason: str
+    required_replicas: int
+    cluster_required: int
+    capacity_replicas: int
+    min_utility: float | None = None
+
+
+class AdmissionController:
+    """Tracks registered jobs and gates new arrivals.
+
+    ``capacity_replicas`` is the cluster size in replica units (the paper's
+    framing: 1 vCPU / 1 GB per replica).  ``policy`` selects the fast
+    ``"capacity"`` check or the exact ``"utility"`` re-solve.
+    """
+
+    def __init__(
+        self,
+        capacity_replicas: int,
+        policy: str = "capacity",
+        utility_floor: float = 0.9,
+        latency_model: LatencyModel = MDC,
+        objective: str = "sum",
+    ) -> None:
+        if capacity_replicas < 1:
+            raise ValueError(f"capacity must be >= 1 replica, got {capacity_replicas}")
+        if policy not in ("capacity", "utility"):
+            raise ValueError(f"unknown admission policy {policy!r}")
+        if not 0.0 <= utility_floor <= 1.0:
+            raise ValueError(f"utility_floor must be in [0, 1], got {utility_floor}")
+        self.capacity_replicas = capacity_replicas
+        self.policy = policy
+        self.utility_floor = utility_floor
+        self.latency_model = latency_model
+        self.objective = objective
+        self._jobs: dict[str, AdmissionRequest] = {}
+
+    # ------------------------------------------------------------ registry
+
+    @property
+    def jobs(self) -> dict[str, AdmissionRequest]:
+        """Registered jobs by name (read-only view semantics)."""
+        return dict(self._jobs)
+
+    def register(self, request: AdmissionRequest) -> None:
+        """Add a job without gating (e.g. the initial deployment set)."""
+        if request.name in self._jobs:
+            raise ValueError(f"job {request.name!r} already registered")
+        self._jobs[request.name] = request
+
+    def remove(self, name: str) -> None:
+        """Remove a departed job, freeing its capacity."""
+        if name not in self._jobs:
+            raise KeyError(f"job {name!r} is not registered")
+        del self._jobs[name]
+
+    def update_rate(self, name: str, planning_rate: float) -> None:
+        """Refresh a registered job's planning rate from new predictions."""
+        if name not in self._jobs:
+            raise KeyError(f"job {name!r} is not registered")
+        old = self._jobs[name]
+        self._jobs[name] = AdmissionRequest(
+            name=old.name,
+            slo=old.slo,
+            proc_time=old.proc_time,
+            planning_rate=planning_rate,
+            priority=old.priority,
+        )
+
+    # ---------------------------------------------------------- evaluation
+
+    def _required(self, request: AdmissionRequest) -> int:
+        return replicas_for_slo(
+            self.latency_model,
+            request.slo.quantile,
+            request.planning_rate,
+            request.proc_time,
+            request.slo.target,
+            max_replicas=self.capacity_replicas + 1,
+        )
+
+    def evaluate(self, request: AdmissionRequest) -> AdmissionDecision:
+        """Evaluate (without registering) whether ``request`` can join."""
+        if request.name in self._jobs:
+            raise ValueError(f"job {request.name!r} already registered")
+        newcomer_need = self._required(request)
+        existing_need = sum(self._required(job) for job in self._jobs.values())
+        total = existing_need + newcomer_need
+        if self.policy == "capacity":
+            admitted = total <= self.capacity_replicas
+            reason = (
+                f"capacity check: need {total} of {self.capacity_replicas} replicas"
+                if admitted
+                else f"rejected: need {total} > {self.capacity_replicas} replicas"
+            )
+            return AdmissionDecision(
+                admitted=admitted,
+                reason=reason,
+                required_replicas=newcomer_need,
+                cluster_required=total,
+                capacity_replicas=self.capacity_replicas,
+            )
+        min_utility = self._min_utility_with(request)
+        admitted = min_utility >= self.utility_floor
+        reason = (
+            f"utility check: min utility {min_utility:.3f} "
+            f">= floor {self.utility_floor}"
+            if admitted
+            else f"rejected: min utility {min_utility:.3f} "
+            f"< floor {self.utility_floor}"
+        )
+        return AdmissionDecision(
+            admitted=admitted,
+            reason=reason,
+            required_replicas=newcomer_need,
+            cluster_required=total,
+            capacity_replicas=self.capacity_replicas,
+            min_utility=min_utility,
+        )
+
+    def admit(self, request: AdmissionRequest) -> AdmissionDecision:
+        """Evaluate and, on success, register the job."""
+        decision = self.evaluate(request)
+        if decision.admitted:
+            self._jobs[request.name] = request
+        return decision
+
+    # ------------------------------------------------------------- utility
+
+    def _min_utility_with(self, request: AdmissionRequest) -> float:
+        """Min utility over all jobs after re-solving with the newcomer."""
+        opt_jobs = [
+            self._to_optimization_job(job)
+            for job in list(self._jobs.values()) + [request]
+        ]
+        problem = AllocationProblem(
+            opt_jobs,
+            ClusterCapacity.of_replicas(self.capacity_replicas),
+            make_objective(self.objective),
+        )
+        allocation = solve_allocation(problem, method="greedy")
+        utilities = problem.effective_utilities(allocation.replicas, allocation.drops)
+        return float(min(utilities))
+
+    def _to_optimization_job(self, request: AdmissionRequest) -> OptimizationJob:
+        return OptimizationJob(
+            name=request.name,
+            proc_time=request.proc_time,
+            slo=request.slo,
+            rates=(request.planning_rate,),
+            priority=request.priority,
+        )

@@ -1,0 +1,30 @@
+"""Minimal reverse-mode automatic differentiation on numpy.
+
+The paper trains its probabilistic N-HiTS predictor with darts/PyTorch;
+neither is available offline, so this package provides the substrate the
+forecasters need: a :class:`~repro.autodiff.tensor.Tensor` with a dynamic
+computation graph, the usual neural-network ops (matmul, relu, tanh,
+sigmoid, softplus, pooling, slicing, reductions with broadcasting-aware
+gradients), small ``nn`` building blocks, and an Adam optimizer.
+
+It is deliberately small -- float64 numpy under the hood, no GPU, no JIT --
+but gradients are exact (verified against numerical differentiation in the
+test suite).
+"""
+
+from repro.autodiff.tensor import Tensor, concat, stack
+from repro.autodiff.nn import MLP, LSTMCell, Linear, Module, Parameter
+from repro.autodiff.optim import SGD, Adam
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "LSTMCell",
+    "Adam",
+    "SGD",
+]

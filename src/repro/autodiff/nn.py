@@ -1,0 +1,149 @@
+"""Neural-network building blocks on top of the autodiff tensor.
+
+Provides :class:`Module` (parameter collection), :class:`Linear`,
+:class:`MLP` and :class:`LSTMCell` -- the pieces the N-HiTS and LSTM
+forecasters are assembled from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, concat
+
+__all__ = ["Parameter", "Module", "Linear", "MLP", "LSTMCell"]
+
+
+class Parameter(Tensor):
+    """A tensor flagged as trainable."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class: collects :class:`Parameter` attributes recursively."""
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        seen: set[int] = set()
+        self._collect(params, seen)
+        return params
+
+    def _collect(self, params: list[Parameter], seen: set[int]) -> None:
+        for value in self.__dict__.values():
+            self._collect_value(value, params, seen)
+
+    def _collect_value(self, value, params: list[Parameter], seen: set[int]) -> None:
+        if isinstance(value, Parameter):
+            if id(value) not in seen:
+                seen.add(id(value))
+                params.append(value)
+        elif isinstance(value, Module):
+            value._collect(params, seen)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                self._collect_value(item, params, seen)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+def _glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with Glorot-uniform initialization."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature counts must be >= 1")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(_glorot(rng, in_features, out_features))
+        self.bias = Parameter(np.zeros(out_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable activation (default ReLU)."""
+
+    def __init__(
+        self,
+        sizes: Iterable[int],
+        rng: np.random.Generator,
+        activation: str = "relu",
+    ) -> None:
+        sizes = list(sizes)
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.layers = [Linear(a, b, rng) for a, b in zip(sizes, sizes[1:])]
+        activations: dict[str, Callable[[Tensor], Tensor]] = {
+            "relu": Tensor.relu,
+            "tanh": Tensor.tanh,
+            "sigmoid": Tensor.sigmoid,
+            "softplus": Tensor.softplus,
+        }
+        if activation not in activations:
+            raise ValueError(f"unknown activation {activation!r}")
+        self._activation = activations[activation]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers[:-1]:
+            x = self._activation(layer(x))
+        return self.layers[-1](x)
+
+
+class LSTMCell(Module):
+    """A standard LSTM cell (input, forget, cell, output gates).
+
+    Weights for all four gates are fused into one matrix for speed; the
+    forget-gate bias is initialized to 1.0 (standard practice to ease
+    gradient flow early in training).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator) -> None:
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError("sizes must be >= 1")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight = Parameter(_glorot(rng, input_size + hidden_size, 4 * hidden_size))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate
+        self.bias = Parameter(bias)
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor] | None = None
+    ) -> tuple[Tensor, Tensor]:
+        """One step: ``x`` is (batch, input_size); returns (h, c)."""
+        batch = x.shape[0]
+        if state is None:
+            h = Tensor(np.zeros((batch, self.hidden_size)))
+            c = Tensor(np.zeros((batch, self.hidden_size)))
+        else:
+            h, c = state
+        z = concat([x, h], axis=-1) @ self.weight + self.bias
+        n = self.hidden_size
+        i_gate = z[:, 0:n].sigmoid()
+        f_gate = z[:, n : 2 * n].sigmoid()
+        g_gate = z[:, 2 * n : 3 * n].tanh()
+        o_gate = z[:, 3 * n : 4 * n].sigmoid()
+        c_next = f_gate * c + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next

@@ -1,0 +1,384 @@
+"""A small reverse-mode autodiff tensor.
+
+Supports broadcasting binary ops, matrix multiplication, element-wise
+nonlinearities, reductions, reshaping/slicing and concatenation -- enough to
+express MLPs, N-HiTS blocks and LSTM cells.  Gradients accumulate in
+``Tensor.grad`` after calling :meth:`Tensor.backward` on a scalar output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "concat", "stack"]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (reversing numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum leading dimensions added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were size-1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A node in the computation graph wrapping a float64 numpy array."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: tuple["Tensor", ...] = (),
+        backward: Callable[[np.ndarray], None] | None = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=float)
+        self.requires_grad = requires_grad
+        self.grad: np.ndarray | None = None
+        self._parents = parents
+        self._backward = backward
+
+    # ------------------------------------------------------------- basics
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    @staticmethod
+    def _lift(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        return Tensor(data, requires_grad=requires, parents=parents, backward=backward if requires else None)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=float), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ---------------------------------------------------------- arithmetic
+
+    def __add__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data**2))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._lift(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other.data) if grad.ndim else grad * other.data)
+                else:
+                    self._accumulate(grad @ other.data.swapaxes(-1, -2))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, grad))
+                else:
+                    other._accumulate(self.data.swapaxes(-1, -2) @ grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    # -------------------------------------------------------- element-wise
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make(np.log(self.data), (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def softplus(self) -> "Tensor":
+        # Numerically stable log(1 + exp(x)).
+        out_data = np.logaddexp(0.0, self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / (1.0 + np.exp(-self.data)))
+
+        return self._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * sign)
+
+        return self._make(np.abs(self.data), (self,), backward)
+
+    # ---------------------------------------------------------- reductions
+
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad, dtype=float)
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # -------------------------------------------------------------- shape
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.asarray(grad).reshape(self.data.shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(np.asarray(grad).T)
+
+        return self._make(self.data.T, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    def avg_pool1d(self, kernel: int) -> "Tensor":
+        """Non-overlapping 1-D average pooling along the last axis.
+
+        The input length must be divisible by ``kernel`` (pad upstream if
+        needed).  Used for N-HiTS multi-rate input sampling.
+        """
+        if kernel < 1:
+            raise ValueError(f"kernel must be >= 1, got {kernel}")
+        length = self.data.shape[-1]
+        if length % kernel != 0:
+            raise ValueError(f"length {length} not divisible by kernel {kernel}")
+        new_shape = self.data.shape[:-1] + (length // kernel, kernel)
+        return self.reshape(*new_shape).mean(axis=-1)
+
+    def clip_min(self, minimum: float) -> "Tensor":
+        """Differentiable lower clamp (gradient passes where data > minimum)."""
+        mask = self.data > minimum
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(np.maximum(self.data, minimum), (self,), backward)
+
+    # ------------------------------------------------------------ backward
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor (must be scalar unless ``grad`` given)."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack_: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack_:
+            node, processed = stack_.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack_.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack_.append((parent, False))
+        self._accumulate(np.asarray(grad, dtype=float))
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [Tensor._lift(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(int(start), int(stop))
+            tensor._accumulate(grad[tuple(index)])
+
+    requires = any(t.requires_grad for t in tensors)
+    return Tensor(
+        out_data,
+        requires_grad=requires,
+        parents=tuple(tensors),
+        backward=backward if requires else None,
+    )
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient routing."""
+    tensors = [Tensor._lift(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        for i, tensor in enumerate(tensors):
+            tensor._accumulate(np.take(grad, i, axis=axis))
+
+    requires = any(t.requires_grad for t in tensors)
+    return Tensor(
+        out_data,
+        requires_grad=requires,
+        parents=tuple(tensors),
+        backward=backward if requires else None,
+    )

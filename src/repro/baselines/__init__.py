@@ -1,0 +1,36 @@
+"""Baseline autoscaling policies (paper Table 6 + the Cilantro comparator).
+
+=====================  ==========================================================
+Policy                 Captures
+=====================  ==========================================================
+FairShare              Clipper / TensorFlow-Serving: static equal split, no
+                       autoscaling.
+Oneshot                K8s HPA / Henge / Ray Serve autoscaler: reactive,
+                       linearly-proportional one-shot scaling.
+AIAD                   INFaaS: additive-increase/additive-decrease.
+Mark/Cocktail/Barista  proactive per-job provisioning from each replica's max
+                       throughput, plus reactive upscaling on violations.
+CilantroLike           Cilantro (OSDI'23): online-learned performance model
+                       (tree-style binned estimator) + ARMA workload model in
+                       a feedback loop -- adapts too slowly for ML inference
+                       (paper Fig. 2).
+=====================  ==========================================================
+
+Scale-up triggers fire after 30 s of sustained overload and scale-downs
+after 5 min of sustained underload (paper §6 "Baselines"), matching Faro's
+short-term reactive thresholds for fairness.
+"""
+
+from repro.baselines.fairshare import FairSharePolicy
+from repro.baselines.oneshot import OneshotPolicy
+from repro.baselines.aiad import AIADPolicy
+from repro.baselines.mark import MarkPolicy
+from repro.baselines.cilantro import CilantroLikePolicy
+
+__all__ = [
+    "FairSharePolicy",
+    "OneshotPolicy",
+    "AIADPolicy",
+    "MarkPolicy",
+    "CilantroLikePolicy",
+]

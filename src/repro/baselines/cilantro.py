@@ -1,0 +1,199 @@
+"""Cilantro-like comparator: online-learned performance model + ARMA.
+
+Cilantro (OSDI'23) allocates resources to maximize a welfare objective
+using *online-learned* models: a tree/binning estimator mapping load to
+performance (learned purely from feedback) and classical time-series models
+(ARMA) for workload.  The paper's Fig. 2 finding is that this learning loop
+converges far too slowly for ML inference SLOs (83.4% average violations vs
+Faro's 6.9%).
+
+This re-implementation keeps the structure and the failure mode:
+
+- :class:`BinnedLatencyEstimator` learns mean observed latency per
+  utilization bin; bins with too few samples fall back to an optimistic
+  default (one service time), so early allocations chronically
+  underprovision -- feedback arrives only after violations happen.
+- Workload is forecast by re-fitting an ARMA model on a fixed-size recent
+  window each cycle (the retraining pattern §2 describes), which trails
+  spikes and trend changes.
+- Each cycle picks the smallest replica count whose *learned* latency meets
+  the SLO (sum-welfare-style greedy), then water-fills the remaining quota.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.forecast.baselines import ARMAForecaster
+from repro.policy import AutoscalePolicy, JobObservation, ScalingDecision
+
+__all__ = ["BinnedLatencyEstimator", "CilantroLikePolicy"]
+
+
+class BinnedLatencyEstimator:
+    """Online tree-style binning of utilization -> observed latency.
+
+    ``update`` feeds one (utilization, latency) observation; ``estimate``
+    returns the learned mean for the bin, falling back to the optimistic
+    default until the bin has ``min_samples`` observations.  Nearby bins are
+    consulted before giving up, emulating tree generalization.
+    """
+
+    def __init__(
+        self,
+        default_latency: float,
+        bin_width: float = 0.1,
+        min_samples: int = 5,
+        max_utilization: float = 3.0,
+    ) -> None:
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.default_latency = default_latency
+        self.bin_width = bin_width
+        self.min_samples = min_samples
+        self.max_utilization = max_utilization
+        bins = int(math.ceil(max_utilization / bin_width)) + 1
+        self._sums = np.zeros(bins)
+        self._counts = np.zeros(bins, dtype=int)
+
+    def _index(self, utilization: float) -> int:
+        utilization = min(max(utilization, 0.0), self.max_utilization)
+        return min(int(utilization / self.bin_width), self._sums.shape[0] - 1)
+
+    def update(self, utilization: float, latency: float) -> None:
+        if not math.isfinite(latency):
+            latency = 100.0 * self.default_latency  # drops: huge finite penalty
+        index = self._index(utilization)
+        self._sums[index] += latency
+        self._counts[index] += 1
+
+    def samples_seen(self) -> int:
+        return int(self._counts.sum())
+
+    def estimate(self, utilization: float) -> float:
+        index = self._index(utilization)
+        for candidate in (index, index - 1, index + 1):
+            if 0 <= candidate < self._counts.shape[0]:
+                if self._counts[candidate] >= self.min_samples:
+                    return float(self._sums[candidate] / self._counts[candidate])
+        return self.default_latency
+
+
+class CilantroLikePolicy(AutoscalePolicy):
+    """Feedback-driven allocator with learned performance + ARMA workload."""
+
+    name = "Cilantro-SW"
+    tick_interval = 10.0
+
+    def __init__(
+        self,
+        proc_times: dict[str, float],
+        slos: dict[str, float],
+        total_replicas: int,
+        period: float = 60.0,
+        history_window: int = 15,
+        min_replicas: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if not proc_times:
+            raise ValueError("proc_times must be non-empty")
+        self.proc_times = dict(proc_times)
+        self.slos = dict(slos)
+        self.total_replicas = total_replicas
+        self.period = period
+        self.history_window = history_window
+        self.min_replicas = min_replicas
+        self._seed = seed
+        self.estimators = {
+            name: BinnedLatencyEstimator(default_latency=proc)
+            for name, proc in proc_times.items()
+        }
+        self._rate_log: dict[str, list[float]] = {name: [] for name in proc_times}
+        self._next_decision = 0.0
+
+    def reset(self) -> None:
+        self.estimators = {
+            name: BinnedLatencyEstimator(default_latency=proc)
+            for name, proc in self.proc_times.items()
+        }
+        self._rate_log = {name: [] for name in self.proc_times}
+        self._next_decision = 0.0
+
+    # ----------------------------------------------------------- learning
+
+    def _learn(self, observations: dict[str, JobObservation]) -> None:
+        for name, obs in observations.items():
+            proc = self.proc_times.get(name)
+            if proc is None or obs.current_replicas < 1:
+                continue
+            utilization = obs.arrival_rate * proc / obs.current_replicas
+            if obs.arrival_rate > 0:
+                self.estimators[name].update(utilization, obs.latency)
+            self._rate_log[name].append(obs.arrival_rate)
+            if len(self._rate_log[name]) > 720:
+                del self._rate_log[name][:-720]
+
+    def _forecast_rate(self, name: str, obs: JobObservation) -> float:
+        history = np.asarray(self._rate_log[name][-self.history_window * 6 :], dtype=float)
+        if history.size < 24:
+            return obs.arrival_rate
+        try:
+            model = ARMAForecaster(ar_order=4, ma_order=2).fit(history)
+            prediction = model.predict(history, 6)
+            return float(max(np.max(prediction), 0.0))
+        except (ValueError, np.linalg.LinAlgError):
+            return obs.arrival_rate
+
+    # ----------------------------------------------------------- allocate
+
+    def _replicas_needed(self, name: str, rate: float) -> int:
+        proc = self.proc_times[name]
+        slo = self.slos.get(name, 4.0 * proc)
+        estimator = self.estimators[name]
+        for replicas in range(self.min_replicas, self.total_replicas + 1):
+            utilization = rate * proc / replicas
+            if estimator.estimate(utilization) <= slo:
+                return replicas
+        return self.total_replicas
+
+    def tick(
+        self, now: float, observations: dict[str, JobObservation]
+    ) -> ScalingDecision | None:
+        self._learn(observations)
+        if now + 1e-9 < self._next_decision:
+            return None
+        self._next_decision = now + self.period
+        demands = {}
+        for name, obs in observations.items():
+            if name not in self.proc_times:
+                continue
+            rate = self._forecast_rate(name, obs)
+            demands[name] = self._replicas_needed(name, rate)
+        if not demands:
+            return None
+        total = sum(demands.values())
+        if total > self.total_replicas:
+            # Proportional scale-back into the budget (keep minimums).
+            scale = self.total_replicas / total
+            demands = {
+                name: max(int(math.floor(count * scale)), self.min_replicas)
+                for name, count in demands.items()
+            }
+        else:
+            # Water-fill leftovers to the jobs with the highest utilization.
+            leftovers = self.total_replicas - total
+            order = sorted(
+                demands,
+                key=lambda n: -observations[n].arrival_rate * self.proc_times[n]
+                / max(demands[n], 1),
+            )
+            for name in order:
+                if leftovers <= 0:
+                    break
+                demands[name] += 1
+                leftovers -= 1
+        return ScalingDecision(replicas=demands)

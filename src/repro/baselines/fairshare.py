@@ -1,0 +1,41 @@
+"""FairShare: static equal division of cluster replicas (no autoscaling)."""
+
+from __future__ import annotations
+
+from repro.policy import AutoscalePolicy, JobObservation, ScalingDecision
+
+__all__ = ["FairSharePolicy"]
+
+
+class FairSharePolicy(AutoscalePolicy):
+    """Every job statically gets ``floor(total_replicas / num_jobs)``.
+
+    Stands in for systems without autoscaling (Clipper, TF-Serving).  The
+    paper's counterintuitive finding (Fig. 12) is that static fair shares
+    are *unfair* in outcome: jobs' resource needs vary over time, so equal
+    allocations produce unequal SLO satisfaction.
+    """
+
+    name = "FairShare"
+    tick_interval = 10.0
+
+    def __init__(self, total_replicas: int, min_replicas: int = 1) -> None:
+        if total_replicas < 1:
+            raise ValueError(f"total_replicas must be >= 1, got {total_replicas}")
+        if min_replicas < 1:
+            raise ValueError(f"min_replicas must be >= 1, got {min_replicas}")
+        self.total_replicas = total_replicas
+        self.min_replicas = min_replicas
+        self._applied = False
+
+    def reset(self) -> None:
+        self._applied = False
+
+    def tick(
+        self, now: float, observations: dict[str, JobObservation]
+    ) -> ScalingDecision | None:
+        if self._applied:
+            return None
+        self._applied = True
+        share = max(self.total_replicas // max(len(observations), 1), self.min_replicas)
+        return ScalingDecision(replicas={name: share for name in observations})

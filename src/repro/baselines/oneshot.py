@@ -1,0 +1,80 @@
+"""Oneshot: reactive linearly-proportional scaling (K8s HPA style).
+
+When a job has been violating its SLO for the scale-up hold (30 s), the
+target jumps in one shot to ``ceil(current * latency / SLO)`` -- the K8s
+HPA / Ray Serve proportional rule.  When the job has been comfortably under
+its SLO for the scale-down hold (5 min), the target shrinks by the same
+proportional rule.  The paper's diagnosis (§6.1): aggressive one-shot
+up-scaling plus delayed down-scaling hoards resources and starves other
+jobs in a constrained cluster.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.policy import (
+    AutoscalePolicy,
+    JobObservation,
+    ScalingDecision,
+    TriggerTracker,
+)
+
+__all__ = ["OneshotPolicy"]
+
+
+class OneshotPolicy(AutoscalePolicy):
+    """Proportional reactive autoscaler (per job, no coordination)."""
+
+    name = "Oneshot"
+    tick_interval = 10.0
+
+    def __init__(
+        self,
+        slos: dict[str, float],
+        up_hold: float = 30.0,
+        down_hold: float = 300.0,
+        min_replicas: int = 1,
+        max_factor: float = 8.0,
+    ) -> None:
+        if not slos:
+            raise ValueError("slos must be non-empty")
+        self.slos = dict(slos)
+        self.min_replicas = min_replicas
+        self.max_factor = max_factor
+        self._up = TriggerTracker(up_hold)
+        self._down = TriggerTracker(down_hold)
+
+    def reset(self) -> None:
+        self._up.clear()
+        self._down.clear()
+
+    def _proportional_target(self, obs: JobObservation, slo: float) -> int:
+        if math.isinf(obs.latency):
+            factor = self.max_factor
+        else:
+            factor = min(max(obs.latency / slo, 1.0 / self.max_factor), self.max_factor)
+        return max(int(math.ceil(obs.target_replicas * factor)), self.min_replicas)
+
+    def tick(
+        self, now: float, observations: dict[str, JobObservation]
+    ) -> ScalingDecision | None:
+        decision = ScalingDecision()
+        for name, obs in observations.items():
+            slo = self.slos.get(name)
+            if slo is None:
+                continue
+            overloaded = obs.latency > slo
+            underloaded = not overloaded and obs.arrival_rate >= 0.0
+            if self._up.update(name, overloaded, now):
+                target = self._proportional_target(obs, slo)
+                if target > obs.target_replicas:
+                    decision.replicas[name] = target
+                self._up.clear(name)
+                self._down.clear(name)
+            elif self._down.update(name, underloaded, now):
+                target = self._proportional_target(obs, slo)
+                if target < obs.target_replicas:
+                    decision.replicas[name] = target
+                self._down.clear(name)
+        return decision if decision.replicas else None

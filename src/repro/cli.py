@@ -1,0 +1,332 @@
+"""Command-line interface for the Faro reproduction.
+
+Four subcommands cover the workflows a user reaches for first:
+
+- ``run``      -- one policy on one paper scenario; prints the headline
+  metrics and an optional cluster-utility timeline chart.
+- ``compare``  -- several policies on the same scenario side by side
+  (the Fig. 10 / Table 3 workflow).
+- ``traces``   -- generate, describe, or export the synthetic Azure/Twitter
+  workload mixes.
+- ``forecast`` -- train a workload forecaster and report its rolling
+  prediction quality (the §3.5 workflow).
+
+Installed as the ``repro-faro`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+# --------------------------------------------------------------------- run
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--size",
+        default="SO",
+        help="cluster size: RS (36), SO (32), HO (16), or an explicit replica count",
+    )
+    parser.add_argument("--jobs", type=int, default=10, help="number of inference jobs")
+    parser.add_argument("--minutes", type=int, default=40, help="evaluation minutes")
+    parser.add_argument("--trials", type=int, default=1, help="trial repetitions")
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--simulator",
+        choices=("flow", "request"),
+        default="flow",
+        help="flow = fast analytic simulator, request = request-level simulator",
+    )
+
+
+def _scenario_from_args(args: argparse.Namespace):
+    from repro.experiments.scenarios import paper_scenario
+
+    size = args.size if args.size in ("RS", "SO", "HO") else int(args.size)
+    return paper_scenario(
+        size=size,
+        num_jobs=args.jobs,
+        duration_minutes=args.minutes,
+        seed=args.seed,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.plotting import ascii_timeline
+    from repro.experiments.report import format_table
+    from repro.experiments.runner import run_trials
+
+    scenario = _scenario_from_args(args)
+    stats = run_trials(
+        scenario,
+        args.policy,
+        trials=args.trials,
+        simulator=args.simulator,
+        seed=args.seed,
+    )
+    rows = [
+        ["lost cluster utility", f"{stats.lost_utility_mean:.3f}", f"{stats.lost_utility_sd:.3f}"],
+        [
+            "lost effective utility",
+            f"{stats.lost_effective_mean:.3f}",
+            f"{stats.lost_effective_sd:.3f}",
+        ],
+        [
+            "SLO violation rate",
+            f"{stats.violation_rate_mean:.4f}",
+            f"{stats.violation_rate_sd:.4f}",
+        ],
+    ]
+    print(
+        format_table(
+            ["metric", "mean", "sd"],
+            rows,
+            title=f"{args.policy} on {scenario.name} ({args.trials} trial(s))",
+        )
+    )
+    if args.chart:
+        result = stats.results[0]
+        print()
+        print(
+            ascii_timeline(
+                {"cluster utility": result.cluster_utility_timeline()},
+                title="Cluster utility over time (trial 1)",
+            )
+        )
+    return 0
+
+
+# ----------------------------------------------------------------- compare
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.plotting import ascii_bars
+    from repro.experiments.report import format_table
+    from repro.experiments.runner import compare_policies
+
+    scenario = _scenario_from_args(args)
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    if not policies:
+        print("error: --policies must name at least one policy", file=sys.stderr)
+        return 2
+    stats = compare_policies(
+        scenario,
+        policies,
+        trials=args.trials,
+        simulator=args.simulator,
+        seed=args.seed,
+    )
+    ordered = sorted(stats.values(), key=lambda s: s.lost_utility_mean)
+    rows = [
+        [
+            s.policy,
+            f"{s.lost_utility_mean:.3f}",
+            f"{s.lost_utility_sd:.3f}",
+            f"{s.violation_rate_mean:.4f}",
+        ]
+        for s in ordered
+    ]
+    print(
+        format_table(
+            ["policy", "lost utility", "sd", "violation rate"],
+            rows,
+            title=f"Policy comparison on {scenario.name}",
+        )
+    )
+    if args.chart:
+        print()
+        print(
+            ascii_bars(
+                [s.policy for s in ordered],
+                [s.lost_utility_mean for s in ordered],
+                title="Lost cluster utility (lower is better)",
+            )
+        )
+    return 0
+
+
+# ------------------------------------------------------------------ traces
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+    from repro.traces import (
+        describe_trace,
+        load_job_mix_json,
+        save_job_mix_json,
+        save_trace_csv,
+        standard_job_mix,
+    )
+
+    if args.mix:
+        jobs, _ = load_job_mix_json(args.mix)
+    else:
+        jobs = standard_job_mix(num_jobs=args.jobs, days=args.days, seed=args.seed)
+    if args.action == "generate":
+        if not args.out:
+            print("error: generate requires --out", file=sys.stderr)
+            return 2
+        save_job_mix_json(args.out, jobs, metadata={"seed": args.seed, "days": args.days})
+        print(f"wrote {len(jobs)} traces to {args.out}")
+        return 0
+    if args.action == "describe":
+        rows = [[job.name] + describe_trace(job.rates_per_min).as_row() for job in jobs]
+        print(
+            format_table(
+                ["job", "minutes", "mean", "sd", "peak/mean", "burstiness", "lag1", "diurnal"],
+                rows,
+                title="Trace statistics (requests/minute)",
+            )
+        )
+        return 0
+    # action == "export"
+    if not args.job or not args.out:
+        print("error: export requires --job and --out", file=sys.stderr)
+        return 2
+    by_name = {job.name: job for job in jobs}
+    if args.job not in by_name:
+        print(
+            f"error: unknown job {args.job!r}; available: {sorted(by_name)}",
+            file=sys.stderr,
+        )
+        return 2
+    save_trace_csv(args.out, by_name[args.job].rates_per_min)
+    print(f"wrote {by_name[args.job].minutes} minutes to {args.out}")
+    return 0
+
+
+# ---------------------------------------------------------------- forecast
+
+
+def _make_forecaster(name: str, epochs: int):
+    from repro.forecast.baselines import (
+        ARForecaster,
+        ARMAForecaster,
+        EWMAForecaster,
+        NaiveForecaster,
+        SeasonalNaiveForecaster,
+    )
+    from repro.forecast.lstm import DeepARLiteForecaster, LSTMConfig, LSTMForecaster
+    from repro.forecast.nhits import NHiTSConfig, NHiTSForecaster
+    from repro.forecast.prophet_lite import ProphetLiteForecaster
+
+    name = name.lower()
+    if name == "nhits":
+        return NHiTSForecaster(NHiTSConfig(epochs=epochs))
+    if name == "prophet":
+        return ProphetLiteForecaster()
+    if name == "lstm":
+        return LSTMForecaster(LSTMConfig(epochs=epochs))
+    if name == "deepar":
+        return DeepARLiteForecaster(LSTMConfig(epochs=epochs))
+    if name == "ar":
+        return ARForecaster()
+    if name == "arma":
+        return ARMAForecaster()
+    if name == "ewma":
+        return EWMAForecaster()
+    if name == "naive":
+        return NaiveForecaster()
+    if name == "seasonal":
+        return SeasonalNaiveForecaster(period=1440)
+    raise ValueError(f"unknown forecaster {name!r}")
+
+
+def _cmd_forecast(args: argparse.Namespace) -> int:
+    from repro.forecast.metrics import coverage, rmse
+    from repro.traces import standard_job_mix
+
+    try:
+        forecaster = _make_forecaster(args.model, args.epochs)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    job = standard_job_mix(num_jobs=1, days=args.days, seed=args.seed)[0]
+    train, evaluation = job.train, job.eval
+    forecaster.fit(train)
+    input_size = getattr(getattr(forecaster, "config", None), "input_size", 16)
+    horizon = args.horizon
+    predictions, truths, covered = [], [], []
+    rng = np.random.default_rng(args.seed)
+    position = input_size
+    while position + horizon <= evaluation.size:
+        history = evaluation[position - input_size : position]
+        truth = evaluation[position : position + horizon]
+        predictions.append(forecaster.predict(history, horizon))
+        truths.append(truth)
+        samples = forecaster.sample_paths(history, horizon, 50, rng=rng)
+        covered.append(coverage(samples, truth))
+        position += horizon
+    prediction = np.concatenate(predictions)
+    truth = np.concatenate(truths)
+    print(f"model={args.model} train_minutes={train.size} eval_minutes={truth.size}")
+    print(f"rolling RMSE           : {rmse(prediction, truth):.2f} req/min")
+    print(f"10-90% sample coverage : {float(np.mean(covered)):.2%}")
+    return 0
+
+
+# -------------------------------------------------------------------- main
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-faro",
+        description="Faro (EuroSys '25) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one policy on a paper scenario")
+    run.add_argument("--policy", default="faro-fairsum", help="policy name (see compare)")
+    _add_scenario_args(run)
+    run.add_argument("--chart", action="store_true", help="print a utility timeline chart")
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare", help="compare policies on one scenario")
+    compare.add_argument(
+        "--policies",
+        default="fairshare,oneshot,aiad,mark,faro-fairsum",
+        help="comma-separated policy names (faro-<objective> for Faro variants)",
+    )
+    _add_scenario_args(compare)
+    compare.add_argument("--chart", action="store_true", help="print a bar chart")
+    compare.set_defaults(func=_cmd_compare)
+
+    traces = sub.add_parser("traces", help="generate / describe / export traces")
+    traces.add_argument("action", choices=("generate", "describe", "export"))
+    traces.add_argument("--jobs", type=int, default=10, help="jobs to generate")
+    traces.add_argument("--days", type=int, default=2, help="days per trace")
+    traces.add_argument("--seed", type=int, default=0)
+    traces.add_argument("--mix", type=Path, help="existing job-mix JSON to read")
+    traces.add_argument("--job", help="job name (export)")
+    traces.add_argument("--out", type=Path, help="output path")
+    traces.set_defaults(func=_cmd_traces)
+
+    forecast = sub.add_parser("forecast", help="train + evaluate a workload forecaster")
+    forecast.add_argument(
+        "--model",
+        default="nhits",
+        help="nhits | prophet | lstm | deepar | ar | arma | ewma | naive | seasonal",
+    )
+    forecast.add_argument("--days", type=int, default=3, help="days of synthetic trace")
+    forecast.add_argument("--epochs", type=int, default=4, help="training epochs (NN models)")
+    forecast.add_argument("--horizon", type=int, default=8, help="prediction horizon (minutes)")
+    forecast.add_argument("--seed", type=int, default=0)
+    forecast.set_defaults(func=_cmd_forecast)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

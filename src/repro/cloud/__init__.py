@@ -1,0 +1,50 @@
+"""Budget-limited public-cloud extension of Faro (paper §7).
+
+The paper notes that limited clusters "also arise beyond on-premises
+clusters": a team deploying on a public cloud picks preferred VM instance
+types but has a budget limit in dollars per hour, and "Faro is also
+applicable in these scenarios".  This subpackage realizes that scenario:
+
+- :mod:`repro.cloud.instances` -- a VM instance catalog (each instance
+  hosts one model replica at a type-specific speedup and hourly price).
+- :mod:`repro.cloud.planner` -- the budget-constrained allocation problem:
+  Faro's utility-maximizing greedy under a single $/hour constraint, plus
+  the Mark/Barista-style independent cost-per-request greedy and an
+  even-split baseline for comparison.
+- :mod:`repro.cloud.evaluate` -- trace-driven evaluation: replan each
+  control period against predicted load and score utility with the M/D/c
+  estimator, mirroring how the on-prem experiments score allocations.
+"""
+
+from repro.cloud.evaluate import BudgetEvaluation, evaluate_planner
+from repro.cloud.instances import (
+    DEFAULT_CATALOG,
+    VM_COMPUTE,
+    VM_GENERAL,
+    VM_GPU,
+    InstanceType,
+)
+from repro.cloud.planner import (
+    BudgetPlan,
+    BudgetProblem,
+    CloudJob,
+    even_split_plan,
+    mark_greedy_plan,
+    solve_budget_allocation,
+)
+
+__all__ = [
+    "InstanceType",
+    "VM_GENERAL",
+    "VM_COMPUTE",
+    "VM_GPU",
+    "DEFAULT_CATALOG",
+    "CloudJob",
+    "BudgetProblem",
+    "BudgetPlan",
+    "solve_budget_allocation",
+    "mark_greedy_plan",
+    "even_split_plan",
+    "BudgetEvaluation",
+    "evaluate_planner",
+]

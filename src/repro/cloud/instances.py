@@ -1,0 +1,57 @@
+"""VM instance catalog for the budget-limited cloud mode.
+
+Each :class:`InstanceType` hosts exactly one model replica (the paper's
+deployment shape: one Ray Serve replica per worker pod, one pod per
+allocation unit).  ``speedup`` scales the job's reference processing time
+and ``cost_per_hour`` is the on-demand price.  The bundled catalog uses
+representative 2024 on-demand prices for general/compute/GPU instances;
+only the price *ratios* matter to the planners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InstanceType", "VM_GENERAL", "VM_COMPUTE", "VM_GPU", "DEFAULT_CATALOG"]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One rentable VM flavor hosting a single model replica."""
+
+    name: str
+    cost_per_hour: float
+    speedup: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cost_per_hour <= 0:
+            raise ValueError(f"cost_per_hour must be positive, got {self.cost_per_hour}")
+        if self.speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {self.speedup}")
+
+    def proc_time(self, reference_proc_time: float) -> float:
+        """Per-request processing time of a job on this instance."""
+        if reference_proc_time <= 0:
+            raise ValueError(f"processing time must be positive, got {reference_proc_time}")
+        return reference_proc_time / self.speedup
+
+    def max_throughput(self, reference_proc_time: float) -> float:
+        """Saturation throughput (requests/second) of one replica."""
+        return 1.0 / self.proc_time(reference_proc_time)
+
+    def cost_per_request(self, reference_proc_time: float) -> float:
+        """Dollar cost per request at saturation -- Mark/Barista's ranking key."""
+        return self.cost_per_hour / (3600.0 * self.max_throughput(reference_proc_time))
+
+
+#: General-purpose VM (m5.large-class): reference speed.
+VM_GENERAL = InstanceType(name="vm-general", cost_per_hour=0.096, speedup=1.0)
+
+#: Compute-optimized VM (c5.xlarge-class): ~1.6x on CPU inference.
+VM_COMPUTE = InstanceType(name="vm-compute", cost_per_hour=0.17, speedup=1.6)
+
+#: GPU VM (g4dn.xlarge-class): ~6x on ResNet-class models.
+VM_GPU = InstanceType(name="vm-gpu", cost_per_hour=0.526, speedup=6.0)
+
+#: Default catalog used by the examples and benches.
+DEFAULT_CATALOG = [VM_GENERAL, VM_COMPUTE, VM_GPU]

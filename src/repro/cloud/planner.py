@@ -1,0 +1,272 @@
+"""Budget-constrained allocation planners for the cloud mode.
+
+Three planners share the :class:`BudgetProblem` formulation (maximize
+priority-weighted utility subject to total hourly cost <= budget):
+
+- :func:`solve_budget_allocation` -- Faro's approach: greedy
+  marginal-utility-per-dollar with swap repair, on the relaxed latency
+  objective (same reasoning as :mod:`repro.hetero.allocation`).
+- :func:`mark_greedy_plan` -- the Mark/Barista heuristic (paper §8): each
+  job *independently* picks the instance type with the lowest
+  cost-per-request at saturation, provisions enough replicas for its SLO,
+  and the total is clipped to the budget afterwards.
+- :func:`even_split_plan` -- FairShare transplanted to dollars: every job
+  receives an equal slice of the budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cloud.instances import InstanceType
+from repro.core.latency import RELAXED_MDC, LatencyModel, replicas_for_slo
+from repro.core.utility import SLO, inverse_utility
+from repro.hetero.latency import mixed_pool_latency
+
+__all__ = [
+    "CloudJob",
+    "BudgetProblem",
+    "BudgetPlan",
+    "solve_budget_allocation",
+    "mark_greedy_plan",
+    "even_split_plan",
+]
+
+
+@dataclass(frozen=True)
+class CloudJob:
+    """One inference job deployed on rented instances."""
+
+    name: str
+    slo: SLO
+    proc_time: float
+    arrival_rate: float
+    priority: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.proc_time <= 0:
+            raise ValueError(f"proc_time must be positive, got {self.proc_time}")
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival_rate must be non-negative, got {self.arrival_rate}")
+        if self.priority <= 0:
+            raise ValueError(f"priority must be positive, got {self.priority}")
+
+
+@dataclass
+class BudgetPlan:
+    """Planner output: per-job instance counts, utilities, and hourly cost."""
+
+    counts: dict[str, dict[str, int]]
+    utilities: dict[str, float]
+    total_utility: float
+    cost_per_hour: float
+
+    def replicas(self, job_name: str) -> int:
+        """Total instance count (all types) assigned to ``job_name``."""
+        return sum(self.counts[job_name].values())
+
+
+class BudgetProblem:
+    """Allocation instance: jobs, an instance catalog, and an hourly budget."""
+
+    def __init__(
+        self,
+        jobs: list[CloudJob],
+        catalog: list[InstanceType],
+        budget_per_hour: float,
+        latency_model: LatencyModel = RELAXED_MDC,
+        alpha: float = 1.0,
+    ) -> None:
+        if not jobs:
+            raise ValueError("at least one job is required")
+        if not catalog:
+            raise ValueError("at least one instance type is required")
+        if budget_per_hour <= 0:
+            raise ValueError(f"budget must be positive, got {budget_per_hour}")
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate job names: {names}")
+        self.jobs = list(jobs)
+        self.catalog = list(catalog)
+        self.budget = budget_per_hour
+        self.latency_model = latency_model
+        self.alpha = alpha
+        self.cheapest = min(catalog, key=lambda t: t.cost_per_hour)
+        if self.cheapest.cost_per_hour * len(jobs) > budget_per_hour:
+            raise ValueError(
+                f"budget {budget_per_hour}/h cannot fund one "
+                f"{self.cheapest.name} per job ({len(jobs)} jobs)"
+            )
+
+    def job_utility(self, job: CloudJob, counts: dict[InstanceType, int]) -> float:
+        """Relaxed inverse utility of ``job`` on the given instance pool."""
+        latency = mixed_pool_latency(
+            job.slo.quantile, job.arrival_rate, job.proc_time, counts, self.latency_model
+        )
+        if math.isinf(latency):
+            return 0.0
+        return inverse_utility(latency, job.slo.target, alpha=self.alpha)
+
+    def plan_cost(self, counts: dict[str, dict[InstanceType, int]]) -> float:
+        return sum(
+            itype.cost_per_hour * n for pools in counts.values() for itype, n in pools.items()
+        )
+
+    def _finish(self, counts: dict[str, dict[InstanceType, int]]) -> BudgetPlan:
+        utilities = {
+            job.name: self.job_utility(job, counts[job.name]) for job in self.jobs
+        }
+        return BudgetPlan(
+            counts={
+                name: {itype.name: n for itype, n in pools.items() if n > 0}
+                for name, pools in counts.items()
+            },
+            utilities=utilities,
+            total_utility=sum(job.priority * utilities[job.name] for job in self.jobs),
+            cost_per_hour=self.plan_cost(counts),
+        )
+
+
+def solve_budget_allocation(
+    problem: BudgetProblem, tol: float = 1e-9, repair_passes: int = 4
+) -> BudgetPlan:
+    """Faro-style budget allocation: greedy utility-per-dollar + swap repair."""
+    counts: dict[str, dict[InstanceType, int]] = {
+        job.name: {problem.cheapest: 1} for job in problem.jobs
+    }
+    spent = problem.plan_cost(counts)
+    utilities = {job.name: problem.job_utility(job, counts[job.name]) for job in problem.jobs}
+    while True:
+        best: tuple[float, CloudJob, InstanceType] | None = None
+        for job in problem.jobs:
+            if utilities[job.name] >= 1.0 - 1e-12:
+                continue
+            for itype in problem.catalog:
+                if spent + itype.cost_per_hour > problem.budget + 1e-9:
+                    continue
+                trial = dict(counts[job.name])
+                trial[itype] = trial.get(itype, 0) + 1
+                gain = job.priority * (problem.job_utility(job, trial) - utilities[job.name])
+                score = gain / itype.cost_per_hour
+                if gain > tol and (best is None or score > best[0]):
+                    best = (score, job, itype)
+        if best is None:
+            break
+        _, job, itype = best
+        counts[job.name][itype] = counts[job.name].get(itype, 0) + 1
+        spent += itype.cost_per_hour
+        utilities[job.name] = problem.job_utility(job, counts[job.name])
+    _budget_swap_repair(problem, counts, tol, repair_passes)
+    return problem._finish(counts)
+
+
+def _budget_swap_repair(
+    problem: BudgetProblem,
+    counts: dict[str, dict[InstanceType, int]],
+    tol: float,
+    max_passes: int,
+) -> None:
+    """Replace one instance by a different type while utility improves."""
+    for _ in range(max_passes):
+        improved = False
+        for job in problem.jobs:
+            pools = counts[job.name]
+            current = problem.job_utility(job, pools)
+            spent = problem.plan_cost(counts)
+            for old_type in [t for t, n in pools.items() if n > 0]:
+                for new_type in problem.catalog:
+                    if new_type == old_type:
+                        continue
+                    if (
+                        spent - old_type.cost_per_hour + new_type.cost_per_hour
+                        > problem.budget + 1e-9
+                    ):
+                        continue
+                    trial = dict(pools)
+                    trial[old_type] -= 1
+                    if sum(trial.values()) == 0:
+                        continue
+                    trial[new_type] = trial.get(new_type, 0) + 1
+                    gain = problem.job_utility(job, trial) - current
+                    if gain > tol:
+                        pools.clear()
+                        pools.update({t: n for t, n in trial.items() if n > 0})
+                        improved = True
+                        break
+                if improved:
+                    break
+            if improved:
+                break
+        if not improved:
+            return
+
+
+def mark_greedy_plan(problem: BudgetProblem) -> BudgetPlan:
+    """Mark/Barista-style plan: independent per-job cost-per-request greedy.
+
+    Each job picks the instance type minimizing cost-per-request at
+    saturation and provisions the replica count its SLO needs (via the
+    M/D/c capacity planner).  Budget is only enforced *afterwards* by
+    trimming replicas from the most expensive job pools -- reproducing the
+    myopia the paper attributes to single-job policies in constrained
+    settings.
+    """
+    counts: dict[str, dict[InstanceType, int]] = {}
+    for job in problem.jobs:
+        best = min(problem.catalog, key=lambda t: t.cost_per_request(job.proc_time))
+        need = replicas_for_slo(
+            problem.latency_model,
+            job.slo.quantile,
+            job.arrival_rate,
+            best.proc_time(job.proc_time),
+            job.slo.target,
+            max_replicas=1024,
+        )
+        counts[job.name] = {best: max(need, 1)}
+    # Clip to budget: first drop replicas from the costliest pools (keeping
+    # one per job), then downgrade remaining instances to the cheapest type.
+    while problem.plan_cost(counts) > problem.budget + 1e-9:
+        candidates = [
+            (itype.cost_per_hour, name, itype)
+            for name, pools in counts.items()
+            for itype, n in pools.items()
+            if n > 0 and sum(pools.values()) > 1
+        ]
+        if not candidates:
+            break
+        _, name, itype = max(candidates)
+        counts[name][itype] -= 1
+    while problem.plan_cost(counts) > problem.budget + 1e-9:
+        downgrades = [
+            (itype.cost_per_hour, name, itype)
+            for name, pools in counts.items()
+            for itype, n in pools.items()
+            if n > 0 and itype.cost_per_hour > problem.cheapest.cost_per_hour
+        ]
+        if not downgrades:
+            break
+        _, name, itype = max(downgrades)
+        counts[name][itype] -= 1
+        counts[name][problem.cheapest] = counts[name].get(problem.cheapest, 0) + 1
+    return problem._finish(counts)
+
+
+def even_split_plan(problem: BudgetProblem) -> BudgetPlan:
+    """FairShare in dollars: each job gets an equal slice of the budget.
+
+    Within its slice a job buys its best-value instance type (lowest
+    cost-per-request), always at least one of the cheapest type.
+    """
+    slice_budget = problem.budget / len(problem.jobs)
+    counts: dict[str, dict[InstanceType, int]] = {}
+    for job in problem.jobs:
+        best = min(problem.catalog, key=lambda t: t.cost_per_request(job.proc_time))
+        affordable = int(slice_budget // best.cost_per_hour)
+        if affordable >= 1:
+            counts[job.name] = {best: affordable}
+        else:
+            counts[job.name] = {problem.cheapest: 1}
+    return problem._finish(counts)

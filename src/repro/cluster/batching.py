@@ -1,0 +1,218 @@
+"""Adaptive request batching at the router (paper §7, orthogonal techniques).
+
+The paper lists intelligent request batching (Clipper, BATCH) as
+combinable with Faro.  :class:`BatchingJobRouter` is a batching variant of
+:class:`repro.cluster.router.JobRouter`: requests accumulate into a forming
+batch that is dispatched when it fills (``max_batch_size``) or when the
+oldest request has waited ``batch_timeout`` seconds.  A batch of ``b``
+requests occupies one replica for ``base + per_item * b`` seconds
+(sub-linear in ``b`` -- the throughput gain that motivates batching).
+
+Unlike the unbatched router, a request's latency is not determined at
+arrival (it depends on when its batch fills), so :meth:`offer` returns the
+requests *completed* by advancing time to the new arrival, and
+:meth:`flush` drains the tail.  :class:`AdaptiveBatcher` closes the loop by
+re-deriving the batch size from the observed arrival rate with
+:func:`repro.queueing.batch.optimal_batch_size`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from repro.queueing.batch import batch_service_time, optimal_batch_size
+
+__all__ = ["BatchProfile", "CompletedRequest", "BatchingJobRouter", "AdaptiveBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchProfile:
+    """Batched execution profile of one model.
+
+    ``base + per_item`` equals the unbatched per-request processing time, so
+    a profile can be derived from any :class:`~repro.cluster.models.ModelProfile`
+    by splitting its ``proc_time`` into setup and marginal parts.
+    """
+
+    base: float
+    per_item: float
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.per_item <= 0:
+            raise ValueError("base must be >= 0 and per_item > 0")
+
+    @classmethod
+    def from_proc_time(cls, proc_time: float, setup_fraction: float = 0.6) -> "BatchProfile":
+        """Split an unbatched processing time into setup + marginal cost.
+
+        ``setup_fraction`` is the share of the unbatched time that is
+        fixed overhead (weight loading, kernel launch); inference models
+        typically amortize well, hence the 0.6 default.
+        """
+        if proc_time <= 0:
+            raise ValueError(f"proc_time must be positive, got {proc_time}")
+        if not 0.0 <= setup_fraction < 1.0:
+            raise ValueError(f"setup_fraction must be in [0, 1), got {setup_fraction}")
+        return cls(base=proc_time * setup_fraction, per_item=proc_time * (1 - setup_fraction))
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """One finished (or dropped) request: latency is ``inf`` for drops."""
+
+    arrival: float
+    latency: float
+    batch_size: int
+
+    @property
+    def dropped(self) -> bool:
+        return math.isinf(self.latency)
+
+
+class BatchingJobRouter:
+    """Router with batch formation over a fixed replica pool.
+
+    Time only advances through :meth:`offer` / :meth:`flush` calls, matching
+    the trace-driven simulation style used throughout :mod:`repro.sim`.
+    """
+
+    def __init__(
+        self,
+        profile: BatchProfile,
+        replicas: int,
+        max_batch_size: int = 8,
+        batch_timeout: float = 0.05,
+        queue_threshold: int = 50,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if batch_timeout < 0:
+            raise ValueError(f"batch_timeout must be >= 0, got {batch_timeout}")
+        if queue_threshold < 1:
+            raise ValueError(f"queue_threshold must be >= 1, got {queue_threshold}")
+        self.profile = profile
+        self.max_batch_size = max_batch_size
+        self.batch_timeout = batch_timeout
+        self.queue_threshold = queue_threshold
+        self.arrivals = 0
+        self.served = 0
+        self.dropped = 0
+        self._free_heap: list[float] = [0.0] * replicas
+        heapq.heapify(self._free_heap)
+        self._forming: list[float] = []
+        self._backlog = 0  # requests dispatched but not yet started
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._free_heap)
+
+    def _dispatch(self, when: float) -> list[CompletedRequest]:
+        """Send the forming batch to the earliest-free replica at ``when``."""
+        batch = self._forming
+        self._forming = []
+        free_at = heapq.heappop(self._free_heap)
+        start = max(when, free_at)
+        completion = start + batch_service_time(
+            self.profile.base, self.profile.per_item, len(batch)
+        )
+        heapq.heappush(self._free_heap, completion)
+        self.served += len(batch)
+        return [
+            CompletedRequest(arrival=a, latency=completion - a, batch_size=len(batch))
+            for a in batch
+        ]
+
+    def _deadline(self) -> float:
+        """Dispatch deadline of the forming batch (inf when empty)."""
+        if not self._forming:
+            return math.inf
+        return self._forming[0] + self.batch_timeout
+
+    def _advance(self, now: float) -> list[CompletedRequest]:
+        """Dispatch any batch whose timeout elapsed before ``now``."""
+        completed: list[CompletedRequest] = []
+        if self._forming and self._deadline() <= now:
+            completed.extend(self._dispatch(self._deadline()))
+        return completed
+
+    def offer(self, arrival: float) -> list[CompletedRequest]:
+        """Offer one request; returns requests completed up to this arrival."""
+        self.arrivals += 1
+        completed = self._advance(arrival)
+        if len(self._forming) >= self.queue_threshold:
+            self.dropped += 1
+            completed.append(
+                CompletedRequest(arrival=arrival, latency=math.inf, batch_size=0)
+            )
+            return completed
+        self._forming.append(arrival)
+        if len(self._forming) >= self.max_batch_size:
+            completed.extend(self._dispatch(arrival))
+        return completed
+
+    def flush(self, now: float | None = None) -> list[CompletedRequest]:
+        """Dispatch the remaining forming batch (at its timeout, or ``now``)."""
+        if not self._forming:
+            return []
+        when = self._deadline() if now is None else max(now, self._forming[-1])
+        return self._dispatch(when)
+
+
+class AdaptiveBatcher:
+    """Re-derives the router's batch size from the observed arrival rate.
+
+    Call :meth:`observe` per arrival and :meth:`maybe_adapt` periodically
+    (e.g. at each autoscaler tick): the batch size minimizing the estimated
+    SLO-percentile latency at the recent arrival rate is installed on the
+    router, mirroring how serving systems adapt batching online.
+    """
+
+    def __init__(
+        self,
+        router: BatchingJobRouter,
+        quantile: float = 0.99,
+        window: float = 60.0,
+        max_size: int = 32,
+    ) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self.router = router
+        self.quantile = quantile
+        self.window = window
+        self.max_size = max_size
+        self._arrivals: list[float] = []
+
+    def observe(self, arrival: float) -> None:
+        self._arrivals.append(arrival)
+
+    def observed_rate(self, now: float) -> float:
+        """Arrivals per second over the trailing window."""
+        cutoff = now - self.window
+        self._arrivals = [t for t in self._arrivals if t > cutoff]
+        span = min(self.window, now) if now > 0 else self.window
+        if span <= 0:
+            return 0.0
+        return len(self._arrivals) / span
+
+    def maybe_adapt(self, now: float) -> int:
+        """Install and return the currently optimal batch size."""
+        lam = self.observed_rate(now)
+        size, _ = optimal_batch_size(
+            self.quantile,
+            lam,
+            self.router.replica_count,
+            self.router.profile.base,
+            self.router.profile.per_item,
+            max_size=self.max_size,
+            timeout=self.router.batch_timeout,
+        )
+        self.router.max_batch_size = size
+        return size

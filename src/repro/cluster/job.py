@@ -1,0 +1,53 @@
+"""Inference job specification: one pre-trained model with an SLO."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.models import ModelProfile
+from repro.core.utility import SLO
+
+__all__ = ["InferenceJobSpec"]
+
+
+@dataclass(frozen=True)
+class InferenceJobSpec:
+    """A job as deployed on the cluster.
+
+    The paper's default SLO is four times the model's processing time at the
+    99th percentile (720 ms for ResNet34, 400 ms for ResNet18); use
+    :meth:`with_default_slo` to apply that convention.
+    """
+
+    name: str
+    model: ModelProfile
+    slo: SLO
+    priority: float = 1.0
+    min_replicas: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError(f"min_replicas must be >= 1, got {self.min_replicas}")
+        if self.priority <= 0:
+            raise ValueError(f"priority must be positive, got {self.priority}")
+
+    @classmethod
+    def with_default_slo(
+        cls,
+        name: str,
+        model: ModelProfile,
+        slo_multiple: float = 4.0,
+        percentile: float = 99.0,
+        priority: float = 1.0,
+        min_replicas: int = 1,
+    ) -> "InferenceJobSpec":
+        """Paper convention: SLO target = ``slo_multiple`` x processing time."""
+        if slo_multiple <= 0:
+            raise ValueError(f"slo_multiple must be positive, got {slo_multiple}")
+        return cls(
+            name=name,
+            model=model,
+            slo=SLO(target=slo_multiple * model.proc_time, percentile=percentile),
+            priority=priority,
+            min_replicas=min_replicas,
+        )

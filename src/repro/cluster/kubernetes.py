@@ -1,0 +1,77 @@
+"""Kubernetes-style resource-quota admission.
+
+The paper sizes its cluster with a Kubernetes resource quota (total vCPU /
+memory available for worker pods).  :class:`ResourceQuota` validates and
+clips scaling requests the same way: scale-downs always admit; scale-ups
+admit only up to the remaining capacity, and when several jobs scale up in
+one decision the remaining capacity is granted round-robin one replica at a
+time (so no single job starves the others at the admission layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResourceQuota"]
+
+
+@dataclass(frozen=True)
+class ResourceQuota:
+    """Total resources available for replicas across all jobs."""
+
+    cpus: float
+    mem: float
+
+    def __post_init__(self) -> None:
+        if self.cpus <= 0 or self.mem <= 0:
+            raise ValueError(f"quota must be positive, got {self}")
+
+    @classmethod
+    def of_replicas(
+        cls, replicas: int, cpu_per_replica: float = 1.0, mem_per_replica: float = 1.0
+    ) -> "ResourceQuota":
+        return cls(cpus=replicas * cpu_per_replica, mem=replicas * mem_per_replica)
+
+    def admit(
+        self,
+        current: dict[str, int],
+        targets: dict[str, int],
+        cpu_per_replica: dict[str, float],
+        mem_per_replica: dict[str, float],
+    ) -> dict[str, int]:
+        """Clip requested replica targets to fit inside the quota.
+
+        ``current`` holds every job's existing replica count; ``targets``
+        the requested counts (jobs absent keep their current count).
+        Returns the admitted target for every job in ``current``.
+        """
+        admitted = dict(current)
+        requested = {job: targets.get(job, count) for job, count in current.items()}
+        # Apply all scale-downs first: they only free capacity.
+        for job, target in requested.items():
+            if target < admitted[job]:
+                admitted[job] = max(target, 0)
+
+        def used(counts: dict[str, int], per: dict[str, float]) -> float:
+            return sum(counts[j] * per.get(j, 1.0) for j in counts)
+
+        cpu_free = self.cpus - used(admitted, cpu_per_replica)
+        mem_free = self.mem - used(admitted, mem_per_replica)
+        # Grant scale-ups one replica at a time, round-robin.
+        wanting = {j: requested[j] - admitted[j] for j in admitted if requested[j] > admitted[j]}
+        progress = True
+        while progress and wanting:
+            progress = False
+            for job in sorted(wanting):
+                if wanting[job] <= 0:
+                    continue
+                cpu_need = cpu_per_replica.get(job, 1.0)
+                mem_need = mem_per_replica.get(job, 1.0)
+                if cpu_need <= cpu_free + 1e-9 and mem_need <= mem_free + 1e-9:
+                    admitted[job] += 1
+                    wanting[job] -= 1
+                    cpu_free -= cpu_need
+                    mem_free -= mem_need
+                    progress = True
+            wanting = {j: w for j, w in wanting.items() if w > 0}
+        return admitted

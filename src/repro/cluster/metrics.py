@@ -1,0 +1,201 @@
+"""Metrics collection (the paper's modified Ray Router exports, §5).
+
+Per job the collector aggregates request outcomes into fixed-size time bins
+(default 15 s) holding arrivals, drops, SLO violations and latency samples.
+From the bins it derives:
+
+- recent observations for the control loop (:meth:`observation`),
+- per-minute arrival-rate history for time-series predictors
+  (:meth:`rate_history`), and
+- per-minute evaluation series (violation rate, p99 latency, utility) for
+  the experiment reports (:meth:`minute_stats`).
+
+Dropped requests count as SLO violations with infinite latency, matching
+the paper's metric definitions (§6 "Metrics").
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.utility import SLO, inverse_utility
+
+__all__ = ["MinuteStats", "MetricsCollector"]
+
+
+@dataclass
+class _Bin:
+    arrivals: int = 0
+    drops: int = 0
+    violations: int = 0
+    latencies: list[float] = field(default_factory=list)
+    proc_time_sum: float = 0.0
+
+
+@dataclass(frozen=True)
+class MinuteStats:
+    """Aggregated per-minute evaluation numbers for one job."""
+
+    minute: int
+    arrivals: int
+    drops: int
+    violations: int
+    latency_p: float
+    violation_rate: float
+    utility: float
+    effective_utility: float
+
+
+class MetricsCollector:
+    """Aggregates one job's request stream into time bins."""
+
+    def __init__(
+        self,
+        job_name: str,
+        slo: SLO,
+        proc_time: float,
+        bin_seconds: float = 15.0,
+        alpha: float = 1.0,
+        history_prefix: np.ndarray | None = None,
+    ) -> None:
+        if bin_seconds <= 0:
+            raise ValueError(f"bin_seconds must be positive, got {bin_seconds}")
+        self.job_name = job_name
+        self.slo = slo
+        self.proc_time = proc_time
+        self.bin_seconds = bin_seconds
+        self.alpha = alpha
+        # Arrival rates (requests/second, one per minute, most recent last)
+        # observed *before* t=0 -- seeds predictors so early control cycles
+        # are not blinded by an empty history.
+        self.history_prefix = (
+            np.asarray(history_prefix, dtype=float) if history_prefix is not None else None
+        )
+        self._bins: dict[int, _Bin] = {}
+
+    # ------------------------------------------------------------- record
+
+    def record(self, arrival_time: float, latency: float, proc_time: float | None = None) -> None:
+        """Record one request outcome (``latency = inf`` for drops)."""
+        index = int(arrival_time // self.bin_seconds)
+        bin_ = self._bins.setdefault(index, _Bin())
+        bin_.arrivals += 1
+        if math.isinf(latency):
+            bin_.drops += 1
+            bin_.violations += 1
+            return
+        if latency > self.slo.target:
+            bin_.violations += 1
+        bin_.latencies.append(latency)
+        bin_.proc_time_sum += proc_time if proc_time is not None else self.proc_time
+
+    # -------------------------------------------------------- observation
+
+    def _bins_in(self, start: float, end: float) -> list[_Bin]:
+        first = int(start // self.bin_seconds)
+        last = int(math.ceil(end / self.bin_seconds))
+        return [self._bins[i] for i in range(first, last) if i in self._bins]
+
+    def window_latency_percentile(self, start: float, end: float) -> float:
+        """SLO-percentile latency over [start, end); drops count as inf."""
+        bins = self._bins_in(start, end)
+        latencies: list[float] = []
+        drops = 0
+        for bin_ in bins:
+            latencies.extend(bin_.latencies)
+            drops += bin_.drops
+        total = len(latencies) + drops
+        if total == 0:
+            return 0.0
+        rank = self.slo.quantile * total
+        if rank > len(latencies):
+            return math.inf
+        ordered = np.sort(np.asarray(latencies))
+        index = min(max(int(math.ceil(rank)) - 1, 0), len(ordered) - 1)
+        return float(ordered[index])
+
+    def observation_fields(self, start: float, end: float) -> dict:
+        """Raw aggregates over [start, end) for building JobObservation."""
+        bins = self._bins_in(start, end)
+        arrivals = sum(b.arrivals for b in bins)
+        drops = sum(b.drops for b in bins)
+        violations = sum(b.violations for b in bins)
+        served = arrivals - drops
+        proc_sum = sum(b.proc_time_sum for b in bins)
+        duration = max(end - start, 1e-9)
+        return {
+            "arrival_rate": arrivals / duration,
+            "latency": self.window_latency_percentile(start, end),
+            "slo_violation_rate": violations / arrivals if arrivals else 0.0,
+            "mean_proc_time": proc_sum / served if served else self.proc_time,
+            "drop_rate": drops / arrivals if arrivals else 0.0,
+        }
+
+    def rate_history(self, now: float, minutes: int) -> np.ndarray:
+        """Per-minute arrival rates (requests/second) for the last ``minutes``.
+
+        This is the series fed to time-series predictors; requests/second
+        units keep it consistent with the optimizer's latency models.
+        """
+        if minutes < 1:
+            raise ValueError(f"minutes must be >= 1, got {minutes}")
+        bins_per_minute = max(int(round(60.0 / self.bin_seconds)), 1)
+        current_minute = int(now // 60.0)
+        rates = np.zeros(minutes)
+        prefix = self.history_prefix
+        for offset in range(minutes):
+            minute = current_minute - minutes + offset
+            if minute < 0:
+                if prefix is not None and prefix.shape[0] + minute >= 0:
+                    rates[offset] = prefix[prefix.shape[0] + minute]
+                continue
+            first_bin = minute * bins_per_minute
+            total = sum(
+                self._bins[first_bin + k].arrivals
+                for k in range(bins_per_minute)
+                if (first_bin + k) in self._bins
+            )
+            rates[offset] = total / 60.0
+        return rates
+
+    # ------------------------------------------------------------ results
+
+    def minute_stats(self, minute: int) -> MinuteStats:
+        """Evaluation aggregates for one whole minute."""
+        start, end = minute * 60.0, (minute + 1) * 60.0
+        bins = self._bins_in(start, end)
+        arrivals = sum(b.arrivals for b in bins)
+        drops = sum(b.drops for b in bins)
+        violations = sum(b.violations for b in bins)
+        latency = self.window_latency_percentile(start, end)
+        if arrivals == 0:
+            utility = 1.0  # An idle job trivially meets its SLO.
+            violation_rate = 0.0
+        else:
+            utility = inverse_utility(latency, self.slo.target, alpha=self.alpha)
+            violation_rate = violations / arrivals
+        from repro.core.penalty import penalty_multiplier
+
+        drop_fraction = drops / arrivals if arrivals else 0.0
+        effective = penalty_multiplier(drop_fraction) * utility
+        return MinuteStats(
+            minute=minute,
+            arrivals=arrivals,
+            drops=drops,
+            violations=violations,
+            latency_p=latency,
+            violation_rate=violation_rate,
+            utility=utility,
+            effective_utility=effective,
+        )
+
+    def trim_before(self, time_s: float) -> None:
+        """Drop bins older than ``time_s`` (bound long-run memory)."""
+        cutoff = int(time_s // self.bin_seconds)
+        stale = [i for i in self._bins if i < cutoff]
+        for index in stale:
+            del self._bins[index]

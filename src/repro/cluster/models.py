@@ -1,0 +1,47 @@
+"""Inference model profiles.
+
+ML inference times for a fixed model are remarkably stable (paper §2), so a
+model is characterized by its deterministic per-request processing time plus
+per-replica resource requirements.  The paper's evaluation uses ResNet34
+(180 ms average per-request processing on its CPU replicas) and ResNet18
+(100 ms) with 1 vCPU / 1 GB per replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ModelProfile", "RESNET18", "RESNET34"]
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """A pre-trained model's serving characteristics.
+
+    ``proc_time`` is the mean per-request processing time in seconds;
+    ``proc_jitter`` is the coefficient of variation of a small truncated
+    Gaussian perturbation (0 gives fully deterministic service, matching the
+    M/D/c assumption; the default 0.05 reflects the "low variation" the
+    paper cites for real inference).
+    """
+
+    name: str
+    proc_time: float
+    cpu_per_replica: float = 1.0
+    mem_per_replica: float = 1.0
+    proc_jitter: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.proc_time <= 0:
+            raise ValueError(f"proc_time must be positive, got {self.proc_time}")
+        if self.cpu_per_replica <= 0 or self.mem_per_replica <= 0:
+            raise ValueError("per-replica resources must be positive")
+        if not 0.0 <= self.proc_jitter < 1.0:
+            raise ValueError(f"proc_jitter must be in [0, 1), got {self.proc_jitter}")
+
+
+#: ResNet34 on a 1-vCPU PyTorch replica (paper §6: 180 ms).
+RESNET34 = ModelProfile(name="resnet34", proc_time=0.180)
+
+#: ResNet18 on a 1-vCPU PyTorch replica (paper §6.3: 100 ms).
+RESNET18 = ModelProfile(name="resnet18", proc_time=0.100)

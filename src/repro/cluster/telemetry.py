@@ -1,0 +1,143 @@
+"""Prometheus-format telemetry for the simulated cluster.
+
+The paper's deployment feeds dashboards from the modified Ray Router's
+metrics endpoint (§5); this module renders the equivalent metrics in the
+Prometheus text exposition format so the simulated cluster can be scraped
+(or snapshotted into files) exactly like the real one -- and so downstream
+users wiring the library into a live control plane get the export layer
+for free.
+
+Only the subset of the exposition format the metrics need is implemented:
+``# HELP`` / ``# TYPE`` headers, gauges, counters, and escaped label
+values.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.rayserve import RayServeCluster
+from repro.sim.recorder import SimulationResult
+
+__all__ = ["render_cluster_metrics", "render_result_metrics"]
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _line(name: str, labels: dict[str, str], value: float) -> str:
+    if labels:
+        inner = ",".join(f'{k}="{_escape(v)}"' for k, v in sorted(labels.items()))
+        return f"{name}{{{inner}}} {value:g}"
+    return f"{name} {value:g}"
+
+
+def _block(name: str, kind: str, help_text: str, samples: list[tuple[dict, float]]) -> list[str]:
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} {kind}"]
+    lines.extend(_line(name, labels, value) for labels, value in samples)
+    return lines
+
+
+def render_cluster_metrics(cluster: RayServeCluster, now: float) -> str:
+    """Current cluster state as Prometheus exposition text.
+
+    Counters come from each router's lifetime totals; gauges reflect the
+    instantaneous state at ``now``.
+    """
+    per_job = lambda fn: [({"job": name}, float(fn(name))) for name in cluster.jobs]
+    blocks = [
+        _block(
+            "faro_job_target_replicas",
+            "gauge",
+            "Replica target set by the autoscaler.",
+            per_job(lambda n: cluster.targets[n]),
+        ),
+        _block(
+            "faro_job_replicas",
+            "gauge",
+            "Replicas that exist (running or cold-starting).",
+            per_job(lambda n: cluster.routers[n].replica_count),
+        ),
+        _block(
+            "faro_job_ready_replicas",
+            "gauge",
+            "Replicas past their cold start.",
+            per_job(lambda n: cluster.routers[n].ready_replica_count(now)),
+        ),
+        _block(
+            "faro_job_queue_length",
+            "gauge",
+            "Requests accepted but not yet started at the router.",
+            per_job(lambda n: cluster.routers[n].queue_length(now)),
+        ),
+        _block(
+            "faro_job_drop_rate",
+            "gauge",
+            "Explicit drop directive currently applied (penalty variants).",
+            per_job(lambda n: cluster.routers[n].drop_rate),
+        ),
+        _block(
+            "faro_router_arrivals_total",
+            "counter",
+            "Requests offered to the router.",
+            per_job(lambda n: cluster.routers[n].totals.arrivals),
+        ),
+        _block(
+            "faro_router_served_total",
+            "counter",
+            "Requests dispatched to a replica.",
+            per_job(lambda n: cluster.routers[n].totals.served),
+        ),
+        _block(
+            "faro_router_dropped_total",
+            "counter",
+            "Requests dropped (tail drop + explicit directives).",
+            per_job(lambda n: cluster.routers[n].totals.dropped),
+        ),
+        _block(
+            "faro_replica_failures_total",
+            "counter",
+            "Replicas killed by fault injection.",
+            per_job(lambda n: cluster.routers[n].totals.failures),
+        ),
+    ]
+    return "\n".join(line for block in blocks for line in block) + "\n"
+
+
+def render_result_metrics(result: SimulationResult) -> str:
+    """Run-level summary of one :class:`SimulationResult` as exposition text."""
+    policy = {"policy": result.policy_name}
+    per_job_violations = [
+        ({"job": name, **policy}, float(series.slo_violation_rate))
+        for name, series in result.jobs.items()
+    ]
+    per_job_drops = [
+        ({"job": name, **policy}, float(series.drop_fraction))
+        for name, series in result.jobs.items()
+    ]
+    blocks = [
+        _block(
+            "faro_run_cluster_slo_violation_rate",
+            "gauge",
+            "Average of per-job SLO violation rates over the run.",
+            [(policy, float(result.cluster_slo_violation_rate))],
+        ),
+        _block(
+            "faro_run_lost_cluster_utility",
+            "gauge",
+            "Max possible minus achieved cluster utility (paper Eq. 4).",
+            [(policy, float(result.avg_lost_cluster_utility))],
+        ),
+        _block(
+            "faro_run_job_slo_violation_rate",
+            "gauge",
+            "Per-job SLO violation rate over the run.",
+            per_job_violations,
+        ),
+        _block(
+            "faro_run_job_drop_fraction",
+            "gauge",
+            "Per-job fraction of requests dropped.",
+            per_job_drops,
+        ),
+    ]
+    return "\n".join(line for block in blocks for line in block) + "\n"

@@ -1,0 +1,320 @@
+"""Faro's three-stage multi-tenant autoscaler (paper §4).
+
+Every long-term cycle (default 300 s) the autoscaler:
+
+1. **Per-job formulation (§4.1)** -- fetches each job's measured processing
+   time and arrival-rate history, predicts the next window's arrival rates
+   (probabilistically: many sampled future trajectories), and forms the
+   per-job objective ``mean_k U(L(lam_k, p, x), s)`` with cold-start-aware
+   blending.
+2. **Multi-tenant autoscaling (§4.2)** -- assembles the relaxed cluster
+   objective over all jobs and solves it with COBYLA under total vCPU and
+   memory constraints, post-processing to integers.
+3. **Shrinking (§4.3)** -- iteratively returns replicas from jobs whose
+   predicted utility is already 1.0 as long as the *cluster* objective does
+   not change, right-sizing the allocation.
+
+Workload prediction is pluggable via the :class:`WorkloadPredictor`
+protocol; :mod:`repro.forecast` provides the paper's probabilistic N-HiTS
+as well as simple persistence/oracle predictors used in ablations and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.hierarchical import solve_hierarchical
+from repro.core.objectives import ClusterObjective, make_objective
+from repro.core.optimizer import (
+    Allocation,
+    AllocationProblem,
+    ClusterCapacity,
+    OptimizationJob,
+    solve_allocation,
+)
+from repro.core.utility import SLO
+from repro.policy import AutoscalePolicy, JobObservation, ScalingDecision
+
+__all__ = [
+    "WorkloadPredictor",
+    "PersistencePredictor",
+    "FaroConfig",
+    "FaroAutoscaler",
+]
+
+
+class WorkloadPredictor(Protocol):
+    """Predicts future arrival rates from a rate history.
+
+    Returns an array of shape ``(num_samples, horizon)`` of arrival rates in
+    requests/second.  Probabilistic predictors draw distinct samples; point
+    predictors tile a single trajectory.
+    """
+
+    def sample_paths(
+        self, history: np.ndarray, horizon: int, num_samples: int
+    ) -> np.ndarray: ...
+
+
+class PersistencePredictor:
+    """Point predictor that repeats the most recent observed rate.
+
+    This is the "w/o prediction" ablation (Fig. 16): the autoscaler plans
+    for the current load only.
+    """
+
+    def sample_paths(
+        self, history: np.ndarray, horizon: int, num_samples: int
+    ) -> np.ndarray:
+        last = float(history[-1]) if len(history) else 0.0
+        return np.full((num_samples, horizon), last)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Static per-job configuration the autoscaler needs."""
+
+    name: str
+    slo: SLO
+    proc_time: float
+    priority: float = 1.0
+    cpu_per_replica: float = 1.0
+    mem_per_replica: float = 1.0
+    min_replicas: int = 1
+
+
+@dataclass
+class FaroConfig:
+    """Tunables for the Faro autoscaler; defaults follow the paper (§5).
+
+    ``horizon_steps`` x ``step_seconds`` is the 7-minute prediction window;
+    ``period`` the 5-minute long-term cycle; ``cold_start_seconds`` the
+    expected replica startup delay baked into planning.
+    """
+
+    objective: str = "fairsum"
+    solver: str = "cobyla"
+    period: float = 300.0
+    horizon_steps: int = 7
+    step_seconds: float = 60.0
+    num_samples: int = 20
+    alpha: float | None = 1.0
+    rho_max: float = 0.95
+    relaxed: bool = True
+    cold_start_seconds: float = 60.0
+    shrinking: bool = True
+    probabilistic: bool = True
+    hierarchical_threshold: int = 50
+    groups: int = 10
+    maxiter: int = 1000
+    gamma: float | None = None
+    latency_model: str = "mdc"
+    seed: int | None = 0
+
+    def make_objective(self) -> ClusterObjective:
+        return make_objective(self.objective, gamma=self.gamma)
+
+
+class FaroAutoscaler(AutoscalePolicy):
+    """The long-term predictive multi-tenant autoscaler.
+
+    ``predictors`` maps job name to a :class:`WorkloadPredictor`; a single
+    shared predictor may be passed via the ``default_predictor`` argument.
+    """
+
+    def __init__(
+        self,
+        jobs: list[JobSpec],
+        capacity: ClusterCapacity,
+        config: FaroConfig | None = None,
+        predictors: dict[str, WorkloadPredictor] | None = None,
+        default_predictor: WorkloadPredictor | None = None,
+    ) -> None:
+        if not jobs:
+            raise ValueError("at least one job is required")
+        self.jobs = {job.name: job for job in jobs}
+        if len(self.jobs) != len(jobs):
+            raise ValueError("job names must be unique")
+        self.capacity = capacity
+        self.config = config or FaroConfig()
+        self._objective = self.config.make_objective()
+        self.predictors = dict(predictors or {})
+        self._default_predictor = default_predictor or PersistencePredictor()
+        self.tick_interval = self.config.period
+        self.name = self._objective.display_name
+        self._rng = np.random.default_rng(self.config.seed)
+        self._next_solve = 0.0
+        self.last_allocation: Allocation | None = None
+
+    def reset(self) -> None:
+        self._next_solve = 0.0
+        self.last_allocation = None
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------- stages
+
+    def _predictor_for(self, job_name: str) -> WorkloadPredictor:
+        return self.predictors.get(job_name, self._default_predictor)
+
+    def _predict_scenarios(self, job_name: str, obs: JobObservation) -> np.ndarray:
+        """Stage 1 input: sampled future arrival rates, shape (S, horizon)."""
+        cfg = self.config
+        history = np.asarray(obs.rate_history, dtype=float)
+        if history.size == 0:
+            history = np.array([obs.arrival_rate])
+        # Convention: num_samples == 1 asks predictors for their point
+        # forecast (the "w/o probabilistic prediction" ablation).
+        num_samples = cfg.num_samples if cfg.probabilistic else 1
+        paths = self._predictor_for(job_name).sample_paths(
+            history, cfg.horizon_steps, num_samples
+        )
+        paths = np.maximum(np.asarray(paths, dtype=float), 0.0)
+        if paths.shape != (num_samples, cfg.horizon_steps):
+            raise ValueError(
+                f"predictor for {job_name} returned shape {paths.shape}, "
+                f"expected {(num_samples, cfg.horizon_steps)}"
+            )
+        return paths
+
+    def _formulate(
+        self, observations: dict[str, JobObservation]
+    ) -> list[OptimizationJob]:
+        """Stage 1: build one OptimizationJob per job (paper §4.1)."""
+        cfg = self.config
+        window_seconds = cfg.horizon_steps * cfg.step_seconds
+        coldstart_weight = min(max(cfg.cold_start_seconds / window_seconds, 0.0), 1.0)
+        formulated = []
+        for name, spec in self.jobs.items():
+            obs = observations.get(name)
+            if obs is None:
+                raise KeyError(f"missing observation for job {name!r}")
+            scenarios = self._predict_scenarios(name, obs)
+            proc_time = obs.mean_proc_time if obs.mean_proc_time > 0 else spec.proc_time
+            formulated.append(
+                OptimizationJob(
+                    name=name,
+                    proc_time=proc_time,
+                    slo=spec.slo,
+                    rates=tuple(scenarios.ravel()),
+                    priority=spec.priority,
+                    cpu_per_replica=spec.cpu_per_replica,
+                    mem_per_replica=spec.mem_per_replica,
+                    min_replicas=spec.min_replicas,
+                    current_replicas=obs.current_replicas,
+                    coldstart_weight=coldstart_weight,
+                )
+            )
+        return formulated
+
+    def _solve(self, opt_jobs: list[OptimizationJob]) -> tuple[Allocation, AllocationProblem]:
+        """Stage 2: multi-tenant optimization (paper §4.2)."""
+        cfg = self.config
+        problem = AllocationProblem(
+            opt_jobs,
+            self.capacity,
+            self._objective,
+            relaxed=cfg.relaxed,
+            alpha=cfg.alpha,
+            rho_max=cfg.rho_max,
+            latency_model=cfg.latency_model,
+        )
+        if len(opt_jobs) >= cfg.hierarchical_threshold:
+            result = solve_hierarchical(
+                opt_jobs,
+                self.capacity,
+                self._objective,
+                groups=cfg.groups,
+                method=cfg.solver,
+                relaxed=cfg.relaxed,
+                alpha=cfg.alpha,
+                rho_max=cfg.rho_max,
+                maxiter=cfg.maxiter,
+                seed=int(self._rng.integers(2**31)),
+            )
+            return result.allocation, problem
+        allocation = solve_allocation(
+            problem,
+            method=cfg.solver,
+            maxiter=cfg.maxiter,
+            seed=int(self._rng.integers(2**31)),
+        )
+        return allocation, problem
+
+    def _shrink(self, allocation: Allocation, problem: AllocationProblem) -> Allocation:
+        """Stage 3: return surplus replicas from already-satisfied jobs (§4.3).
+
+        A job qualifies only while its predicted utility is 1.0; shrinking a
+        job stops the moment the *cluster* objective value changes.
+        """
+        replicas = allocation.replicas.astype(int).copy()
+        drops = allocation.drops.copy()
+        base_value = problem.evaluate(replicas, drops)
+        tolerance = 1e-9
+        for i, job in enumerate(problem.jobs):
+            while replicas[i] > job.min_replicas:
+                if problem.job_utility(i, replicas[i], drops[i]) < 1.0 - tolerance:
+                    break
+                trial = replicas.copy()
+                trial[i] -= 1
+                if abs(problem.evaluate(trial, drops) - base_value) > tolerance:
+                    break
+                replicas = trial
+        return replace_allocation(allocation, replicas, drops, problem)
+
+    # --------------------------------------------------------------- tick
+
+    def plan(
+        self, observations: dict[str, JobObservation]
+    ) -> tuple[ScalingDecision, list[OptimizationJob], Allocation]:
+        """Run the three-stage pipeline, returning the decision and its inputs.
+
+        The formulated :class:`OptimizationJob` list (with predicted rate
+        scenarios) and the final :class:`Allocation` let callers -- the
+        decentralized controller, ablation harnesses -- inspect or extend
+        the decision without re-running prediction.
+        """
+        opt_jobs = self._formulate(observations)
+        allocation, problem = self._solve(opt_jobs)
+        if self.config.shrinking:
+            allocation = self._shrink(allocation, problem)
+        self.last_allocation = allocation
+        decision = ScalingDecision()
+        for job, count, drop in zip(opt_jobs, allocation.replicas, allocation.drops):
+            decision.replicas[job.name] = int(count)
+            if self._objective.uses_drops:
+                decision.drop_rates[job.name] = float(drop)
+        return decision, opt_jobs, allocation
+
+    def decide(self, observations: dict[str, JobObservation]) -> ScalingDecision:
+        """Run the full three-stage pipeline once and return the decision."""
+        decision, _, _ = self.plan(observations)
+        return decision
+
+    def tick(
+        self, now: float, observations: dict[str, JobObservation]
+    ) -> ScalingDecision | None:
+        if now + 1e-9 < self._next_solve:
+            return None
+        self._next_solve = now + self.config.period
+        return self.decide(observations)
+
+
+def replace_allocation(
+    allocation: Allocation,
+    replicas: np.ndarray,
+    drops: np.ndarray,
+    problem: AllocationProblem,
+) -> Allocation:
+    """Build a new Allocation with updated replica counts, re-scored."""
+    return Allocation(
+        replicas=replicas,
+        drops=drops,
+        objective_value=problem.evaluate(replicas, drops),
+        solver_value=allocation.solver_value,
+        solve_time=allocation.solve_time,
+        nfev=allocation.nfev,
+        method=allocation.method,
+    )

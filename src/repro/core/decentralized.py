@@ -1,0 +1,221 @@
+"""Decentralized Faro: per-group controllers with demand-driven rebalancing.
+
+The paper (§7) flags decentralization as "not essential but ... an
+interesting future direction" (citing Sparrow-style schedulers).  This
+module implements that direction while preserving Faro's decision quality
+where it matters:
+
+- Jobs are partitioned round-robin into ``num_groups`` groups.  Each group
+  runs its *own* :class:`~repro.core.autoscaler.FaroAutoscaler` over only
+  its jobs and its current **share** of cluster replicas -- no controller
+  ever sees the whole problem, so per-controller solve cost shrinks with
+  the group size (the same motivation as hierarchical optimization,
+  Fig. 7, but without any central solve at all).
+- After every planning round each group publishes a single scalar
+  *demand* -- the replica count that would satisfy all its jobs' SLOs at
+  the ``demand_quantile`` of their predicted arrival-rate scenarios.  A
+  lightweight rebalancing step (the only cross-group communication) moves
+  shares from surplus groups to deficit groups, bounded per round, and the
+  *next* round's local solves use the new shares.
+
+Because shares move by bounded steps, the system converges toward the
+centralized allocation on stable workloads within a few rounds rather than
+instantly -- the classic decentralization trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.autoscaler import FaroAutoscaler, FaroConfig, JobSpec, WorkloadPredictor
+from repro.core.latency import MDC, replicas_for_slo
+from repro.core.optimizer import ClusterCapacity, OptimizationJob
+from repro.policy import AutoscalePolicy, JobObservation, ScalingDecision
+
+__all__ = ["RebalanceConfig", "DecentralizedFaro", "partition_jobs"]
+
+
+@dataclass(frozen=True)
+class RebalanceConfig:
+    """Knobs for the inter-group rebalancing step.
+
+    ``max_transfer`` caps how many replicas a single group may gain or lose
+    per round (bounded movement keeps local plans stable);
+    ``demand_quantile`` picks how conservatively demand summarizes the
+    predicted scenarios (0.9 plans for the 90th-percentile predicted rate).
+    """
+
+    max_transfer: int = 4
+    demand_quantile: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.max_transfer < 1:
+            raise ValueError(f"max_transfer must be >= 1, got {self.max_transfer}")
+        if not 0.0 < self.demand_quantile <= 1.0:
+            raise ValueError(
+                f"demand_quantile must be in (0, 1], got {self.demand_quantile}"
+            )
+
+
+def partition_jobs(jobs: list[JobSpec], num_groups: int) -> list[list[JobSpec]]:
+    """Deterministic round-robin partition into ``num_groups`` non-empty groups."""
+    if num_groups < 1:
+        raise ValueError(f"num_groups must be >= 1, got {num_groups}")
+    if num_groups > len(jobs):
+        raise ValueError(
+            f"cannot split {len(jobs)} jobs into {num_groups} non-empty groups"
+        )
+    groups: list[list[JobSpec]] = [[] for _ in range(num_groups)]
+    for index, job in enumerate(jobs):
+        groups[index % num_groups].append(job)
+    return groups
+
+
+class DecentralizedFaro(AutoscalePolicy):
+    """Per-group Faro controllers coordinated only through share rebalancing.
+
+    With ``num_groups=1`` this degenerates to (and exactly matches) the
+    centralized :class:`FaroAutoscaler`, which tests pin down.
+    """
+
+    def __init__(
+        self,
+        jobs: list[JobSpec],
+        total_replicas: int,
+        num_groups: int,
+        config: FaroConfig | None = None,
+        rebalance: RebalanceConfig | None = None,
+        predictors: dict[str, WorkloadPredictor] | None = None,
+        default_predictor: WorkloadPredictor | None = None,
+    ) -> None:
+        if total_replicas < len(jobs):
+            raise ValueError(
+                f"need at least one replica per job: {total_replicas} < {len(jobs)}"
+            )
+        self.config = config or FaroConfig()
+        self.rebalance_config = rebalance or RebalanceConfig()
+        self.total_replicas = total_replicas
+        self.groups = partition_jobs(jobs, num_groups)
+        self.tick_interval = self.config.period
+        self.name = f"faro-decentralized-g{num_groups}"
+        self._min_share = [
+            sum(job.min_replicas for job in group) for group in self.groups
+        ]
+        self.shares = self._equal_shares()
+        self.controllers = [
+            FaroAutoscaler(
+                jobs=group,
+                capacity=ClusterCapacity.of_replicas(share),
+                config=self.config,
+                predictors=predictors,
+                default_predictor=default_predictor,
+            )
+            for group, share in zip(self.groups, self.shares)
+        ]
+        self.last_demands: list[int] = list(self._min_share)
+        self._next_solve = 0.0
+
+    # ------------------------------------------------------------- shares
+
+    def _equal_shares(self) -> list[int]:
+        """Initial split: equal shares, then spread the remainder."""
+        num_groups = len(self.groups)
+        base = self.total_replicas // num_groups
+        shares = [max(base, minimum) for minimum in self._min_share]
+        # Remainder (or deficit from min bumps) is settled one replica at a
+        # time against the total, preferring groups with more jobs.
+        order = sorted(range(num_groups), key=lambda g: -len(self.groups[g]))
+        excess = sum(shares) - self.total_replicas
+        idx = 0
+        while excess != 0:
+            g = order[idx % num_groups]
+            if excess > 0 and shares[g] > self._min_share[g]:
+                shares[g] -= 1
+                excess -= 1
+            elif excess < 0:
+                shares[g] += 1
+                excess += 1
+            idx += 1
+        return shares
+
+    def reset(self) -> None:
+        self.shares = self._equal_shares()
+        self.last_demands = list(self._min_share)
+        self._next_solve = 0.0
+        for controller, share in zip(self.controllers, self.shares):
+            controller.capacity = ClusterCapacity.of_replicas(share)
+            controller.reset()
+
+    # ------------------------------------------------------------- demand
+
+    def _group_demand(self, opt_jobs: list[OptimizationJob]) -> int:
+        """Replicas that would satisfy the group's SLOs at the demand quantile."""
+        quantile = self.rebalance_config.demand_quantile
+        demand = 0
+        for job in opt_jobs:
+            rate = float(np.quantile(np.asarray(job.rates), quantile))
+            demand += replicas_for_slo(
+                MDC,
+                job.slo.quantile,
+                rate,
+                job.proc_time,
+                job.slo.target,
+                max_replicas=self.total_replicas,
+            )
+        return demand
+
+    def _rebalance(self) -> None:
+        """Move shares from surplus groups to deficit groups (bounded)."""
+        cap = self.rebalance_config.max_transfer
+        surplus = [
+            min(self.shares[g] - max(self.last_demands[g], self._min_share[g]), cap)
+            for g in range(len(self.groups))
+        ]
+        deficit = [
+            min(self.last_demands[g] - self.shares[g], cap)
+            for g in range(len(self.groups))
+        ]
+        givers = sorted(
+            (g for g in range(len(self.groups)) if surplus[g] > 0),
+            key=lambda g: -surplus[g],
+        )
+        takers = sorted(
+            (g for g in range(len(self.groups)) if deficit[g] > 0),
+            key=lambda g: -deficit[g],
+        )
+        for taker in takers:
+            for giver in givers:
+                if deficit[taker] <= 0:
+                    break
+                if surplus[giver] <= 0:
+                    continue
+                moved = min(surplus[giver], deficit[taker])
+                self.shares[giver] -= moved
+                self.shares[taker] += moved
+                surplus[giver] -= moved
+                deficit[taker] -= moved
+        for controller, share in zip(self.controllers, self.shares):
+            controller.capacity = ClusterCapacity.of_replicas(share)
+
+    # --------------------------------------------------------------- tick
+
+    def decide(self, observations: dict[str, JobObservation]) -> ScalingDecision:
+        """One decentralized round: local solves, then share rebalancing."""
+        decision = ScalingDecision()
+        for g, controller in enumerate(self.controllers):
+            local_obs = {job.name: observations[job.name] for job in self.groups[g]}
+            local_decision, opt_jobs, _ = controller.plan(local_obs)
+            decision = decision.merge(local_decision)
+            self.last_demands[g] = self._group_demand(opt_jobs)
+        self._rebalance()
+        return decision
+
+    def tick(
+        self, now: float, observations: dict[str, JobObservation]
+    ) -> ScalingDecision | None:
+        if now + 1e-9 < self._next_solve:
+            return None
+        self._next_solve = now + self.config.period
+        return self.decide(observations)

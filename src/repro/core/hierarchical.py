@@ -1,0 +1,278 @@
+"""Hierarchical (grouped) cluster optimization (paper §3.4, Fig. 7).
+
+With many jobs the number of optimization variables makes even the relaxed
+problem slow.  Faro randomly partitions jobs into ``G`` groups, aggregates
+each group's workload (``lam_g = sum lam_j``, ``p_g = mean p_j``), solves the
+G-variable problem, and then distributes each group's replica budget to its
+member jobs proportionally to their processing demand ``lam_i * p_i``.
+
+The paper reports ~64x speedup at 200 jobs with about 2% utility change,
+and recommends ``G = 10`` as the default.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.objectives import ClusterObjective
+from repro.core.optimizer import (
+    Allocation,
+    AllocationProblem,
+    ClusterCapacity,
+    OptimizationJob,
+    solve_allocation,
+)
+from repro.core.utility import SLO
+
+__all__ = ["solve_hierarchical", "aggregate_group"]
+
+
+def _resample(rates: tuple[float, ...], size: int, rng: np.random.Generator) -> np.ndarray:
+    values = np.asarray(rates, dtype=float)
+    if values.shape[0] == size:
+        return values
+    return rng.choice(values, size=size, replace=True)
+
+
+def aggregate_group(
+    jobs: list[OptimizationJob], rng: np.random.Generator, scenario_count: int = 16
+) -> OptimizationJob:
+    """Aggregate a group of jobs into one pseudo-job.
+
+    Arrival-rate scenarios are element-wise sums of per-job resampled
+    scenario vectors (preserving overall load variability); processing time
+    is the group mean; the SLO target is the load-weighted mean so that
+    heavier jobs dominate the group's latency requirement.
+    """
+    if not jobs:
+        raise ValueError("group must be non-empty")
+    sampled = np.stack([_resample(job.rates, scenario_count, rng) for job in jobs])
+    group_rates = sampled.sum(axis=0)
+    mean_rates = sampled.mean(axis=1)
+    load_weights = np.maximum(mean_rates * np.array([j.proc_time for j in jobs]), 1e-12)
+    load_weights = load_weights / load_weights.sum()
+    slo_target = float(
+        sum(w * j.slo.target for w, j in zip(load_weights, jobs))
+    )
+    percentile = jobs[0].slo.percentile
+    return OptimizationJob(
+        name="+".join(job.name for job in jobs),
+        proc_time=float(np.mean([j.proc_time for j in jobs])),
+        slo=SLO(target=slo_target, percentile=percentile),
+        rates=tuple(group_rates),
+        priority=float(np.mean([j.priority for j in jobs])),
+        cpu_per_replica=float(np.mean([j.cpu_per_replica for j in jobs])),
+        mem_per_replica=float(np.mean([j.mem_per_replica for j in jobs])),
+        min_replicas=sum(j.min_replicas for j in jobs),
+    )
+
+
+def _distribute(
+    jobs: list[OptimizationJob], budget: int
+) -> list[int]:
+    """Split an integer replica budget across a group's jobs.
+
+    Shares are proportional to each job's *SLO replica demand* -- the
+    M/D/c-estimated count needed to meet its SLO at its mean predicted rate
+    -- rather than raw load, because the queueing headroom required at small
+    replica counts is superlinear (a 1-replica job needs proportionally more
+    slack than a 10-replica job).  Largest-remainder rounding, clamped at
+    each job's minimum.
+    """
+    from repro.core.latency import MDC, replicas_for_slo
+
+    mins = [j.min_replicas for j in jobs]
+    budget = max(budget, sum(mins))
+    demand = np.array(
+        [
+            float(
+                replicas_for_slo(
+                    MDC,
+                    j.slo.quantile,
+                    max(float(np.mean(j.rates)), 1e-9),
+                    j.proc_time,
+                    j.slo.target,
+                    max_replicas=max(budget, 1),
+                )
+            )
+            for j in jobs
+        ]
+    )
+    demand = np.maximum(demand, 1e-9)
+    shares = demand / demand.sum() * budget
+    counts = np.maximum(np.floor(shares).astype(int), mins)
+    remainder = budget - int(counts.sum())
+    if remainder > 0:
+        order = np.argsort(-(shares - np.floor(shares)))
+        for idx in order[:remainder]:
+            counts[idx] += 1
+    while counts.sum() > budget:
+        over = [i for i in range(len(jobs)) if counts[i] > mins[i]]
+        if not over:
+            break
+        victim = max(over, key=lambda i: counts[i] - shares[i])
+        counts[victim] -= 1
+    return [int(c) for c in counts]
+
+
+def _refine_transfers(
+    problem: AllocationProblem,
+    replicas: np.ndarray,
+    drops: np.ndarray,
+    max_moves: int,
+) -> np.ndarray:
+    """Bounded single-replica transfer hill climbing on the flat problem.
+
+    Each move shortlists jobs by marginal utility (the cheap signal) and
+    evaluates only shortlist pairs on the full objective, so fairness terms
+    are respected without an O(n^2) scan per move.
+    """
+    replicas = replicas.copy()
+    n = problem.num_jobs
+    for _ in range(max(max_moves, 0)):
+        gains = np.full(n, -np.inf)
+        losses = np.full(n, np.inf)
+        for i in range(n):
+            if replicas[i] < problem.max_replicas[i]:
+                gains[i] = problem.jobs[i].priority * (
+                    problem.job_utility(i, replicas[i] + 1, drops[i])
+                    - problem.job_utility(i, replicas[i], drops[i])
+                )
+            if replicas[i] > problem.jobs[i].min_replicas:
+                losses[i] = problem.jobs[i].priority * (
+                    problem.job_utility(i, replicas[i], drops[i])
+                    - problem.job_utility(i, replicas[i] - 1, drops[i])
+                )
+        receivers = np.argsort(-gains)[:3]
+        donors = np.argsort(losses)[:3]
+        base = problem.evaluate(replicas, drops)
+        best_gain, best_pair = 1e-9, None
+        for r in receivers:
+            for d in donors:
+                if r == d or not np.isfinite(gains[r]) or not np.isfinite(losses[d]):
+                    continue
+                trial = replicas.copy()
+                trial[r] += 1
+                trial[d] -= 1
+                if not problem.is_feasible(trial):
+                    continue
+                gain = problem.evaluate(trial, drops) - base
+                if gain > best_gain:
+                    best_gain, best_pair = gain, (r, d)
+        if best_pair is None:
+            break
+        replicas[best_pair[0]] += 1
+        replicas[best_pair[1]] -= 1
+    return replicas
+
+
+@dataclass
+class HierarchicalResult:
+    """Allocation for all jobs plus the intermediate group allocation."""
+
+    allocation: Allocation
+    group_allocation: Allocation
+    group_members: list[list[int]]
+
+
+def solve_hierarchical(
+    jobs: list[OptimizationJob],
+    capacity: ClusterCapacity,
+    objective: ClusterObjective,
+    groups: int = 10,
+    method: str = "cobyla",
+    relaxed: bool = True,
+    alpha: float | None = 1.0,
+    rho_max: float = 0.95,
+    maxiter: int = 1000,
+    refine_moves: int | None = None,
+    seed: int | None = None,
+) -> HierarchicalResult:
+    """Solve the cluster problem hierarchically with ``groups`` groups.
+
+    ``groups >= len(jobs)`` degenerates to the flat problem (every job its
+    own group), matching the paper's ``G = 1`` baseline semantics where the
+    full problem is solved directly.
+
+    ``refine_moves`` bounds the post-distribution transfer refinement
+    (default: half the job count; 0 disables it, giving the paper's raw
+    grouped-solve timing).
+    """
+    if groups < 1:
+        raise ValueError(f"groups must be >= 1, got {groups}")
+    rng = np.random.default_rng(seed)
+    started = time.perf_counter()
+    if groups >= len(jobs):
+        problem = AllocationProblem(
+            jobs, capacity, objective, relaxed=relaxed, alpha=alpha, rho_max=rho_max
+        )
+        allocation = solve_allocation(problem, method=method, maxiter=maxiter, seed=seed)
+        allocation.solve_time = time.perf_counter() - started
+        return HierarchicalResult(
+            allocation=allocation,
+            group_allocation=allocation,
+            group_members=[[i] for i in range(len(jobs))],
+        )
+
+    order = rng.permutation(len(jobs))
+    members: list[list[int]] = [[] for _ in range(groups)]
+    for position, job_index in enumerate(order):
+        members[position % groups].append(int(job_index))
+    members = [m for m in members if m]
+
+    group_jobs = [aggregate_group([jobs[i] for i in m], rng) for m in members]
+    group_problem = AllocationProblem(
+        group_jobs, capacity, objective, relaxed=relaxed, alpha=alpha, rho_max=rho_max
+    )
+    group_allocation = solve_allocation(
+        group_problem, method=method, maxiter=maxiter, seed=seed
+    )
+
+    replicas = np.zeros(len(jobs), dtype=int)
+    drops = np.zeros(len(jobs), dtype=float)
+    for group_index, member_indices in enumerate(members):
+        budget = int(group_allocation.replicas[group_index])
+        split = _distribute([jobs[i] for i in member_indices], budget)
+        for job_index, count in zip(member_indices, split):
+            replicas[job_index] = count
+            drops[job_index] = float(group_allocation.drops[group_index])
+    elapsed = time.perf_counter() - started
+
+    # Cheap local refinement on the flat problem: a bounded number of
+    # single-replica transfer moves repairs the coarseness of the random
+    # grouping (e.g. a hot job stuck in a cold group) at a cost linear in
+    # the job count per move -- far below re-solving flat.  When enabled,
+    # its cost (including the flat table build it needs) counts toward
+    # solve_time; with refine_moves=0 the flat problem is built for scoring
+    # only, which matches the paper's raw grouped-solve timing.
+    if refine_moves is None:
+        refine_moves = len(jobs) // 2
+    build_started = time.perf_counter()
+    flat_problem = AllocationProblem(
+        jobs, capacity, objective, relaxed=relaxed, alpha=alpha, rho_max=rho_max
+    )
+    build_time = time.perf_counter() - build_started
+    if refine_moves > 0:
+        refine_started = time.perf_counter()
+        replicas = _refine_transfers(flat_problem, replicas, drops, max_moves=refine_moves)
+        elapsed += build_time + (time.perf_counter() - refine_started)
+
+    value = flat_problem.evaluate(replicas, drops)
+    allocation = Allocation(
+        replicas=replicas,
+        drops=drops,
+        objective_value=value,
+        solver_value=group_allocation.solver_value,
+        solve_time=elapsed,
+        nfev=group_allocation.nfev,
+        method=f"hier-{method}-G{groups}",
+    )
+    return HierarchicalResult(
+        allocation=allocation,
+        group_allocation=group_allocation,
+        group_members=members,
+    )

@@ -1,0 +1,92 @@
+"""Faro's hybrid autoscaler (paper §4.4).
+
+Combines the long-term predictive autoscaler (every 5 minutes) with a
+short-term *reactive* path (every 10 seconds) that additively scales up a
+job only when SLO violations are actually observed, after the violation has
+persisted for the scale-up trigger window (30 s, same threshold as the
+Oneshot/AIAD baselines for fairness).  The reactive path never scales down:
+the long-term optimizer owns the baseline replica counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.autoscaler import FaroAutoscaler
+from repro.policy import AutoscalePolicy, JobObservation, ScalingDecision, TriggerTracker
+
+__all__ = ["ReactiveConfig", "HybridAutoscaler"]
+
+
+@dataclass(frozen=True)
+class ReactiveConfig:
+    """Short-term reactive path settings (paper defaults)."""
+
+    interval: float = 10.0
+    up_trigger_seconds: float = 30.0
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        if self.step < 1:
+            raise ValueError(f"step must be >= 1, got {self.step}")
+
+
+class HybridAutoscaler(AutoscalePolicy):
+    """Long-term predictive + short-term reactive controller.
+
+    ``capacity_replicas`` caps the total replica count the reactive path may
+    reach (the K8s resource quota); reactive scale-ups that would exceed it
+    are skipped -- cross-job rebalancing is the long-term optimizer's job.
+    """
+
+    def __init__(
+        self,
+        long_term: FaroAutoscaler,
+        reactive: ReactiveConfig | None = None,
+        capacity_replicas: int | None = None,
+    ) -> None:
+        self.long_term = long_term
+        self.reactive = reactive or ReactiveConfig()
+        self.tick_interval = self.reactive.interval
+        if capacity_replicas is None:
+            capacity_replicas = int(long_term.capacity.cpus)
+        self.capacity_replicas = capacity_replicas
+        self.name = long_term.name
+        self._trigger = TriggerTracker(self.reactive.up_trigger_seconds)
+        self._slos = {name: spec.slo for name, spec in long_term.jobs.items()}
+
+    def reset(self) -> None:
+        self.long_term.reset()
+        self._trigger.clear()
+
+    def _reactive_decision(
+        self, now: float, observations: dict[str, JobObservation]
+    ) -> ScalingDecision | None:
+        decision = ScalingDecision()
+        total_targets = sum(obs.target_replicas for obs in observations.values())
+        headroom = self.capacity_replicas - total_targets
+        for name, obs in observations.items():
+            slo = self._slos.get(name)
+            if slo is None:
+                continue
+            violating = obs.latency > slo.target
+            if not self._trigger.update(name, violating, now):
+                continue
+            if headroom < self.reactive.step:
+                continue
+            decision.replicas[name] = obs.target_replicas + self.reactive.step
+            headroom -= self.reactive.step
+            self._trigger.clear(name)
+        return decision if decision.replicas else None
+
+    def tick(
+        self, now: float, observations: dict[str, JobObservation]
+    ) -> ScalingDecision | None:
+        long_decision = self.long_term.tick(now, observations)
+        if long_decision is not None:
+            # A fresh long-term plan supersedes reactive state.
+            self._trigger.clear()
+            return long_decision
+        return self._reactive_decision(now, observations)

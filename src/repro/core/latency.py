@@ -1,0 +1,280 @@
+"""Latency estimators used by Faro's optimizer (paper §3.3-§3.4).
+
+Three estimators are provided behind a single :class:`LatencyModel` interface:
+
+- :class:`UpperBoundLatency` -- the pessimistic estimator: if ``kappa``
+  requests arrive (nearly) simultaneously and ``N`` replicas each take ``p``
+  seconds per request, the batch completes after ``p * kappa / N``.
+- :class:`MDCLatency` -- the M/D/c queueing estimator: the k-th percentile
+  latency under Poisson arrivals and deterministic service, ``inf`` when the
+  queue is unstable (``rho >= 1``).
+- :class:`RelaxedMDCLatency` -- the plateau-free relaxation (§3.4, Fig. 6):
+  for ``rho > rho_max`` the latency of the *stable* queue at ``rho_max`` is
+  scaled by ``lam / lam_rho_max``, so the objective keeps differentiating
+  "how unstable" a queue is instead of returning a flat ``inf``.
+
+The paper's worked example (§3.3) -- ``p`` = 150 ms, ``lam`` = 40 req/s,
+SLO 600 ms -- needs 10 replicas under the upper bound but only 8 under
+M/D/c at p99.99; tests pin this behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.queueing.ggc import ggc_latency_percentile
+from repro.queueing.mdc import mdc_latency_percentile
+from repro.queueing.mmc import mmc_wait_percentile
+
+__all__ = [
+    "LatencyModel",
+    "UpperBoundLatency",
+    "MDCLatency",
+    "RelaxedMDCLatency",
+    "MMCLatency",
+    "GGCLatency",
+    "RelaxedLatency",
+    "UPPER_BOUND",
+    "MDC",
+    "RELAXED_MDC",
+    "MMC",
+    "replicas_for_slo",
+]
+
+
+class LatencyModel:
+    """Interface: estimate the ``quantile`` latency of a job.
+
+    Subclasses implement :meth:`estimate`; all estimators accept a
+    (possibly fractional) replica count so they can be used inside
+    continuous optimizers, clamping at a minimum of one replica.
+    """
+
+    def estimate(self, quantile: float, lam: float, proc_time: float, replicas: float) -> float:
+        """Latency (seconds) at ``quantile`` for arrival rate ``lam`` (req/s)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(quantile: float, lam: float, proc_time: float, replicas: float) -> float:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        if lam < 0:
+            raise ValueError(f"arrival rate must be non-negative, got {lam}")
+        if proc_time <= 0:
+            raise ValueError(f"processing time must be positive, got {proc_time}")
+        return max(float(replicas), 1.0)
+
+
+@dataclass(frozen=True)
+class UpperBoundLatency(LatencyModel):
+    """Pessimistic batch estimator: ``max(p, p * lam * window / N)``.
+
+    ``window`` is the burst horizon (seconds) over which arrivals are assumed
+    simultaneous; the paper's example uses one second.
+    """
+
+    window: float = 1.0
+
+    def estimate(self, quantile: float, lam: float, proc_time: float, replicas: float) -> float:
+        replicas = self._validate(quantile, lam, proc_time, replicas)
+        batch = lam * self.window
+        return max(proc_time, proc_time * batch / replicas)
+
+
+@dataclass(frozen=True)
+class MDCLatency(LatencyModel):
+    """M/D/c percentile latency; ``inf`` when ``rho = p * lam / N >= 1``.
+
+    Fractional replica counts are linearly interpolated between the two
+    neighbouring integer server counts so that continuous optimizers see a
+    continuous function.
+    """
+
+    refined: bool = False
+
+    def estimate(self, quantile: float, lam: float, proc_time: float, replicas: float) -> float:
+        replicas = self._validate(quantile, lam, proc_time, replicas)
+        if lam == 0.0:
+            return proc_time
+        lower = max(int(math.floor(replicas)), 1)
+        upper = lower + 1
+        frac = replicas - lower
+        lat_lower = mdc_latency_percentile(quantile, lam, proc_time, lower, refined=self.refined)
+        if frac == 0.0:
+            return lat_lower
+        lat_upper = mdc_latency_percentile(quantile, lam, proc_time, upper, refined=self.refined)
+        if math.isinf(lat_lower):
+            # The lower integer point is unstable: report inf until the
+            # fractional count itself guarantees stability.
+            return math.inf if proc_time * lam / replicas >= 1.0 else lat_upper
+        return (1.0 - frac) * lat_lower + frac * lat_upper
+
+
+@dataclass(frozen=True)
+class RelaxedMDCLatency(LatencyModel):
+    """Plateau-free M/D/c relaxation (paper §3.4).
+
+    For ``rho <= rho_max`` this equals :class:`MDCLatency`; beyond that the
+    latency grows linearly with ``lam`` (proportional to queue growth rate):
+
+        ``(lam / lam_max) * latency(quantile, p, lam_max, N)``
+
+    where ``lam_max = rho_max * N / p``.  The default ``rho_max = 0.95``
+    follows the paper ("removes the plateau but still stays close").
+    """
+
+    rho_max: float = 0.95
+    refined: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rho_max < 1.0:
+            raise ValueError(f"rho_max must be in (0, 1), got {self.rho_max}")
+
+    def estimate(self, quantile: float, lam: float, proc_time: float, replicas: float) -> float:
+        replicas = self._validate(quantile, lam, proc_time, replicas)
+        if lam == 0.0:
+            return proc_time
+        base = MDCLatency(refined=self.refined)
+        rho = proc_time * lam / replicas
+        if rho <= self.rho_max:
+            return base.estimate(quantile, lam, proc_time, replicas)
+        lam_max = self.rho_max * replicas / proc_time
+        stable_latency = base.estimate(quantile, lam_max, proc_time, replicas)
+        return (lam / lam_max) * stable_latency
+
+
+def _interp_integer_servers(estimate_at, lam: float, proc_time: float, replicas: float) -> float:
+    """Linearly interpolate an integer-server estimator at fractional replicas.
+
+    ``estimate_at(servers: int) -> float`` evaluates the underlying queueing
+    formula; the same stability handling as :class:`MDCLatency` applies when
+    the lower integer point is unstable.
+    """
+    lower = max(int(math.floor(replicas)), 1)
+    upper = lower + 1
+    frac = replicas - lower
+    lat_lower = estimate_at(lower)
+    if frac == 0.0:
+        return lat_lower
+    lat_upper = estimate_at(upper)
+    if math.isinf(lat_lower):
+        return math.inf if proc_time * lam / replicas >= 1.0 else lat_upper
+    return (1.0 - frac) * lat_lower + frac * lat_upper
+
+
+@dataclass(frozen=True)
+class MMCLatency(LatencyModel):
+    """M/M/c percentile latency (exponential service times).
+
+    The §7 adaptation for domains without deterministic service, e.g.
+    microservices: same Poisson-arrival assumption as M/D/c but with
+    exponential service.  The service-time contribution to total latency
+    uses the same-quantile exponential, which upper-bounds the true total
+    latency quantile (wait and service quantiles do not co-occur).
+    """
+
+    def estimate(self, quantile: float, lam: float, proc_time: float, replicas: float) -> float:
+        replicas = self._validate(quantile, lam, proc_time, replicas)
+        if lam == 0.0:
+            return proc_time
+        mu = 1.0 / proc_time
+        service_q = -proc_time * math.log(1.0 - quantile)
+
+        def at(servers: int) -> float:
+            wait = mmc_wait_percentile(quantile, lam, mu, servers)
+            return math.inf if math.isinf(wait) else wait + service_q
+
+        return _interp_integer_servers(at, lam, proc_time, replicas)
+
+
+@dataclass(frozen=True)
+class GGCLatency(LatencyModel):
+    """G/G/c percentile latency via the Allen-Cunneen approximation.
+
+    ``ca2``/``cs2`` are the squared coefficients of variation of interarrival
+    and service times.  With the defaults (``ca2 = 1``, ``cs2 = 0``) this is
+    exactly the M/D/c half-wait estimator, so :class:`MDCLatency` is the
+    special case Faro uses for ML inference.
+    """
+
+    ca2: float = 1.0
+    cs2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ca2 < 0 or self.cs2 < 0:
+            raise ValueError("squared coefficients of variation must be non-negative")
+
+    def estimate(self, quantile: float, lam: float, proc_time: float, replicas: float) -> float:
+        replicas = self._validate(quantile, lam, proc_time, replicas)
+        if lam == 0.0:
+            return proc_time
+
+        def at(servers: int) -> float:
+            return ggc_latency_percentile(quantile, lam, proc_time, servers, self.ca2, self.cs2)
+
+        return _interp_integer_servers(at, lam, proc_time, replicas)
+
+
+@dataclass(frozen=True)
+class RelaxedLatency(LatencyModel):
+    """Plateau-free relaxation of any base latency model (paper §3.4).
+
+    Generalizes :class:`RelaxedMDCLatency`: for ``rho <= rho_max`` the base
+    model's estimate is returned unchanged; beyond that the stable-queue
+    latency at ``rho_max`` is scaled by ``lam / lam_max`` so the optimizer
+    keeps differentiating "how unstable" an overloaded queue is.  Use this
+    to sloppify the M/M/c or G/G/c estimators for non-inference domains.
+    """
+
+    base: LatencyModel
+    rho_max: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rho_max < 1.0:
+            raise ValueError(f"rho_max must be in (0, 1), got {self.rho_max}")
+
+    def estimate(self, quantile: float, lam: float, proc_time: float, replicas: float) -> float:
+        replicas = self._validate(quantile, lam, proc_time, replicas)
+        if lam == 0.0:
+            return proc_time
+        rho = proc_time * lam / replicas
+        if rho <= self.rho_max:
+            return self.base.estimate(quantile, lam, proc_time, replicas)
+        lam_max = self.rho_max * replicas / proc_time
+        stable_latency = self.base.estimate(quantile, lam_max, proc_time, replicas)
+        return (lam / lam_max) * stable_latency
+
+
+#: Shared default instances (all estimators are stateless/frozen).
+UPPER_BOUND = UpperBoundLatency()
+MDC = MDCLatency()
+RELAXED_MDC = RelaxedMDCLatency()
+MMC = MMCLatency()
+
+
+def replicas_for_slo(
+    model: LatencyModel,
+    quantile: float,
+    lam: float,
+    proc_time: float,
+    slo: float,
+    max_replicas: int = 4096,
+) -> int:
+    """Smallest integer replica count whose estimated latency meets ``slo``.
+
+    Returns ``max_replicas`` if even that many replicas cannot meet the SLO
+    (callers treat this as "infeasible at any reasonable size").
+    """
+    if slo <= 0:
+        raise ValueError(f"SLO target must be positive, got {slo}")
+    lo, hi = 1, max_replicas
+    if model.estimate(quantile, lam, proc_time, hi) > slo:
+        return max_replicas
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if model.estimate(quantile, lam, proc_time, mid) <= slo:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo

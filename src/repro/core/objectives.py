@@ -1,0 +1,108 @@
+"""The family of cluster objective functions (paper §3.2).
+
+Cluster administrators pick one objective; all are expressed here as values
+to **maximize** over the vector of per-job (effective) utilities:
+
+- ``sum``:             ``sum_i pi_i * U_i``                       (Faro-Sum)
+- ``fair``:            ``-(max_i U_i - min_i U_i)``               (Faro-Fair)
+- ``fairsum``:         ``sum_i pi_i U_i - gamma * (max - min)``   (Faro-FairSum)
+- ``penaltysum``:      ``sum_i pi_i EU_i``                        (Faro-PenaltySum)
+- ``penaltyfairsum``:  ``sum_i pi_i EU_i - gamma * (max - min)``  (Faro-PenaltyFairSum)
+
+``pi_i`` is job priority (default 1), ``gamma`` weights fairness; the paper
+recommends ``gamma = len(jobs)`` so both terms have comparable magnitude.
+Penalty variants consume *effective* utilities (Eq. 2) and therefore also
+optimize per-job drop rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ClusterObjective", "make_objective", "OBJECTIVE_NAMES"]
+
+OBJECTIVE_NAMES = ("sum", "fair", "fairsum", "penaltysum", "penaltyfairsum")
+
+
+@dataclass(frozen=True)
+class ClusterObjective:
+    """A concrete cluster objective.
+
+    ``name`` is one of :data:`OBJECTIVE_NAMES`.  ``gamma`` is only meaningful
+    for the fairness hybrids; ``None`` means "use the recommended value"
+    (the job count) at evaluation time.
+    """
+
+    name: str
+    gamma: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.name not in OBJECTIVE_NAMES:
+            raise ValueError(
+                f"unknown objective {self.name!r}; expected one of {OBJECTIVE_NAMES}"
+            )
+        if self.gamma is not None and self.gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {self.gamma}")
+
+    @property
+    def uses_drops(self) -> bool:
+        """Whether this objective optimizes explicit request-drop rates."""
+        return self.name in ("penaltysum", "penaltyfairsum")
+
+    @property
+    def uses_fairness(self) -> bool:
+        return self.name in ("fair", "fairsum", "penaltyfairsum")
+
+    def resolved_gamma(self, num_jobs: int) -> float:
+        """Fairness weight, defaulting to the paper-recommended job count."""
+        if self.gamma is not None:
+            return self.gamma
+        return float(num_jobs)
+
+    def evaluate(
+        self, utilities: Sequence[float], priorities: Sequence[float] | None = None
+    ) -> float:
+        """Score (to maximize) for a vector of per-job (effective) utilities.
+
+        For penalty variants callers pass effective utilities
+        ``EU_i = phi(d_i) * U_i``; for the others, plain utilities.
+        """
+        utilities = list(utilities)
+        if not utilities:
+            raise ValueError("utilities must be non-empty")
+        if priorities is None:
+            priorities = [1.0] * len(utilities)
+        if len(priorities) != len(utilities):
+            raise ValueError(
+                f"got {len(priorities)} priorities for {len(utilities)} utilities"
+            )
+        weighted = sum(p * u for p, u in zip(priorities, utilities))
+        spread = max(utilities) - min(utilities)
+        if self.name == "sum" or self.name == "penaltysum":
+            return weighted
+        if self.name == "fair":
+            return -spread
+        # fairsum / penaltyfairsum
+        return weighted - self.resolved_gamma(len(utilities)) * spread
+
+    @property
+    def display_name(self) -> str:
+        """Paper-style display name, e.g. ``Faro-FairSum``."""
+        pretty = {
+            "sum": "Faro-Sum",
+            "fair": "Faro-Fair",
+            "fairsum": "Faro-FairSum",
+            "penaltysum": "Faro-PenaltySum",
+            "penaltyfairsum": "Faro-PenaltyFairSum",
+        }
+        return pretty[self.name]
+
+
+def make_objective(name: str, gamma: float | None = None) -> ClusterObjective:
+    """Build a :class:`ClusterObjective`, accepting paper-style names too.
+
+    Accepts ``"sum"`` / ``"Faro-Sum"`` / ``"faro-sum"`` interchangeably.
+    """
+    normalized = name.lower().replace("faro-", "").replace("_", "").replace("-", "")
+    return ClusterObjective(name=normalized, gamma=gamma)

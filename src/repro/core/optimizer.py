@@ -1,0 +1,616 @@
+"""Cluster optimization: precise and relaxed formulations plus solvers (§3.4).
+
+The decision variables are per-job replica counts ``x_i`` (and per-job drop
+rates ``d_i`` for penalty objectives).  The objective is one of the five
+cluster objectives (:mod:`repro.core.objectives`) applied to per-job
+(effective) utilities, where a job's utility is the scenario-weighted mean of
+``U(L(lam, p, x), s)`` over its predicted arrival-rate scenarios
+(:mod:`repro.core.latency`).  Constraints cap total vCPU and memory at the
+cluster size (paper Eq. 3).
+
+Two formulations are supported:
+
+- **precise** -- step utility + hard M/D/c (``inf`` when unstable) + step
+  penalty multiplier.  Full of plateaus; solvers stall (Fig. 5 "Precise").
+- **relaxed** -- inverse utility (Eq. 1) + plateau-free M/D/c
+  (``rho_max = 0.95``) + piecewise-linear penalty.  COBYLA/SLSQP solve it in
+  well under a second (Fig. 5 "Relaxed").
+
+Implementation note: per-job utilities are precomputed as tables over integer
+replica counts (and a drop-rate grid) using the vectorized queueing kernels,
+then linearly interpolated for fractional solver iterates.  Interpolating the
+*precise* table preserves its plateaus (utilities are flat between integer
+points), so the precise formulation stays as hostile to local solvers as the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+from scipy import optimize as sciopt
+
+from repro.core.objectives import ClusterObjective
+from repro.core.penalty import penalty_multiplier, penalty_multiplier_relaxed
+from repro.core.utility import SLO
+from repro.queueing.vectorized import mdc_latency_table
+
+__all__ = [
+    "OptimizationJob",
+    "ClusterCapacity",
+    "AllocationProblem",
+    "Allocation",
+    "solve_allocation",
+    "DEFAULT_DROP_GRID",
+]
+
+#: Drop-rate grid used for the penalty variants' drop dimension.  No grid
+#: point sits in the credit-free sub-1% band on purpose: with a p99 SLO the
+#: *measured* percentile latency becomes infinite as soon as >= 1% of
+#: requests are dropped (dropped requests count as infinitely late, §6
+#: Metrics), so "penalty-free" small drops would still breach the SLO the
+#: experiment scores.  Drops only pay off at rates that also shed real
+#: load, which the 5%-step grid covers.
+DEFAULT_DROP_GRID: tuple[float, ...] = tuple(np.round(np.linspace(0.0, 0.6, 13), 3))
+
+
+@dataclass(frozen=True)
+class OptimizationJob:
+    """One job as seen by the optimizer.
+
+    ``rates`` holds predicted arrival-rate scenarios in requests/second --
+    typically the flattened (window step x prediction sample) set produced by
+    the probabilistic predictor; ``weights`` are optional scenario weights.
+
+    ``current_replicas`` and ``coldstart_weight`` implement cold-start-aware
+    planning (§4.1): a fraction ``coldstart_weight`` of the window is served
+    by ``min(current, x)`` replicas because newly requested replicas are
+    still starting.
+    """
+
+    name: str
+    proc_time: float
+    slo: SLO
+    rates: tuple[float, ...]
+    weights: tuple[float, ...] | None = None
+    priority: float = 1.0
+    cpu_per_replica: float = 1.0
+    mem_per_replica: float = 1.0
+    min_replicas: int = 1
+    current_replicas: int | None = None
+    coldstart_weight: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.proc_time <= 0:
+            raise ValueError(f"processing time must be positive, got {self.proc_time}")
+        if not self.rates:
+            raise ValueError("rates must be non-empty")
+        if any(r < 0 for r in self.rates):
+            raise ValueError("rates must be non-negative")
+        if self.weights is not None and len(self.weights) != len(self.rates):
+            raise ValueError(
+                f"got {len(self.weights)} weights for {len(self.rates)} rates"
+            )
+        if self.min_replicas < 1:
+            raise ValueError(f"min_replicas must be >= 1, got {self.min_replicas}")
+        if not 0.0 <= self.coldstart_weight <= 1.0:
+            raise ValueError(
+                f"coldstart_weight must be in [0, 1], got {self.coldstart_weight}"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterCapacity:
+    """Total cluster resources (paper: ``ResMax_cpu`` / ``ResMax_mem``)."""
+
+    cpus: float
+    mem: float
+
+    def __post_init__(self) -> None:
+        if self.cpus <= 0 or self.mem <= 0:
+            raise ValueError(f"capacity must be positive, got {self}")
+
+    @classmethod
+    def of_replicas(
+        cls, replicas: int, cpu_per_replica: float = 1.0, mem_per_replica: float = 1.0
+    ) -> "ClusterCapacity":
+        """Capacity expressed as a total replica budget (paper's framing)."""
+        return cls(cpus=replicas * cpu_per_replica, mem=replicas * mem_per_replica)
+
+
+@dataclass
+class Allocation:
+    """Result of one cluster optimization."""
+
+    replicas: np.ndarray
+    drops: np.ndarray
+    objective_value: float
+    solver_value: float
+    solve_time: float
+    nfev: int
+    method: str
+
+    def as_dict(self, jobs: Sequence[OptimizationJob]) -> dict[str, int]:
+        return {job.name: int(r) for job, r in zip(jobs, self.replicas)}
+
+
+class AllocationProblem:
+    """A concrete instance of the cluster optimization problem.
+
+    ``relaxed=True`` builds the plateau-free formulation; ``alpha`` is the
+    inverse-utility exponent (``None`` forces step utility even in relaxed
+    mode, which is only useful for experiments on relaxation stages).
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[OptimizationJob],
+        capacity: ClusterCapacity,
+        objective: ClusterObjective,
+        relaxed: bool = True,
+        alpha: float | None = 1.0,
+        rho_max: float = 0.95,
+        latency_model: str = "mdc",
+        drop_grid: Sequence[float] = DEFAULT_DROP_GRID,
+    ) -> None:
+        if not jobs:
+            raise ValueError("at least one job is required")
+        if latency_model not in ("mdc", "upper"):
+            raise ValueError(f"unknown latency_model {latency_model!r}")
+        self.jobs = list(jobs)
+        self.capacity = capacity
+        self.objective = objective
+        self.relaxed = relaxed
+        self.alpha = alpha
+        self.rho_max = rho_max
+        self.latency_model = latency_model
+        self.drop_grid = np.asarray(sorted(set(drop_grid)), dtype=float)
+        if self.drop_grid[0] != 0.0:
+            raise ValueError("drop grid must include 0.0")
+        self.num_jobs = len(self.jobs)
+        self.max_replicas = np.array(
+            [self._max_replicas_for(job) for job in self.jobs], dtype=int
+        )
+        min_total_cpu = sum(j.min_replicas * j.cpu_per_replica for j in self.jobs)
+        if min_total_cpu > capacity.cpus + 1e-9:
+            raise ValueError(
+                f"infeasible: minimum replica CPUs {min_total_cpu} exceed "
+                f"capacity {capacity.cpus}"
+            )
+        self._tables = [self._build_table(job, cap) for job, cap in zip(self.jobs, self.max_replicas)]
+        self._priorities = [job.priority for job in self.jobs]
+
+    # ------------------------------------------------------------------ setup
+
+    def _max_replicas_for(self, job: OptimizationJob) -> int:
+        by_cpu = int(self.capacity.cpus // job.cpu_per_replica)
+        by_mem = int(self.capacity.mem // job.mem_per_replica)
+        return max(job.min_replicas, min(by_cpu, by_mem))
+
+    def _build_table(self, job: OptimizationJob, max_x: int) -> np.ndarray:
+        """Utility table ``T[x, d_idx]`` for ``x = 0..max_x`` (row 0 is zero).
+
+        The drop dimension stores the utility of *non-dropped* requests,
+        i.e. ``U(L(lam * (1 - d), p, x), s)``; the penalty multiplier
+        ``phi(d)`` is applied at evaluation time.
+        """
+        rates = np.asarray(job.rates, dtype=float)
+        weights = (
+            np.asarray(job.weights, dtype=float)
+            if job.weights is not None
+            else np.ones_like(rates)
+        )
+        weights = weights / weights.sum()
+        if self.objective.uses_drops:
+            drops = self.drop_grid
+        else:
+            drops = np.array([0.0])
+        # Scenario grid: every (rate, drop) pair, flattened.
+        scenario_rates = np.outer(rates, 1.0 - drops).ravel()
+        if self.latency_model == "upper":
+            # Pessimistic batch estimator (§3.3-I): p * max(1, lam / x).
+            replicas = np.arange(1, max_x + 1, dtype=float)[:, None]
+            latencies = job.proc_time * np.maximum(
+                scenario_rates[None, :] / replicas, 1.0
+            )
+        else:
+            latencies = mdc_latency_table(
+                job.slo.quantile,
+                scenario_rates,
+                job.proc_time,
+                max_x,
+                relaxed=self.relaxed,
+                rho_max=self.rho_max,
+            )  # (max_x, n_rates * n_drops)
+        utilities = self._utility_of_latency(latencies, job.slo.target)
+        utilities = utilities.reshape(max_x, rates.shape[0], drops.shape[0])
+        averaged = np.tensordot(weights, utilities, axes=([0], [1]))  # -> (max_x, n_drops)?
+        # tensordot contracted axis 1 of utilities with weights: result (max_x, n_drops)
+        table = np.zeros((max_x + 1, drops.shape[0]), dtype=float)
+        table[1:] = averaged
+        return table
+
+    def _utility_of_latency(self, latencies: np.ndarray, slo_target: float) -> np.ndarray:
+        if self.alpha is None:
+            return (latencies <= slo_target).astype(float)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            ratio = np.where(latencies > 0, slo_target / latencies, np.inf)
+            values = np.power(np.minimum(ratio, 1.0), self.alpha)
+        values = np.where(np.isinf(latencies), 0.0, values)
+        return np.clip(values, 0.0, 1.0)
+
+    # ------------------------------------------------------------ evaluation
+
+    def job_utility(self, index: int, replicas: float, drop: float = 0.0) -> float:
+        """Interpolated utility of job ``index`` at a fractional allocation.
+
+        Applies cold-start blending when the job carries
+        ``coldstart_weight > 0`` and a known ``current_replicas``.
+        """
+        job = self.jobs[index]
+        value = self._interp(index, replicas, drop)
+        if job.coldstart_weight > 0.0 and job.current_replicas is not None:
+            effective = min(float(job.current_replicas), float(replicas))
+            warm = self._interp(index, effective, drop)
+            value = job.coldstart_weight * warm + (1.0 - job.coldstart_weight) * value
+        return value
+
+    def _interp(self, index: int, replicas: float, drop: float) -> float:
+        table = self._tables[index]
+        x = min(max(float(replicas), 0.0), float(table.shape[0] - 1))
+        x_lo = int(math.floor(x))
+        x_hi = min(x_lo + 1, table.shape[0] - 1)
+        xf = x - x_lo
+        if table.shape[1] == 1:
+            lo, hi = table[x_lo, 0], table[x_hi, 0]
+            return (1.0 - xf) * lo + xf * hi
+        grid = self.drop_grid
+        d = min(max(float(drop), grid[0]), grid[-1])
+        d_hi_idx = int(np.searchsorted(grid, d))
+        d_hi_idx = min(max(d_hi_idx, 1), grid.shape[0] - 1)
+        d_lo_idx = d_hi_idx - 1
+        span = grid[d_hi_idx] - grid[d_lo_idx]
+        df = 0.0 if span == 0 else (d - grid[d_lo_idx]) / span
+        lo = (1.0 - df) * table[x_lo, d_lo_idx] + df * table[x_lo, d_hi_idx]
+        hi = (1.0 - df) * table[x_hi, d_lo_idx] + df * table[x_hi, d_hi_idx]
+        return (1.0 - xf) * lo + xf * hi
+
+    def effective_utilities(self, replicas: np.ndarray, drops: np.ndarray) -> list[float]:
+        """Per-job (effective) utilities for an allocation vector."""
+        phi = penalty_multiplier_relaxed if self.relaxed else penalty_multiplier
+        values = []
+        for i in range(self.num_jobs):
+            u = self.job_utility(i, replicas[i], drops[i])
+            if self.objective.uses_drops:
+                u *= phi(min(max(float(drops[i]), 0.0), 1.0))
+            values.append(u)
+        return values
+
+    def evaluate(self, replicas: np.ndarray, drops: np.ndarray | None = None) -> float:
+        """Cluster objective score (to maximize) for an allocation."""
+        replicas = np.asarray(replicas, dtype=float)
+        if drops is None:
+            drops = np.zeros(self.num_jobs)
+        drops = np.asarray(drops, dtype=float)
+        utilities = self.effective_utilities(replicas, drops)
+        return self.objective.evaluate(utilities, self._priorities)
+
+    def cpu_usage(self, replicas: np.ndarray) -> float:
+        return float(
+            sum(r * j.cpu_per_replica for r, j in zip(replicas, self.jobs))
+        )
+
+    def mem_usage(self, replicas: np.ndarray) -> float:
+        return float(
+            sum(r * j.mem_per_replica for r, j in zip(replicas, self.jobs))
+        )
+
+    def is_feasible(self, replicas: np.ndarray) -> bool:
+        return (
+            self.cpu_usage(replicas) <= self.capacity.cpus + 1e-9
+            and self.mem_usage(replicas) <= self.capacity.mem + 1e-9
+            and all(
+                r >= j.min_replicas for r, j in zip(replicas, self.jobs)
+            )
+        )
+
+
+# ------------------------------------------------------------------- solvers
+
+
+def _split_vars(problem: AllocationProblem, z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    n = problem.num_jobs
+    replicas = z[:n]
+    drops = z[n:] if problem.objective.uses_drops else np.zeros(n)
+    return replicas, drops
+
+
+def _default_start(problem: AllocationProblem) -> np.ndarray:
+    """Fair-share starting point: capacity split evenly, floor at minimum."""
+    n = problem.num_jobs
+    per_job = problem.capacity.cpus / max(
+        sum(j.cpu_per_replica for j in problem.jobs), 1e-9
+    )
+    x0 = np.array(
+        [min(max(per_job, j.min_replicas), m) for j, m in zip(problem.jobs, problem.max_replicas)],
+        dtype=float,
+    )
+    # Scale into capacity if the even split overshoots.
+    usage = problem.cpu_usage(x0)
+    if usage > problem.capacity.cpus:
+        x0 *= problem.capacity.cpus / usage
+        x0 = np.maximum(x0, [j.min_replicas for j in problem.jobs])
+    if problem.objective.uses_drops:
+        return np.concatenate([x0, np.zeros(n)])
+    return x0
+
+
+def _constraint_functions(problem: AllocationProblem):
+    n = problem.num_jobs
+
+    def cpu_slack(z: np.ndarray) -> float:
+        replicas, _ = _split_vars(problem, z)
+        return problem.capacity.cpus - problem.cpu_usage(replicas)
+
+    def mem_slack(z: np.ndarray) -> float:
+        replicas, _ = _split_vars(problem, z)
+        return problem.capacity.mem - problem.mem_usage(replicas)
+
+    constraints = [
+        {"type": "ineq", "fun": cpu_slack},
+        {"type": "ineq", "fun": mem_slack},
+    ]
+    for i in range(n):
+        constraints.append(
+            {"type": "ineq", "fun": lambda z, i=i: z[i] - problem.jobs[i].min_replicas}
+        )
+        constraints.append(
+            {"type": "ineq", "fun": lambda z, i=i: problem.max_replicas[i] - z[i]}
+        )
+    if problem.objective.uses_drops:
+        for i in range(n):
+            constraints.append({"type": "ineq", "fun": lambda z, i=i: z[n + i]})
+            constraints.append(
+                {"type": "ineq", "fun": lambda z, i=i: problem.drop_grid[-1] - z[n + i]}
+            )
+    return constraints
+
+
+def _negative_objective(problem: AllocationProblem):
+    counter = {"nfev": 0}
+
+    def fun(z: np.ndarray) -> float:
+        counter["nfev"] += 1
+        replicas, drops = _split_vars(problem, z)
+        return -problem.evaluate(replicas, drops)
+
+    return fun, counter
+
+
+def _round_allocation(problem: AllocationProblem, replicas: np.ndarray) -> np.ndarray:
+    """Integer post-processing (paper §4.2).
+
+    Floors the continuous solution (respecting per-job minimums), then
+    greedily re-adds replicas by best marginal objective gain while cluster
+    capacity remains.
+    """
+    mins = np.array([j.min_replicas for j in problem.jobs])
+    ints = np.maximum(np.floor(replicas + 1e-9).astype(int), mins)
+    ints = np.minimum(ints, problem.max_replicas)
+    # If the minimum-respecting floor exceeds capacity, trim largest first.
+    while problem.cpu_usage(ints) > problem.capacity.cpus or problem.mem_usage(
+        ints
+    ) > problem.capacity.mem:
+        candidates = [i for i in range(problem.num_jobs) if ints[i] > mins[i]]
+        if not candidates:
+            break
+        worst = max(candidates, key=lambda i: ints[i])
+        ints[worst] -= 1
+    improved = True
+    drops = np.zeros(problem.num_jobs)
+    while improved:
+        improved = False
+        base = problem.evaluate(ints, drops)
+        best_gain, best_job = 0.0, -1
+        for i in range(problem.num_jobs):
+            if ints[i] >= problem.max_replicas[i]:
+                continue
+            trial = ints.copy()
+            trial[i] += 1
+            if not problem.is_feasible(trial):
+                continue
+            gain = problem.evaluate(trial, drops) - base
+            if gain > best_gain + 1e-12:
+                best_gain, best_job = gain, i
+        if best_job >= 0:
+            ints[best_job] += 1
+            improved = True
+    return ints
+
+
+def _optimize_drops(problem: AllocationProblem, replicas: np.ndarray) -> np.ndarray:
+    """Per-job drop-rate grid refinement for penalty objectives."""
+    drops = np.zeros(problem.num_jobs)
+    if not problem.objective.uses_drops:
+        return drops
+    for i in range(problem.num_jobs):
+        best_d, best_v = 0.0, -math.inf
+        for d in problem.drop_grid:
+            trial = drops.copy()
+            trial[i] = d
+            value = problem.evaluate(replicas, trial)
+            if value > best_v + 1e-12:
+                best_v, best_d = value, d
+        drops[i] = best_d
+    return drops
+
+
+def _solve_scipy(
+    problem: AllocationProblem, method: str, x0: np.ndarray, maxiter: int
+) -> tuple[np.ndarray, float, int]:
+    fun, counter = _negative_objective(problem)
+    constraints = _constraint_functions(problem)
+    options = {"maxiter": maxiter}
+    if method == "cobyla":
+        # Paper §5: initial variable change (rhobeg) of 2.
+        options = {"maxiter": maxiter, "rhobeg": 2.0}
+    result = sciopt.minimize(
+        fun,
+        x0,
+        method=method.upper(),
+        constraints=constraints,
+        options=options,
+    )
+    return np.asarray(result.x, dtype=float), float(-result.fun), counter["nfev"]
+
+
+def _solve_de(
+    problem: AllocationProblem, maxiter: int, seed: int | None
+) -> tuple[np.ndarray, float, int]:
+    n = problem.num_jobs
+    bounds = [
+        (float(problem.jobs[i].min_replicas), float(problem.max_replicas[i]))
+        for i in range(n)
+    ]
+    if problem.objective.uses_drops:
+        bounds += [(0.0, float(problem.drop_grid[-1]))] * n
+    fun, counter = _negative_objective(problem)
+
+    def penalized(z: np.ndarray) -> float:
+        replicas, _ = _split_vars(problem, z)
+        cpu_excess = max(0.0, problem.cpu_usage(replicas) - problem.capacity.cpus)
+        mem_excess = max(0.0, problem.mem_usage(replicas) - problem.capacity.mem)
+        return fun(z) + 10.0 * (cpu_excess + mem_excess)
+
+    result = sciopt.differential_evolution(
+        penalized,
+        bounds=bounds,
+        maxiter=maxiter,
+        seed=seed,
+        polish=False,
+        tol=1e-6,
+    )
+    return np.asarray(result.x, dtype=float), float(-result.fun), counter["nfev"]
+
+
+def _solve_greedy(problem: AllocationProblem) -> tuple[np.ndarray, float, int]:
+    """Two-phase integer search used as a deterministic reference solver.
+
+    Phase 1 greedily fills capacity by marginal gain in the priority-weighted
+    utility sum (monotone in replicas, so it never stalls on fairness terms;
+    priority weighting ensures high-priority jobs fill first when marginal
+    gains tie -- single-replica moves in phase 2 cannot repair a
+    wrong-way tie-break on an overloaded job's utility plateau); phase 2
+    hill-climbs the *actual* objective with add / remove / transfer moves.
+    Serves as the "best found" reference in normalized-optimality
+    experiments (Fig. 5).
+    """
+    n = problem.num_jobs
+    ints = np.array([j.min_replicas for j in problem.jobs], dtype=int)
+    drops = np.zeros(n)
+    nfev = 0
+
+    def utility_sum(x: np.ndarray) -> float:
+        return sum(
+            problem.jobs[i].priority * problem.job_utility(i, x[i], 0.0)
+            for i in range(n)
+        )
+
+    while True:
+        base = utility_sum(ints)
+        nfev += 1
+        best_gain, best_job = 1e-12, -1
+        for i in range(n):
+            trial = ints.copy()
+            trial[i] += 1
+            if trial[i] > problem.max_replicas[i] or not problem.is_feasible(trial):
+                continue
+            nfev += 1
+            gain = utility_sum(trial) - base
+            if gain > best_gain:
+                best_gain, best_job = gain, i
+        if best_job < 0:
+            break
+        ints[best_job] += 1
+
+    for _ in range(50 * n):
+        base = problem.evaluate(ints, drops)
+        nfev += 1
+        best_gain, best_move = 1e-12, None
+        moves: list[np.ndarray] = []
+        for i in range(n):
+            add = ints.copy()
+            add[i] += 1
+            if add[i] <= problem.max_replicas[i] and problem.is_feasible(add):
+                moves.append(add)
+            sub = ints.copy()
+            sub[i] -= 1
+            if sub[i] >= problem.jobs[i].min_replicas:
+                moves.append(sub)
+            for j in range(n):
+                if j == i:
+                    continue
+                transfer = ints.copy()
+                transfer[i] -= 1
+                transfer[j] += 1
+                if (
+                    transfer[i] >= problem.jobs[i].min_replicas
+                    and transfer[j] <= problem.max_replicas[j]
+                    and problem.is_feasible(transfer)
+                ):
+                    moves.append(transfer)
+        for trial in moves:
+            nfev += 1
+            gain = problem.evaluate(trial, drops) - base
+            if gain > best_gain:
+                best_gain, best_move = gain, trial
+        if best_move is None:
+            break
+        ints = best_move
+    return ints.astype(float), problem.evaluate(ints, drops), nfev
+
+
+def solve_allocation(
+    problem: AllocationProblem,
+    method: str = "cobyla",
+    x0: np.ndarray | None = None,
+    maxiter: int = 1000,
+    seed: int | None = None,
+) -> Allocation:
+    """Solve the cluster optimization and return an integer allocation.
+
+    ``method`` is one of ``"cobyla"`` (paper default), ``"slsqp"``, ``"de"``
+    (differential evolution) or ``"greedy"`` (integer hill climbing).  The
+    continuous solution is post-processed into a feasible integer allocation
+    and, for penalty objectives, per-job drop rates are refined on a grid.
+    """
+    method = method.lower()
+    started = time.perf_counter()
+    if x0 is None:
+        x0 = _default_start(problem)
+    if method in ("cobyla", "slsqp"):
+        z, solver_value, nfev = _solve_scipy(problem, method, x0, maxiter)
+    elif method == "de":
+        z, solver_value, nfev = _solve_de(problem, maxiter, seed)
+    elif method == "greedy":
+        z, solver_value, nfev = _solve_greedy(problem)
+        z = np.concatenate([z, np.zeros(problem.num_jobs)]) if problem.objective.uses_drops else z
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    replicas_cont, _ = _split_vars(problem, z)
+    replicas = _round_allocation(problem, replicas_cont)
+    drops = _optimize_drops(problem, replicas)
+    value = problem.evaluate(replicas, drops)
+    return Allocation(
+        replicas=replicas,
+        drops=drops,
+        objective_value=value,
+        solver_value=solver_value,
+        solve_time=time.perf_counter() - started,
+        nfev=nfev,
+        method=method,
+    )

@@ -1,0 +1,101 @@
+"""Drop-request penalty and effective utility (paper §3.2, Table 5, Eq. 2).
+
+When an overloaded cluster must explicitly drop requests, dropping incurs a
+penalty modeled on cloud-provider SLA service credits (AWS/IBM style):
+
+=====================  =======================
+Availability           Service credit (penalty)
+=====================  =======================
+>= 99.0%               0%
+[95.0%, 99.0%)         25%
+[90.0%, 95.0%)         50%
+< 90.0%                100%
+=====================  =======================
+
+With drop rate ``d``, availability is ``1 - d`` and the *effective utility*
+of a job is ``EU = phi(d) * U`` where ``phi(d) = 1 - penalty(1 - d)``
+(Eq. 2).  The step-shaped credit table creates plateaus, so Faro relaxes it
+into a piecewise-linear function for optimization (§3.4).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PENALTY_BRACKETS",
+    "service_credit",
+    "penalty_multiplier",
+    "penalty_multiplier_relaxed",
+    "effective_utility",
+]
+
+# (availability lower bound, credit) rows of Table 5, highest bracket first.
+PENALTY_BRACKETS: tuple[tuple[float, float], ...] = (
+    (0.99, 0.00),
+    (0.95, 0.25),
+    (0.90, 0.50),
+    (0.00, 1.00),
+)
+
+# Piecewise-linear relaxation knots: (availability, credit), ascending
+# availability.  Chosen so the relaxed curve passes through the bracket
+# boundaries of Table 5 and is monotone non-increasing in availability.
+_RELAXED_KNOTS: tuple[tuple[float, float], ...] = (
+    (0.00, 1.00),
+    (0.90, 0.50),
+    (0.95, 0.25),
+    (0.99, 0.00),
+    (1.00, 0.00),
+)
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def service_credit(availability: float) -> float:
+    """Step service-credit (penalty) fraction for a given availability."""
+    _check_fraction("availability", availability)
+    for lower_bound, credit in PENALTY_BRACKETS:
+        if availability >= lower_bound:
+            return credit
+    return 1.0
+
+
+def penalty_multiplier(drop_rate: float) -> float:
+    """``phi(d) = 1 - penalty(availability = 1 - d)`` using the step table."""
+    _check_fraction("drop rate", drop_rate)
+    return 1.0 - service_credit(1.0 - drop_rate)
+
+
+def penalty_multiplier_relaxed(drop_rate: float) -> float:
+    """Plateau-free ``phi(d)`` using the piecewise-linear relaxed credit curve.
+
+    Matches the step table at bracket boundaries and interpolates linearly in
+    between, which keeps the cluster objective differentiable almost
+    everywhere (paper §3.4).
+    """
+    _check_fraction("drop rate", drop_rate)
+    availability = 1.0 - drop_rate
+    knots = _RELAXED_KNOTS
+    if availability <= knots[0][0]:
+        return 1.0 - knots[0][1]
+    for (a_lo, c_lo), (a_hi, c_hi) in zip(knots, knots[1:]):
+        if availability <= a_hi:
+            span = a_hi - a_lo
+            frac = 0.0 if span == 0.0 else (availability - a_lo) / span
+            credit = c_lo + frac * (c_hi - c_lo)
+            return 1.0 - credit
+    return 1.0 - knots[-1][1]
+
+
+def effective_utility(utility: float, drop_rate: float, relaxed: bool = False) -> float:
+    """Effective utility ``EU = phi(d) * U`` (paper Eq. 2).
+
+    ``utility`` is the job's utility computed over *non-dropped* requests.
+    ``relaxed=True`` uses the piecewise-linear penalty multiplier.
+    """
+    if not 0.0 <= utility <= 1.0:
+        raise ValueError(f"utility must be in [0, 1], got {utility}")
+    phi = penalty_multiplier_relaxed(drop_rate) if relaxed else penalty_multiplier(drop_rate)
+    return phi * utility

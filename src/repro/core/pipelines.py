@@ -1,0 +1,115 @@
+"""Chained ML pipelines with SLO splitting (paper §7 "Heterogeneity").
+
+The paper notes Faro applies to ML pipelines that make chained calls to
+multiple models if the application SLO can be split into per-stage
+sub-SLOs -- e.g. proportionally to processing time ("for a chain with two
+model calls, if one model takes 2x the other, the SLO is split 66%-33%").
+
+This module implements that extension: a :class:`PipelineSpec` declares an
+ordered chain of models with one end-to-end SLO; :func:`split_pipeline`
+produces one :class:`~repro.cluster.job.InferenceJobSpec` per stage whose
+sub-SLO shares the end-to-end budget proportionally (optionally with
+explicit weights), so each stage can be autoscaled by Faro like any other
+job.  :func:`pipeline_latency` recombines per-stage latency estimates into
+an end-to-end estimate for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.job import InferenceJobSpec
+from repro.cluster.models import ModelProfile
+from repro.core.latency import LatencyModel
+from repro.core.utility import SLO
+
+__all__ = ["PipelineSpec", "split_pipeline", "pipeline_latency"]
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """An inference pipeline: an ordered chain of models, one overall SLO.
+
+    ``weights`` optionally overrides the proportional split (must match the
+    number of stages; normalized internally).  Every request flows through
+    every stage, so all stages see the pipeline's arrival rate.
+    """
+
+    name: str
+    stages: tuple[ModelProfile, ...]
+    slo: SLO
+    weights: tuple[float, ...] | None = None
+    priority: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("pipeline needs at least one stage")
+        if self.weights is not None:
+            if len(self.weights) != len(self.stages):
+                raise ValueError(
+                    f"got {len(self.weights)} weights for {len(self.stages)} stages"
+                )
+            if any(w <= 0 for w in self.weights):
+                raise ValueError("stage weights must be positive")
+
+    def stage_shares(self) -> list[float]:
+        """Fraction of the end-to-end SLO budget assigned to each stage."""
+        raw = (
+            list(self.weights)
+            if self.weights is not None
+            else [stage.proc_time for stage in self.stages]
+        )
+        total = sum(raw)
+        return [value / total for value in raw]
+
+
+def split_pipeline(pipeline: PipelineSpec, min_replicas: int = 1) -> list[InferenceJobSpec]:
+    """One autoscalable job per pipeline stage with a proportional sub-SLO.
+
+    Stage names are ``<pipeline>/stage<k>-<model>``; a two-model chain where
+    one model takes twice as long gets a 2/3-1/3 split of the SLO budget
+    (the paper's worked example).
+    """
+    shares = pipeline.stage_shares()
+    jobs = []
+    for index, (stage, share) in enumerate(zip(pipeline.stages, shares)):
+        sub_target = pipeline.slo.target * share
+        if sub_target <= stage.proc_time:
+            raise ValueError(
+                f"stage {index} of {pipeline.name!r} gets a {sub_target:.3f}s "
+                f"sub-SLO below its {stage.proc_time:.3f}s processing time; "
+                "the end-to-end SLO is infeasible for this chain"
+            )
+        jobs.append(
+            InferenceJobSpec(
+                name=f"{pipeline.name}/stage{index}-{stage.name}",
+                model=stage,
+                slo=SLO(target=sub_target, percentile=pipeline.slo.percentile),
+                priority=pipeline.priority,
+                min_replicas=min_replicas,
+            )
+        )
+    return jobs
+
+
+def pipeline_latency(
+    pipeline: PipelineSpec,
+    model: LatencyModel,
+    lam: float,
+    replicas: list[int],
+) -> float:
+    """End-to-end latency estimate: sum of per-stage percentile estimates.
+
+    Summing per-stage percentiles is conservative (the true percentile of a
+    sum is below the sum of percentiles), consistent with Faro's pessimistic
+    estimation philosophy.
+    """
+    if len(replicas) != len(pipeline.stages):
+        raise ValueError(
+            f"got {len(replicas)} replica counts for {len(pipeline.stages)} stages"
+        )
+    quantile = pipeline.slo.quantile
+    return sum(
+        model.estimate(quantile, lam, stage.proc_time, count)
+        for stage, count in zip(pipeline.stages, replicas)
+    )

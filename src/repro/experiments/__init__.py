@@ -1,0 +1,64 @@
+"""Experiment harness reproducing the paper's evaluation (§6).
+
+- :mod:`repro.experiments.scenarios` -- the paper's workload/cluster setups
+  (right-sized 36, slightly oversubscribed 32, heavily oversubscribed 16
+  replicas; 10-job Azure+Twitter mix; mixed ResNet18/34; large-scale).
+- :mod:`repro.experiments.policies` -- policy factory covering all Faro
+  variants and all baselines, with shared trained predictors.
+- :mod:`repro.experiments.runner` -- multi-trial execution + aggregation.
+- :mod:`repro.experiments.metrics` -- Kendall-tau ranking distance and
+  summary statistics.
+- :mod:`repro.experiments.report` -- paper-vs-measured table formatting.
+- :mod:`repro.experiments.ablation` -- the Fig. 16 component stack.
+- :mod:`repro.experiments.sweeps` -- design-knob sweeps (rho_max, alpha,
+  control period, prediction window, cold start, predictor choice).
+- :mod:`repro.experiments.plotting` -- ASCII charts for terminal reports.
+"""
+
+from repro.experiments.scenarios import (
+    CLUSTER_SIZES,
+    Scenario,
+    large_scale_scenario,
+    mixed_model_scenario,
+    paper_scenario,
+)
+from repro.experiments.policies import (
+    ALL_BASELINES,
+    ALL_FARO_VARIANTS,
+    make_policy,
+)
+from repro.experiments.runner import TrialStats, compare_policies, run_trials
+from repro.experiments.metrics import kendall_tau_distance, rank_policies
+from repro.experiments.report import format_table, paper_comparison_table
+from repro.experiments.sweeps import (
+    SweepResult,
+    sweep_cold_start,
+    sweep_faro_config,
+    sweep_predictor,
+)
+from repro.experiments.plotting import ascii_bars, ascii_boxplot, ascii_timeline
+
+__all__ = [
+    "Scenario",
+    "CLUSTER_SIZES",
+    "paper_scenario",
+    "mixed_model_scenario",
+    "large_scale_scenario",
+    "make_policy",
+    "ALL_BASELINES",
+    "ALL_FARO_VARIANTS",
+    "run_trials",
+    "compare_policies",
+    "TrialStats",
+    "kendall_tau_distance",
+    "rank_policies",
+    "format_table",
+    "paper_comparison_table",
+    "SweepResult",
+    "sweep_faro_config",
+    "sweep_cold_start",
+    "sweep_predictor",
+    "ascii_timeline",
+    "ascii_bars",
+    "ascii_boxplot",
+]

@@ -1,0 +1,42 @@
+"""Experiment-level metrics: rankings and their agreement.
+
+The paper compares its matched simulator against the cluster deployment by
+ranking all nine policies on lost utility and computing the Kendall-tau
+distance between the rankings (Table 7): 0 means identical order, 1 means
+fully reversed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["kendall_tau_distance", "rank_policies"]
+
+
+def kendall_tau_distance(order_a: Sequence, order_b: Sequence) -> float:
+    """Normalized Kendall-tau distance between two rankings of the same items.
+
+    Counts discordant pairs / total pairs: 0.0 for identical rankings,
+    1.0 for exact reversal.
+    """
+    items_a, items_b = list(order_a), list(order_b)
+    if sorted(map(str, items_a)) != sorted(map(str, items_b)):
+        raise ValueError("rankings must contain the same items")
+    n = len(items_a)
+    if n < 2:
+        return 0.0
+    position_b = {str(item): index for index, item in enumerate(items_b)}
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            if position_b[str(items_a[i])] > position_b[str(items_a[j])]:
+                discordant += 1
+    return discordant / (n * (n - 1) / 2)
+
+
+def rank_policies(scores: dict[str, float], ascending: bool = True) -> list[str]:
+    """Policies ranked by score (ascending = lower is better, e.g. lost utility)."""
+    ordered = sorted(scores.items(), key=lambda kv: kv[1], reverse=not ascending)
+    return [name for name, _ in ordered]

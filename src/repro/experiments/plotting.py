@@ -1,0 +1,156 @@
+"""Terminal-friendly ASCII charts for experiment reports.
+
+The benches and CLI run in environments without display servers, so the
+figures the paper renders with matplotlib are reproduced as ASCII: line
+charts for timelines (Fig. 11-style), horizontal bars for policy
+comparisons (Fig. 10-style) and five-number boxplots for fairness spreads
+(Fig. 12-style).  All functions return plain strings; nothing is printed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ascii_timeline", "ascii_bars", "ascii_boxplot"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    """Map ``value`` in [lo, hi] to an integer cell in [0, steps - 1]."""
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(int(frac * steps), steps - 1)
+
+
+def ascii_timeline(
+    series: dict[str, np.ndarray],
+    width: int = 72,
+    height: int = 14,
+    title: str = "",
+) -> str:
+    """Multi-series line chart; x is the sample index, y auto-scales.
+
+    Each series gets a marker from ``*o+x#@%&`` (cycled); the legend maps
+    markers back to names.  Series are downsampled by bucket-averaging to
+    ``width`` columns.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 8 or height < 3:
+        raise ValueError(f"chart too small: width={width}, height={height}")
+    arrays = {}
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError(f"series {name!r} must be a non-empty 1-D array")
+        arrays[name] = arr
+    finite = np.concatenate([a[np.isfinite(a)] for a in arrays.values()])
+    if finite.size == 0:
+        raise ValueError("all series values are non-finite")
+    lo, hi = float(np.min(finite)), float(np.max(finite))
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, arr) in enumerate(arrays.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        # Bucket-average the series into `width` columns.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        for col in range(width):
+            chunk = arr[edges[col] : max(edges[col + 1], edges[col] + 1)]
+            chunk = chunk[np.isfinite(chunk)]
+            if chunk.size == 0:
+                continue
+            row = height - 1 - _scale(float(np.mean(chunk)), lo, hi, height)
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{lo:10.3g} +" + "-" * width)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(arrays)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: list[str],
+    values: list[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label, bars scaled to ``width``."""
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels for {len(values)} values")
+    if not labels:
+        raise ValueError("at least one bar is required")
+    if width < 4:
+        raise ValueError(f"width must be >= 4, got {width}")
+    if any(v < 0 or not math.isfinite(v) for v in values):
+        raise ValueError("bar values must be finite and non-negative")
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(value / peak * width)), 1 if value > 0 else 0)
+        lines.append(f"{label:>{label_width}} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_boxplot(
+    groups: dict[str, np.ndarray],
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Five-number-summary boxplots on a shared scale.
+
+    Rendered as ``|---[  =  ]---|`` (whiskers at min/max, box at the
+    quartiles, ``=`` at the median), one row per group -- the ASCII
+    analogue of the paper's Fig. 12 fairness boxplots.
+    """
+    if not groups:
+        raise ValueError("at least one group is required")
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    summaries = {}
+    for name, values in groups.items():
+        arr = np.asarray(values, dtype=float)
+        arr = arr[np.isfinite(arr)]
+        if arr.size == 0:
+            raise ValueError(f"group {name!r} has no finite values")
+        summaries[name] = np.percentile(arr, [0, 25, 50, 75, 100])
+    lo = min(s[0] for s in summaries.values())
+    hi = max(s[-1] for s in summaries.values())
+    if hi == lo:
+        hi = lo + 1.0
+    label_width = max(len(name) for name in summaries)
+    lines = [title] if title else []
+    lines.append(
+        " " * (label_width + 1) + f"{lo:<10.3g}" + " " * max(width - 20, 0) + f"{hi:>10.3g}"
+    )
+    for name, (mn, q1, med, q3, mx) in summaries.items():
+        row = [" "] * width
+        c_mn = _scale(mn, lo, hi, width)
+        c_q1 = _scale(q1, lo, hi, width)
+        c_med = _scale(med, lo, hi, width)
+        c_q3 = _scale(q3, lo, hi, width)
+        c_mx = _scale(mx, lo, hi, width)
+        for col in range(c_mn, c_mx + 1):
+            row[col] = "-"
+        for col in range(c_q1, c_q3 + 1):
+            row[col] = " "
+        row[c_mn] = "|"
+        row[c_mx] = "|"
+        row[c_q1] = "["
+        row[c_q3] = "]"
+        row[c_med] = "="
+        lines.append(f"{name:>{label_width}} {''.join(row)}")
+    return "\n".join(lines)

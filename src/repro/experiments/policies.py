@@ -1,0 +1,195 @@
+"""Policy factory for experiments.
+
+Builds any Faro variant or baseline for a given scenario.  Predictor
+training is the expensive part (one probabilistic N-HiTS per job), so
+trained forecasters are cached per (scenario, profile) and shared across
+policies -- each policy still gets its own sampling RNG for determinism.
+
+Policy names:
+
+- Faro variants: ``faro-sum``, ``faro-fair``, ``faro-fairsum``,
+  ``faro-penaltysum``, ``faro-penaltyfairsum`` (all hybrid: long-term
+  predictive + short-term reactive).
+- Baselines: ``fairshare``, ``oneshot``, ``aiad``, ``mark``, ``cilantro``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import (
+    AIADPolicy,
+    CilantroLikePolicy,
+    FairSharePolicy,
+    MarkPolicy,
+    OneshotPolicy,
+)
+from repro.core.autoscaler import FaroAutoscaler, FaroConfig, JobSpec
+from repro.core.hybrid import HybridAutoscaler, ReactiveConfig
+from repro.core.optimizer import ClusterCapacity
+from repro.experiments.scenarios import Scenario
+from repro.forecast.nhits import NHiTSConfig, NHiTSForecaster
+from repro.forecast.predictor import ForecastWorkloadPredictor
+from repro.policy import AutoscalePolicy
+
+__all__ = [
+    "ALL_FARO_VARIANTS",
+    "ALL_BASELINES",
+    "PredictorProfile",
+    "train_predictors",
+    "make_policy",
+]
+
+ALL_FARO_VARIANTS = (
+    "faro-sum",
+    "faro-fair",
+    "faro-fairsum",
+    "faro-penaltysum",
+    "faro-penaltyfairsum",
+)
+ALL_BASELINES = ("fairshare", "oneshot", "aiad", "mark", "cilantro")
+
+
+@dataclass(frozen=True)
+class PredictorProfile:
+    """Training budget for per-job N-HiTS predictors.
+
+    The 'fast' profile keeps bench suites quick; 'paper' approaches the
+    paper's <10-minute training budget.
+    """
+
+    epochs: int = 6
+    max_windows: int = 1024
+    input_size: int = 16
+    horizon: int = 8
+    hidden: int = 48
+
+    @classmethod
+    def fast(cls) -> "PredictorProfile":
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "PredictorProfile":
+        return cls(epochs=20, max_windows=4096, hidden=64)
+
+
+_PREDICTOR_CACHE: dict[tuple, dict[str, NHiTSForecaster]] = {}
+
+
+def train_predictors(
+    scenario: Scenario, profile: PredictorProfile | None = None, seed: int = 0
+) -> dict[str, NHiTSForecaster]:
+    """Train (or fetch cached) probabilistic N-HiTS forecasters per job.
+
+    Models are trained on each job's training days in requests/minute units;
+    the returned forecasters are shared -- wrap them in
+    :class:`ForecastWorkloadPredictor` per policy.
+    """
+    profile = profile or PredictorProfile.fast()
+    key = (scenario.name, profile, seed)
+    if key in _PREDICTOR_CACHE:
+        return _PREDICTOR_CACHE[key]
+    forecasters: dict[str, NHiTSForecaster] = {}
+    for index, name in enumerate(scenario.job_names):
+        config = NHiTSConfig(
+            input_size=profile.input_size,
+            horizon=profile.horizon,
+            hidden=profile.hidden,
+            epochs=profile.epochs,
+            max_windows=profile.max_windows,
+            probabilistic=True,
+            loss="nll",
+            seed=seed + index,
+        )
+        forecaster = NHiTSForecaster(config)
+        forecaster.fit(scenario.train_traces[name])
+        forecasters[name] = forecaster
+    _PREDICTOR_CACHE[key] = forecasters
+    return forecasters
+
+
+def _faro_policy(
+    scenario: Scenario,
+    objective: str,
+    seed: int,
+    profile: PredictorProfile | None,
+    config_overrides: dict | None = None,
+    hybrid: bool = True,
+    use_trained_predictor: bool = True,
+) -> AutoscalePolicy:
+    specs = [
+        JobSpec(
+            name=job.name,
+            slo=job.slo,
+            proc_time=job.model.proc_time,
+            priority=job.priority,
+            cpu_per_replica=job.model.cpu_per_replica,
+            mem_per_replica=job.model.mem_per_replica,
+            min_replicas=job.min_replicas,
+        )
+        for job in scenario.jobs
+    ]
+    overrides = dict(config_overrides or {})
+    overrides.setdefault("objective", objective)
+    overrides.setdefault("seed", seed)
+    config = FaroConfig(**overrides)
+    predictors = {}
+    if use_trained_predictor:
+        forecasters = train_predictors(scenario, profile, seed=0)
+        predictors = {
+            # Forecasters are trained on requests/minute; the controller's
+            # histories are requests/second.
+            name: ForecastWorkloadPredictor(f, history_scale=60.0, seed=seed + i)
+            for i, (name, f) in enumerate(forecasters.items())
+        }
+    capacity = ClusterCapacity.of_replicas(scenario.total_replicas)
+    faro = FaroAutoscaler(specs, capacity, config=config, predictors=predictors)
+    if not hybrid:
+        faro.tick_interval = 10.0  # still polled frequently; solves on period
+        return faro
+    return HybridAutoscaler(
+        faro, ReactiveConfig(), capacity_replicas=scenario.total_replicas
+    )
+
+
+def make_policy(
+    name: str,
+    scenario: Scenario,
+    seed: int = 0,
+    predictor_profile: PredictorProfile | None = None,
+    faro_overrides: dict | None = None,
+) -> AutoscalePolicy:
+    """Instantiate a policy by name for a scenario."""
+    key = name.lower()
+    if key.startswith("faro"):
+        objective = key.replace("faro-", "") or "fairsum"
+        return _faro_policy(
+            scenario, objective, seed, predictor_profile, faro_overrides
+        )
+    if key == "fairshare":
+        return FairSharePolicy(total_replicas=scenario.total_replicas)
+    if key == "oneshot":
+        return OneshotPolicy(slos=scenario.slos)
+    if key == "aiad":
+        return AIADPolicy(slos=scenario.slos)
+    if key == "mark":
+        forecasters = train_predictors(scenario, predictor_profile, seed=0)
+        predictors = {
+            n: ForecastWorkloadPredictor(f, history_scale=60.0, seed=seed + 71 + i)
+            for i, (n, f) in enumerate(forecasters.items())
+        }
+        return MarkPolicy(
+            proc_times=scenario.proc_times,
+            slos=scenario.slos,
+            predictors=predictors,
+        )
+    if key == "cilantro":
+        return CilantroLikePolicy(
+            proc_times=scenario.proc_times,
+            slos=scenario.slos,
+            total_replicas=scenario.total_replicas,
+            seed=seed,
+        )
+    raise ValueError(f"unknown policy {name!r}")

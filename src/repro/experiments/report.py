@@ -1,0 +1,53 @@
+"""Paper-vs-measured reporting helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "paper_comparison_table", "ratio"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Plain-text table with column alignment (for bench stdout and files)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in str_rows)) if str_rows else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def ratio(baseline: float, faro: float) -> float:
+    """Improvement factor baseline/faro (the paper's "NxM lower" numbers)."""
+    if faro <= 0:
+        return float("inf")
+    return baseline / faro
+
+
+def paper_comparison_table(
+    experiment: str,
+    rows: Sequence[tuple[str, float | str, float | str]],
+    note: str = "",
+) -> str:
+    """Three-column paper-vs-measured table used across the benchmarks."""
+    table = format_table(
+        ["metric", "paper", "measured"],
+        rows,
+        title=f"== {experiment} ==",
+    )
+    if note:
+        table += f"\nnote: {note}"
+    return table

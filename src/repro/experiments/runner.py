@@ -1,0 +1,125 @@
+"""Multi-trial experiment execution and aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.kubernetes import ResourceQuota
+from repro.experiments.policies import PredictorProfile, make_policy
+from repro.experiments.scenarios import Scenario
+from repro.sim.analytic import FlowSimulation
+from repro.sim.recorder import SimulationResult
+from repro.sim.simulation import Simulation, SimulationConfig
+
+__all__ = ["TrialStats", "run_trials", "compare_policies"]
+
+
+@dataclass
+class TrialStats:
+    """Mean/SD of the headline metrics over trials for one policy."""
+
+    policy: str
+    lost_utility_mean: float
+    lost_utility_sd: float
+    lost_effective_mean: float
+    lost_effective_sd: float
+    violation_rate_mean: float
+    violation_rate_sd: float
+    results: list[SimulationResult] = field(default_factory=list)
+
+    @classmethod
+    def from_results(cls, policy: str, results: list[SimulationResult]) -> "TrialStats":
+        lost = np.array([r.avg_lost_cluster_utility for r in results])
+        lost_eff = np.array([r.avg_lost_effective_utility for r in results])
+        viol = np.array([r.cluster_slo_violation_rate for r in results])
+        return cls(
+            policy=policy,
+            lost_utility_mean=float(lost.mean()),
+            lost_utility_sd=float(lost.std()),
+            lost_effective_mean=float(lost_eff.mean()),
+            lost_effective_sd=float(lost_eff.std()),
+            violation_rate_mean=float(viol.mean()),
+            violation_rate_sd=float(viol.std()),
+            results=results,
+        )
+
+
+def run_trials(
+    scenario: Scenario,
+    policy_name: str,
+    trials: int = 1,
+    simulator: str = "request",
+    seed: int = 0,
+    predictor_profile: PredictorProfile | None = None,
+    faro_overrides: dict | None = None,
+    policy_factory=None,
+    sim_overrides: dict | None = None,
+) -> TrialStats:
+    """Run one policy for several trials and aggregate its metrics.
+
+    ``simulator`` selects the request-level simulator (the "cluster" proxy)
+    or the analytic flow simulator ("flow").  ``policy_factory`` overrides
+    policy construction (used by the ablation study); it receives
+    ``(scenario, seed)``.  ``sim_overrides`` passes extra
+    :class:`SimulationConfig` fields (e.g. ``cold_start_range``, ``faults``)
+    through to each trial.
+    """
+    if simulator not in ("request", "flow"):
+        raise ValueError(f"unknown simulator {simulator!r}")
+    results = []
+    for trial in range(trials):
+        trial_seed = seed + 1000 * trial
+        if policy_factory is not None:
+            policy = policy_factory(scenario, trial_seed)
+        else:
+            policy = make_policy(
+                policy_name,
+                scenario,
+                seed=trial_seed,
+                predictor_profile=predictor_profile,
+                faro_overrides=faro_overrides,
+            )
+        config = SimulationConfig(
+            duration_minutes=scenario.duration_minutes,
+            rate_scale=scenario.rate_scale,
+            seed=trial_seed,
+            **(sim_overrides or {}),
+        )
+        quota = ResourceQuota.of_replicas(scenario.total_replicas)
+        sim_cls = Simulation if simulator == "request" else FlowSimulation
+        simulation = sim_cls(
+            scenario.jobs,
+            scenario.eval_traces,
+            policy,
+            quota,
+            config=config,
+            history_prefix=scenario.history_prefix or None,
+        )
+        result = simulation.run()
+        result.policy_name = getattr(policy, "name", policy_name)
+        results.append(result)
+    return TrialStats.from_results(policy_name, results)
+
+
+def compare_policies(
+    scenario: Scenario,
+    policy_names: list[str],
+    trials: int = 1,
+    simulator: str = "request",
+    seed: int = 0,
+    predictor_profile: PredictorProfile | None = None,
+) -> dict[str, TrialStats]:
+    """Run several policies on the same scenario; returns stats per policy."""
+    return {
+        name: run_trials(
+            scenario,
+            name,
+            trials=trials,
+            simulator=simulator,
+            seed=seed,
+            predictor_profile=predictor_profile,
+        )
+        for name in policy_names
+    }

@@ -1,0 +1,61 @@
+"""Time-series workload prediction (paper §3.5).
+
+Faro predicts each job's future arrival rates with a probabilistic
+N-HiTS-style model: instead of a single trajectory, the model outputs a
+Gaussian distribution per horizon step, from which the autoscaler draws
+sample paths that cover workload fluctuation (Fig. 8c).
+
+Contents:
+
+- :mod:`repro.forecast.base` -- the :class:`Forecaster` interface + scaling.
+- :mod:`repro.forecast.nhits` -- N-HiTS-lite (multi-rate pooling,
+  hierarchical linear interpolation, residual stacks) with point (MSE/MAE)
+  and probabilistic (Gaussian NLL) training.
+- :mod:`repro.forecast.lstm` -- LSTM and DeepAR-lite comparison models
+  (§3.5.1).
+- :mod:`repro.forecast.baselines` -- naive / seasonal-naive / EWMA / AR /
+  ARMA classical baselines (the ARMA also backs the Cilantro comparator).
+- :mod:`repro.forecast.prophet_lite` -- Prophet-style trend + Fourier
+  daily seasonality (Barista's predictor family, §3.5.1).
+- :mod:`repro.forecast.predictor` -- adapters implementing the autoscaler's
+  ``WorkloadPredictor`` protocol (trained-model, oracle, persistence).
+- :mod:`repro.forecast.metrics` -- RMSE / MAE / coverage metrics.
+"""
+
+from repro.forecast.base import Forecaster, StandardScaler
+from repro.forecast.baselines import (
+    ARForecaster,
+    ARMAForecaster,
+    EWMAForecaster,
+    NaiveForecaster,
+    SeasonalNaiveForecaster,
+)
+from repro.forecast.lstm import DeepARLiteForecaster, LSTMForecaster
+from repro.forecast.metrics import coverage, mae, rmse
+from repro.forecast.nhits import NHiTSConfig, NHiTSForecaster
+from repro.forecast.prophet_lite import ProphetLiteConfig, ProphetLiteForecaster
+from repro.forecast.predictor import (
+    ForecastWorkloadPredictor,
+    OracleWorkloadPredictor,
+)
+
+__all__ = [
+    "Forecaster",
+    "StandardScaler",
+    "NaiveForecaster",
+    "SeasonalNaiveForecaster",
+    "EWMAForecaster",
+    "ARForecaster",
+    "ARMAForecaster",
+    "NHiTSConfig",
+    "NHiTSForecaster",
+    "ProphetLiteConfig",
+    "ProphetLiteForecaster",
+    "LSTMForecaster",
+    "DeepARLiteForecaster",
+    "ForecastWorkloadPredictor",
+    "OracleWorkloadPredictor",
+    "rmse",
+    "mae",
+    "coverage",
+]

@@ -1,0 +1,279 @@
+"""Classical forecasting baselines.
+
+These serve three purposes: (i) sanity baselines in forecaster tests,
+(ii) the ARMA model inside the Cilantro comparator (paper §2 hypothesizes
+its ARMA workload model is a key reason Cilantro adapts slowly), and
+(iii) ablation predictors for the autoscaler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecast.base import Forecaster, sliding_windows
+
+__all__ = [
+    "NaiveForecaster",
+    "SeasonalNaiveForecaster",
+    "EWMAForecaster",
+    "ARForecaster",
+    "ARMAForecaster",
+]
+
+
+class NaiveForecaster(Forecaster):
+    """Repeats the last observed value."""
+
+    def fit(self, series: np.ndarray) -> "NaiveForecaster":
+        series = np.asarray(series, dtype=float)
+        if series.size >= 2:
+            self.residual_std = float(np.std(np.diff(series)))
+        return self
+
+    def predict(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        history = np.asarray(history, dtype=float)
+        last = history[-1] if history.size else 0.0
+        return np.full(horizon, last)
+
+
+class SeasonalNaiveForecaster(Forecaster):
+    """Repeats the value one season (``period``) ago."""
+
+    def __init__(self, period: int) -> None:
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.period = period
+
+    def fit(self, series: np.ndarray) -> "SeasonalNaiveForecaster":
+        series = np.asarray(series, dtype=float)
+        if series.size > self.period:
+            diffs = series[self.period :] - series[: -self.period]
+            self.residual_std = float(np.std(diffs))
+        return self
+
+    def predict(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        history = np.asarray(history, dtype=float)
+        if history.size == 0:
+            return np.zeros(horizon)
+        out = np.empty(horizon)
+        for h in range(horizon):
+            index = history.size - self.period + (h % self.period)
+            out[h] = history[index] if 0 <= index < history.size else history[-1]
+        return out
+
+
+class EWMAForecaster(Forecaster):
+    """Exponentially weighted moving average, forecast held constant."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+
+    def fit(self, series: np.ndarray) -> "EWMAForecaster":
+        series = np.asarray(series, dtype=float)
+        if series.size >= 2:
+            level = series[0]
+            errors = []
+            for value in series[1:]:
+                errors.append(value - level)
+                level = self.alpha * value + (1 - self.alpha) * level
+            self.residual_std = float(np.std(errors))
+        return self
+
+    def predict(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        history = np.asarray(history, dtype=float)
+        if history.size == 0:
+            return np.zeros(horizon)
+        level = history[0]
+        for value in history[1:]:
+            level = self.alpha * value + (1 - self.alpha) * level
+        return np.full(horizon, level)
+
+
+class ARForecaster(Forecaster):
+    """Autoregressive model AR(p) fit by ordinary least squares."""
+
+    def __init__(self, order: int = 8, ridge: float = 1e-6) -> None:
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self.order = order
+        self.ridge = ridge
+        self.coef: np.ndarray | None = None
+        self.intercept = 0.0
+        self._residuals: np.ndarray = np.zeros(0)
+
+    def fit(self, series: np.ndarray) -> "ARForecaster":
+        series = np.asarray(series, dtype=float)
+        if series.size <= self.order + 1:
+            raise ValueError(
+                f"series length {series.size} too short for AR({self.order})"
+            )
+        lags, targets = sliding_windows(series, self.order, 1)
+        targets = targets[:, 0]
+        design = np.hstack([lags, np.ones((lags.shape[0], 1))])
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        solution = np.linalg.solve(gram, design.T @ targets)
+        self.coef = solution[:-1]
+        self.intercept = float(solution[-1])
+        fitted = design @ solution
+        residuals = targets - fitted
+        self._residuals = residuals
+        self.residual_std = float(np.std(residuals))
+        return self
+
+    def _one_step(self, window: np.ndarray) -> float:
+        assert self.coef is not None
+        return float(window @ self.coef + self.intercept)
+
+    def predict(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        if self.coef is None:
+            raise RuntimeError("forecaster is not fitted")
+        history = np.asarray(history, dtype=float)
+        if history.size < self.order:
+            pad_value = history[0] if history.size else 0.0
+            history = np.concatenate(
+                [np.full(self.order - history.size, pad_value), history]
+            )
+        window = history[-self.order :].copy()
+        out = np.empty(horizon)
+        for h in range(horizon):
+            value = self._one_step(window)
+            out[h] = value
+            window = np.roll(window, -1)
+            window[-1] = value
+        return out
+
+    def sample_paths(
+        self,
+        history: np.ndarray,
+        horizon: int,
+        num_samples: int,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Recursive simulation with bootstrapped residual innovations."""
+        if self.coef is None:
+            raise RuntimeError("forecaster is not fitted")
+        rng = rng or np.random.default_rng(0)
+        history = np.asarray(history, dtype=float)
+        if history.size < self.order:
+            pad_value = history[0] if history.size else 0.0
+            history = np.concatenate(
+                [np.full(self.order - history.size, pad_value), history]
+            )
+        residual_pool = self._residuals if self._residuals.size else np.zeros(1)
+        paths = np.empty((num_samples, horizon))
+        for s in range(num_samples):
+            window = history[-self.order :].copy()
+            for h in range(horizon):
+                shock = float(rng.choice(residual_pool))
+                value = max(self._one_step(window) + shock, 0.0)
+                paths[s, h] = value
+                window = np.roll(window, -1)
+                window[-1] = value
+        return paths
+
+
+class ARMAForecaster(Forecaster):
+    """ARMA(p, q) via the two-stage Hannan-Rissanen procedure.
+
+    Stage 1 fits a long AR model to estimate innovations; stage 2 regresses
+    the series on its own lags and the estimated innovation lags.  This is
+    the classical lightweight ARMA fit (no MLE iteration), matching the
+    online re-fitting style the Cilantro comparator uses.
+    """
+
+    def __init__(self, ar_order: int = 4, ma_order: int = 2, ridge: float = 1e-6) -> None:
+        if ar_order < 1 or ma_order < 0:
+            raise ValueError("ar_order must be >= 1 and ma_order >= 0")
+        self.ar_order = ar_order
+        self.ma_order = ma_order
+        self.ridge = ridge
+        self.ar_coef: np.ndarray | None = None
+        self.ma_coef: np.ndarray | None = None
+        self.intercept = 0.0
+        self._residuals: np.ndarray = np.zeros(0)
+
+    def fit(self, series: np.ndarray) -> "ARMAForecaster":
+        series = np.asarray(series, dtype=float)
+        long_order = max(self.ar_order + self.ma_order, 8)
+        if series.size <= long_order + self.ma_order + 2:
+            raise ValueError(f"series length {series.size} too short for ARMA fit")
+        stage1 = ARForecaster(order=long_order, ridge=self.ridge).fit(series)
+        innovations = np.concatenate([np.zeros(long_order), stage1._residuals])
+        p, q = self.ar_order, self.ma_order
+        start = max(p, q)
+        rows = series.size - start
+        design = np.empty((rows, p + q + 1))
+        targets = series[start:]
+        for i in range(rows):
+            t = start + i
+            design[i, :p] = series[t - p : t][::-1]
+            design[i, p : p + q] = innovations[t - q : t][::-1] if q else []
+            design[i, -1] = 1.0
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        solution = np.linalg.solve(gram, design.T @ targets)
+        self.ar_coef = solution[:p]
+        self.ma_coef = solution[p : p + q]
+        self.intercept = float(solution[-1])
+        fitted = design @ solution
+        residuals = targets - fitted
+        self._residuals = residuals
+        self.residual_std = float(np.std(residuals))
+        return self
+
+    def predict(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        if self.ar_coef is None:
+            raise RuntimeError("forecaster is not fitted")
+        history = np.asarray(history, dtype=float)
+        p, q = self.ar_order, self.ma_order
+        if history.size < p:
+            pad_value = history[0] if history.size else 0.0
+            history = np.concatenate([np.full(p - history.size, pad_value), history])
+        window = history[-p:].copy()
+        # Future innovations are unknown (expectation zero).
+        shocks = np.zeros(max(q, 1))
+        out = np.empty(horizon)
+        for h in range(horizon):
+            value = float(window[::-1] @ self.ar_coef + self.intercept)
+            if q:
+                value += float(shocks[:q][::-1] @ self.ma_coef)
+            out[h] = value
+            window = np.roll(window, -1)
+            window[-1] = value
+            shocks = np.roll(shocks, -1)
+            shocks[-1] = 0.0
+        return out
+
+    def sample_paths(
+        self,
+        history: np.ndarray,
+        horizon: int,
+        num_samples: int,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        if self.ar_coef is None:
+            raise RuntimeError("forecaster is not fitted")
+        rng = rng or np.random.default_rng(0)
+        history = np.asarray(history, dtype=float)
+        p, q = self.ar_order, self.ma_order
+        if history.size < p:
+            pad_value = history[0] if history.size else 0.0
+            history = np.concatenate([np.full(p - history.size, pad_value), history])
+        pool = self._residuals if self._residuals.size else np.zeros(1)
+        paths = np.empty((num_samples, horizon))
+        for s in range(num_samples):
+            window = history[-p:].copy()
+            shocks = np.zeros(max(q, 1))
+            for h in range(horizon):
+                shock = float(rng.choice(pool))
+                value = float(window[::-1] @ self.ar_coef + self.intercept)
+                if q:
+                    value += float(shocks[:q][::-1] @ self.ma_coef)
+                value = max(value + shock, 0.0)
+                paths[s, h] = value
+                window = np.roll(window, -1)
+                window[-1] = value
+                shocks = np.roll(shocks, -1)
+                shocks[-1] = shock
+        return paths

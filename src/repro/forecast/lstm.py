@@ -1,0 +1,173 @@
+"""LSTM and DeepAR-lite forecasters (paper §3.5.1 comparison models).
+
+The paper implemented LSTM (MArk-style) and DeepAR (Cocktail-style)
+predictors and found both slightly worse than N-HiTS on RMSE with 2-3x
+higher inference latency.  These small from-scratch versions follow the
+same design: an LSTM encodes the input window; a linear head decodes the
+full horizon at once.  ``DeepARLiteForecaster`` adds a Gaussian head
+(mu, sigma per step) trained with the negative log-likelihood, mirroring
+DeepAR's probabilistic output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autodiff import Adam, Linear, LSTMCell, Module, Tensor
+from repro.forecast.base import Forecaster, StandardScaler, sliding_windows
+
+__all__ = ["LSTMConfig", "LSTMForecaster", "DeepARLiteForecaster"]
+
+
+@dataclass(frozen=True)
+class LSTMConfig:
+    input_size: int = 16
+    horizon: int = 8
+    hidden: int = 32
+    epochs: int = 10
+    batch_size: int = 64
+    lr: float = 3e-3
+    max_windows: int = 2048
+    sigma_floor: float = 1e-3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_size < 1 or self.horizon < 1:
+            raise ValueError("input_size and horizon must be >= 1")
+
+
+class _LSTMNetwork(Module):
+    def __init__(self, config: LSTMConfig, probabilistic: bool, rng: np.random.Generator) -> None:
+        self.config = config
+        self.probabilistic = probabilistic
+        self.cell = LSTMCell(1, config.hidden, rng)
+        out = config.horizon * (2 if probabilistic else 1)
+        self.head = Linear(config.hidden, out, rng)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor | None]:
+        """``x`` is (batch, input_size); returns (mu, sigma|None) over horizon."""
+        state = None
+        for t in range(self.config.input_size):
+            step = x[:, t : t + 1]
+            h, c = self.cell(step, state)
+            state = (h, c)
+        assert state is not None
+        decoded = self.head(state[0])
+        horizon = self.config.horizon
+        mu = decoded[:, :horizon]
+        if not self.probabilistic:
+            return mu, None
+        sigma = decoded[:, horizon:].softplus() + self.config.sigma_floor
+        return mu, sigma
+
+
+class LSTMForecaster(Forecaster):
+    """Point LSTM forecaster trained with MSE."""
+
+    probabilistic = False
+
+    def __init__(self, config: LSTMConfig | None = None) -> None:
+        self.config = config or LSTMConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.network = _LSTMNetwork(self.config, self.probabilistic, self._rng)
+        self.scaler = StandardScaler()
+        self.loss_history: list[float] = []
+        self._fitted = False
+
+    def _loss(self, mu: Tensor, sigma: Tensor | None, target: Tensor) -> Tensor:
+        diff = mu - target
+        return (diff * diff).mean()
+
+    def fit(self, series: np.ndarray) -> "LSTMForecaster":
+        cfg = self.config
+        series = np.asarray(series, dtype=float)
+        self.scaler.fit(series)
+        normalized = self.scaler.transform(series)
+        inputs, targets = sliding_windows(normalized, cfg.input_size, cfg.horizon)
+        if inputs.shape[0] > cfg.max_windows:
+            keep = self._rng.choice(inputs.shape[0], size=cfg.max_windows, replace=False)
+            inputs, targets = inputs[keep], targets[keep]
+        optimizer = Adam(self.network.parameters(), lr=cfg.lr)
+        n = inputs.shape[0]
+        self.loss_history = []
+        for _ in range(cfg.epochs):
+            order = self._rng.permutation(n)
+            epoch_loss, batches = 0.0, 0
+            for start in range(0, n, cfg.batch_size):
+                index = order[start : start + cfg.batch_size]
+                mu, sigma = self.network(Tensor(inputs[index]))
+                loss = self._loss(mu, sigma, Tensor(targets[index]))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            self.loss_history.append(epoch_loss / max(batches, 1))
+        self._fitted = True
+        self._estimate_residual_std(series, cfg.input_size, cfg.horizon)
+        return self
+
+    def _prepare_history(self, history: np.ndarray) -> np.ndarray:
+        history = np.asarray(history, dtype=float)
+        size = self.config.input_size
+        if history.size < size:
+            pad_value = history[0] if history.size else self.scaler.mean
+            history = np.concatenate([np.full(size - history.size, pad_value), history])
+        return self.scaler.transform(history[-size:])
+
+    def _tile_horizon(self, values: np.ndarray, horizon: int) -> np.ndarray:
+        if horizon <= values.shape[0]:
+            return values[:horizon]
+        repeats = int(np.ceil(horizon / values.shape[0]))
+        return np.tile(values, repeats)[:horizon]
+
+    def _forward(self, history: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        if not self._fitted:
+            raise RuntimeError("forecaster is not fitted")
+        window = self._prepare_history(history)[None, :]
+        mu, sigma = self.network(Tensor(window))
+        return mu.numpy()[0], sigma.numpy()[0] if sigma is not None else None
+
+    def predict(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        mu, _ = self._forward(history)
+        return np.maximum(self._tile_horizon(self.scaler.inverse(mu), horizon), 0.0)
+
+
+class DeepARLiteForecaster(LSTMForecaster):
+    """Probabilistic LSTM with Gaussian head trained by NLL (DeepAR-style)."""
+
+    probabilistic = True
+
+    def _loss(self, mu: Tensor, sigma: Tensor | None, target: Tensor) -> Tensor:
+        assert sigma is not None
+        diff = mu - target
+        var = sigma * sigma
+        return (var.log() * 0.5 + (diff * diff) / (var * 2.0)).mean()
+
+    def fit(self, series: np.ndarray) -> "DeepARLiteForecaster":
+        super().fit(series)
+        return self
+
+    def predict_distribution(
+        self, history: np.ndarray, horizon: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        mu, sigma = self._forward(history)
+        assert sigma is not None
+        return (
+            self._tile_horizon(self.scaler.inverse(mu), horizon),
+            self._tile_horizon(sigma * self.scaler.std, horizon),
+        )
+
+    def sample_paths(
+        self,
+        history: np.ndarray,
+        horizon: int,
+        num_samples: int,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        rng = rng or np.random.default_rng(0)
+        mu, sigma = self.predict_distribution(history, horizon)
+        noise = rng.normal(size=(num_samples, horizon))
+        return np.maximum(mu[None, :] + noise * sigma[None, :], 0.0)

@@ -1,0 +1,53 @@
+"""Forecast quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse", "mae", "mape", "coverage"]
+
+
+def _pair(prediction, truth) -> tuple[np.ndarray, np.ndarray]:
+    prediction = np.asarray(prediction, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    if prediction.shape != truth.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {truth.shape}")
+    return prediction, truth
+
+
+def rmse(prediction, truth) -> float:
+    """Root-mean-square error."""
+    prediction, truth = _pair(prediction, truth)
+    return float(np.sqrt(np.mean((prediction - truth) ** 2)))
+
+
+def mae(prediction, truth) -> float:
+    """Mean absolute error."""
+    prediction, truth = _pair(prediction, truth)
+    return float(np.mean(np.abs(prediction - truth)))
+
+
+def mape(prediction, truth, eps: float = 1e-9) -> float:
+    """Mean absolute percentage error (safe near zero)."""
+    prediction, truth = _pair(prediction, truth)
+    return float(np.mean(np.abs(prediction - truth) / np.maximum(np.abs(truth), eps)))
+
+
+def coverage(samples: np.ndarray, truth: np.ndarray, lo: float = 10.0, hi: float = 90.0) -> float:
+    """Fraction of true values inside the [lo, hi] percentile band of samples.
+
+    ``samples`` has shape (num_samples, horizon); ``truth`` shape (horizon,).
+    A well-calibrated probabilistic forecaster has coverage close to
+    ``(hi - lo) / 100``; Faro's Fig. 8c argument is that the sampled band
+    covers the ground-truth fluctuation.
+    """
+    samples = np.asarray(samples, dtype=float)
+    truth = np.asarray(truth, dtype=float)
+    if samples.ndim != 2 or samples.shape[1] != truth.shape[0]:
+        raise ValueError(
+            f"samples shape {samples.shape} incompatible with truth {truth.shape}"
+        )
+    lower = np.percentile(samples, lo, axis=0)
+    upper = np.percentile(samples, hi, axis=0)
+    inside = (truth >= lower) & (truth <= upper)
+    return float(inside.mean())

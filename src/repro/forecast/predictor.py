@@ -1,0 +1,91 @@
+"""Adapters from forecasters to the autoscaler's WorkloadPredictor protocol.
+
+The autoscaler asks for ``sample_paths(history, horizon, num_samples)``
+where ``history`` is the recent arrival-rate series collected by the metrics
+pipeline.  :class:`ForecastWorkloadPredictor` serves samples from a trained
+:class:`~repro.forecast.base.Forecaster`; :class:`OracleWorkloadPredictor`
+reads the ground-truth trace (used in ablations and as an upper bound in
+tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecast.base import Forecaster
+
+__all__ = ["ForecastWorkloadPredictor", "OracleWorkloadPredictor"]
+
+
+class ForecastWorkloadPredictor:
+    """Wraps a trained forecaster; optionally rescales history units.
+
+    ``history_scale`` converts the controller's rate units into the units
+    the forecaster was trained on (e.g. requests/second -> requests/minute)
+    and back.
+    """
+
+    def __init__(
+        self,
+        forecaster: Forecaster,
+        history_scale: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if history_scale <= 0:
+            raise ValueError(f"history_scale must be positive, got {history_scale}")
+        self.forecaster = forecaster
+        self.history_scale = history_scale
+        self._rng = np.random.default_rng(seed)
+
+    def sample_paths(
+        self, history: np.ndarray, horizon: int, num_samples: int
+    ) -> np.ndarray:
+        scaled = np.asarray(history, dtype=float) * self.history_scale
+        if num_samples == 1:
+            # Autoscaler convention: a single sample means "point forecast".
+            paths = self.forecaster.predict(scaled, horizon)[None, :]
+        else:
+            paths = self.forecaster.sample_paths(
+                scaled, horizon, num_samples, rng=self._rng
+            )
+        return np.maximum(paths / self.history_scale, 0.0)
+
+
+class OracleWorkloadPredictor:
+    """Perfect-information predictor reading from the true future trace.
+
+    ``trace`` is the full arrival-rate series (same units and sampling
+    interval as the controller's history) and ``clock`` is a callable
+    returning the current trace index.  A ``noise`` fraction can blur the
+    oracle to emulate imperfect prediction.
+    """
+
+    def __init__(
+        self,
+        trace: np.ndarray,
+        clock,
+        noise: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.trace = np.asarray(trace, dtype=float)
+        self.clock = clock
+        if noise < 0:
+            raise ValueError(f"noise must be >= 0, got {noise}")
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+
+    def sample_paths(
+        self, history: np.ndarray, horizon: int, num_samples: int
+    ) -> np.ndarray:
+        start = int(self.clock())
+        future = self.trace[start : start + horizon]
+        if future.shape[0] < horizon:
+            pad_value = future[-1] if future.shape[0] else 0.0
+            future = np.concatenate(
+                [future, np.full(horizon - future.shape[0], pad_value)]
+            )
+        paths = np.tile(future, (num_samples, 1))
+        if self.noise > 0:
+            jitter = self._rng.normal(1.0, self.noise, size=paths.shape)
+            paths = paths * np.maximum(jitter, 0.0)
+        return paths

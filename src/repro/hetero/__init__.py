@@ -1,0 +1,38 @@
+"""Heterogeneous (CPU/GPU-mix) extension of Faro's allocation (paper §7).
+
+The paper targets homogeneous CPU clusters and calls admitting
+"heterogeneous mixes of accelerators (GPUs) with CPUs" an open problem,
+"with Faro representing a first step".  This subpackage takes that step:
+
+- :mod:`repro.hetero.types` -- replica-type catalog: each type runs a job's
+  model at a speedup relative to the reference CPU replica and consumes a
+  vector of cluster resources (vCPU, memory, accelerator units).
+- :mod:`repro.hetero.latency` -- latency estimation for a *mixed* replica
+  pool via an effective-capacity M/D/c reduction.
+- :mod:`repro.hetero.allocation` -- the heterogeneous allocation problem and
+  a greedy marginal-utility solver with hill-climbing repair, maximizing the
+  same per-job inverse utilities Faro uses (Eq. 1).
+"""
+
+from repro.hetero.allocation import (
+    HeteroAllocation,
+    HeteroJob,
+    HeteroProblem,
+    solve_hetero_allocation,
+)
+from repro.hetero.latency import mixed_pool_latency, mixed_pool_stats
+from repro.hetero.types import CPU_SMALL, GPU_T4, GPU_V100, HeteroCapacity, ReplicaType
+
+__all__ = [
+    "ReplicaType",
+    "HeteroCapacity",
+    "CPU_SMALL",
+    "GPU_T4",
+    "GPU_V100",
+    "mixed_pool_stats",
+    "mixed_pool_latency",
+    "HeteroJob",
+    "HeteroProblem",
+    "HeteroAllocation",
+    "solve_hetero_allocation",
+]

@@ -1,0 +1,277 @@
+"""Heterogeneous allocation: choose a replica-type mix per job.
+
+Extends Faro's multi-tenant allocation (paper §4.2) from "how many replicas
+per job" to "how many replicas *of which type* per job", under a
+three-dimensional capacity (vCPU, memory, accelerators).  The objective is
+the same priority-weighted sum of relaxed inverse utilities (Eq. 1) Faro
+maximizes; latency comes from the mixed-pool reduction in
+:mod:`repro.hetero.latency`.
+
+The integer program is solved greedily: starting from one reference-type
+replica per job (the paper's ``x_i >= 1`` constraint), the solver repeatedly
+adds the single replica with the best marginal utility gain per
+scarcity-weighted resource cost, then runs a bounded swap-repair pass
+(replace one replica of a job by a different type when that raises total
+utility).  Greedy-with-repair is the natural fit here: per-job utility is
+monotone and concave-ish in added capacity, and the search space
+(jobs x types) per step is small.
+
+The objective defaults to the *relaxed* M/D/c latency model for the same
+reason the paper relaxes its own formulation (§3.4): under the precise
+model an overloaded job's utility is flat zero until enough replicas make
+its queue stable, so one-replica-at-a-time greedy sees no gradient and
+stalls.  The relaxation keeps differentiating "how overloaded" a job is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.latency import RELAXED_MDC, LatencyModel
+from repro.core.utility import SLO, inverse_utility
+from repro.hetero.latency import mixed_pool_latency
+from repro.hetero.types import HeteroCapacity, ReplicaType
+
+__all__ = ["HeteroJob", "HeteroProblem", "HeteroAllocation", "solve_hetero_allocation"]
+
+
+@dataclass(frozen=True)
+class HeteroJob:
+    """One inference job from the heterogeneous planner's point of view.
+
+    ``proc_time`` is the reference (CPU) per-request processing time;
+    ``arrival_rate`` is the planning rate in requests/second (callers pass a
+    predicted peak, e.g. a high percentile of Faro's probabilistic
+    prediction samples).
+    """
+
+    name: str
+    slo: SLO
+    proc_time: float
+    arrival_rate: float
+    priority: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.proc_time <= 0:
+            raise ValueError(f"proc_time must be positive, got {self.proc_time}")
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival_rate must be non-negative, got {self.arrival_rate}")
+        if self.priority <= 0:
+            raise ValueError(f"priority must be positive, got {self.priority}")
+
+
+@dataclass
+class HeteroAllocation:
+    """Solver output: per-job type counts plus achieved utilities and usage."""
+
+    counts: dict[str, dict[str, int]]
+    utilities: dict[str, float]
+    total_utility: float
+    cpus_used: float
+    mem_used: float
+    accels_used: float
+
+    def replicas(self, job_name: str) -> int:
+        """Total replica count (all types) assigned to ``job_name``."""
+        return sum(self.counts[job_name].values())
+
+
+class HeteroProblem:
+    """Allocation instance: jobs, a type catalog, and cluster capacity."""
+
+    def __init__(
+        self,
+        jobs: list[HeteroJob],
+        types: list[ReplicaType],
+        capacity: HeteroCapacity,
+        latency_model: LatencyModel = RELAXED_MDC,
+        alpha: float = 1.0,
+    ) -> None:
+        if not jobs:
+            raise ValueError("at least one job is required")
+        if not types:
+            raise ValueError("at least one replica type is required")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate job names: {names}")
+        type_names = [t.name for t in types]
+        if len(set(type_names)) != len(type_names):
+            raise ValueError(f"duplicate type names: {type_names}")
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.jobs = list(jobs)
+        self.types = list(types)
+        self.capacity = capacity
+        self.latency_model = latency_model
+        self.alpha = alpha
+        self._type_by_name = {t.name: t for t in types}
+        # Types usable on this cluster at all (accelerator types need accels).
+        self.feasible_types = [
+            t
+            for t in types
+            if capacity.fits(t.cpus, t.mem, t.accels)
+        ]
+        if not self.feasible_types:
+            raise ValueError("no replica type fits within the cluster capacity")
+
+    # ------------------------------------------------------------- utility
+
+    def job_utility(self, job: HeteroJob, counts: dict[ReplicaType, int]) -> float:
+        """Relaxed inverse utility of ``job`` under pool ``counts``."""
+        latency = mixed_pool_latency(
+            job.slo.quantile, job.arrival_rate, job.proc_time, counts, self.latency_model
+        )
+        if math.isinf(latency):
+            return 0.0
+        return inverse_utility(latency, job.slo.target, alpha=self.alpha)
+
+    def evaluate(self, counts: dict[str, dict[ReplicaType, int]]) -> float:
+        """Priority-weighted total utility of a full assignment."""
+        return sum(
+            job.priority * self.job_utility(job, counts[job.name]) for job in self.jobs
+        )
+
+    # --------------------------------------------------------------- usage
+
+    def usage(self, counts: dict[str, dict[ReplicaType, int]]) -> tuple[float, float, float]:
+        cpus = mem = accels = 0.0
+        for pools in counts.values():
+            for rtype, count in pools.items():
+                cpus += rtype.cpus * count
+                mem += rtype.mem * count
+                accels += rtype.accels * count
+        return cpus, mem, accels
+
+    def _fits_with(
+        self, usage: tuple[float, float, float], rtype: ReplicaType
+    ) -> bool:
+        cpus, mem, accels = usage
+        return self.capacity.fits(cpus + rtype.cpus, mem + rtype.mem, accels + rtype.accels)
+
+    def _scarcity_cost(self, rtype: ReplicaType) -> float:
+        """Resource cost normalized by capacity so scarce dimensions weigh more."""
+        cost = 0.0
+        if self.capacity.cpus > 0:
+            cost += rtype.cpus / self.capacity.cpus
+        if self.capacity.mem > 0:
+            cost += rtype.mem / self.capacity.mem
+        if self.capacity.accels > 0:
+            cost += rtype.accels / self.capacity.accels
+        return max(cost, 1e-12)
+
+
+def _cheapest_type(problem: HeteroProblem) -> ReplicaType:
+    """Feasible type with the lowest scarcity cost (reference seed type)."""
+    return min(problem.feasible_types, key=problem._scarcity_cost)
+
+
+def _greedy_fill(
+    problem: HeteroProblem, counts: dict[str, dict[ReplicaType, int]], tol: float
+) -> None:
+    """Add one replica at a time by best marginal utility per scarcity cost."""
+    utilities = {job.name: problem.job_utility(job, counts[job.name]) for job in problem.jobs}
+    usage = problem.usage(counts)
+    while True:
+        best: tuple[float, HeteroJob, ReplicaType] | None = None
+        for job in problem.jobs:
+            if utilities[job.name] >= 1.0 - 1e-12:
+                continue  # already at max utility; adding replicas cannot help
+            for rtype in problem.feasible_types:
+                if not problem._fits_with(usage, rtype):
+                    continue
+                trial = dict(counts[job.name])
+                trial[rtype] = trial.get(rtype, 0) + 1
+                gain = job.priority * (problem.job_utility(job, trial) - utilities[job.name])
+                score = gain / problem._scarcity_cost(rtype)
+                if gain > tol and (best is None or score > best[0]):
+                    best = (score, job, rtype)
+        if best is None:
+            return
+        _, job, rtype = best
+        counts[job.name][rtype] = counts[job.name].get(rtype, 0) + 1
+        utilities[job.name] = problem.job_utility(job, counts[job.name])
+        usage = problem.usage(counts)
+
+
+def _swap_repair(
+    problem: HeteroProblem,
+    counts: dict[str, dict[ReplicaType, int]],
+    tol: float,
+    max_passes: int,
+) -> None:
+    """Replace single replicas by other types while total utility improves."""
+    for _ in range(max_passes):
+        improved = False
+        for job in problem.jobs:
+            pools = counts[job.name]
+            current = problem.job_utility(job, pools)
+            for old_type in [t for t, n in pools.items() if n > 0]:
+                for new_type in problem.feasible_types:
+                    if new_type == old_type:
+                        continue
+                    trial = dict(pools)
+                    trial[old_type] -= 1
+                    if sum(trial.values()) == 0:
+                        continue  # keep the x_i >= 1 constraint
+                    trial[new_type] = trial.get(new_type, 0) + 1
+                    base_usage = problem.usage(counts)
+                    delta = (
+                        base_usage[0] - old_type.cpus + new_type.cpus,
+                        base_usage[1] - old_type.mem + new_type.mem,
+                        base_usage[2] - old_type.accels + new_type.accels,
+                    )
+                    if not problem.capacity.fits(*delta):
+                        continue
+                    gain = problem.job_utility(job, trial) - current
+                    if gain > tol:
+                        pools.clear()
+                        pools.update({t: n for t, n in trial.items() if n > 0})
+                        current += gain
+                        improved = True
+                        break
+                if improved:
+                    break
+        if not improved:
+            return
+
+
+def solve_hetero_allocation(
+    problem: HeteroProblem, tol: float = 1e-9, repair_passes: int = 4
+) -> HeteroAllocation:
+    """Greedy + swap-repair solve of the heterogeneous allocation problem.
+
+    Every job receives at least one replica (cheapest feasible type) even if
+    the cluster cannot satisfy any SLO -- matching Faro's ``x_i >= 1``
+    constraint.  Raises :class:`ValueError` if even that seed assignment
+    exceeds capacity.
+    """
+    seed_type = _cheapest_type(problem)
+    counts: dict[str, dict[ReplicaType, int]] = {
+        job.name: {seed_type: 1} for job in problem.jobs
+    }
+    usage = problem.usage(counts)
+    if not problem.capacity.fits(*usage):
+        raise ValueError(
+            f"cluster too small for one {seed_type.name} replica per job "
+            f"({len(problem.jobs)} jobs)"
+        )
+    _greedy_fill(problem, counts, tol)
+    _swap_repair(problem, counts, tol, repair_passes)
+    utilities = {
+        job.name: problem.job_utility(job, counts[job.name]) for job in problem.jobs
+    }
+    cpus, mem, accels = problem.usage(counts)
+    return HeteroAllocation(
+        counts={
+            name: {rtype.name: n for rtype, n in pools.items() if n > 0}
+            for name, pools in counts.items()
+        },
+        utilities=utilities,
+        total_utility=sum(
+            job.priority * utilities[job.name] for job in problem.jobs
+        ),
+        cpus_used=cpus,
+        mem_used=mem,
+        accels_used=accels,
+    )

@@ -1,0 +1,85 @@
+"""Replica-type catalog and multi-resource capacity for heterogeneous clusters.
+
+A :class:`ReplicaType` describes one way to run a model replica: its
+``speedup`` scales the job's reference (CPU) processing time, and the type
+consumes a vector of cluster resources.  Speedups are model-agnostic here
+(a per-(model, type) table would slot in trivially); the bundled profiles
+use speedups representative of ResNet-class vision models, where a
+data-center GPU serves a single request roughly 4-8x faster than one vCPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReplicaType", "HeteroCapacity", "CPU_SMALL", "GPU_T4", "GPU_V100"]
+
+
+@dataclass(frozen=True)
+class ReplicaType:
+    """One deployable replica flavor.
+
+    ``speedup`` multiplies the job's reference service rate: a job whose CPU
+    processing time is ``p`` runs at ``p / speedup`` on this type.
+    ``accels`` is the number of accelerator units the replica occupies
+    (0 for CPU-only types).
+    """
+
+    name: str
+    speedup: float
+    cpus: float = 1.0
+    mem: float = 1.0
+    accels: float = 0.0
+    cost_per_hour: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {self.speedup}")
+        if self.cpus < 0 or self.mem < 0 or self.accels < 0:
+            raise ValueError("resource requirements must be non-negative")
+        if self.cpus == 0 and self.mem == 0 and self.accels == 0:
+            raise ValueError("a replica type must consume at least one resource")
+        if self.cost_per_hour < 0:
+            raise ValueError(f"cost_per_hour must be >= 0, got {self.cost_per_hour}")
+
+    def proc_time(self, reference_proc_time: float) -> float:
+        """Per-request processing time of a job on this replica type."""
+        if reference_proc_time <= 0:
+            raise ValueError(f"processing time must be positive, got {reference_proc_time}")
+        return reference_proc_time / self.speedup
+
+
+@dataclass(frozen=True)
+class HeteroCapacity:
+    """Total cluster resources across the three tracked dimensions."""
+
+    cpus: float
+    mem: float
+    accels: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpus < 0 or self.mem < 0 or self.accels < 0:
+            raise ValueError("capacities must be non-negative")
+
+    def fits(self, cpus: float, mem: float, accels: float) -> bool:
+        """True when a usage vector fits within this capacity."""
+        eps = 1e-9
+        return (
+            cpus <= self.cpus + eps
+            and mem <= self.mem + eps
+            and accels <= self.accels + eps
+        )
+
+
+#: Paper-default CPU replica: 1 vCPU / 1 GB, reference speed.
+CPU_SMALL = ReplicaType(name="cpu-small", speedup=1.0, cpus=1.0, mem=1.0)
+
+#: Inference GPU (T4-class): ~4x a single vCPU on ResNet-class models.
+GPU_T4 = ReplicaType(
+    name="gpu-t4", speedup=4.0, cpus=2.0, mem=8.0, accels=1.0, cost_per_hour=0.53
+)
+
+#: Training-grade GPU (V100-class): ~8x, heavier host footprint.
+GPU_V100 = ReplicaType(
+    name="gpu-v100", speedup=8.0, cpus=4.0, mem=16.0, accels=1.0, cost_per_hour=2.48
+)

@@ -1,0 +1,133 @@
+"""Autoscaling-policy interface shared by Faro and all baseline policies.
+
+The simulator (or a real control plane) periodically builds a
+:class:`JobObservation` per job from collected metrics and calls
+:meth:`AutoscalePolicy.tick`.  A policy may return a
+:class:`ScalingDecision` (new replica targets and, optionally, explicit
+request-drop rates) or ``None`` to leave the cluster unchanged.
+
+This mirrors the paper's integration (§5): the Faro autoscaler pod
+periodically pulls metrics from each job's Ray Router and pushes replica
+targets / drop directives back.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+__all__ = [
+    "JobObservation",
+    "ScalingDecision",
+    "AutoscalePolicy",
+    "TriggerTracker",
+]
+
+
+@dataclass(frozen=True)
+class JobObservation:
+    """Metrics for one job over the most recent control window.
+
+    ``rate_history`` is the per-interval arrival-rate history (requests per
+    second, most recent last) at the collector's sampling interval; it feeds
+    time-series predictors.  ``latency`` is the measured latency at the job's
+    SLO percentile; dropped requests count as infinite latency.
+    """
+
+    job_name: str
+    arrival_rate: float
+    rate_history: tuple[float, ...]
+    mean_proc_time: float
+    latency: float
+    slo_violation_rate: float
+    current_replicas: int
+    target_replicas: int
+    queue_length: int = 0
+    drop_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival rate must be non-negative, got {self.arrival_rate}")
+        if self.current_replicas < 0 or self.target_replicas < 0:
+            raise ValueError("replica counts must be non-negative")
+
+
+@dataclass
+class ScalingDecision:
+    """Replica targets and drop rates to apply; jobs absent are unchanged."""
+
+    replicas: dict[str, int] = field(default_factory=dict)
+    drop_rates: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, count in self.replicas.items():
+            if count < 0:
+                raise ValueError(f"replica target for {name} must be >= 0, got {count}")
+        for name, rate in self.drop_rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"drop rate for {name} must be in [0, 1], got {rate}")
+
+    def merge(self, other: "ScalingDecision") -> "ScalingDecision":
+        """Overlay ``other`` on top of this decision (other wins on conflict)."""
+        merged = ScalingDecision(dict(self.replicas), dict(self.drop_rates))
+        merged.replicas.update(other.replicas)
+        merged.drop_rates.update(other.drop_rates)
+        return merged
+
+
+class AutoscalePolicy(ABC):
+    """Base class for autoscaling policies.
+
+    ``tick_interval`` is how often the control loop invokes the policy; the
+    policy is free to act only on a subset of ticks (e.g. Faro's long-term
+    cycle runs every 300 s while its reactive path runs every 10 s).
+    """
+
+    #: Seconds between control-loop invocations.
+    tick_interval: float = 10.0
+
+    #: Human-readable policy name used in experiment reports.
+    name: str = "policy"
+
+    @abstractmethod
+    def tick(
+        self, now: float, observations: dict[str, JobObservation]
+    ) -> ScalingDecision | None:
+        """Return scaling actions for the current control tick, if any."""
+
+    def reset(self) -> None:
+        """Clear internal state between experiment trials."""
+
+
+class TriggerTracker:
+    """Tracks how long a per-job condition has held continuously.
+
+    Oneshot/AIAD (and Faro's short-term reactive path) only act when a job
+    has been overloaded/underloaded for a sustained period -- 30 s for
+    scale-up and 5 min for scale-down in the paper's configuration.
+    """
+
+    def __init__(self, hold_seconds: float) -> None:
+        if hold_seconds < 0:
+            raise ValueError(f"hold_seconds must be >= 0, got {hold_seconds}")
+        self.hold_seconds = hold_seconds
+        self._since: dict[str, float] = {}
+
+    def update(self, job: str, condition: bool, now: float) -> bool:
+        """Record the condition at time ``now``; return True when it fires.
+
+        The trigger fires when the condition has held for at least
+        ``hold_seconds`` (a zero hold fires immediately on a true condition).
+        """
+        if not condition:
+            self._since.pop(job, None)
+            return False
+        started = self._since.setdefault(job, now)
+        return now - started >= self.hold_seconds
+
+    def clear(self, job: str | None = None) -> None:
+        """Reset the streak for one job, or all jobs when ``job`` is None."""
+        if job is None:
+            self._since.clear()
+        else:
+            self._since.pop(job, None)

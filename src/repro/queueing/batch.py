@@ -1,0 +1,133 @@
+"""Batch-service queueing approximations for adaptive request batching.
+
+The paper (§7) lists intelligent request batching (Clipper, BATCH) as
+orthogonal to -- and combinable with -- Faro.  This module provides the
+queueing model behind the :mod:`repro.cluster.batching` extension:
+
+A replica executes requests in batches of up to ``b``.  Inference batching
+is sub-linear: a batch of ``b`` requests takes
+
+    ``S(b) = base + per_item * b``        (setup + marginal per-item cost)
+
+with ``base + per_item`` equal to the unbatched processing time, so larger
+batches raise per-replica throughput (``b / S(b)``).  A request's latency
+decomposes into
+
+1. *formation wait*: time until its batch fills (or a timeout fires), and
+2. *batch queueing + service*: the batch stream is modelled as an M/D/c
+   queue with arrival rate ``lam / b`` and service time ``S(b)``.
+
+Under Poisson arrivals a request joins a forming batch at a uniformly random
+position, so its mean formation wait is ``(b - 1) / (2 * lam)``, capped by
+the batching timeout.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.queueing.mdc import mdc_latency_percentile
+
+__all__ = [
+    "batch_service_time",
+    "batch_throughput",
+    "batch_formation_wait",
+    "batched_latency_percentile",
+    "optimal_batch_size",
+]
+
+
+def batch_service_time(base: float, per_item: float, size: int) -> float:
+    """Service time ``S(b) = base + per_item * b`` of one batch of ``size``."""
+    if base < 0 or per_item <= 0:
+        raise ValueError("base must be >= 0 and per_item > 0")
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    return base + per_item * size
+
+
+def batch_throughput(base: float, per_item: float, size: int) -> float:
+    """Requests per second one replica sustains at batch size ``size``.
+
+    Monotonically increasing in ``size`` (towards ``1 / per_item``), which is
+    the throughput gain that makes batching worthwhile.
+    """
+    return size / batch_service_time(base, per_item, size)
+
+
+def batch_formation_wait(lam: float, size: int, timeout: float | None = None) -> float:
+    """Mean time a request waits for its batch to fill.
+
+    Under Poisson arrivals at rate ``lam`` the request occupies a uniformly
+    random position in its batch, giving a mean wait of
+    ``(size - 1) / (2 * lam)``; a batching ``timeout`` caps the wait (the
+    router dispatches partial batches when the timeout fires).
+    """
+    if lam < 0:
+        raise ValueError(f"arrival rate must be non-negative, got {lam}")
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    if timeout is not None and timeout < 0:
+        raise ValueError(f"timeout must be non-negative, got {timeout}")
+    if size == 1:
+        return 0.0
+    if lam == 0.0:
+        return timeout if timeout is not None else 0.0
+    wait = (size - 1) / (2.0 * lam)
+    if timeout is not None:
+        wait = min(wait, timeout)
+    return wait
+
+
+def batched_latency_percentile(
+    q: float,
+    lam: float,
+    servers: int,
+    size: int,
+    base: float,
+    per_item: float,
+    timeout: float | None = None,
+) -> float:
+    """``q``-quantile of end-to-end latency with batch size ``size``.
+
+    Formation wait (mean, as a shift -- formation variance is small next to
+    the queueing tail) plus the M/D/c latency of the batch stream.  Returns
+    ``inf`` when even the batched queue is unstable.
+    """
+    if servers < 1:
+        raise ValueError(f"server count must be >= 1, got {servers}")
+    service = batch_service_time(base, per_item, size)
+    if lam == 0.0:
+        return batch_formation_wait(lam, size, timeout) + service
+    batch_lam = lam / size
+    queue_latency = mdc_latency_percentile(q, batch_lam, service, servers)
+    if math.isinf(queue_latency):
+        return math.inf
+    return batch_formation_wait(lam, size, timeout) + queue_latency
+
+
+def optimal_batch_size(
+    q: float,
+    lam: float,
+    servers: int,
+    base: float,
+    per_item: float,
+    max_size: int = 64,
+    timeout: float | None = None,
+) -> tuple[int, float]:
+    """Batch size in ``[1, max_size]`` minimizing the ``q``-quantile latency.
+
+    Returns ``(size, latency)``.  Small batches waste the setup cost under
+    load; large batches pay formation wait at low load -- the optimum moves
+    with ``lam``, which is why the batching router adapts it online.  When
+    no size yields a stable queue the queue grows regardless, so the
+    max-throughput choice (``max_size``) is returned with ``inf`` latency.
+    """
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    best_size, best_latency = max_size, math.inf
+    for size in range(1, max_size + 1):
+        latency = batched_latency_percentile(q, lam, servers, size, base, per_item, timeout)
+        if latency < best_latency:
+            best_size, best_latency = size, latency
+    return best_size, best_latency

@@ -1,0 +1,99 @@
+"""M/D/c approximations (Poisson arrivals, deterministic service).
+
+Faro (paper §3.3) estimates the k-th percentile latency of an inference job
+with ``N`` replicas and per-request processing time ``p`` using the M/D/c
+model, and expedites evaluation via the standard engineering approximation
+
+    ``Wq(M/D/c)  ~=  0.5 * Wq(M/M/c)``        (half-wait rule, Tijms 2006)
+
+which this module implements, along with the Cosmetatos refinement
+
+    ``Wq(M/D/c) ~= 0.5 * Wq(M/M/c) * (1 + (1-rho)(c-1)(sqrt(4+5c)-2)/(16*rho*c))``
+
+as an optional higher-fidelity mode.  Latency = queueing delay + service
+time (``p``, deterministic).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.queueing.mmc import mmc_mean_wait, mmc_wait_percentile, utilization
+
+__all__ = [
+    "cosmetatos_correction",
+    "mdc_mean_wait",
+    "mdc_wait_percentile",
+    "mdc_latency_percentile",
+]
+
+
+def cosmetatos_correction(rho: float, servers: int) -> float:
+    """Cosmetatos multiplicative correction for the half-wait rule.
+
+    Equals 1.0 for a single server (where the half-wait rule is exact) and
+    approaches 1.0 as ``rho -> 1``.
+    """
+    if servers < 1:
+        raise ValueError(f"server count must be >= 1, got {servers}")
+    if not 0.0 < rho < 1.0:
+        raise ValueError(f"rho must be in (0, 1), got {rho}")
+    if servers == 1:
+        return 1.0
+    return 1.0 + (1.0 - rho) * (servers - 1) * (math.sqrt(4.0 + 5.0 * servers) - 2.0) / (
+        16.0 * rho * servers
+    )
+
+
+def mdc_mean_wait(lam: float, proc_time: float, servers: int, refined: bool = False) -> float:
+    """Mean queueing delay of an M/D/c queue via the half-wait rule.
+
+    ``proc_time`` is the deterministic service time in seconds.  With
+    ``refined=True`` the Cosmetatos correction is applied.  Returns ``inf``
+    when the queue is unstable.
+    """
+    if proc_time <= 0:
+        raise ValueError(f"processing time must be positive, got {proc_time}")
+    mu = 1.0 / proc_time
+    rho = utilization(lam, mu, servers)
+    if rho >= 1.0:
+        return math.inf
+    wait = 0.5 * mmc_mean_wait(lam, mu, servers)
+    if refined and lam > 0.0:
+        wait *= cosmetatos_correction(rho, servers)
+    return wait
+
+
+def mdc_wait_percentile(
+    q: float, lam: float, proc_time: float, servers: int, refined: bool = False
+) -> float:
+    """``q``-quantile of M/D/c queueing delay (half-wait rule).
+
+    The waiting-time distribution of the M/M/c queue is scaled by the same
+    factor as the mean, which preserves the exponential tail shape while
+    matching the approximated first moment.
+    """
+    if proc_time <= 0:
+        raise ValueError(f"processing time must be positive, got {proc_time}")
+    mu = 1.0 / proc_time
+    rho = utilization(lam, mu, servers)
+    if rho >= 1.0:
+        return math.inf
+    wait = 0.5 * mmc_wait_percentile(q, lam, mu, servers)
+    if refined and lam > 0.0 and wait > 0.0:
+        wait *= cosmetatos_correction(rho, servers)
+    return wait
+
+
+def mdc_latency_percentile(
+    q: float, lam: float, proc_time: float, servers: int, refined: bool = False
+) -> float:
+    """``q``-quantile of total latency (queueing delay + deterministic service).
+
+    This is the paper's ``latency_{M/D/c}(k, p, lambda, N)`` with ``k = 100*q``.
+    Returns ``inf`` when ``rho = p * lam / N >= 1`` (unstable queue).
+    """
+    wait = mdc_wait_percentile(q, lam, proc_time, servers, refined=refined)
+    if math.isinf(wait):
+        return math.inf
+    return wait + proc_time

@@ -1,0 +1,123 @@
+"""Exact M/M/c queueing formulas.
+
+Notation (Shortle et al., "Fundamentals of Queueing Theory"):
+
+- ``lam``: Poisson arrival rate (requests / second).
+- ``mu``: per-server service rate (requests / second); for deterministic
+  processing time ``p`` seconds, ``mu = 1 / p``.
+- ``c``: number of servers (replicas).
+- offered load ``a = lam / mu``; utilization ``rho = a / c``.
+
+All waiting times refer to time spent in queue (excluding service).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "erlang_b",
+    "erlang_c",
+    "utilization",
+    "mmc_mean_wait",
+    "mmc_wait_ccdf",
+    "mmc_wait_percentile",
+]
+
+
+def utilization(lam: float, mu: float, servers: int) -> float:
+    """Server utilization ``rho = lam / (servers * mu)``.
+
+    Values >= 1 indicate an unstable queue (unbounded backlog).
+    """
+    if lam < 0:
+        raise ValueError(f"arrival rate must be non-negative, got {lam}")
+    if mu <= 0:
+        raise ValueError(f"service rate must be positive, got {mu}")
+    if servers < 1:
+        raise ValueError(f"server count must be >= 1, got {servers}")
+    return lam / (servers * mu)
+
+
+def erlang_b(servers: int, offered_load: float) -> float:
+    """Erlang-B blocking probability for an M/M/c/c loss system.
+
+    Uses the numerically stable recurrence
+    ``B(0) = 1; B(k) = a * B(k-1) / (k + a * B(k-1))``.
+    """
+    if servers < 0:
+        raise ValueError(f"server count must be >= 0, got {servers}")
+    if offered_load < 0:
+        raise ValueError(f"offered load must be >= 0, got {offered_load}")
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    return blocking
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability that an arriving request must wait.
+
+    ``C(c, a) = c * B(c, a) / (c - a * (1 - B(c, a)))`` for ``a < c``.
+    Returns 1.0 when the queue is unstable (``a >= c``): every request waits.
+    """
+    if servers < 1:
+        raise ValueError(f"server count must be >= 1, got {servers}")
+    if offered_load < 0:
+        raise ValueError(f"offered load must be >= 0, got {offered_load}")
+    if offered_load >= servers:
+        return 1.0
+    blocking = erlang_b(servers, offered_load)
+    return servers * blocking / (servers - offered_load * (1.0 - blocking))
+
+
+def mmc_mean_wait(lam: float, mu: float, servers: int) -> float:
+    """Mean queueing delay ``Wq`` of an M/M/c queue.
+
+    ``Wq = C(c, a) / (c * mu - lam)``.  Returns ``inf`` for unstable queues.
+    """
+    rho = utilization(lam, mu, servers)
+    if rho >= 1.0:
+        return math.inf
+    if lam == 0.0:
+        return 0.0
+    wait_probability = erlang_c(servers, lam / mu)
+    return wait_probability / (servers * mu - lam)
+
+
+def mmc_wait_ccdf(t: float, lam: float, mu: float, servers: int) -> float:
+    """``P(Wq > t)`` for an M/M/c FCFS queue.
+
+    The conditional waiting time (given wait > 0) is exponential with rate
+    ``c * mu - lam``, so ``P(Wq > t) = C(c, a) * exp(-(c*mu - lam) * t)``.
+    """
+    if t < 0:
+        raise ValueError(f"time must be non-negative, got {t}")
+    rho = utilization(lam, mu, servers)
+    if rho >= 1.0:
+        return 1.0
+    if lam == 0.0:
+        return 0.0
+    wait_probability = erlang_c(servers, lam / mu)
+    return wait_probability * math.exp(-(servers * mu - lam) * t)
+
+
+def mmc_wait_percentile(q: float, lam: float, mu: float, servers: int) -> float:
+    """``q``-quantile (0 < q < 1) of M/M/c queueing delay.
+
+    Solves ``P(Wq <= t) = q``.  Because the waiting time has an atom at 0 of
+    mass ``1 - C``, the quantile is 0 whenever ``q <= 1 - C``; otherwise
+    ``t = ln(C / (1 - q)) / (c * mu - lam)``.  Returns ``inf`` for unstable
+    queues.
+    """
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {q}")
+    rho = utilization(lam, mu, servers)
+    if rho >= 1.0:
+        return math.inf
+    if lam == 0.0:
+        return 0.0
+    wait_probability = erlang_c(servers, lam / mu)
+    if q <= 1.0 - wait_probability:
+        return 0.0
+    return math.log(wait_probability / (1.0 - q)) / (servers * mu - lam)

@@ -1,0 +1,133 @@
+"""Vectorized M/D/c latency tables.
+
+Faro's optimizer evaluates per-job utility at every candidate replica count
+and across many predicted arrival-rate scenarios.  Doing that with the scalar
+formulas in :mod:`repro.queueing.mmc` would cost ``O(max_servers^2)`` scalar
+Erlang evaluations per job per solve.  The paper accelerates objective
+evaluation with Numba; this repo (no Numba available offline) instead
+exploits the Erlang-B recurrence structure: one pass ``k = 1..max_servers``
+over a *vector* of offered loads produces Erlang-C for every
+``(server count, scenario)`` pair simultaneously.
+
+The key export is :func:`mdc_latency_table`, which returns the matrix of
+``quantile`` latencies ``L[k-1, j]`` for ``k`` servers under scenario ``j``,
+in either the precise form (``inf`` when unstable) or the plateau-free
+relaxed form (paper §3.4).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "erlang_c_table",
+    "erlang_c_at_rho",
+    "mdc_latency_table",
+]
+
+
+def erlang_c_table(offered_loads: np.ndarray, max_servers: int) -> np.ndarray:
+    """Erlang-C matrix ``C[k-1, j] = C(k, a_j)`` for ``k = 1..max_servers``.
+
+    Unstable entries (``a_j >= k``) are set to 1.0 (every request waits).
+    Runs the Erlang-B recurrence once over the whole load vector.
+    """
+    if max_servers < 1:
+        raise ValueError(f"max_servers must be >= 1, got {max_servers}")
+    loads = np.asarray(offered_loads, dtype=float)
+    if loads.ndim != 1:
+        raise ValueError(f"offered_loads must be 1-D, got shape {loads.shape}")
+    if np.any(loads < 0):
+        raise ValueError("offered loads must be non-negative")
+    table = np.empty((max_servers, loads.shape[0]), dtype=float)
+    blocking = np.ones_like(loads)
+    for k in range(1, max_servers + 1):
+        blocking = loads * blocking / (k + loads * blocking)
+        stable = loads < k
+        with np.errstate(divide="ignore", invalid="ignore"):
+            wait_prob = k * blocking / (k - loads * (1.0 - blocking))
+        table[k - 1] = np.where(stable, wait_prob, 1.0)
+    return np.clip(table, 0.0, 1.0)
+
+
+@lru_cache(maxsize=32)
+def _erlang_c_at_rho_cached(rho: float, max_servers: int) -> tuple[float, ...]:
+    values = erlang_c_table(rho * np.arange(1, max_servers + 1, dtype=float), max_servers)
+    # Row k-1 holds C(k, a) for all loads; we want the diagonal a = rho * k.
+    return tuple(values[k - 1, k - 1] for k in range(1, max_servers + 1))
+
+
+def erlang_c_at_rho(rho: float, max_servers: int) -> np.ndarray:
+    """``C(k, rho * k)`` for ``k = 1..max_servers`` (cached).
+
+    Used by the relaxed estimator, which pins the utilization of overloaded
+    queues at ``rho_max`` (the offered load then depends only on ``k``).
+    """
+    if not 0.0 < rho < 1.0:
+        raise ValueError(f"rho must be in (0, 1), got {rho}")
+    return np.array(_erlang_c_at_rho_cached(float(rho), int(max_servers)))
+
+
+def mdc_latency_table(
+    quantile: float,
+    rates: np.ndarray,
+    proc_time: float,
+    max_servers: int,
+    relaxed: bool = False,
+    rho_max: float = 0.95,
+) -> np.ndarray:
+    """Latency matrix ``L[k-1, j]``: M/D/c ``quantile`` latency with ``k`` servers.
+
+    ``rates`` are arrival rates in requests/second.  Uses the half-wait
+    approximation (``Wq(M/D/c) ~= 0.5 * Wq(M/M/c)``, paper §3.3).
+
+    ``relaxed=False`` (precise): unstable entries are ``inf``.
+    ``relaxed=True``: entries with ``rho > rho_max`` become
+    ``(lam / lam_max) * L(lam_max)`` with ``lam_max = rho_max * k / p``,
+    growing linearly in the overload factor (paper §3.4, Fig. 6 right).
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    if proc_time <= 0:
+        raise ValueError(f"processing time must be positive, got {proc_time}")
+    rates = np.asarray(rates, dtype=float)
+    if rates.ndim != 1:
+        raise ValueError(f"rates must be 1-D, got shape {rates.shape}")
+    if np.any(rates < 0):
+        raise ValueError("arrival rates must be non-negative")
+
+    loads = rates * proc_time
+    wait_probs = erlang_c_table(loads, max_servers)
+    servers = np.arange(1, max_servers + 1, dtype=float)[:, None]
+    mu = 1.0 / proc_time
+    drain = servers * mu - rates[None, :]  # positive where stable
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        tail = np.log(wait_probs / (1.0 - quantile))
+        wait = np.where(
+            wait_probs <= 1.0 - quantile, 0.0, 0.5 * np.maximum(tail, 0.0) / drain
+        )
+    stable = loads[None, :] < servers
+    latency = np.where(stable, wait + proc_time, np.inf)
+    # Zero-rate scenarios see exactly the service time.
+    latency[:, rates == 0.0] = proc_time
+
+    if not relaxed:
+        return latency
+
+    # Overloaded region: rho = load / k > rho_max.  Replace with the scaled
+    # latency of the queue pinned at rho_max.
+    c_at_rho = erlang_c_at_rho(rho_max, max_servers)[:, None]
+    drain_at_rho = servers * mu * (1.0 - rho_max)
+    tail_at_rho = np.log(c_at_rho / (1.0 - quantile))
+    wait_at_rho = np.where(
+        c_at_rho <= 1.0 - quantile, 0.0, 0.5 * np.maximum(tail_at_rho, 0.0) / drain_at_rho
+    )
+    latency_at_rho = wait_at_rho + proc_time  # (max_servers, 1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        overload_factor = loads[None, :] / (rho_max * servers)
+    overloaded = loads[None, :] > rho_max * servers
+    return np.where(overloaded, overload_factor * latency_at_rho, latency)

@@ -1,0 +1,31 @@
+"""Trace-driven simulation of the Ray Serve | Kubernetes stack (paper §6.4).
+
+Two simulators share the same policy/cluster interfaces:
+
+- :mod:`repro.sim.simulation` -- the high-fidelity request-level simulator
+  ("cluster deployment" stand-in): Poisson arrivals from traces, per-request
+  routing/queueing/drops, replica cold starts.
+- :mod:`repro.sim.analytic` -- a fast fluid/flow simulator ("matched
+  simulation" stand-in) that advances per-job queue lengths analytically;
+  used for large sweeps (Fig. 15, Table 8 at 100 jobs) and for the paper's
+  cluster-vs-simulation ranking comparison (Table 7).
+
+:mod:`repro.sim.engine` additionally provides a small general-purpose
+discrete-event engine used in tests and available for extensions.
+"""
+
+from repro.sim.engine import EventLoop
+from repro.sim.workload import PoissonArrivals
+from repro.sim.recorder import JobSeries, SimulationResult
+from repro.sim.simulation import Simulation, SimulationConfig
+from repro.sim.analytic import FlowSimulation
+
+__all__ = [
+    "EventLoop",
+    "PoissonArrivals",
+    "JobSeries",
+    "SimulationResult",
+    "Simulation",
+    "SimulationConfig",
+    "FlowSimulation",
+]

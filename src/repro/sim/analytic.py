@@ -1,0 +1,376 @@
+"""Fast analytic (fluid/flow) cluster simulator.
+
+Where :class:`repro.sim.simulation.Simulation` routes individual Poisson
+requests, this simulator advances each job's queue *analytically* per
+control tick: deterministic fluid inflow/outflow for backlog dynamics plus
+M/D/c formulas for the stochastic waiting tail when the queue is near
+empty.  It is two to three orders of magnitude faster, which makes the
+large sweeps tractable (Fig. 15's cluster-size sweep, Table 8's 100-job
+run), and plays the role of the paper's "matched simulation" in the
+Table 7 ranking comparison against the request-level simulator.
+
+Policies interact with it through exactly the same observation/decision
+interface, so every autoscaler implementation is reused unchanged --
+mirroring how the paper's simulator reuses the deployment code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.job import InferenceJobSpec
+from repro.cluster.kubernetes import ResourceQuota
+from repro.core.penalty import penalty_multiplier
+from repro.core.utility import inverse_utility
+from repro.policy import AutoscalePolicy, JobObservation, ScalingDecision
+from repro.queueing.mdc import mdc_latency_percentile
+from repro.queueing.mmc import erlang_c
+from repro.sim.recorder import JobSeries, SimulationResult
+from repro.sim.simulation import SimulationConfig
+
+__all__ = ["FlowSimulation"]
+
+
+class _FlowJob:
+    """Analytic state of one job."""
+
+    def __init__(
+        self,
+        spec: InferenceJobSpec,
+        trace: np.ndarray,
+        queue_threshold: int,
+        cold_start_range: tuple[float, float],
+        rng: np.random.Generator,
+    ) -> None:
+        self.spec = spec
+        self.trace = trace
+        self.queue_threshold = queue_threshold
+        self.cold_start_range = cold_start_range
+        self.rng = rng
+        self.running = 0
+        self.pending: list[float] = []  # ready_at times
+        self.queue = 0.0
+        self.drop_rate = 0.0
+        self.target = 0
+
+    # ----------------------------------------------------------- scaling
+
+    def scale_to(self, target: int, now: float) -> None:
+        self.target = target
+        current = self.running + len(self.pending)
+        if target > current:
+            lo, hi = self.cold_start_range
+            for _ in range(target - current):
+                delay = lo if hi == lo else float(self.rng.uniform(lo, hi))
+                self.pending.append(now + delay)
+        elif target < current:
+            shrink = current - target
+            # Cancel cold-starting pods first (latest ready time first).
+            self.pending.sort()
+            while shrink > 0 and self.pending:
+                self.pending.pop()
+                shrink -= 1
+            self.running = max(self.running - shrink, 0)
+
+    def promote(self, now: float) -> None:
+        ready = [t for t in self.pending if t <= now]
+        if ready:
+            self.running += len(ready)
+            self.pending = [t for t in self.pending if t > now]
+
+    # ------------------------------------------------------------- flow
+
+    def step(self, now: float, dt: float, lam: float) -> dict:
+        """Advance one tick; returns per-tick aggregates.
+
+        ``lam`` is the offered arrival rate in requests/second.
+        """
+        self.promote(now)
+        spec = self.spec
+        p = spec.model.proc_time
+        arrivals = lam * dt
+        explicit_drops = arrivals * self.drop_rate
+        kept_rate = lam * (1.0 - self.drop_rate)
+        inflow = kept_rate * dt
+        service_rate = self.running / p if self.running else 0.0
+        capacity = service_rate * dt
+
+        queue_start = self.queue
+        processed = min(queue_start + inflow, capacity)
+        queue_end = queue_start + inflow - processed
+        tail_drops = 0.0
+        if queue_end > self.queue_threshold:
+            tail_drops = queue_end - self.queue_threshold
+            queue_end = float(self.queue_threshold)
+        self.queue = queue_end
+
+        accepted = max(inflow - tail_drops, 0.0)
+        drops = explicit_drops + tail_drops
+        queue_mid = 0.5 * (queue_start + queue_end)
+
+        if self.running == 0:
+            latency_p = math.inf
+            violation_fraction = 1.0
+        else:
+            wait_det = queue_mid / service_rate
+            slo = spec.slo.target
+            rho = kept_rate * p / self.running
+            if rho < 1.0 and queue_mid < 1.0:
+                latency_p = mdc_latency_percentile(
+                    spec.slo.quantile, kept_rate, p, self.running
+                )
+                violation_fraction = self._stochastic_violation(kept_rate, slo)
+            else:
+                latency_p = wait_det + p
+                violation_fraction = self._deterministic_violation(
+                    queue_start, queue_end, kept_rate, service_rate, dt, slo
+                )
+        violations = violation_fraction * accepted + drops
+        return {
+            "arrivals": arrivals,
+            "drops": drops,
+            "violations": min(violations, arrivals),
+            "latency_p": latency_p,
+        }
+
+    def _stochastic_violation(self, lam: float, slo: float) -> float:
+        """P(latency > slo) for a stable, empty-queue M/D/c job.
+
+        Uses the exponential M/M/c waiting tail halved in time (the same
+        half-wait approximation as the latency estimator):
+        ``P(W > t) ~= C * exp(-2 (c mu - lam) t)``.
+        """
+        p = self.spec.model.proc_time
+        if slo <= p:
+            return 1.0
+        if lam <= 0.0:
+            return 0.0
+        mu = 1.0 / p
+        offered = lam * p
+        if offered >= self.running:
+            return 1.0
+        wait_prob = erlang_c(self.running, offered)
+        drain = self.running * mu - lam
+        return float(min(wait_prob * math.exp(-2.0 * drain * (slo - p)), 1.0))
+
+    def _deterministic_violation(
+        self,
+        queue_start: float,
+        queue_end: float,
+        lam: float,
+        service_rate: float,
+        dt: float,
+        slo: float,
+    ) -> float:
+        """Fraction of this tick's arrivals whose fluid wait exceeds the SLO.
+
+        The queue evolves linearly within the tick; an arrival at offset
+        ``tau`` waits ``Q(tau) / service_rate`` plus one service time.
+        """
+        p = self.spec.model.proc_time
+        budget = (slo - p) * service_rate  # queue length that still meets SLO
+        if budget <= 0:
+            return 1.0
+        slope = (queue_end - queue_start) / dt
+        if abs(slope) < 1e-12:
+            return 1.0 if queue_start > budget else 0.0
+        crossing = (budget - queue_start) / slope
+        if slope > 0:
+            # Queue grows: arrivals after the crossing violate.
+            fraction = 1.0 - min(max(crossing / dt, 0.0), 1.0)
+        else:
+            # Queue drains: arrivals before the crossing violate.
+            fraction = min(max(crossing / dt, 0.0), 1.0)
+        return fraction
+
+
+class FlowSimulation:
+    """Analytic counterpart of :class:`repro.sim.simulation.Simulation`."""
+
+    def __init__(
+        self,
+        jobs: list[InferenceJobSpec],
+        traces: dict[str, np.ndarray],
+        policy: AutoscalePolicy,
+        quota: ResourceQuota,
+        config: SimulationConfig | None = None,
+        initial_replicas: dict[str, int] | None = None,
+        history_prefix: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        missing = [job.name for job in jobs if job.name not in traces]
+        if missing:
+            raise ValueError(f"traces missing for jobs: {missing}")
+        self.jobs = jobs
+        self.policy = policy
+        self.quota = quota
+        trace_minutes = min(len(traces[job.name]) for job in jobs)
+        limit = self.config.duration_minutes
+        self.duration_minutes = min(trace_minutes, limit) if limit else trace_minutes
+        rng = np.random.default_rng(self.config.seed)
+        initial_replicas = initial_replicas or {}
+        self._history_prefix = {
+            name: np.asarray(values, dtype=float) * self.config.rate_scale
+            for name, values in (history_prefix or {}).items()
+        }
+        self.state: dict[str, _FlowJob] = {}
+        for job in jobs:
+            flow = _FlowJob(
+                spec=job,
+                trace=np.asarray(traces[job.name], dtype=float)[: self.duration_minutes]
+                * self.config.rate_scale,
+                queue_threshold=self.config.queue_threshold,
+                cold_start_range=self.config.cold_start_range,
+                rng=np.random.default_rng(rng.integers(2**31)),
+            )
+            count = int(initial_replicas.get(job.name, job.min_replicas))
+            flow.running = count
+            flow.target = count
+            self.state[job.name] = flow
+
+    # ------------------------------------------------------------ control
+
+    def _observations(self, now: float, last_tick: dict[str, dict]) -> dict[str, JobObservation]:
+        observations = {}
+        minute = min(int(now // 60.0), self.duration_minutes - 1)
+        for name, flow in self.state.items():
+            start = minute - 14
+            if start >= 0:
+                window = flow.trace[start : minute + 1]
+            else:
+                prefix = self._history_prefix.get(name, np.zeros(0))
+                pad = prefix[len(prefix) + start :] if len(prefix) + start >= 0 else prefix
+                window = np.concatenate([pad, flow.trace[: minute + 1]])
+            history = tuple(window / 60.0)
+            tick_stats = last_tick.get(name, {})
+            arrivals = tick_stats.get("arrivals", 0.0)
+            violations = tick_stats.get("violations", 0.0)
+            observations[name] = JobObservation(
+                job_name=name,
+                arrival_rate=flow.trace[minute] / 60.0,
+                rate_history=history,
+                mean_proc_time=flow.spec.model.proc_time,
+                latency=tick_stats.get("latency_p", 0.0),
+                slo_violation_rate=violations / arrivals if arrivals else 0.0,
+                current_replicas=flow.running,
+                target_replicas=flow.target,
+                queue_length=int(flow.queue),
+                drop_rate=flow.drop_rate,
+            )
+        return observations
+
+    def _apply(self, decision: ScalingDecision, now: float) -> None:
+        current = {name: flow.target for name, flow in self.state.items()}
+        cpu_per = {n: f.spec.model.cpu_per_replica for n, f in self.state.items()}
+        mem_per = {n: f.spec.model.mem_per_replica for n, f in self.state.items()}
+        admitted = self.quota.admit(current, decision.replicas, cpu_per, mem_per)
+        for name, target in admitted.items():
+            flow = self.state[name]
+            target = max(target, flow.spec.min_replicas)
+            if target != flow.running + len(flow.pending):
+                flow.scale_to(target, now)
+            flow.target = target
+        for name, rate in decision.drop_rates.items():
+            if name in self.state:
+                self.state[name].drop_rate = float(rate)
+
+    # ----------------------------------------------------------------- run
+
+    def run(self) -> SimulationResult:
+        self.policy.reset()
+        tick = float(self.policy.tick_interval)
+        minutes = self.duration_minutes
+        acc = {
+            name: {
+                "arrivals": np.zeros(minutes),
+                "drops": np.zeros(minutes),
+                "violations": np.zeros(minutes),
+                "lat_sum": np.zeros(minutes),
+                "lat_weight": np.zeros(minutes),
+                "lat_max": np.zeros(minutes),
+                "replicas": np.zeros(minutes, dtype=int),
+            }
+            for name in self.state
+        }
+        now = 0.0
+        end_time = minutes * 60.0
+        last_tick: dict[str, dict] = {}
+        while now < end_time - 1e-9:
+            dt = min(tick, end_time - now)
+            minute = min(int(now // 60.0), minutes - 1)
+            for name, flow in self.state.items():
+                lam = flow.trace[minute] / 60.0
+                stats = flow.step(now, dt, lam)
+                last_tick[name] = stats
+                bucket = acc[name]
+                bucket["arrivals"][minute] += stats["arrivals"]
+                bucket["drops"][minute] += stats["drops"]
+                bucket["violations"][minute] += stats["violations"]
+                if math.isfinite(stats["latency_p"]):
+                    bucket["lat_sum"][minute] += stats["latency_p"] * stats["arrivals"]
+                    bucket["lat_weight"][minute] += stats["arrivals"]
+                    bucket["lat_max"][minute] = max(
+                        bucket["lat_max"][minute], stats["latency_p"]
+                    )
+                else:
+                    bucket["lat_max"][minute] = math.inf
+            now += dt
+            observations = self._observations(now, last_tick)
+            decision = self.policy.tick(now, observations)
+            if decision is not None:
+                self._apply(decision, now)
+            minute_after = min(int(now // 60.0), minutes - 1)
+            for name, flow in self.state.items():
+                acc[name]["replicas"][minute_after] = flow.target
+        return self._collect(acc)
+
+    def _collect(self, acc: dict[str, dict]) -> SimulationResult:
+        series = {}
+        for name, bucket in acc.items():
+            spec = self.state[name].spec
+            minutes = self.duration_minutes
+            latency = np.zeros(minutes)
+            utility = np.zeros(minutes)
+            effective = np.zeros(minutes)
+            for m in range(minutes):
+                if math.isinf(bucket["lat_max"][m]):
+                    latency[m] = math.inf
+                elif bucket["lat_weight"][m] > 0:
+                    mean_component = bucket["lat_sum"][m] / bucket["lat_weight"][m]
+                    latency[m] = 0.5 * (mean_component + bucket["lat_max"][m])
+                else:
+                    latency[m] = 0.0
+                arrivals = bucket["arrivals"][m]
+                if arrivals <= 0:
+                    utility[m] = 1.0
+                    effective[m] = 1.0
+                    continue
+                utility[m] = inverse_utility(latency[m], spec.slo.target)
+                drop_fraction = min(bucket["drops"][m] / arrivals, 1.0)
+                effective[m] = penalty_multiplier(drop_fraction) * utility[m]
+            series[name] = JobSeries(
+                name=name,
+                arrivals=np.round(bucket["arrivals"]).astype(int),
+                drops=np.round(bucket["drops"]).astype(int),
+                violations=np.minimum(
+                    np.round(bucket["violations"]), np.round(bucket["arrivals"])
+                ).astype(int),
+                latency_p=latency,
+                utility=utility,
+                effective_utility=effective,
+                replicas=bucket["replicas"],
+            )
+        return SimulationResult(
+            jobs=series,
+            policy_name=getattr(self.policy, "name", "policy"),
+            metadata={
+                "duration_minutes": self.duration_minutes,
+                "rate_scale": self.config.rate_scale,
+                "seed": self.config.seed,
+                "quota_cpus": self.quota.cpus,
+                "simulator": "analytic-flow",
+            },
+        )

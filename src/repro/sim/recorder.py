@@ -1,0 +1,164 @@
+"""Simulation results: per-minute series and paper metrics.
+
+The paper's metrics (§6 "Metrics"):
+
+- **job SLO violation rate** = requests violating the latency SLO (dropped
+  requests included) / total incoming requests;
+- **cluster SLO violation rate** = average of job violation rates;
+- **utility** = inverse utility (Eq. 1) of the job's per-minute percentile
+  latency; **cluster utility** = sum over jobs;
+- **lost (cluster) utility** = max possible utility - actual utility
+  (Eq. 4), averaged over the run;
+- **effective utility** applies the drop penalty multiplier (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["JobSeries", "SimulationResult"]
+
+
+@dataclass
+class JobSeries:
+    """Per-minute evaluation series for one job."""
+
+    name: str
+    arrivals: np.ndarray
+    drops: np.ndarray
+    violations: np.ndarray
+    latency_p: np.ndarray
+    utility: np.ndarray
+    effective_utility: np.ndarray
+    replicas: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.arrivals),
+            len(self.drops),
+            len(self.violations),
+            len(self.latency_p),
+            len(self.utility),
+            len(self.effective_utility),
+            len(self.replicas),
+        }
+        if len(lengths) != 1:
+            raise ValueError(f"inconsistent series lengths for job {self.name}")
+
+    @property
+    def minutes(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def total_arrivals(self) -> int:
+        return int(self.arrivals.sum())
+
+    @property
+    def slo_violation_rate(self) -> float:
+        """Violating requests / total incoming requests over the run."""
+        total = self.arrivals.sum()
+        return float(self.violations.sum() / total) if total else 0.0
+
+    @property
+    def drop_fraction(self) -> float:
+        total = self.arrivals.sum()
+        return float(self.drops.sum() / total) if total else 0.0
+
+    @property
+    def mean_utility(self) -> float:
+        return float(self.utility.mean()) if self.minutes else 1.0
+
+    @property
+    def mean_lost_utility(self) -> float:
+        return 1.0 - self.mean_utility
+
+    @property
+    def mean_effective_utility(self) -> float:
+        return float(self.effective_utility.mean()) if self.minutes else 1.0
+
+
+@dataclass
+class SimulationResult:
+    """All jobs' series plus cluster-level aggregates."""
+
+    jobs: dict[str, JobSeries]
+    policy_name: str = "policy"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("result must contain at least one job")
+        minute_counts = {series.minutes for series in self.jobs.values()}
+        if len(minute_counts) != 1:
+            raise ValueError("all jobs must cover the same minutes")
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def minutes(self) -> int:
+        return next(iter(self.jobs.values())).minutes
+
+    # ------------------------------------------------------------ cluster
+
+    def cluster_utility_timeline(self) -> np.ndarray:
+        """Sum of per-job utilities per minute (max = number of jobs)."""
+        return np.sum([series.utility for series in self.jobs.values()], axis=0)
+
+    def cluster_effective_utility_timeline(self) -> np.ndarray:
+        return np.sum(
+            [series.effective_utility for series in self.jobs.values()], axis=0
+        )
+
+    def workload_timeline(self) -> np.ndarray:
+        """Total incoming requests per minute across jobs."""
+        return np.sum([series.arrivals for series in self.jobs.values()], axis=0)
+
+    @property
+    def avg_cluster_utility(self) -> float:
+        return float(self.cluster_utility_timeline().mean())
+
+    @property
+    def avg_lost_cluster_utility(self) -> float:
+        """Paper Eq. 4 averaged over the run (max utility = job count)."""
+        return self.num_jobs - self.avg_cluster_utility
+
+    @property
+    def avg_lost_effective_utility(self) -> float:
+        return self.num_jobs - float(self.cluster_effective_utility_timeline().mean())
+
+    @property
+    def cluster_slo_violation_rate(self) -> float:
+        """Average of per-job SLO violation rates (paper definition)."""
+        rates = [series.slo_violation_rate for series in self.jobs.values()]
+        return float(np.mean(rates))
+
+    def violation_rate_timeline(self) -> np.ndarray:
+        """Average per-minute violation rate across jobs."""
+        per_job = []
+        for series in self.jobs.values():
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rate = np.where(
+                    series.arrivals > 0, series.violations / np.maximum(series.arrivals, 1), 0.0
+                )
+            per_job.append(rate)
+        return np.mean(per_job, axis=0)
+
+    def lost_job_utilities(self) -> dict[str, float]:
+        """Per-job average lost utility (Fig. 12's box-plot data)."""
+        return {name: series.mean_lost_utility for name, series in self.jobs.items()}
+
+    def summary(self) -> dict:
+        """Headline numbers used by the experiment reports."""
+        return {
+            "policy": self.policy_name,
+            "avg_lost_cluster_utility": self.avg_lost_cluster_utility,
+            "avg_lost_effective_utility": self.avg_lost_effective_utility,
+            "cluster_slo_violation_rate": self.cluster_slo_violation_rate,
+            "avg_cluster_utility": self.avg_cluster_utility,
+            "num_jobs": self.num_jobs,
+            "minutes": self.minutes,
+        }

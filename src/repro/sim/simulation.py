@@ -1,0 +1,216 @@
+"""The request-level trace simulation (the "cluster deployment" stand-in).
+
+Wires together the cluster substrate (:mod:`repro.cluster`), Poisson trace
+workloads (:mod:`repro.sim.workload`) and an autoscaling policy
+(:mod:`repro.policy`) and advances time in policy-tick chunks:
+
+1. offer every request arriving in the chunk to its job's router,
+2. build per-job observations from collected metrics,
+3. invoke the policy; admit its decision through the resource quota.
+
+Because routers use virtual-time dispatch (see
+:mod:`repro.cluster.router`), per-request costs stay small enough for
+day-long, multi-policy trace sweeps in pure Python.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.job import InferenceJobSpec
+from repro.cluster.kubernetes import ResourceQuota
+from repro.cluster.rayserve import RayServeCluster
+from repro.policy import AutoscalePolicy
+from repro.sim.faults import FaultConfig, FaultInjector
+from repro.sim.recorder import JobSeries, SimulationResult
+from repro.sim.workload import PoissonArrivals
+
+__all__ = ["SimulationConfig", "Simulation"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Simulation-wide knobs.
+
+    ``rate_scale`` multiplies all trace rates (useful for scaled-down runs);
+    ``observation_window`` is the trailing window from which observations
+    are built (60 s, one metrics minute).  A non-None ``faults`` enables
+    replica fault injection (see :mod:`repro.sim.faults`).
+    """
+
+    duration_minutes: int | None = None
+    rate_scale: float = 1.0
+    seed: int = 0
+    queue_threshold: int = 50
+    cold_start_range: tuple[float, float] = (50.0, 70.0)
+    observation_window: float = 60.0
+    history_minutes: int = 15
+    metrics_bin_seconds: float = 15.0
+    faults: FaultConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_minutes is not None and self.duration_minutes < 1:
+            raise ValueError("duration_minutes must be >= 1 when given")
+        if self.rate_scale < 0:
+            raise ValueError("rate_scale must be >= 0")
+
+
+class Simulation:
+    """One experiment run: jobs + traces + policy + quota."""
+
+    def __init__(
+        self,
+        jobs: list[InferenceJobSpec],
+        traces: dict[str, np.ndarray],
+        policy: AutoscalePolicy,
+        quota: ResourceQuota,
+        config: SimulationConfig | None = None,
+        initial_replicas: dict[str, int] | None = None,
+        history_prefix: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        missing = [job.name for job in jobs if job.name not in traces]
+        if missing:
+            raise ValueError(f"traces missing for jobs: {missing}")
+        self.jobs = jobs
+        self.policy = policy
+        self.quota = quota
+        trace_minutes = min(len(traces[job.name]) for job in jobs)
+        limit = self.config.duration_minutes
+        self.duration_minutes = min(trace_minutes, limit) if limit else trace_minutes
+        self.traces = {
+            job.name: np.asarray(traces[job.name], dtype=float)[: self.duration_minutes]
+            for job in jobs
+        }
+        # History prefixes arrive in requests/minute (trace units); the
+        # collectors keep rate histories in requests/second.
+        prefix_rps = None
+        if history_prefix:
+            prefix_rps = {
+                name: np.asarray(values, dtype=float) * (self.config.rate_scale / 60.0)
+                for name, values in history_prefix.items()
+            }
+        self.cluster = RayServeCluster(
+            jobs,
+            quota,
+            initial_replicas=initial_replicas,
+            queue_threshold=self.config.queue_threshold,
+            cold_start_range=self.config.cold_start_range,
+            metrics_bin_seconds=self.config.metrics_bin_seconds,
+            history_minutes=self.config.history_minutes,
+            history_prefix=prefix_rps,
+            seed=self.config.seed,
+        )
+        self.arrivals = {
+            job.name: PoissonArrivals(
+                self.traces[job.name],
+                rate_scale=self.config.rate_scale,
+                seed=self.config.seed + 17 * index + 3,
+            )
+            for index, job in enumerate(jobs)
+        }
+        self._replica_log: dict[str, list[tuple[float, int]]] = {
+            job.name: [(0.0, self.cluster.targets[job.name])] for job in jobs
+        }
+        self._fault_injector = (
+            FaultInjector(self.config.faults) if self.config.faults else None
+        )
+
+    # ----------------------------------------------------------------- run
+
+    def run(self) -> SimulationResult:
+        self.policy.reset()
+        if self._fault_injector is not None:
+            self._fault_injector.reset()
+        tick = float(self.policy.tick_interval)
+        if tick <= 0:
+            raise ValueError(f"policy tick_interval must be positive, got {tick}")
+        end_time = self.duration_minutes * 60.0
+        now = 0.0
+        offer = self.cluster.offer
+        while now < end_time - 1e-9:
+            now = min(now + tick, end_time)
+            for name, stream in self.arrivals.items():
+                for arrival in stream.take_until(now):
+                    offer(name, arrival)
+            if self._fault_injector is not None:
+                for name, router in self.cluster.routers.items():
+                    kills = self._fault_injector.sample(name, router.replica_count, tick)
+                    for _ in range(kills):
+                        router.fail_replica(now)
+                self.cluster.reconcile(now)
+            observations = self.cluster.observations(
+                now, window=self.config.observation_window
+            )
+            decision = self.policy.tick(now, observations)
+            if decision is not None:
+                admitted = self.cluster.apply(decision, now)
+                for name, target in admitted.items():
+                    log = self._replica_log[name]
+                    if log[-1][1] != target:
+                        log.append((now, target))
+        return self._collect()
+
+    # ------------------------------------------------------------ collect
+
+    def _replicas_per_minute(self, name: str) -> np.ndarray:
+        """Replica target sampled at each minute boundary."""
+        log = self._replica_log[name]
+        out = np.empty(self.duration_minutes, dtype=int)
+        idx = 0
+        current = log[0][1]
+        for minute in range(self.duration_minutes):
+            boundary = minute * 60.0
+            while idx + 1 < len(log) and log[idx + 1][0] <= boundary:
+                idx += 1
+                current = log[idx][1]
+            out[minute] = current
+        return out
+
+    def _collect(self) -> SimulationResult:
+        series: dict[str, JobSeries] = {}
+        for job in self.jobs:
+            collector = self.cluster.metrics[job.name]
+            minutes = self.duration_minutes
+            arrivals = np.zeros(minutes, dtype=int)
+            drops = np.zeros(minutes, dtype=int)
+            violations = np.zeros(minutes, dtype=int)
+            latency = np.zeros(minutes)
+            utility = np.zeros(minutes)
+            effective = np.zeros(minutes)
+            for minute in range(minutes):
+                stats = collector.minute_stats(minute)
+                arrivals[minute] = stats.arrivals
+                drops[minute] = stats.drops
+                violations[minute] = stats.violations
+                latency[minute] = stats.latency_p
+                utility[minute] = stats.utility
+                effective[minute] = stats.effective_utility
+            series[job.name] = JobSeries(
+                name=job.name,
+                arrivals=arrivals,
+                drops=drops,
+                violations=violations,
+                latency_p=latency,
+                utility=utility,
+                effective_utility=effective,
+                replicas=self._replicas_per_minute(job.name),
+            )
+        metadata = {
+            "duration_minutes": self.duration_minutes,
+            "rate_scale": self.config.rate_scale,
+            "seed": self.config.seed,
+            "quota_cpus": self.quota.cpus,
+            "simulator": "request-level",
+        }
+        if self._fault_injector is not None:
+            metadata["failures_injected"] = dict(self._fault_injector.failures_injected)
+            metadata["total_failures"] = self._fault_injector.total_failures
+        return SimulationResult(
+            jobs=series,
+            policy_name=getattr(self.policy, "name", "policy"),
+            metadata=metadata,
+        )

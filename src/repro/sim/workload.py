@@ -1,0 +1,75 @@
+"""Poisson request generation from arrival-rate traces.
+
+The paper's load generator replays trace arrival counts as a Poisson
+process (§6, following Swayam/DeepRecSys/INFaaS/MArk).  Each trace minute
+with rate ``r`` requests/minute yields ``Poisson(r * rate_scale)`` arrivals
+placed uniformly in the minute.  Generation is lazy (one minute at a time)
+so day-long multi-job simulations stay memory-bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PoissonArrivals"]
+
+
+class PoissonArrivals:
+    """Lazy per-minute Poisson arrival stream for one job."""
+
+    def __init__(
+        self,
+        rates_per_min: np.ndarray,
+        rate_scale: float = 1.0,
+        seed: int = 0,
+        minute_seconds: float = 60.0,
+    ) -> None:
+        if rate_scale < 0:
+            raise ValueError(f"rate_scale must be >= 0, got {rate_scale}")
+        if minute_seconds <= 0:
+            raise ValueError(f"minute_seconds must be positive, got {minute_seconds}")
+        self.rates = np.asarray(rates_per_min, dtype=float)
+        if np.any(self.rates < 0):
+            raise ValueError("trace rates must be non-negative")
+        self.rate_scale = rate_scale
+        self.minute_seconds = minute_seconds
+        self._rng = np.random.default_rng(seed)
+        self._buffer: list[float] = []
+        self._cursor = 0
+        self._next_minute = 0
+        self.generated = 0
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.rates.shape[0] * self.minute_seconds
+
+    def _generate_minute(self) -> None:
+        minute = self._next_minute
+        rate = self.rates[minute] * self.rate_scale
+        count = int(self._rng.poisson(rate)) if rate > 0 else 0
+        start = minute * self.minute_seconds
+        if count:
+            times = np.sort(self._rng.uniform(start, start + self.minute_seconds, count))
+            self._buffer.extend(times.tolist())
+            self.generated += count
+        self._next_minute += 1
+
+    def take_until(self, end_time: float) -> list[float]:
+        """All arrival times <= end_time not yet taken, in order."""
+        while (
+            self._next_minute < self.rates.shape[0]
+            and self._next_minute * self.minute_seconds < end_time
+        ):
+            self._generate_minute()
+        taken: list[float] = []
+        cursor = self._cursor
+        buffer = self._buffer
+        while cursor < len(buffer) and buffer[cursor] <= end_time:
+            taken.append(buffer[cursor])
+            cursor += 1
+        self._cursor = cursor
+        if cursor > 4096:
+            # Compact the consumed prefix to bound memory.
+            del buffer[:cursor]
+            self._cursor = 0
+        return taken

@@ -1,0 +1,61 @@
+"""Workload traces (paper §6 "Workloads").
+
+The paper drives its evaluation with the top-9 Azure Functions 2019
+invocation traces plus one Twitter 2018 stream trace, rescaled to 1-1600
+requests/minute over 11 days (days 1-10 train the predictor, day 11 is the
+evaluation day), and compressed into 4-minute windows for cluster runs.
+
+Those production traces are not redistributable/offline, so
+:mod:`repro.traces.azure` and :mod:`repro.traces.twitter` generate synthetic
+equivalents with the structure the evaluation actually exercises: strong
+diurnal cycles, day-to-day drift, heavy-tailed bursts and noise.  All
+generators are deterministic given a seed.
+"""
+
+from repro.traces.azure import AzureTraceConfig, generate_azure_trace
+from repro.traces.twitter import TwitterTraceConfig, generate_twitter_trace
+from repro.traces.scaling import (
+    compress_windows,
+    rescale_trace,
+    train_eval_split,
+)
+from repro.traces.library import JobTrace, standard_job_mix
+from repro.traces.io import (
+    load_job_mix_json,
+    load_trace_csv,
+    save_job_mix_json,
+    save_trace_csv,
+)
+from repro.traces.stats import (
+    TraceStats,
+    autocorrelation,
+    burstiness,
+    describe_trace,
+    diurnal_strength,
+    peak_to_mean,
+)
+
+__all__ = [
+    "AzureTraceConfig",
+    "generate_azure_trace",
+    "TwitterTraceConfig",
+    "generate_twitter_trace",
+    "rescale_trace",
+    "compress_windows",
+    "train_eval_split",
+    "JobTrace",
+    "standard_job_mix",
+    "save_trace_csv",
+    "load_trace_csv",
+    "save_job_mix_json",
+    "load_job_mix_json",
+    "peak_to_mean",
+    "burstiness",
+    "autocorrelation",
+    "diurnal_strength",
+    "TraceStats",
+    "describe_trace",
+]
+
+#: Minutes per day at the traces' native 1-minute resolution.
+MINUTES_PER_DAY = 1440

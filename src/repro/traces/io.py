@@ -1,0 +1,116 @@
+"""Trace persistence: CSV for single traces, JSON for job mixes.
+
+The synthetic generators (:mod:`repro.traces.azure` / ``.twitter``) are
+deterministic, but exported traces let experiments be (a) re-run against
+byte-identical workloads across machines and (b) swapped for *real* Azure
+Functions / Twitter trace extracts without touching experiment code --
+the loaders return the same structures the generators produce.
+
+CSV format: header ``minute,requests`` then one row per minute.
+JSON format: ``{"traces": {name: {"rates_per_min": [...], "source": ...,
+"train_days": ...}}, "metadata": {...}}``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.library import JobTrace
+
+__all__ = [
+    "save_trace_csv",
+    "load_trace_csv",
+    "save_job_mix_json",
+    "load_job_mix_json",
+]
+
+
+def save_trace_csv(path: str | Path, trace: np.ndarray) -> None:
+    """Write one per-minute trace as ``minute,requests`` rows."""
+    values = np.asarray(trace, dtype=float)
+    if values.ndim != 1:
+        raise ValueError(f"trace must be one-dimensional, got shape {values.shape}")
+    if np.any(values < 0):
+        raise ValueError("trace rates must be non-negative")
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["minute", "requests"])
+        for minute, value in enumerate(values):
+            writer.writerow([minute, repr(float(value))])
+
+
+def load_trace_csv(path: str | Path) -> np.ndarray:
+    """Read a trace written by :func:`save_trace_csv`.
+
+    Rows must be contiguous from minute 0; gaps or reordering raise
+    :class:`ValueError` (silent gap-filling would corrupt rate statistics).
+    """
+    path = Path(path)
+    rates: list[float] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["minute", "requests"]:
+            raise ValueError(f"unexpected CSV header {header!r} in {path}")
+        for expected, row in enumerate(reader):
+            if len(row) != 2:
+                raise ValueError(f"malformed row {row!r} in {path}")
+            minute, value = int(row[0]), float(row[1])
+            if minute != expected:
+                raise ValueError(
+                    f"non-contiguous minutes in {path}: expected {expected}, got {minute}"
+                )
+            if value < 0:
+                raise ValueError(f"negative rate at minute {minute} in {path}")
+            rates.append(value)
+    if not rates:
+        raise ValueError(f"no data rows in {path}")
+    return np.asarray(rates, dtype=float)
+
+
+def save_job_mix_json(path: str | Path, jobs: list[JobTrace], metadata: dict | None = None) -> None:
+    """Persist a whole job mix (e.g. from ``standard_job_mix``) as JSON."""
+    names = [job.name for job in jobs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate job names: {names}")
+    payload = {
+        "traces": {
+            job.name: {
+                "rates_per_min": [float(v) for v in job.rates_per_min],
+                "source": job.source,
+                "train_days": job.train_days,
+            }
+            for job in jobs
+        },
+        "metadata": metadata or {},
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_job_mix_json(path: str | Path) -> tuple[list[JobTrace], dict]:
+    """Load a job mix saved by :func:`save_job_mix_json`.
+
+    Returns ``(jobs, metadata)``; job order follows the file.
+    """
+    payload = json.loads(Path(path).read_text())
+    if "traces" not in payload:
+        raise ValueError(f"{path} is not a job-mix file (no 'traces' key)")
+    jobs = []
+    for name, entry in payload["traces"].items():
+        try:
+            jobs.append(
+                JobTrace(
+                    name=name,
+                    rates_per_min=np.asarray(entry["rates_per_min"], dtype=float),
+                    source=entry.get("source", "unknown"),
+                    train_days=int(entry.get("train_days", 1)),
+                )
+            )
+        except KeyError as exc:
+            raise ValueError(f"trace {name!r} in {path} is missing {exc}") from exc
+    return jobs, payload.get("metadata", {})

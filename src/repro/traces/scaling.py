@@ -1,0 +1,78 @@
+"""Trace post-processing: rescaling, window compression, train/eval split.
+
+Mirrors the paper's preparation (§6): traces are rescaled to inject between
+1 and 1600 requests per minute; for cluster deployments they are compressed
+by averaging 4-minute windows (reducing experiment time while keeping the
+temporal patterns); days 1-10 train the predictor and day 11 evaluates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rescale_trace", "compress_windows", "train_eval_split"]
+
+MINUTES_PER_DAY = 1440
+
+
+def rescale_trace(
+    trace: np.ndarray,
+    lo: float = 1.0,
+    hi: float = 1600.0,
+    percentile: float = 99.5,
+) -> np.ndarray:
+    """Rescale a trace into the [lo, hi] requests/minute band.
+
+    The trace minimum maps to ``lo`` and its ``percentile`` value to ``hi``;
+    rarer burst peaks clip at ``hi`` (the paper injects *between* 1 and 1600
+    requests/minute, so the band is a hard envelope).  Using a high
+    percentile instead of the maximum keeps one freak burst from compressing
+    the diurnal structure into the bottom of the band.  A constant trace
+    maps to the midpoint.
+    """
+    if lo < 0 or hi <= lo:
+        raise ValueError(f"need 0 <= lo < hi, got lo={lo}, hi={hi}")
+    if not 0.0 < percentile <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+    trace = np.asarray(trace, dtype=float)
+    if trace.size == 0:
+        raise ValueError("trace must be non-empty")
+    t_min = float(trace.min())
+    t_ref = float(np.percentile(trace, percentile))
+    if t_ref - t_min < 1e-12:
+        return np.full_like(trace, (lo + hi) / 2.0)
+    scaled = lo + (trace - t_min) * (hi - lo) / (t_ref - t_min)
+    return np.clip(scaled, lo, hi)
+
+
+def compress_windows(trace: np.ndarray, window: int = 4) -> np.ndarray:
+    """Average consecutive ``window``-minute windows (paper's 4-min windows).
+
+    Truncates the trailing partial window.  The result has one value per
+    window and is interpreted at the compressed timescale (the paper plays
+    each averaged window back as one "minute" to shorten experiments while
+    retaining temporal patterns).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    trace = np.asarray(trace, dtype=float)
+    usable = (trace.shape[0] // window) * window
+    if usable == 0:
+        raise ValueError(f"trace of length {trace.shape[0]} shorter than window {window}")
+    return trace[:usable].reshape(-1, window).mean(axis=1)
+
+
+def train_eval_split(
+    trace: np.ndarray, train_days: int = 10, minutes_per_day: int = MINUTES_PER_DAY
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a per-minute trace into (train, eval) by day boundary."""
+    if train_days < 1:
+        raise ValueError(f"train_days must be >= 1, got {train_days}")
+    trace = np.asarray(trace, dtype=float)
+    cut = train_days * minutes_per_day
+    if trace.shape[0] <= cut:
+        raise ValueError(
+            f"trace of {trace.shape[0]} minutes has no data after "
+            f"{train_days} training days"
+        )
+    return trace[:cut], trace[cut:]

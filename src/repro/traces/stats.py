@@ -1,0 +1,139 @@
+"""Workload-trace statistics.
+
+The paper characterizes its workloads qualitatively ("query rates vary
+significantly over time", diurnal Azure patterns, bursty spikes); these
+statistics quantify the same properties so that (a) the synthetic
+generators can be validated against their design goals and (b) imported
+real traces can be compared against the synthetic stand-ins in
+EXPERIMENTS.md.
+
+- *peak-to-mean ratio*: how much headroom static provisioning would waste.
+- *burstiness* (Goh & Barabasi): ``(sigma - mu) / (sigma + mu)`` of the
+  rate series; 0 for Poisson-smooth, -> 1 for heavy bursts, < 0 for
+  sub-Poisson regularity.
+- *lag autocorrelation*: short-range predictability (what the forecaster
+  exploits).
+- *diurnal strength*: autocorrelation at the one-day lag -- how strongly
+  the daily cycle repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "peak_to_mean",
+    "burstiness",
+    "autocorrelation",
+    "diurnal_strength",
+    "TraceStats",
+    "describe_trace",
+]
+
+MINUTES_PER_DAY = 1440
+
+
+def _validate(trace: np.ndarray) -> np.ndarray:
+    values = np.asarray(trace, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError(f"trace must be a non-empty 1-D array, got shape {values.shape}")
+    if np.any(values < 0):
+        raise ValueError("trace rates must be non-negative")
+    return values
+
+
+def peak_to_mean(trace: np.ndarray) -> float:
+    """Max over mean of the rate series (``inf`` for an all-zero trace)."""
+    values = _validate(trace)
+    mean = float(np.mean(values))
+    if mean == 0.0:
+        return float("inf") if np.max(values) > 0 else 1.0
+    return float(np.max(values)) / mean
+
+
+def burstiness(trace: np.ndarray) -> float:
+    """Goh-Barabasi burstiness ``(sigma - mu) / (sigma + mu)`` in [-1, 1]."""
+    values = _validate(trace)
+    mu = float(np.mean(values))
+    sigma = float(np.std(values))
+    if mu == 0.0 and sigma == 0.0:
+        return 0.0
+    return (sigma - mu) / (sigma + mu)
+
+
+def autocorrelation(trace: np.ndarray, lag: int) -> float:
+    """Pearson autocorrelation of the series at ``lag`` minutes.
+
+    Returns 0.0 for constant series (no variance to correlate).
+    """
+    values = _validate(trace)
+    if lag < 1:
+        raise ValueError(f"lag must be >= 1, got {lag}")
+    if lag >= values.size:
+        raise ValueError(f"lag {lag} exceeds trace length {values.size}")
+    a = values[:-lag]
+    b = values[lag:]
+    sa, sb = np.std(a), np.std(b)
+    if sa == 0.0 or sb == 0.0:
+        return 0.0
+    return float(np.mean((a - np.mean(a)) * (b - np.mean(b))) / (sa * sb))
+
+
+def diurnal_strength(trace: np.ndarray) -> float:
+    """Autocorrelation at the one-day lag (requires >= 2 days of data)."""
+    values = _validate(trace)
+    if values.size <= MINUTES_PER_DAY:
+        raise ValueError(
+            f"diurnal strength needs > {MINUTES_PER_DAY} minutes, got {values.size}"
+        )
+    return autocorrelation(values, MINUTES_PER_DAY)
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one per-minute trace."""
+
+    minutes: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    peak_to_mean: float
+    burstiness: float
+    lag1_autocorrelation: float
+    diurnal_strength: float | None
+
+    def as_row(self) -> list:
+        """Row form for :func:`repro.experiments.report.format_table`."""
+        diurnal = "n/a" if self.diurnal_strength is None else round(self.diurnal_strength, 3)
+        return [
+            self.minutes,
+            round(self.mean, 1),
+            round(self.std, 1),
+            round(self.peak_to_mean, 2),
+            round(self.burstiness, 3),
+            round(self.lag1_autocorrelation, 3),
+            diurnal,
+        ]
+
+
+def describe_trace(trace: np.ndarray) -> TraceStats:
+    """Compute the full statistic set for one trace."""
+    values = _validate(trace)
+    diurnal = (
+        diurnal_strength(values) if values.size > MINUTES_PER_DAY else None
+    )
+    lag1 = autocorrelation(values, 1) if values.size > 1 else 0.0
+    return TraceStats(
+        minutes=int(values.size),
+        mean=float(np.mean(values)),
+        std=float(np.std(values)),
+        minimum=float(np.min(values)),
+        maximum=float(np.max(values)),
+        peak_to_mean=peak_to_mean(values),
+        burstiness=burstiness(values),
+        lag1_autocorrelation=lag1,
+        diurnal_strength=diurnal,
+    )

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.job import InferenceJobSpec
+from repro.cluster.models import RESNET34
+from repro.core.objectives import make_objective
+from repro.core.optimizer import AllocationProblem, ClusterCapacity, OptimizationJob
+from repro.core.utility import SLO
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def small_jobs():
+    """Five light jobs with paper-default ResNet34 parameters."""
+    return [
+        OptimizationJob(
+            name=f"job{i}",
+            proc_time=0.18,
+            slo=SLO(0.72),
+            rates=(4.0 + i, 7.0 + i),
+        )
+        for i in range(5)
+    ]
+
+
+@pytest.fixture
+def small_problem(small_jobs):
+    return AllocationProblem(
+        small_jobs, ClusterCapacity.of_replicas(20), make_objective("sum")
+    )
+
+
+@pytest.fixture
+def resnet_job():
+    return InferenceJobSpec.with_default_slo("svc", RESNET34)
+
+
+def constant_trace(minutes: int, rate_per_min: float) -> np.ndarray:
+    return np.full(minutes, float(rate_per_min))

@@ -1,0 +1,170 @@
+"""Admission-control tests (repro.admission)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.admission import AdmissionController, AdmissionDecision, AdmissionRequest
+from repro.core.latency import MDC, replicas_for_slo
+from repro.core.utility import SLO
+
+SLO_720 = SLO(target=0.72, percentile=99.0)
+
+
+def request(name="new", rate=20.0, proc=0.18, priority=1.0):
+    return AdmissionRequest(
+        name=name, slo=SLO_720, proc_time=proc, planning_rate=rate, priority=priority
+    )
+
+
+class TestAdmissionRequest:
+    @pytest.mark.parametrize("proc,rate,prio", [(0.0, 1.0, 1.0), (0.1, -1.0, 1.0), (0.1, 1.0, 0.0)])
+    def test_invalid(self, proc, rate, prio):
+        with pytest.raises(ValueError):
+            AdmissionRequest(
+                name="x", slo=SLO_720, proc_time=proc, planning_rate=rate, priority=prio
+            )
+
+
+class TestControllerRegistry:
+    def test_register_and_remove(self):
+        ctl = AdmissionController(capacity_replicas=16)
+        ctl.register(request("a"))
+        assert "a" in ctl.jobs
+        ctl.remove("a")
+        assert "a" not in ctl.jobs
+
+    def test_duplicate_register_rejected(self):
+        ctl = AdmissionController(capacity_replicas=16)
+        ctl.register(request("a"))
+        with pytest.raises(ValueError):
+            ctl.register(request("a"))
+
+    def test_remove_unknown_raises(self):
+        ctl = AdmissionController(capacity_replicas=16)
+        with pytest.raises(KeyError):
+            ctl.remove("ghost")
+
+    def test_update_rate(self):
+        ctl = AdmissionController(capacity_replicas=16)
+        ctl.register(request("a", rate=5.0))
+        ctl.update_rate("a", 50.0)
+        assert ctl.jobs["a"].planning_rate == 50.0
+
+    def test_update_unknown_raises(self):
+        ctl = AdmissionController(capacity_replicas=16)
+        with pytest.raises(KeyError):
+            ctl.update_rate("ghost", 1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity_replicas": 0},
+        {"capacity_replicas": 8, "policy": "vibes"},
+        {"capacity_replicas": 8, "utility_floor": 1.5},
+    ])
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionController(**kwargs)
+
+
+class TestCapacityPolicy:
+    def test_admits_into_empty_cluster(self):
+        ctl = AdmissionController(capacity_replicas=16)
+        decision = ctl.admit(request("a", rate=20.0))
+        assert decision.admitted
+        assert "a" in ctl.jobs
+        assert decision.required_replicas == replicas_for_slo(MDC, 0.99, 20.0, 0.18, 0.72)
+
+    def test_rejects_when_full(self):
+        ctl = AdmissionController(capacity_replicas=8)
+        assert ctl.admit(request("a", rate=30.0)).admitted
+        decision = ctl.admit(request("b", rate=30.0))
+        assert not decision.admitted
+        assert "b" not in ctl.jobs
+        assert "rejected" in decision.reason
+
+    def test_departure_frees_capacity(self):
+        ctl = AdmissionController(capacity_replicas=8)
+        ctl.admit(request("a", rate=30.0))
+        assert not ctl.evaluate(request("b", rate=30.0)).admitted
+        ctl.remove("a")
+        assert ctl.evaluate(request("b", rate=30.0)).admitted
+
+    def test_evaluate_does_not_register(self):
+        ctl = AdmissionController(capacity_replicas=16)
+        ctl.evaluate(request("a"))
+        assert "a" not in ctl.jobs
+
+    def test_evaluate_registered_name_rejected(self):
+        ctl = AdmissionController(capacity_replicas=16)
+        ctl.register(request("a"))
+        with pytest.raises(ValueError):
+            ctl.evaluate(request("a"))
+
+    def test_zero_rate_job_needs_one_replica(self):
+        ctl = AdmissionController(capacity_replicas=4)
+        decision = ctl.evaluate(request("idle", rate=0.0))
+        assert decision.admitted
+        assert decision.required_replicas == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rates=st.lists(st.floats(min_value=0.5, max_value=40.0), min_size=1, max_size=5),
+        capacity=st.integers(min_value=4, max_value=64),
+    )
+    def test_admitted_set_always_fits(self, rates, capacity):
+        # Whatever the arrival order, every admitted set fits the capacity.
+        ctl = AdmissionController(capacity_replicas=capacity)
+        for i, rate in enumerate(rates):
+            ctl.admit(request(f"j{i}", rate=rate))
+        total_needed = sum(
+            replicas_for_slo(MDC, 0.99, job.planning_rate, job.proc_time, job.slo.target)
+            for job in ctl.jobs.values()
+        )
+        assert total_needed <= capacity
+
+
+class TestUtilityPolicy:
+    def test_admits_when_utility_preserved(self):
+        ctl = AdmissionController(capacity_replicas=24, policy="utility", utility_floor=0.9)
+        ctl.register(request("a", rate=20.0))
+        decision = ctl.admit(request("b", rate=20.0))
+        assert decision.admitted
+        assert decision.min_utility is not None
+        assert decision.min_utility >= 0.9
+
+    def test_rejects_when_existing_jobs_would_starve(self):
+        ctl = AdmissionController(capacity_replicas=10, policy="utility", utility_floor=0.95)
+        ctl.register(request("a", rate=35.0))  # needs ~8 replicas alone
+        decision = ctl.admit(request("b", rate=35.0))
+        assert not decision.admitted
+        assert decision.min_utility is not None
+        assert decision.min_utility < 0.95
+
+    def test_admits_more_than_capacity_policy_when_floor_is_low(self):
+        # A permissive floor admits into oversubscription where the
+        # guarantee-style capacity check refuses.
+        rate = 30.0
+        cap = 12
+        strict = AdmissionController(capacity_replicas=cap, policy="capacity")
+        loose = AdmissionController(capacity_replicas=cap, policy="utility", utility_floor=0.3)
+        strict.register(request("a", rate=rate))
+        loose.register(request("a", rate=rate))
+        newcomer = request("b", rate=rate)
+        assert not strict.evaluate(newcomer).admitted
+        assert loose.evaluate(newcomer).admitted
+
+    def test_empty_cluster_short_circuit(self):
+        ctl = AdmissionController(capacity_replicas=8, policy="utility")
+        decision = ctl.evaluate(request("first", rate=10.0))
+        assert decision.admitted
+        assert decision.min_utility == 1.0
+
+
+class TestDecisionShape:
+    def test_decision_fields(self):
+        ctl = AdmissionController(capacity_replicas=16)
+        decision = ctl.evaluate(request("a", rate=10.0))
+        assert isinstance(decision, AdmissionDecision)
+        assert decision.capacity_replicas == 16
+        assert decision.cluster_required == decision.required_replicas
+        assert "capacity check" in decision.reason

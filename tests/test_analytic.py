@@ -1,0 +1,95 @@
+"""Analytic flow simulator tests and request-level agreement."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.job import InferenceJobSpec
+from repro.cluster.kubernetes import ResourceQuota
+from repro.cluster.models import ModelProfile
+from repro.sim.analytic import FlowSimulation
+from repro.sim.simulation import Simulation, SimulationConfig
+from tests.test_simulation import StaticPolicy
+
+
+def run_flow(trace_rpm, replicas, minutes=10, proc=0.18, policy=None):
+    model = ModelProfile(name="m", proc_time=proc, proc_jitter=0.0)
+    job = InferenceJobSpec.with_default_slo("svc", model)
+    traces = {"svc": np.full(minutes, float(trace_rpm))}
+    sim = FlowSimulation(
+        [job],
+        traces,
+        policy or StaticPolicy({"svc": replicas}),
+        ResourceQuota.of_replicas(max(replicas, 1)),
+        config=SimulationConfig(
+            duration_minutes=minutes, seed=0, cold_start_range=(0.0, 0.0)
+        ),
+        initial_replicas={"svc": replicas},
+    )
+    return sim.run()
+
+
+class TestFlowBehaviour:
+    def test_overprovisioned_clean(self):
+        result = run_flow(trace_rpm=120, replicas=4)
+        assert result.jobs["svc"].slo_violation_rate < 0.01
+
+    def test_underprovisioned_violates_and_drops(self):
+        result = run_flow(trace_rpm=600, replicas=1)
+        svc = result.jobs["svc"]
+        assert svc.slo_violation_rate > 0.5
+        assert svc.drops.sum() > 0
+
+    def test_metadata_marks_simulator(self):
+        result = run_flow(trace_rpm=100, replicas=2)
+        assert result.metadata["simulator"] == "analytic-flow"
+
+    def test_arrivals_match_trace(self):
+        result = run_flow(trace_rpm=300, replicas=4, minutes=5)
+        assert result.jobs["svc"].total_arrivals == pytest.approx(1500, rel=0.01)
+
+
+class TestAgreementWithRequestLevel:
+    """The flow model should agree with the DES on coarse outcomes."""
+
+    @pytest.mark.parametrize("rpm,replicas", [(120, 4), (300, 2), (600, 1), (900, 3)])
+    def test_violation_rates_close(self, rpm, replicas):
+        model = ModelProfile(name="m", proc_time=0.18, proc_jitter=0.0)
+        job = InferenceJobSpec.with_default_slo("svc", model)
+        traces = {"svc": np.full(12, float(rpm))}
+        config = SimulationConfig(duration_minutes=12, seed=1, cold_start_range=(0.0, 0.0))
+        quota = ResourceQuota.of_replicas(max(replicas, 1))
+        request = Simulation(
+            [job], traces, StaticPolicy({"svc": replicas}), quota,
+            config=config, initial_replicas={"svc": replicas},
+        ).run()
+        flow = FlowSimulation(
+            [job], traces, StaticPolicy({"svc": replicas}), quota,
+            config=config, initial_replicas={"svc": replicas},
+        ).run()
+        a = request.jobs["svc"].slo_violation_rate
+        b = flow.jobs["svc"].slo_violation_rate
+        assert abs(a - b) < 0.15
+
+    def test_more_replicas_never_worse_in_either_simulator(self):
+        # Both simulators must agree on the coarse structure (the property
+        # behind the paper's Table 7 methodology): under a fixed overload,
+        # adding replicas does not increase lost utility.
+        model = ModelProfile(name="m", proc_time=0.18, proc_jitter=0.0)
+        job = InferenceJobSpec.with_default_slo("svc", model)
+        traces = {"svc": np.full(10, 700.0)}
+        config = SimulationConfig(duration_minutes=10, seed=2, cold_start_range=(0.0, 0.0))
+
+        def lost(sim_cls, replicas):
+            quota = ResourceQuota.of_replicas(replicas)
+            result = sim_cls(
+                [job], traces, StaticPolicy({"svc": replicas}), quota,
+                config=config, initial_replicas={"svc": replicas},
+            ).run()
+            return result.avg_lost_cluster_utility
+
+        for sim_cls in (Simulation, FlowSimulation):
+            losses = [lost(sim_cls, r) for r in (1, 3, 5)]
+            assert losses[0] >= losses[1] - 0.05
+            assert losses[1] >= losses[2] - 0.05
+        # And the two simulators agree on the overloaded point's severity.
+        assert abs(lost(Simulation, 1) - lost(FlowSimulation, 1)) < 0.2

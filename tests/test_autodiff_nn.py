@@ -1,0 +1,150 @@
+"""Neural-network building blocks and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import MLP, Adam, Linear, LSTMCell, Module, Parameter, SGD, Tensor
+
+
+class TestParameterCollection:
+    def test_linear_params(self, rng):
+        layer = Linear(3, 2, rng)
+        params = layer.parameters()
+        assert len(params) == 2
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_nested_modules_and_lists(self, rng):
+        class Net(Module):
+            def __init__(self):
+                self.blocks = [Linear(2, 2, rng), Linear(2, 1, rng)]
+                self.extra = Parameter(np.zeros(3))
+
+        net = Net()
+        assert len(net.parameters()) == 5
+
+    def test_shared_parameter_counted_once(self, rng):
+        class Net(Module):
+            def __init__(self):
+                self.a = Parameter(np.zeros(2))
+                self.b = self.a
+
+        assert len(Net().parameters()) == 1
+
+    def test_zero_grad(self, rng):
+        layer = Linear(2, 1, rng)
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLinearAndMLP:
+    def test_linear_shapes(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(Tensor(np.zeros((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_mlp_forward(self, rng):
+        mlp = MLP([4, 8, 2], rng)
+        out = mlp(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_mlp_needs_two_sizes(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_unknown_activation(self, rng):
+        with pytest.raises(ValueError):
+            MLP([2, 2], rng, activation="swish")
+
+    def test_mlp_learns_linear_map(self, rng):
+        # y = x @ W_true; a small MLP should fit it quickly with Adam.
+        w_true = rng.normal(size=(3, 1))
+        x = rng.normal(size=(64, 3))
+        y = x @ w_true
+        mlp = MLP([3, 16, 1], rng)
+        optimizer = Adam(mlp.parameters(), lr=1e-2)
+        first_loss = None
+        for step in range(150):
+            pred = mlp(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            if first_loss is None:
+                first_loss = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.05 * first_loss
+
+
+class TestLSTMCell:
+    def test_shapes(self, rng):
+        cell = LSTMCell(2, 5, rng)
+        h, c = cell(Tensor(np.zeros((3, 2))))
+        assert h.shape == (3, 5) and c.shape == (3, 5)
+
+    def test_state_threading(self, rng):
+        cell = LSTMCell(1, 4, rng)
+        x = Tensor(np.ones((2, 1)))
+        state = cell(x)
+        h2, c2 = cell(x, state)
+        assert h2.shape == (2, 4)
+        assert not np.allclose(h2.numpy(), state[0].numpy())
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        cell = LSTMCell(1, 3, rng)
+        bias = cell.bias.numpy()
+        assert np.all(bias[3:6] == 1.0)
+        assert np.all(bias[:3] == 0.0)
+
+    def test_gradient_flows_through_time(self, rng):
+        cell = LSTMCell(1, 3, rng)
+        x = Tensor(rng.normal(size=(2, 1)))
+        state = None
+        for _ in range(4):
+            state = cell(x, state)
+        loss = (state[0] ** 2).sum()
+        loss.backward()
+        assert cell.weight.grad is not None
+        assert np.any(cell.weight.grad != 0.0)
+
+
+class TestOptimizers:
+    def quadratic(self, optimizer_cls, **kwargs):
+        target = np.array([3.0, -2.0])
+        param = Parameter(np.zeros(2))
+        optimizer = optimizer_cls([param], **kwargs)
+        for _ in range(300):
+            loss = ((param - Tensor(target)) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        return param.numpy(), target
+
+    def test_sgd_converges(self):
+        value, target = self.quadratic(SGD, lr=0.1)
+        assert np.allclose(value, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        value, target = self.quadratic(SGD, lr=0.05, momentum=0.9)
+        assert np.allclose(value, target, atol=1e-2)
+
+    def test_adam_converges(self):
+        value, target = self.quadratic(Adam, lr=0.1)
+        assert np.allclose(value, target, atol=1e-2)
+
+    def test_adam_clips_gradients(self):
+        param = Parameter(np.array([1e6]))
+        optimizer = Adam([param], lr=1.0, clip_norm=1.0)
+        loss = (param**2).sum()
+        loss.backward()
+        optimizer._clip()
+        assert np.linalg.norm(param.grad) <= 1.0 + 1e-9
+
+    def test_lr_validation(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)

@@ -1,0 +1,165 @@
+"""Three-stage Faro autoscaler tests (paper §4.1-§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.autoscaler import (
+    FaroAutoscaler,
+    FaroConfig,
+    JobSpec,
+    PersistencePredictor,
+)
+from repro.core.optimizer import ClusterCapacity
+from repro.core.utility import SLO
+from repro.policy import JobObservation
+
+
+def make_specs(count=3, proc=0.18, slo=0.72):
+    return [JobSpec(name=f"j{i}", slo=SLO(slo), proc_time=proc) for i in range(count)]
+
+
+def make_obs(name, rate, replicas=1, latency=0.2, proc=0.18, history=None):
+    history = history if history is not None else tuple([rate] * 15)
+    return JobObservation(
+        job_name=name,
+        arrival_rate=rate,
+        rate_history=tuple(history),
+        mean_proc_time=proc,
+        latency=latency,
+        slo_violation_rate=0.0,
+        current_replicas=replicas,
+        target_replicas=replicas,
+    )
+
+
+def autoscaler(specs=None, replicas=12, **config_kwargs):
+    specs = specs or make_specs()
+    config = FaroConfig(**config_kwargs) if config_kwargs else FaroConfig()
+    return FaroAutoscaler(specs, ClusterCapacity.of_replicas(replicas), config=config)
+
+
+class TestConstruction:
+    def test_requires_jobs(self):
+        with pytest.raises(ValueError):
+            FaroAutoscaler([], ClusterCapacity.of_replicas(4))
+
+    def test_duplicate_names_rejected(self):
+        specs = [make_specs(1)[0], make_specs(1)[0]]
+        with pytest.raises(ValueError):
+            FaroAutoscaler(specs, ClusterCapacity.of_replicas(4))
+
+    def test_name_reflects_objective(self):
+        assert autoscaler(objective="penaltysum").name == "Faro-PenaltySum"
+
+
+class TestPersistencePredictor:
+    def test_repeats_last(self):
+        paths = PersistencePredictor().sample_paths(np.array([1.0, 5.0]), 4, 3)
+        assert paths.shape == (3, 4)
+        assert np.all(paths == 5.0)
+
+    def test_empty_history(self):
+        paths = PersistencePredictor().sample_paths(np.array([]), 2, 1)
+        assert np.all(paths == 0.0)
+
+
+class TestDecide:
+    def test_allocates_more_to_heavier_job(self):
+        scaler = autoscaler(make_specs(2), replicas=12)
+        obs = {
+            "j0": make_obs("j0", 25.0),
+            "j1": make_obs("j1", 2.0),
+        }
+        decision = scaler.decide(obs)
+        assert decision.replicas["j0"] > decision.replicas["j1"]
+
+    def test_respects_capacity(self):
+        scaler = autoscaler(make_specs(3), replicas=9)
+        obs = {f"j{i}": make_obs(f"j{i}", 30.0) for i in range(3)}
+        decision = scaler.decide(obs)
+        assert sum(decision.replicas.values()) <= 9
+
+    def test_missing_observation_raises(self):
+        scaler = autoscaler(make_specs(2))
+        with pytest.raises(KeyError):
+            scaler.decide({"j0": make_obs("j0", 1.0)})
+
+    def test_penalty_variant_emits_drop_rates(self):
+        scaler = autoscaler(make_specs(2), replicas=4, objective="penaltysum")
+        obs = {f"j{i}": make_obs(f"j{i}", 40.0) for i in range(2)}
+        decision = scaler.decide(obs)
+        assert set(decision.drop_rates) == {"j0", "j1"}
+
+    def test_non_penalty_variant_has_no_drops(self):
+        scaler = autoscaler(make_specs(2), replicas=8, objective="fairsum")
+        obs = {f"j{i}": make_obs(f"j{i}", 10.0) for i in range(2)}
+        decision = scaler.decide(obs)
+        assert decision.drop_rates == {}
+
+    def test_measured_proc_time_overrides_spec(self):
+        # A slower measured processing time should demand more replicas.
+        scaler_fast = autoscaler(make_specs(1), replicas=16)
+        scaler_slow = autoscaler(make_specs(1), replicas=16)
+        fast = scaler_fast.decide({"j0": make_obs("j0", 15.0, proc=0.18)})
+        slow = scaler_slow.decide({"j0": make_obs("j0", 15.0, proc=0.4)})
+        assert slow.replicas["j0"] >= fast.replicas["j0"]
+
+
+class TestShrinking:
+    def test_shrinks_oversized_allocation(self):
+        # Ample capacity: stage 2 may hand out surplus, stage 3 trims it.
+        scaler = autoscaler(make_specs(2), replicas=20, shrinking=True)
+        obs = {f"j{i}": make_obs(f"j{i}", 3.0) for i in range(2)}
+        decision = scaler.decide(obs)
+        no_shrink = autoscaler(make_specs(2), replicas=20, shrinking=False)
+        baseline = no_shrink.decide(obs)
+        for name in decision.replicas:
+            assert decision.replicas[name] <= baseline.replicas[name]
+
+    def test_shrunk_jobs_still_meet_predicted_slo(self):
+        scaler = autoscaler(make_specs(2), replicas=20, shrinking=True)
+        # Current replicas high enough that cold-start blending does not cap
+        # the achievable utility below 1.0.
+        obs = {f"j{i}": make_obs(f"j{i}", 5.0, replicas=6) for i in range(2)}
+        scaler.decide(obs)
+        allocation = scaler.last_allocation
+        assert allocation is not None
+        # Shrinking stops while predicted utility is still 1.0.
+        assert allocation.objective_value == pytest.approx(2.0, abs=1e-6)
+
+
+class TestTickSchedule:
+    def test_solves_on_first_tick(self):
+        scaler = autoscaler(make_specs(1))
+        obs = {"j0": make_obs("j0", 5.0)}
+        assert scaler.tick(0.0, obs) is not None
+
+    def test_skips_until_period(self):
+        scaler = autoscaler(make_specs(1))
+        obs = {"j0": make_obs("j0", 5.0)}
+        scaler.tick(0.0, obs)
+        assert scaler.tick(10.0, obs) is None
+        assert scaler.tick(299.0, obs) is None
+        assert scaler.tick(300.0, obs) is not None
+
+    def test_reset_reschedules(self):
+        scaler = autoscaler(make_specs(1))
+        obs = {"j0": make_obs("j0", 5.0)}
+        scaler.tick(0.0, obs)
+        scaler.reset()
+        assert scaler.tick(10.0, obs) is not None
+
+
+class TestPredictorValidation:
+    def test_bad_predictor_shape_raises(self):
+        class BadPredictor:
+            def sample_paths(self, history, horizon, num_samples):
+                return np.zeros((1, 1))
+
+        scaler = FaroAutoscaler(
+            make_specs(1),
+            ClusterCapacity.of_replicas(4),
+            predictors={"j0": BadPredictor()},
+        )
+        with pytest.raises(ValueError):
+            scaler.decide({"j0": make_obs("j0", 5.0)})

@@ -1,0 +1,195 @@
+"""Baseline policy behaviour tests (paper Table 6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AIADPolicy,
+    CilantroLikePolicy,
+    FairSharePolicy,
+    MarkPolicy,
+    OneshotPolicy,
+)
+from repro.baselines.cilantro import BinnedLatencyEstimator
+from repro.policy import JobObservation
+
+SLOS = {"a": 0.72, "b": 0.72}
+PROCS = {"a": 0.18, "b": 0.18}
+
+
+def obs(name, latency=0.2, rate=5.0, replicas=2, history=None):
+    return JobObservation(
+        job_name=name,
+        arrival_rate=rate,
+        rate_history=tuple(history if history is not None else [rate] * 15),
+        mean_proc_time=0.18,
+        latency=latency,
+        slo_violation_rate=1.0 if latency > 0.72 else 0.0,
+        current_replicas=replicas,
+        target_replicas=replicas,
+    )
+
+
+class TestFairShare:
+    def test_equal_split_once(self):
+        policy = FairSharePolicy(total_replicas=10)
+        decision = policy.tick(0.0, {"a": obs("a"), "b": obs("b")})
+        assert decision.replicas == {"a": 5, "b": 5}
+        assert policy.tick(10.0, {"a": obs("a"), "b": obs("b")}) is None
+
+    def test_floor_division(self):
+        policy = FairSharePolicy(total_replicas=7)
+        decision = policy.tick(0.0, {"a": obs("a"), "b": obs("b")})
+        assert decision.replicas == {"a": 3, "b": 3}
+
+    def test_reset_reapplies(self):
+        policy = FairSharePolicy(total_replicas=4)
+        policy.tick(0.0, {"a": obs("a")})
+        policy.reset()
+        assert policy.tick(0.0, {"a": obs("a")}) is not None
+
+
+class TestOneshot:
+    def test_proportional_jump_after_hold(self):
+        policy = OneshotPolicy(slos=SLOS)
+        bad = {"a": obs("a", latency=1.44, replicas=2), "b": obs("b")}
+        assert policy.tick(0.0, bad) is None
+        assert policy.tick(10.0, bad) is None
+        assert policy.tick(20.0, bad) is None
+        decision = policy.tick(30.0, bad)
+        # latency/SLO = 2x -> target = ceil(2 * 2) = 4.
+        assert decision.replicas["a"] == 4
+
+    def test_infinite_latency_uses_max_factor(self):
+        policy = OneshotPolicy(slos=SLOS, max_factor=8.0, up_hold=0.0)
+        decision = policy.tick(0.0, {"a": obs("a", latency=math.inf, replicas=2)})
+        assert decision.replicas["a"] == 16
+
+    def test_downscale_after_long_underload(self):
+        policy = OneshotPolicy(slos=SLOS)
+        good = {"a": obs("a", latency=0.18, replicas=8)}
+        decision = None
+        for t in range(0, 310, 10):
+            decision = policy.tick(float(t), good)
+            if decision:
+                break
+        assert decision is not None
+        assert decision.replicas["a"] < 8
+
+    def test_no_upscale_when_meeting_slo(self):
+        policy = OneshotPolicy(slos=SLOS, up_hold=0.0)
+        decision = policy.tick(0.0, {"a": obs("a", latency=0.60, replicas=2)})
+        assert decision is None or "a" not in decision.replicas
+
+
+class TestAIAD:
+    def test_additive_increase(self):
+        policy = AIADPolicy(slos=SLOS)
+        bad = {"a": obs("a", latency=2.0, replicas=3)}
+        for t in (0.0, 10.0, 20.0):
+            policy.tick(t, bad)
+        decision = policy.tick(30.0, bad)
+        assert decision.replicas["a"] == 4
+
+    def test_additive_decrease_after_five_minutes(self):
+        policy = AIADPolicy(slos=SLOS)
+        good = {"a": obs("a", latency=0.2, replicas=4)}
+        decision = None
+        for t in range(0, 310, 10):
+            decision = policy.tick(float(t), good)
+            if decision:
+                break
+        assert decision.replicas["a"] == 3
+
+    def test_never_below_minimum(self):
+        policy = AIADPolicy(slos=SLOS, min_replicas=1, down_hold=0.0)
+        decision = policy.tick(0.0, {"a": obs("a", latency=0.1, replicas=1)})
+        assert decision is None
+
+    def test_underload_margin(self):
+        # Latency between margin*SLO and SLO: neither up nor down.
+        policy = AIADPolicy(slos=SLOS, down_hold=0.0, up_hold=0.0, underload_margin=0.5)
+        decision = policy.tick(0.0, {"a": obs("a", latency=0.5, replicas=3)})
+        assert decision is None
+
+
+class TestMark:
+    def test_throughput_based_target(self):
+        policy = MarkPolicy(proc_times=PROCS, slos=SLOS, target_utilization=0.9)
+        # Rate 20 req/s at 180 ms -> 20*0.18/0.9 = 4 replicas.
+        decision = policy.tick(0.0, {"a": obs("a", rate=20.0, replicas=1)})
+        assert decision.replicas["a"] == 4
+
+    def test_scales_down_when_load_falls(self):
+        policy = MarkPolicy(proc_times=PROCS, slos=SLOS, proactive_period=0.0)
+        policy.tick(0.0, {"a": obs("a", rate=20.0, replicas=1)})
+        decision = policy.tick(10.0, {"a": obs("a", rate=2.0, replicas=4)})
+        assert decision.replicas["a"] < 4
+
+    def test_reactive_path_between_proactive_cycles(self):
+        policy = MarkPolicy(proc_times=PROCS, slos=SLOS, up_hold=0.0)
+        policy.tick(0.0, {"a": obs("a", rate=5.0, replicas=1)})
+        decision = policy.tick(10.0, {"a": obs("a", latency=2.0, replicas=1)})
+        assert decision.replicas["a"] == 2
+
+    def test_independent_jobs(self):
+        policy = MarkPolicy(proc_times=PROCS, slos=SLOS)
+        decision = policy.tick(
+            0.0, {"a": obs("a", rate=20.0, replicas=1), "b": obs("b", rate=1.0, replicas=1)}
+        )
+        assert decision.replicas["a"] > decision.replicas.get("b", 1)
+
+
+class TestBinnedEstimator:
+    def test_optimistic_until_samples(self):
+        estimator = BinnedLatencyEstimator(default_latency=0.18, min_samples=3)
+        assert estimator.estimate(1.5) == 0.18  # no data: optimistic default
+        for _ in range(3):
+            estimator.update(1.5, 5.0)
+        assert estimator.estimate(1.5) == pytest.approx(5.0)
+
+    def test_drops_become_large_penalty(self):
+        estimator = BinnedLatencyEstimator(default_latency=0.18, min_samples=1)
+        estimator.update(2.0, math.inf)
+        assert estimator.estimate(2.0) > 1.0
+
+    def test_neighbor_bins_consulted(self):
+        estimator = BinnedLatencyEstimator(default_latency=0.18, min_samples=1, bin_width=0.1)
+        estimator.update(0.55, 3.0)
+        assert estimator.estimate(0.62) == pytest.approx(3.0)
+
+
+class TestCilantroLike:
+    def test_initially_underprovisions(self):
+        # The untrained estimator is optimistic: one replica "suffices".
+        policy = CilantroLikePolicy(
+            proc_times=PROCS, slos=SLOS, total_replicas=10, period=0.0
+        )
+        decision = policy.tick(0.0, {"a": obs("a", rate=20.0), "b": obs("b", rate=1.0)})
+        assert sum(decision.replicas.values()) <= 10
+        assert decision.replicas["a"] <= 3  # far less than the ~5 needed
+
+    def test_learns_from_violations(self):
+        policy = CilantroLikePolicy(
+            proc_times={"a": 0.18}, slos={"a": 0.72}, total_replicas=10, period=0.0
+        )
+        # Feed repeated observations: overloaded single replica, bad latency.
+        bad = obs("a", latency=5.0, rate=20.0, replicas=1)
+        for t in range(20):
+            policy.tick(float(t * 10), {"a": bad})
+        # The high-utilization bin has been learned from the feedback...
+        assert policy.estimators["a"].estimate(3.0) > 0.72
+        # ...but unexplored (lower-utilization) bins stay optimistic -- the
+        # slow-convergence failure mode the paper describes (Fig. 2).
+        assert policy.estimators["a"].estimate(0.9) == pytest.approx(0.18)
+
+    def test_budget_respected(self):
+        policy = CilantroLikePolicy(
+            proc_times=PROCS, slos=SLOS, total_replicas=6, period=0.0
+        )
+        decision = policy.tick(
+            0.0, {"a": obs("a", rate=50.0), "b": obs("b", rate=50.0)}
+        )
+        assert sum(decision.replicas.values()) <= 6

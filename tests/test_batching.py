@@ -1,0 +1,194 @@
+"""Batching router tests (repro.cluster.batching)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.batching import (
+    AdaptiveBatcher,
+    BatchingJobRouter,
+    BatchProfile,
+    CompletedRequest,
+)
+
+
+def drive(router, arrivals):
+    """Offer all arrivals and flush; return completed request list."""
+    completed = []
+    for t in arrivals:
+        completed.extend(router.offer(t))
+    completed.extend(router.flush())
+    return completed
+
+
+class TestBatchProfile:
+    def test_from_proc_time_splits(self):
+        profile = BatchProfile.from_proc_time(0.18, setup_fraction=0.6)
+        assert profile.base == pytest.approx(0.108)
+        assert profile.per_item == pytest.approx(0.072)
+        assert profile.base + profile.per_item == pytest.approx(0.18)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base": -0.1, "per_item": 0.1},
+        {"base": 0.1, "per_item": 0.0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchProfile(**kwargs)
+
+    def test_invalid_split(self):
+        with pytest.raises(ValueError):
+            BatchProfile.from_proc_time(0.18, setup_fraction=1.0)
+        with pytest.raises(ValueError):
+            BatchProfile.from_proc_time(0.0)
+
+
+class TestDispatchOnFill:
+    def test_batch_dispatches_when_full(self):
+        profile = BatchProfile(base=0.1, per_item=0.02)
+        router = BatchingJobRouter(profile, replicas=1, max_batch_size=2,
+                                   batch_timeout=10.0)
+        out = router.offer(0.0)
+        assert out == []  # still forming
+        out = router.offer(0.01)
+        assert len(out) == 2
+        # Batch of 2 dispatched at t=0.01, takes 0.1 + 2*0.02 = 0.14.
+        completion = 0.01 + 0.14
+        assert out[0].latency == pytest.approx(completion - 0.0)
+        assert out[1].latency == pytest.approx(completion - 0.01)
+        assert all(c.batch_size == 2 for c in out)
+
+    def test_unit_batches_behave_like_plain_router(self):
+        profile = BatchProfile(base=0.0, per_item=0.18)
+        router = BatchingJobRouter(profile, replicas=1, max_batch_size=1)
+        out = drive(router, [0.0, 0.05])
+        assert out[0].latency == pytest.approx(0.18)
+        # Second waits for the first to finish: starts 0.18, ends 0.36.
+        assert out[1].latency == pytest.approx(0.36 - 0.05)
+
+
+class TestDispatchOnTimeout:
+    def test_timeout_flushes_partial_batch(self):
+        profile = BatchProfile(base=0.1, per_item=0.02)
+        router = BatchingJobRouter(profile, replicas=1, max_batch_size=8,
+                                   batch_timeout=0.05)
+        router.offer(0.0)
+        # Next arrival is past the 0.05 deadline: the partial batch (1 req)
+        # dispatched at its deadline.
+        out = router.offer(1.0)
+        assert len(out) == 1
+        assert out[0].batch_size == 1
+        assert out[0].latency == pytest.approx(0.05 + 0.1 + 0.02)
+
+    def test_flush_uses_deadline(self):
+        profile = BatchProfile(base=0.1, per_item=0.02)
+        router = BatchingJobRouter(profile, replicas=1, max_batch_size=8,
+                                   batch_timeout=0.05)
+        router.offer(0.0)
+        out = router.flush()
+        assert len(out) == 1
+        assert out[0].latency == pytest.approx(0.05 + 0.12)
+
+    def test_flush_empty_is_noop(self):
+        router = BatchingJobRouter(BatchProfile(0.1, 0.02), replicas=1)
+        assert router.flush() == []
+
+
+class TestThroughputGain:
+    def _run(self, max_batch_size, lam=40.0, seconds=30.0, seed=0):
+        rng = np.random.default_rng(seed)
+        arrivals = np.cumsum(rng.exponential(1.0 / lam, int(lam * seconds)))
+        profile = BatchProfile.from_proc_time(0.18, setup_fraction=0.6)
+        router = BatchingJobRouter(
+            profile, replicas=4, max_batch_size=max_batch_size,
+            batch_timeout=0.1, queue_threshold=200,
+        )
+        completed = drive(router, arrivals)
+        latencies = [c.latency for c in completed if not c.dropped]
+        return router, float(np.percentile(latencies, 99))
+
+    def test_batching_beats_unbatched_under_load(self):
+        # 40 req/s on 4 replicas at 0.18 s/req is rho = 1.8: unbatched melts.
+        _, p99_unbatched = self._run(max_batch_size=1)
+        _, p99_batched = self._run(max_batch_size=8)
+        assert p99_batched < p99_unbatched
+
+    def test_all_requests_accounted(self):
+        router, _ = self._run(max_batch_size=8)
+        assert router.served + router.dropped == router.arrivals
+
+
+class TestDrops:
+    def test_tail_drop_when_forming_queue_full(self):
+        profile = BatchProfile(base=10.0, per_item=1.0)
+        router = BatchingJobRouter(profile, replicas=1, max_batch_size=100,
+                                   batch_timeout=100.0, queue_threshold=3)
+        out = drive(router, [0.0, 0.001, 0.002, 0.003, 0.004])
+        dropped = [c for c in out if c.dropped]
+        assert len(dropped) == 2
+        assert router.dropped == 2
+
+    def test_dropped_marker(self):
+        record = CompletedRequest(arrival=0.0, latency=math.inf, batch_size=0)
+        assert record.dropped
+        assert not CompletedRequest(0.0, 0.5, 2).dropped
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"replicas": 0},
+        {"replicas": 1, "max_batch_size": 0},
+        {"replicas": 1, "batch_timeout": -1.0},
+        {"replicas": 1, "queue_threshold": 0},
+    ])
+    def test_invalid_router(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchingJobRouter(BatchProfile(0.1, 0.02), **kwargs)
+
+
+class TestAdaptiveBatcher:
+    def _router(self):
+        return BatchingJobRouter(
+            BatchProfile.from_proc_time(0.18), replicas=2, max_batch_size=4
+        )
+
+    def test_low_rate_prefers_small_batches(self):
+        router = self._router()
+        batcher = AdaptiveBatcher(router, window=10.0)
+        for t in np.arange(0.0, 10.0, 2.0):  # 0.5 req/s
+            batcher.observe(t)
+        size = batcher.maybe_adapt(now=10.0)
+        assert size <= 2
+        assert router.max_batch_size == size
+
+    def test_high_rate_prefers_larger_batches(self):
+        router = self._router()
+        batcher = AdaptiveBatcher(router, window=10.0)
+        for t in np.arange(0.0, 10.0, 0.05):  # 20 req/s on 2 replicas
+            batcher.observe(t)
+        size = batcher.maybe_adapt(now=10.0)
+        assert size > 2
+
+    def test_hopeless_overload_maxes_batch_size(self):
+        # Beyond any batch size's capacity the batcher goes max-throughput.
+        router = self._router()
+        batcher = AdaptiveBatcher(router, window=10.0, max_size=16)
+        for t in np.arange(0.0, 10.0, 0.01):  # 100 req/s on 2 replicas
+            batcher.observe(t)
+        assert batcher.maybe_adapt(now=10.0) == 16
+
+    def test_window_expiry(self):
+        batcher = AdaptiveBatcher(self._router(), window=5.0)
+        for t in (0.0, 1.0, 2.0):
+            batcher.observe(t)
+        assert batcher.observed_rate(now=100.0) == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"quantile": 0.0},
+        {"window": 0.0},
+        {"max_size": 0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(self._router(), **kwargs)

@@ -1,0 +1,118 @@
+"""CLI smoke tests (repro.cli): exit codes and output shape."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces import load_trace_csv, save_job_mix_json, standard_job_mix
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "faro-fairsum"
+        assert args.simulator == "flow"
+
+
+class TestRun:
+    def test_run_fairshare(self, capsys):
+        code = main(["run", "--policy", "fairshare", "--jobs", "3", "--size", "9",
+                     "--minutes", "12", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lost cluster utility" in out
+        assert "SLO violation rate" in out
+
+    def test_run_with_chart(self, capsys):
+        code = main(["run", "--policy", "aiad", "--jobs", "3", "--size", "9",
+                     "--minutes", "12", "--chart"])
+        assert code == 0
+        assert "Cluster utility over time" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_two_policies(self, capsys):
+        code = main(["compare", "--policies", "fairshare,aiad", "--jobs", "3",
+                     "--size", "9", "--minutes", "12", "--chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FairShare" in out or "fairshare" in out
+        assert "lower is better" in out
+
+    def test_compare_empty_policies(self, capsys):
+        code = main(["compare", "--policies", " , ", "--jobs", "2", "--size", "6"])
+        assert code == 2
+        assert "at least one policy" in capsys.readouterr().err
+
+
+class TestTraces:
+    def test_generate_then_describe(self, tmp_path, capsys):
+        out = tmp_path / "mix.json"
+        code = main(["traces", "generate", "--jobs", "2", "--days", "2",
+                     "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        code = main(["traces", "describe", "--mix", str(out)])
+        assert code == 0
+        table = capsys.readouterr().out
+        assert "peak/mean" in table
+        assert "job00-azure" in table
+
+    def test_generate_requires_out(self, capsys):
+        code = main(["traces", "generate", "--jobs", "2"])
+        assert code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_export_roundtrip(self, tmp_path):
+        mix_path = tmp_path / "mix.json"
+        jobs = standard_job_mix(num_jobs=2, days=2, seed=0)
+        save_job_mix_json(mix_path, jobs)
+        csv_path = tmp_path / "trace.csv"
+        code = main(["traces", "export", "--mix", str(mix_path),
+                     "--job", jobs[0].name, "--out", str(csv_path)])
+        assert code == 0
+        np.testing.assert_array_equal(load_trace_csv(csv_path), jobs[0].rates_per_min)
+
+    def test_export_unknown_job(self, tmp_path, capsys):
+        mix_path = tmp_path / "mix.json"
+        save_job_mix_json(mix_path, standard_job_mix(num_jobs=1, days=2))
+        code = main(["traces", "export", "--mix", str(mix_path),
+                     "--job", "ghost", "--out", str(tmp_path / "x.csv")])
+        assert code == 2
+        assert "unknown job" in capsys.readouterr().err
+
+    def test_export_requires_job_and_out(self, capsys):
+        code = main(["traces", "export", "--jobs", "1"])
+        assert code == 2
+
+
+class TestForecast:
+    def test_ar_forecast(self, capsys):
+        code = main(["forecast", "--model", "ar", "--days", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rolling RMSE" in out
+        assert "coverage" in out
+
+    def test_unknown_model(self, capsys):
+        code = main(["forecast", "--model", "crystal-ball"])
+        assert code == 2
+        assert "unknown forecaster" in capsys.readouterr().err
+
+    def test_nhits_tiny(self, capsys):
+        code = main(["forecast", "--model", "nhits", "--days", "2", "--epochs", "1"])
+        assert code == 0
+        assert "model=nhits" in capsys.readouterr().out
+
+    def test_prophet(self, capsys):
+        code = main(["forecast", "--model", "prophet", "--days", "3"])
+        assert code == 0
+        assert "model=prophet" in capsys.readouterr().out

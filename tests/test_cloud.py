@@ -1,0 +1,204 @@
+"""Budget-limited cloud mode tests (repro.cloud)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import (
+    DEFAULT_CATALOG,
+    VM_COMPUTE,
+    VM_GENERAL,
+    VM_GPU,
+    BudgetProblem,
+    CloudJob,
+    InstanceType,
+    evaluate_planner,
+    even_split_plan,
+    mark_greedy_plan,
+    solve_budget_allocation,
+)
+from repro.core.utility import SLO
+
+SLO_720 = SLO(target=0.72, percentile=99.0)
+
+
+def job(name="job", rate=20.0, proc=0.18, priority=1.0, slo=SLO_720):
+    return CloudJob(name=name, slo=slo, proc_time=proc, arrival_rate=rate, priority=priority)
+
+
+class TestInstanceType:
+    def test_proc_time_and_throughput(self):
+        assert VM_GPU.proc_time(0.18) == pytest.approx(0.03)
+        assert VM_GENERAL.max_throughput(0.18) == pytest.approx(1 / 0.18)
+
+    def test_cost_per_request_ranking(self):
+        # For ResNet-class speedups, the GPU wins on cost-per-request but
+        # the general VM wins on cost-per-hour.
+        assert VM_GPU.cost_per_request(0.18) < VM_GENERAL.cost_per_request(0.18)
+        assert VM_GENERAL.cost_per_hour < VM_GPU.cost_per_hour
+
+    @pytest.mark.parametrize("cost,speedup", [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.0)])
+    def test_invalid(self, cost, speedup):
+        with pytest.raises(ValueError):
+            InstanceType(name="bad", cost_per_hour=cost, speedup=speedup)
+
+
+class TestBudgetProblem:
+    def test_rejects_unfundable_seed(self):
+        jobs = [job(f"j{i}") for i in range(10)]
+        with pytest.raises(ValueError):
+            BudgetProblem(jobs, DEFAULT_CATALOG, budget_per_hour=0.5)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            BudgetProblem([job()], DEFAULT_CATALOG, budget_per_hour=0.0)
+
+    def test_rejects_duplicate_jobs(self):
+        with pytest.raises(ValueError):
+            BudgetProblem([job("a"), job("a")], DEFAULT_CATALOG, budget_per_hour=10.0)
+
+
+class TestSolveBudgetAllocation:
+    def test_meets_slo_with_ample_budget(self):
+        problem = BudgetProblem([job(rate=20.0)], DEFAULT_CATALOG, budget_per_hour=5.0)
+        plan = solve_budget_allocation(problem)
+        assert plan.utilities["job"] == pytest.approx(1.0)
+        assert plan.cost_per_hour <= 5.0 + 1e-9
+
+    def test_stays_within_budget(self):
+        jobs = [job(f"j{i}", rate=40.0) for i in range(4)]
+        budget = 3.0
+        plan = solve_budget_allocation(BudgetProblem(jobs, DEFAULT_CATALOG, budget))
+        assert plan.cost_per_hour <= budget + 1e-9
+        for j in jobs:
+            assert plan.replicas(j.name) >= 1
+
+    def test_tight_budget_still_funds_every_job(self):
+        jobs = [job(f"j{i}", rate=50.0) for i in range(3)]
+        budget = 3 * VM_GENERAL.cost_per_hour + 0.01
+        plan = solve_budget_allocation(BudgetProblem(jobs, DEFAULT_CATALOG, budget))
+        assert plan.cost_per_hour <= budget + 1e-9
+        assert all(plan.replicas(j.name) >= 1 for j in jobs)
+
+    def test_beats_even_split_under_skew(self):
+        # One heavy and two light jobs: cross-job budget movement wins.
+        jobs = [job("heavy", rate=60.0), job("light1", rate=2.0), job("light2", rate=2.0)]
+        budget = 2.0
+        problem = BudgetProblem(jobs, DEFAULT_CATALOG, budget)
+        faro = solve_budget_allocation(problem)
+        split = even_split_plan(problem)
+        assert faro.total_utility >= split.total_utility - 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rates=st.lists(st.floats(min_value=1.0, max_value=80.0), min_size=1, max_size=4),
+        budget=st.floats(min_value=2.0, max_value=12.0),
+    )
+    def test_budget_invariant(self, rates, budget):
+        jobs = [job(f"j{i}", rate=r) for i, r in enumerate(rates)]
+        plan = solve_budget_allocation(BudgetProblem(jobs, DEFAULT_CATALOG, budget))
+        assert plan.cost_per_hour <= budget + 1e-9
+        assert all(0.0 <= u <= 1.0 for u in plan.utilities.values())
+
+
+class TestMarkGreedy:
+    def test_unconstrained_meets_slo(self):
+        problem = BudgetProblem([job(rate=30.0)], DEFAULT_CATALOG, budget_per_hour=50.0)
+        plan = mark_greedy_plan(problem)
+        assert plan.utilities["job"] == pytest.approx(1.0)
+
+    def test_picks_cost_per_request_winner(self):
+        problem = BudgetProblem([job(rate=30.0)], DEFAULT_CATALOG, budget_per_hour=50.0)
+        plan = mark_greedy_plan(problem)
+        best = min(DEFAULT_CATALOG, key=lambda t: t.cost_per_request(0.18))
+        assert set(plan.counts["job"]) == {best.name}
+
+    def test_clips_to_budget(self):
+        jobs = [job(f"j{i}", rate=60.0) for i in range(4)]
+        budget = 2.5
+        plan = mark_greedy_plan(BudgetProblem(jobs, DEFAULT_CATALOG, budget))
+        assert plan.cost_per_hour <= budget + 1e-9 or all(
+            plan.replicas(j.name) == 1 for j in jobs
+        )
+
+    def test_faro_at_least_as_good_when_constrained(self):
+        jobs = [job("heavy", rate=80.0), job("light", rate=4.0)]
+        budget = 1.2
+        problem = BudgetProblem(jobs, DEFAULT_CATALOG, budget)
+        faro = solve_budget_allocation(problem)
+        mark = mark_greedy_plan(problem)
+        assert faro.total_utility >= mark.total_utility - 1e-6
+
+
+class TestEvenSplit:
+    def test_equal_dollar_slices(self):
+        jobs = [job(f"j{i}", rate=10.0) for i in range(4)]
+        plan = even_split_plan(BudgetProblem(jobs, DEFAULT_CATALOG, budget_per_hour=4.0))
+        counts = [plan.replicas(j.name) for j in jobs]
+        assert len(set(counts)) == 1
+
+    def test_minimum_one_instance(self):
+        jobs = [job(f"j{i}", rate=10.0) for i in range(3)]
+        budget = 3 * VM_GENERAL.cost_per_hour + 0.001
+        plan = even_split_plan(BudgetProblem(jobs, DEFAULT_CATALOG, budget))
+        assert all(plan.replicas(j.name) >= 1 for j in jobs)
+
+
+class TestEvaluatePlanner:
+    def _traces(self, minutes=30, seed=0):
+        rng = np.random.default_rng(seed)
+        base = 600 + 500 * np.sin(np.linspace(0, 3 * np.pi, minutes))
+        return {
+            "a": np.clip(base + rng.normal(0, 40, minutes), 10, None),
+            "b": np.clip(base[::-1] + rng.normal(0, 40, minutes), 10, None),
+        }
+
+    def test_runs_and_reports(self):
+        jobs = [job("a", rate=0.0), job("b", rate=0.0)]
+        result = evaluate_planner(
+            solve_budget_allocation,
+            jobs,
+            self._traces(),
+            DEFAULT_CATALOG,
+            budget_per_hour=6.0,
+            planner_name="faro-budget",
+        )
+        assert result.minutes == 30
+        assert 0.0 <= result.avg_cluster_utility <= 2.0
+        assert result.summary()["planner"] == "faro-budget"
+        assert result.mean_cost_per_hour <= 6.0 + 1e-9
+
+    def test_faro_beats_even_split_on_skewed_load(self):
+        minutes = 40
+        heavy = np.full(minutes, 2400.0)
+        light = np.full(minutes, 60.0)
+        jobs = [job("heavy", rate=0.0), job("light", rate=0.0)]
+        traces = {"heavy": heavy, "light": light}
+        budget = 1.5
+        faro = evaluate_planner(
+            solve_budget_allocation, jobs, traces, DEFAULT_CATALOG, budget
+        )
+        split = evaluate_planner(even_split_plan, jobs, traces, DEFAULT_CATALOG, budget)
+        assert faro.avg_cluster_utility >= split.avg_cluster_utility - 1e-9
+
+    def test_missing_trace_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_planner(
+                even_split_plan,
+                [job("a"), job("zzz")],
+                {"a": np.ones(10)},
+                DEFAULT_CATALOG,
+                budget_per_hour=5.0,
+            )
+
+    def test_invalid_periods_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_planner(
+                even_split_plan,
+                [job("a")],
+                {"a": np.ones(10)},
+                DEFAULT_CATALOG,
+                budget_per_hour=5.0,
+                replan_minutes=0,
+            )

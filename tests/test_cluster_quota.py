@@ -1,0 +1,66 @@
+"""Kubernetes-style resource-quota admission tests."""
+
+import pytest
+
+from repro.cluster.kubernetes import ResourceQuota
+
+
+def admit(quota, current, targets):
+    jobs = set(current)
+    ones = {j: 1.0 for j in jobs}
+    return quota.admit(current, targets, ones, ones)
+
+
+class TestQuota:
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            ResourceQuota(cpus=0, mem=1)
+
+    def test_of_replicas(self):
+        quota = ResourceQuota.of_replicas(8, cpu_per_replica=2.0)
+        assert quota.cpus == 16.0 and quota.mem == 8.0
+
+    def test_within_quota_granted(self):
+        quota = ResourceQuota.of_replicas(10)
+        admitted = admit(quota, {"a": 2, "b": 2}, {"a": 4, "b": 4})
+        assert admitted == {"a": 4, "b": 4}
+
+    def test_scale_down_always_admitted(self):
+        quota = ResourceQuota.of_replicas(4)
+        admitted = admit(quota, {"a": 3, "b": 1}, {"a": 1})
+        assert admitted["a"] == 1
+        assert admitted["b"] == 1
+
+    def test_excess_clipped(self):
+        quota = ResourceQuota.of_replicas(6)
+        admitted = admit(quota, {"a": 2, "b": 2}, {"a": 10, "b": 2})
+        assert admitted["a"] == 4  # 2 free replicas granted
+        assert admitted["b"] == 2
+
+    def test_round_robin_sharing(self):
+        # Two jobs both want +4 with only 4 free: each gets +2.
+        quota = ResourceQuota.of_replicas(8)
+        admitted = admit(quota, {"a": 2, "b": 2}, {"a": 6, "b": 6})
+        assert admitted == {"a": 4, "b": 4}
+
+    def test_downscale_frees_capacity_for_upscale(self):
+        quota = ResourceQuota.of_replicas(6)
+        admitted = admit(quota, {"a": 4, "b": 2}, {"a": 1, "b": 5})
+        assert admitted == {"a": 1, "b": 5}
+
+    def test_missing_target_keeps_current(self):
+        quota = ResourceQuota.of_replicas(10)
+        admitted = admit(quota, {"a": 3, "b": 2}, {})
+        assert admitted == {"a": 3, "b": 2}
+
+    def test_heterogeneous_cpu_sizes(self):
+        quota = ResourceQuota(cpus=10.0, mem=100.0)
+        admitted = quota.admit(
+            {"big": 1, "small": 1},
+            {"big": 4, "small": 8},
+            {"big": 2.0, "small": 0.5},
+            {"big": 1.0, "small": 1.0},
+        )
+        used = admitted["big"] * 2.0 + admitted["small"] * 0.5
+        assert used <= 10.0
+        assert admitted["big"] >= 1 and admitted["small"] >= 1

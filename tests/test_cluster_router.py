@@ -1,0 +1,149 @@
+"""Router / replica-pool behaviour tests (paper §5 semantics)."""
+
+import math
+
+import pytest
+
+from repro.cluster.models import ModelProfile
+from repro.cluster.router import JobRouter
+
+
+def make_router(replicas=2, proc=0.1, threshold=50, cold=(0.0, 0.0), jitter=0.0, seed=0):
+    model = ModelProfile(name="m", proc_time=proc, proc_jitter=jitter)
+    return JobRouter(
+        job_name="j",
+        model=model,
+        initial_replicas=replicas,
+        queue_threshold=threshold,
+        cold_start_range=cold,
+        seed=seed,
+    )
+
+
+class TestDispatch:
+    def test_idle_replica_serves_in_proc_time(self):
+        router = make_router(replicas=1, proc=0.2)
+        assert router.offer(10.0) == pytest.approx(0.2)
+
+    def test_fifo_backlog_accumulates(self):
+        router = make_router(replicas=1, proc=0.2)
+        first = router.offer(0.0)
+        second = router.offer(0.0)
+        assert first == pytest.approx(0.2)
+        assert second == pytest.approx(0.4)
+
+    def test_parallel_replicas_split_load(self):
+        router = make_router(replicas=2, proc=0.2)
+        latencies = [router.offer(0.0) for _ in range(2)]
+        assert latencies == [pytest.approx(0.2), pytest.approx(0.2)]
+
+    def test_later_arrival_finds_idle_replica(self):
+        router = make_router(replicas=1, proc=0.2)
+        router.offer(0.0)
+        assert router.offer(1.0) == pytest.approx(0.2)
+
+    def test_mdc_consistency_under_poisson_load(self):
+        # Empirical p99 latency should come close to the M/D/c estimate.
+        import numpy as np
+
+        from repro.queueing.mdc import mdc_latency_percentile
+
+        rng = np.random.default_rng(0)
+        lam, proc, servers = 25.0, 0.1, 4
+        router = make_router(replicas=servers, proc=proc, threshold=10**9)
+        t, latencies = 0.0, []
+        for _ in range(20000):
+            t += rng.exponential(1.0 / lam)
+            latencies.append(router.offer(t))
+        measured = float(np.percentile(latencies, 99))
+        predicted = mdc_latency_percentile(0.99, lam, proc, servers)
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+
+class TestDrops:
+    def test_tail_drop_at_threshold(self):
+        router = make_router(replicas=1, proc=1.0, threshold=3)
+        results = [router.offer(0.0) for _ in range(10)]
+        dropped = [r for r in results if math.isinf(r)]
+        assert len(dropped) == 10 - 4  # 1 in service + 3 queued accepted
+        assert router.totals.tail_dropped == 6
+
+    def test_explicit_drop_rate(self):
+        router = make_router(replicas=4, proc=0.01, seed=1)
+        router.drop_rate = 0.5
+        results = [router.offer(t * 1.0) for t in range(2000)]
+        dropped = sum(1 for r in results if math.isinf(r))
+        assert 800 < dropped < 1200
+        assert router.totals.explicit_dropped == dropped
+
+    def test_no_replicas_drops_everything(self):
+        router = make_router(replicas=0)
+        assert math.isinf(router.offer(0.0))
+
+    def test_totals_conserved(self):
+        router = make_router(replicas=1, proc=0.5, threshold=2, seed=2)
+        router.drop_rate = 0.2
+        for t in range(100):
+            router.offer(t * 0.1)
+        totals = router.totals
+        assert totals.arrivals == 100
+        assert totals.served + totals.dropped == 100
+
+
+class TestScaling:
+    def test_scale_up_with_cold_start(self):
+        router = make_router(replicas=1, proc=0.2, cold=(60.0, 60.0))
+        router.scale_to(3, now=0.0)
+        assert router.replica_count == 3
+        assert router.ready_replica_count(0.0) == 1
+        assert router.ready_replica_count(61.0) == 3
+
+    def test_new_replica_not_used_before_ready(self):
+        router = make_router(replicas=1, proc=1.0, cold=(100.0, 100.0))
+        router.scale_to(2, now=0.0)
+        first = router.offer(0.0)
+        second = router.offer(0.0)
+        # Second request waits for the busy replica, not the cold one.
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+
+    def test_scale_down_removes_pending_first(self):
+        router = make_router(replicas=1, proc=0.2, cold=(100.0, 100.0))
+        router.scale_to(3, now=0.0)
+        router.scale_to(1, now=1.0)
+        assert router.replica_count == 1
+        assert router.ready_replica_count(1.0) == 1  # the original survives
+
+    def test_scale_down_to_zero(self):
+        router = make_router(replicas=2)
+        router.scale_to(0, now=0.0)
+        assert router.replica_count == 0
+
+    def test_scale_delta_returned(self):
+        router = make_router(replicas=2)
+        assert router.scale_to(5, now=0.0) == 3
+        assert router.scale_to(4, now=0.0) == -1
+        assert router.scale_to(4, now=0.0) == 0
+
+    def test_negative_target_rejected(self):
+        router = make_router()
+        with pytest.raises(ValueError):
+            router.scale_to(-1, now=0.0)
+
+
+class TestQueueLength:
+    def test_empty_initially(self):
+        router = make_router()
+        assert router.queue_length(0.0) == 0
+
+    def test_counts_waiting_requests(self):
+        router = make_router(replicas=1, proc=1.0, threshold=100)
+        for _ in range(5):
+            router.offer(0.0)
+        assert router.queue_length(0.0) == 4  # one in service
+        assert router.queue_length(3.5) == 1  # three finished by then
+
+    def test_jitter_bounded(self):
+        router = make_router(replicas=1, proc=0.2, jitter=0.1, seed=3)
+        latency = router.offer(0.0)
+        assert 0.1 <= latency <= 0.3

@@ -1,0 +1,199 @@
+"""Decentralized Faro tests (repro.core.decentralized)."""
+
+import numpy as np
+import pytest
+
+from repro.core.autoscaler import FaroAutoscaler, FaroConfig, JobSpec
+from repro.core.decentralized import DecentralizedFaro, RebalanceConfig, partition_jobs
+from repro.core.optimizer import ClusterCapacity
+from repro.core.utility import SLO
+from repro.policy import JobObservation
+
+SLO_720 = SLO(target=0.72, percentile=99.0)
+
+
+def spec(name):
+    return JobSpec(name=name, slo=SLO_720, proc_time=0.18)
+
+
+def obs(name, rate, replicas=1, history_len=15):
+    return JobObservation(
+        job_name=name,
+        arrival_rate=rate,
+        rate_history=tuple([rate] * history_len),
+        mean_proc_time=0.18,
+        latency=0.2,
+        slo_violation_rate=0.0,
+        current_replicas=replicas,
+        target_replicas=replicas,
+    )
+
+
+def fast_config(**overrides):
+    defaults = dict(objective="sum", solver="greedy", num_samples=4, seed=0)
+    defaults.update(overrides)
+    return FaroConfig(**defaults)
+
+
+class TestPartition:
+    def test_round_robin(self):
+        jobs = [spec(f"j{i}") for i in range(5)]
+        groups = partition_jobs(jobs, 2)
+        assert [j.name for j in groups[0]] == ["j0", "j2", "j4"]
+        assert [j.name for j in groups[1]] == ["j1", "j3"]
+
+    def test_all_groups_non_empty(self):
+        jobs = [spec(f"j{i}") for i in range(7)]
+        for g in range(1, 8):
+            groups = partition_jobs(jobs, g)
+            assert len(groups) == g
+            assert all(groups)
+
+    def test_too_many_groups_rejected(self):
+        with pytest.raises(ValueError):
+            partition_jobs([spec("a")], 2)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            partition_jobs([spec("a")], 0)
+
+
+class TestRebalanceConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_transfer": 0},
+        {"demand_quantile": 0.0},
+        {"demand_quantile": 1.5},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            RebalanceConfig(**kwargs)
+
+
+class TestShares:
+    def test_initial_equal_split(self):
+        jobs = [spec(f"j{i}") for i in range(4)]
+        policy = DecentralizedFaro(jobs, total_replicas=16, num_groups=4,
+                                   config=fast_config())
+        assert policy.shares == [4, 4, 4, 4]
+
+    def test_conservation_on_construction(self):
+        jobs = [spec(f"j{i}") for i in range(5)]
+        policy = DecentralizedFaro(jobs, total_replicas=17, num_groups=3,
+                                   config=fast_config())
+        assert sum(policy.shares) == 17
+
+    def test_too_small_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            DecentralizedFaro([spec("a"), spec("b")], total_replicas=1, num_groups=1)
+
+
+class TestSingleGroupEquivalence:
+    def test_matches_centralized(self):
+        jobs = [spec(f"j{i}") for i in range(4)]
+        config = fast_config()
+        observations = {f"j{i}": obs(f"j{i}", rate=5.0 + 3 * i) for i in range(4)}
+        central = FaroAutoscaler(jobs, ClusterCapacity.of_replicas(20), config=config)
+        decentral = DecentralizedFaro(jobs, total_replicas=20, num_groups=1, config=config)
+        assert central.decide(observations).replicas == decentral.decide(observations).replicas
+
+
+class TestRebalancing:
+    def _policy(self, num_jobs=4, total=16, groups=2, **cfg):
+        jobs = [spec(f"j{i}") for i in range(num_jobs)]
+        return jobs, DecentralizedFaro(
+            jobs, total_replicas=total, num_groups=groups, config=fast_config(**cfg)
+        )
+
+    def test_shares_conserved_over_rounds(self):
+        jobs, policy = self._policy()
+        rng = np.random.default_rng(0)
+        for round_idx in range(6):
+            observations = {
+                j.name: obs(j.name, rate=float(rng.uniform(1.0, 40.0))) for j in jobs
+            }
+            policy.decide(observations)
+            assert sum(policy.shares) == 16
+            assert all(
+                share >= minimum
+                for share, minimum in zip(policy.shares, policy._min_share)
+            )
+
+    def test_shares_follow_skewed_demand(self):
+        # Group 0 holds j0/j2 (hot), group 1 holds j1/j3 (idle): after a few
+        # rounds group 0's share must have grown.
+        jobs, policy = self._policy(num_jobs=4, total=16, groups=2)
+        hot = {"j0", "j2"}
+        observations = {
+            j.name: obs(j.name, rate=30.0 if j.name in hot else 0.5) for j in jobs
+        }
+        for _ in range(4):
+            policy.decide(observations)
+        assert policy.shares[0] > policy.shares[1]
+
+    def test_bounded_transfer_per_round(self):
+        jobs, policy = self._policy(num_jobs=4, total=16, groups=2)
+        cap = policy.rebalance_config.max_transfer
+        before = list(policy.shares)
+        hot = {"j0", "j2"}
+        observations = {
+            j.name: obs(j.name, rate=50.0 if j.name in hot else 0.1) for j in jobs
+        }
+        policy.decide(observations)
+        moved = abs(policy.shares[0] - before[0])
+        assert moved <= cap
+
+    def test_decision_covers_all_jobs(self):
+        jobs, policy = self._policy()
+        observations = {j.name: obs(j.name, rate=10.0) for j in jobs}
+        decision = policy.decide(observations)
+        assert set(decision.replicas) == {j.name for j in jobs}
+        assert all(count >= 1 for count in decision.replicas.values())
+
+    def test_local_decisions_respect_shares(self):
+        jobs, policy = self._policy(num_jobs=4, total=12, groups=2)
+        observations = {j.name: obs(j.name, rate=60.0) for j in jobs}
+        shares_before = list(policy.shares)
+        decision = policy.decide(observations)
+        for g, group in enumerate(policy.groups):
+            used = sum(decision.replicas[j.name] for j in group)
+            assert used <= shares_before[g]
+
+    def test_reset_restores_equal_shares(self):
+        jobs, policy = self._policy()
+        hot = {"j0", "j2"}
+        observations = {
+            j.name: obs(j.name, rate=30.0 if j.name in hot else 0.5) for j in jobs
+        }
+        for _ in range(3):
+            policy.decide(observations)
+        policy.reset()
+        assert policy.shares == policy._equal_shares()
+        assert sum(policy.shares) == 16
+
+
+class TestConvergenceTowardCentralized:
+    def test_static_load_close_to_centralized(self):
+        # On a stable workload the decentralized utility approaches the
+        # centralized one after shares converge.
+        jobs = [spec(f"j{i}") for i in range(4)]
+        rates = {"j0": 25.0, "j1": 3.0, "j2": 18.0, "j3": 6.0}
+        observations = {name: obs(name, rate) for name, rate in rates.items()}
+        config = fast_config()
+        central = FaroAutoscaler(jobs, ClusterCapacity.of_replicas(20), config=config)
+        central_decision = central.decide(observations)
+        policy = DecentralizedFaro(jobs, total_replicas=20, num_groups=2, config=config)
+        decision = None
+        for _ in range(6):
+            decision = policy.decide(observations)
+        # Every job ends within 2 replicas of the centralized choice.
+        for name in rates:
+            assert abs(decision.replicas[name] - central_decision.replicas[name]) <= 2
+
+    def test_tick_respects_period(self):
+        jobs = [spec("a"), spec("b")]
+        policy = DecentralizedFaro(jobs, total_replicas=8, num_groups=2,
+                                   config=fast_config(period=300.0))
+        observations = {j.name: obs(j.name, rate=5.0) for j in jobs}
+        assert policy.tick(0.0, observations) is not None
+        assert policy.tick(10.0, observations) is None
+        assert policy.tick(300.0, observations) is not None

@@ -1,0 +1,243 @@
+"""Forecaster tests: base utilities, classical baselines, N-HiTS, LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import (
+    ARForecaster,
+    ARMAForecaster,
+    DeepARLiteForecaster,
+    EWMAForecaster,
+    LSTMForecaster,
+    NaiveForecaster,
+    NHiTSConfig,
+    NHiTSForecaster,
+    SeasonalNaiveForecaster,
+    StandardScaler,
+    coverage,
+    mae,
+    rmse,
+)
+from repro.forecast.base import sliding_windows
+from repro.forecast.lstm import LSTMConfig
+from repro.forecast.nhits import interpolation_matrix
+
+
+def sine_series(n=2000, period=144, level=100.0, amp=40.0, noise=5.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return np.maximum(
+        level + amp * np.sin(2 * np.pi * t / period) + rng.normal(0, noise, n), 0.0
+    )
+
+
+class TestScalerAndWindows:
+    def test_scaler_roundtrip(self):
+        series = np.array([1.0, 5.0, 9.0])
+        scaler = StandardScaler().fit(series)
+        assert np.allclose(scaler.inverse(scaler.transform(series)), series)
+
+    def test_scaler_constant_series(self):
+        scaler = StandardScaler().fit(np.full(10, 3.0))
+        assert scaler.std == 1.0
+
+    def test_scaler_unfitted(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros(2))
+
+    def test_windows_shapes(self):
+        x, y = sliding_windows(np.arange(20.0), 5, 3)
+        assert x.shape == (13, 5) and y.shape == (13, 3)
+        assert np.allclose(x[0], [0, 1, 2, 3, 4])
+        assert np.allclose(y[0], [5, 6, 7])
+
+    def test_windows_too_short(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(5.0), 4, 3)
+
+
+class TestMetrics:
+    def test_rmse(self):
+        assert rmse([1.0, 2.0], [1.0, 4.0]) == pytest.approx(np.sqrt(2.0))
+
+    def test_mae(self):
+        assert mae([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_coverage_full(self):
+        samples = np.vstack([np.zeros(4), np.full(4, 10.0)])
+        assert coverage(samples, np.full(4, 5.0), 0, 100) == 1.0
+
+    def test_coverage_none(self):
+        samples = np.vstack([np.zeros(4), np.ones(4)])
+        assert coverage(samples, np.full(4, 5.0), 0, 100) == 0.0
+
+
+class TestClassicalBaselines:
+    def test_naive_repeats_last(self):
+        f = NaiveForecaster().fit(np.arange(10.0))
+        assert np.all(f.predict(np.array([1.0, 7.0]), 3) == 7.0)
+
+    def test_seasonal_naive(self):
+        series = np.tile(np.array([1.0, 2.0, 3.0]), 5)
+        f = SeasonalNaiveForecaster(period=3).fit(series)
+        prediction = f.predict(series, 3)
+        assert np.allclose(prediction, [1.0, 2.0, 3.0])
+
+    def test_ewma_constant_series(self):
+        f = EWMAForecaster(alpha=0.5).fit(np.full(20, 4.0))
+        assert np.allclose(f.predict(np.full(10, 4.0), 2), 4.0)
+
+    def test_ar_learns_ar1(self):
+        # x_t = 0.8 x_{t-1} + noise: AR fit should recover phi ~ 0.8.
+        rng = np.random.default_rng(1)
+        x = np.zeros(3000)
+        for t in range(1, 3000):
+            x[t] = 0.8 * x[t - 1] + rng.normal(0, 0.1)
+        f = ARForecaster(order=2).fit(x)
+        assert f.coef[-1] == pytest.approx(0.8, abs=0.08)
+
+    def test_ar_beats_naive_on_sine(self):
+        series = sine_series()
+        f = ARForecaster(order=16).fit(series[:1500])
+        horizon = 12
+        errors_ar, errors_naive = [], []
+        for start in range(1500, 1900, 37):
+            history, truth = series[:start], series[start : start + horizon]
+            errors_ar.append(rmse(f.predict(history, horizon), truth))
+            errors_naive.append(rmse(np.full(horizon, history[-1]), truth))
+        assert np.mean(errors_ar) < np.mean(errors_naive)
+
+    def test_ar_too_short_series(self):
+        with pytest.raises(ValueError):
+            ARForecaster(order=8).fit(np.arange(5.0))
+
+    def test_ar_sample_paths_nonnegative(self):
+        f = ARForecaster(order=4).fit(sine_series(500))
+        paths = f.sample_paths(sine_series(500)[:100], 6, 20)
+        assert paths.shape == (20, 6)
+        assert np.all(paths >= 0.0)
+
+    def test_arma_fits_and_predicts(self):
+        series = sine_series(800)
+        f = ARMAForecaster(ar_order=4, ma_order=2).fit(series)
+        prediction = f.predict(series[:400], 5)
+        assert prediction.shape == (5,)
+        assert np.all(np.isfinite(prediction))
+
+    def test_arma_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ARMAForecaster().predict(np.zeros(10), 2)
+
+
+class TestInterpolationMatrix:
+    def test_single_knot_broadcasts(self):
+        m = interpolation_matrix(1, 5)
+        assert np.allclose(m, 1.0)
+
+    def test_identity_when_equal(self):
+        m = interpolation_matrix(4, 4)
+        assert np.allclose(m, np.eye(4))
+
+    def test_rows_sum_to_one(self):
+        m = interpolation_matrix(3, 10)
+        assert np.allclose(m.sum(axis=1), 1.0)
+
+    def test_endpoint_alignment(self):
+        m = interpolation_matrix(3, 7)
+        values = m @ np.array([0.0, 1.0, 2.0])
+        assert values[0] == pytest.approx(0.0)
+        assert values[-1] == pytest.approx(2.0)
+
+
+class TestNHiTS:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NHiTSConfig(input_size=10, kernels=(3,))
+        with pytest.raises(ValueError):
+            NHiTSConfig(loss="nll", probabilistic=False)
+
+    def test_unfitted_raises(self):
+        f = NHiTSForecaster(NHiTSConfig(input_size=8, horizon=4))
+        with pytest.raises(RuntimeError):
+            f.predict(np.zeros(8), 4)
+
+    def test_training_reduces_loss(self):
+        series = sine_series(1200)
+        config = NHiTSConfig(input_size=16, horizon=8, epochs=6, kernels=(4, 1))
+        f = NHiTSForecaster(config).fit(series)
+        assert f.loss_history[-1] < f.loss_history[0]
+
+    def test_beats_naive_on_seasonal_signal(self):
+        series = sine_series(2500)
+        config = NHiTSConfig(input_size=16, horizon=8, epochs=8)
+        f = NHiTSForecaster(config).fit(series[:2000])
+        horizon = 8
+        errors_model, errors_naive = [], []
+        for start in range(2000, 2400, 31):
+            history, truth = series[start - 16 : start], series[start : start + horizon]
+            errors_model.append(rmse(f.predict(history, horizon), truth))
+            errors_naive.append(rmse(np.full(horizon, history[-1]), truth))
+        assert np.mean(errors_model) < np.mean(errors_naive)
+
+    def test_probabilistic_outputs(self):
+        series = sine_series(1000)
+        f = NHiTSForecaster(NHiTSConfig(input_size=16, horizon=8, epochs=4)).fit(series)
+        mu, sigma = f.predict_distribution(series[:500], 8)
+        assert mu.shape == (8,) and sigma.shape == (8,)
+        assert np.all(sigma > 0)
+
+    def test_sample_paths_cover_truth(self):
+        series = sine_series(2000)
+        f = NHiTSForecaster(NHiTSConfig(input_size=16, horizon=8, epochs=8)).fit(
+            series[:1600]
+        )
+        covs = []
+        for start in range(1600, 1900, 41):
+            history, truth = series[start - 16 : start], series[start : start + 8]
+            paths = f.sample_paths(history, 8, 100)
+            covs.append(coverage(paths, truth, 5, 95))
+        assert np.mean(covs) > 0.5
+
+    def test_horizon_extension_tiles(self):
+        series = sine_series(1000)
+        f = NHiTSForecaster(NHiTSConfig(input_size=16, horizon=8, epochs=2)).fit(series)
+        long_pred = f.predict(series[:500], 20)
+        assert long_pred.shape == (20,)
+
+    def test_short_history_padded(self):
+        series = sine_series(1000)
+        f = NHiTSForecaster(NHiTSConfig(input_size=16, horizon=8, epochs=2)).fit(series)
+        prediction = f.predict(np.array([50.0, 60.0]), 8)
+        assert prediction.shape == (8,)
+        assert np.all(prediction >= 0)
+
+    def test_deterministic_given_seed(self):
+        series = sine_series(800)
+        config = NHiTSConfig(input_size=16, horizon=8, epochs=3, seed=5)
+        a = NHiTSForecaster(config).fit(series).predict(series[:300], 8)
+        b = NHiTSForecaster(config).fit(series).predict(series[:300], 8)
+        assert np.allclose(a, b)
+
+
+class TestLSTMForecasters:
+    def test_lstm_fit_predict(self):
+        series = sine_series(900)
+        config = LSTMConfig(input_size=12, horizon=6, epochs=3, max_windows=256)
+        f = LSTMForecaster(config).fit(series)
+        prediction = f.predict(series[:400], 6)
+        assert prediction.shape == (6,)
+        assert f.loss_history[-1] < f.loss_history[0]
+
+    def test_deepar_distribution(self):
+        series = sine_series(900)
+        config = LSTMConfig(input_size=12, horizon=6, epochs=3, max_windows=256)
+        f = DeepARLiteForecaster(config).fit(series)
+        mu, sigma = f.predict_distribution(series[:400], 6)
+        assert np.all(sigma > 0)
+        paths = f.sample_paths(series[:400], 6, 25)
+        assert paths.shape == (25, 6)
+        assert np.all(paths >= 0)

@@ -1,0 +1,225 @@
+"""Heterogeneous (CPU/GPU-mix) extension tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import MDC, replicas_for_slo
+from repro.core.utility import SLO
+from repro.hetero import (
+    CPU_SMALL,
+    GPU_T4,
+    GPU_V100,
+    HeteroAllocation,
+    HeteroCapacity,
+    HeteroJob,
+    HeteroProblem,
+    ReplicaType,
+    mixed_pool_latency,
+    mixed_pool_stats,
+    solve_hetero_allocation,
+)
+
+SLO_720 = SLO(target=0.72, percentile=99.0)
+
+
+def job(name="job", rate=20.0, proc=0.18, priority=1.0, slo=SLO_720):
+    return HeteroJob(name=name, slo=slo, proc_time=proc, arrival_rate=rate, priority=priority)
+
+
+class TestReplicaType:
+    def test_proc_time_scales_by_speedup(self):
+        assert GPU_T4.proc_time(0.18) == pytest.approx(0.045)
+        assert CPU_SMALL.proc_time(0.18) == pytest.approx(0.18)
+
+    @pytest.mark.parametrize("speedup", [0.0, -1.0])
+    def test_invalid_speedup(self, speedup):
+        with pytest.raises(ValueError):
+            ReplicaType(name="bad", speedup=speedup)
+
+    def test_must_consume_resources(self):
+        with pytest.raises(ValueError):
+            ReplicaType(name="free", speedup=1.0, cpus=0.0, mem=0.0, accels=0.0)
+
+    def test_invalid_proc_time(self):
+        with pytest.raises(ValueError):
+            GPU_T4.proc_time(0.0)
+
+
+class TestHeteroCapacity:
+    def test_fits(self):
+        cap = HeteroCapacity(cpus=8, mem=16, accels=2)
+        assert cap.fits(8, 16, 2)
+        assert not cap.fits(8.5, 1, 0)
+        assert not cap.fits(1, 1, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HeteroCapacity(cpus=-1, mem=1)
+
+
+class TestMixedPoolStats:
+    def test_homogeneous_pool(self):
+        servers, proc = mixed_pool_stats({CPU_SMALL: 4}, 0.18)
+        assert servers == 4
+        assert proc == pytest.approx(0.18)
+
+    def test_pure_gpu_pool(self):
+        servers, proc = mixed_pool_stats({GPU_T4: 2}, 0.18)
+        assert servers == 2
+        assert proc == pytest.approx(0.045)
+
+    def test_mixed_pool_preserves_total_rate(self):
+        counts = {CPU_SMALL: 3, GPU_T4: 1}
+        servers, proc = mixed_pool_stats(counts, 0.18)
+        assert servers == 4
+        # total rate = 3/0.18 + 4/0.18; effective rate = servers / proc.
+        expected_rate = 3 / 0.18 + 4 / 0.18
+        assert servers / proc == pytest.approx(expected_rate)
+
+    def test_empty_pool(self):
+        servers, proc = mixed_pool_stats({}, 0.18)
+        assert servers == 0
+        assert math.isinf(proc)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            mixed_pool_stats({CPU_SMALL: -1}, 0.18)
+
+
+class TestMixedPoolLatency:
+    def test_matches_homogeneous_mdc(self):
+        lam, proc = 15.0, 0.18
+        direct = MDC.estimate(0.99, lam, proc, 5)
+        pooled = mixed_pool_latency(0.99, lam, proc, {CPU_SMALL: 5})
+        assert pooled == pytest.approx(direct)
+
+    def test_gpu_pool_is_faster(self):
+        lam, proc = 15.0, 0.18
+        cpu = mixed_pool_latency(0.99, lam, proc, {CPU_SMALL: 4})
+        gpu = mixed_pool_latency(0.99, lam, proc, {GPU_T4: 4})
+        assert gpu < cpu
+
+    def test_empty_pool_is_inf(self):
+        assert math.isinf(mixed_pool_latency(0.99, 1.0, 0.18, {}))
+
+    def test_adding_any_replica_never_hurts(self):
+        lam, proc = 25.0, 0.18
+        base = mixed_pool_latency(0.99, lam, proc, {CPU_SMALL: 5})
+        more = mixed_pool_latency(0.99, lam, proc, {CPU_SMALL: 5, GPU_T4: 1})
+        assert more <= base
+
+
+class TestHeteroProblemValidation:
+    def test_rejects_duplicate_jobs(self):
+        with pytest.raises(ValueError):
+            HeteroProblem(
+                [job("a"), job("a")], [CPU_SMALL], HeteroCapacity(cpus=8, mem=8)
+            )
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ValueError):
+            HeteroProblem([], [CPU_SMALL], HeteroCapacity(cpus=8, mem=8))
+        with pytest.raises(ValueError):
+            HeteroProblem([job()], [], HeteroCapacity(cpus=8, mem=8))
+
+    def test_rejects_unusable_catalog(self):
+        # GPU-only catalog but no accelerators in the cluster.
+        with pytest.raises(ValueError):
+            HeteroProblem([job()], [GPU_T4], HeteroCapacity(cpus=8, mem=8, accels=0))
+
+
+class TestSolveHomogeneousReduction:
+    def test_matches_capacity_planning(self):
+        # With only CPU replicas the greedy solve should meet the SLO using
+        # (close to) the replicas_for_slo count.
+        j = job(rate=20.0)
+        need = replicas_for_slo(MDC, 0.99, 20.0, 0.18, 0.72)
+        problem = HeteroProblem([j], [CPU_SMALL], HeteroCapacity(cpus=32, mem=32))
+        allocation = solve_hetero_allocation(problem)
+        assert allocation.utilities["job"] == pytest.approx(1.0)
+        assert need <= allocation.replicas("job") <= need + 1
+
+    def test_min_one_replica_even_when_starved(self):
+        jobs = [job(f"j{i}", rate=100.0) for i in range(4)]
+        problem = HeteroProblem(jobs, [CPU_SMALL], HeteroCapacity(cpus=4, mem=4))
+        allocation = solve_hetero_allocation(problem)
+        for j in jobs:
+            assert allocation.replicas(j.name) >= 1
+
+    def test_infeasible_seed_raises(self):
+        jobs = [job(f"j{i}") for i in range(8)]
+        with pytest.raises(ValueError):
+            solve_hetero_allocation(
+                HeteroProblem(jobs, [CPU_SMALL], HeteroCapacity(cpus=4, mem=4))
+            )
+
+
+class TestSolveHeterogeneous:
+    def test_respects_capacity(self):
+        jobs = [job(f"j{i}", rate=30.0) for i in range(3)]
+        cap = HeteroCapacity(cpus=16, mem=48, accels=2)
+        problem = HeteroProblem(jobs, [CPU_SMALL, GPU_T4], cap)
+        allocation = solve_hetero_allocation(problem)
+        assert allocation.cpus_used <= cap.cpus + 1e-9
+        assert allocation.mem_used <= cap.mem + 1e-9
+        assert allocation.accels_used <= cap.accels + 1e-9
+
+    def test_gpu_used_for_tight_slo(self):
+        # SLO below the CPU processing time: only GPU replicas can meet it.
+        tight = SLO(target=0.1, percentile=99.0)
+        j = HeteroJob(name="tight", slo=tight, proc_time=0.18, arrival_rate=10.0)
+        cap = HeteroCapacity(cpus=16, mem=64, accels=4)
+        problem = HeteroProblem([j], [CPU_SMALL, GPU_T4], cap)
+        allocation = solve_hetero_allocation(problem)
+        assert allocation.counts["tight"].get("gpu-t4", 0) >= 1
+        assert allocation.utilities["tight"] > 0.5
+
+    def test_cpu_preferred_when_sufficient(self):
+        # Loose SLO at low load: cheap CPU replicas suffice, accelerators
+        # should not be burned.
+        j = job(rate=4.0)
+        cap = HeteroCapacity(cpus=16, mem=64, accels=4)
+        problem = HeteroProblem([j], [CPU_SMALL, GPU_V100], cap)
+        allocation = solve_hetero_allocation(problem)
+        assert allocation.utilities["job"] == pytest.approx(1.0)
+        assert allocation.accels_used == 0.0
+
+    def test_priority_weighting(self):
+        # Starved cluster: the high-priority job gets the lion's share.
+        lo = job("lo", rate=40.0, priority=1.0)
+        hi = job("hi", rate=40.0, priority=10.0)
+        problem = HeteroProblem(
+            [lo, hi], [CPU_SMALL], HeteroCapacity(cpus=10, mem=10)
+        )
+        allocation = solve_hetero_allocation(problem)
+        assert allocation.replicas("hi") > allocation.replicas("lo")
+
+    def test_total_utility_consistent(self):
+        jobs = [job(f"j{i}", rate=10.0 + 5 * i) for i in range(3)]
+        problem = HeteroProblem(jobs, [CPU_SMALL, GPU_T4], HeteroCapacity(16, 32, 2))
+        allocation = solve_hetero_allocation(problem)
+        assert allocation.total_utility == pytest.approx(
+            sum(allocation.utilities.values())
+        )
+        assert isinstance(allocation, HeteroAllocation)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rates=st.lists(st.floats(min_value=1.0, max_value=60.0), min_size=1, max_size=4),
+        cpus=st.integers(min_value=8, max_value=48),
+        accels=st.integers(min_value=0, max_value=4),
+    )
+    def test_invariants_hold(self, rates, cpus, accels):
+        jobs = [job(f"j{i}", rate=r) for i, r in enumerate(rates)]
+        cap = HeteroCapacity(cpus=cpus, mem=4 * cpus, accels=accels)
+        problem = HeteroProblem(jobs, [CPU_SMALL, GPU_T4], cap)
+        allocation = solve_hetero_allocation(problem)
+        # Capacity respected, min-1 respected, utilities in [0, 1].
+        assert allocation.cpus_used <= cap.cpus + 1e-9
+        assert allocation.accels_used <= cap.accels + 1e-9
+        for j in jobs:
+            assert allocation.replicas(j.name) >= 1
+            assert 0.0 <= allocation.utilities[j.name] <= 1.0

@@ -1,0 +1,136 @@
+"""Hierarchical (grouped) optimization tests (paper §3.4, Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchical import _distribute, aggregate_group, solve_hierarchical
+from repro.core.objectives import make_objective
+from repro.core.optimizer import ClusterCapacity, OptimizationJob
+from repro.core.utility import SLO
+
+
+def make_jobs(count, base_rate=4.0):
+    return [
+        OptimizationJob(
+            name=f"j{i}",
+            proc_time=0.18,
+            slo=SLO(0.72),
+            rates=(base_rate + (i % 5),),
+        )
+        for i in range(count)
+    ]
+
+
+class TestAggregate:
+    def test_rates_sum(self, rng):
+        jobs = make_jobs(4)
+        group = aggregate_group(jobs, rng, scenario_count=8)
+        expected = sum(job.rates[0] for job in jobs)
+        assert np.allclose(group.rates, expected)
+
+    def test_proc_time_mean(self, rng):
+        jobs = make_jobs(3)
+        group = aggregate_group(jobs, rng)
+        assert group.proc_time == pytest.approx(0.18)
+
+    def test_min_replicas_sum(self, rng):
+        jobs = make_jobs(3)
+        group = aggregate_group(jobs, rng)
+        assert group.min_replicas == 3
+
+    def test_empty_group_rejected(self, rng):
+        with pytest.raises(ValueError):
+            aggregate_group([], rng)
+
+
+class TestDistribute:
+    def test_budget_conserved(self):
+        jobs = make_jobs(4)
+        split = _distribute(jobs, 13)
+        assert sum(split) == 13
+
+    def test_minimums_respected(self):
+        jobs = make_jobs(3)
+        split = _distribute(jobs, 3)
+        assert all(count >= 1 for count in split)
+
+    def test_proportional_to_demand(self):
+        heavy = OptimizationJob(name="h", proc_time=0.18, slo=SLO(0.72), rates=(40.0,))
+        light = OptimizationJob(name="l", proc_time=0.18, slo=SLO(0.72), rates=(2.0,))
+        split = _distribute([heavy, light], 10)
+        assert split[0] > split[1]
+
+
+class TestSolveHierarchical:
+    def test_degenerates_to_flat_when_groups_exceed_jobs(self):
+        jobs = make_jobs(4)
+        result = solve_hierarchical(
+            jobs, ClusterCapacity.of_replicas(16), make_objective("sum"), groups=10, seed=0
+        )
+        assert result.group_members == [[0], [1], [2], [3]]
+
+    def test_respects_capacity(self):
+        jobs = make_jobs(12)
+        result = solve_hierarchical(
+            jobs, ClusterCapacity.of_replicas(30), make_objective("sum"), groups=3, seed=0
+        )
+        assert result.allocation.replicas.sum() <= 30
+        assert np.all(result.allocation.replicas >= 1)
+
+    def test_all_jobs_assigned_to_exactly_one_group(self):
+        jobs = make_jobs(17)
+        result = solve_hierarchical(
+            jobs, ClusterCapacity.of_replicas(60), make_objective("sum"), groups=5, seed=0
+        )
+        flat = sorted(i for members in result.group_members for i in members)
+        assert flat == list(range(17))
+
+    def test_grouping_faster_than_flat_at_scale(self):
+        jobs = make_jobs(60)
+        capacity = ClusterCapacity.of_replicas(180)
+        flat = solve_hierarchical(jobs, capacity, make_objective("sum"), groups=60, seed=0)
+        grouped = solve_hierarchical(jobs, capacity, make_objective("sum"), groups=5, seed=0)
+        assert grouped.allocation.solve_time < flat.allocation.solve_time
+
+    def test_grouped_objective_close_to_flat(self):
+        # Fig. 7b: grouping costs only a few percent of objective value.
+        jobs = make_jobs(40)
+        capacity = ClusterCapacity.of_replicas(160)
+        flat = solve_hierarchical(jobs, capacity, make_objective("sum"), groups=40, seed=0)
+        grouped = solve_hierarchical(jobs, capacity, make_objective("sum"), groups=10, seed=0)
+        assert grouped.allocation.objective_value >= 0.9 * flat.allocation.objective_value
+
+    def test_invalid_groups(self):
+        with pytest.raises(ValueError):
+            solve_hierarchical(
+                make_jobs(4), ClusterCapacity.of_replicas(8), make_objective("sum"), groups=0
+            )
+
+    def test_deterministic_given_seed(self):
+        jobs = make_jobs(20)
+        capacity = ClusterCapacity.of_replicas(60)
+        a = solve_hierarchical(jobs, capacity, make_objective("sum"), groups=4, seed=7)
+        b = solve_hierarchical(jobs, capacity, make_objective("sum"), groups=4, seed=7)
+        assert np.array_equal(a.allocation.replicas, b.allocation.replicas)
+
+    def test_refinement_never_hurts_objective(self):
+        # Heterogeneous loads make random grouping coarse; the bounded
+        # transfer refinement must only improve the flat objective.
+        jobs = [
+            OptimizationJob(
+                name=f"j{i}",
+                proc_time=0.18,
+                slo=SLO(0.72),
+                rates=(1.0 + 4.0 * (i % 7),),
+            )
+            for i in range(24)
+        ]
+        capacity = ClusterCapacity.of_replicas(50)
+        raw = solve_hierarchical(
+            jobs, capacity, make_objective("sum"), groups=4, refine_moves=0, seed=1
+        )
+        refined = solve_hierarchical(
+            jobs, capacity, make_objective("sum"), groups=4, refine_moves=12, seed=1
+        )
+        assert refined.allocation.objective_value >= raw.allocation.objective_value - 1e-9
+        assert refined.allocation.replicas.sum() <= 50

@@ -1,0 +1,99 @@
+"""Hybrid long-term + short-term autoscaler tests (paper §4.4)."""
+
+import pytest
+
+from repro.core.autoscaler import FaroAutoscaler, FaroConfig, JobSpec
+from repro.core.hybrid import HybridAutoscaler, ReactiveConfig
+from repro.core.optimizer import ClusterCapacity
+from repro.core.utility import SLO
+from repro.policy import JobObservation
+
+
+def make_hybrid(replicas=12, num_jobs=2, **reactive_kwargs):
+    specs = [JobSpec(name=f"j{i}", slo=SLO(0.72), proc_time=0.18) for i in range(num_jobs)]
+    faro = FaroAutoscaler(
+        specs, ClusterCapacity.of_replicas(replicas), config=FaroConfig(seed=0)
+    )
+    reactive = ReactiveConfig(**reactive_kwargs) if reactive_kwargs else ReactiveConfig()
+    return HybridAutoscaler(faro, reactive, capacity_replicas=replicas)
+
+
+def obs(name, latency, replicas=2, rate=5.0):
+    return JobObservation(
+        job_name=name,
+        arrival_rate=rate,
+        rate_history=tuple([rate] * 15),
+        mean_proc_time=0.18,
+        latency=latency,
+        slo_violation_rate=1.0 if latency > 0.72 else 0.0,
+        current_replicas=replicas,
+        target_replicas=replicas,
+    )
+
+
+class TestReactiveConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReactiveConfig(interval=0)
+        with pytest.raises(ValueError):
+            ReactiveConfig(step=0)
+
+
+class TestHybridBehaviour:
+    def test_first_tick_is_long_term(self):
+        hybrid = make_hybrid()
+        observations = {"j0": obs("j0", 0.2), "j1": obs("j1", 0.2)}
+        decision = hybrid.tick(0.0, observations)
+        assert decision is not None
+        assert set(decision.replicas) == {"j0", "j1"}
+
+    def test_reactive_fires_after_sustained_violation(self):
+        hybrid = make_hybrid()
+        observations = {"j0": obs("j0", 0.2), "j1": obs("j1", 0.2)}
+        hybrid.tick(0.0, observations)
+        bad = {"j0": obs("j0", 1.5), "j1": obs("j1", 0.2)}
+        # Violation must persist for 30 s before the reactive +1.
+        assert hybrid.tick(10.0, bad) is None
+        assert hybrid.tick(20.0, bad) is None
+        assert hybrid.tick(30.0, bad) is None  # 20 s elapsed since first seen
+        decision = hybrid.tick(40.0, bad)
+        assert decision is not None
+        assert decision.replicas["j0"] == obs("j0", 1.5).target_replicas + 1
+        assert "j1" not in decision.replicas
+
+    def test_reactive_never_downscales(self):
+        hybrid = make_hybrid()
+        observations = {"j0": obs("j0", 0.2), "j1": obs("j1", 0.2)}
+        hybrid.tick(0.0, observations)
+        idle = {"j0": obs("j0", 0.18, rate=0.01), "j1": obs("j1", 0.18, rate=0.01)}
+        for t in range(1, 30):
+            decision = hybrid.tick(t * 10.0, idle)
+            if decision is not None and t * 10.0 % 300.0 != 0.0:
+                pytest.fail("reactive path must not emit decisions when idle")
+
+    def test_reactive_respects_capacity(self):
+        hybrid = make_hybrid(replicas=4)
+        observations = {"j0": obs("j0", 0.2), "j1": obs("j1", 0.2)}
+        hybrid.tick(0.0, observations)
+        # Both jobs at target 2 fill the 4-replica quota: no headroom.
+        bad = {"j0": obs("j0", 2.0, replicas=2), "j1": obs("j1", 2.0, replicas=2)}
+        for t in range(1, 8):
+            decision = hybrid.tick(t * 10.0, bad)
+            assert decision is None
+
+    def test_long_term_resets_reactive_streaks(self):
+        hybrid = make_hybrid()
+        observations = {"j0": obs("j0", 1.5), "j1": obs("j1", 0.2)}
+        hybrid.tick(0.0, observations)  # long-term fires, clears triggers
+        assert hybrid.tick(10.0, observations) is None  # streak restarted
+
+    def test_tick_interval_is_reactive_interval(self):
+        hybrid = make_hybrid()
+        assert hybrid.tick_interval == 10.0
+
+    def test_reset_propagates(self):
+        hybrid = make_hybrid()
+        observations = {"j0": obs("j0", 0.2), "j1": obs("j1", 0.2)}
+        hybrid.tick(0.0, observations)
+        hybrid.reset()
+        assert hybrid.tick(5.0, observations) is not None

@@ -1,0 +1,130 @@
+"""Tests for the M/M/c, G/G/c and generic-relaxation latency models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import (
+    GGCLatency,
+    MDCLatency,
+    MMCLatency,
+    RelaxedLatency,
+    RelaxedMDCLatency,
+    replicas_for_slo,
+)
+
+
+class TestMMCLatency:
+    def test_zero_load_is_service_time(self):
+        assert MMCLatency().estimate(0.99, 0.0, 0.18, 4) == pytest.approx(0.18)
+
+    def test_slower_than_mdc(self):
+        # Exponential service has strictly more queueing than deterministic.
+        q, lam, p, x = 0.99, 15.0, 0.18, 4
+        assert MMCLatency().estimate(q, lam, p, x) > MDCLatency().estimate(q, lam, p, x)
+
+    def test_unstable_inf(self):
+        assert math.isinf(MMCLatency().estimate(0.99, 100.0, 0.18, 2))
+
+    def test_fractional_interpolation(self):
+        model = MMCLatency()
+        lo = model.estimate(0.99, 10.0, 0.18, 3)
+        mid = model.estimate(0.99, 10.0, 0.18, 3.5)
+        hi = model.estimate(0.99, 10.0, 0.18, 4)
+        assert hi <= mid <= lo
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lam=st.floats(min_value=0.1, max_value=30.0),
+        replicas=st.integers(min_value=1, max_value=24),
+    )
+    def test_monotone_decreasing_in_replicas(self, lam, replicas):
+        model = MMCLatency()
+        a = model.estimate(0.99, lam, 0.18, replicas)
+        b = model.estimate(0.99, lam, 0.18, replicas + 1)
+        assert b <= a or (math.isinf(a) and math.isinf(b))
+
+
+class TestGGCLatency:
+    def test_default_matches_mdc(self):
+        # ca2=1, cs2=0 is exactly Faro's M/D/c estimator.
+        q, lam, p, x = 0.99, 12.0, 0.18, 4
+        assert GGCLatency().estimate(q, lam, p, x) == pytest.approx(
+            MDCLatency().estimate(q, lam, p, x)
+        )
+
+    def test_more_service_variability_is_slower(self):
+        q, lam, p, x = 0.99, 12.0, 0.18, 4
+        smooth = GGCLatency(cs2=0.0).estimate(q, lam, p, x)
+        bursty = GGCLatency(cs2=2.0).estimate(q, lam, p, x)
+        assert bursty > smooth
+
+    def test_bursty_arrivals_are_slower(self):
+        q, lam, p, x = 0.99, 12.0, 0.18, 4
+        poisson = GGCLatency(ca2=1.0).estimate(q, lam, p, x)
+        bursty = GGCLatency(ca2=3.0).estimate(q, lam, p, x)
+        assert bursty > poisson
+
+    def test_negative_scv_rejected(self):
+        with pytest.raises(ValueError):
+            GGCLatency(ca2=-0.5)
+
+    def test_zero_load(self):
+        assert GGCLatency(ca2=2.0, cs2=2.0).estimate(0.9, 0.0, 0.1, 2) == pytest.approx(0.1)
+
+
+class TestRelaxedLatency:
+    def test_matches_base_when_stable(self):
+        base = MMCLatency()
+        relaxed = RelaxedLatency(base=base, rho_max=0.95)
+        q, lam, p, x = 0.99, 10.0, 0.18, 4  # rho = 0.45
+        assert relaxed.estimate(q, lam, p, x) == pytest.approx(base.estimate(q, lam, p, x))
+
+    def test_finite_beyond_saturation(self):
+        base = MMCLatency()
+        relaxed = RelaxedLatency(base=base, rho_max=0.95)
+        q, lam, p, x = 0.99, 100.0, 0.18, 2  # rho = 9: base is inf
+        assert math.isinf(base.estimate(q, lam, p, x))
+        assert relaxed.estimate(q, lam, p, x) < math.inf
+
+    def test_grows_with_overload(self):
+        relaxed = RelaxedLatency(base=MMCLatency())
+        q, p, x = 0.99, 0.18, 2
+        values = [relaxed.estimate(q, lam, p, x) for lam in (20.0, 40.0, 80.0)]
+        assert values[0] < values[1] < values[2]
+
+    def test_agrees_with_relaxed_mdc(self):
+        # Wrapping the M/D/c base reproduces the specialized implementation.
+        generic = RelaxedLatency(base=MDCLatency(), rho_max=0.95)
+        special = RelaxedMDCLatency(rho_max=0.95)
+        for lam in (5.0, 15.0, 40.0, 90.0):
+            assert generic.estimate(0.99, lam, 0.18, 3) == pytest.approx(
+                special.estimate(0.99, lam, 0.18, 3)
+            )
+
+    @pytest.mark.parametrize("rho_max", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_rho_max(self, rho_max):
+        with pytest.raises(ValueError):
+            RelaxedLatency(base=MMCLatency(), rho_max=rho_max)
+
+    def test_zero_load(self):
+        relaxed = RelaxedLatency(base=MMCLatency())
+        assert relaxed.estimate(0.99, 0.0, 0.18, 2) == pytest.approx(0.18)
+
+
+class TestCapacityPlanningAcrossModels:
+    def test_mmc_needs_more_replicas_than_mdc(self):
+        # Service variability raises the replica requirement for the same SLO.
+        lam, p, slo, q = 40.0, 0.15, 0.6, 0.9999
+        need_mdc = replicas_for_slo(MDCLatency(), q, lam, p, slo)
+        need_mmc = replicas_for_slo(MMCLatency(), q, lam, p, slo)
+        assert need_mmc >= need_mdc
+
+    def test_ggc_interpolates_between(self):
+        lam, p, slo, q = 40.0, 0.15, 0.6, 0.9999
+        need_mdc = replicas_for_slo(MDCLatency(), q, lam, p, slo)
+        need_mid = replicas_for_slo(GGCLatency(cs2=0.5), q, lam, p, slo)
+        need_mmc = replicas_for_slo(MMCLatency(), q, lam, p, slo)
+        assert need_mdc <= need_mid <= need_mmc + 1

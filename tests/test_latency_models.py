@@ -1,0 +1,105 @@
+"""Latency estimator tests (paper §3.3-§3.4, Fig. 6)."""
+
+import math
+
+import pytest
+
+from repro.core.latency import (
+    MDC,
+    RELAXED_MDC,
+    UPPER_BOUND,
+    MDCLatency,
+    RelaxedMDCLatency,
+    UpperBoundLatency,
+    replicas_for_slo,
+)
+
+
+class TestUpperBound:
+    def test_paper_example_needs_ten(self):
+        assert replicas_for_slo(UPPER_BOUND, 0.9999, 40.0, 0.150, 0.600) == 10
+
+    def test_minimum_is_one_service_time(self):
+        assert UPPER_BOUND.estimate(0.99, 0.5, 0.2, 8) == pytest.approx(0.2)
+
+    def test_scales_inversely_with_replicas(self):
+        one = UPPER_BOUND.estimate(0.99, 50.0, 0.2, 1)
+        two = UPPER_BOUND.estimate(0.99, 50.0, 0.2, 2)
+        assert one == pytest.approx(2 * two)
+
+    def test_window_parameter(self):
+        slow = UpperBoundLatency(window=2.0).estimate(0.99, 50.0, 0.2, 4)
+        fast = UpperBoundLatency(window=1.0).estimate(0.99, 50.0, 0.2, 4)
+        assert slow == pytest.approx(2 * fast)
+
+
+class TestMDCModel:
+    def test_paper_example_needs_eight(self):
+        assert replicas_for_slo(MDC, 0.9999, 40.0, 0.150, 0.600) == 8
+
+    def test_mdc_needs_fewer_than_upper_bound(self):
+        # §3.3: the queueing model avoids the pessimistic over-provisioning.
+        for lam in (10.0, 25.0, 40.0):
+            ub = replicas_for_slo(UPPER_BOUND, 0.9999, lam, 0.15, 0.6)
+            mdc = replicas_for_slo(MDC, 0.9999, lam, 0.15, 0.6)
+            assert mdc <= ub
+
+    def test_unstable_is_inf(self):
+        assert math.isinf(MDC.estimate(0.99, 40.0, 0.15, 2))
+
+    def test_fractional_replicas_interpolate(self):
+        lo = MDC.estimate(0.99, 10.0, 0.15, 3)
+        mid = MDC.estimate(0.99, 10.0, 0.15, 3.5)
+        hi = MDC.estimate(0.99, 10.0, 0.15, 4)
+        assert hi <= mid <= lo
+        assert mid == pytest.approx(0.5 * (lo + hi))
+
+    def test_zero_rate(self):
+        assert MDC.estimate(0.99, 0.0, 0.15, 2) == pytest.approx(0.15)
+
+    def test_replicas_below_one_clamped(self):
+        assert MDC.estimate(0.99, 1.0, 0.15, 0.2) == MDC.estimate(0.99, 1.0, 0.15, 1)
+
+
+class TestRelaxedModel:
+    def test_matches_mdc_when_stable(self):
+        for replicas in (4, 6, 9):
+            assert RELAXED_MDC.estimate(0.99, 10.0, 0.15, replicas) == pytest.approx(
+                MDC.estimate(0.99, 10.0, 0.15, replicas)
+            )
+
+    def test_finite_when_overloaded(self):
+        value = RELAXED_MDC.estimate(0.99, 100.0, 0.15, 2)
+        assert math.isfinite(value)
+        assert value > RELAXED_MDC.estimate(0.99, 10.0, 0.15, 2)
+
+    def test_no_plateau_monotone_in_rate(self):
+        # Fig. 6 (right): overload latency keeps growing with lambda.
+        values = [RELAXED_MDC.estimate(0.99, lam, 0.15, 2) for lam in (20, 40, 80, 160)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_monotone_decreasing_in_replicas(self):
+        values = [RELAXED_MDC.estimate(0.99, 60.0, 0.15, x) for x in range(1, 14)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_rho_max_validation(self):
+        with pytest.raises(ValueError):
+            RelaxedMDCLatency(rho_max=1.0)
+
+    def test_rho_max_closer_to_one_is_tighter(self):
+        # Fig. 6: rho_max near 1 tracks the true estimate more closely.
+        loose = RelaxedMDCLatency(rho_max=0.9).estimate(0.99, 100.0, 0.15, 2)
+        tight = RelaxedMDCLatency(rho_max=0.999).estimate(0.99, 100.0, 0.15, 2)
+        assert loose != tight
+
+
+class TestReplicasForSLO:
+    def test_infeasible_returns_max(self):
+        assert replicas_for_slo(MDC, 0.99, 1.0, 0.5, 0.4, max_replicas=64) == 64
+
+    def test_invalid_slo(self):
+        with pytest.raises(ValueError):
+            replicas_for_slo(MDC, 0.99, 1.0, 0.5, 0.0)
+
+    def test_one_replica_suffices_for_light_load(self):
+        assert replicas_for_slo(MDC, 0.99, 0.1, 0.1, 1.0) == 1

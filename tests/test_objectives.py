@@ -1,0 +1,92 @@
+"""Cluster objective family tests (paper §3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.objectives import ClusterObjective, make_objective
+
+
+class TestConstruction:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            ClusterObjective("maximize-profit")
+
+    def test_make_objective_accepts_paper_names(self):
+        assert make_objective("Faro-FairSum").name == "fairsum"
+        assert make_objective("faro-penaltysum").name == "penaltysum"
+        assert make_objective("sum").name == "sum"
+
+    def test_negative_gamma(self):
+        with pytest.raises(ValueError):
+            ClusterObjective("fairsum", gamma=-1.0)
+
+    def test_display_names(self):
+        assert make_objective("penaltyfairsum").display_name == "Faro-PenaltyFairSum"
+
+
+class TestFlags:
+    def test_uses_drops(self):
+        assert not make_objective("sum").uses_drops
+        assert not make_objective("fair").uses_drops
+        assert not make_objective("fairsum").uses_drops
+        assert make_objective("penaltysum").uses_drops
+        assert make_objective("penaltyfairsum").uses_drops
+
+    def test_uses_fairness(self):
+        assert not make_objective("sum").uses_fairness
+        assert make_objective("fair").uses_fairness
+        assert make_objective("penaltyfairsum").uses_fairness
+
+    def test_default_gamma_is_job_count(self):
+        assert make_objective("fairsum").resolved_gamma(7) == 7.0
+        assert make_objective("fairsum", gamma=2.5).resolved_gamma(7) == 2.5
+
+
+class TestEvaluate:
+    def test_sum(self):
+        assert make_objective("sum").evaluate([0.5, 1.0, 0.25]) == pytest.approx(1.75)
+
+    def test_sum_with_priorities(self):
+        value = make_objective("sum").evaluate([0.5, 1.0], priorities=[2.0, 1.0])
+        assert value == pytest.approx(2.0)
+
+    def test_fair_is_negative_spread(self):
+        assert make_objective("fair").evaluate([0.2, 0.9]) == pytest.approx(-0.7)
+
+    def test_fair_perfect_equality(self):
+        assert make_objective("fair").evaluate([0.6, 0.6, 0.6]) == 0.0
+
+    def test_fairsum(self):
+        value = make_objective("fairsum", gamma=1.0).evaluate([0.5, 1.0])
+        assert value == pytest.approx(1.5 - 0.5)
+
+    def test_fairsum_default_gamma(self):
+        value = make_objective("fairsum").evaluate([0.5, 1.0])
+        assert value == pytest.approx(1.5 - 2.0 * 0.5)
+
+    def test_penaltysum_same_formula_as_sum(self):
+        # Penalty variants differ only in consuming *effective* utilities.
+        utilities = [0.3, 0.7]
+        assert make_objective("penaltysum").evaluate(utilities) == make_objective(
+            "sum"
+        ).evaluate(utilities)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_objective("sum").evaluate([])
+
+    def test_mismatched_priorities(self):
+        with pytest.raises(ValueError):
+            make_objective("sum").evaluate([0.5], priorities=[1.0, 2.0])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=8))
+    def test_sum_bounded_by_job_count(self, utilities):
+        value = make_objective("sum").evaluate(utilities)
+        assert 0.0 - 1e-9 <= value <= len(utilities) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=8))
+    def test_fairsum_rewards_equal_allocations(self, utilities):
+        objective = make_objective("fairsum")
+        mean = sum(utilities) / len(utilities)
+        equal = [mean] * len(utilities)
+        assert objective.evaluate(equal) >= objective.evaluate(utilities) - 1e-9

@@ -1,0 +1,214 @@
+"""Cluster optimization tests (paper §3.4, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import make_objective
+from repro.core.optimizer import (
+    AllocationProblem,
+    ClusterCapacity,
+    OptimizationJob,
+    solve_allocation,
+)
+from repro.core.utility import SLO
+
+
+def job(name="j", proc=0.18, slo=0.72, rates=(10.0,), **kwargs):
+    return OptimizationJob(
+        name=name, proc_time=proc, slo=SLO(slo), rates=tuple(rates), **kwargs
+    )
+
+
+class TestOptimizationJob:
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ValueError):
+            job(rates=())
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            job(rates=(-1.0,))
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            OptimizationJob(
+                name="j", proc_time=0.1, slo=SLO(0.4), rates=(1.0, 2.0), weights=(1.0,)
+            )
+
+    def test_coldstart_weight_range(self):
+        with pytest.raises(ValueError):
+            job(coldstart_weight=1.5)
+
+
+class TestCapacity:
+    def test_of_replicas(self):
+        cap = ClusterCapacity.of_replicas(32)
+        assert cap.cpus == 32 and cap.mem == 32
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            ClusterCapacity(cpus=0, mem=1)
+
+
+class TestAllocationProblem:
+    def test_infeasible_minimums(self):
+        jobs = [job(name=f"j{i}", min_replicas=3) for i in range(4)]
+        with pytest.raises(ValueError):
+            AllocationProblem(jobs, ClusterCapacity.of_replicas(8), make_objective("sum"))
+
+    def test_utility_monotone_in_replicas(self, small_problem):
+        for i in range(small_problem.num_jobs):
+            values = [small_problem.job_utility(i, x) for x in range(1, 15)]
+            assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_utility_bounded(self, small_problem):
+        for i in range(small_problem.num_jobs):
+            for x in (1, 3.5, 7, 20):
+                assert 0.0 <= small_problem.job_utility(i, x) <= 1.0
+
+    def test_precise_mode_has_plateaus(self):
+        jobs = [job(rates=(30.0,))]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(20), make_objective("sum"),
+            relaxed=False, alpha=None,
+        )
+        # With a hard M/D/c the under-provisioned region is identically zero.
+        assert problem.job_utility(0, 1) == 0.0
+        assert problem.job_utility(0, 2) == 0.0
+
+    def test_relaxed_mode_discriminates_overload(self):
+        jobs = [job(rates=(30.0,))]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(20), make_objective("sum")
+        )
+        assert problem.job_utility(0, 2) > problem.job_utility(0, 1) > 0.0
+
+    def test_upper_bound_latency_model(self):
+        jobs = [job(rates=(30.0,))]
+        upper = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(30), make_objective("sum"),
+            latency_model="upper",
+        )
+        mdc = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(30), make_objective("sum")
+        )
+        # The pessimistic estimator needs more replicas for full utility.
+        def first_full(problem):
+            for x in range(1, 31):
+                if problem.job_utility(0, x) >= 1.0 - 1e-9:
+                    return x
+            return 31
+
+        assert first_full(upper) >= first_full(mdc)
+
+    def test_unknown_latency_model(self):
+        with pytest.raises(ValueError):
+            AllocationProblem(
+                [job()], ClusterCapacity.of_replicas(4), make_objective("sum"),
+                latency_model="quantum",
+            )
+
+    def test_coldstart_blending_limits_immediate_gain(self):
+        eager = job(rates=(30.0,))
+        blended = job(rates=(30.0,), current_replicas=1, coldstart_weight=0.5)
+        cap = ClusterCapacity.of_replicas(20)
+        p_eager = AllocationProblem([eager], cap, make_objective("sum"))
+        p_blend = AllocationProblem([blended], cap, make_objective("sum"))
+        # With half the window served by the single current replica, the
+        # utility of a big scale-up is strictly lower than the eager view.
+        assert p_blend.job_utility(0, 10) < p_eager.job_utility(0, 10)
+
+    def test_feasibility_helpers(self, small_problem):
+        assert small_problem.is_feasible(np.array([4, 4, 4, 4, 4]))
+        assert not small_problem.is_feasible(np.array([10, 4, 4, 4, 4]))
+        assert not small_problem.is_feasible(np.array([0, 4, 4, 4, 4]))
+
+
+class TestSolvers:
+    @pytest.mark.parametrize("method", ["cobyla", "slsqp", "greedy"])
+    def test_solution_feasible(self, small_problem, method):
+        allocation = solve_allocation(small_problem, method=method)
+        assert small_problem.is_feasible(allocation.replicas)
+
+    def test_de_solver(self, small_jobs):
+        problem = AllocationProblem(
+            small_jobs, ClusterCapacity.of_replicas(20), make_objective("sum")
+        )
+        allocation = solve_allocation(problem, method="de", maxiter=30, seed=1)
+        assert problem.is_feasible(allocation.replicas)
+
+    def test_unknown_method(self, small_problem):
+        with pytest.raises(ValueError):
+            solve_allocation(small_problem, method="annealing")
+
+    def test_relaxed_cobyla_matches_greedy_reference(self, small_jobs):
+        # Fig. 5: on the relaxed problem local solvers reach near-optimal.
+        problem = AllocationProblem(
+            small_jobs, ClusterCapacity.of_replicas(20), make_objective("sum")
+        )
+        cobyla = solve_allocation(problem, method="cobyla")
+        greedy = solve_allocation(problem, method="greedy")
+        assert cobyla.objective_value >= greedy.objective_value - 0.05
+
+    def test_relaxed_beats_precise_for_local_solver(self):
+        # Fig. 5's core claim: relaxation rescues plateau-stuck local solvers.
+        jobs = [job(name=f"j{i}", rates=(25.0 + 5 * i,)) for i in range(4)]
+        capacity = ClusterCapacity.of_replicas(30)
+        precise = AllocationProblem(
+            jobs, capacity, make_objective("sum"), relaxed=False, alpha=None
+        )
+        relaxed = AllocationProblem(jobs, capacity, make_objective("sum"))
+        sol_precise = solve_allocation(precise, method="cobyla")
+        sol_relaxed = solve_allocation(relaxed, method="cobyla")
+        # Score both integer solutions on the *precise* objective.
+        score_precise = precise.evaluate(sol_precise.replicas)
+        score_relaxed = precise.evaluate(sol_relaxed.replicas)
+        assert score_relaxed >= score_precise
+
+    def test_capacity_saturation_with_heavy_load(self):
+        jobs = [job(name=f"j{i}", rates=(40.0,)) for i in range(3)]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(12), make_objective("sum")
+        )
+        allocation = solve_allocation(problem, method="greedy")
+        assert allocation.replicas.sum() == 12  # all capacity used
+
+    def test_min_replicas_respected(self):
+        jobs = [job(name="a", rates=(0.1,), min_replicas=2), job(name="b", rates=(40.0,))]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(10), make_objective("sum")
+        )
+        allocation = solve_allocation(problem, method="greedy")
+        assert allocation.replicas[0] >= 2
+
+
+class TestDrops:
+    def test_drop_refinement_never_hurts_objective(self):
+        # The grid refinement must return the best drop rate on the grid --
+        # including 0.0 when dropping does not pay (the common case the
+        # paper observes: penalties usually outweigh the latency relief).
+        jobs = [job(rates=(30.0,))]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(2), make_objective("penaltysum")
+        )
+        allocation = solve_allocation(problem, method="greedy")
+        no_drop = problem.evaluate(allocation.replicas, np.zeros(1))
+        assert problem.evaluate(allocation.replicas, allocation.drops) >= no_drop - 1e-12
+        best_grid = max(
+            problem.evaluate(allocation.replicas, np.array([d]))
+            for d in problem.drop_grid
+        )
+        assert problem.evaluate(allocation.replicas, allocation.drops) == pytest.approx(
+            best_grid
+        )
+
+    def test_non_penalty_objective_never_drops(self, small_problem):
+        allocation = solve_allocation(small_problem, method="cobyla")
+        assert np.all(allocation.drops == 0.0)
+
+    def test_no_drops_when_capacity_ample(self):
+        jobs = [job(rates=(5.0,))]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(12), make_objective("penaltysum")
+        )
+        allocation = solve_allocation(problem, method="greedy")
+        assert allocation.drops[0] == 0.0

@@ -1,0 +1,157 @@
+"""Property-based invariants of the cluster allocation optimizer.
+
+These complement the scenario-specific tests in ``test_optimizer.py``:
+whatever the job mix, the solved allocation must (a) be feasible, (b)
+respect per-job minimums, (c) never improve when capacity shrinks, and
+(d) price priorities and drops coherently.  Hypothesis generates the job
+mixes; the greedy solver keeps runtimes bounded.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objectives import make_objective
+from repro.core.optimizer import (
+    AllocationProblem,
+    ClusterCapacity,
+    OptimizationJob,
+    solve_allocation,
+)
+from repro.core.utility import SLO
+
+SLO_720 = SLO(target=0.72, percentile=99.0)
+
+
+def job(name, rates, priority=1.0, min_replicas=1):
+    return OptimizationJob(
+        name=name,
+        proc_time=0.18,
+        slo=SLO_720,
+        rates=tuple(rates),
+        priority=priority,
+        min_replicas=min_replicas,
+    )
+
+
+rate_lists = st.lists(
+    st.lists(st.floats(min_value=0.0, max_value=60.0), min_size=1, max_size=4),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestFeasibilityInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(rates=rate_lists, extra=st.integers(min_value=0, max_value=40))
+    def test_solution_always_feasible(self, rates, extra):
+        jobs = [job(f"j{i}", r) for i, r in enumerate(rates)]
+        capacity = ClusterCapacity.of_replicas(len(jobs) + extra)
+        problem = AllocationProblem(jobs, capacity, make_objective("sum"))
+        allocation = solve_allocation(problem, method="greedy")
+        assert problem.is_feasible(allocation.replicas)
+        assert problem.cpu_usage(allocation.replicas) <= capacity.cpus + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rates=rate_lists,
+        minimums=st.lists(st.integers(min_value=1, max_value=3), min_size=5, max_size=5),
+    )
+    def test_min_replicas_respected(self, rates, minimums):
+        jobs = [
+            job(f"j{i}", r, min_replicas=minimums[i]) for i, r in enumerate(rates)
+        ]
+        capacity = ClusterCapacity.of_replicas(sum(minimums[: len(jobs)]) + 8)
+        problem = AllocationProblem(jobs, capacity, make_objective("sum"))
+        allocation = solve_allocation(problem, method="greedy")
+        for j, count in zip(jobs, allocation.replicas):
+            assert count >= j.min_replicas
+
+    @settings(max_examples=40, deadline=None)
+    @given(rates=rate_lists)
+    def test_objective_value_matches_evaluate(self, rates):
+        jobs = [job(f"j{i}", r) for i, r in enumerate(rates)]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(len(jobs) + 10), make_objective("sum")
+        )
+        allocation = solve_allocation(problem, method="greedy")
+        assert allocation.objective_value == pytest.approx(
+            problem.evaluate(allocation.replicas, allocation.drops)
+        )
+
+
+class TestMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rates=rate_lists,
+        small=st.integers(min_value=0, max_value=10),
+        growth=st.integers(min_value=1, max_value=20),
+    )
+    def test_more_capacity_never_hurts(self, rates, small, growth):
+        jobs = [job(f"j{i}", r) for i, r in enumerate(rates)]
+        objective = make_objective("sum")
+
+        def solve_at(total):
+            problem = AllocationProblem(
+                jobs, ClusterCapacity.of_replicas(total), objective
+            )
+            return solve_allocation(problem, method="greedy").objective_value
+
+        base = len(jobs) + small
+        assert solve_at(base + growth) >= solve_at(base) - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(rate=st.floats(min_value=5.0, max_value=50.0))
+    def test_priority_shifts_allocation(self, rate):
+        # Two identical jobs, one with 10x priority, constrained cluster:
+        # the high-priority job never receives fewer replicas.
+        jobs = [
+            job("lo", [rate], priority=1.0),
+            job("hi", [rate], priority=10.0),
+        ]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(6), make_objective("sum")
+        )
+        allocation = solve_allocation(problem, method="greedy")
+        lo, hi = allocation.replicas
+        assert hi >= lo
+
+
+class TestDropInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(rates=rate_lists)
+    def test_drops_zero_without_penalty_objective(self, rates):
+        jobs = [job(f"j{i}", r) for i, r in enumerate(rates)]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(len(jobs) + 6), make_objective("sum")
+        )
+        allocation = solve_allocation(problem, method="greedy")
+        np.testing.assert_allclose(allocation.drops, 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rates=rate_lists)
+    def test_penalty_drops_stay_on_grid(self, rates):
+        jobs = [job(f"j{i}", r) for i, r in enumerate(rates)]
+        problem = AllocationProblem(
+            jobs,
+            ClusterCapacity.of_replicas(len(jobs) + 4),
+            make_objective("penaltysum"),
+        )
+        allocation = solve_allocation(problem, method="greedy")
+        grid = set(np.round(problem.drop_grid, 9))
+        for drop in np.round(allocation.drops, 9):
+            assert drop in grid
+
+    def test_hopeless_overload_keeps_drops_at_zero(self):
+        # One job far beyond cluster capacity: stabilizing the queue would
+        # need ~89% drops, which forfeits the full AWS-style service credit
+        # (Table 5), so the penalty objective correctly prefers not to shed
+        # -- the paper's own observation that explicit dropping is
+        # "overshadowed by queues getting naturally full" (§6.4).
+        jobs = [job("hot", [200.0])]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(4), make_objective("penaltysum")
+        )
+        allocation = solve_allocation(problem, method="greedy")
+        assert allocation.drops[0] == 0.0

@@ -1,0 +1,90 @@
+"""Drop-penalty tests (paper Table 5, Eq. 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.penalty import (
+    effective_utility,
+    penalty_multiplier,
+    penalty_multiplier_relaxed,
+    service_credit,
+)
+
+
+class TestServiceCredit:
+    @pytest.mark.parametrize(
+        "availability,credit",
+        [
+            (1.0, 0.0),
+            (0.995, 0.0),
+            (0.99, 0.0),
+            (0.97, 0.25),
+            (0.95, 0.25),
+            (0.93, 0.5),
+            (0.90, 0.5),
+            (0.5, 1.0),
+            (0.0, 1.0),
+        ],
+    )
+    def test_table5_brackets(self, availability, credit):
+        assert service_credit(availability) == credit
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            service_credit(1.5)
+
+
+class TestPenaltyMultiplier:
+    def test_no_drops_full_utility(self):
+        assert penalty_multiplier(0.0) == 1.0
+
+    def test_small_drop_within_first_bracket(self):
+        assert penalty_multiplier(0.005) == 1.0
+
+    def test_quarter_credit(self):
+        assert penalty_multiplier(0.03) == 0.75
+
+    def test_full_credit(self):
+        assert penalty_multiplier(0.5) == 0.0
+
+    @given(d=st.floats(min_value=0.0, max_value=1.0))
+    def test_bounded(self, d):
+        assert 0.0 <= penalty_multiplier(d) <= 1.0
+
+
+class TestRelaxedMultiplier:
+    def test_matches_step_at_bracket_boundaries(self):
+        for availability, credit in [(0.99, 0.0), (0.95, 0.25), (0.90, 0.5), (0.0, 1.0)]:
+            drop = 1.0 - availability
+            assert penalty_multiplier_relaxed(drop) == pytest.approx(1.0 - credit)
+
+    def test_interpolates_between_brackets(self):
+        # availability 0.97 sits halfway between 0.95 and 0.99 brackets.
+        value = penalty_multiplier_relaxed(0.03)
+        assert 0.75 < value < 1.0
+
+    @given(d=st.floats(min_value=0.0, max_value=1.0))
+    def test_bounded(self, d):
+        assert 0.0 <= penalty_multiplier_relaxed(d) <= 1.0
+
+    @given(d=st.floats(min_value=0.0, max_value=0.98))
+    def test_monotone_nonincreasing(self, d):
+        assert penalty_multiplier_relaxed(d) >= penalty_multiplier_relaxed(d + 0.02) - 1e-12
+
+    @given(d=st.floats(min_value=0.0, max_value=1.0))
+    def test_relaxed_upper_bounds_step(self, d):
+        # Relaxation is optimistic: it never penalizes more than the table.
+        assert penalty_multiplier_relaxed(d) >= penalty_multiplier(d) - 1e-12
+
+
+class TestEffectiveUtility:
+    def test_eq2(self):
+        assert effective_utility(0.8, 0.03) == pytest.approx(0.8 * 0.75)
+
+    def test_relaxed_flag(self):
+        assert effective_utility(1.0, 0.05) == pytest.approx(0.75)
+        assert effective_utility(1.0, 0.05, relaxed=True) == pytest.approx(0.75)
+
+    def test_invalid_utility(self):
+        with pytest.raises(ValueError):
+            effective_utility(1.2, 0.0)

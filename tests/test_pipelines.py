@@ -1,0 +1,98 @@
+"""Pipeline SLO-splitting tests (paper §7 extension)."""
+
+import pytest
+
+from repro.cluster.models import RESNET18, RESNET34, ModelProfile
+from repro.core.latency import MDC
+from repro.core.pipelines import PipelineSpec, pipeline_latency, split_pipeline
+from repro.core.utility import SLO
+
+
+def two_stage(slo=1.5, weights=None):
+    return PipelineSpec(
+        name="detect-then-classify",
+        stages=(RESNET18, RESNET34),  # 100 ms then 180 ms
+        slo=SLO(slo),
+        weights=weights,
+    )
+
+
+class TestSpec:
+    def test_requires_stages(self):
+        with pytest.raises(ValueError):
+            PipelineSpec(name="p", stages=(), slo=SLO(1.0))
+
+    def test_weight_length_checked(self):
+        with pytest.raises(ValueError):
+            two_stage(weights=(1.0,))
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            two_stage(weights=(1.0, 0.0))
+
+    def test_proportional_shares(self):
+        shares = two_stage().stage_shares()
+        assert shares[0] == pytest.approx(100 / 280)
+        assert shares[1] == pytest.approx(180 / 280)
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_paper_two_to_one_example(self):
+        # "if one model takes 2x other ... the SLO is split 66%-33%".
+        fast = ModelProfile(name="fast", proc_time=0.1)
+        slow = ModelProfile(name="slow", proc_time=0.2)
+        pipeline = PipelineSpec(name="p", stages=(slow, fast), slo=SLO(0.9))
+        shares = pipeline.stage_shares()
+        assert shares[0] == pytest.approx(2 / 3)
+        assert shares[1] == pytest.approx(1 / 3)
+
+    def test_explicit_weights_override(self):
+        shares = two_stage(weights=(1.0, 1.0)).stage_shares()
+        assert shares == [0.5, 0.5]
+
+
+class TestSplit:
+    def test_sub_slos_sum_to_total(self):
+        jobs = split_pipeline(two_stage(slo=1.4))
+        assert sum(j.slo.target for j in jobs) == pytest.approx(1.4)
+
+    def test_stage_names_and_models(self):
+        jobs = split_pipeline(two_stage())
+        assert jobs[0].name.endswith("stage0-resnet18")
+        assert jobs[1].model is RESNET34
+
+    def test_percentile_propagates(self):
+        pipeline = PipelineSpec(name="p", stages=(RESNET18,), slo=SLO(1.0, percentile=90))
+        jobs = split_pipeline(pipeline)
+        assert jobs[0].slo.percentile == 90
+
+    def test_infeasible_slo_rejected(self):
+        # 0.25 s split proportionally gives stage1 ~0.16 s < 0.18 s proc.
+        with pytest.raises(ValueError):
+            split_pipeline(two_stage(slo=0.25))
+
+
+class TestPipelineLatency:
+    def test_sums_stage_estimates(self):
+        pipeline = two_stage()
+        combined = pipeline_latency(pipeline, MDC, lam=2.0, replicas=[2, 2])
+        parts = [
+            MDC.estimate(0.99, 2.0, RESNET18.proc_time, 2),
+            MDC.estimate(0.99, 2.0, RESNET34.proc_time, 2),
+        ]
+        assert combined == pytest.approx(sum(parts))
+
+    def test_replica_count_mismatch(self):
+        with pytest.raises(ValueError):
+            pipeline_latency(two_stage(), MDC, lam=1.0, replicas=[1])
+
+    def test_end_to_end_meets_slo_when_stages_meet_sub_slos(self):
+        pipeline = two_stage(slo=1.5)
+        jobs = split_pipeline(pipeline)
+        # Pick per-stage replicas meeting each sub-SLO at lam = 10 req/s.
+        from repro.core.latency import replicas_for_slo
+
+        replicas = [
+            replicas_for_slo(MDC, j.slo.quantile, 10.0, j.model.proc_time, j.slo.target)
+            for j in jobs
+        ]
+        assert pipeline_latency(pipeline, MDC, 10.0, replicas) <= pipeline.slo.target

@@ -1,0 +1,155 @@
+"""Node placement tests (repro.cluster.placement)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.placement import Node, PlacementEngine, PodSpec
+
+
+def paper_nodes():
+    """The paper's testbed: two 32-vCPU / 64-GB VMs."""
+    return [Node("vm-0", cpus=32, mem=64), Node("vm-1", cpus=32, mem=64)]
+
+
+class TestNode:
+    def test_fits(self):
+        node = Node("n", cpus=2, mem=2)
+        assert node.fits(PodSpec())
+        node.cpus_used = 2.0
+        assert not node.fits(PodSpec())
+
+    def test_utilization_cpu_dominant(self):
+        node = Node("n", cpus=4, mem=8, cpus_used=2, mem_used=2)
+        assert node.utilization == pytest.approx(0.5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Node("n", cpus=0, mem=1)
+        with pytest.raises(ValueError):
+            PodSpec(cpus=0)
+
+
+class TestEngineConstruction:
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementEngine([Node("a", 1, 1), Node("a", 1, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementEngine([])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementEngine(paper_nodes(), strategy="chaos")
+
+
+class TestPlace:
+    def test_binpack_fills_fullest_first(self):
+        engine = PlacementEngine(paper_nodes(), strategy="binpack")
+        first = engine.place("job")
+        second = engine.place("job")
+        assert first.node == second.node
+
+    def test_spread_balances(self):
+        engine = PlacementEngine(paper_nodes(), strategy="spread")
+        first = engine.place("job")
+        second = engine.place("job")
+        assert first.node != second.node
+
+    def test_none_when_full(self):
+        engine = PlacementEngine([Node("n", cpus=2, mem=2)])
+        assert engine.place("a") is not None
+        assert engine.place("a") is not None
+        assert engine.place("a") is None
+
+    def test_paper_capacity(self):
+        # 64 one-vCPU pods fit the paper's two-VM testbed exactly.
+        engine = PlacementEngine(paper_nodes())
+        placed = sum(1 for _ in range(70) if engine.place("mix") is not None)
+        assert placed == 64
+
+    def test_respects_memory_dimension(self):
+        engine = PlacementEngine([Node("n", cpus=8, mem=2)])
+        assert engine.place("a", PodSpec(cpus=1, mem=2)) is not None
+        assert engine.place("a", PodSpec(cpus=1, mem=1)) is None
+
+
+class TestEvict:
+    def test_evict_frees_resources(self):
+        engine = PlacementEngine([Node("n", cpus=1, mem=1)])
+        placement = engine.place("a")
+        assert engine.place("a") is None
+        engine.evict(placement.pod_id)
+        assert engine.place("a") is not None
+
+    def test_unknown_pod_raises(self):
+        engine = PlacementEngine(paper_nodes())
+        with pytest.raises(KeyError):
+            engine.evict(404)
+
+
+class TestScaleJob:
+    def test_scale_up_and_down(self):
+        engine = PlacementEngine(paper_nodes())
+        placed, evicted = engine.scale_job("a", 5)
+        assert (placed, evicted) == (5, 0)
+        placed, evicted = engine.scale_job("a", 2)
+        assert (placed, evicted) == (0, 3)
+        assert len(engine.pods_of("a")) == 2
+
+    def test_best_effort_on_full_cluster(self):
+        engine = PlacementEngine([Node("n", cpus=3, mem=3)])
+        placed, _ = engine.scale_job("a", 10)
+        assert placed == 3
+
+    def test_negative_target_rejected(self):
+        engine = PlacementEngine(paper_nodes())
+        with pytest.raises(ValueError):
+            engine.scale_job("a", -1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(targets=st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=8))
+    def test_accounting_invariant(self, targets):
+        engine = PlacementEngine(paper_nodes())
+        for i, target in enumerate(targets):
+            engine.scale_job(f"job{i % 3}", target)
+        total_used = sum(node.cpus_used for node in engine.nodes.values())
+        assert total_used == pytest.approx(
+            sum(p.spec.cpus for p in engine.placements)
+        )
+        for node in engine.nodes.values():
+            assert 0 <= node.cpus_used <= node.cpus + 1e-9
+
+
+class TestFragmentation:
+    def test_uniform_pods_no_early_fragmentation(self):
+        # Paper §5: pods sized to one replica => capacity stays usable
+        # until the cluster is genuinely full.
+        engine = PlacementEngine(paper_nodes())
+        for _ in range(60):
+            engine.place("mix")
+        assert engine.fragmentation() == 0.0
+
+    def test_mixed_pod_sizes_strand_capacity(self):
+        # 3-vCPU pods on 8-vCPU nodes strand 2 vCPUs per node for the next
+        # 3-vCPU pod even though 1-vCPU pods would still fit.
+        nodes = [Node("a", cpus=8, mem=64), Node("b", cpus=8, mem=64)]
+        engine = PlacementEngine(nodes, strategy="spread")
+        big = PodSpec(cpus=3, mem=3)
+        while engine.place("big", big) is not None:
+            pass
+        assert engine.fragmentation(big) == pytest.approx(4.0)  # 2 vCPU x 2 nodes
+        assert engine.fragmentation(PodSpec()) == 0.0  # 1-vCPU pods still fit
+
+    def test_binpack_less_fragmented_than_spread(self):
+        # After partial fill with 2-vCPU pods, binpack leaves at most as
+        # much stranded capacity for a 4-vCPU pod as spread does.
+        def fill(strategy):
+            nodes = [Node(f"n{i}", cpus=5, mem=64) for i in range(4)]
+            engine = PlacementEngine(nodes, strategy=strategy)
+            for _ in range(6):
+                engine.place("svc", PodSpec(cpus=2, mem=1))
+            return engine.fragmentation(PodSpec(cpus=4, mem=1))
+
+        assert fill("binpack") <= fill("spread")

@@ -1,0 +1,127 @@
+"""ASCII chart layout tests (repro.experiments.plotting)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plotting import ascii_bars, ascii_boxplot, ascii_timeline
+
+
+class TestTimeline:
+    def _series(self, n=100):
+        t = np.linspace(0, 4 * np.pi, n)
+        return {"sin": 5 + 3 * np.sin(t), "cos": 5 + 3 * np.cos(t)}
+
+    def test_dimensions(self):
+        chart = ascii_timeline(self._series(), width=40, height=10, title="T")
+        lines = chart.splitlines()
+        # title + top axis + 10 rows + bottom axis + legend
+        assert len(lines) == 14
+        assert lines[0] == "T"
+        body = lines[2:12]
+        assert all(len(line) <= 12 + 40 for line in body)
+
+    def test_markers_distinct(self):
+        chart = ascii_timeline(self._series(), width=40, height=10)
+        assert "*" in chart and "o" in chart
+        assert "* sin" in chart and "o cos" in chart
+
+    def test_handles_non_finite(self):
+        series = {"a": np.array([1.0, np.inf, 2.0, np.nan, 3.0])}
+        chart = ascii_timeline(series, width=10, height=4)
+        assert "a" in chart
+
+    def test_constant_series(self):
+        chart = ascii_timeline({"flat": np.full(50, 2.0)}, width=20, height=5)
+        assert "*" in chart
+
+    def test_downsamples_long_series(self):
+        chart = ascii_timeline({"long": np.arange(10_000.0)}, width=30, height=6)
+        body = [line for line in chart.splitlines() if "|" in line]
+        assert all(len(line) <= 12 + 30 for line in body)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"series": {}},
+        {"series": {"a": np.array([])}},
+        {"series": {"a": np.ones(5)}, "width": 4},
+        {"series": {"a": np.ones(5)}, "height": 1},
+        {"series": {"a": np.array([np.inf, np.nan])}},
+    ])
+    def test_invalid(self, kwargs):
+        series = kwargs.pop("series")
+        with pytest.raises(ValueError):
+            ascii_timeline(series, **kwargs)
+
+
+class TestBars:
+    def test_proportional_lengths(self):
+        chart = ascii_bars(["a", "b"], [1.0, 2.0], width=20)
+        rows = chart.splitlines()
+        len_a = rows[0].count("#")
+        len_b = rows[1].count("#")
+        assert len_b == 20
+        assert len_a == 10
+
+    def test_zero_bar_has_no_hashes(self):
+        chart = ascii_bars(["zero", "one"], [0.0, 1.0], width=10)
+        zero_row = chart.splitlines()[0]
+        assert "#" not in zero_row
+
+    def test_title_and_unit(self):
+        chart = ascii_bars(["x"], [3.0], title="Lost utility", unit=" u")
+        assert chart.splitlines()[0] == "Lost utility"
+        assert "3 u" in chart
+
+    def test_label_alignment(self):
+        chart = ascii_bars(["short", "a-much-longer-label"], [1.0, 1.0])
+        rows = chart.splitlines()
+        assert rows[0].index("|") == rows[1].index("|")
+
+    @pytest.mark.parametrize("labels,values", [
+        ([], []),
+        (["a"], [1.0, 2.0]),
+        (["a"], [-1.0]),
+        (["a"], [float("inf")]),
+    ])
+    def test_invalid(self, labels, values):
+        with pytest.raises(ValueError):
+            ascii_bars(labels, values)
+
+
+class TestBoxplot:
+    def test_basic_shape(self):
+        rng = np.random.default_rng(0)
+        groups = {"faro": rng.normal(0.2, 0.05, 100), "oneshot": rng.normal(0.8, 0.2, 100)}
+        chart = ascii_boxplot(groups, width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 3  # scale header + 2 groups
+        for line in lines[1:]:
+            assert line.count("[") == 1
+            assert line.count("]") == 1
+            assert line.count("=") == 1
+            assert line.count("|") == 2
+
+    def test_ordering_on_shared_scale(self):
+        groups = {"low": np.array([0.0, 0.1, 0.2]), "high": np.array([0.8, 0.9, 1.0])}
+        chart = ascii_boxplot(groups, width=40)
+        low_line, high_line = chart.splitlines()[1:]
+        assert low_line.index("=") < high_line.index("=")
+
+    def test_single_value_group(self):
+        chart = ascii_boxplot({"point": np.array([5.0]), "range": np.array([0.0, 10.0])})
+        assert "point" in chart
+
+    def test_drops_non_finite(self):
+        chart = ascii_boxplot({"a": np.array([1.0, np.inf, 2.0])}, width=20)
+        assert "a" in chart
+
+    @pytest.mark.parametrize("groups", [
+        {},
+        {"a": np.array([np.nan])},
+    ])
+    def test_invalid_groups(self, groups):
+        with pytest.raises(ValueError):
+            ascii_boxplot(groups)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ascii_boxplot({"a": np.ones(3)}, width=5)

@@ -1,0 +1,98 @@
+"""Policy interface and trigger-tracker tests."""
+
+import pytest
+
+from repro.policy import JobObservation, ScalingDecision, TriggerTracker
+
+
+def make_obs(**overrides):
+    fields = dict(
+        job_name="j",
+        arrival_rate=1.0,
+        rate_history=(1.0, 2.0),
+        mean_proc_time=0.18,
+        latency=0.3,
+        slo_violation_rate=0.0,
+        current_replicas=2,
+        target_replicas=2,
+    )
+    fields.update(overrides)
+    return JobObservation(**fields)
+
+
+class TestJobObservation:
+    def test_valid(self):
+        obs = make_obs()
+        assert obs.queue_length == 0 and obs.drop_rate == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            make_obs(arrival_rate=-1.0)
+
+    def test_negative_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            make_obs(current_replicas=-1)
+
+    def test_frozen(self):
+        obs = make_obs()
+        with pytest.raises(AttributeError):
+            obs.arrival_rate = 5.0
+
+
+class TestScalingDecision:
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingDecision(replicas={"j": -1})
+
+    def test_drop_rate_range(self):
+        with pytest.raises(ValueError):
+            ScalingDecision(drop_rates={"j": 1.5})
+
+    def test_merge_overlays(self):
+        base = ScalingDecision(replicas={"a": 1, "b": 2}, drop_rates={"a": 0.1})
+        override = ScalingDecision(replicas={"b": 5}, drop_rates={"b": 0.2})
+        merged = base.merge(override)
+        assert merged.replicas == {"a": 1, "b": 5}
+        assert merged.drop_rates == {"a": 0.1, "b": 0.2}
+
+    def test_merge_does_not_mutate(self):
+        base = ScalingDecision(replicas={"a": 1})
+        base.merge(ScalingDecision(replicas={"a": 9}))
+        assert base.replicas == {"a": 1}
+
+
+class TestTriggerTracker:
+    def test_fires_after_hold(self):
+        tracker = TriggerTracker(30.0)
+        assert not tracker.update("j", True, 0.0)
+        assert not tracker.update("j", True, 20.0)
+        assert tracker.update("j", True, 30.0)
+
+    def test_condition_break_resets(self):
+        tracker = TriggerTracker(30.0)
+        tracker.update("j", True, 0.0)
+        tracker.update("j", False, 10.0)
+        assert not tracker.update("j", True, 40.0)
+        assert tracker.update("j", True, 70.0)
+
+    def test_zero_hold_fires_immediately(self):
+        tracker = TriggerTracker(0.0)
+        assert tracker.update("j", True, 5.0)
+
+    def test_jobs_independent(self):
+        tracker = TriggerTracker(10.0)
+        tracker.update("a", True, 0.0)
+        assert not tracker.update("b", True, 5.0)
+        assert tracker.update("a", True, 10.0)
+
+    def test_clear_single_job(self):
+        tracker = TriggerTracker(10.0)
+        tracker.update("a", True, 0.0)
+        tracker.update("b", True, 0.0)
+        tracker.clear("a")
+        assert not tracker.update("a", True, 10.0)
+        assert tracker.update("b", True, 10.0)
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(ValueError):
+            TriggerTracker(-1.0)

@@ -1,0 +1,81 @@
+"""WorkloadPredictor adapter tests (forecast <-> autoscaler glue)."""
+
+import numpy as np
+import pytest
+
+from repro.forecast.baselines import NaiveForecaster
+from repro.forecast.predictor import (
+    ForecastWorkloadPredictor,
+    OracleWorkloadPredictor,
+)
+
+
+class RecordingForecaster(NaiveForecaster):
+    """Captures the history it is queried with."""
+
+    def __init__(self):
+        self.seen_histories = []
+
+    def predict(self, history, horizon):
+        self.seen_histories.append(np.asarray(history).copy())
+        return super().predict(history, horizon)
+
+    def sample_paths(self, history, horizon, num_samples, rng=None):
+        self.seen_histories.append(np.asarray(history).copy())
+        return np.tile(super().predict(history, horizon), (num_samples, 1))
+
+
+class TestForecastWorkloadPredictor:
+    def test_history_scaling_roundtrip(self):
+        inner = RecordingForecaster()
+        predictor = ForecastWorkloadPredictor(inner, history_scale=60.0)
+        history_rps = np.array([2.0, 3.0])  # requests/second
+        paths = predictor.sample_paths(history_rps, 4, 5)
+        # The forecaster saw requests/minute...
+        assert np.allclose(inner.seen_histories[0], [120.0, 180.0])
+        # ...and the output is back in requests/second.
+        assert paths.shape == (5, 4)
+        assert np.allclose(paths, 3.0)
+
+    def test_single_sample_is_point_forecast(self):
+        inner = RecordingForecaster()
+        inner.residual_std = 100.0  # would make random samples obvious
+        predictor = ForecastWorkloadPredictor(inner, history_scale=1.0)
+        paths = predictor.sample_paths(np.array([5.0]), 3, 1)
+        assert np.allclose(paths, 5.0)  # exact point forecast, no noise
+
+    def test_nonnegative_output(self):
+        inner = NaiveForecaster()
+        inner.residual_std = 50.0
+        predictor = ForecastWorkloadPredictor(inner, seed=1)
+        paths = predictor.sample_paths(np.array([1.0]), 6, 40)
+        assert np.all(paths >= 0.0)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ForecastWorkloadPredictor(NaiveForecaster(), history_scale=0.0)
+
+
+class TestOracleWorkloadPredictor:
+    def test_reads_future_from_clock(self):
+        trace = np.arange(10.0)
+        clock = {"t": 3}
+        oracle = OracleWorkloadPredictor(trace, clock=lambda: clock["t"])
+        paths = oracle.sample_paths(np.zeros(2), 4, 2)
+        assert np.allclose(paths, [[3, 4, 5, 6], [3, 4, 5, 6]])
+
+    def test_pads_past_trace_end(self):
+        oracle = OracleWorkloadPredictor(np.array([1.0, 2.0]), clock=lambda: 1)
+        paths = oracle.sample_paths(np.zeros(1), 4, 1)
+        assert np.allclose(paths, [[2.0, 2.0, 2.0, 2.0]])
+
+    def test_noise_perturbs(self):
+        trace = np.full(20, 100.0)
+        clean = OracleWorkloadPredictor(trace, clock=lambda: 0, noise=0.0)
+        noisy = OracleWorkloadPredictor(trace, clock=lambda: 0, noise=0.2, seed=4)
+        assert np.allclose(clean.sample_paths(np.zeros(1), 5, 3), 100.0)
+        assert not np.allclose(noisy.sample_paths(np.zeros(1), 5, 3), 100.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            OracleWorkloadPredictor(np.zeros(3), clock=lambda: 0, noise=-0.1)

@@ -1,0 +1,133 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.models import ModelProfile
+from repro.cluster.router import JobRouter
+from repro.core.objectives import make_objective
+from repro.core.optimizer import AllocationProblem, ClusterCapacity, OptimizationJob
+from repro.core.utility import SLO
+from repro.experiments.metrics import kendall_tau_distance
+from repro.queueing.mdc import mdc_latency_percentile
+
+
+class TestQueueingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lam=st.floats(min_value=0.1, max_value=50.0),
+        proc=st.floats(min_value=0.01, max_value=0.5),
+        servers=st.integers(min_value=1, max_value=32),
+    )
+    def test_latency_at_least_service_time(self, lam, proc, servers):
+        latency = mdc_latency_percentile(0.99, lam, proc, servers)
+        assert latency >= proc or math.isinf(latency)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lam=st.floats(min_value=0.5, max_value=20.0),
+        proc=st.floats(min_value=0.05, max_value=0.3),
+    )
+    def test_adding_server_never_hurts(self, lam, proc):
+        values = [mdc_latency_percentile(0.99, lam, proc, c) for c in range(1, 12)]
+        finite = [v for v in values if math.isfinite(v)]
+        assert all(a >= b - 1e-9 for a, b in zip(finite, finite[1:]))
+
+
+class TestOptimizerProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        rates=st.lists(
+            st.floats(min_value=0.1, max_value=30.0), min_size=2, max_size=5
+        ),
+        capacity=st.integers(min_value=6, max_value=30),
+    )
+    def test_greedy_allocation_always_feasible(self, rates, capacity):
+        from repro.core.optimizer import solve_allocation
+
+        jobs = [
+            OptimizationJob(
+                name=f"j{i}", proc_time=0.18, slo=SLO(0.72), rates=(rate,)
+            )
+            for i, rate in enumerate(rates)
+        ]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(capacity), make_objective("sum")
+        )
+        allocation = solve_allocation(problem, method="greedy")
+        assert problem.is_feasible(allocation.replicas)
+        assert all(r >= 1 for r in allocation.replicas)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.5, max_value=40.0),
+        drop=st.floats(min_value=0.0, max_value=0.6),
+    )
+    def test_dropping_traffic_never_lowers_raw_utility(self, rate, drop):
+        # U(lam(1-d)) >= U(lam): shedding load can only help latency.
+        job = OptimizationJob(name="j", proc_time=0.18, slo=SLO(0.72), rates=(rate,))
+        problem = AllocationProblem(
+            [job], ClusterCapacity.of_replicas(8), make_objective("penaltysum")
+        )
+        with_drop = problem.job_utility(0, 3, drop)
+        without = problem.job_utility(0, 3, 0.0)
+        assert with_drop >= without - 1e-9
+
+
+class TestRouterConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_requests=st.integers(min_value=1, max_value=300),
+        replicas=st.integers(min_value=1, max_value=6),
+        threshold=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_arrivals_partition_into_served_and_dropped(
+        self, n_requests, replicas, threshold, seed
+    ):
+        rng = np.random.default_rng(seed)
+        model = ModelProfile(name="m", proc_time=0.1, proc_jitter=0.0)
+        router = JobRouter(
+            "j", model, initial_replicas=replicas, queue_threshold=threshold, seed=seed
+        )
+        t = 0.0
+        served_latencies = []
+        for _ in range(n_requests):
+            t += float(rng.exponential(0.05))
+            latency = router.offer(t)
+            if math.isfinite(latency):
+                served_latencies.append(latency)
+        totals = router.totals
+        assert totals.arrivals == n_requests
+        assert totals.served + totals.dropped == n_requests
+        assert totals.served == len(served_latencies)
+        assert all(l >= 0.05 for l in served_latencies)  # >= half min proc time
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_queue_never_exceeds_threshold(self, seed):
+        model = ModelProfile(name="m", proc_time=0.5, proc_jitter=0.0)
+        router = JobRouter("j", model, initial_replicas=1, queue_threshold=5, seed=seed)
+        for _ in range(50):
+            router.offer(0.0)
+        assert router.queue_length(0.0) <= 5
+
+
+class TestKendallTauProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.permutations(list("abcdef")))
+    def test_distance_to_self_is_zero(self, perm):
+        assert kendall_tau_distance(perm, perm) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.permutations(list("abcde")), st.permutations(list("abcde")))
+    def test_symmetric(self, a, b):
+        assert kendall_tau_distance(a, b) == pytest.approx(kendall_tau_distance(b, a))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.permutations(list("abcde")))
+    def test_reversal_is_max(self, perm):
+        assert kendall_tau_distance(perm, list(reversed(perm))) == 1.0

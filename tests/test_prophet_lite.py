@@ -1,0 +1,134 @@
+"""Prophet-lite forecaster tests (repro.forecast.prophet_lite)."""
+
+import numpy as np
+import pytest
+
+from repro.forecast.metrics import rmse
+from repro.forecast.prophet_lite import ProphetLiteConfig, ProphetLiteForecaster
+from repro.traces import generate_azure_trace
+from repro.traces.azure import AzureTraceConfig
+
+
+def diurnal_series(days=4, period=1440, amplitude=100.0, level=300.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(days * period)
+    series = level + amplitude * np.sin(2 * np.pi * t / period)
+    if noise:
+        series = series + rng.normal(0, noise, series.size)
+    return np.maximum(series, 0.0)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"period": 1},
+        {"fourier_order": 0},
+        {"ridge": -1.0},
+        {"residual_horizon": 0},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ProphetLiteConfig(**kwargs)
+
+
+class TestFit:
+    def test_needs_two_cycles(self):
+        model = ProphetLiteForecaster(ProphetLiteConfig(period=100))
+        with pytest.raises(ValueError):
+            model.fit(np.ones(150))
+
+    def test_unfitted_predict_raises(self):
+        model = ProphetLiteForecaster()
+        with pytest.raises(RuntimeError):
+            model.predict(np.ones(16), 4)
+
+    def test_fit_returns_self(self):
+        model = ProphetLiteForecaster(ProphetLiteConfig(period=100))
+        assert model.fit(diurnal_series(days=3, period=100)) is model
+
+
+class TestPrediction:
+    def test_recovers_pure_sinusoid(self):
+        period = 200
+        series = diurnal_series(days=6, period=period)
+        model = ProphetLiteForecaster(
+            ProphetLiteConfig(period=period, fourier_order=3)
+        ).fit(series)
+        # Predict from a window ending mid-cycle; truth continues the wave.
+        start = 4 * period + 37
+        history = series[start : start + 32]
+        truth = series[start + 32 : start + 32 + 16]
+        prediction = model.predict(history, 16)
+        assert rmse(prediction, truth) < 5.0
+
+    def test_phase_recovery_any_offset(self):
+        period = 144
+        series = diurnal_series(days=8, period=period, amplitude=80.0)
+        model = ProphetLiteForecaster(
+            ProphetLiteConfig(period=period, fourier_order=3)
+        ).fit(series)
+        for offset in (0, 31, 77, 120):
+            start = 5 * period + offset
+            history = series[start : start + 24]
+            truth = series[start + 24 : start + 24 + 8]
+            assert rmse(model.predict(history, 8), truth) < 8.0
+
+    def test_level_offset_tracked(self):
+        # A history shifted up by a constant shifts the forecast with it.
+        period = 144
+        series = diurnal_series(days=6, period=period)
+        model = ProphetLiteForecaster(
+            ProphetLiteConfig(period=period, fourier_order=3)
+        ).fit(series)
+        start = 4 * period
+        history = series[start : start + 24]
+        base = model.predict(history, 8)
+        lifted = model.predict(history + 50.0, 8)
+        assert np.mean(lifted - base) == pytest.approx(50.0, abs=5.0)
+
+    def test_non_negative(self):
+        period = 144
+        series = diurnal_series(days=6, period=period, amplitude=290.0, level=300.0)
+        model = ProphetLiteForecaster(
+            ProphetLiteConfig(period=period, fourier_order=3)
+        ).fit(series)
+        prediction = model.predict(np.zeros(16), 8)
+        assert np.all(prediction >= 0.0)
+
+    def test_invalid_inputs(self):
+        period = 144
+        model = ProphetLiteForecaster(ProphetLiteConfig(period=period)).fit(
+            diurnal_series(days=4, period=period)
+        )
+        with pytest.raises(ValueError):
+            model.predict(np.ones(16), 0)
+        with pytest.raises(ValueError):
+            model.predict(np.array([]), 4)
+
+
+class TestSamplePaths:
+    def test_shape_and_spread(self):
+        period = 144
+        series = diurnal_series(days=6, period=period, noise=10.0)
+        model = ProphetLiteForecaster(
+            ProphetLiteConfig(period=period, fourier_order=3)
+        ).fit(series)
+        history = series[4 * period : 4 * period + 24]
+        paths = model.sample_paths(history, 8, 30, rng=np.random.default_rng(0))
+        assert paths.shape == (30, 8)
+        assert model.residual_std > 0
+        assert np.std(paths, axis=0).mean() > 0
+
+
+class TestOnAzureTraces:
+    def test_beats_flat_persistence_on_diurnal_trace(self):
+        trace = generate_azure_trace(AzureTraceConfig(days=5, seed=2))
+        train, evaluation = trace[: 4 * 1440], trace[4 * 1440 :]
+        model = ProphetLiteForecaster(ProphetLiteConfig(fourier_order=8)).fit(train)
+        horizon, window = 8, 60
+        prophet_errors, persist_errors = [], []
+        for start in range(0, evaluation.size - window - horizon, 97):
+            history = evaluation[start : start + window]
+            truth = evaluation[start + window : start + window + horizon]
+            prophet_errors.append(rmse(model.predict(history, horizon), truth))
+            persist_errors.append(rmse(np.full(horizon, history[-1]), truth))
+        assert np.mean(prophet_errors) < 1.5 * np.mean(persist_errors)

@@ -1,0 +1,76 @@
+"""Public API surface tests: everything advertised must be importable."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.core.utility",
+            "repro.core.penalty",
+            "repro.core.objectives",
+            "repro.core.latency",
+            "repro.core.optimizer",
+            "repro.core.hierarchical",
+            "repro.core.autoscaler",
+            "repro.core.hybrid",
+            "repro.core.decentralized",
+            "repro.core.pipelines",
+            "repro.queueing",
+            "repro.autodiff",
+            "repro.forecast",
+            "repro.traces",
+            "repro.cluster",
+            "repro.cluster.placement",
+            "repro.cluster.batching",
+            "repro.sim",
+            "repro.sim.faults",
+            "repro.baselines",
+            "repro.experiments",
+            "repro.experiments.sweeps",
+            "repro.experiments.plotting",
+            "repro.policy",
+            "repro.hetero",
+            "repro.cloud",
+            "repro.admission",
+            "repro.cli",
+        ],
+    )
+    def test_submodules_import(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name} missing"
+
+    def test_paper_defaults_exposed(self):
+        assert repro.RESNET34.proc_time == pytest.approx(0.180)
+        assert repro.RESNET18.proc_time == pytest.approx(0.100)
+        job = repro.InferenceJobSpec.with_default_slo("j", repro.RESNET34)
+        assert job.slo.target == pytest.approx(0.720)
+        assert job.slo.percentile == 99.0
+
+    def test_faro_config_paper_defaults(self):
+        config = repro.FaroConfig()
+        assert config.period == 300.0
+        assert config.rho_max == 0.95
+        assert config.groups == 10
+        assert config.solver == "cobyla"
+        assert config.cold_start_seconds == 60.0
+
+    def test_docstrings_on_public_classes(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type) or callable(obj):
+                assert obj.__doc__, f"repro.{name} lacks a docstring"

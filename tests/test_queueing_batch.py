@@ -1,0 +1,124 @@
+"""Batch-service queueing model tests (repro.queueing.batch)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.batch import (
+    batch_formation_wait,
+    batch_service_time,
+    batch_throughput,
+    batched_latency_percentile,
+    optimal_batch_size,
+)
+from repro.queueing.mdc import mdc_latency_percentile
+
+
+class TestBatchServiceTime:
+    def test_linear_in_size(self):
+        assert batch_service_time(0.05, 0.01, 1) == pytest.approx(0.06)
+        assert batch_service_time(0.05, 0.01, 10) == pytest.approx(0.15)
+
+    @pytest.mark.parametrize("base,per_item,size", [(-0.1, 0.01, 1), (0.0, 0.0, 1), (0.1, 0.01, 0)])
+    def test_invalid(self, base, per_item, size):
+        with pytest.raises(ValueError):
+            batch_service_time(base, per_item, size)
+
+
+class TestBatchThroughput:
+    def test_increasing_in_size(self):
+        values = [batch_throughput(0.1, 0.02, b) for b in range(1, 32)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_asymptote(self):
+        # Throughput approaches 1/per_item as the setup cost amortizes away.
+        assert batch_throughput(0.1, 0.02, 10_000) == pytest.approx(50.0, rel=0.01)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        base=st.floats(min_value=0.0, max_value=1.0),
+        per_item=st.floats(min_value=0.001, max_value=0.5),
+        size=st.integers(min_value=1, max_value=128),
+    )
+    def test_bounded_by_per_item_rate(self, base, per_item, size):
+        assert batch_throughput(base, per_item, size) <= 1.0 / per_item + 1e-9
+
+
+class TestFormationWait:
+    def test_no_wait_for_unit_batches(self):
+        assert batch_formation_wait(10.0, 1) == 0.0
+
+    def test_mean_position_formula(self):
+        assert batch_formation_wait(10.0, 5) == pytest.approx(4 / 20.0)
+
+    def test_timeout_caps_wait(self):
+        assert batch_formation_wait(0.1, 8, timeout=0.2) == pytest.approx(0.2)
+
+    def test_zero_rate_waits_full_timeout(self):
+        assert batch_formation_wait(0.0, 8, timeout=0.5) == pytest.approx(0.5)
+
+    def test_zero_rate_no_timeout(self):
+        assert batch_formation_wait(0.0, 8) == 0.0
+
+    def test_decreasing_in_rate(self):
+        waits = [batch_formation_wait(lam, 8) for lam in (1.0, 2.0, 4.0, 8.0)]
+        assert all(a > b for a, b in zip(waits, waits[1:]))
+
+
+class TestBatchedLatency:
+    def test_size_one_matches_mdc(self):
+        q, lam, c = 0.99, 5.0, 2
+        base, per_item = 0.0, 0.18
+        expected = mdc_latency_percentile(q, lam, per_item, c)
+        assert batched_latency_percentile(q, lam, c, 1, base, per_item) == pytest.approx(expected)
+
+    def test_batching_rescues_overload(self):
+        # Unbatched the queue is unstable; batching raises throughput enough.
+        q, lam, c = 0.99, 12.0, 1
+        base, per_item = 0.15, 0.03  # unbatched service 0.18 s => capacity 5.6/s
+        assert math.isinf(batched_latency_percentile(q, lam, c, 1, base, per_item))
+        assert batched_latency_percentile(q, lam, c, 8, base, per_item) < math.inf
+
+    def test_zero_load(self):
+        latency = batched_latency_percentile(0.99, 0.0, 2, 4, 0.1, 0.02)
+        assert latency == pytest.approx(batch_service_time(0.1, 0.02, 4))
+
+    def test_invalid_servers(self):
+        with pytest.raises(ValueError):
+            batched_latency_percentile(0.9, 1.0, 0, 1, 0.1, 0.01)
+
+
+class TestOptimalBatchSize:
+    def test_low_load_prefers_small_batches(self):
+        size, _ = optimal_batch_size(0.99, 0.5, 2, 0.15, 0.03)
+        assert size <= 2
+
+    def test_high_load_prefers_large_batches(self):
+        size, latency = optimal_batch_size(0.99, 30.0, 1, 0.15, 0.03)
+        assert size > 4
+        assert latency < math.inf
+
+    def test_latency_is_achieved_latency(self):
+        q, lam, c, base, per_item = 0.99, 10.0, 2, 0.1, 0.02
+        size, latency = optimal_batch_size(q, lam, c, base, per_item)
+        assert latency == pytest.approx(
+            batched_latency_percentile(q, lam, c, size, base, per_item)
+        )
+
+    def test_respects_max_size(self):
+        size, _ = optimal_batch_size(0.99, 100.0, 1, 0.2, 0.01, max_size=4)
+        assert 1 <= size <= 4
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ValueError):
+            optimal_batch_size(0.9, 1.0, 1, 0.1, 0.01, max_size=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(lam=st.floats(min_value=0.1, max_value=40.0))
+    def test_never_worse_than_unbatched(self, lam):
+        q, c, base, per_item = 0.99, 2, 0.1, 0.02
+        _, best = optimal_batch_size(q, lam, c, base, per_item)
+        unbatched = batched_latency_percentile(q, lam, c, 1, base, per_item)
+        assert best <= unbatched + 1e-12

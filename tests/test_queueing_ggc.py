@@ -1,0 +1,164 @@
+"""G/G/c / M/G/c approximation tests: corner cases and structural properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.ggc import (
+    ggc_latency_percentile,
+    ggc_mean_wait,
+    ggc_wait_percentile,
+    kingman_wait,
+    mgc_mean_wait,
+    mgc_wait_percentile,
+    variability_factor,
+)
+from repro.queueing.mdc import mdc_mean_wait, mdc_wait_percentile
+from repro.queueing.mmc import mmc_mean_wait, mmc_wait_percentile
+
+
+class TestVariabilityFactor:
+    def test_mm_inputs_give_one(self):
+        assert variability_factor(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_md_inputs_give_half(self):
+        assert variability_factor(1.0, 0.0) == pytest.approx(0.5)
+
+    def test_symmetric(self):
+        assert variability_factor(0.3, 1.7) == variability_factor(1.7, 0.3)
+
+    @pytest.mark.parametrize("ca2,cs2", [(-0.1, 1.0), (1.0, -0.1)])
+    def test_negative_rejected(self, ca2, cs2):
+        with pytest.raises(ValueError):
+            variability_factor(ca2, cs2)
+
+
+class TestKingman:
+    def test_mm1_exact(self):
+        # ca2 = cs2 = 1 recovers M/M/1 mean wait exactly.
+        lam, mu = 0.7, 1.0
+        assert kingman_wait(lam, mu, 1.0, 1.0) == pytest.approx(mmc_mean_wait(lam, mu, 1))
+
+    def test_md1_exact(self):
+        # ca2 = 1, cs2 = 0 recovers the Pollaczek-Khinchine M/D/1 mean wait.
+        lam, proc = 0.6, 1.0
+        expected = (0.6 / (1 - 0.6)) * 0.5 * proc
+        assert kingman_wait(lam, 1.0 / proc, 1.0, 0.0) == pytest.approx(expected)
+
+    def test_unstable_inf(self):
+        assert math.isinf(kingman_wait(2.0, 1.0, 1.0, 1.0))
+
+    def test_zero_arrivals(self):
+        assert kingman_wait(0.0, 1.0, 1.0, 1.0) == 0.0
+
+    def test_increasing_in_variability(self):
+        waits = [kingman_wait(0.5, 1.0, 1.0, cs2) for cs2 in (0.0, 0.5, 1.0, 2.0)]
+        assert all(a < b for a, b in zip(waits, waits[1:]))
+
+
+class TestGGCMeanWait:
+    def test_reduces_to_mmc(self):
+        lam, mu, c = 3.0, 1.0, 4
+        assert ggc_mean_wait(lam, mu, c, 1.0, 1.0) == pytest.approx(mmc_mean_wait(lam, mu, c))
+
+    def test_reduces_to_mdc(self):
+        # ca2 = 1, cs2 = 0 is the half-wait rule = Faro's M/D/c estimator.
+        lam, proc, c = 3.0, 1.0, 4
+        assert ggc_mean_wait(lam, 1.0 / proc, c, 1.0, 0.0) == pytest.approx(
+            mdc_mean_wait(lam, proc, c)
+        )
+
+    def test_unstable_inf(self):
+        assert math.isinf(ggc_mean_wait(5.0, 1.0, 4, 1.0, 1.0))
+
+    def test_zero_arrivals(self):
+        assert ggc_mean_wait(0.0, 1.0, 4, 1.0, 1.0) == 0.0
+
+    def test_single_server_matches_kingman(self):
+        lam, mu = 0.8, 1.0
+        # Allen-Cunneen on one server scales M/M/1, same as Kingman.
+        assert ggc_mean_wait(lam, mu, 1, 0.7, 0.4) == pytest.approx(
+            kingman_wait(lam, mu, 0.7, 0.4)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rho=st.floats(min_value=0.05, max_value=0.9),
+        servers=st.integers(min_value=1, max_value=16),
+        ca2=st.floats(min_value=0.0, max_value=3.0),
+        cs2=st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_scales_linearly_with_variability(self, rho, servers, ca2, cs2):
+        mu = 1.0
+        lam = rho * servers * mu
+        base = mmc_mean_wait(lam, mu, servers)
+        assert ggc_mean_wait(lam, mu, servers, ca2, cs2) == pytest.approx(
+            base * (ca2 + cs2) / 2.0
+        )
+
+
+class TestGGCPercentiles:
+    def test_monotone_in_quantile(self):
+        values = [ggc_wait_percentile(q, 3.5, 1.0, 4, 1.2, 0.8) for q in (0.5, 0.9, 0.99)]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_reduces_to_mdc_percentile(self):
+        lam, proc, c, q = 3.0, 1.0, 4, 0.99
+        assert ggc_wait_percentile(q, lam, 1.0 / proc, c, 1.0, 0.0) == pytest.approx(
+            mdc_wait_percentile(q, lam, proc, c)
+        )
+
+    def test_reduces_to_mmc_percentile(self):
+        lam, mu, c, q = 3.0, 1.0, 4, 0.95
+        assert ggc_wait_percentile(q, lam, mu, c, 1.0, 1.0) == pytest.approx(
+            mmc_wait_percentile(q, lam, mu, c)
+        )
+
+    def test_unstable_inf(self):
+        assert math.isinf(ggc_wait_percentile(0.99, 10.0, 1.0, 4, 1.0, 1.0))
+
+    def test_latency_adds_service_time(self):
+        lam, proc, c, q = 2.0, 0.5, 3, 0.9
+        wait = ggc_wait_percentile(q, lam, 1.0 / proc, c, 1.0, 0.5)
+        assert ggc_latency_percentile(q, lam, proc, c, 1.0, 0.5) == pytest.approx(wait + proc)
+
+    def test_latency_zero_load_is_service_time(self):
+        assert ggc_latency_percentile(0.99, 0.0, 0.25, 2, 1.0, 1.0) == pytest.approx(0.25)
+
+    def test_latency_invalid_proc_time(self):
+        with pytest.raises(ValueError):
+            ggc_latency_percentile(0.9, 1.0, 0.0, 2, 1.0, 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rho=st.floats(min_value=0.1, max_value=0.9),
+        servers=st.integers(min_value=1, max_value=12),
+        q=st.floats(min_value=0.5, max_value=0.999),
+    )
+    def test_more_variability_never_faster(self, rho, servers, q):
+        mu = 2.0
+        lam = rho * servers * mu
+        low = ggc_wait_percentile(q, lam, mu, servers, 1.0, 0.0)
+        high = ggc_wait_percentile(q, lam, mu, servers, 1.0, 2.0)
+        assert high >= low
+
+
+class TestMGC:
+    def test_is_ggc_with_poisson_arrivals(self):
+        lam, mu, c = 3.0, 1.0, 4
+        assert mgc_mean_wait(lam, mu, c, 0.25) == pytest.approx(
+            ggc_mean_wait(lam, mu, c, 1.0, 0.25)
+        )
+
+    def test_percentile_matches_ggc(self):
+        assert mgc_wait_percentile(0.9, 3.0, 1.0, 4, 0.25) == pytest.approx(
+            ggc_wait_percentile(0.9, 3.0, 1.0, 4, 1.0, 0.25)
+        )
+
+    def test_deterministic_service_halves_mm_wait(self):
+        lam, mu, c = 3.0, 1.0, 4
+        assert mgc_mean_wait(lam, mu, c, 0.0) == pytest.approx(
+            0.5 * mmc_mean_wait(lam, mu, c)
+        )

@@ -1,0 +1,86 @@
+"""M/D/c approximation tests, including the paper's worked example."""
+
+import math
+
+import pytest
+
+from repro.queueing.mdc import (
+    cosmetatos_correction,
+    mdc_latency_percentile,
+    mdc_mean_wait,
+    mdc_wait_percentile,
+)
+from repro.queueing.mmc import mmc_mean_wait
+
+
+class TestHalfWaitRule:
+    def test_mean_is_half_of_mmc(self):
+        lam, p, c = 3.0, 0.2, 1
+        assert mdc_mean_wait(lam, p, c) == pytest.approx(
+            0.5 * mmc_mean_wait(lam, 1 / p, c)
+        )
+
+    def test_md1_exact(self):
+        # M/D/1 Wq is exactly half of M/M/1 Wq (Pollaczek-Khinchine).
+        lam, p = 4.0, 0.2
+        rho = lam * p
+        exact = rho * p / (2 * (1 - rho))
+        assert mdc_mean_wait(lam, p, 1) == pytest.approx(exact)
+
+    def test_unstable_inf(self):
+        assert math.isinf(mdc_mean_wait(10.0, 0.2, 1))
+
+    def test_refined_close_to_plain_at_high_rho(self):
+        lam, p, c = 18.0, 0.5, 10  # rho = 0.9
+        plain = mdc_mean_wait(lam, p, c)
+        refined = mdc_mean_wait(lam, p, c, refined=True)
+        assert refined == pytest.approx(plain, rel=0.05)
+
+
+class TestCosmetatos:
+    def test_single_server_is_one(self):
+        assert cosmetatos_correction(0.5, 1) == 1.0
+
+    def test_approaches_one_at_high_utilization(self):
+        assert cosmetatos_correction(0.999, 8) == pytest.approx(1.0, abs=0.01)
+
+    def test_greater_than_one_for_multi_server(self):
+        assert cosmetatos_correction(0.5, 4) > 1.0
+
+    @pytest.mark.parametrize("rho", [0.0, 1.0, -0.5])
+    def test_invalid_rho(self, rho):
+        with pytest.raises(ValueError):
+            cosmetatos_correction(rho, 4)
+
+
+class TestPaperWorkedExample:
+    """§3.3: p=150 ms, lam=40 req/s, SLO 600 ms -> M/D/c needs 8 replicas."""
+
+    def test_eight_replicas_meet_slo(self):
+        latency = mdc_latency_percentile(0.9999, 40.0, 0.150, 8)
+        assert latency <= 0.600
+
+    def test_seven_replicas_miss_slo(self):
+        latency = mdc_latency_percentile(0.9999, 40.0, 0.150, 7)
+        assert latency > 0.600
+
+
+class TestLatencyPercentile:
+    def test_includes_service_time(self):
+        # At negligible load latency equals the deterministic service time.
+        assert mdc_latency_percentile(0.99, 0.01, 0.2, 4) == pytest.approx(0.2, abs=1e-3)
+
+    def test_unstable_inf(self):
+        assert math.isinf(mdc_latency_percentile(0.99, 100.0, 0.2, 4))
+
+    def test_monotone_decreasing_in_servers(self):
+        values = [mdc_latency_percentile(0.99, 10.0, 0.2, c) for c in range(3, 10)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_monotone_increasing_in_rate(self):
+        values = [mdc_wait_percentile(0.99, lam, 0.2, 4) for lam in (2.0, 8.0, 14.0, 19.0)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_invalid_proc_time(self):
+        with pytest.raises(ValueError):
+            mdc_latency_percentile(0.99, 1.0, 0.0, 2)

@@ -1,0 +1,127 @@
+"""M/M/c formula tests against textbook values and structural properties."""
+
+import math
+
+import pytest
+
+from repro.queueing.mmc import (
+    erlang_b,
+    erlang_c,
+    mmc_mean_wait,
+    mmc_wait_ccdf,
+    mmc_wait_percentile,
+    utilization,
+)
+
+
+class TestUtilization:
+    def test_basic(self):
+        assert utilization(5.0, 1.0, 10) == pytest.approx(0.5)
+
+    def test_unstable_exceeds_one(self):
+        assert utilization(20.0, 1.0, 10) == pytest.approx(2.0)
+
+    def test_zero_arrivals(self):
+        assert utilization(0.0, 1.0, 4) == 0.0
+
+    @pytest.mark.parametrize("lam,mu,c", [(-1, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_invalid_inputs(self, lam, mu, c):
+        with pytest.raises(ValueError):
+            utilization(lam, mu, c)
+
+
+class TestErlangB:
+    def test_zero_servers(self):
+        assert erlang_b(0, 3.0) == 1.0
+
+    def test_single_server(self):
+        # B(1, a) = a / (1 + a)
+        assert erlang_b(1, 2.0) == pytest.approx(2.0 / 3.0)
+
+    def test_textbook_value(self):
+        # Known: B(5, 3) ~= 0.11005 (Erlang tables).
+        assert erlang_b(5, 3.0) == pytest.approx(0.11005, abs=1e-4)
+
+    def test_decreasing_in_servers(self):
+        values = [erlang_b(c, 4.0) for c in range(1, 12)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_zero_load(self):
+        assert erlang_b(4, 0.0) == 0.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            erlang_b(2, -1.0)
+
+
+class TestErlangC:
+    def test_textbook_value(self):
+        # Known: C(2, 1) = 1/3 for M/M/2 at rho = 0.5.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_unstable_returns_one(self):
+        assert erlang_c(3, 3.0) == 1.0
+        assert erlang_c(3, 5.0) == 1.0
+
+    def test_bounded(self):
+        for c in range(1, 10):
+            for a_tenths in range(0, c * 10, 3):
+                value = erlang_c(c, a_tenths / 10.0)
+                assert 0.0 <= value <= 1.0
+
+    def test_c_larger_than_b(self):
+        # Erlang C >= Erlang B for the same (c, a) in stable region.
+        assert erlang_c(4, 2.0) >= erlang_b(4, 2.0)
+
+    def test_zero_load(self):
+        assert erlang_c(3, 0.0) == 0.0
+
+
+class TestMeanWait:
+    def test_mm1_closed_form(self):
+        # M/M/1: Wq = rho / (mu - lam).
+        lam, mu = 0.5, 1.0
+        expected = 0.5 / (1.0 - 0.5)
+        assert mmc_mean_wait(lam, mu, 1) == pytest.approx(expected)
+
+    def test_unstable_inf(self):
+        assert math.isinf(mmc_mean_wait(2.0, 1.0, 1))
+
+    def test_zero_arrivals(self):
+        assert mmc_mean_wait(0.0, 1.0, 2) == 0.0
+
+    def test_decreasing_in_servers(self):
+        waits = [mmc_mean_wait(3.0, 1.0, c) for c in range(4, 10)]
+        assert all(a > b for a, b in zip(waits, waits[1:]))
+
+
+class TestWaitDistribution:
+    def test_ccdf_at_zero_is_erlang_c(self):
+        assert mmc_wait_ccdf(0.0, 2.0, 1.0, 4) == pytest.approx(erlang_c(4, 2.0))
+
+    def test_ccdf_decreasing_in_time(self):
+        values = [mmc_wait_ccdf(t / 4.0, 2.0, 1.0, 3) for t in range(8)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_percentile_roundtrip(self):
+        # CCDF at the q-quantile equals 1 - q (when the quantile is > 0).
+        lam, mu, c, q = 3.5, 1.0, 4, 0.99
+        t = mmc_wait_percentile(q, lam, mu, c)
+        assert t > 0
+        assert mmc_wait_ccdf(t, lam, mu, c) == pytest.approx(1 - q, rel=1e-9)
+
+    def test_percentile_zero_when_below_wait_mass(self):
+        # With tiny load almost nobody waits: low quantiles are exactly 0.
+        assert mmc_wait_percentile(0.5, 0.1, 1.0, 8) == 0.0
+
+    def test_percentile_unstable(self):
+        assert math.isinf(mmc_wait_percentile(0.99, 10.0, 1.0, 2))
+
+    def test_percentile_monotone_in_q(self):
+        values = [mmc_wait_percentile(q / 100, 3.6, 1.0, 4) for q in (50, 90, 99)]
+        assert values[0] <= values[1] <= values[2]
+
+    @pytest.mark.parametrize("q", [0.0, 1.0, -0.1, 1.5])
+    def test_invalid_quantile(self, q):
+        with pytest.raises(ValueError):
+            mmc_wait_percentile(q, 1.0, 1.0, 2)

@@ -1,0 +1,102 @@
+"""Vectorized queueing kernels must agree with the scalar formulas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.queueing.mdc import mdc_latency_percentile
+from repro.queueing.mmc import erlang_c
+from repro.queueing.vectorized import (
+    erlang_c_at_rho,
+    erlang_c_table,
+    mdc_latency_table,
+)
+
+
+class TestErlangCTable:
+    def test_matches_scalar(self):
+        loads = np.array([0.5, 1.7, 3.2, 6.9])
+        table = erlang_c_table(loads, 10)
+        for k in range(1, 11):
+            for j, a in enumerate(loads):
+                expected = erlang_c(k, float(a)) if a < k else 1.0
+                assert table[k - 1, j] == pytest.approx(expected, abs=1e-12)
+
+    def test_unstable_entries_are_one(self):
+        table = erlang_c_table(np.array([5.0]), 4)
+        assert np.all(table[:4] == 1.0)
+
+    def test_shape(self):
+        assert erlang_c_table(np.zeros(3), 7).shape == (7, 3)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            erlang_c_table(np.array([-1.0]), 3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            erlang_c_table(np.zeros((2, 2)), 3)
+
+
+class TestErlangCAtRho:
+    def test_matches_scalar_diagonal(self):
+        values = erlang_c_at_rho(0.95, 12)
+        for k in range(1, 13):
+            assert values[k - 1] == pytest.approx(erlang_c(k, 0.95 * k), abs=1e-12)
+
+    def test_cached_identical(self):
+        a = erlang_c_at_rho(0.9, 8)
+        b = erlang_c_at_rho(0.9, 8)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("rho", [0.0, 1.0])
+    def test_invalid_rho(self, rho):
+        with pytest.raises(ValueError):
+            erlang_c_at_rho(rho, 4)
+
+
+class TestLatencyTable:
+    def test_matches_scalar_mdc(self):
+        rates = np.array([1.0, 5.0, 12.0, 20.0])
+        p = 0.18
+        table = mdc_latency_table(0.99, rates, p, 8, relaxed=False)
+        for k in range(1, 9):
+            for j, lam in enumerate(rates):
+                expected = mdc_latency_percentile(0.99, float(lam), p, k)
+                if math.isinf(expected):
+                    assert math.isinf(table[k - 1, j])
+                else:
+                    assert table[k - 1, j] == pytest.approx(expected, abs=1e-9)
+
+    def test_zero_rate_gives_service_time(self):
+        table = mdc_latency_table(0.99, np.array([0.0]), 0.2, 4)
+        assert np.allclose(table[:, 0], 0.2)
+
+    def test_precise_has_inf_plateau(self):
+        table = mdc_latency_table(0.99, np.array([100.0]), 0.2, 5, relaxed=False)
+        assert np.all(np.isinf(table[:, 0]))
+
+    def test_relaxed_removes_inf(self):
+        table = mdc_latency_table(0.99, np.array([100.0]), 0.2, 5, relaxed=True)
+        assert np.all(np.isfinite(table[:, 0]))
+
+    def test_relaxed_monotone_in_overload(self):
+        # With one server, latencies should grow with the arrival rate in
+        # the overloaded (relaxed) regime -- no plateau.
+        rates = np.array([10.0, 20.0, 40.0, 80.0])
+        table = mdc_latency_table(0.99, rates, 0.2, 1, relaxed=True)
+        row = table[0]
+        assert np.all(np.diff(row) > 0)
+
+    def test_relaxed_agrees_with_precise_when_stable(self):
+        rates = np.array([2.0, 6.0])
+        precise = mdc_latency_table(0.99, rates, 0.2, 6, relaxed=False)
+        relaxed = mdc_latency_table(0.99, rates, 0.2, 6, relaxed=True)
+        stable = np.isfinite(precise) & (rates[None, :] * 0.2 <= 0.95 * np.arange(1, 7)[:, None])
+        assert np.allclose(precise[stable], relaxed[stable])
+
+    @pytest.mark.parametrize("q", [0.0, 1.0])
+    def test_invalid_quantile(self, q):
+        with pytest.raises(ValueError):
+            mdc_latency_table(q, np.array([1.0]), 0.2, 3)

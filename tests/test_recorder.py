@@ -1,0 +1,110 @@
+"""SimulationResult metric-math tests (paper §6 "Metrics")."""
+
+import numpy as np
+import pytest
+
+from repro.sim.recorder import JobSeries, SimulationResult
+
+
+def series(name="j", minutes=4, utility=None, violations=None, arrivals=None, drops=None):
+    if utility is not None:
+        minutes = len(utility)
+    utility = np.asarray(utility if utility is not None else np.ones(minutes), dtype=float)
+    arrivals = np.asarray(arrivals if arrivals is not None else np.full(minutes, 100), dtype=int)
+    violations = np.asarray(violations if violations is not None else np.zeros(minutes), dtype=int)
+    drops = np.asarray(drops if drops is not None else np.zeros(minutes), dtype=int)
+    return JobSeries(
+        name=name,
+        arrivals=arrivals,
+        drops=drops,
+        violations=violations,
+        latency_p=np.full(minutes, 0.2),
+        utility=utility,
+        effective_utility=utility.copy(),
+        replicas=np.full(minutes, 2),
+    )
+
+
+class TestJobSeries:
+    def test_violation_rate(self):
+        s = series(violations=[10, 0, 0, 0])
+        assert s.slo_violation_rate == pytest.approx(10 / 400)
+
+    def test_zero_arrivals(self):
+        s = series(arrivals=[0, 0, 0, 0])
+        assert s.slo_violation_rate == 0.0
+
+    def test_mean_lost_utility(self):
+        s = series(utility=[1.0, 0.5, 1.0, 0.5])
+        assert s.mean_lost_utility == pytest.approx(0.25)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            JobSeries(
+                name="bad",
+                arrivals=np.zeros(3, dtype=int),
+                drops=np.zeros(2, dtype=int),
+                violations=np.zeros(3, dtype=int),
+                latency_p=np.zeros(3),
+                utility=np.zeros(3),
+                effective_utility=np.zeros(3),
+                replicas=np.zeros(3, dtype=int),
+            )
+
+
+class TestSimulationResult:
+    def test_cluster_utility_is_sum(self):
+        result = SimulationResult(
+            jobs={"a": series("a", utility=[1.0, 0.5]), "b": series("b", utility=[0.5, 0.5], minutes=2)},
+        )
+        assert np.allclose(result.cluster_utility_timeline(), [1.5, 1.0])
+
+    def test_lost_utility(self):
+        result = SimulationResult(
+            jobs={"a": series("a", minutes=2, utility=[1.0, 0.0]), "b": series("b", minutes=2)},
+        )
+        # avg cluster utility = (2.0 + 1.0)/2 = 1.5; max = 2 jobs.
+        assert result.avg_lost_cluster_utility == pytest.approx(0.5)
+
+    def test_cluster_violation_rate_is_job_average(self):
+        result = SimulationResult(
+            jobs={
+                "a": series("a", violations=[100, 0, 0, 0]),  # 25%
+                "b": series("b", violations=[0, 0, 0, 0]),    # 0%
+            },
+        )
+        assert result.cluster_slo_violation_rate == pytest.approx(0.125)
+
+    def test_workload_timeline(self):
+        result = SimulationResult(
+            jobs={"a": series("a", minutes=2), "b": series("b", minutes=2)},
+        )
+        assert np.allclose(result.workload_timeline(), [200, 200])
+
+    def test_lost_job_utilities(self):
+        result = SimulationResult(
+            jobs={"a": series("a", utility=[0.5, 0.5, 0.5, 0.5]), "b": series("b")},
+        )
+        lost = result.lost_job_utilities()
+        assert lost["a"] == pytest.approx(0.5)
+        assert lost["b"] == pytest.approx(0.0)
+
+    def test_summary_keys(self):
+        result = SimulationResult(jobs={"a": series("a")}, policy_name="p")
+        summary = result.summary()
+        assert summary["policy"] == "p"
+        assert set(summary) >= {
+            "avg_lost_cluster_utility",
+            "cluster_slo_violation_rate",
+            "num_jobs",
+        }
+
+    def test_mismatched_minutes_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationResult(
+                jobs={"a": series("a", minutes=2), "b": series("b", minutes=3)},
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationResult(jobs={})

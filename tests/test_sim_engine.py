@@ -1,0 +1,103 @@
+"""Discrete-event engine and Poisson workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import EventLoop
+from repro.sim.workload import PoissonArrivals
+
+
+class TestEventLoop:
+    def test_events_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tiebreak(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append(1))
+        loop.schedule(1.0, lambda: order.append(2))
+        loop.run()
+        assert order == [1, 2]
+
+    def test_run_until_stops(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(5.0, lambda: seen.append(5))
+        loop.run_until(2.0)
+        assert seen == [1]
+        assert loop.now == 2.0
+        assert loop.pending == 1
+
+    def test_callbacks_can_schedule(self):
+        loop = EventLoop()
+        seen = []
+
+        def ping():
+            seen.append(loop.now)
+            if loop.now < 3:
+                loop.schedule_in(1.0, ping)
+
+        loop.schedule(1.0, ping)
+        loop.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule(0.5, lambda: None)
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        for t in range(5):
+            loop.schedule(float(t), lambda: None)
+        loop.run()
+        assert loop.processed == 5
+
+
+class TestPoissonArrivals:
+    def test_counts_match_rates(self):
+        rates = np.full(60, 120.0)  # 2 req/s for an hour
+        stream = PoissonArrivals(rates, seed=0)
+        arrivals = stream.take_until(3600.0)
+        assert len(arrivals) == pytest.approx(7200, rel=0.05)
+
+    def test_times_ordered_and_in_range(self):
+        stream = PoissonArrivals(np.full(5, 60.0), seed=1)
+        arrivals = stream.take_until(300.0)
+        assert all(a <= b for a, b in zip(arrivals, arrivals[1:]))
+        assert all(0 <= t <= 300.0 for t in arrivals)
+
+    def test_incremental_consumption(self):
+        stream = PoissonArrivals(np.full(2, 600.0), seed=2)
+        first = stream.take_until(60.0)
+        second = stream.take_until(120.0)
+        assert all(t <= 60.0 for t in first)
+        assert all(60.0 < t <= 120.0 for t in second)
+        assert len(first) + len(second) == stream.generated
+
+    def test_zero_rate_produces_nothing(self):
+        stream = PoissonArrivals(np.zeros(10), seed=3)
+        assert stream.take_until(600.0) == []
+
+    def test_rate_scale(self):
+        full = PoissonArrivals(np.full(30, 120.0), rate_scale=1.0, seed=4)
+        half = PoissonArrivals(np.full(30, 120.0), rate_scale=0.5, seed=4)
+        assert len(half.take_until(1800.0)) < len(full.take_until(1800.0))
+
+    def test_deterministic(self):
+        a = PoissonArrivals(np.full(3, 100.0), seed=7).take_until(180.0)
+        b = PoissonArrivals(np.full(3, 100.0), seed=7).take_until(180.0)
+        assert a == b
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(np.array([-1.0]))

@@ -1,0 +1,153 @@
+"""End-to-end request-level simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.job import InferenceJobSpec
+from repro.cluster.kubernetes import ResourceQuota
+from repro.cluster.models import RESNET34, ModelProfile
+from repro.core.utility import SLO
+from repro.policy import AutoscalePolicy, ScalingDecision
+from repro.sim.simulation import Simulation, SimulationConfig
+
+
+class StaticPolicy(AutoscalePolicy):
+    """Pins every job at a fixed replica count."""
+
+    name = "Static"
+    tick_interval = 10.0
+
+    def __init__(self, replicas: dict[str, int]):
+        self._replicas = replicas
+        self._applied = False
+
+    def reset(self):
+        self._applied = False
+
+    def tick(self, now, observations):
+        if self._applied:
+            return None
+        self._applied = True
+        return ScalingDecision(replicas=dict(self._replicas))
+
+
+def run_static(trace_rpm, replicas, minutes=10, proc=0.18, seed=0, **config_kwargs):
+    model = ModelProfile(name="m", proc_time=proc, proc_jitter=0.0)
+    job = InferenceJobSpec.with_default_slo("svc", model)
+    traces = {"svc": np.full(minutes, float(trace_rpm))}
+    config = SimulationConfig(
+        duration_minutes=minutes,
+        seed=seed,
+        cold_start_range=(0.0, 0.0),
+        **config_kwargs,
+    )
+    sim = Simulation(
+        [job],
+        traces,
+        StaticPolicy({"svc": replicas}),
+        ResourceQuota.of_replicas(max(replicas, 1)),
+        config=config,
+        initial_replicas={"svc": replicas},
+    )
+    return sim.run()
+
+
+class TestStaticRuns:
+    def test_overprovisioned_no_violations(self):
+        result = run_static(trace_rpm=120, replicas=4)
+        svc = result.jobs["svc"]
+        assert svc.slo_violation_rate < 0.01
+        assert result.avg_lost_cluster_utility < 0.05
+
+    def test_underprovisioned_violates(self):
+        # 600 rpm = 10 req/s needs ~2.5 replicas at 180 ms: one replica drowns.
+        result = run_static(trace_rpm=600, replicas=1)
+        svc = result.jobs["svc"]
+        assert svc.slo_violation_rate > 0.5
+        assert svc.drops.sum() > 0  # tail drops at the queue threshold
+
+    def test_arrival_counts_match_trace(self):
+        result = run_static(trace_rpm=300, replicas=4, minutes=20)
+        total = result.jobs["svc"].total_arrivals
+        assert total == pytest.approx(300 * 20, rel=0.1)
+
+    def test_rate_scale(self):
+        full = run_static(trace_rpm=300, replicas=4, minutes=10)
+        half = run_static(trace_rpm=300, replicas=4, minutes=10, rate_scale=0.5)
+        assert half.jobs["svc"].total_arrivals < full.jobs["svc"].total_arrivals
+
+    def test_deterministic_given_seed(self):
+        a = run_static(trace_rpm=200, replicas=2, seed=5)
+        b = run_static(trace_rpm=200, replicas=2, seed=5)
+        assert np.array_equal(a.jobs["svc"].arrivals, b.jobs["svc"].arrivals)
+        assert np.array_equal(a.jobs["svc"].violations, b.jobs["svc"].violations)
+
+    def test_conservation_served_plus_dropped(self):
+        result = run_static(trace_rpm=600, replicas=1)
+        svc = result.jobs["svc"]
+        # Every arrival is either served (finite latency) or dropped.
+        assert svc.drops.sum() <= svc.arrivals.sum()
+        assert svc.violations.sum() <= svc.arrivals.sum()
+
+
+class TestSimulationConstruction:
+    def test_missing_trace_rejected(self):
+        job = InferenceJobSpec.with_default_slo("svc", RESNET34)
+        with pytest.raises(ValueError):
+            Simulation([job], {}, StaticPolicy({}), ResourceQuota.of_replicas(2))
+
+    def test_duration_clipped_to_trace(self):
+        job = InferenceJobSpec.with_default_slo("svc", RESNET34)
+        sim = Simulation(
+            [job],
+            {"svc": np.full(5, 60.0)},
+            StaticPolicy({"svc": 1}),
+            ResourceQuota.of_replicas(2),
+            config=SimulationConfig(duration_minutes=100),
+        )
+        assert sim.duration_minutes == 5
+
+    def test_replica_log_in_result(self):
+        result = run_static(trace_rpm=100, replicas=3, minutes=5)
+        assert np.all(result.jobs["svc"].replicas == 3)
+
+
+class ScaleUpOncePolicy(AutoscalePolicy):
+    """Scales from 1 to 4 replicas at t=120s (tests cold-start dynamics)."""
+
+    name = "ScaleUpOnce"
+    tick_interval = 10.0
+
+    def __init__(self):
+        self.scaled = False
+
+    def reset(self):
+        self.scaled = False
+
+    def tick(self, now, observations):
+        if not self.scaled and now >= 120.0:
+            self.scaled = True
+            return ScalingDecision(replicas={"svc": 4})
+        return None
+
+
+class TestColdStart:
+    def test_cold_start_delays_relief(self):
+        model = ModelProfile(name="m", proc_time=0.18, proc_jitter=0.0)
+        job = InferenceJobSpec.with_default_slo("svc", model)
+        traces = {"svc": np.full(8, 900.0)}  # 15 req/s needs ~4 replicas
+
+        def violations_with_cold_start(cold):
+            sim = Simulation(
+                [job],
+                traces,
+                ScaleUpOncePolicy(),
+                ResourceQuota.of_replicas(4),
+                config=SimulationConfig(
+                    duration_minutes=8, seed=3, cold_start_range=(cold, cold)
+                ),
+            )
+            result = sim.run()
+            return result.jobs["svc"].violations.sum()
+
+        assert violations_with_cold_start(120.0) > violations_with_cold_start(0.0)

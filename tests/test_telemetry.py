@@ -1,0 +1,99 @@
+"""Prometheus exposition-format telemetry tests (repro.cluster.telemetry)."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.baselines.fairshare import FairSharePolicy
+from repro.cluster import RESNET34, InferenceJobSpec, RayServeCluster, ResourceQuota
+from repro.cluster.telemetry import render_cluster_metrics, render_result_metrics
+from repro.sim import Simulation, SimulationConfig
+
+SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9.e+-]+(inf|nan)?$'
+)
+
+
+def parse_exposition(text: str) -> dict[str, list[str]]:
+    """Validate format line-by-line; return samples grouped by metric name."""
+    samples: dict[str, list[str]] = {}
+    current = None
+    for line in text.strip().splitlines():
+        if line.startswith("# HELP "):
+            current = line.split()[2]
+            assert current not in samples, f"duplicate HELP for {current}"
+            samples[current] = []
+        elif line.startswith("# TYPE "):
+            parts = line.split()
+            assert parts[2] == current
+            assert parts[3] in ("gauge", "counter")
+        else:
+            assert SAMPLE_LINE.match(line), f"malformed sample line: {line!r}"
+            assert line.startswith(current), f"sample {line!r} outside its block"
+            samples[current].append(line)
+    return samples
+
+
+@pytest.fixture()
+def cluster():
+    jobs = [
+        InferenceJobSpec.with_default_slo("vision", RESNET34),
+        InferenceJobSpec.with_default_slo("text", RESNET34),
+    ]
+    cluster = RayServeCluster(
+        jobs, ResourceQuota.of_replicas(8), initial_replicas={"vision": 2, "text": 3},
+        cold_start_range=(0.0, 0.0),
+    )
+    for t in np.linspace(0.0, 10.0, 50):
+        cluster.offer("vision", float(t))
+    return cluster
+
+
+class TestClusterMetrics:
+    def test_format_valid(self, cluster):
+        samples = parse_exposition(render_cluster_metrics(cluster, now=10.0))
+        assert "faro_job_replicas" in samples
+        assert "faro_router_arrivals_total" in samples
+        # One sample per job per metric.
+        assert len(samples["faro_job_replicas"]) == 2
+
+    def test_values_match_state(self, cluster):
+        text = render_cluster_metrics(cluster, now=10.0)
+        assert 'faro_job_replicas{job="text"} 3' in text
+        assert 'faro_router_arrivals_total{job="vision"} 50' in text
+        assert 'faro_router_arrivals_total{job="text"} 0' in text
+
+    def test_counters_monotone_across_renders(self, cluster):
+        def arrivals():
+            text = render_cluster_metrics(cluster, now=20.0)
+            match = re.search(r'faro_router_arrivals_total\{job="vision"\} (\d+)', text)
+            return int(match.group(1))
+
+        before = arrivals()
+        cluster.offer("vision", 15.0)
+        assert arrivals() == before + 1
+
+    def test_label_escaping(self):
+        job = InferenceJobSpec.with_default_slo('we"ird\\name', RESNET34)
+        cluster = RayServeCluster([job], ResourceQuota.of_replicas(2))
+        text = render_cluster_metrics(cluster, now=0.0)
+        assert r'job="we\"ird\\name"' in text
+
+
+class TestResultMetrics:
+    def test_end_to_end(self):
+        jobs = [InferenceJobSpec.with_default_slo("a", RESNET34)]
+        trace = {"a": np.full(5, 120.0)}
+        simulation = Simulation(
+            jobs, trace, FairSharePolicy(total_replicas=4),
+            ResourceQuota.of_replicas(4),
+            config=SimulationConfig(duration_minutes=5, seed=0),
+        )
+        result = simulation.run()
+        samples = parse_exposition(render_result_metrics(result))
+        assert "faro_run_cluster_slo_violation_rate" in samples
+        assert "faro_run_job_slo_violation_rate" in samples
+        line = samples["faro_run_lost_cluster_utility"][0]
+        assert 'policy="FairShare"' in line

@@ -1,0 +1,200 @@
+"""Trace persistence and statistics tests (repro.traces.io / .stats)."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.traces import (
+    JobTrace,
+    autocorrelation,
+    burstiness,
+    describe_trace,
+    diurnal_strength,
+    generate_azure_trace,
+    load_job_mix_json,
+    load_trace_csv,
+    peak_to_mean,
+    save_job_mix_json,
+    save_trace_csv,
+    standard_job_mix,
+)
+from repro.traces.azure import AzureTraceConfig
+
+finite_rates = hnp.arrays(
+    dtype=float,
+    shape=st.integers(min_value=1, max_value=200),
+    elements=st.floats(min_value=0.0, max_value=1e6),
+)
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_exact(self, tmp_path):
+        trace = generate_azure_trace(AzureTraceConfig(days=1, seed=3))
+        path = tmp_path / "trace.csv"
+        save_trace_csv(path, trace)
+        loaded = load_trace_csv(path)
+        np.testing.assert_array_equal(loaded, trace)
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace=finite_rates)
+    def test_roundtrip_property(self, tmp_path_factory, trace):
+        path = tmp_path_factory.mktemp("csv") / "t.csv"
+        save_trace_csv(path, trace)
+        np.testing.assert_array_equal(load_trace_csv(path), trace)
+
+    def test_rejects_negative(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace_csv(tmp_path / "x.csv", np.array([1.0, -2.0]))
+
+    def test_rejects_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_trace_csv(tmp_path / "x.csv", np.ones((2, 2)))
+
+    def test_load_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n0,1\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(path)
+
+    def test_load_rejects_gap(self, tmp_path):
+        path = tmp_path / "gap.csv"
+        path.write_text("minute,requests\n0,1.0\n2,2.0\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(path)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("minute,requests\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(path)
+
+
+class TestJobMixJson:
+    def test_roundtrip(self, tmp_path):
+        jobs = standard_job_mix(num_jobs=3, days=2, seed=1)
+        path = tmp_path / "mix.json"
+        save_job_mix_json(path, jobs, metadata={"seed": 1})
+        loaded, metadata = load_job_mix_json(path)
+        assert metadata == {"seed": 1}
+        assert [j.name for j in loaded] == [j.name for j in jobs]
+        for original, copy in zip(jobs, loaded):
+            np.testing.assert_array_equal(copy.rates_per_min, original.rates_per_min)
+            assert copy.source == original.source
+            assert copy.train_days == original.train_days
+
+    def test_train_eval_split_survives(self, tmp_path):
+        jobs = standard_job_mix(num_jobs=1, days=3, seed=0)
+        path = tmp_path / "mix.json"
+        save_job_mix_json(path, jobs)
+        loaded, _ = load_job_mix_json(path)
+        np.testing.assert_array_equal(loaded[0].eval, jobs[0].eval)
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        trace = np.ones(10)
+        jobs = [JobTrace("same", trace), JobTrace("same", trace)]
+        with pytest.raises(ValueError):
+            save_job_mix_json(tmp_path / "dup.json", jobs)
+
+    def test_load_rejects_non_mix_file(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"something": 1}))
+        with pytest.raises(ValueError):
+            load_job_mix_json(path)
+
+    def test_load_rejects_missing_field(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"traces": {"a": {"source": "x"}}}))
+        with pytest.raises(ValueError):
+            load_job_mix_json(path)
+
+
+class TestPeakToMean:
+    def test_constant_is_one(self):
+        assert peak_to_mean(np.full(100, 7.0)) == pytest.approx(1.0)
+
+    def test_spiky(self):
+        trace = np.ones(99).tolist() + [101.0]
+        assert peak_to_mean(np.array(trace)) == pytest.approx(101.0 / 2.0)
+
+    def test_all_zero(self):
+        assert peak_to_mean(np.zeros(10)) == pytest.approx(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=finite_rates)
+    def test_at_least_one(self, trace):
+        assert peak_to_mean(trace) >= 1.0 - 1e-12
+
+
+class TestBurstiness:
+    def test_constant_is_minus_one(self):
+        # sigma = 0 => (0 - mu) / (0 + mu) = -1: perfectly regular.
+        assert burstiness(np.full(50, 5.0)) == pytest.approx(-1.0)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            trace = rng.exponential(10.0, 200)
+            assert -1.0 <= burstiness(trace) <= 1.0
+
+    def test_zero_trace(self):
+        assert burstiness(np.zeros(10)) == 0.0
+
+    def test_bursty_beats_smooth(self):
+        rng = np.random.default_rng(1)
+        smooth = rng.normal(100.0, 1.0, 500).clip(min=0)
+        bursty = np.where(rng.random(500) < 0.02, 5000.0, 10.0)
+        assert burstiness(bursty) > burstiness(smooth)
+
+
+class TestAutocorrelation:
+    def test_periodic_signal(self):
+        t = np.arange(2000)
+        trace = 100 + 50 * np.sin(2 * np.pi * t / 100)
+        assert autocorrelation(trace, 100) == pytest.approx(1.0, abs=1e-6)
+        assert autocorrelation(trace, 50) == pytest.approx(-1.0, abs=1e-6)
+
+    def test_constant_is_zero(self):
+        assert autocorrelation(np.full(100, 3.0), 5) == 0.0
+
+    @pytest.mark.parametrize("lag", [0, -1, 100])
+    def test_invalid_lag(self, lag):
+        with pytest.raises(ValueError):
+            autocorrelation(np.ones(100), lag)
+
+
+class TestDiurnalStrength:
+    def test_azure_trace_is_diurnal(self):
+        trace = generate_azure_trace(AzureTraceConfig(days=4, seed=0))
+        assert diurnal_strength(trace) > 0.5
+
+    def test_needs_multiple_days(self):
+        with pytest.raises(ValueError):
+            diurnal_strength(np.ones(1440))
+
+    def test_white_noise_is_not_diurnal(self):
+        rng = np.random.default_rng(0)
+        trace = rng.exponential(10.0, 3 * 1440)
+        assert abs(diurnal_strength(trace)) < 0.1
+
+
+class TestDescribe:
+    def test_fields_consistent(self):
+        trace = generate_azure_trace(AzureTraceConfig(days=2, seed=5))
+        stats = describe_trace(trace)
+        assert stats.minutes == trace.size
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.peak_to_mean == pytest.approx(stats.maximum / stats.mean)
+        assert stats.diurnal_strength is not None
+
+    def test_short_trace_skips_diurnal(self):
+        stats = describe_trace(np.ones(100))
+        assert stats.diurnal_strength is None
+        assert len(stats.as_row()) == 7
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            describe_trace(np.array([]))

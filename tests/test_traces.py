@@ -1,0 +1,172 @@
+"""Trace generator and post-processing tests."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    AzureTraceConfig,
+    JobTrace,
+    TwitterTraceConfig,
+    compress_windows,
+    generate_azure_trace,
+    generate_twitter_trace,
+    rescale_trace,
+    standard_job_mix,
+    train_eval_split,
+)
+
+MINUTES_PER_DAY = 1440
+
+
+class TestAzureGenerator:
+    def test_length(self):
+        trace = generate_azure_trace(AzureTraceConfig(days=3))
+        assert trace.shape == (3 * MINUTES_PER_DAY,)
+
+    def test_nonnegative(self):
+        trace = generate_azure_trace(AzureTraceConfig(days=2, noise_sigma=0.5))
+        assert np.all(trace >= 0)
+
+    def test_deterministic(self):
+        a = generate_azure_trace(AzureTraceConfig(seed=3))
+        b = generate_azure_trace(AzureTraceConfig(seed=3))
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = generate_azure_trace(AzureTraceConfig(seed=1))
+        b = generate_azure_trace(AzureTraceConfig(seed=2))
+        assert not np.array_equal(a, b)
+
+    def test_diurnal_structure(self):
+        # Autocorrelation at the 1-day lag should dominate a half-day lag.
+        trace = generate_azure_trace(AzureTraceConfig(days=5, noise_sigma=0.05))
+        center = trace - trace.mean()
+
+        def autocorr(lag):
+            return float(np.corrcoef(center[:-lag], center[lag:])[0, 1])
+
+        assert autocorr(MINUTES_PER_DAY) > autocorr(MINUTES_PER_DAY // 2)
+
+    def test_phase_shifts_peak(self):
+        base = generate_azure_trace(AzureTraceConfig(days=1, noise_sigma=0.0, burst_rate_per_day=0))
+        shifted = generate_azure_trace(
+            AzureTraceConfig(days=1, noise_sigma=0.0, burst_rate_per_day=0, phase_minutes=360)
+        )
+        assert abs(int(np.argmax(base)) - int(np.argmax(shifted))) > 100
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AzureTraceConfig(days=0)
+        with pytest.raises(ValueError):
+            AzureTraceConfig(diurnal_amplitude=1.5)
+        with pytest.raises(ValueError):
+            AzureTraceConfig(burst_decay=1.0)
+
+
+class TestTwitterGenerator:
+    def test_length_and_nonnegative(self):
+        trace = generate_twitter_trace(TwitterTraceConfig(days=2))
+        assert trace.shape == (2 * MINUTES_PER_DAY,)
+        assert np.all(trace >= 0)
+
+    def test_deterministic(self):
+        a = generate_twitter_trace(TwitterTraceConfig(seed=9))
+        b = generate_twitter_trace(TwitterTraceConfig(seed=9))
+        assert np.array_equal(a, b)
+
+    def test_heavier_tails_than_azure(self):
+        azure = generate_azure_trace(AzureTraceConfig(days=4))
+        twitter = generate_twitter_trace(TwitterTraceConfig(days=4))
+
+        def tail_ratio(trace):
+            return float(np.percentile(trace, 99.9) / np.percentile(trace, 50))
+
+        assert tail_ratio(twitter) > tail_ratio(azure) * 0.8  # comparable or heavier
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TwitterTraceConfig(noise_df=2.0)
+
+
+class TestRescale:
+    def test_band_respected(self):
+        trace = np.array([0.0, 10.0, 50.0, 100.0, 1000.0])
+        scaled = rescale_trace(trace, 1.0, 1600.0, percentile=100.0)
+        assert scaled.min() == pytest.approx(1.0)
+        assert scaled.max() == pytest.approx(1600.0)
+
+    def test_percentile_clipping(self):
+        trace = np.concatenate([np.linspace(0, 100, 1000), [10000.0]])
+        scaled = rescale_trace(trace, 1.0, 1600.0, percentile=99.0)
+        assert scaled.max() == pytest.approx(1600.0)  # burst clipped at hi
+        assert np.percentile(scaled, 60) > 100  # body not compressed
+
+    def test_constant_trace_midpoint(self):
+        scaled = rescale_trace(np.full(10, 7.0), 0.0, 10.0)
+        assert np.allclose(scaled, 5.0)
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            rescale_trace(np.ones(3), 5.0, 5.0)
+
+
+class TestCompressAndSplit:
+    def test_compress_averages(self):
+        trace = np.array([1.0, 3.0, 5.0, 7.0, 9.0, 11.0, 13.0, 15.0])
+        compressed = compress_windows(trace, 4)
+        assert np.allclose(compressed, [4.0, 12.0])
+
+    def test_compress_truncates_partial(self):
+        compressed = compress_windows(np.arange(10.0), 4)
+        assert compressed.shape == (2,)
+
+    def test_compress_too_short(self):
+        with pytest.raises(ValueError):
+            compress_windows(np.arange(3.0), 4)
+
+    def test_split_day_boundary(self):
+        trace = np.arange(3 * MINUTES_PER_DAY, dtype=float)
+        train, evaluation = train_eval_split(trace, train_days=2)
+        assert train.shape == (2 * MINUTES_PER_DAY,)
+        assert evaluation.shape == (MINUTES_PER_DAY,)
+        assert evaluation[0] == 2 * MINUTES_PER_DAY
+
+    def test_split_insufficient_data(self):
+        with pytest.raises(ValueError):
+            train_eval_split(np.arange(100.0), train_days=1)
+
+
+class TestJobMix:
+    def test_ten_jobs_nine_azure_one_twitter(self):
+        mix = standard_job_mix(num_jobs=10, days=2)
+        sources = [job.source for job in mix]
+        assert sources.count("azure") == 9
+        assert sources.count("twitter") == 1
+
+    def test_rates_in_band(self):
+        mix = standard_job_mix(num_jobs=3, days=2, rate_hi=800.0)
+        for job in mix:
+            assert job.rates_per_min.min() >= 1.0
+            assert job.rates_per_min.max() <= 800.0
+
+    def test_duplication_beyond_ten(self):
+        mix = standard_job_mix(num_jobs=12, days=2)
+        assert len(mix) == 12
+        assert mix[10].source == "azure"  # slot 0 repeated with fresh seed
+        assert not np.array_equal(mix[0].rates_per_min, mix[10].rates_per_min)
+
+    def test_train_eval_views(self):
+        mix = standard_job_mix(num_jobs=2, days=3)
+        job = mix[0]
+        assert job.train.shape == (2 * MINUTES_PER_DAY,)
+        assert job.eval.shape == (MINUTES_PER_DAY,)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            JobTrace(name="bad", rates_per_min=np.array([-1.0]))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            standard_job_mix(num_jobs=0)
+        with pytest.raises(ValueError):
+            standard_job_mix(num_jobs=2, days=1)
