@@ -1,0 +1,168 @@
+"""Allocation hot path: solve time vs job count, cold vs warm table cache.
+
+The planner's own latency is what keeps the control loop viable at scale
+(paper §3.4 solves "in well under a second"; Fig. 7 hierarchical speedups).
+This micro-benchmark pins the perf trajectory of the optimizer hot path:
+
+- **cold**: every solve rebuilds utility tables (``UtilityTableCache``
+  disabled) -- the pre-cache behaviour of one autoscaler cycle.
+- **warm**: tables come from a primed shared cache, as in steady-state
+  repeated cycles.  Cache hits are bit-for-bit identical to rebuilds, so
+  solver results must not change.
+- **warm+x0** (COBYLA row): additionally warm-starts from the previous
+  allocation, the steady-state autoscaler configuration.
+
+Results are appended to ``results/optimizer_hotpath.txt`` and emitted as
+machine-readable ``results/BENCH_optimizer.json`` so future PRs can regress
+against them.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, write_result
+from repro.core.hierarchical import solve_hierarchical
+from repro.core.objectives import make_objective
+from repro.core.optimizer import (
+    AllocationProblem,
+    ClusterCapacity,
+    OptimizationJob,
+    UtilityTableCache,
+    solve_allocation,
+)
+from repro.core.utility import SLO
+from repro.experiments.report import format_table
+
+
+def make_jobs(n, scenarios=140, seed=0):
+    """Autoscaler-shaped jobs: ~(samples x horizon) predicted-rate scenarios."""
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(n):
+        base = rng.uniform(5.0, 40.0)
+        rates = tuple(np.maximum(rng.normal(base, base * 0.2, size=scenarios), 0.0))
+        jobs.append(
+            OptimizationJob(name=f"j{i}", proc_time=0.18, slo=SLO(0.72), rates=rates)
+        )
+    return jobs
+
+
+def _timed(fn, reps):
+    started = time.perf_counter()
+    result = None
+    for _ in range(reps):
+        result = fn()
+    return (time.perf_counter() - started) / reps, result
+
+
+def bench_flat(n, scenarios, method, maxiter, reps=3):
+    jobs = make_jobs(n, scenarios=scenarios)
+    capacity = ClusterCapacity.of_replicas(3 * n)
+    objective = make_objective("fairsum")
+
+    def solve(cache, x0=None):
+        problem = AllocationProblem(jobs, capacity, objective, table_cache=cache)
+        return solve_allocation(problem, method=method, x0=x0, maxiter=maxiter)
+
+    cold_s, cold = _timed(lambda: solve(UtilityTableCache(maxsize=0)), reps)
+    shared = UtilityTableCache()
+    solve(shared)  # prime
+    warm_s, warm = _timed(lambda: solve(shared), reps)
+    ws_s, ws = _timed(lambda: solve(shared, x0=warm), reps)
+    assert np.array_equal(cold.replicas, warm.replicas)
+    assert abs(cold.objective_value - warm.objective_value) <= 1e-9
+    return {
+        "solver": method,
+        "jobs": n,
+        "scenarios": scenarios,
+        "cold_ms": cold_s * 1e3,
+        "warm_ms": warm_s * 1e3,
+        "warmstart_ms": ws_s * 1e3,
+        "speedup": cold_s / warm_s,
+        "cold_nfev": cold.nfev,
+        "warmstart_nfev": ws.nfev,
+    }
+
+
+def bench_hierarchical(n, scenarios, maxiter=100, reps=2, seed=7):
+    jobs = make_jobs(n, scenarios=scenarios)
+    capacity = ClusterCapacity.of_replicas(int(3.2 * n))
+    objective = make_objective("fairsum")
+
+    def solve(cache):
+        return solve_hierarchical(
+            jobs, capacity, objective, groups=10, maxiter=maxiter, seed=seed,
+            table_cache=cache,
+        )
+
+    cold_s, cold = _timed(lambda: solve(UtilityTableCache(maxsize=0)), reps)
+    shared = UtilityTableCache()
+    solve(shared)  # prime
+    warm_s, warm = _timed(lambda: solve(shared), reps)
+    assert np.array_equal(cold.allocation.replicas, warm.allocation.replicas)
+    assert abs(cold.allocation.objective_value - warm.allocation.objective_value) <= 1e-9
+    return {
+        "solver": "hier-cobyla-G10",
+        "jobs": n,
+        "scenarios": scenarios,
+        "cold_ms": cold_s * 1e3,
+        "warm_ms": warm_s * 1e3,
+        "speedup": cold_s / warm_s,
+    }
+
+
+def run_hotpath():
+    points = [
+        bench_flat(10, 140, "cobyla", maxiter=1000),
+        bench_flat(50, 140, "cobyla", maxiter=100),
+        bench_flat(20, 560, "greedy", maxiter=0),
+        bench_flat(50, 280, "greedy", maxiter=0),
+        bench_hierarchical(100, 140),
+        bench_hierarchical(200, 140),
+    ]
+    return points
+
+
+def test_optimizer_hotpath(benchmark):
+    points = benchmark.pedantic(run_hotpath, rounds=1, iterations=1)
+
+    rows = []
+    for p in points:
+        extra = (
+            f" warm+x0={p['warmstart_ms']:.0f}ms nfev {p['cold_nfev']}->{p['warmstart_nfev']}"
+            if "warmstart_ms" in p
+            else ""
+        )
+        rows.append(
+            (
+                f"{p['solver']}/{p['jobs']} jobs",
+                "cache hit == rebuild, bit-for-bit",
+                f"cold={p['cold_ms']:.0f}ms warm={p['warm_ms']:.0f}ms "
+                f"({p['speedup']:.1f}x){extra}",
+            )
+        )
+    text = format_table(
+        ["solver/scale", "invariant", "measured"],
+        rows,
+        title="== Optimizer hot path: cold vs warm utility-table cache ==",
+    )
+    write_result("optimizer_hotpath", text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_optimizer.json").write_text(
+        json.dumps({"points": points}, indent=2) + "\n"
+    )
+
+    # Where table construction is the dominant cycle cost (batched-eval
+    # greedy; hierarchical solves at >= 100 jobs), the warm cache must be
+    # at least 5x faster -- with solver results unchanged (asserted
+    # bit-for-bit inside the bench helpers above).
+    greedy = [p for p in points if p["solver"] == "greedy"]
+    hier = [p for p in points if p["solver"].startswith("hier")]
+    assert max(p["speedup"] for p in greedy) >= 5.0
+    assert max(p["speedup"] for p in hier) >= 5.0
+    # Warm starts never cost extra COBYLA iterations.
+    for p in points:
+        if "warmstart_nfev" in p and p["solver"] == "cobyla":
+            assert p["warmstart_nfev"] <= p["cold_nfev"]

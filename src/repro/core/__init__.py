@@ -26,10 +26,13 @@ from repro.core.penalty import (
 from repro.core.objectives import ClusterObjective, make_objective
 from repro.core.latency import LatencyModel, UPPER_BOUND, MDC, RELAXED_MDC
 from repro.core.optimizer import (
+    DEFAULT_TABLE_CACHE,
     Allocation,
     AllocationProblem,
     OptimizationJob,
+    UtilityTableCache,
     solve_allocation,
+    warm_start_vector,
 )
 from repro.core.hierarchical import solve_hierarchical
 from repro.core.autoscaler import FaroAutoscaler, FaroConfig
@@ -55,6 +58,9 @@ __all__ = [
     "AllocationProblem",
     "Allocation",
     "solve_allocation",
+    "warm_start_vector",
+    "UtilityTableCache",
+    "DEFAULT_TABLE_CACHE",
     "solve_hierarchical",
     "FaroAutoscaler",
     "FaroConfig",

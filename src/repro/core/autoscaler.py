@@ -33,6 +33,7 @@ from repro.core.optimizer import (
     AllocationProblem,
     ClusterCapacity,
     OptimizationJob,
+    UtilityTableCache,
     solve_allocation,
 )
 from repro.core.utility import SLO
@@ -113,6 +114,10 @@ class FaroConfig:
     gamma: float | None = None
     latency_model: str = "mdc"
     seed: int | None = 0
+    #: Seed each cycle's solve from the previous cycle's allocation
+    #: (projected feasible); steady-state cycles then converge in a
+    #: fraction of the iterations.  Flat (non-hierarchical) solves only.
+    warm_start: bool = True
 
     def make_objective(self) -> ClusterObjective:
         return make_objective(self.objective, gamma=self.gamma)
@@ -132,6 +137,7 @@ class FaroAutoscaler(AutoscalePolicy):
         config: FaroConfig | None = None,
         predictors: dict[str, WorkloadPredictor] | None = None,
         default_predictor: WorkloadPredictor | None = None,
+        table_cache: UtilityTableCache | None = None,
     ) -> None:
         if not jobs:
             raise ValueError("at least one job is required")
@@ -148,10 +154,16 @@ class FaroAutoscaler(AutoscalePolicy):
         self._rng = np.random.default_rng(self.config.seed)
         self._next_solve = 0.0
         self.last_allocation: Allocation | None = None
+        #: Utility-table cache shared across this autoscaler's cycles (and,
+        #: when passed in, across sibling controllers).  Tables are pure
+        #: functions of their key, so reuse cannot change decisions.
+        self.table_cache = table_cache if table_cache is not None else UtilityTableCache()
+        self._warm: Allocation | None = None
 
     def reset(self) -> None:
         self._next_solve = 0.0
         self.last_allocation = None
+        self._warm = None
         self._rng = np.random.default_rng(self.config.seed)
 
     # ------------------------------------------------------------- stages
@@ -220,6 +232,7 @@ class FaroAutoscaler(AutoscalePolicy):
             alpha=cfg.alpha,
             rho_max=cfg.rho_max,
             latency_model=cfg.latency_model,
+            table_cache=self.table_cache,
         )
         if len(opt_jobs) >= cfg.hierarchical_threshold:
             result = solve_hierarchical(
@@ -233,11 +246,23 @@ class FaroAutoscaler(AutoscalePolicy):
                 rho_max=cfg.rho_max,
                 maxiter=cfg.maxiter,
                 seed=int(self._rng.integers(2**31)),
+                table_cache=self.table_cache,
             )
             return result.allocation, problem
+        # Warm start from the previous cycle's (post-shrink) allocation when
+        # the job set still lines up; warm_start_vector projects it into the
+        # current problem's bounds and capacity.
+        x0 = None
+        if (
+            cfg.warm_start
+            and self._warm is not None
+            and len(self._warm.replicas) == len(opt_jobs)
+        ):
+            x0 = self._warm
         allocation = solve_allocation(
             problem,
             method=cfg.solver,
+            x0=x0,
             maxiter=cfg.maxiter,
             seed=int(self._rng.integers(2**31)),
         )
@@ -281,6 +306,7 @@ class FaroAutoscaler(AutoscalePolicy):
         if self.config.shrinking:
             allocation = self._shrink(allocation, problem)
         self.last_allocation = allocation
+        self._warm = allocation
         decision = ScalingDecision()
         for job, count, drop in zip(opt_jobs, allocation.replicas, allocation.drops):
             decision.replicas[job.name] = int(count)
@@ -292,6 +318,20 @@ class FaroAutoscaler(AutoscalePolicy):
         """Run the full three-stage pipeline once and return the decision."""
         decision, _, _ = self.plan(observations)
         return decision
+
+    def note_replica_override(self, job_name: str, replicas: int) -> None:
+        """Record an out-of-band replica change (e.g. a reactive scale-up).
+
+        Folds the change into the warm-start state so the next long-term
+        cycle starts from the replica counts actually deployed rather than
+        the stale plan.  Unknown jobs and pre-first-plan calls are ignored.
+        """
+        if self._warm is None or job_name not in self.jobs:
+            return
+        index = list(self.jobs).index(job_name)
+        updated = self._warm.replicas.astype(float).copy()
+        updated[index] = float(replicas)
+        self._warm = replace(self._warm, replicas=updated)
 
     def tick(
         self, now: float, observations: dict[str, JobObservation]

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.core.autoscaler import FaroAutoscaler, FaroConfig, JobSpec, WorkloadPredictor
 from repro.core.latency import MDC, replicas_for_slo
-from repro.core.optimizer import ClusterCapacity, OptimizationJob
+from repro.core.optimizer import ClusterCapacity, OptimizationJob, UtilityTableCache
 from repro.policy import AutoscalePolicy, JobObservation, ScalingDecision
 
 __all__ = ["RebalanceConfig", "DecentralizedFaro", "partition_jobs"]
@@ -104,6 +104,10 @@ class DecentralizedFaro(AutoscalePolicy):
             sum(job.min_replicas for job in group) for group in self.groups
         ]
         self.shares = self._equal_shares()
+        # One utility-table cache serves every group controller: a job whose
+        # group share (and hence max_x) repeats across rounds -- or matches
+        # another group's -- reuses its tables instead of rebuilding them.
+        self.table_cache = UtilityTableCache()
         self.controllers = [
             FaroAutoscaler(
                 jobs=group,
@@ -111,6 +115,7 @@ class DecentralizedFaro(AutoscalePolicy):
                 config=self.config,
                 predictors=predictors,
                 default_predictor=default_predictor,
+                table_cache=self.table_cache,
             )
             for group, share in zip(self.groups, self.shares)
         ]

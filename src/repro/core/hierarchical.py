@@ -24,6 +24,7 @@ from repro.core.optimizer import (
     AllocationProblem,
     ClusterCapacity,
     OptimizationJob,
+    UtilityTableCache,
     solve_allocation,
 )
 from repro.core.utility import SLO
@@ -133,24 +134,35 @@ def _refine_transfers(
     """
     replicas = replicas.copy()
     n = problem.num_jobs
+    mins = np.array([j.min_replicas for j in problem.jobs])
+    priorities = np.array([j.priority for j in problem.jobs], dtype=float)
+    drops_row = np.asarray(drops, dtype=float)[None, :]
     for _ in range(max(max_moves, 0)):
-        gains = np.full(n, -np.inf)
-        losses = np.full(n, np.inf)
-        for i in range(n):
-            if replicas[i] < problem.max_replicas[i]:
-                gains[i] = problem.jobs[i].priority * (
-                    problem.job_utility(i, replicas[i] + 1, drops[i])
-                    - problem.job_utility(i, replicas[i], drops[i])
-                )
-            if replicas[i] > problem.jobs[i].min_replicas:
-                losses[i] = problem.jobs[i].priority * (
-                    problem.job_utility(i, replicas[i], drops[i])
-                    - problem.job_utility(i, replicas[i] - 1, drops[i])
-                )
+        # Marginal gain/loss of one replica per job, in a single batched
+        # utility pass over the (x - 1, x, x + 1) rows.
+        stack = np.stack(
+            [
+                np.maximum(replicas - 1, 0),
+                replicas,
+                np.minimum(replicas + 1, problem.max_replicas),
+            ]
+        ).astype(float)
+        utilities = problem.utilities_many(stack, np.repeat(drops_row, 3, axis=0))
+        gains = np.where(
+            replicas < problem.max_replicas,
+            priorities * (utilities[2] - utilities[1]),
+            -np.inf,
+        )
+        losses = np.where(
+            replicas > mins,
+            priorities * (utilities[1] - utilities[0]),
+            np.inf,
+        )
         receivers = np.argsort(-gains)[:3]
         donors = np.argsort(losses)[:3]
         base = problem.evaluate(replicas, drops)
-        best_gain, best_pair = 1e-9, None
+        pairs = []
+        trials = []
         for r in receivers:
             for d in donors:
                 if r == d or not np.isfinite(gains[r]) or not np.isfinite(losses[d]):
@@ -160,13 +172,15 @@ def _refine_transfers(
                 trial[d] -= 1
                 if not problem.is_feasible(trial):
                     continue
-                gain = problem.evaluate(trial, drops) - base
-                if gain > best_gain:
-                    best_gain, best_pair = gain, (r, d)
-        if best_pair is None:
+                pairs.append((r, d))
+                trials.append(trial)
+        if not trials:
             break
-        replicas[best_pair[0]] += 1
-        replicas[best_pair[1]] -= 1
+        values = problem.evaluate_many(np.asarray(trials, dtype=float), drops_row)
+        best = int(np.argmax(values))
+        if values[best] - base <= 1e-9:
+            break
+        replicas = trials[best]
     return replicas
 
 
@@ -191,6 +205,7 @@ def solve_hierarchical(
     maxiter: int = 1000,
     refine_moves: int | None = None,
     seed: int | None = None,
+    table_cache: UtilityTableCache | None = None,
 ) -> HierarchicalResult:
     """Solve the cluster problem hierarchically with ``groups`` groups.
 
@@ -201,6 +216,10 @@ def solve_hierarchical(
     ``refine_moves`` bounds the post-distribution transfer refinement
     (default: half the job count; 0 disables it, giving the paper's raw
     grouped-solve timing).
+
+    ``table_cache`` is shared by the group and flat subproblems; across
+    autoscaler cycles it lets the flat scoring problem (whose jobs repeat)
+    skip utility-table construction entirely.
     """
     if groups < 1:
         raise ValueError(f"groups must be >= 1, got {groups}")
@@ -208,7 +227,8 @@ def solve_hierarchical(
     started = time.perf_counter()
     if groups >= len(jobs):
         problem = AllocationProblem(
-            jobs, capacity, objective, relaxed=relaxed, alpha=alpha, rho_max=rho_max
+            jobs, capacity, objective, relaxed=relaxed, alpha=alpha, rho_max=rho_max,
+            table_cache=table_cache,
         )
         allocation = solve_allocation(problem, method=method, maxiter=maxiter, seed=seed)
         allocation.solve_time = time.perf_counter() - started
@@ -226,7 +246,8 @@ def solve_hierarchical(
 
     group_jobs = [aggregate_group([jobs[i] for i in m], rng) for m in members]
     group_problem = AllocationProblem(
-        group_jobs, capacity, objective, relaxed=relaxed, alpha=alpha, rho_max=rho_max
+        group_jobs, capacity, objective, relaxed=relaxed, alpha=alpha, rho_max=rho_max,
+        table_cache=table_cache,
     )
     group_allocation = solve_allocation(
         group_problem, method=method, maxiter=maxiter, seed=seed
@@ -253,7 +274,8 @@ def solve_hierarchical(
         refine_moves = len(jobs) // 2
     build_started = time.perf_counter()
     flat_problem = AllocationProblem(
-        jobs, capacity, objective, relaxed=relaxed, alpha=alpha, rho_max=rho_max
+        jobs, capacity, objective, relaxed=relaxed, alpha=alpha, rho_max=rho_max,
+        table_cache=table_cache,
     )
     build_time = time.perf_counter() - build_started
     if refine_moves > 0:

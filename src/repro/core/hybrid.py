@@ -79,6 +79,9 @@ class HybridAutoscaler(AutoscalePolicy):
             decision.replicas[name] = obs.target_replicas + self.reactive.step
             headroom -= self.reactive.step
             self._trigger.clear(name)
+            # Keep the long-term optimizer's warm start aligned with what is
+            # actually deployed, so the next cycle starts from reality.
+            self.long_term.note_replica_override(name, decision.replicas[name])
         return decision if decision.replicas else None
 
     def tick(

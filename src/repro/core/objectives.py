@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 __all__ = ["ClusterObjective", "make_objective", "OBJECTIVE_NAMES"]
 
 OBJECTIVE_NAMES = ("sum", "fair", "fairsum", "penaltysum", "penaltyfairsum")
@@ -85,6 +87,36 @@ class ClusterObjective:
             return -spread
         # fairsum / penaltyfairsum
         return weighted - self.resolved_gamma(len(utilities)) * spread
+
+    def evaluate_many(
+        self,
+        utilities: np.ndarray,
+        priorities: np.ndarray | Sequence[float] | None = None,
+    ) -> np.ndarray:
+        """Batched :meth:`evaluate` over a ``(candidates, jobs)`` matrix.
+
+        Row ``i`` of the result scores row ``i`` of ``utilities``; the
+        reduction per row matches the scalar path (each row is reduced
+        independently, so results do not depend on how rows are batched).
+        """
+        U = np.asarray(utilities, dtype=float)
+        if U.ndim != 2 or U.shape[1] == 0:
+            raise ValueError(f"utilities must be a non-empty 2-D matrix, got shape {U.shape}")
+        if priorities is None:
+            weighted = U.sum(axis=1)
+        else:
+            pr = np.asarray(priorities, dtype=float)
+            if pr.shape[0] != U.shape[1]:
+                raise ValueError(
+                    f"got {pr.shape[0]} priorities for {U.shape[1]} utilities"
+                )
+            weighted = (U * pr).sum(axis=1)
+        if self.name in ("sum", "penaltysum"):
+            return weighted
+        spread = U.max(axis=1) - U.min(axis=1)
+        if self.name == "fair":
+            return -spread
+        return weighted - self.resolved_gamma(U.shape[1]) * spread
 
     @property
     def display_name(self) -> str:

@@ -22,12 +22,41 @@ then linearly interpolated for fractional solver iterates.  Interpolating the
 *precise* table preserves its plateaus (utilities are flat between integer
 points), so the precise formulation stays as hostile to local solvers as the
 paper describes.
+
+Hot-path architecture (planner-latency engineering, §3.4 / Fig. 5):
+
+- **Table cache.**  Utility tables are obtained through a keyed
+  :class:`UtilityTableCache` rather than rebuilt per problem.  The key is
+  ``(proc_time, SLO target, SLO percentile, digest(rates, weights), max_x,
+  drop grid, relaxed, alpha, rho_max, latency_model)`` -- everything the
+  table depends on and nothing it does not (job name, priority, minimums and
+  cold-start state are evaluation-time concerns).  Repeated solves across
+  autoscaler cycles, hierarchical subtrees and solver comparisons therefore
+  reuse tables bit-for-bit instead of recomputing
+  :func:`~repro.queueing.vectorized.mdc_latency_table`.  A module-level
+  :data:`DEFAULT_TABLE_CACHE` is shared by default; pass ``table_cache`` to
+  :class:`AllocationProblem` for an isolated (or disabled, ``maxsize=0``)
+  cache.
+- **Batched evaluation.**  :meth:`AllocationProblem.evaluate_many` scores a
+  whole ``(candidates, jobs)`` replica matrix in single numpy passes
+  (flattened-table fancy indexing; no per-job Python loop) and is the
+  primitive under :meth:`AllocationProblem.evaluate`, integer rounding, the
+  drop-grid refinement and the greedy solver's move scan.  Contract:
+  ``evaluate_many(X)[i]`` is bit-for-bit equal to ``evaluate(X[i])`` -- the
+  scalar path *is* the one-row batched path.
+- **Warm starts.**  :func:`solve_allocation` accepts a previous cycle's
+  :class:`Allocation` (or raw vector) as ``x0``; :func:`warm_start_vector`
+  projects it into the current problem's bounds and capacity so COBYLA/SLSQP
+  begin at a feasible, near-optimal point and steady-state autoscaler cycles
+  converge in a fraction of the iterations.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -35,7 +64,11 @@ import numpy as np
 from scipy import optimize as sciopt
 
 from repro.core.objectives import ClusterObjective
-from repro.core.penalty import penalty_multiplier, penalty_multiplier_relaxed
+from repro.core.penalty import (
+    penalty_multiplier,
+    penalty_multiplier_relaxed,
+    penalty_multipliers,
+)
 from repro.core.utility import SLO
 from repro.queueing.vectorized import mdc_latency_table
 
@@ -45,6 +78,10 @@ __all__ = [
     "AllocationProblem",
     "Allocation",
     "solve_allocation",
+    "warm_start_vector",
+    "UtilityTableCache",
+    "DEFAULT_TABLE_CACHE",
+    "build_utility_table",
     "DEFAULT_DROP_GRID",
 ]
 
@@ -56,6 +93,10 @@ __all__ = [
 #: experiment scores.  Drops only pay off at rates that also shed real
 #: load, which the 5%-step grid covers.
 DEFAULT_DROP_GRID: tuple[float, ...] = tuple(np.round(np.linspace(0.0, 0.6, 13), 3))
+
+#: Row budget per chunk in batched evaluation; bounds peak gather memory
+#: while keeping per-row results independent of how candidates are batched.
+_EVAL_CHUNK = 2048
 
 
 @dataclass(frozen=True)
@@ -138,12 +179,204 @@ class Allocation:
         return {job.name: int(r) for job, r in zip(jobs, self.replicas)}
 
 
+# ------------------------------------------------------------- table cache
+
+
+def _rates_digest(
+    rates: Sequence[float], weights: Sequence[float] | None
+) -> bytes:
+    """Stable digest of a job's (rates, weights) scenario set."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.asarray(rates, dtype=float).tobytes())
+    if weights is not None:
+        h.update(b"w")
+        h.update(np.asarray(weights, dtype=float).tobytes())
+    return h.digest()
+
+
+def utility_table_key(
+    job: OptimizationJob,
+    max_x: int,
+    drops: np.ndarray,
+    relaxed: bool,
+    alpha: float | None,
+    rho_max: float,
+    latency_model: str,
+) -> tuple:
+    """Cache key covering exactly the inputs a utility table depends on.
+
+    Job name, priority, ``min_replicas`` and cold-start state are excluded:
+    they only matter at evaluation time, so identical workloads share one
+    table.
+    """
+    return (
+        float(job.proc_time),
+        float(job.slo.target),
+        float(job.slo.percentile),
+        _rates_digest(job.rates, job.weights),
+        int(max_x),
+        tuple(float(d) for d in drops),
+        bool(relaxed),
+        None if alpha is None else float(alpha),
+        float(rho_max),
+        str(latency_model),
+    )
+
+
+def _utility_of_latency(
+    latencies: np.ndarray, slo_target: float, alpha: float | None
+) -> np.ndarray:
+    if alpha is None:
+        return (latencies <= slo_target).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        ratio = np.where(latencies > 0, slo_target / latencies, np.inf)
+        values = np.power(np.minimum(ratio, 1.0), alpha)
+    values = np.where(np.isinf(latencies), 0.0, values)
+    return np.clip(values, 0.0, 1.0)
+
+
+def build_utility_table(
+    job: OptimizationJob,
+    max_x: int,
+    drops: np.ndarray,
+    relaxed: bool,
+    alpha: float | None,
+    rho_max: float,
+    latency_model: str,
+) -> np.ndarray:
+    """Utility table ``T[x, d_idx]`` for ``x = 0..max_x`` (row 0 is zero).
+
+    The drop dimension stores the utility of *non-dropped* requests,
+    i.e. ``U(L(lam * (1 - d), p, x), s)``; the penalty multiplier
+    ``phi(d)`` is applied at evaluation time.  ``drops`` is the drop axis
+    actually tabulated (``[0.0]`` for non-penalty objectives).
+    """
+    rates = np.asarray(job.rates, dtype=float)
+    weights = (
+        np.asarray(job.weights, dtype=float)
+        if job.weights is not None
+        else np.ones_like(rates)
+    )
+    weights = weights / weights.sum()
+    drops = np.asarray(drops, dtype=float)
+    # Scenario grid: every (rate, drop) pair, flattened.
+    scenario_rates = np.outer(rates, 1.0 - drops).ravel()
+    if latency_model == "upper":
+        # Pessimistic batch estimator (§3.3-I): p * max(1, lam / x).
+        replicas = np.arange(1, max_x + 1, dtype=float)[:, None]
+        latencies = job.proc_time * np.maximum(
+            scenario_rates[None, :] / replicas, 1.0
+        )
+    else:
+        latencies = mdc_latency_table(
+            job.slo.quantile,
+            scenario_rates,
+            job.proc_time,
+            max_x,
+            relaxed=relaxed,
+            rho_max=rho_max,
+        )  # (max_x, n_rates * n_drops)
+    utilities = _utility_of_latency(latencies, job.slo.target, alpha)
+    utilities = utilities.reshape(max_x, rates.shape[0], drops.shape[0])
+    averaged = np.tensordot(weights, utilities, axes=([0], [1]))  # (max_x, n_drops)
+    table = np.zeros((max_x + 1, drops.shape[0]), dtype=float)
+    table[1:] = averaged
+    return table
+
+
+class UtilityTableCache:
+    """Keyed LRU cache of per-job utility tables.
+
+    Keys come from :func:`utility_table_key`; values are the read-only
+    ``(max_x + 1, n_drops)`` tables of :func:`build_utility_table`.  Because
+    tables are pure functions of their key, a hit is bit-for-bit identical
+    to a rebuild -- caching can never change solver results, only skip the
+    ``mdc_latency_table`` work that dominates problem construction.
+
+    Eviction is LRU bounded by total table **bytes** (``max_bytes``, default
+    128 MiB), so a 500-job cluster's small tables all fit while a handful of
+    pathologically large drop tables cannot balloon memory.  ``maxsize``
+    optionally also caps the entry count; ``maxsize=0`` disables storage
+    entirely (every lookup rebuilds), which gives the cold-path behaviour
+    benchmarks compare against.
+    """
+
+    def __init__(self, maxsize: int | None = None, max_bytes: int = 128 * 2**20) -> None:
+        if maxsize is not None and maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.maxsize = maxsize
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(
+        self,
+        job: OptimizationJob,
+        max_x: int,
+        drops: np.ndarray,
+        relaxed: bool,
+        alpha: float | None,
+        rho_max: float,
+        latency_model: str,
+    ) -> np.ndarray:
+        key = utility_table_key(job, max_x, drops, relaxed, alpha, rho_max, latency_model)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        table = build_utility_table(
+            job, max_x, drops, relaxed, alpha, rho_max, latency_model
+        )
+        table.setflags(write=False)
+        if self.maxsize != 0 and table.nbytes <= self.max_bytes:
+            self._entries[key] = table
+            self._bytes += table.nbytes
+            while self._bytes > self.max_bytes or (
+                self.maxsize is not None and len(self._entries) > self.maxsize
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+        return table
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "bytes": self._bytes,
+        }
+
+
+#: Process-wide default cache; :class:`AllocationProblem` uses it unless an
+#: explicit ``table_cache`` is supplied.
+DEFAULT_TABLE_CACHE = UtilityTableCache()
+
+
 class AllocationProblem:
     """A concrete instance of the cluster optimization problem.
 
     ``relaxed=True`` builds the plateau-free formulation; ``alpha`` is the
     inverse-utility exponent (``None`` forces step utility even in relaxed
     mode, which is only useful for experiments on relaxation stages).
+
+    ``table_cache`` supplies per-job utility tables (default: the shared
+    :data:`DEFAULT_TABLE_CACHE`); see the module docstring for the keying
+    and invariance guarantees.
     """
 
     def __init__(
@@ -156,6 +389,7 @@ class AllocationProblem:
         rho_max: float = 0.95,
         latency_model: str = "mdc",
         drop_grid: Sequence[float] = DEFAULT_DROP_GRID,
+        table_cache: UtilityTableCache | None = None,
     ) -> None:
         if not jobs:
             raise ValueError("at least one job is required")
@@ -171,18 +405,68 @@ class AllocationProblem:
         self.drop_grid = np.asarray(sorted(set(drop_grid)), dtype=float)
         if self.drop_grid[0] != 0.0:
             raise ValueError("drop grid must include 0.0")
+        self.table_cache = table_cache if table_cache is not None else DEFAULT_TABLE_CACHE
         self.num_jobs = len(self.jobs)
         self.max_replicas = np.array(
             [self._max_replicas_for(job) for job in self.jobs], dtype=int
         )
-        min_total_cpu = sum(j.min_replicas * j.cpu_per_replica for j in self.jobs)
+        self._cpu_vec = np.array([j.cpu_per_replica for j in self.jobs], dtype=float)
+        self._mem_vec = np.array([j.mem_per_replica for j in self.jobs], dtype=float)
+        self._mins_vec = np.array([j.min_replicas for j in self.jobs], dtype=int)
+        min_total_cpu = float(np.dot(self._mins_vec, self._cpu_vec))
         if min_total_cpu > capacity.cpus + 1e-9:
             raise ValueError(
                 f"infeasible: minimum replica CPUs {min_total_cpu} exceed "
                 f"capacity {capacity.cpus}"
             )
-        self._tables = [self._build_table(job, cap) for job, cap in zip(self.jobs, self.max_replicas)]
+        min_total_mem = float(np.dot(self._mins_vec, self._mem_vec))
+        if min_total_mem > capacity.mem + 1e-9:
+            raise ValueError(
+                f"infeasible: minimum replica memory {min_total_mem} exceeds "
+                f"capacity {capacity.mem}"
+            )
+        self._drop_axis = (
+            self.drop_grid if objective.uses_drops else np.array([0.0])
+        )
+        self._tables = [
+            self.table_cache.get_or_build(
+                job,
+                int(cap),
+                self._drop_axis,
+                self.relaxed,
+                self.alpha,
+                self.rho_max,
+                self.latency_model,
+            )
+            for job, cap in zip(self.jobs, self.max_replicas)
+        ]
         self._priorities = [job.priority for job in self.jobs]
+        self._priorities_vec = np.asarray(self._priorities, dtype=float)
+        # Flattened table layout for batched gathers: job i's table occupies
+        # rows [offset_i, offset_i + (max_x_i + 1) * D) with row stride D.
+        stride = self._drop_axis.shape[0]
+        sizes = np.array([t.size for t in self._tables])
+        self._table_offsets = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        self._flat_tables = np.concatenate([t.ravel() for t in self._tables])
+        self._table_stride = stride
+        self._max_row_f = self.max_replicas.astype(float)
+        # Cold-start blending state (§4.1), evaluation-time only.
+        self._cold_w = np.array(
+            [
+                j.coldstart_weight
+                if (j.coldstart_weight > 0.0 and j.current_replicas is not None)
+                else 0.0
+                for j in self.jobs
+            ]
+        )
+        self._cold_cur = np.array(
+            [
+                float(j.current_replicas) if j.current_replicas is not None else 0.0
+                for j in self.jobs
+            ]
+        )
+        self._cold_active = self._cold_w > 0.0
+        self._has_cold = bool(self._cold_active.any())
 
     # ------------------------------------------------------------------ setup
 
@@ -190,58 +474,6 @@ class AllocationProblem:
         by_cpu = int(self.capacity.cpus // job.cpu_per_replica)
         by_mem = int(self.capacity.mem // job.mem_per_replica)
         return max(job.min_replicas, min(by_cpu, by_mem))
-
-    def _build_table(self, job: OptimizationJob, max_x: int) -> np.ndarray:
-        """Utility table ``T[x, d_idx]`` for ``x = 0..max_x`` (row 0 is zero).
-
-        The drop dimension stores the utility of *non-dropped* requests,
-        i.e. ``U(L(lam * (1 - d), p, x), s)``; the penalty multiplier
-        ``phi(d)`` is applied at evaluation time.
-        """
-        rates = np.asarray(job.rates, dtype=float)
-        weights = (
-            np.asarray(job.weights, dtype=float)
-            if job.weights is not None
-            else np.ones_like(rates)
-        )
-        weights = weights / weights.sum()
-        if self.objective.uses_drops:
-            drops = self.drop_grid
-        else:
-            drops = np.array([0.0])
-        # Scenario grid: every (rate, drop) pair, flattened.
-        scenario_rates = np.outer(rates, 1.0 - drops).ravel()
-        if self.latency_model == "upper":
-            # Pessimistic batch estimator (§3.3-I): p * max(1, lam / x).
-            replicas = np.arange(1, max_x + 1, dtype=float)[:, None]
-            latencies = job.proc_time * np.maximum(
-                scenario_rates[None, :] / replicas, 1.0
-            )
-        else:
-            latencies = mdc_latency_table(
-                job.slo.quantile,
-                scenario_rates,
-                job.proc_time,
-                max_x,
-                relaxed=self.relaxed,
-                rho_max=self.rho_max,
-            )  # (max_x, n_rates * n_drops)
-        utilities = self._utility_of_latency(latencies, job.slo.target)
-        utilities = utilities.reshape(max_x, rates.shape[0], drops.shape[0])
-        averaged = np.tensordot(weights, utilities, axes=([0], [1]))  # -> (max_x, n_drops)?
-        # tensordot contracted axis 1 of utilities with weights: result (max_x, n_drops)
-        table = np.zeros((max_x + 1, drops.shape[0]), dtype=float)
-        table[1:] = averaged
-        return table
-
-    def _utility_of_latency(self, latencies: np.ndarray, slo_target: float) -> np.ndarray:
-        if self.alpha is None:
-            return (latencies <= slo_target).astype(float)
-        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-            ratio = np.where(latencies > 0, slo_target / latencies, np.inf)
-            values = np.power(np.minimum(ratio, 1.0), self.alpha)
-        values = np.where(np.isinf(latencies), 0.0, values)
-        return np.clip(values, 0.0, 1.0)
 
     # ------------------------------------------------------------ evaluation
 
@@ -279,43 +511,120 @@ class AllocationProblem:
         hi = (1.0 - df) * table[x_hi, d_lo_idx] + df * table[x_hi, d_hi_idx]
         return (1.0 - xf) * lo + xf * hi
 
+    def _interp_many(self, replicas: np.ndarray, drops: np.ndarray) -> np.ndarray:
+        """Vectorized bilinear interpolation over a ``(C, n)`` matrix.
+
+        Elementwise mirror of :meth:`_interp` (same operation order, so
+        results are bit-for-bit equal to the scalar path).
+        """
+        R = np.asarray(replicas, dtype=float)
+        x = np.clip(R, 0.0, self._max_row_f)
+        x_lo = np.floor(x).astype(np.int64)
+        x_hi = np.minimum(x_lo + 1, self.max_replicas)
+        xf = x - x_lo
+        base = self._table_offsets
+        stride = self._table_stride
+        flat = self._flat_tables
+        if stride == 1:
+            lo = flat[base + x_lo]
+            hi = flat[base + x_hi]
+            return (1.0 - xf) * lo + xf * hi
+        grid = self.drop_grid
+        d = np.clip(np.asarray(drops, dtype=float), grid[0], grid[-1])
+        d_hi_idx = np.clip(np.searchsorted(grid, d), 1, grid.shape[0] - 1)
+        d_lo_idx = d_hi_idx - 1
+        span = grid[d_hi_idx] - grid[d_lo_idx]
+        df = np.where(span == 0, 0.0, (d - grid[d_lo_idx]) / np.where(span == 0, 1.0, span))
+        row_lo = base + x_lo * stride
+        row_hi = base + x_hi * stride
+        lo = (1.0 - df) * flat[row_lo + d_lo_idx] + df * flat[row_lo + d_hi_idx]
+        hi = (1.0 - df) * flat[row_hi + d_lo_idx] + df * flat[row_hi + d_hi_idx]
+        return (1.0 - xf) * lo + xf * hi
+
+    def utilities_many(self, replicas: np.ndarray, drops: np.ndarray) -> np.ndarray:
+        """Per-job raw utilities for a ``(C, n)`` candidate matrix.
+
+        Cold-start blending applied; the drop-penalty multiplier is not
+        (see :meth:`effective_utilities_many`).
+        """
+        R = np.asarray(replicas, dtype=float)
+        D = np.asarray(drops, dtype=float)
+        values = self._interp_many(R, D)
+        if self._has_cold:
+            effective = np.minimum(self._cold_cur, R)
+            warm = self._interp_many(effective, D)
+            w = self._cold_w
+            values = np.where(
+                self._cold_active, w * warm + (1.0 - w) * values, values
+            )
+        return values
+
+    def effective_utilities_many(
+        self, replicas: np.ndarray, drops: np.ndarray
+    ) -> np.ndarray:
+        """Per-job *effective* utilities (``phi(d) * U``) for ``(C, n)`` input."""
+        U = self.utilities_many(replicas, drops)
+        if self.objective.uses_drops:
+            D = np.clip(np.asarray(drops, dtype=float), 0.0, 1.0)
+            U = U * penalty_multipliers(D, relaxed=self.relaxed)
+        return U
+
     def effective_utilities(self, replicas: np.ndarray, drops: np.ndarray) -> list[float]:
         """Per-job (effective) utilities for an allocation vector."""
-        phi = penalty_multiplier_relaxed if self.relaxed else penalty_multiplier
-        values = []
-        for i in range(self.num_jobs):
-            u = self.job_utility(i, replicas[i], drops[i])
-            if self.objective.uses_drops:
-                u *= phi(min(max(float(drops[i]), 0.0), 1.0))
-            values.append(u)
-        return values
+        R = np.asarray(replicas, dtype=float).reshape(1, -1)
+        D = np.asarray(drops, dtype=float).reshape(1, -1)
+        return [float(v) for v in self.effective_utilities_many(R, D)[0]]
+
+    def evaluate_many(
+        self, replicas: np.ndarray, drops: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Cluster objective scores for a ``(C, n)`` candidate matrix.
+
+        Contract: ``evaluate_many(X, D)[i]`` equals
+        ``evaluate(X[i], D[i])`` bit-for-bit -- the scalar path is the
+        one-row batched path.  ``drops`` may be omitted (all zeros) or a
+        single row (broadcast across candidates).  Large batches are chunked
+        internally, which does not affect per-row results.
+        """
+        R = np.atleast_2d(np.asarray(replicas, dtype=float))
+        if R.shape[1] != self.num_jobs:
+            raise ValueError(
+                f"expected {self.num_jobs} columns, got shape {R.shape}"
+            )
+        if drops is None:
+            D = np.zeros_like(R)
+        else:
+            D = np.atleast_2d(np.asarray(drops, dtype=float))
+            if D.shape[0] == 1 and R.shape[0] > 1:
+                D = np.broadcast_to(D, R.shape)
+            if D.shape != R.shape:
+                raise ValueError(
+                    f"drops shape {D.shape} does not match replicas shape {R.shape}"
+                )
+        out = np.empty(R.shape[0], dtype=float)
+        for start in range(0, R.shape[0], _EVAL_CHUNK):
+            sl = slice(start, start + _EVAL_CHUNK)
+            U = self.effective_utilities_many(R[sl], D[sl])
+            out[sl] = self.objective.evaluate_many(U, self._priorities_vec)
+        return out
 
     def evaluate(self, replicas: np.ndarray, drops: np.ndarray | None = None) -> float:
         """Cluster objective score (to maximize) for an allocation."""
-        replicas = np.asarray(replicas, dtype=float)
-        if drops is None:
-            drops = np.zeros(self.num_jobs)
-        drops = np.asarray(drops, dtype=float)
-        utilities = self.effective_utilities(replicas, drops)
-        return self.objective.evaluate(utilities, self._priorities)
+        R = np.asarray(replicas, dtype=float).reshape(1, -1)
+        D = None if drops is None else np.asarray(drops, dtype=float).reshape(1, -1)
+        return float(self.evaluate_many(R, D)[0])
 
     def cpu_usage(self, replicas: np.ndarray) -> float:
-        return float(
-            sum(r * j.cpu_per_replica for r, j in zip(replicas, self.jobs))
-        )
+        return float(np.dot(np.asarray(replicas, dtype=float), self._cpu_vec))
 
     def mem_usage(self, replicas: np.ndarray) -> float:
-        return float(
-            sum(r * j.mem_per_replica for r, j in zip(replicas, self.jobs))
-        )
+        return float(np.dot(np.asarray(replicas, dtype=float), self._mem_vec))
 
     def is_feasible(self, replicas: np.ndarray) -> bool:
         return (
             self.cpu_usage(replicas) <= self.capacity.cpus + 1e-9
             and self.mem_usage(replicas) <= self.capacity.mem + 1e-9
-            and all(
-                r >= j.min_replicas for r, j in zip(replicas, self.jobs)
-            )
+            and bool(np.all(np.asarray(replicas) >= self._mins_vec))
         )
 
 
@@ -329,8 +638,31 @@ def _split_vars(problem: AllocationProblem, z: np.ndarray) -> tuple[np.ndarray, 
     return replicas, drops
 
 
+def _project_into_capacity(problem: AllocationProblem, x: np.ndarray) -> np.ndarray:
+    """Project a replica vector onto the feasible box and capacity simplex.
+
+    Every job keeps at least its minimum; the surplus above the minimums is
+    scaled by the largest factor in ``[0, 1]`` that fits both CPU and memory
+    capacity.  Because resource usage is affine in the surplus, one scaling
+    per resource is exact -- no scale-then-floor iteration that could bounce
+    usage back above capacity (the historical infeasible-start bug).
+    """
+    mins = problem._mins_vec.astype(float)
+    x = np.clip(np.asarray(x, dtype=float), mins, problem.max_replicas.astype(float))
+    surplus = x - mins
+    for usage_vec, cap in (
+        (problem._cpu_vec, problem.capacity.cpus),
+        (problem._mem_vec, problem.capacity.mem),
+    ):
+        base = float(np.dot(mins, usage_vec))
+        extra = float(np.dot(surplus, usage_vec))
+        if extra > 0.0 and base + extra > cap:
+            surplus *= max(0.0, (cap - base) / extra)
+    return mins + surplus
+
+
 def _default_start(problem: AllocationProblem) -> np.ndarray:
-    """Fair-share starting point: capacity split evenly, floor at minimum."""
+    """Fair-share starting point: capacity split evenly, projected feasible."""
     n = problem.num_jobs
     per_job = problem.capacity.cpus / max(
         sum(j.cpu_per_replica for j in problem.jobs), 1e-9
@@ -339,45 +671,66 @@ def _default_start(problem: AllocationProblem) -> np.ndarray:
         [min(max(per_job, j.min_replicas), m) for j, m in zip(problem.jobs, problem.max_replicas)],
         dtype=float,
     )
-    # Scale into capacity if the even split overshoots.
-    usage = problem.cpu_usage(x0)
-    if usage > problem.capacity.cpus:
-        x0 *= problem.capacity.cpus / usage
-        x0 = np.maximum(x0, [j.min_replicas for j in problem.jobs])
+    x0 = _project_into_capacity(problem, x0)
     if problem.objective.uses_drops:
         return np.concatenate([x0, np.zeros(n)])
     return x0
 
 
-def _constraint_functions(problem: AllocationProblem):
-    n = problem.num_jobs
+def warm_start_vector(problem: AllocationProblem, allocation: Allocation) -> np.ndarray:
+    """Continuous solver start from a previous cycle's :class:`Allocation`.
 
-    def cpu_slack(z: np.ndarray) -> float:
-        replicas, _ = _split_vars(problem, z)
-        return problem.capacity.cpus - problem.cpu_usage(replicas)
-
-    def mem_slack(z: np.ndarray) -> float:
-        replicas, _ = _split_vars(problem, z)
-        return problem.capacity.mem - problem.mem_usage(replicas)
-
-    constraints = [
-        {"type": "ineq", "fun": cpu_slack},
-        {"type": "ineq", "fun": mem_slack},
-    ]
-    for i in range(n):
-        constraints.append(
-            {"type": "ineq", "fun": lambda z, i=i: z[i] - problem.jobs[i].min_replicas}
+    The previous replica counts are projected into the current problem's
+    bounds and capacity (the job list must have the same length and order);
+    for penalty objectives the previous drop rates seed the drop variables.
+    Feeding this as ``x0`` lets steady-state autoscaler cycles start COBYLA
+    at a feasible, near-optimal point.
+    """
+    replicas = np.asarray(allocation.replicas, dtype=float)
+    if replicas.shape[0] != problem.num_jobs:
+        raise ValueError(
+            f"warm start has {replicas.shape[0]} jobs, problem has {problem.num_jobs}"
         )
-        constraints.append(
-            {"type": "ineq", "fun": lambda z, i=i: problem.max_replicas[i] - z[i]}
-        )
+    x0 = _project_into_capacity(problem, replicas)
     if problem.objective.uses_drops:
-        for i in range(n):
-            constraints.append({"type": "ineq", "fun": lambda z, i=i: z[n + i]})
-            constraints.append(
-                {"type": "ineq", "fun": lambda z, i=i: problem.drop_grid[-1] - z[n + i]}
-            )
-    return constraints
+        drops = np.asarray(allocation.drops, dtype=float)
+        if drops.shape[0] != problem.num_jobs:
+            drops = np.zeros(problem.num_jobs)
+        drops = np.clip(drops, 0.0, problem.drop_grid[-1])
+        return np.concatenate([x0, drops])
+    return x0
+
+
+def _constraint_functions(problem: AllocationProblem):
+    """All inequality constraints as ONE array-valued callback.
+
+    COBYLA/SLSQP accept vector constraint functions; a single numpy pass
+    replaces the historical ``2n + 2`` per-scalar Python callbacks that
+    dominated per-iteration cost on large problems.  Component order matches
+    the old scalar list (cpu, mem, per-job min/max interleaved, per-job drop
+    lo/hi interleaved) so solver trajectories are unchanged.
+    """
+    n = problem.num_jobs
+    mins = problem._mins_vec.astype(float)
+    maxs = problem.max_replicas.astype(float)
+    uses_drops = problem.objective.uses_drops
+    drop_max = float(problem.drop_grid[-1])
+    size = 2 + 2 * n + (2 * n if uses_drops else 0)
+
+    def all_slacks(z: np.ndarray) -> np.ndarray:
+        replicas = z[:n]
+        slacks = np.empty(size)
+        slacks[0] = problem.capacity.cpus - problem.cpu_usage(replicas)
+        slacks[1] = problem.capacity.mem - problem.mem_usage(replicas)
+        slacks[2 : 2 + 2 * n : 2] = replicas - mins
+        slacks[3 : 2 + 2 * n : 2] = maxs - replicas
+        if uses_drops:
+            drops = z[n:]
+            slacks[2 + 2 * n :: 2] = drops
+            slacks[3 + 2 * n :: 2] = drop_max - drops
+        return slacks
+
+    return [{"type": "ineq", "fun": all_slacks}]
 
 
 def _negative_objective(problem: AllocationProblem):
@@ -391,60 +744,87 @@ def _negative_objective(problem: AllocationProblem):
     return fun, counter
 
 
+def _can_add_mask(problem: AllocationProblem, ints: np.ndarray) -> np.ndarray:
+    """Per-job mask: can one more replica be added within bounds and capacity?"""
+    cpu_now = problem.cpu_usage(ints)
+    mem_now = problem.mem_usage(ints)
+    return (
+        (ints < problem.max_replicas)
+        & (cpu_now + problem._cpu_vec <= problem.capacity.cpus + 1e-9)
+        & (mem_now + problem._mem_vec <= problem.capacity.mem + 1e-9)
+    )
+
+
 def _round_allocation(problem: AllocationProblem, replicas: np.ndarray) -> np.ndarray:
     """Integer post-processing (paper §4.2).
 
-    Floors the continuous solution (respecting per-job minimums), then
-    greedily re-adds replicas by best marginal objective gain while cluster
-    capacity remains.
+    Floors the continuous solution (respecting per-job minimums), trims by
+    resource footprint while over capacity, then greedily re-adds replicas
+    by best marginal objective gain -- the candidate scan is one
+    :meth:`AllocationProblem.evaluate_many` pass per round.
     """
-    mins = np.array([j.min_replicas for j in problem.jobs])
-    ints = np.maximum(np.floor(replicas + 1e-9).astype(int), mins)
-    ints = np.minimum(ints, problem.max_replicas)
-    # If the minimum-respecting floor exceeds capacity, trim largest first.
-    while problem.cpu_usage(ints) > problem.capacity.cpus or problem.mem_usage(
-        ints
-    ) > problem.capacity.mem:
-        candidates = [i for i in range(problem.num_jobs) if ints[i] > mins[i]]
-        if not candidates:
+    mins = problem._mins_vec
+    ints = np.clip(np.floor(replicas + 1e-9).astype(int), mins, problem.max_replicas)
+    cap = problem.capacity
+    # If the minimum-respecting floor exceeds capacity, trim the replica
+    # whose removal frees the most of the violated resource(s) -- one
+    # expensive replica beats many cheap ones.
+    while True:
+        cpu_excess = problem.cpu_usage(ints) - cap.cpus
+        mem_excess = problem.mem_usage(ints) - cap.mem
+        if cpu_excess <= 1e-9 and mem_excess <= 1e-9:
             break
-        worst = max(candidates, key=lambda i: ints[i])
-        ints[worst] -= 1
-    improved = True
+        candidates = np.flatnonzero(ints > mins)
+        if candidates.size == 0:
+            raise ValueError(
+                "infeasible rounding: minimum replicas alone exceed cluster "
+                f"capacity (cpu excess {max(cpu_excess, 0.0):.3g}, "
+                f"mem excess {max(mem_excess, 0.0):.3g})"
+            )
+        freed = np.zeros(problem.num_jobs)
+        if cpu_excess > 1e-9:
+            freed += problem._cpu_vec / cap.cpus
+        if mem_excess > 1e-9:
+            freed += problem._mem_vec / cap.mem
+        scores = freed[candidates]
+        near_best = candidates[scores >= scores.max() - 1e-12]
+        victim = near_best[int(np.argmax(ints[near_best]))]
+        ints[victim] -= 1
     drops = np.zeros(problem.num_jobs)
-    while improved:
-        improved = False
+    while True:
+        idx = np.flatnonzero(_can_add_mask(problem, ints))
+        if idx.size == 0:
+            break
         base = problem.evaluate(ints, drops)
-        best_gain, best_job = 0.0, -1
-        for i in range(problem.num_jobs):
-            if ints[i] >= problem.max_replicas[i]:
-                continue
-            trial = ints.copy()
-            trial[i] += 1
-            if not problem.is_feasible(trial):
-                continue
-            gain = problem.evaluate(trial, drops) - base
-            if gain > best_gain + 1e-12:
-                best_gain, best_job = gain, i
-        if best_job >= 0:
-            ints[best_job] += 1
-            improved = True
+        trials = np.repeat(ints[None, :], idx.size, axis=0).astype(float)
+        trials[np.arange(idx.size), idx] += 1.0
+        gains = problem.evaluate_many(trials, drops[None, :]) - base
+        best = int(np.argmax(gains))
+        if gains[best] <= 1e-12:
+            break
+        ints[idx[best]] += 1
     return ints
 
 
 def _optimize_drops(problem: AllocationProblem, replicas: np.ndarray) -> np.ndarray:
-    """Per-job drop-rate grid refinement for penalty objectives."""
+    """Per-job drop-rate grid refinement for penalty objectives.
+
+    Coordinate descent; each job's whole drop grid is scored in one
+    batched evaluation.
+    """
     drops = np.zeros(problem.num_jobs)
     if not problem.objective.uses_drops:
         return drops
+    grid = problem.drop_grid
+    R = np.repeat(np.asarray(replicas, dtype=float)[None, :], grid.shape[0], axis=0)
     for i in range(problem.num_jobs):
+        trials = np.repeat(drops[None, :], grid.shape[0], axis=0)
+        trials[:, i] = grid
+        values = problem.evaluate_many(R, trials)
         best_d, best_v = 0.0, -math.inf
-        for d in problem.drop_grid:
-            trial = drops.copy()
-            trial[i] = d
-            value = problem.evaluate(replicas, trial)
+        for d, value in zip(grid, values):
             if value > best_v + 1e-12:
-                best_v, best_d = value, d
+                best_v, best_d = float(value), float(d)
         drops[i] = best_d
     return drops
 
@@ -507,45 +887,39 @@ def _solve_greedy(problem: AllocationProblem) -> tuple[np.ndarray, float, int]:
     wrong-way tie-break on an overloaded job's utility plateau); phase 2
     hill-climbs the *actual* objective with add / remove / transfer moves.
     Serves as the "best found" reference in normalized-optimality
-    experiments (Fig. 5).
+    experiments (Fig. 5).  Both phases score candidates through batched
+    evaluation: phase 1 needs one two-row utility pass per round, phase 2
+    one ``evaluate_many`` over the whole move set.
     """
     n = problem.num_jobs
-    ints = np.array([j.min_replicas for j in problem.jobs], dtype=int)
+    ints = problem._mins_vec.copy()
     drops = np.zeros(n)
     nfev = 0
-
-    def utility_sum(x: np.ndarray) -> float:
-        return sum(
-            problem.jobs[i].priority * problem.job_utility(i, x[i], 0.0)
-            for i in range(n)
-        )
+    cap = problem.capacity
+    priorities = problem._priorities_vec
 
     while True:
-        base = utility_sum(ints)
-        nfev += 1
-        best_gain, best_job = 1e-12, -1
-        for i in range(n):
-            trial = ints.copy()
-            trial[i] += 1
-            if trial[i] > problem.max_replicas[i] or not problem.is_feasible(trial):
-                continue
-            nfev += 1
-            gain = utility_sum(trial) - base
-            if gain > best_gain:
-                best_gain, best_job = gain, i
-        if best_job < 0:
+        pair = np.stack([ints, np.minimum(ints + 1, problem.max_replicas)]).astype(float)
+        utilities = problem.utilities_many(pair, np.zeros_like(pair))
+        nfev += 2
+        gains = priorities * (utilities[1] - utilities[0])
+        gains = np.where(_can_add_mask(problem, ints), gains, -np.inf)
+        best = int(np.argmax(gains))
+        if not np.isfinite(gains[best]) or gains[best] <= 1e-12:
             break
-        ints[best_job] += 1
+        ints[best] += 1
 
     for _ in range(50 * n):
         base = problem.evaluate(ints, drops)
         nfev += 1
-        best_gain, best_move = 1e-12, None
+        cpu_now = problem.cpu_usage(ints)
+        mem_now = problem.mem_usage(ints)
+        can_add = _can_add_mask(problem, ints)
         moves: list[np.ndarray] = []
         for i in range(n):
-            add = ints.copy()
-            add[i] += 1
-            if add[i] <= problem.max_replicas[i] and problem.is_feasible(add):
+            if can_add[i]:
+                add = ints.copy()
+                add[i] += 1
                 moves.append(add)
             sub = ints.copy()
             sub[i] -= 1
@@ -554,30 +928,35 @@ def _solve_greedy(problem: AllocationProblem) -> tuple[np.ndarray, float, int]:
             for j in range(n):
                 if j == i:
                     continue
-                transfer = ints.copy()
-                transfer[i] -= 1
-                transfer[j] += 1
                 if (
-                    transfer[i] >= problem.jobs[i].min_replicas
-                    and transfer[j] <= problem.max_replicas[j]
-                    and problem.is_feasible(transfer)
+                    ints[i] - 1 >= problem.jobs[i].min_replicas
+                    and ints[j] + 1 <= problem.max_replicas[j]
+                    and cpu_now - problem._cpu_vec[i] + problem._cpu_vec[j]
+                    <= cap.cpus + 1e-9
+                    and mem_now - problem._mem_vec[i] + problem._mem_vec[j]
+                    <= cap.mem + 1e-9
                 ):
+                    transfer = ints.copy()
+                    transfer[i] -= 1
+                    transfer[j] += 1
                     moves.append(transfer)
-        for trial in moves:
-            nfev += 1
-            gain = problem.evaluate(trial, drops) - base
-            if gain > best_gain:
-                best_gain, best_move = gain, trial
-        if best_move is None:
+        if not moves:
             break
-        ints = best_move
+        trials = np.asarray(moves, dtype=float)
+        values = problem.evaluate_many(trials, drops[None, :])
+        nfev += len(moves)
+        gains = values - base
+        best = int(np.argmax(gains))
+        if gains[best] <= 1e-12:
+            break
+        ints = moves[best]
     return ints.astype(float), problem.evaluate(ints, drops), nfev
 
 
 def solve_allocation(
     problem: AllocationProblem,
     method: str = "cobyla",
-    x0: np.ndarray | None = None,
+    x0: np.ndarray | Allocation | None = None,
     maxiter: int = 1000,
     seed: int | None = None,
 ) -> Allocation:
@@ -587,9 +966,15 @@ def solve_allocation(
     (differential evolution) or ``"greedy"`` (integer hill climbing).  The
     continuous solution is post-processed into a feasible integer allocation
     and, for penalty objectives, per-job drop rates are refined on a grid.
+
+    ``x0`` warm-starts the local solvers: pass a previous cycle's
+    :class:`Allocation` (projected feasible via :func:`warm_start_vector`)
+    or a raw variable vector.  ``"de"`` and ``"greedy"`` ignore it.
     """
     method = method.lower()
     started = time.perf_counter()
+    if isinstance(x0, Allocation):
+        x0 = warm_start_vector(problem, x0)
     if x0 is None:
         x0 = _default_start(problem)
     if method in ("cobyla", "slsqp"):

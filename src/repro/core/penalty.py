@@ -20,11 +20,14 @@ into a piecewise-linear function for optimization (§3.4).
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = [
     "PENALTY_BRACKETS",
     "service_credit",
     "penalty_multiplier",
     "penalty_multiplier_relaxed",
+    "penalty_multipliers",
     "effective_utility",
 ]
 
@@ -87,6 +90,46 @@ def penalty_multiplier_relaxed(drop_rate: float) -> float:
             credit = c_lo + frac * (c_hi - c_lo)
             return 1.0 - credit
     return 1.0 - knots[-1][1]
+
+
+# Vectorized lookup tables derived from the scalar definitions above, in
+# ascending-availability order for searchsorted.
+_STEP_LOWERS = np.array([lower for lower, _ in reversed(PENALTY_BRACKETS)])
+_STEP_CREDITS = np.array([credit for _, credit in reversed(PENALTY_BRACKETS)])
+_KNOT_AVAIL = np.array([a for a, _ in _RELAXED_KNOTS])
+_KNOT_CREDIT = np.array([c for _, c in _RELAXED_KNOTS])
+
+
+def penalty_multipliers(drop_rates: np.ndarray, relaxed: bool = False) -> np.ndarray:
+    """Vectorized ``phi(d)`` over an array of drop rates.
+
+    Bit-for-bit equal to mapping :func:`penalty_multiplier` (or the relaxed
+    variant) elementwise: the interpolation uses the same knots and the same
+    operation order, just over whole arrays at once.
+    """
+    d = np.asarray(drop_rates, dtype=float)
+    if np.any((d < 0.0) | (d > 1.0)):
+        raise ValueError("drop rates must be in [0, 1]")
+    availability = 1.0 - d
+    if not relaxed:
+        idx = np.clip(
+            np.searchsorted(_STEP_LOWERS, availability, side="right") - 1,
+            0,
+            _STEP_LOWERS.shape[0] - 1,
+        )
+        return 1.0 - _STEP_CREDITS[idx]
+    hi = np.clip(
+        np.searchsorted(_KNOT_AVAIL, availability, side="left"),
+        1,
+        _KNOT_AVAIL.shape[0] - 1,
+    )
+    lo = hi - 1
+    a_lo, a_hi = _KNOT_AVAIL[lo], _KNOT_AVAIL[hi]
+    c_lo, c_hi = _KNOT_CREDIT[lo], _KNOT_CREDIT[hi]
+    span = a_hi - a_lo
+    frac = np.where(span == 0.0, 0.0, (availability - a_lo) / np.where(span == 0.0, 1.0, span))
+    credit = c_lo + frac * (c_hi - c_lo)
+    return 1.0 - credit
 
 
 def effective_utility(utility: float, drop_rate: float, relaxed: bool = False) -> float:

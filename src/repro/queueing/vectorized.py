@@ -18,7 +18,7 @@ relaxed form (paper §3.4).
 from __future__ import annotations
 
 import math
-from functools import lru_cache
+from collections import OrderedDict
 
 import numpy as np
 
@@ -53,22 +53,51 @@ def erlang_c_table(offered_loads: np.ndarray, max_servers: int) -> np.ndarray:
     return np.clip(table, 0.0, 1.0)
 
 
-@lru_cache(maxsize=32)
-def _erlang_c_at_rho_cached(rho: float, max_servers: int) -> tuple[float, ...]:
+# Per-rho prefix cache for the fixed-utilization Erlang-C diagonal.  The
+# value at index k-1 is C(k, rho * k), which depends only on (rho, k) --
+# never on how large a table it was computed as part of -- so one array
+# computed at the largest ``max_servers`` seen serves every smaller request
+# by slicing.  (The old per-(rho, max_servers) lru_cache recomputed the full
+# O(max_servers^2) table for every distinct size, which hierarchical and
+# decentralized solves with varying subtree sizes thrashed constantly.)
+_RHO_DIAG_CACHE: OrderedDict[float, np.ndarray] = OrderedDict()
+_RHO_DIAG_CACHE_MAX = 32
+
+
+def _erlang_c_diag(rho: float, max_servers: int) -> np.ndarray:
     values = erlang_c_table(rho * np.arange(1, max_servers + 1, dtype=float), max_servers)
     # Row k-1 holds C(k, a) for all loads; we want the diagonal a = rho * k.
-    return tuple(values[k - 1, k - 1] for k in range(1, max_servers + 1))
+    diag = np.ascontiguousarray(np.diagonal(values))
+    diag.setflags(write=False)
+    return diag
 
 
 def erlang_c_at_rho(rho: float, max_servers: int) -> np.ndarray:
-    """``C(k, rho * k)`` for ``k = 1..max_servers`` (cached).
+    """``C(k, rho * k)`` for ``k = 1..max_servers`` (prefix-cached).
 
     Used by the relaxed estimator, which pins the utilization of overloaded
     queues at ``rho_max`` (the offered load then depends only on ``k``).
+    A cached diagonal for ``N`` servers serves any ``M <= N`` by slicing;
+    growth recomputes at double the previous size to amortize repeated
+    small extensions.
     """
     if not 0.0 < rho < 1.0:
         raise ValueError(f"rho must be in (0, 1), got {rho}")
-    return np.array(_erlang_c_at_rho_cached(float(rho), int(max_servers)))
+    max_servers = int(max_servers)
+    if max_servers < 1:
+        raise ValueError(f"max_servers must be >= 1, got {max_servers}")
+    key = float(rho)
+    cached = _RHO_DIAG_CACHE.get(key)
+    if cached is None or cached.shape[0] < max_servers:
+        grow_to = max(max_servers, 2 * cached.shape[0] if cached is not None else 0)
+        cached = _erlang_c_diag(key, grow_to)
+        _RHO_DIAG_CACHE[key] = cached
+        _RHO_DIAG_CACHE.move_to_end(key)  # growth must refresh recency too
+        while len(_RHO_DIAG_CACHE) > _RHO_DIAG_CACHE_MAX:
+            _RHO_DIAG_CACHE.popitem(last=False)
+    else:
+        _RHO_DIAG_CACHE.move_to_end(key)
+    return cached[:max_servers].copy()
 
 
 def mdc_latency_table(

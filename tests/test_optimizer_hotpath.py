@@ -1,0 +1,375 @@
+"""Hot-path invariants: batched evaluation, table cache, warm starts.
+
+The contract under test (see the :mod:`repro.core.optimizer` docstring):
+
+- ``evaluate_many(X, D)[i]`` is **bit-for-bit** equal to
+  ``evaluate(X[i], D[i])`` across relaxed/precise formulations and drop
+  objectives -- the scalar path is the one-row batched path, and batching
+  or chunking candidates can never change a row's score.
+- Utility tables are pure functions of their cache key, so a warm
+  :class:`UtilityTableCache` yields bit-identical problems (and therefore
+  identical allocations) to a cold one.
+- Warm-started solves start from a *feasible* projection of the previous
+  allocation and land on the same integer allocation as a cold start on a
+  stable problem.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objectives import make_objective
+from repro.core.optimizer import (
+    AllocationProblem,
+    ClusterCapacity,
+    OptimizationJob,
+    UtilityTableCache,
+    solve_allocation,
+    warm_start_vector,
+)
+from repro.core.optimizer import _default_start, _round_allocation
+from repro.core.utility import SLO
+from repro.queueing.vectorized import erlang_c_at_rho, erlang_c_table
+
+SLO_720 = SLO(target=0.72, percentile=99.0)
+
+
+def job(name, rates, **kwargs):
+    kwargs.setdefault("proc_time", 0.18)
+    kwargs.setdefault("slo", SLO_720)
+    return OptimizationJob(name=name, rates=tuple(rates), **kwargs)
+
+
+def build_problem(objective_name, relaxed=True, alpha=1.0, coldstart=False, **kwargs):
+    jobs = [
+        job("a", (12.0, 20.0)),
+        job("b", (35.0,), priority=2.0),
+        job(
+            "c",
+            (8.0, 9.0, 30.0),
+            current_replicas=2 if coldstart else None,
+            coldstart_weight=0.4 if coldstart else 0.0,
+        ),
+        job("d", (0.0,)),
+    ]
+    return AllocationProblem(
+        jobs,
+        ClusterCapacity.of_replicas(24),
+        make_objective(objective_name),
+        relaxed=relaxed,
+        alpha=alpha,
+        table_cache=UtilityTableCache(),
+        **kwargs,
+    )
+
+
+replica_matrices = st.lists(
+    st.lists(st.floats(min_value=0.0, max_value=30.0), min_size=4, max_size=4),
+    min_size=1,
+    max_size=6,
+)
+drop_matrices = st.lists(
+    st.lists(st.floats(min_value=0.0, max_value=0.6), min_size=4, max_size=4),
+    min_size=6,
+    max_size=6,
+)
+
+
+class TestEvaluateManyParity:
+    @pytest.mark.parametrize("objective_name", ["sum", "fair", "fairsum"])
+    @pytest.mark.parametrize(
+        "relaxed,alpha", [(True, 1.0), (False, None), (True, None)]
+    )
+    @settings(max_examples=15, deadline=None)
+    @given(matrix=replica_matrices)
+    def test_bitwise_parity_no_drops(self, objective_name, relaxed, alpha, matrix):
+        problem = build_problem(objective_name, relaxed=relaxed, alpha=alpha)
+        X = np.asarray(matrix)
+        batched = problem.evaluate_many(X)
+        for i in range(X.shape[0]):
+            assert batched[i] == problem.evaluate(X[i])
+
+    @pytest.mark.parametrize("objective_name", ["penaltysum", "penaltyfairsum"])
+    @pytest.mark.parametrize("relaxed", [True, False])
+    @settings(max_examples=10, deadline=None)
+    @given(matrix=replica_matrices, drops=drop_matrices)
+    def test_bitwise_parity_with_drops(self, objective_name, relaxed, matrix, drops):
+        problem = build_problem(objective_name, relaxed=relaxed, alpha=1.0 if relaxed else None)
+        X = np.asarray(matrix)
+        D = np.asarray(drops)[: X.shape[0]]
+        batched = problem.evaluate_many(X, D)
+        for i in range(X.shape[0]):
+            assert batched[i] == problem.evaluate(X[i], D[i])
+
+    def test_parity_with_coldstart_blending(self):
+        problem = build_problem("sum", coldstart=True)
+        X = np.array([[1.0, 2.5, 7.0, 1.0], [4.0, 4.0, 4.0, 4.0], [10.0, 1.0, 2.0, 3.0]])
+        batched = problem.evaluate_many(X)
+        for i in range(X.shape[0]):
+            assert batched[i] == problem.evaluate(X[i])
+
+    def test_scalar_path_matches_per_job_formulation(self):
+        # The delegated scalar path must still equal the definition: the
+        # objective applied to per-job (effective) utilities.
+        for name in ("sum", "fairsum", "penaltysum"):
+            problem = build_problem(name)
+            replicas = np.array([3.0, 5.0, 2.0, 1.0])
+            drops = np.array([0.0, 0.1, 0.3, 0.0])
+            utilities = [
+                problem.job_utility(i, replicas[i], drops[i])
+                for i in range(problem.num_jobs)
+            ]
+            if problem.objective.uses_drops:
+                from repro.core.penalty import penalty_multiplier_relaxed
+
+                utilities = [
+                    u * penalty_multiplier_relaxed(d)
+                    for u, d in zip(utilities, drops)
+                ]
+            expected = problem.objective.evaluate(utilities, problem._priorities)
+            assert problem.evaluate(replicas, drops) == pytest.approx(expected, abs=1e-12)
+
+    def test_chunking_does_not_change_rows(self):
+        problem = build_problem("fairsum")
+        rng = np.random.default_rng(7)
+        X = rng.uniform(0.0, 20.0, size=(5000, 4))  # crosses the chunk boundary
+        batched = problem.evaluate_many(X)
+        spot = [0, 2047, 2048, 4999]
+        for i in spot:
+            assert batched[i] == problem.evaluate(X[i])
+
+
+class TestUtilityTableCache:
+    def test_warm_cache_is_bit_identical(self):
+        jobs = [job("a", (12.0, 20.0)), job("b", (35.0,))]
+        capacity = ClusterCapacity.of_replicas(16)
+        cache = UtilityTableCache()
+        cold = AllocationProblem(jobs, capacity, make_objective("sum"), table_cache=cache)
+        assert cache.stats()["misses"] == 2 and cache.stats()["hits"] == 0
+        warm = AllocationProblem(jobs, capacity, make_objective("sum"), table_cache=cache)
+        assert cache.stats()["hits"] == 2
+        for t_cold, t_warm in zip(cold._tables, warm._tables):
+            assert t_cold is t_warm  # shared, not just equal
+        X = np.array([[3.0, 5.0], [1.5, 9.0]])
+        np.testing.assert_array_equal(cold.evaluate_many(X), warm.evaluate_many(X))
+
+    def test_warm_vs_cold_allocation_identical(self):
+        jobs = [job("a", (12.0, 20.0)), job("b", (35.0,)), job("c", (5.0,))]
+        capacity = ClusterCapacity.of_replicas(18)
+        shared = UtilityTableCache()
+        results = []
+        for _ in range(2):  # second build hits the cache
+            problem = AllocationProblem(
+                jobs, capacity, make_objective("fairsum"), table_cache=shared
+            )
+            results.append(solve_allocation(problem, method="cobyla"))
+        fresh = AllocationProblem(
+            jobs, capacity, make_objective("fairsum"), table_cache=UtilityTableCache()
+        )
+        results.append(solve_allocation(fresh, method="cobyla"))
+        for other in results[1:]:
+            np.testing.assert_array_equal(results[0].replicas, other.replicas)
+            assert results[0].objective_value == other.objective_value
+
+    def test_key_ignores_name_priority_and_minimums(self):
+        cache = UtilityTableCache()
+        a = job("a", (12.0,), priority=1.0)
+        b = job("b", (12.0,), priority=5.0, min_replicas=1)
+        AllocationProblem([a], ClusterCapacity.of_replicas(8), make_objective("sum"), table_cache=cache)
+        AllocationProblem([b], ClusterCapacity.of_replicas(8), make_objective("sum"), table_cache=cache)
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"], stats["entries"]) == (1, 1, 1)
+
+    def test_key_distinguishes_formulations(self):
+        cache = UtilityTableCache()
+        j = job("a", (12.0,))
+        cap = ClusterCapacity.of_replicas(8)
+        AllocationProblem([j], cap, make_objective("sum"), table_cache=cache)
+        AllocationProblem([j], cap, make_objective("sum"), relaxed=False, alpha=None, table_cache=cache)
+        AllocationProblem([j], cap, make_objective("penaltysum"), table_cache=cache)
+        assert cache.stats()["misses"] == 3
+
+    def test_maxsize_zero_disables_storage(self):
+        cache = UtilityTableCache(maxsize=0)
+        j = job("a", (12.0,))
+        cap = ClusterCapacity.of_replicas(8)
+        AllocationProblem([j], cap, make_objective("sum"), table_cache=cache)
+        AllocationProblem([j], cap, make_objective("sum"), table_cache=cache)
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"], stats["entries"]) == (0, 2, 0)
+
+    def test_lru_eviction(self):
+        cache = UtilityTableCache(maxsize=1)
+        cap = ClusterCapacity.of_replicas(8)
+        AllocationProblem([job("a", (12.0,))], cap, make_objective("sum"), table_cache=cache)
+        AllocationProblem([job("b", (13.0,))], cap, make_objective("sum"), table_cache=cache)
+        AllocationProblem([job("a", (12.0,))], cap, make_objective("sum"), table_cache=cache)
+        assert len(cache) == 1
+        assert cache.stats()["hits"] == 0  # each insert evicted the other
+
+
+class TestWarmStart:
+    def test_warm_start_vector_is_feasible(self):
+        problem = build_problem("sum")
+        cold = solve_allocation(problem, method="cobyla")
+        x0 = warm_start_vector(problem, cold)
+        assert problem.is_feasible(x0)
+
+    def test_warm_start_projects_oversized_previous_allocation(self):
+        # Previous cycle ran on a bigger cluster; its allocation must be
+        # projected into the new, tighter capacity.
+        jobs = [job("a", (20.0,)), job("b", (20.0,))]
+        big = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(40), make_objective("sum"),
+            table_cache=UtilityTableCache(),
+        )
+        prev = solve_allocation(big, method="greedy")
+        small = AllocationProblem(
+            jobs, ClusterCapacity.of_replicas(10), make_objective("sum"),
+            table_cache=UtilityTableCache(),
+        )
+        x0 = warm_start_vector(small, prev)
+        assert small.is_feasible(x0)
+        assert small.cpu_usage(x0) <= small.capacity.cpus + 1e-9
+
+    def test_warm_start_job_count_mismatch_raises(self):
+        problem = build_problem("sum")
+        other = AllocationProblem(
+            [job("x", (5.0,))], ClusterCapacity.of_replicas(4), make_objective("sum"),
+            table_cache=UtilityTableCache(),
+        )
+        prev = solve_allocation(other, method="greedy")
+        with pytest.raises(ValueError):
+            warm_start_vector(problem, prev)
+
+    def test_warm_start_parity_with_cold_start(self):
+        # On a stable problem (fixed seed), solving again from the previous
+        # allocation must land on the same integer allocation.
+        problem = build_problem("sum")
+        cold = solve_allocation(problem, method="cobyla", seed=0)
+        warm = solve_allocation(problem, method="cobyla", x0=cold, seed=0)
+        np.testing.assert_array_equal(cold.replicas, warm.replicas)
+        np.testing.assert_array_equal(cold.drops, warm.drops)
+        assert warm.objective_value == pytest.approx(cold.objective_value, abs=1e-9)
+
+    def test_warm_start_parity_with_drops(self):
+        problem = build_problem("penaltysum")
+        cold = solve_allocation(problem, method="cobyla", seed=0)
+        warm = solve_allocation(problem, method="cobyla", x0=cold, seed=0)
+        assert warm.objective_value == pytest.approx(cold.objective_value, abs=1e-9)
+        assert problem.is_feasible(warm.replicas)
+
+
+class TestDefaultStartRegression:
+    def test_tight_capacity_heterogeneous_cpu(self):
+        # Historical bug: scaling into capacity then re-flooring at
+        # min_replicas pushed CPU usage back above capacity.  Five jobs with
+        # min_replicas=1 and cpu_per_replica=3 under 16 CPUs: the fair share
+        # is > 1, scaling pulls everyone below 1.07, and flooring at the
+        # minimum used to land at 5 * 3 = 15 < 16 only by luck of these
+        # numbers -- with 4 CPUs per replica it overshot (5 * 4 = 20 > 16).
+        jobs = [
+            job(f"j{i}", (10.0,), cpu_per_replica=4.0, min_replicas=1)
+            for i in range(4)
+        ] + [job("light", (1.0,), cpu_per_replica=0.5)]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity(cpus=17.0, mem=100.0), make_objective("sum"),
+            table_cache=UtilityTableCache(),
+        )
+        x0 = _default_start(problem)
+        assert problem.cpu_usage(x0) <= problem.capacity.cpus + 1e-9
+        for j, x in zip(problem.jobs, x0):
+            assert x >= j.min_replicas - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        cpus=st.lists(st.floats(min_value=0.25, max_value=6.0), min_size=2, max_size=6),
+        slack=st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_default_start_always_feasible(self, cpus, slack):
+        jobs = [
+            job(f"j{i}", (10.0,), cpu_per_replica=c, min_replicas=1)
+            for i, c in enumerate(cpus)
+        ]
+        capacity = ClusterCapacity(cpus=sum(cpus) + slack, mem=1000.0)
+        problem = AllocationProblem(
+            jobs, capacity, make_objective("sum"), table_cache=UtilityTableCache()
+        )
+        x0 = _default_start(problem)
+        assert problem.is_feasible(x0)
+
+    def test_solvers_get_feasible_start_with_drops(self):
+        jobs = [job(f"j{i}", (30.0,), cpu_per_replica=2.5) for i in range(3)]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity(cpus=9.0, mem=100.0), make_objective("penaltysum"),
+            table_cache=UtilityTableCache(),
+        )
+        z0 = _default_start(problem)
+        assert z0.shape[0] == 2 * problem.num_jobs
+        assert problem.is_feasible(z0[: problem.num_jobs])
+
+
+class TestRoundingRegression:
+    def test_trim_prefers_expensive_replicas(self):
+        # One 8-CPU job at 2 replicas and four 1-CPU jobs at 5 replicas
+        # each: the floor uses 36 of 28 CPUs.  Footprint-aware trimming
+        # drops the single expensive replica (frees the whole 8-CPU excess);
+        # the old count-keyed trim would have evicted eight cheap replicas.
+        jobs = [job("big", (30.0,), cpu_per_replica=8.0)] + [
+            job(f"small{i}", (10.0,), cpu_per_replica=1.0) for i in range(4)
+        ]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity(cpus=28.0, mem=100.0), make_objective("sum"),
+            table_cache=UtilityTableCache(),
+        )
+        rounded = _round_allocation(problem, np.array([2.0, 5.0, 5.0, 5.0, 5.0]))
+        assert problem.is_feasible(rounded)
+        assert rounded[0] == 1  # the one expensive replica was evicted
+        assert all(r == 5 for r in rounded[1:])  # cheap replicas untouched
+
+    def test_mem_infeasible_minimums_raise_at_construction(self):
+        jobs = [job(f"j{i}", (5.0,), mem_per_replica=4.0, min_replicas=2) for i in range(3)]
+        with pytest.raises(ValueError, match="memory"):
+            AllocationProblem(
+                jobs, ClusterCapacity(cpus=100.0, mem=10.0), make_objective("sum"),
+                table_cache=UtilityTableCache(),
+            )
+
+    def test_rounded_solution_feasible_under_mem_pressure(self):
+        jobs = [
+            job("a", (25.0,), mem_per_replica=3.0),
+            job("b", (25.0,), mem_per_replica=1.0),
+        ]
+        problem = AllocationProblem(
+            jobs, ClusterCapacity(cpus=50.0, mem=12.0), make_objective("sum"),
+            table_cache=UtilityTableCache(),
+        )
+        allocation = solve_allocation(problem, method="cobyla")
+        assert problem.is_feasible(allocation.replicas)
+        assert problem.mem_usage(allocation.replicas) <= 12.0 + 1e-9
+
+
+class TestErlangPrefixCache:
+    def test_prefix_slice_matches_direct_computation(self):
+        rho = 0.93
+        large = erlang_c_at_rho(rho, 64)
+        small = erlang_c_at_rho(rho, 12)  # served by slicing the cached 64
+        np.testing.assert_array_equal(small, large[:12])
+        # And both match an uncached direct diagonal at the small size.
+        table = erlang_c_table(rho * np.arange(1, 13, dtype=float), 12)
+        direct = np.array([table[k - 1, k - 1] for k in range(1, 13)])
+        np.testing.assert_array_equal(small, direct)
+
+    def test_growth_preserves_prefix(self):
+        rho = 0.87
+        small = erlang_c_at_rho(rho, 6)
+        large = erlang_c_at_rho(rho, 40)  # forces regrowth
+        np.testing.assert_array_equal(small, large[:6])
+
+    def test_returned_arrays_are_independent(self):
+        a = erlang_c_at_rho(0.91, 8)
+        a_copy = a.copy()
+        a[:] = -1.0  # mutating the returned array must not poison the cache
+        b = erlang_c_at_rho(0.91, 8)
+        np.testing.assert_array_equal(b, a_copy)
