@@ -5,9 +5,8 @@ Mark 0.51, Faro 0.22 lost utility; Faro lowers violation rates 4x-23x.
 """
 
 from benchmarks.conftest import BENCH_MINUTES, BENCH_PROFILE, write_result
+from repro import api
 from repro.experiments.report import format_table, ratio
-from repro.experiments.runner import run_trials
-from repro.experiments.scenarios import mixed_model_scenario
 
 PAPER = {
     "fairshare": (1.26, 0.10),
@@ -17,19 +16,31 @@ PAPER = {
     "faro-fairsum": (0.22, 0.01),
 }
 
+#: The whole figure as a declarative spec -- the shape a spec file holds.
+FIG14_SPEC = api.ExperimentSpec.compare(
+    "fig14-mixed-models",
+    api.ScenarioSpec(
+        kind="mixed",
+        params={"total_replicas": 30, "duration_minutes": BENCH_MINUTES, "seed": 0},
+    ),
+    list(PAPER),
+    trials=1,
+    seed=0,
+    predictor_profile={
+        "epochs": BENCH_PROFILE.epochs,
+        "max_windows": BENCH_PROFILE.max_windows,
+        "input_size": BENCH_PROFILE.input_size,
+        "horizon": BENCH_PROFILE.horizon,
+        "hidden": BENCH_PROFILE.hidden,
+    },
+)
+
 
 def test_fig14_mixed_models(benchmark):
-    scenario = mixed_model_scenario(
-        total_replicas=30, duration_minutes=BENCH_MINUTES, seed=0
-    )
-
     def run():
-        return {
-            name: run_trials(
-                scenario, name, trials=1, seed=0, predictor_profile=BENCH_PROFILE
-            )
-            for name in PAPER
-        }
+        report = api.run(FIG14_SPEC)
+        (per_policy,) = report.stats.values()
+        return per_policy
 
     stats = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [

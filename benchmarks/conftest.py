@@ -17,9 +17,9 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import paper_scenario
+from repro import api
+from repro.api.runner import TrialStats
 from repro.experiments.policies import PredictorProfile
-from repro.experiments.runner import TrialStats, run_trials
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -56,9 +56,11 @@ class BenchCache:
     def scenario(self, size, minutes: int = BENCH_MINUTES, **kwargs):
         key = (size, minutes, tuple(sorted(kwargs.items())))
         if key not in self._scenarios:
-            self._scenarios[key] = paper_scenario(
-                size, duration_minutes=minutes, **kwargs
+            spec = api.ScenarioSpec(
+                kind="paper",
+                params={"size": size, "duration_minutes": minutes, **kwargs},
             )
+            self._scenarios[key] = spec.build()
         return self._scenarios[key]
 
     def run(
@@ -72,9 +74,9 @@ class BenchCache:
     ) -> TrialStats:
         key = (size, policy, minutes, simulator, trials, seed)
         if key not in self._runs:
-            self._runs[key] = run_trials(
+            self._runs[key] = api.run_policy(
                 self.scenario(size, minutes),
-                policy,
+                api.PolicySpec(name=policy, label=policy),
                 trials=trials,
                 simulator=simulator,
                 seed=seed,

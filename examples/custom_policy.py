@@ -1,18 +1,19 @@
-"""Writing a custom autoscaling policy against the public interface.
+"""Writing a custom autoscaling policy and plugging it into the registry.
 
 Any object implementing :class:`repro.policy.AutoscalePolicy` can drive the
 simulated cluster -- the same interface Faro and all paper baselines use.
-This example implements a simple "queue-proportional" policy and races it
-against Faro on a small scenario.
+This example implements a simple "queue-proportional" policy, registers it
+on the control-plane policy registry with ``@register_policy`` (typed
+options included), and races it against Faro through the same declarative
+``repro.api.run`` entry point the built-ins use.
 
 Run:  python examples/custom_policy.py
 """
 
 import math
+from dataclasses import dataclass
 
-from repro.experiments import paper_scenario
-from repro.experiments.policies import PredictorProfile
-from repro.experiments.runner import run_trials
+from repro import api
 from repro.policy import AutoscalePolicy, JobObservation, ScalingDecision
 
 
@@ -49,26 +50,43 @@ class QueueProportionalPolicy(AutoscalePolicy):
         return decision if decision.replicas else None
 
 
-def main() -> None:
-    scenario = paper_scenario("SO", num_jobs=6, duration_minutes=30, seed=1)
-    print(f"{len(scenario.jobs)} jobs on {scenario.total_replicas} replicas, 30 min")
-    print("-" * 60)
+@dataclass(frozen=True)
+class QueueProportionalOptions:
+    """Typed options: validated against spec-file 'options' keys."""
 
-    custom = run_trials(
-        scenario,
-        "custom",
+    min_replicas: int = 1
+
+
+@api.register_policy(
+    "queue-proportional",
+    kind="plugin",
+    description="Example plugin: scale to drain the queue within one SLO.",
+    config_type=QueueProportionalOptions,
+)
+def build_queue_proportional(scenario, seed, options):
+    options = options or QueueProportionalOptions()
+    return QueueProportionalPolicy(scenario.slos, min_replicas=options.min_replicas)
+
+
+def main() -> None:
+    spec = api.ExperimentSpec.compare(
+        "custom-vs-faro",
+        api.ScenarioSpec(
+            kind="paper", params={"size": "SO", "num_jobs": 6,
+                                  "duration_minutes": 30, "seed": 1}
+        ),
+        ["queue-proportional", "faro-fairsum"],
         trials=1,
         seed=0,
-        policy_factory=lambda sc, seed: QueueProportionalPolicy(sc.slos),
+        predictor_profile="fast",
     )
-    faro = run_trials(
-        scenario,
-        "faro-fairsum",
-        trials=1,
-        seed=0,
-        predictor_profile=PredictorProfile.fast(),
-    )
-    for label, stats in (("QueueProportional", custom), ("Faro-FairSum", faro)):
+    report = api.run(spec)
+    (scenario_name,) = report.scenario_names()
+    print(f"custom policy registered: "
+          f"{'queue-proportional' in api.get_registry()}")
+    print("-" * 60)
+    for label in report.policy_labels():
+        stats = report.get(scenario_name, label)
         print(
             f"{label:18s} lost-utility={stats.lost_utility_mean:5.2f} "
             f"violations={stats.violation_rate_mean:6.2%}"

@@ -11,9 +11,7 @@ Run:  python examples/multi_tenant_showdown.py            (~1-2 minutes)
 
 import numpy as np
 
-from repro.experiments import paper_scenario
-from repro.experiments.policies import PredictorProfile
-from repro.experiments.runner import run_trials
+from repro import api
 
 POLICIES = ("fairshare", "aiad", "mark", "faro-fairsum")
 MINUTES = 45
@@ -30,26 +28,35 @@ def sparkline(values: np.ndarray, lo: float, hi: float, width: int = 64) -> str:
 
 
 def main() -> None:
-    scenario = paper_scenario("SO", duration_minutes=MINUTES, seed=0)
-    print(
-        f"scenario: {len(scenario.jobs)} jobs, {scenario.total_replicas} replicas, "
-        f"{MINUTES} minutes of the evaluation day"
+    spec = api.ExperimentSpec.compare(
+        "multi-tenant-showdown",
+        api.ScenarioSpec(
+            kind="paper", params={"size": "SO", "duration_minutes": MINUTES, "seed": 0}
+        ),
+        list(POLICIES),
+        trials=1,
+        seed=0,
+        predictor_profile="fast",
     )
-    print("-" * 78)
-    profile = PredictorProfile.fast()
-    outcomes = {}
-    for policy in POLICIES:
-        stats = run_trials(scenario, policy, trials=1, seed=0, predictor_profile=profile)
-        outcomes[policy] = stats
+    def progress(event: api.RunEvent) -> None:
+        # The engine announces each scenario once, before any policy runs.
+        if event.stage == "scenario-start":
+            print(f"scenario: {event.detail} of the evaluation day")
+            print("-" * 78)
+
+    report = api.run(spec, progress=progress)
+    (outcomes,) = report.stats.values()
+    for policy, stats in outcomes.items():
         print(
             f"{policy:14s} lost-utility={stats.lost_utility_mean:5.2f}  "
             f"violations={stats.violation_rate_mean:6.2%}"
         )
     print("-" * 78)
+    num_jobs = len(outcomes[POLICIES[0]].results[0].jobs)
     print("cluster utility timelines (0 .. 10):")
     for policy, stats in outcomes.items():
         timeline = stats.results[0].cluster_utility_timeline()
-        print(f"  {policy:14s} [{sparkline(timeline, 0, len(scenario.jobs))}]")
+        print(f"  {policy:14s} [{sparkline(timeline, 0, num_jobs)}]")
     workload = outcomes[POLICIES[0]].results[0].workload_timeline()
     print(f"  {'workload':14s} [{sparkline(workload, workload.min(), workload.max())}]")
 

@@ -45,6 +45,7 @@ from repro.sim.faults import FaultConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "SLO",
     "step_utility",
     "inverse_utility",
@@ -83,6 +84,16 @@ __all__ = [
 ]
 
 
+def __getattr__(name: str):
+    # The control-plane API is imported lazily (PEP 562): it pulls in the
+    # experiment harness, which plain library users may never need.
+    if name == "api":
+        import repro.api
+
+        return repro.api
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def quickstart_faro(
     num_jobs: int = 4,
     total_replicas: int = 12,
@@ -94,31 +105,38 @@ def quickstart_faro(
 
     Builds a job mix of ResNet34 services with paper-default SLOs, drives
     them with synthetic Azure/Twitter traces, and autoscales with the hybrid
-    Faro controller.  Meant as a 'hello world' -- see ``examples/`` for the
-    full-size scenarios.
+    Faro controller (persistence predictor -- no training, so it starts
+    instantly).  Routed through the declarative control plane: the same
+    experiment, written to a file with ``spec.to_file(...)``, runs via
+    ``repro-faro run --spec``.  Meant as a 'hello world' -- see
+    ``examples/`` for the full-size scenarios.
     """
-    from repro.traces import standard_job_mix
+    from repro import api
 
-    mix = standard_job_mix(num_jobs=num_jobs, days=2, rate_hi=400.0, seed=seed)
-    jobs = [
-        InferenceJobSpec.with_default_slo(trace.name, RESNET34) for trace in mix
-    ]
-    traces = {trace.name: trace.eval[:minutes] for trace in mix}
-    capacity = ClusterCapacity.of_replicas(total_replicas)
-    faro = FaroAutoscaler(
-        jobs=[
-            JobSpec(name=j.name, slo=j.slo, proc_time=j.model.proc_time)
-            for j in jobs
-        ],
-        capacity=capacity,
-        config=FaroConfig(objective=objective, seed=seed),
+    spec = api.ExperimentSpec(
+        name="quickstart",
+        scenarios=(
+            api.ScenarioSpec(
+                kind="paper",
+                params={
+                    "size": total_replicas,
+                    "num_jobs": num_jobs,
+                    "duration_minutes": minutes,
+                    "days": 2,
+                    "rate_hi": 400.0,
+                    "eval_offset_minutes": 0,
+                    "seed": seed,
+                },
+            ),
+        ),
+        policies=(
+            api.PolicySpec(
+                name=f"faro-{objective}",
+                options={"use_trained_predictor": False},
+            ),
+        ),
+        trials=1,
+        seed=seed,
+        simulator="request",
     )
-    policy = HybridAutoscaler(faro)
-    simulation = Simulation(
-        jobs,
-        traces,
-        policy,
-        ResourceQuota.of_replicas(total_replicas),
-        config=SimulationConfig(duration_minutes=minutes, seed=seed),
-    )
-    return simulation.run()
+    return api.run(spec).single_result()

@@ -1,0 +1,81 @@
+"""The declarative control-plane API: the repro's single public surface.
+
+Three layers, one entry point:
+
+- **Policy registry** (:class:`PolicyRegistry`, :func:`register_policy`) --
+  every Faro variant, baseline, and controller is registered by name with
+  a typed options schema; user plugins extend the same catalog.
+- **Serializable specs** (:class:`ScenarioSpec`, :class:`PolicySpec`,
+  :class:`ExperimentSpec`) -- a whole comparison experiment is a frozen
+  value with lossless ``to_dict``/``from_dict`` and JSON/YAML file IO.
+- **Unified run engine** (:func:`run`) -- one code path drives trace
+  generation, predictor training, policy construction, and the simulator,
+  with progress/telemetry callbacks, and returns a :class:`RunReport`.
+
+Quickstart::
+
+    from repro import api
+
+    spec = api.ExperimentSpec.compare(
+        "demo",
+        api.ScenarioSpec(kind="paper", params={"size": "SO", "num_jobs": 4,
+                                               "duration_minutes": 20}),
+        ["fairshare", "aiad", "faro-fairsum"],
+        simulator="flow",
+    )
+    report = api.run(spec)
+    print(report.describe())
+
+The same spec, written with ``spec.to_file("demo.json")``, runs from the
+command line via ``repro-faro run --spec demo.json``.
+"""
+
+from repro.api.registry import (
+    PolicyInfo,
+    PolicyRegistry,
+    get_registry,
+    register_policy,
+)
+from repro.api.spec import SPEC_VERSION, ExperimentSpec, PolicySpec, ScenarioSpec
+from repro.api.scenarios import (
+    ScenarioInfo,
+    ScenarioRegistry,
+    build_scenario,
+    get_scenario_registry,
+    register_scenario,
+)
+from repro.api.runner import (
+    ProgressCallback,
+    RunEvent,
+    RunReport,
+    TrialStats,
+    execute_trials,
+    run,
+    run_policy,
+)
+
+# Populate the default registries with every built-in policy.
+import repro.api.builtin  # noqa: E402,F401  (imported for registration side effects)
+
+__all__ = [
+    "SPEC_VERSION",
+    "ScenarioSpec",
+    "PolicySpec",
+    "ExperimentSpec",
+    "PolicyInfo",
+    "PolicyRegistry",
+    "register_policy",
+    "get_registry",
+    "ScenarioInfo",
+    "ScenarioRegistry",
+    "register_scenario",
+    "get_scenario_registry",
+    "build_scenario",
+    "RunEvent",
+    "ProgressCallback",
+    "RunReport",
+    "TrialStats",
+    "execute_trials",
+    "run_policy",
+    "run",
+]

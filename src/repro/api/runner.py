@@ -1,0 +1,393 @@
+"""The unified run engine: one code path from spec to results.
+
+:func:`run` drives the whole pipeline -- scenario construction (trace
+generation), policy construction through the registry (including predictor
+training), and multi-trial simulation -- and returns a :class:`RunReport`.
+The legacy ``repro.experiments.runner.run_trials``/``compare_policies``
+entry points are thin shims over the same :func:`execute_trials` core, so
+spec-driven runs and legacy calls with equal settings produce bit-identical
+results (same seeds -> same summary statistics).
+
+Telemetry: pass ``progress=callback`` to receive :class:`RunEvent` values
+at scenario/policy/trial boundaries (the CLI uses this for live output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.api.registry import get_registry
+from repro.api.spec import ExperimentSpec, PolicySpec
+from repro.cluster.kubernetes import ResourceQuota
+from repro.experiments.scenarios import Scenario
+from repro.sim.analytic import FlowSimulation
+from repro.sim.recorder import SimulationResult
+from repro.sim.simulation import Simulation, SimulationConfig
+
+__all__ = [
+    "RunEvent",
+    "ProgressCallback",
+    "TrialStats",
+    "RunReport",
+    "execute_trials",
+    "run_policy",
+    "run",
+]
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One progress/telemetry event emitted by the run engine.
+
+    ``stage`` is one of ``scenario-start``, ``policy-start``,
+    ``trial-start``, ``trial-end``, ``policy-end``, ``scenario-end``,
+    ``run-end``.
+    """
+
+    stage: str
+    scenario: str | None = None
+    policy: str | None = None
+    trial: int | None = None
+    trials: int | None = None
+    detail: str = ""
+
+
+ProgressCallback = Callable[[RunEvent], None]
+
+
+def _emit(progress: ProgressCallback | None, event: RunEvent) -> None:
+    if progress is not None:
+        progress(event)
+
+
+@dataclass
+class TrialStats:
+    """Mean/SD of the headline metrics over trials for one policy."""
+
+    policy: str
+    lost_utility_mean: float
+    lost_utility_sd: float
+    lost_effective_mean: float
+    lost_effective_sd: float
+    violation_rate_mean: float
+    violation_rate_sd: float
+    results: list[SimulationResult] = field(default_factory=list)
+
+    @classmethod
+    def from_results(cls, policy: str, results: list[SimulationResult]) -> "TrialStats":
+        lost = np.array([r.avg_lost_cluster_utility for r in results])
+        lost_eff = np.array([r.avg_lost_effective_utility for r in results])
+        viol = np.array([r.cluster_slo_violation_rate for r in results])
+        return cls(
+            policy=policy,
+            lost_utility_mean=float(lost.mean()),
+            lost_utility_sd=float(lost.std()),
+            lost_effective_mean=float(lost_eff.mean()),
+            lost_effective_sd=float(lost_eff.std()),
+            violation_rate_mean=float(viol.mean()),
+            violation_rate_sd=float(viol.std()),
+            results=results,
+        )
+
+    def to_summary_dict(self) -> dict[str, float]:
+        """Headline metrics only (JSON-safe; drops the raw results)."""
+        return {
+            "policy": self.policy,
+            "lost_utility_mean": self.lost_utility_mean,
+            "lost_utility_sd": self.lost_utility_sd,
+            "lost_effective_mean": self.lost_effective_mean,
+            "lost_effective_sd": self.lost_effective_sd,
+            "violation_rate_mean": self.violation_rate_mean,
+            "violation_rate_sd": self.violation_rate_sd,
+        }
+
+
+def execute_trials(
+    scenario: Scenario,
+    policy_label: str,
+    policy_factory: Callable[[Scenario, int], Any],
+    *,
+    trials: int = 1,
+    simulator: str = "request",
+    seed: int = 0,
+    sim_overrides: Mapping[str, Any] | None = None,
+    progress: ProgressCallback | None = None,
+) -> TrialStats:
+    """Run one policy for several trials and aggregate its metrics.
+
+    This is the single trial loop every entry point shares.  Trial ``t``
+    uses seed ``seed + 1000 * t`` for both policy construction and the
+    simulator, so any two routes into this function with equal arguments
+    produce identical results.
+    """
+    if simulator not in ("request", "flow"):
+        raise ValueError(f"unknown simulator {simulator!r}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    results = []
+    for trial in range(trials):
+        trial_seed = seed + 1000 * trial
+        _emit(
+            progress,
+            RunEvent(
+                stage="trial-start",
+                scenario=scenario.name,
+                policy=policy_label,
+                trial=trial,
+                trials=trials,
+            ),
+        )
+        policy = policy_factory(scenario, trial_seed)
+        config = SimulationConfig(
+            duration_minutes=scenario.duration_minutes,
+            rate_scale=scenario.rate_scale,
+            seed=trial_seed,
+            **dict(sim_overrides or {}),
+        )
+        quota = ResourceQuota.of_replicas(scenario.total_replicas)
+        sim_cls = Simulation if simulator == "request" else FlowSimulation
+        simulation = sim_cls(
+            scenario.jobs,
+            scenario.eval_traces,
+            policy,
+            quota,
+            config=config,
+            history_prefix=scenario.history_prefix or None,
+        )
+        result = simulation.run()
+        result.policy_name = getattr(policy, "name", policy_label)
+        results.append(result)
+        _emit(
+            progress,
+            RunEvent(
+                stage="trial-end",
+                scenario=scenario.name,
+                policy=policy_label,
+                trial=trial,
+                trials=trials,
+                detail=f"lost_utility={result.avg_lost_cluster_utility:.3f}",
+            ),
+        )
+    return TrialStats.from_results(policy_label, results)
+
+
+def run_policy(
+    scenario: Scenario,
+    policy: PolicySpec | str,
+    *,
+    trials: int = 1,
+    simulator: str = "request",
+    seed: int = 0,
+    predictor_profile: Any = None,
+    sim_overrides: Mapping[str, Any] | None = None,
+    progress: ProgressCallback | None = None,
+) -> TrialStats:
+    """Run one registered policy (by spec or name) on a built scenario.
+
+    ``predictor_profile`` is an experiment-level default: it is injected
+    into the policy's options only when the policy's config type has a
+    ``predictor_profile`` field and the spec does not already set one.
+    """
+    if isinstance(policy, str):
+        policy = PolicySpec(name=policy)
+    registry = get_registry()
+    info = registry.get(policy.name)
+    options = dict(policy.options)
+    if (
+        predictor_profile is not None
+        and info.config_type is not None
+        and "predictor_profile" in {f_name for f_name, _ in info.option_fields()}
+        and options.get("predictor_profile") is None
+    ):
+        options["predictor_profile"] = predictor_profile
+    config = registry.parse_options(policy.name, options)
+
+    def factory(sc: Scenario, trial_seed: int):
+        return info.builder(sc, trial_seed, config)
+
+    return execute_trials(
+        scenario,
+        policy.display_label,
+        factory,
+        trials=trials,
+        simulator=simulator,
+        seed=seed,
+        sim_overrides=sim_overrides,
+        progress=progress,
+    )
+
+
+def _validate_spec(spec: ExperimentSpec) -> None:
+    """Resolve every name/option in ``spec`` before any simulation runs.
+
+    A typo'd policy name or option must fail in milliseconds, not after
+    earlier scenarios have burned hours of simulation.  (Duplicate built
+    scenario *names* can only be detected at build time and stay checked
+    in the run loop.)
+    """
+    from repro.api.scenarios import get_scenario_registry
+
+    registry = get_registry()
+    for policy in spec.policies:
+        registry.parse_options(policy.name, policy.options)
+    scenario_registry = get_scenario_registry()
+    for scenario_spec in spec.scenarios:
+        info = scenario_registry.get(scenario_spec.kind)
+        unknown = set(scenario_spec.params) - set(info.param_names())
+        if unknown:
+            raise ValueError(
+                f"unknown parameter(s) {sorted(unknown)} for scenario kind "
+                f"{info.name!r}; accepted: {sorted(info.param_names())}"
+            )
+
+
+@dataclass
+class RunReport:
+    """All results of one :func:`run`: per-scenario, per-policy stats.
+
+    ``stats`` maps scenario name -> policy label -> :class:`TrialStats`,
+    in spec order.
+    """
+
+    spec: ExperimentSpec
+    stats: dict[str, dict[str, TrialStats]] = field(default_factory=dict)
+
+    def get(self, scenario: str, policy: str) -> TrialStats:
+        try:
+            return self.stats[scenario][policy]
+        except KeyError:
+            raise KeyError(
+                f"no stats for scenario {scenario!r} / policy {policy!r}; "
+                f"have scenarios {list(self.stats)}"
+            ) from None
+
+    def scenario_names(self) -> tuple[str, ...]:
+        return tuple(self.stats)
+
+    def policy_labels(self) -> tuple[str, ...]:
+        return tuple(p.display_label for p in self.spec.policies)
+
+    def best_policy(self, scenario: str) -> str:
+        """Policy label with the lowest mean lost cluster utility."""
+        per_policy = self.stats[scenario]
+        return min(per_policy, key=lambda p: per_policy[p].lost_utility_mean)
+
+    def single_result(self) -> SimulationResult:
+        """The lone SimulationResult of a 1-scenario/1-policy/1-trial run."""
+        if (
+            len(self.stats) != 1
+            or len(next(iter(self.stats.values()))) != 1
+            or self.spec.trials != 1
+        ):
+            raise ValueError(
+                "single_result() needs exactly one scenario, policy, and trial"
+            )
+        return next(iter(next(iter(self.stats.values())).values())).results[0]
+
+    def summary_rows(self) -> list[list]:
+        """Table rows: scenario, policy, lost utility (mean/sd), violations."""
+        rows = []
+        for scenario, per_policy in self.stats.items():
+            for label, st in per_policy.items():
+                rows.append(
+                    [
+                        scenario,
+                        label,
+                        f"{st.lost_utility_mean:.3f}",
+                        f"{st.lost_utility_sd:.3f}",
+                        f"{st.violation_rate_mean:.4f}",
+                    ]
+                )
+        return rows
+
+    def describe(self) -> str:
+        """Human-readable summary table of the whole run."""
+        from repro.experiments.report import format_table
+
+        return format_table(
+            ["scenario", "policy", "lost utility", "sd", "violation rate"],
+            self.summary_rows(),
+            title=f"Experiment {self.spec.name!r} "
+            f"({self.spec.trials} trial(s), {self.spec.simulator} simulator)",
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe report: the spec plus summary statistics per cell."""
+        return {
+            "spec": self.spec.to_dict(),
+            "stats": {
+                scenario: {
+                    label: st.to_summary_dict() for label, st in per_policy.items()
+                }
+                for scenario, per_policy in self.stats.items()
+            },
+        }
+
+
+def run(
+    spec: ExperimentSpec | str | Path,
+    progress: ProgressCallback | None = None,
+) -> RunReport:
+    """Run a whole experiment spec and return its :class:`RunReport`.
+
+    ``spec`` may be an :class:`ExperimentSpec` or a path to a JSON/YAML
+    spec file.  Scenarios run in spec order; within a scenario, policies
+    run in spec order, each for ``spec.trials`` trials.
+    """
+    if isinstance(spec, (str, Path)):
+        spec = ExperimentSpec.from_file(spec)
+    _validate_spec(spec)
+    report = RunReport(spec=spec)
+    for scenario_spec in spec.scenarios:
+        scenario = scenario_spec.build()
+        _emit(
+            progress,
+            RunEvent(
+                stage="scenario-start",
+                scenario=scenario.name,
+                detail=f"{len(scenario.jobs)} jobs, "
+                f"{scenario.total_replicas} replicas, "
+                f"{scenario.duration_minutes} minutes",
+            ),
+        )
+        if scenario.name in report.stats:
+            raise ValueError(
+                f"duplicate scenario name {scenario.name!r}; set ScenarioSpec.name "
+                "to disambiguate repeated kinds"
+            )
+        per_policy: dict[str, TrialStats] = {}
+        for policy_spec in spec.policies:
+            label = policy_spec.display_label
+            _emit(
+                progress,
+                RunEvent(stage="policy-start", scenario=scenario.name, policy=label),
+            )
+            stats = run_policy(
+                scenario,
+                policy_spec,
+                trials=spec.trials,
+                simulator=spec.simulator,
+                seed=spec.seed,
+                predictor_profile=spec.predictor_profile,
+                sim_overrides=spec.sim_overrides,
+                progress=progress,
+            )
+            per_policy[label] = stats
+            _emit(
+                progress,
+                RunEvent(
+                    stage="policy-end",
+                    scenario=scenario.name,
+                    policy=label,
+                    detail=f"lost_utility={stats.lost_utility_mean:.3f} "
+                    f"violations={stats.violation_rate_mean:.4f}",
+                ),
+            )
+        report.stats[scenario.name] = per_policy
+        _emit(progress, RunEvent(stage="scenario-end", scenario=scenario.name))
+    _emit(progress, RunEvent(stage="run-end", detail=f"{len(report.stats)} scenario(s)"))
+    return report

@@ -1,0 +1,163 @@
+"""Scenario registry: named, parameterized cluster/workload setups.
+
+A :class:`~repro.api.spec.ScenarioSpec` names a registered scenario *kind*
+plus keyword parameters; :func:`build_scenario` resolves the kind here and
+calls the factory.  The built-in kinds wrap the paper's setups
+(:mod:`repro.experiments.scenarios`); plugins may register new kinds with
+:func:`register_scenario` -- any callable returning a
+:class:`~repro.experiments.scenarios.Scenario` qualifies.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
+
+from repro.experiments.scenarios import (
+    large_scale_scenario,
+    mixed_model_scenario,
+    paper_scenario,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.spec import ScenarioSpec
+    from repro.experiments.scenarios import Scenario
+
+__all__ = [
+    "ScenarioInfo",
+    "ScenarioRegistry",
+    "register_scenario",
+    "get_scenario_registry",
+    "build_scenario",
+]
+
+ScenarioFactory = Callable[..., "Scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioInfo:
+    """One registered scenario kind."""
+
+    name: str
+    description: str
+    factory: ScenarioFactory
+
+    def param_names(self) -> tuple[str, ...]:
+        """Keyword parameters the factory accepts (for validation/CLI)."""
+        sig = inspect.signature(self.factory)
+        return tuple(
+            p.name
+            for p in sig.parameters.values()
+            if p.kind
+            in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        )
+
+    def param_defaults(self) -> dict[str, Any]:
+        sig = inspect.signature(self.factory)
+        return {
+            p.name: p.default
+            for p in sig.parameters.values()
+            if p.default is not inspect.Parameter.empty
+        }
+
+
+class ScenarioRegistry:
+    """Name -> :class:`ScenarioInfo`, case-insensitive, registration order."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, ScenarioInfo] = {}
+
+    def register(
+        self, name: str, *, description: str = ""
+    ) -> Callable[[ScenarioFactory], ScenarioFactory]:
+        def decorator(factory: ScenarioFactory) -> ScenarioFactory:
+            key = name.lower()
+            if key in self._entries:
+                raise ValueError(f"scenario kind {name!r} is already registered")
+            self._entries[key] = ScenarioInfo(
+                name=name, description=description, factory=factory
+            )
+            return factory
+
+        return decorator
+
+    def unregister(self, name: str) -> None:
+        self.get(name)
+        del self._entries[name.lower()]
+
+    def get(self, name: str) -> ScenarioInfo:
+        info = self._entries.get(str(name).lower())
+        if info is None:
+            known = ", ".join(sorted(self._entries))
+            raise ValueError(f"unknown scenario kind {name!r}; registered: {known}")
+        return info
+
+    def __contains__(self, name: object) -> bool:
+        return str(name).lower() in self._entries
+
+    def __iter__(self) -> Iterator[ScenarioInfo]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(info.name for info in self)
+
+    def build(self, kind: str, params: Mapping[str, Any] | None = None) -> "Scenario":
+        """Build a scenario of ``kind``; unknown parameters raise ValueError."""
+        info = self.get(kind)
+        params = dict(params or {})
+        accepted = set(info.param_names())
+        unknown = set(params) - accepted
+        if unknown:
+            raise ValueError(
+                f"unknown parameter(s) {sorted(unknown)} for scenario kind "
+                f"{info.name!r}; accepted: {sorted(accepted)}"
+            )
+        return info.factory(**params)
+
+
+_DEFAULT_SCENARIOS = ScenarioRegistry()
+
+
+def get_scenario_registry() -> ScenarioRegistry:
+    """The process-wide default :class:`ScenarioRegistry`."""
+    return _DEFAULT_SCENARIOS
+
+
+def register_scenario(
+    name: str, *, description: str = ""
+) -> Callable[[ScenarioFactory], ScenarioFactory]:
+    """Register a scenario factory on the default registry (decorator)."""
+    return _DEFAULT_SCENARIOS.register(name, description=description)
+
+
+def build_scenario(spec: "ScenarioSpec") -> "Scenario":
+    """Materialize a :class:`ScenarioSpec` into a concrete scenario."""
+    scenario = _DEFAULT_SCENARIOS.build(spec.kind, spec.params)
+    if spec.name:
+        scenario.name = spec.name
+    return scenario
+
+
+# ------------------------------------------------------- built-in kinds
+
+register_scenario(
+    "paper",
+    description=(
+        "The paper's main setup (§6): N ResNet34 jobs on Azure+Twitter "
+        "traces; size RS(36)/SO(32)/HO(16) or an explicit replica count."
+    ),
+)(paper_scenario)
+
+register_scenario(
+    "mixed",
+    description="Mixed workload (§6.3): alternating ResNet18/ResNet34 jobs.",
+)(mixed_model_scenario)
+
+register_scenario(
+    "large-scale",
+    description="Large-scale workloads (§6.5): duplicated job mixes.",
+)(large_scale_scenario)

@@ -1,0 +1,343 @@
+"""Serializable experiment specs: scenarios, policies, whole experiments.
+
+A complete comparison experiment -- which scenarios, which policies with
+which options, how many trials, which simulator, which seeds -- is a value,
+not code.  The three frozen dataclasses here round-trip losslessly through
+``to_dict``/``from_dict`` and JSON/YAML files, so an experiment is a
+reviewable artifact::
+
+    spec = ExperimentSpec.from_file("specs/paper_headline.json")
+    report = repro.api.run(spec)
+
+Spec-file shape (JSON shown; YAML is accepted with the same keys)::
+
+    {
+      "version": 1,
+      "name": "headline",
+      "scenarios": [{"kind": "paper", "params": {"size": "SO"}}],
+      "policies": [{"name": "fairshare"},
+                   {"name": "faro-fairsum", "options": {"hybrid": true}}],
+      "trials": 1,
+      "seed": 0,
+      "simulator": "request",
+      "predictor_profile": "fast"
+    }
+
+Unknown keys raise ``ValueError`` everywhere: a typo in a spec file fails
+at load time, not as a silently-ignored setting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["SPEC_VERSION", "ScenarioSpec", "PolicySpec", "ExperimentSpec"]
+
+#: Current spec-file schema version.
+SPEC_VERSION = 1
+
+_SIMULATORS = ("request", "flow")
+
+
+def _plain(value: Any) -> Any:
+    """Deep-copy ``value`` into plain JSON types (tuples become lists)."""
+    if isinstance(value, Mapping):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(f"value {value!r} is not JSON-serializable")
+
+
+def _normalize(value: Any) -> Any:
+    """Canonicalize spec containers at construction time.
+
+    Tuples become lists and mapping keys become strings -- the shapes JSON
+    produces -- so ``from_dict(to_dict(spec)) == spec`` holds even when the
+    caller passed tuples (e.g. ``sim_overrides={"cold_start_range":
+    (5.0, 5.0)}``).  Unlike :func:`_plain`, rich non-JSON values (such as a
+    ``PredictorProfile`` passed programmatically) are left untouched; they
+    only fail later, at ``to_dict`` time, if actually serialized.
+    """
+    if isinstance(value, Mapping):
+        return {str(k): _normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v) for v in value]
+    return value
+
+
+def _check_keys(data: Mapping[str, Any], allowed: set[str], what: str) -> None:
+    unknown = set(data) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {sorted(unknown)} in {what}; accepted: {sorted(allowed)}"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A scenario as a value: registered kind + factory parameters.
+
+    ``name`` optionally overrides the built scenario's display name (useful
+    when the same kind appears twice with different parameters).
+    """
+
+    kind: str = "paper"
+    params: dict[str, Any] = field(default_factory=dict)
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("scenario kind must be non-empty")
+        object.__setattr__(self, "params", _normalize(self.params))
+
+    def build(self):
+        """Materialize into a :class:`~repro.experiments.scenarios.Scenario`."""
+        from repro.api.scenarios import build_scenario
+
+        return build_scenario(self)
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"kind": self.kind, "params": _plain(self.params)}
+        if self.name is not None:
+            data["name"] = self.name
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        _check_keys(data, {"kind", "params", "name"}, "scenario spec")
+        return cls(
+            kind=data.get("kind", "paper"),
+            params=dict(data.get("params", {})),
+            name=data.get("name"),
+        )
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A policy as a value: registry name + typed options.
+
+    ``options`` is validated against the policy's registered config type at
+    build time (see :meth:`repro.api.PolicyRegistry.parse_options`).
+    ``label`` overrides the name used in reports, so one policy can appear
+    twice with different options.
+    """
+
+    name: str
+    options: dict[str, Any] = field(default_factory=dict)
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("policy name must be non-empty")
+        object.__setattr__(self, "options", _normalize(self.options))
+
+    @property
+    def display_label(self) -> str:
+        return self.label if self.label is not None else self.name
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"name": self.name}
+        if self.options:
+            data["options"] = _plain(self.options)
+        if self.label is not None:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any] | str) -> "PolicySpec":
+        if isinstance(data, str):
+            return cls(name=data)
+        _check_keys(data, {"name", "options", "label"}, "policy spec")
+        if "name" not in data:
+            raise ValueError("policy spec requires a 'name'")
+        return cls(
+            name=data["name"],
+            options=dict(data.get("options", {})),
+            label=data.get("label"),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A whole experiment: scenarios x policies x trials, plus run settings.
+
+    ``predictor_profile`` is the shared training budget for policies that
+    use trained workload predictors: ``"fast"``, ``"paper"``, a mapping of
+    :class:`~repro.experiments.policies.PredictorProfile` fields, or
+    ``None`` (policy defaults).  Per-policy options may still override it.
+    ``sim_overrides`` passes extra
+    :class:`~repro.sim.simulation.SimulationConfig` fields (e.g.
+    ``cold_start_range``, ``faults``) through to every trial.
+    """
+
+    name: str
+    scenarios: tuple[ScenarioSpec, ...]
+    policies: tuple[PolicySpec, ...]
+    trials: int = 1
+    seed: int = 0
+    simulator: str = "request"
+    predictor_profile: str | dict[str, Any] | None = None
+    sim_overrides: dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("experiment name must be non-empty")
+        scenarios = tuple(
+            s if isinstance(s, ScenarioSpec) else ScenarioSpec.from_dict(s)
+            for s in self.scenarios
+        )
+        policies = tuple(
+            p if isinstance(p, PolicySpec) else PolicySpec.from_dict(p)
+            for p in self.policies
+        )
+        if not scenarios:
+            raise ValueError("experiment needs at least one scenario")
+        if not policies:
+            raise ValueError("experiment needs at least one policy")
+        labels = [p.display_label for p in policies]
+        if len(set(labels)) != len(labels):
+            raise ValueError(
+                f"policy labels must be unique, got {labels}; "
+                "set 'label' to disambiguate repeated policies"
+            )
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if self.simulator not in _SIMULATORS:
+            raise ValueError(
+                f"unknown simulator {self.simulator!r}; expected one of {_SIMULATORS}"
+            )
+        object.__setattr__(self, "scenarios", scenarios)
+        object.__setattr__(self, "policies", policies)
+        object.__setattr__(self, "sim_overrides", _normalize(self.sim_overrides))
+        if isinstance(self.predictor_profile, (Mapping, list, tuple)):
+            object.__setattr__(
+                self, "predictor_profile", _normalize(self.predictor_profile)
+            )
+
+    # ------------------------------------------------------- construction
+
+    @classmethod
+    def compare(
+        cls,
+        name: str,
+        scenario: ScenarioSpec | Sequence[ScenarioSpec],
+        policies: Sequence[PolicySpec | str],
+        **settings: Any,
+    ) -> "ExperimentSpec":
+        """Convenience: one-or-more scenarios x a list of policy names/specs."""
+        scenarios = (
+            (scenario,) if isinstance(scenario, ScenarioSpec) else tuple(scenario)
+        )
+        specs = tuple(
+            p if isinstance(p, PolicySpec) else PolicySpec(name=p) for p in policies
+        )
+        return cls(name=name, scenarios=scenarios, policies=specs, **settings)
+
+    # ------------------------------------------------------ serialization
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": SPEC_VERSION,
+            "name": self.name,
+            "description": self.description,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+            "policies": [p.to_dict() for p in self.policies],
+            "trials": self.trials,
+            "seed": self.seed,
+            "simulator": self.simulator,
+            "predictor_profile": _plain(self.predictor_profile),
+            "sim_overrides": _plain(self.sim_overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        _check_keys(
+            data,
+            {
+                "version",
+                "name",
+                "description",
+                "scenarios",
+                "policies",
+                "trials",
+                "seed",
+                "simulator",
+                "predictor_profile",
+                "sim_overrides",
+            },
+            "experiment spec",
+        )
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"unsupported spec version {version!r}; this build reads "
+                f"version {SPEC_VERSION}"
+            )
+        if "name" not in data:
+            raise ValueError("experiment spec requires a 'name'")
+        profile = data.get("predictor_profile")
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            scenarios=tuple(
+                ScenarioSpec.from_dict(s) for s in data.get("scenarios", ())
+            ),
+            policies=tuple(PolicySpec.from_dict(p) for p in data.get("policies", ())),
+            trials=int(data.get("trials", 1)),
+            seed=int(data.get("seed", 0)),
+            simulator=data.get("simulator", "request"),
+            predictor_profile=(
+                dict(profile) if isinstance(profile, Mapping) else profile
+            ),
+            sim_overrides=dict(data.get("sim_overrides", {})),
+        )
+
+    # ------------------------------------------------------------ file IO
+
+    def to_file(self, path: str | Path) -> Path:
+        """Write the spec as JSON (default) or YAML (``.yaml``/``.yml``)."""
+        path = Path(path)
+        data = self.to_dict()
+        if path.suffix.lower() in (".yaml", ".yml"):
+            path.write_text(_yaml().safe_dump(data, sort_keys=False))
+        else:
+            path.write_text(json.dumps(data, indent=2) + "\n")
+        return path
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ExperimentSpec":
+        """Load a spec from a JSON or YAML file (decided by suffix)."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix.lower() in (".yaml", ".yml"):
+            yaml = _yaml()
+            try:
+                data = yaml.safe_load(text)
+            except yaml.YAMLError as exc:
+                raise ValueError(f"invalid YAML in {path}: {exc}") from exc
+        else:
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"invalid JSON in {path}: {exc}") from exc
+        if not isinstance(data, Mapping):
+            raise ValueError(f"spec file {path} must contain a mapping")
+        return cls.from_dict(data)
+
+
+def _yaml():
+    """PyYAML, imported lazily so JSON-only installs still work."""
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise RuntimeError(
+            "YAML spec files need the optional 'pyyaml' package; "
+            "use JSON specs instead"
+        ) from exc
+    return yaml

@@ -1,11 +1,13 @@
 """Command-line interface for the Faro reproduction.
 
-Four subcommands cover the workflows a user reaches for first:
+Six subcommands cover the workflows a user reaches for first:
 
-- ``run``      -- one policy on one paper scenario; prints the headline
-  metrics and an optional cluster-utility timeline chart.
+- ``run``      -- one policy on one paper scenario, or (with ``--spec``)
+  a whole declarative experiment file driven through ``repro.api.run``.
 - ``compare``  -- several policies on the same scenario side by side
   (the Fig. 10 / Table 3 workflow).
+- ``policies`` -- list/inspect the policy registry (built-ins + plugins).
+- ``scenarios``-- list the registered scenario kinds and their parameters.
 - ``traces``   -- generate, describe, or export the synthetic Azure/Twitter
   workload mixes.
 - ``forecast`` -- train a workload forecaster and report its rolling
@@ -59,11 +61,52 @@ def _scenario_from_args(args: argparse.Namespace):
     )
 
 
+def _progress_printer(verbose: bool):
+    """Progress callback for spec-driven runs: one line per boundary event."""
+
+    def on_event(event) -> None:
+        if event.stage == "scenario-start":
+            print(f"[scenario] {event.scenario}: {event.detail}")
+        elif event.stage == "policy-end":
+            print(f"  [policy] {event.policy}: {event.detail}")
+        elif verbose and event.stage == "trial-end":
+            print(f"    [trial {event.trial + 1}/{event.trials}] {event.detail}")
+
+    return on_event
+
+
+def _cmd_run_spec(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import api
+
+    try:
+        spec = api.ExperimentSpec.from_file(args.spec)
+    except (OSError, ValueError, RuntimeError) as exc:
+        print(f"error: cannot load spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = api.run(spec, progress=_progress_printer(args.verbose))
+    except ValueError as exc:
+        # Unknown policies/options/scenario parameters are caught by the
+        # engine's pre-run validation before any simulation starts.
+        print(f"error: invalid spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(report.describe())
+    if args.report:
+        Path(args.report).write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"\nwrote report JSON to {args.report}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.plotting import ascii_timeline
     from repro.experiments.report import format_table
     from repro.experiments.runner import run_trials
 
+    if args.spec:
+        return _cmd_run_spec(args)
     scenario = _scenario_from_args(args)
     stats = run_trials(
         scenario,
@@ -150,6 +193,82 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 title="Lost cluster utility (lower is better)",
             )
         )
+    return 0
+
+
+# -------------------------------------------------- policies / scenarios
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.experiments.report import format_table
+
+    registry = api.get_registry()
+    if args.action == "list":
+        infos = registry.infos(kind=args.kind or None)
+        if not infos:
+            print(f"no policies registered for kind {args.kind!r}", file=sys.stderr)
+            return 2
+        rows = [
+            [
+                info.name,
+                info.kind,
+                ",".join(info.aliases) or "-",
+                info.description,
+            ]
+            for info in infos
+        ]
+        print(
+            format_table(
+                ["policy", "kind", "aliases", "description"],
+                rows,
+                title=f"Registered policies ({len(infos)})",
+            )
+        )
+        return 0
+    # action == "show"
+    if not args.name:
+        print("error: show requires a policy name", file=sys.stderr)
+        return 2
+    try:
+        info = registry.get(args.name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{info.name} (kind={info.kind})")
+    print(f"  {info.description}")
+    if info.aliases:
+        print(f"  aliases: {', '.join(info.aliases)}")
+    options = info.option_fields()
+    if options:
+        print("  options (spec-file 'options' keys):")
+        for field_name, default in options:
+            print(f"    {field_name} = {default!r}")
+    else:
+        print("  options: none")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.experiments.report import format_table
+
+    registry = api.get_scenario_registry()
+    rows = []
+    for info in registry:
+        defaults = info.param_defaults()
+        params = ", ".join(
+            f"{name}={defaults[name]!r}" if name in defaults else name
+            for name in info.param_names()
+        )
+        rows.append([info.name, info.description, params])
+    print(
+        format_table(
+            ["kind", "description", "parameters"],
+            rows,
+            title=f"Registered scenario kinds ({len(rows)})",
+        )
+    )
     return 0
 
 
@@ -283,10 +402,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("run", help="run one policy on a paper scenario")
+    run = sub.add_parser(
+        "run", help="run one policy on a paper scenario, or a whole spec file"
+    )
     run.add_argument("--policy", default="faro-fairsum", help="policy name (see compare)")
     _add_scenario_args(run)
     run.add_argument("--chart", action="store_true", help="print a utility timeline chart")
+    run.add_argument(
+        "--spec",
+        type=Path,
+        help="experiment spec file (JSON/YAML); runs it via repro.api.run "
+        "and ignores the scenario/policy flags",
+    )
+    run.add_argument(
+        "--report", type=Path, help="with --spec: write the report JSON here"
+    )
+    run.add_argument(
+        "--verbose", action="store_true", help="with --spec: print per-trial progress"
+    )
     run.set_defaults(func=_cmd_run)
 
     compare = sub.add_parser("compare", help="compare policies on one scenario")
@@ -298,6 +431,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_args(compare)
     compare.add_argument("--chart", action="store_true", help="print a bar chart")
     compare.set_defaults(func=_cmd_compare)
+
+    policies = sub.add_parser("policies", help="list / inspect registered policies")
+    policies.add_argument("action", choices=("list", "show"))
+    policies.add_argument("name", nargs="?", help="policy name (show)")
+    policies.add_argument("--kind", help="filter by kind (faro/baseline/controller/plugin)")
+    policies.set_defaults(func=_cmd_policies)
+
+    scenarios = sub.add_parser("scenarios", help="list registered scenario kinds")
+    scenarios.add_argument("action", choices=("list",))
+    scenarios.set_defaults(func=_cmd_scenarios)
 
     traces = sub.add_parser("traces", help="generate / describe / export traces")
     traces.add_argument("action", choices=("generate", "describe", "export"))

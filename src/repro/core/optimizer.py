@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import pickle
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -334,15 +335,20 @@ class UtilityTableCache:
             job, max_x, drops, relaxed, alpha, rho_max, latency_model
         )
         table.setflags(write=False)
-        if self.maxsize != 0 and table.nbytes <= self.max_bytes:
-            self._entries[key] = table
-            self._bytes += table.nbytes
-            while self._bytes > self.max_bytes or (
-                self.maxsize is not None and len(self._entries) > self.maxsize
-            ):
-                _, evicted = self._entries.popitem(last=False)
-                self._bytes -= evicted.nbytes
+        self._admit(key, table)
         return table
+
+    def _admit(self, key: tuple, table: np.ndarray) -> None:
+        """Store ``table`` under ``key``, honouring the size/byte bounds."""
+        if self.maxsize == 0 or table.nbytes > self.max_bytes:
+            return
+        self._entries[key] = table
+        self._bytes += table.nbytes
+        while self._bytes > self.max_bytes or (
+            self.maxsize is not None and len(self._entries) > self.maxsize
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
 
     def clear(self) -> None:
         self._entries.clear()
@@ -360,6 +366,57 @@ class UtilityTableCache:
             "entries": len(self._entries),
             "bytes": self._bytes,
         }
+
+    # -------------------------------------------------------- persistence
+
+    _PICKLE_VERSION = 1
+
+    def save(self, path) -> None:
+        """Persist all cached tables to ``path`` (LRU order preserved).
+
+        Keys are pure functions of the problem inputs (stable digests), so
+        a cache saved by one process warms the planner in another -- e.g. a
+        fleet controller shipping pre-built tables to fresh replicas.  Uses
+        pickle: only load files you wrote yourself.
+        """
+        payload = {
+            "version": self._PICKLE_VERSION,
+            "entries": [
+                (key, np.asarray(table)) for key, table in self._entries.items()
+            ],
+        }
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(
+        cls, path, maxsize: int | None = None, max_bytes: int = 128 * 2**20
+    ) -> "UtilityTableCache":
+        """Rebuild a cache from :meth:`save` output.
+
+        Entries are re-admitted through the normal LRU bounds (``maxsize``,
+        ``max_bytes``), oldest first, so a smaller budget keeps the
+        most-recently-used tables.  Loaded tables are bit-for-bit the saved
+        ones; hit/miss counters start at zero.
+        """
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"{path} is not a utility-table cache file")
+        version = payload.get("version")
+        if version != cls._PICKLE_VERSION:
+            raise ValueError(
+                f"unsupported cache file version {version!r} "
+                f"(expected {cls._PICKLE_VERSION})"
+            )
+        cache = cls(maxsize=maxsize, max_bytes=max_bytes)
+        for key, table in payload["entries"]:
+            if not isinstance(key, tuple) or not isinstance(table, np.ndarray):
+                raise ValueError(f"malformed cache entry in {path}")
+            table = np.asarray(table)
+            table.setflags(write=False)
+            cache._admit(key, table)
+        return cache
 
 
 #: Process-wide default cache; :class:`AllocationProblem` uses it unless an

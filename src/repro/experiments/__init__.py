@@ -3,9 +3,10 @@
 - :mod:`repro.experiments.scenarios` -- the paper's workload/cluster setups
   (right-sized 36, slightly oversubscribed 32, heavily oversubscribed 16
   replicas; 10-job Azure+Twitter mix; mixed ResNet18/34; large-scale).
-- :mod:`repro.experiments.policies` -- policy factory covering all Faro
-  variants and all baselines, with shared trained predictors.
-- :mod:`repro.experiments.runner` -- multi-trial execution + aggregation.
+- :mod:`repro.experiments.policies` -- legacy policy factory (shim over
+  the :mod:`repro.api` policy registry), with shared trained predictors.
+- :mod:`repro.experiments.runner` -- legacy multi-trial execution API
+  (shim over the :mod:`repro.api` run engine).
 - :mod:`repro.experiments.metrics` -- Kendall-tau ranking distance and
   summary statistics.
 - :mod:`repro.experiments.report` -- paper-vs-measured table formatting.
@@ -22,11 +23,7 @@ from repro.experiments.scenarios import (
     mixed_model_scenario,
     paper_scenario,
 )
-from repro.experiments.policies import (
-    ALL_BASELINES,
-    ALL_FARO_VARIANTS,
-    make_policy,
-)
+from repro.experiments.policies import make_policy
 from repro.experiments.runner import TrialStats, compare_policies, run_trials
 from repro.experiments.metrics import kendall_tau_distance, rank_policies
 from repro.experiments.report import format_table, paper_comparison_table
@@ -37,6 +34,17 @@ from repro.experiments.sweeps import (
     sweep_predictor,
 )
 from repro.experiments.plotting import ascii_bars, ascii_boxplot, ascii_timeline
+
+
+def __getattr__(name: str):
+    # Registry-derived policy lists live on the policies module (PEP 562);
+    # delegate so plugins registered later are reflected here too.
+    if name in ("ALL_FARO_VARIANTS", "ALL_BASELINES"):
+        from repro.experiments import policies
+
+        return getattr(policies, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Scenario",

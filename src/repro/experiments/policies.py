@@ -1,9 +1,17 @@
-"""Policy factory for experiments.
+"""Legacy policy factory, now a shim over the control-plane registry.
 
-Builds any Faro variant or baseline for a given scenario.  Predictor
-training is the expensive part (one probabilistic N-HiTS per job), so
-trained forecasters are cached per (scenario, profile) and shared across
-policies -- each policy still gets its own sampling RNG for determinism.
+Policy construction lives in :mod:`repro.api.builtin`, where every Faro
+variant, baseline, and controller registers itself on the
+:class:`repro.api.PolicyRegistry` with a typed options schema.  This module
+keeps the pieces the old harness API exposed:
+
+- :func:`make_policy` -- **deprecated**; resolves through the registry
+  (``repro.api.get_registry().build(...)`` is the replacement).
+- ``ALL_FARO_VARIANTS`` / ``ALL_BASELINES`` -- derived from the registry
+  (kinds ``"faro"`` and ``"baseline"`` in registration order), no longer
+  hardcoded tuples.
+- :class:`PredictorProfile` / :func:`train_predictors` -- the shared
+  predictor-training budget and cache, used by the registry builders.
 
 Policy names:
 
@@ -17,21 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.baselines import (
-    AIADPolicy,
-    CilantroLikePolicy,
-    FairSharePolicy,
-    MarkPolicy,
-    OneshotPolicy,
-)
-from repro.core.autoscaler import FaroAutoscaler, FaroConfig, JobSpec
-from repro.core.hybrid import HybridAutoscaler, ReactiveConfig
-from repro.core.optimizer import ClusterCapacity
 from repro.experiments.scenarios import Scenario
 from repro.forecast.nhits import NHiTSConfig, NHiTSForecaster
-from repro.forecast.predictor import ForecastWorkloadPredictor
 from repro.policy import AutoscalePolicy
 
 __all__ = [
@@ -41,15 +36,6 @@ __all__ = [
     "train_predictors",
     "make_policy",
 ]
-
-ALL_FARO_VARIANTS = (
-    "faro-sum",
-    "faro-fair",
-    "faro-fairsum",
-    "faro-penaltysum",
-    "faro-penaltyfairsum",
-)
-ALL_BASELINES = ("fairshare", "oneshot", "aiad", "mark", "cilantro")
 
 
 @dataclass(frozen=True)
@@ -110,48 +96,26 @@ def train_predictors(
     return forecasters
 
 
-def _faro_policy(
-    scenario: Scenario,
-    objective: str,
-    seed: int,
-    profile: PredictorProfile | None,
-    config_overrides: dict | None = None,
-    hybrid: bool = True,
-    use_trained_predictor: bool = True,
-) -> AutoscalePolicy:
-    specs = [
-        JobSpec(
-            name=job.name,
-            slo=job.slo,
-            proc_time=job.model.proc_time,
-            priority=job.priority,
-            cpu_per_replica=job.model.cpu_per_replica,
-            mem_per_replica=job.model.mem_per_replica,
-            min_replicas=job.min_replicas,
-        )
-        for job in scenario.jobs
-    ]
-    overrides = dict(config_overrides or {})
-    overrides.setdefault("objective", objective)
-    overrides.setdefault("seed", seed)
-    config = FaroConfig(**overrides)
-    predictors = {}
-    if use_trained_predictor:
-        forecasters = train_predictors(scenario, profile, seed=0)
-        predictors = {
-            # Forecasters are trained on requests/minute; the controller's
-            # histories are requests/second.
-            name: ForecastWorkloadPredictor(f, history_scale=60.0, seed=seed + i)
-            for i, (name, f) in enumerate(forecasters.items())
-        }
-    capacity = ClusterCapacity.of_replicas(scenario.total_replicas)
-    faro = FaroAutoscaler(specs, capacity, config=config, predictors=predictors)
-    if not hybrid:
-        faro.tick_interval = 10.0  # still polled frequently; solves on period
-        return faro
-    return HybridAutoscaler(
-        faro, ReactiveConfig(), capacity_replicas=scenario.total_replicas
-    )
+def _registry():
+    """The default policy registry with built-ins registered.
+
+    Submodule imports on purpose: they stay correct even when this runs
+    mid-way through ``repro.experiments``/``repro.api`` package init.
+    """
+    import repro.api.builtin  # noqa: F401  (registration side effects)
+    import repro.api.registry
+
+    return repro.api.registry.get_registry()
+
+
+def __getattr__(name: str):
+    # The paper's canonical policy lists, derived from the registry so
+    # plugins and built-ins share one catalog (PEP 562 module attributes).
+    if name == "ALL_FARO_VARIANTS":
+        return _registry().names(kind="faro")
+    if name == "ALL_BASELINES":
+        return _registry().names(kind="baseline")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def make_policy(
@@ -161,35 +125,21 @@ def make_policy(
     predictor_profile: PredictorProfile | None = None,
     faro_overrides: dict | None = None,
 ) -> AutoscalePolicy:
-    """Instantiate a policy by name for a scenario."""
-    key = name.lower()
-    if key.startswith("faro"):
-        objective = key.replace("faro-", "") or "fairsum"
-        return _faro_policy(
-            scenario, objective, seed, predictor_profile, faro_overrides
-        )
-    if key == "fairshare":
-        return FairSharePolicy(total_replicas=scenario.total_replicas)
-    if key == "oneshot":
-        return OneshotPolicy(slos=scenario.slos)
-    if key == "aiad":
-        return AIADPolicy(slos=scenario.slos)
-    if key == "mark":
-        forecasters = train_predictors(scenario, predictor_profile, seed=0)
-        predictors = {
-            n: ForecastWorkloadPredictor(f, history_scale=60.0, seed=seed + 71 + i)
-            for i, (n, f) in enumerate(forecasters.items())
-        }
-        return MarkPolicy(
-            proc_times=scenario.proc_times,
-            slos=scenario.slos,
-            predictors=predictors,
-        )
-    if key == "cilantro":
-        return CilantroLikePolicy(
-            proc_times=scenario.proc_times,
-            slos=scenario.slos,
-            total_replicas=scenario.total_replicas,
-            seed=seed,
-        )
-    raise ValueError(f"unknown policy {name!r}")
+    """Instantiate a policy by name for a scenario.
+
+    .. deprecated::
+        Use ``repro.api.get_registry().build(name, scenario, ...)`` (or a
+        :class:`repro.api.PolicySpec` through :func:`repro.api.run`).  This
+        shim maps the legacy keyword arguments onto registry options,
+        ignoring ones the policy does not accept -- the old factory's
+        behaviour.  The typed spec path is strict instead.
+    """
+    registry = _registry()
+    info = registry.get(name)
+    supported = {field_name for field_name, _ in info.option_fields()}
+    options: dict = {}
+    if predictor_profile is not None and "predictor_profile" in supported:
+        options["predictor_profile"] = predictor_profile
+    if faro_overrides and "faro" in supported:
+        options["faro"] = dict(faro_overrides)
+    return registry.build(name, scenario, seed=seed, options=options)

@@ -1,49 +1,46 @@
-"""Multi-trial experiment execution and aggregation."""
+"""Legacy multi-trial execution API, now a shim over the unified engine.
+
+The trial loop lives in :mod:`repro.api.runner` (:func:`execute_trials`);
+spec-driven runs (:func:`repro.api.run`) and these legacy entry points
+share that single code path, so equal settings produce identical results.
+
+.. deprecated::
+    Prefer :func:`repro.api.run` with an
+    :class:`~repro.api.spec.ExperimentSpec`.  ``run_trials`` and
+    ``compare_policies`` remain for existing callers and notebooks.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.cluster.kubernetes import ResourceQuota
-from repro.experiments.policies import PredictorProfile, make_policy
+from repro.api.runner import TrialStats, execute_trials, run_policy
+from repro.api.spec import PolicySpec
+from repro.experiments.policies import PredictorProfile
 from repro.experiments.scenarios import Scenario
-from repro.sim.analytic import FlowSimulation
-from repro.sim.recorder import SimulationResult
-from repro.sim.simulation import Simulation, SimulationConfig
 
 __all__ = ["TrialStats", "run_trials", "compare_policies"]
 
 
-@dataclass
-class TrialStats:
-    """Mean/SD of the headline metrics over trials for one policy."""
+def _legacy_policy_spec(
+    policy_name: str,
+    predictor_profile: PredictorProfile | None,
+    faro_overrides: dict | None,
+) -> PolicySpec:
+    """Map the old keyword arguments onto registry options.
 
-    policy: str
-    lost_utility_mean: float
-    lost_utility_sd: float
-    lost_effective_mean: float
-    lost_effective_sd: float
-    violation_rate_mean: float
-    violation_rate_sd: float
-    results: list[SimulationResult] = field(default_factory=list)
+    Like the old ``make_policy``, settings a policy does not accept are
+    dropped (e.g. ``predictor_profile`` for FairShare); the typed
+    :class:`PolicySpec` path is strict instead.
+    """
+    from repro.api import get_registry
 
-    @classmethod
-    def from_results(cls, policy: str, results: list[SimulationResult]) -> "TrialStats":
-        lost = np.array([r.avg_lost_cluster_utility for r in results])
-        lost_eff = np.array([r.avg_lost_effective_utility for r in results])
-        viol = np.array([r.cluster_slo_violation_rate for r in results])
-        return cls(
-            policy=policy,
-            lost_utility_mean=float(lost.mean()),
-            lost_utility_sd=float(lost.std()),
-            lost_effective_mean=float(lost_eff.mean()),
-            lost_effective_sd=float(lost_eff.std()),
-            violation_rate_mean=float(viol.mean()),
-            violation_rate_sd=float(viol.std()),
-            results=results,
-        )
+    info = get_registry().get(policy_name)
+    supported = {field_name for field_name, _ in info.option_fields()}
+    options: dict = {}
+    if predictor_profile is not None and "predictor_profile" in supported:
+        options["predictor_profile"] = predictor_profile
+    if faro_overrides and "faro" in supported:
+        options["faro"] = dict(faro_overrides)
+    return PolicySpec(name=policy_name, options=options, label=policy_name)
 
 
 def run_trials(
@@ -65,42 +62,27 @@ def run_trials(
     ``(scenario, seed)``.  ``sim_overrides`` passes extra
     :class:`SimulationConfig` fields (e.g. ``cold_start_range``, ``faults``)
     through to each trial.
+
+    .. deprecated:: Use :func:`repro.api.run` / :func:`repro.api.run_policy`.
     """
-    if simulator not in ("request", "flow"):
-        raise ValueError(f"unknown simulator {simulator!r}")
-    results = []
-    for trial in range(trials):
-        trial_seed = seed + 1000 * trial
-        if policy_factory is not None:
-            policy = policy_factory(scenario, trial_seed)
-        else:
-            policy = make_policy(
-                policy_name,
-                scenario,
-                seed=trial_seed,
-                predictor_profile=predictor_profile,
-                faro_overrides=faro_overrides,
-            )
-        config = SimulationConfig(
-            duration_minutes=scenario.duration_minutes,
-            rate_scale=scenario.rate_scale,
-            seed=trial_seed,
-            **(sim_overrides or {}),
+    if policy_factory is not None:
+        return execute_trials(
+            scenario,
+            policy_name,
+            policy_factory,
+            trials=trials,
+            simulator=simulator,
+            seed=seed,
+            sim_overrides=sim_overrides,
         )
-        quota = ResourceQuota.of_replicas(scenario.total_replicas)
-        sim_cls = Simulation if simulator == "request" else FlowSimulation
-        simulation = sim_cls(
-            scenario.jobs,
-            scenario.eval_traces,
-            policy,
-            quota,
-            config=config,
-            history_prefix=scenario.history_prefix or None,
-        )
-        result = simulation.run()
-        result.policy_name = getattr(policy, "name", policy_name)
-        results.append(result)
-    return TrialStats.from_results(policy_name, results)
+    return run_policy(
+        scenario,
+        _legacy_policy_spec(policy_name, predictor_profile, faro_overrides),
+        trials=trials,
+        simulator=simulator,
+        seed=seed,
+        sim_overrides=sim_overrides,
+    )
 
 
 def compare_policies(
@@ -111,7 +93,10 @@ def compare_policies(
     seed: int = 0,
     predictor_profile: PredictorProfile | None = None,
 ) -> dict[str, TrialStats]:
-    """Run several policies on the same scenario; returns stats per policy."""
+    """Run several policies on the same scenario; returns stats per policy.
+
+    .. deprecated:: Use :func:`repro.api.run` with an ``ExperimentSpec``.
+    """
     return {
         name: run_trials(
             scenario,

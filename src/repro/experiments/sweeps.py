@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.runner import TrialStats, run_policy
+from repro.api.spec import PolicySpec
 from repro.experiments.policies import PredictorProfile
-from repro.experiments.runner import TrialStats, run_trials
+from repro.experiments.runner import run_trials
 from repro.experiments.scenarios import Scenario
 
 __all__ = ["SweepResult", "sweep_faro_config", "sweep_cold_start", "sweep_predictor"]
@@ -85,14 +87,18 @@ def sweep_faro_config(
         raise ValueError("values must be non-empty")
     result = SweepResult(parameter=parameter)
     for value in values:
-        stats = run_trials(
+        spec = PolicySpec(
+            name=f"faro-{objective}",
+            options={"faro": {parameter: value}},
+            label=f"faro-{objective}",
+        )
+        stats = run_policy(
             scenario,
-            f"faro-{objective}",
+            spec,
             trials=trials,
             simulator=simulator,
             seed=seed,
             predictor_profile=predictor_profile,
-            faro_overrides={parameter: value},
         )
         result.add(value, stats)
     return result
@@ -121,14 +127,18 @@ def sweep_cold_start(
         raise ValueError("cold-start delays must be non-negative")
     result = SweepResult(parameter="cold_start_seconds")
     for value in seconds:
-        stats = run_trials(
+        spec = PolicySpec(
+            name=f"faro-{objective}",
+            options={"faro": {"cold_start_seconds": float(value)}},
+            label=f"faro-{objective}",
+        )
+        stats = run_policy(
             scenario,
-            f"faro-{objective}",
+            spec,
             trials=trials,
             simulator=simulator,
             seed=seed,
             predictor_profile=predictor_profile,
-            faro_overrides={"cold_start_seconds": float(value)},
             sim_overrides={"cold_start_range": (float(value), float(value))},
         )
         result.add(value, stats)

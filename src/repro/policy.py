@@ -50,6 +50,20 @@ class JobObservation:
             raise ValueError(f"arrival rate must be non-negative, got {self.arrival_rate}")
         if self.current_replicas < 0 or self.target_replicas < 0:
             raise ValueError("replica counts must be non-negative")
+        # `latency >= 0` admits +inf (dropped requests) but rejects NaN,
+        # which fails every comparison.
+        if not self.latency >= 0:
+            raise ValueError(
+                f"latency must be non-negative (inf allowed), got {self.latency}"
+            )
+        if not 0.0 <= self.slo_violation_rate <= 1.0:
+            raise ValueError(
+                f"slo_violation_rate must be in [0, 1], got {self.slo_violation_rate}"
+            )
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise ValueError(f"drop rate must be in [0, 1], got {self.drop_rate}")
+        if self.queue_length < 0:
+            raise ValueError(f"queue length must be >= 0, got {self.queue_length}")
 
 
 @dataclass

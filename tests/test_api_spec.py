@@ -1,0 +1,222 @@
+"""Spec layer tests: lossless round-trips, validation, file IO."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ExperimentSpec, PolicySpec, ScenarioSpec
+
+# ----------------------------------------------------------- strategies
+
+_json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+_params = st.dictionaries(
+    st.text(min_size=1, max_size=10), _json_scalars, max_size=4
+)
+_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="-_"),
+    min_size=1,
+    max_size=16,
+)
+
+_scenario_specs = st.builds(
+    ScenarioSpec,
+    kind=_names,
+    params=_params,
+    name=st.one_of(st.none(), _names),
+)
+_policy_specs = st.builds(
+    PolicySpec,
+    name=_names,
+    options=_params,
+    label=st.one_of(st.none(), _names),
+)
+
+
+@st.composite
+def _experiment_specs(draw):
+    policies = draw(
+        st.lists(_policy_specs, min_size=1, max_size=3).filter(
+            lambda ps: len({p.display_label for p in ps}) == len(ps)
+        )
+    )
+    return ExperimentSpec(
+        name=draw(_names),
+        scenarios=tuple(draw(st.lists(_scenario_specs, min_size=1, max_size=3))),
+        policies=tuple(policies),
+        trials=draw(st.integers(min_value=1, max_value=5)),
+        seed=draw(st.integers(min_value=0, max_value=10**6)),
+        simulator=draw(st.sampled_from(["request", "flow"])),
+        predictor_profile=draw(
+            st.one_of(st.none(), st.sampled_from(["fast", "paper"]), _params)
+        ),
+        sim_overrides=draw(_params),
+        description=draw(st.text(max_size=20)),
+    )
+
+
+# ------------------------------------------------------------ round-trip
+
+
+class TestRoundTrip:
+    @given(spec=_scenario_specs)
+    @settings(max_examples=50, deadline=None)
+    def test_scenario_dict_roundtrip(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @given(spec=_policy_specs)
+    @settings(max_examples=50, deadline=None)
+    def test_policy_dict_roundtrip(self, spec):
+        assert PolicySpec.from_dict(spec.to_dict()) == spec
+
+    @given(spec=_experiment_specs())
+    @settings(max_examples=50, deadline=None)
+    def test_experiment_dict_roundtrip(self, spec):
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    @given(spec=_experiment_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_dict_is_json_stable(self, spec):
+        # The dict form survives an actual JSON encode/decode unchanged.
+        decoded = json.loads(json.dumps(spec.to_dict()))
+        assert ExperimentSpec.from_dict(decoded) == spec
+
+    def test_tuples_normalize_to_lists(self):
+        # JSON has no tuples; construction canonicalizes so round-trips
+        # stay lossless even for tuple-passing callers.
+        spec = ExperimentSpec.compare(
+            "t",
+            ScenarioSpec(params={"grid": (1, 2)}),
+            [PolicySpec("aiad", options={"window": (3, 4)})],
+            sim_overrides={"cold_start_range": (5.0, 5.0)},
+        )
+        assert spec.sim_overrides["cold_start_range"] == [5.0, 5.0]
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_file_roundtrip(self, tmp_path, small_spec):
+        path = small_spec.to_file(tmp_path / "spec.json")
+        assert ExperimentSpec.from_file(path) == small_spec
+
+    def test_yaml_file_roundtrip(self, tmp_path, small_spec):
+        pytest.importorskip("yaml")
+        path = small_spec.to_file(tmp_path / "spec.yaml")
+        assert ExperimentSpec.from_file(path) == small_spec
+
+
+@pytest.fixture
+def small_spec():
+    return ExperimentSpec(
+        name="t",
+        description="round-trip fixture",
+        scenarios=(
+            ScenarioSpec(kind="paper", params={"size": 8, "num_jobs": 2}),
+            ScenarioSpec(kind="mixed", params={"total_replicas": 12}, name="m"),
+        ),
+        policies=(
+            PolicySpec(name="fairshare"),
+            PolicySpec(name="faro-fairsum", options={"hybrid": False}, label="flat"),
+        ),
+        trials=2,
+        seed=7,
+        simulator="flow",
+        predictor_profile="fast",
+        sim_overrides={"cold_start_range": [30.0, 30.0]},
+    )
+
+
+# ------------------------------------------------------------ validation
+
+
+class TestValidation:
+    def test_unknown_experiment_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            ExperimentSpec.from_dict(
+                {"name": "x", "scenarios": [{}], "policies": [{"name": "p"}],
+                 "simulater": "flow"}
+            )
+
+    def test_unknown_scenario_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            ScenarioSpec.from_dict({"kind": "paper", "prams": {}})
+
+    def test_unknown_policy_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            PolicySpec.from_dict({"name": "p", "option": {}})
+
+    def test_policy_string_shorthand(self):
+        assert PolicySpec.from_dict("aiad") == PolicySpec(name="aiad")
+
+    def test_requires_scenarios_and_policies(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", scenarios=(), policies=(PolicySpec("p"),))
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", scenarios=(ScenarioSpec(),), policies=())
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            ExperimentSpec(
+                name="x",
+                scenarios=(ScenarioSpec(),),
+                policies=(PolicySpec("aiad"), PolicySpec("aiad")),
+            )
+
+    def test_label_disambiguates_duplicates(self):
+        spec = ExperimentSpec(
+            name="x",
+            scenarios=(ScenarioSpec(),),
+            policies=(PolicySpec("aiad"), PolicySpec("aiad", label="aiad-2")),
+        )
+        assert spec.policies[1].display_label == "aiad-2"
+
+    def test_bad_simulator_rejected(self):
+        with pytest.raises(ValueError, match="simulator"):
+            ExperimentSpec(
+                name="x",
+                scenarios=(ScenarioSpec(),),
+                policies=(PolicySpec("p"),),
+                simulator="hardware",
+            )
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            ExperimentSpec(
+                name="x",
+                scenarios=(ScenarioSpec(),),
+                policies=(PolicySpec("p"),),
+                trials=0,
+            )
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            ExperimentSpec.from_dict(
+                {"version": 99, "name": "x", "scenarios": [{}],
+                 "policies": [{"name": "p"}]}
+            )
+
+    def test_frozen(self, small_spec):
+        with pytest.raises(AttributeError):
+            small_spec.trials = 5
+
+    def test_nested_dicts_coerced(self):
+        # from_dict shapes may arrive as plain nested dicts/lists.
+        spec = ExperimentSpec(
+            name="x",
+            scenarios=[{"kind": "paper", "params": {"size": 8}}],
+            policies=[{"name": "aiad"}, "fairshare"],
+        )
+        assert isinstance(spec.scenarios[0], ScenarioSpec)
+        assert spec.policies[1] == PolicySpec(name="fairshare")
+
+    def test_compare_helper(self):
+        spec = ExperimentSpec.compare(
+            "c", ScenarioSpec(), ["aiad", PolicySpec("mark")], trials=3
+        )
+        assert spec.trials == 3
+        assert [p.name for p in spec.policies] == ["aiad", "mark"]

@@ -38,6 +38,119 @@ class TestRun:
         assert "Cluster utility over time" in capsys.readouterr().out
 
 
+class TestSpecRun:
+    def _write_spec(self, tmp_path):
+        from repro import api
+
+        spec = api.ExperimentSpec.compare(
+            "cli-spec",
+            api.ScenarioSpec(
+                kind="paper",
+                params={"size": 9, "num_jobs": 3, "duration_minutes": 10,
+                        "days": 2, "rate_hi": 300.0},
+            ),
+            ["fairshare", "aiad"],
+            simulator="flow",
+        )
+        return spec.to_file(tmp_path / "spec.json")
+
+    def test_run_spec_end_to_end(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        report_path = tmp_path / "report.json"
+        code = main(["run", "--spec", str(path), "--report", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Experiment 'cli-spec'" in out
+        assert "fairshare" in out and "aiad" in out
+        assert report_path.exists()
+        import json
+
+        data = json.loads(report_path.read_text())
+        assert data["spec"]["name"] == "cli-spec"
+
+    def test_run_spec_missing_file(self, tmp_path, capsys):
+        code = main(["run", "--spec", str(tmp_path / "ghost.json")])
+        assert code == 2
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_run_spec_invalid_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "simulater": "flow"}')
+        code = main(["run", "--spec", str(bad)])
+        assert code == 2
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_run_spec_malformed_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["run", "--spec", str(bad)])
+        assert code == 2
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_run_spec_unknown_policy(self, tmp_path, capsys):
+        from repro import api
+
+        bad = tmp_path / "bad.json"
+        spec = api.ExperimentSpec.compare(
+            "x",
+            api.ScenarioSpec(kind="paper", params={"size": 8, "num_jobs": 2}),
+            ["fairshare"],
+        )
+        data = spec.to_dict()
+        data["policies"][0]["name"] = "gost"
+        import json
+
+        bad.write_text(json.dumps(data))
+        code = main(["run", "--spec", str(bad)])
+        assert code == 2
+        assert "invalid spec" in capsys.readouterr().err
+
+
+class TestPolicies:
+    def test_list(self, capsys):
+        code = main(["policies", "list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("faro-fairsum", "fairshare", "cilantro", "faro-decentralized"):
+            assert name in out
+
+    def test_list_kind_filter(self, capsys):
+        code = main(["policies", "list", "--kind", "baseline"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fairshare" in out and "faro-fairsum" not in out
+
+    def test_list_unknown_kind(self, capsys):
+        code = main(["policies", "list", "--kind", "quantum"])
+        assert code == 2
+
+    def test_show(self, capsys):
+        code = main(["policies", "show", "faro-fairsum"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kind=faro" in out
+        assert "use_trained_predictor" in out
+
+    def test_show_unknown(self, capsys):
+        code = main(["policies", "show", "ghost"])
+        assert code == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_show_requires_name(self, capsys):
+        code = main(["policies", "show"])
+        assert code == 2
+
+
+class TestScenarios:
+    def test_list(self, capsys):
+        code = main(["scenarios", "list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for kind in ("paper", "mixed", "large-scale"):
+            assert kind in out
+        assert "duration_minutes" in out
+
+
 class TestCompare:
     def test_compare_two_policies(self, capsys):
         code = main(["compare", "--policies", "fairshare,aiad", "--jobs", "3",

@@ -18,6 +18,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 #: (script, fragment expected in stdout). Kept in sync with examples/.
 EXAMPLES = [
     ("quickstart.py", "Faro quickstart"),
+    ("declarative_experiment.py", "Declarative experiment"),
     ("heterogeneous_cluster.py", "Heterogeneous allocation"),
     ("budget_cloud.py", "Budget-limited cloud"),
     ("admission_control.py", "Admission control"),

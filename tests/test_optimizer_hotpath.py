@@ -209,6 +209,87 @@ class TestUtilityTableCache:
         assert cache.stats()["hits"] == 0  # each insert evicted the other
 
 
+class TestCachePersistence:
+    def _primed_cache(self):
+        cache = UtilityTableCache()
+        cap = ClusterCapacity.of_replicas(16)
+        AllocationProblem(
+            [job("a", (12.0, 20.0)), job("b", (35.0,))],
+            cap,
+            make_objective("sum"),
+            table_cache=cache,
+        )
+        AllocationProblem(
+            [job("c", (5.0,))], cap, make_objective("fairsum"), table_cache=cache
+        )
+        return cache
+
+    def test_save_load_roundtrip_hits(self, tmp_path):
+        cache = self._primed_cache()
+        path = tmp_path / "tables.pkl"
+        cache.save(path)
+        loaded = UtilityTableCache.load(path)
+        assert len(loaded) == len(cache)
+        assert loaded.stats()["bytes"] == cache.stats()["bytes"]
+        # Re-building the same problems against the loaded cache is pure
+        # hits, and the tables are bit-for-bit the saved ones.
+        cap = ClusterCapacity.of_replicas(16)
+        jobs = [job("a", (12.0, 20.0)), job("b", (35.0,))]
+        cold = AllocationProblem(
+            jobs, cap, make_objective("sum"), table_cache=UtilityTableCache()
+        )
+        warm = AllocationProblem(jobs, cap, make_objective("sum"), table_cache=loaded)
+        assert loaded.stats()["hits"] == 2 and loaded.stats()["misses"] == 0
+        for t_cold, t_warm in zip(cold._tables, warm._tables):
+            np.testing.assert_array_equal(t_cold, t_warm)
+
+    def test_cross_process_warmup(self, tmp_path):
+        # Same contract a fresh process sees: save in one cache, solve from
+        # the loaded one, allocations identical to a cold solve.
+        cache = self._primed_cache()
+        path = tmp_path / "tables.pkl"
+        cache.save(path)
+        loaded = UtilityTableCache.load(path)
+        jobs = [job("a", (12.0, 20.0)), job("b", (35.0,))]
+        cap = ClusterCapacity.of_replicas(16)
+        cold = solve_allocation(
+            AllocationProblem(
+                jobs, cap, make_objective("sum"), table_cache=UtilityTableCache(maxsize=0)
+            ),
+            method="cobyla",
+        )
+        warm = solve_allocation(
+            AllocationProblem(jobs, cap, make_objective("sum"), table_cache=loaded),
+            method="cobyla",
+        )
+        np.testing.assert_array_equal(cold.replicas, warm.replicas)
+        assert cold.objective_value == warm.objective_value
+
+    def test_load_respects_budget(self, tmp_path):
+        cache = self._primed_cache()
+        path = tmp_path / "tables.pkl"
+        cache.save(path)
+        assert len(UtilityTableCache.load(path, maxsize=1)) == 1
+        assert len(UtilityTableCache.load(path, max_bytes=0)) == 0
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.pkl"
+        import pickle
+
+        path.write_bytes(pickle.dumps({"not": "a cache"}))
+        with pytest.raises(ValueError):
+            UtilityTableCache.load(path)
+
+    def test_loaded_tables_are_readonly(self, tmp_path):
+        cache = self._primed_cache()
+        path = tmp_path / "tables.pkl"
+        cache.save(path)
+        loaded = UtilityTableCache.load(path)
+        table = next(iter(loaded._entries.values()))
+        with pytest.raises(ValueError):
+            table[0] = 123.0
+
+
 class TestWarmStart:
     def test_warm_start_vector_is_feasible(self):
         problem = build_problem("sum")

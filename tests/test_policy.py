@@ -33,6 +33,34 @@ class TestJobObservation:
         with pytest.raises(ValueError):
             make_obs(current_replicas=-1)
 
+    def test_infinite_latency_allowed(self):
+        # Dropped requests count as infinite latency (module contract).
+        assert make_obs(latency=float("inf")).latency == float("inf")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            make_obs(latency=-0.1)
+
+    def test_nan_latency_rejected(self):
+        with pytest.raises(ValueError):
+            make_obs(latency=float("nan"))
+
+    def test_violation_rate_range(self):
+        for bad in (-0.01, 1.01, float("nan")):
+            with pytest.raises(ValueError):
+                make_obs(slo_violation_rate=bad)
+        assert make_obs(slo_violation_rate=1.0).slo_violation_rate == 1.0
+
+    def test_drop_rate_range(self):
+        for bad in (-0.5, 1.5, float("nan")):
+            with pytest.raises(ValueError):
+                make_obs(drop_rate=bad)
+        assert make_obs(drop_rate=0.25).drop_rate == 0.25
+
+    def test_negative_queue_rejected(self):
+        with pytest.raises(ValueError):
+            make_obs(queue_length=-1)
+
     def test_frozen(self):
         obs = make_obs()
         with pytest.raises(AttributeError):

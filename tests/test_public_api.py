@@ -42,6 +42,11 @@ class TestTopLevelAPI:
             "repro.experiments",
             "repro.experiments.sweeps",
             "repro.experiments.plotting",
+            "repro.api",
+            "repro.api.registry",
+            "repro.api.spec",
+            "repro.api.scenarios",
+            "repro.api.runner",
             "repro.policy",
             "repro.hetero",
             "repro.cloud",

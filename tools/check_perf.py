@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Perf regression gate for the optimizer hot path.
+
+Re-runs the allocation hot-path micro-benchmark
+(``benchmarks/bench_optimizer_hotpath.py``) in-process and compares the
+warm-cache / warm-start solve timings against the checked-in baseline
+(``results/BENCH_optimizer.json``).  A point regresses when its measured
+time exceeds ``baseline * (1 + tolerance)``.
+
+Run next to the tier-1 verify command:
+
+    PYTHONPATH=src python -m pytest -x -q          # correctness
+    PYTHONPATH=src python tools/check_perf.py      # performance
+
+Exit codes: 0 = within tolerance, 1 = regression, 2 = bad invocation.
+``--write`` refreshes the baseline file with the new measurements (do this
+deliberately, on the machine class the baseline describes).  The default
+tolerance is generous (75%) because wall-clock micro-benchmarks are noisy;
+a real regression -- losing the warm cache or warm starts -- is a
+multiple, not a percentage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Timing metrics gated per benchmark point (cold_ms is tracked but not
+#: gated: it measures the deliberately-uncached path, which is allowed to
+#: drift as table construction grows features).
+GATED_METRICS = ("warm_ms", "warmstart_ms")
+
+
+def _ensure_import_paths() -> None:
+    for entry in (REPO_ROOT, REPO_ROOT / "src"):
+        if str(entry) not in sys.path:
+            sys.path.insert(0, str(entry))
+
+
+def load_baseline(path: Path) -> dict[tuple[str, int], dict]:
+    data = json.loads(path.read_text())
+    points = data.get("points")
+    if not isinstance(points, list) or not points:
+        raise ValueError(f"{path} has no benchmark points")
+    return {(p["solver"], int(p["jobs"])): p for p in points}
+
+
+def compare(
+    baseline: dict[tuple[str, int], dict],
+    measured: list[dict],
+    tolerance: float,
+) -> tuple[list[tuple], bool]:
+    """Rows of (point, metric, baseline_ms, measured_ms, verdict); ok flag."""
+    rows = []
+    ok = True
+    compared = 0
+    measured_keys = set()
+    for point in measured:
+        key = (point["solver"], int(point["jobs"]))
+        measured_keys.add(key)
+        base = baseline.get(key)
+        label = f"{key[0]}/{key[1]} jobs"
+        if base is None:
+            rows.append((label, "-", "-", "-", "NEW (no baseline)"))
+            continue
+        for metric in GATED_METRICS:
+            if metric not in point or metric not in base:
+                continue
+            compared += 1
+            budget = base[metric] * (1.0 + tolerance)
+            passed = point[metric] <= budget
+            ok = ok and passed
+            rows.append(
+                (
+                    label,
+                    metric,
+                    f"{base[metric]:.1f}ms",
+                    f"{point[metric]:.1f}ms",
+                    "ok" if passed else f"REGRESSED (> {budget:.1f}ms)",
+                )
+            )
+    # A baseline point the bench no longer produces means the gate lost
+    # coverage -- that must fail loudly, not silently shrink the check.
+    for key in sorted(set(baseline) - measured_keys):
+        ok = False
+        rows.append((f"{key[0]}/{key[1]} jobs", "-", "present", "-", "MISSING from run"))
+    if compared == 0:
+        ok = False
+        rows.append(("(none)", "-", "-", "-", "NO POINTS COMPARED"))
+    return rows, ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "results" / "BENCH_optimizer.json",
+        help="baseline JSON (default: results/BENCH_optimizer.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.75,
+        help="allowed fractional slowdown per gated metric (default 0.75)",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="refresh the baseline file with the new measurements",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tolerance < 0:
+        print("error: tolerance must be >= 0", file=sys.stderr)
+        return 2
+    if not args.baseline.exists():
+        print(
+            f"error: baseline {args.baseline} not found; run the bench once "
+            "(pytest benchmarks/bench_optimizer_hotpath.py) or pass --baseline",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+
+    _ensure_import_paths()
+    from benchmarks.bench_optimizer_hotpath import run_hotpath
+
+    print(f"running optimizer hot-path bench (baseline: {args.baseline}) ...")
+    measured = run_hotpath()
+
+    rows, ok = compare(baseline, measured, args.tolerance)
+    from repro.experiments.report import format_table
+
+    print()
+    print(
+        format_table(
+            ["point", "metric", "baseline", "measured", "verdict"],
+            rows,
+            title=f"== Optimizer hot-path perf gate (tolerance {args.tolerance:.0%}) ==",
+        )
+    )
+
+    if args.write:
+        args.baseline.write_text(json.dumps({"points": measured}, indent=2) + "\n")
+        print(f"\nwrote new baseline to {args.baseline}")
+
+    if not ok:
+        print(
+            "\nFAIL: warm-path timings regressed beyond tolerance "
+            "(or the gate lost baseline coverage)",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK: warm-path timings within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
