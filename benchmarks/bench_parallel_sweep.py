@@ -1,0 +1,120 @@
+"""Sharded sweep executor: serial vs multi-worker wall-clock + identity.
+
+The executor's contract has two halves and this bench pins both:
+
+- **identity** -- every worker configuration produces a report
+  byte-identical to the serial engine's (asserted here on the real mixed
+  scenario, not just the tiny differential-test specs);
+- **speed** -- on a multi-core machine the sweep must actually scale.
+
+Results go to ``results/BENCH_parallel.json`` for the perf gate
+(``tools/check_perf.py``).  Wall-clock speedup is only *gated* when the
+machine has the cores to show it (``cpu_count >= 4``): a single-core CI
+box can prove identity but physically cannot prove speedup, and a gate
+that fails on hardware limits would train people to ignore it.  The JSON
+therefore records ``cpu_count`` alongside the timings.
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import RESULTS_DIR, write_result
+from repro import api
+from repro.experiments.report import format_table
+
+#: Worker counts measured against the serial engine.
+WORKER_COUNTS = (2, 4, 8)
+
+#: Speedup the perf gate demands at 4 workers on >= 4 cores.
+GATED_SPEEDUP_AT_4 = 1.5
+
+
+def bench_spec() -> api.ExperimentSpec:
+    """The measured workload: the Sec. 6.3 mixed scenario, 4 policies x 2
+    trials on the request-level simulator (8 shards at default granularity,
+    a few seconds of serial work -- large enough that process spawn
+    overhead does not dominate a multi-core measurement)."""
+    return api.ExperimentSpec.compare(
+        "bench-parallel-mixed",
+        [
+            api.ScenarioSpec(
+                kind="mixed",
+                params={
+                    "total_replicas": 24,
+                    "num_jobs": 6,
+                    "duration_minutes": 30,
+                },
+            )
+        ],
+        ["fairshare", "aiad", "mark", "faro-fairsum"],
+        trials=2,
+        simulator="request",
+        predictor_profile="fast",
+    )
+
+
+def run_parallel_bench(worker_counts=WORKER_COUNTS) -> dict:
+    spec = bench_spec()
+    started = time.perf_counter()
+    serial = api.run(spec)
+    serial_s = time.perf_counter() - started
+    serial_json = json.dumps(serial.to_dict())
+
+    points = []
+    for workers in worker_counts:
+        started = time.perf_counter()
+        report = api.run_parallel(spec, workers=workers)
+        wall_s = time.perf_counter() - started
+        points.append(
+            {
+                "workers": workers,
+                "wall_s": wall_s,
+                "speedup": serial_s / wall_s,
+                "shards": report.sweep.shards_total,
+                "identical": json.dumps(report.to_dict()) == serial_json,
+            }
+        )
+    return {
+        "spec": spec.name,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_s": serial_s,
+        "gated_speedup_at_4": GATED_SPEEDUP_AT_4,
+        "points": points,
+    }
+
+
+def test_parallel_sweep_scaling(benchmark):
+    data = benchmark.pedantic(run_parallel_bench, rounds=1, iterations=1)
+
+    rows = [["serial", f"{data['serial_s']:.2f}s", "1.00x", "-", "(reference)"]]
+    for point in data["points"]:
+        rows.append(
+            [
+                f"{point['workers']} workers",
+                f"{point['wall_s']:.2f}s",
+                f"{point['speedup']:.2f}x",
+                point["shards"],
+                "byte-identical" if point["identical"] else "DIVERGED",
+            ]
+        )
+    text = format_table(
+        ["configuration", "wall-clock", "speedup", "shards", "report vs serial"],
+        rows,
+        title=(
+            f"== Sharded sweep executor: mixed scenario "
+            f"({data['cpu_count']} core(s)) =="
+        ),
+    )
+    write_result("parallel_sweep", text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_parallel.json").write_text(
+        json.dumps(data, indent=2) + "\n"
+    )
+
+    # Identity is unconditional: no worker count may change a byte.
+    assert all(point["identical"] for point in data["points"])
+    # Speedup is physical: only demand it where the cores exist.
+    if data["cpu_count"] >= 4:
+        at_4 = next(p for p in data["points"] if p["workers"] == 4)
+        assert at_4["speedup"] >= GATED_SPEEDUP_AT_4

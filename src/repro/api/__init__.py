@@ -48,10 +48,21 @@ from repro.api.runner import (
     ProgressCallback,
     RunEvent,
     RunReport,
+    ShardFailure,
     TrialStats,
+    derive_trial_seed,
     execute_trials,
     run,
     run_policy,
+)
+from repro.api.parallel import (
+    ShardOutcome,
+    SweepInfo,
+    SweepJournal,
+    TrialShard,
+    plan_shards,
+    run_parallel,
+    run_policies_parallel,
 )
 
 # Populate the default registries with every built-in policy.
@@ -74,8 +85,17 @@ __all__ = [
     "RunEvent",
     "ProgressCallback",
     "RunReport",
+    "ShardFailure",
     "TrialStats",
+    "derive_trial_seed",
     "execute_trials",
     "run_policy",
     "run",
+    "TrialShard",
+    "ShardOutcome",
+    "SweepInfo",
+    "SweepJournal",
+    "plan_shards",
+    "run_parallel",
+    "run_policies_parallel",
 ]

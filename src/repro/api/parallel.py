@@ -1,0 +1,780 @@
+"""Sharded parallel sweep execution: fan an experiment out over processes.
+
+The policy x scenario x trial grid of an :class:`ExperimentSpec` is
+embarrassingly parallel: every trial derives its seed from the experiment's
+base seed and the trial's *global* index alone
+(:func:`repro.api.runner.derive_trial_seed`), so any partition of the grid
+into :class:`TrialShard`\\ s produces exactly the per-trial results of the
+serial loop.  This module supplies the partitioner (:func:`plan_shards`),
+the worker entry point, and the driver (:func:`run_parallel`) that merges
+worker outputs back into one :class:`~repro.api.runner.RunReport` via the
+associative, order-invariant :meth:`RunReport.merge`.
+
+Guarantees (pinned by ``tests/test_parallel_sweep.py`` and
+``tests/test_parallel_faults.py``):
+
+- **Bit-identical to serial**: for any worker count, shard granularity,
+  and shard completion order, ``run_parallel(spec, ...).to_dict()`` equals
+  ``run(spec).to_dict()``.
+- **Fault isolation**: a shard that raises is reported in
+  ``RunReport.failures``; every other shard still completes.
+- **Resumability**: with a ``journal`` directory, completed shards are
+  checkpointed (write-to-temp + atomic rename); ``resume=True`` loads them
+  instead of recomputing, and the merged report matches an uninterrupted
+  run.
+
+Workers are ``spawn`` processes (fresh interpreters -- no inherited module
+state, which is itself a determinism check) and may be warmed from a
+persisted :class:`~repro.core.optimizer.UtilityTableCache` file; cache hits
+are bit-for-bit identical to rebuilds, so warm-up never changes results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import tempfile
+import threading
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.api.runner import (
+    ProgressCallback,
+    RunEvent,
+    RunReport,
+    ShardFailure,
+    TrialStats,
+    _emit,
+    _validate_spec,
+    run_policy,
+)
+from repro.api.spec import ExperimentSpec
+
+__all__ = [
+    "TrialShard",
+    "ShardOutcome",
+    "SweepInfo",
+    "SweepJournal",
+    "plan_shards",
+    "run_parallel",
+    "run_policies_parallel",
+]
+
+
+# ------------------------------------------------------------------ shards
+
+
+@dataclass(frozen=True)
+class TrialShard:
+    """One unit of parallel work: a trial range of one scenario/policy cell.
+
+    Shards are identified by spec positions (not names) so they can be
+    planned, journaled, and dispatched without building any scenario in the
+    parent process.
+    """
+
+    scenario_index: int
+    policy_index: int
+    trial_start: int
+    trial_stop: int
+
+    def __post_init__(self) -> None:
+        if self.scenario_index < 0 or self.policy_index < 0:
+            raise ValueError("shard indices must be >= 0")
+        if not 0 <= self.trial_start < self.trial_stop:
+            raise ValueError(
+                f"need 0 <= trial_start < trial_stop, got "
+                f"[{self.trial_start}, {self.trial_stop})"
+            )
+
+    @property
+    def trials(self) -> int:
+        return self.trial_stop - self.trial_start
+
+    @property
+    def shard_id(self) -> str:
+        """Stable identifier used for journaling and failure reports."""
+        return (
+            f"s{self.scenario_index:03d}-p{self.policy_index:03d}"
+            f"-t{self.trial_start:04d}-{self.trial_stop:04d}"
+        )
+
+    def trial_indices(self) -> tuple[int, ...]:
+        return tuple(range(self.trial_start, self.trial_stop))
+
+
+def _auto_trials_per_shard(trials: int, cells: int, workers: int) -> int:
+    """Default shard granularity: split cells only when the grid is small.
+
+    With at least one cell per worker, whole cells are the shard unit;
+    otherwise each cell's trials split into enough ranges to occupy the
+    pool.  (Pure load balancing -- granularity can never change results.)
+    """
+    shards_per_cell = min(trials, -(-workers // cells))  # ceil div
+    return -(-trials // shards_per_cell)
+
+
+def plan_shards(
+    spec: ExperimentSpec,
+    workers: int,
+    trials_per_shard: int | None = None,
+) -> list[TrialShard]:
+    """Partition ``spec``'s scenario x policy x trial grid into shards.
+
+    Every (scenario, policy) cell becomes at least one shard; when the
+    grid has fewer cells than ``workers``, cells are split into trial
+    ranges so the pool stays busy.  ``trials_per_shard`` overrides the
+    automatic granularity.  Shard boundaries can never change results --
+    trial seeds depend only on the global trial index -- so this is purely
+    a load-balancing decision.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if trials_per_shard is not None and trials_per_shard < 1:
+        raise ValueError(f"trials_per_shard must be >= 1, got {trials_per_shard}")
+    if trials_per_shard is None:
+        trials_per_shard = _auto_trials_per_shard(
+            spec.trials, len(spec.scenarios) * len(spec.policies), workers
+        )
+    shards = []
+    for scenario_index in range(len(spec.scenarios)):
+        for policy_index in range(len(spec.policies)):
+            for start in range(0, spec.trials, trials_per_shard):
+                shards.append(
+                    TrialShard(
+                        scenario_index=scenario_index,
+                        policy_index=policy_index,
+                        trial_start=start,
+                        trial_stop=min(start + trials_per_shard, spec.trials),
+                    )
+                )
+    return shards
+
+
+# ----------------------------------------------------------------- outcomes
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What a worker returns for one completed shard."""
+
+    shard: TrialShard
+    scenario_name: str
+    policy_label: str
+    stats: TrialStats
+
+
+@dataclass
+class SweepInfo:
+    """Execution accounting for one sharded run (not part of ``to_dict``)."""
+
+    workers: int
+    shards_total: int = 0
+    shards_run: int = 0
+    shards_resumed: int = 0
+    shards_failed: int = 0
+
+    def as_row(self) -> list:
+        return [
+            self.workers,
+            self.shards_total,
+            self.shards_run,
+            self.shards_resumed,
+            self.shards_failed,
+        ]
+
+
+# ------------------------------------------------------------------ journal
+
+
+def spec_digest(spec: ExperimentSpec) -> str:
+    """Content digest of a spec, for journal compatibility checks.
+
+    Canonical JSON of ``to_dict`` when the spec is serializable (always
+    true for spec files); a pickle digest otherwise (programmatic specs
+    carrying rich objects) -- journals are same-machine artifacts, so the
+    weaker canonicality is acceptable there.
+    """
+    try:
+        payload = json.dumps(spec.to_dict(), sort_keys=True).encode()
+    except TypeError:
+        payload = pickle.dumps(spec)
+    return hashlib.sha256(payload).hexdigest()
+
+
+class SweepJournal:
+    """Crash-safe checkpoint directory for completed shards.
+
+    Layout: ``meta.json`` records the spec digest; each completed shard is
+    one ``shard-<id>.pkl`` holding its pickled :class:`ShardOutcome`.
+    Writes go to a temp file in the same directory and are renamed into
+    place, so a crash mid-write never leaves a truncated checkpoint that a
+    later ``--resume`` would trust.
+    """
+
+    _META_VERSION = 1
+
+    def __init__(self, path: str | Path, spec: ExperimentSpec) -> None:
+        self.path = Path(path)
+        self.digest = spec_digest(spec)
+
+    def _meta_path(self) -> Path:
+        return self.path / "meta.json"
+
+    def _shard_path(self, shard: TrialShard) -> Path:
+        return self.path / f"shard-{shard.shard_id}.pkl"
+
+    def open(
+        self,
+        resume: bool,
+        trials_per_shard: int,
+        trials_per_shard_explicit: bool = False,
+    ) -> int:
+        """Create the journal directory, or validate it against the spec.
+
+        Returns the shard granularity to plan with.  The journal records
+        its ``trials_per_shard`` in ``meta.json`` because shard ids embed
+        trial ranges: resuming with a different granularity would match no
+        checkpoint and silently recompute everything.  On resume the
+        recorded value wins (so ``--resume --workers 4`` after a
+        ``--workers 8`` crash still reuses every checkpoint); an
+        *explicitly* requested mismatch is an error.
+
+        A journal written for a different spec (or with ``resume=False``
+        while non-empty) is an error, not something to silently overwrite:
+        mixing checkpoints across specs would merge unrelated results.
+        """
+        self.path.mkdir(parents=True, exist_ok=True)
+        meta_path = self._meta_path()
+        if not meta_path.exists() and any(self.path.iterdir()):
+            # A populated directory without our meta file is not a journal
+            # -- adopting it would end with cleanup deleting someone
+            # else's files.
+            raise ValueError(
+                f"journal directory {self.path} is not empty and has no "
+                "meta.json; refusing to adopt it -- choose a fresh directory"
+            )
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            if meta.get("spec_digest") != self.digest:
+                raise ValueError(
+                    f"journal {self.path} belongs to a different spec "
+                    f"(digest {meta.get('spec_digest', '?')[:12]}... != "
+                    f"{self.digest[:12]}...); use a fresh journal directory"
+                )
+            if not resume and any(self.path.glob("shard-*.pkl")):
+                raise ValueError(
+                    f"journal {self.path} already holds completed shards; "
+                    "pass resume=True (--resume) to reuse them or choose a "
+                    "fresh directory"
+                )
+            recorded = meta.get("trials_per_shard", trials_per_shard)
+            if trials_per_shard_explicit and recorded != trials_per_shard:
+                raise ValueError(
+                    f"journal {self.path} was written with "
+                    f"trials_per_shard={recorded}, cannot resume with "
+                    f"{trials_per_shard}; drop --trials-per-shard or use a "
+                    "fresh journal directory"
+                )
+            return int(recorded)
+        self._atomic_write(
+            meta_path,
+            json.dumps(
+                {
+                    "version": self._META_VERSION,
+                    "spec_digest": self.digest,
+                    "trials_per_shard": trials_per_shard,
+                },
+                indent=2,
+            ).encode(),
+        )
+        return trials_per_shard
+
+    def load_completed(self, shards: Sequence[TrialShard]) -> dict[str, ShardOutcome]:
+        """Outcomes of ``shards`` already checkpointed, by shard id."""
+        completed = {}
+        for shard in shards:
+            path = self._shard_path(shard)
+            if not path.exists():
+                continue
+            with open(path, "rb") as fh:
+                outcome = pickle.load(fh)
+            completed[shard.shard_id] = outcome
+        return completed
+
+    def record(self, outcome: ShardOutcome) -> None:
+        self._atomic_write(self._shard_path(outcome.shard), pickle.dumps(outcome))
+
+    def _atomic_write(self, path: Path, payload: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.path, prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+
+# ------------------------------------------------------------------ worker
+
+
+@dataclass(frozen=True)
+class _ShardJob:
+    """Everything a spawn worker needs, in one picklable payload."""
+
+    spec: ExperimentSpec
+    shard: TrialShard
+    event_queue: object | None = None
+    inject_fail: bool = False
+
+
+def _warm_worker(cache_path: str | None) -> None:
+    """Pool initializer: warm the process-wide table cache once per worker.
+
+    Content problems are best-effort by design: a truncated/stale/corrupt
+    cache file (EOFError, UnpicklingError, AttributeError, ...) degrades to
+    cold tables, never to failed shards -- and cache hits are bit-identical
+    to rebuilds, so results cannot differ either way.  (A *missing* file is
+    caught earlier, in the driver, where it can fail fast and loudly.)
+    """
+    if cache_path is None:
+        return
+    try:
+        from repro.core.optimizer import DEFAULT_TABLE_CACHE, UtilityTableCache
+
+        DEFAULT_TABLE_CACHE.absorb(UtilityTableCache.load(cache_path))
+    except Exception:
+        pass
+
+
+def _queue_progress(queue) -> ProgressCallback:
+    def on_event(event: RunEvent) -> None:
+        queue.put(event)
+
+    return on_event
+
+
+def _run_shard(job: _ShardJob) -> ShardOutcome:
+    """Worker entry point: run one shard's trials and return its outcome.
+
+    Runs in a ``spawn`` interpreter whose table cache :func:`_warm_worker`
+    already primed (once per process, not per shard).
+    """
+    shard = job.shard
+    if job.inject_fail:
+        raise RuntimeError(f"injected fault in shard {shard.shard_id}")
+    spec = job.spec
+    scenario = spec.scenarios[shard.scenario_index].build()
+    policy_spec = spec.policies[shard.policy_index]
+    progress = (
+        _queue_progress(job.event_queue) if job.event_queue is not None else None
+    )
+    stats = run_policy(
+        scenario,
+        policy_spec,
+        trials=shard.trials,
+        simulator=spec.simulator,
+        seed=spec.seed,
+        predictor_profile=spec.predictor_profile,
+        sim_overrides=spec.sim_overrides,
+        progress=progress,
+        trial_offset=shard.trial_start,
+        total_trials=spec.trials,
+    )
+    return ShardOutcome(
+        shard=shard,
+        scenario_name=scenario.name,
+        policy_label=policy_spec.display_label,
+        stats=stats,
+    )
+
+
+# ------------------------------------------------------------------ driver
+
+
+_QUEUE_SENTINEL = None
+
+
+def _drain_events(
+    queue, progress: ProgressCallback, error_holder: list
+) -> None:
+    """Deliver queued events to the callback until the sentinel arrives.
+
+    A raising callback must not kill the drainer silently: the error is
+    parked in ``error_holder`` (later events are drained but not
+    delivered) and re-raised on the main thread, so a faulty callback
+    fails the run just like it would on the serial path.
+    """
+    while True:
+        event = queue.get()
+        if event is _QUEUE_SENTINEL:
+            return
+        if error_holder:
+            continue
+        try:
+            progress(event)
+        except BaseException as exc:  # re-raised by run_parallel
+            error_holder.append(exc)
+
+
+def run_parallel(
+    spec: ExperimentSpec | str | Path,
+    *,
+    workers: int = 1,
+    progress: ProgressCallback | None = None,
+    journal: str | Path | None = None,
+    resume: bool = False,
+    cache_path: str | Path | None = None,
+    trials_per_shard: int | None = None,
+    shard_order: Sequence[int] | None = None,
+    inject_fail: Sequence[str] = (),
+) -> RunReport:
+    """Run a spec as independent shards on a ``spawn`` process pool.
+
+    Returns a :class:`RunReport` whose ``to_dict()`` is bit-identical to
+    the serial :func:`repro.api.run` for clean runs.  Shard failures are
+    collected in ``report.failures`` (the corresponding trials are simply
+    missing from ``report.stats``) instead of aborting the sweep; execution
+    accounting lands in ``report.sweep``.
+
+    ``journal`` names a checkpoint directory; with ``resume=True``,
+    already-completed shards load from it instead of re-running.
+    ``shard_order`` permutes submission order and ``inject_fail`` makes the
+    named shards raise -- both exist for the differential/fault test
+    suites (results must be invariant to the former; the latter exercises
+    fault isolation deterministically across spawn boundaries).
+    """
+    if isinstance(spec, (str, Path)):
+        spec = ExperimentSpec.from_file(spec)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if trials_per_shard is not None and trials_per_shard < 1:
+        raise ValueError(f"trials_per_shard must be >= 1, got {trials_per_shard}")
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal directory")
+    if cache_path is not None and not Path(cache_path).is_file():
+        # A typo'd --cache must not silently run the whole sweep cold;
+        # only *content* problems are best-effort (see _warm_worker).
+        raise ValueError(f"cache file {cache_path} does not exist")
+    _validate_spec(spec)
+
+    effective_tps = (
+        trials_per_shard
+        if trials_per_shard is not None
+        else _auto_trials_per_shard(
+            spec.trials, len(spec.scenarios) * len(spec.policies), workers
+        )
+    )
+    sweep_journal = None
+    if journal is not None:
+        sweep_journal = SweepJournal(journal, spec)
+        effective_tps = sweep_journal.open(
+            resume,
+            effective_tps,
+            trials_per_shard_explicit=trials_per_shard is not None,
+        )
+
+    shards = plan_shards(spec, workers, trials_per_shard=effective_tps)
+    if shard_order is not None:
+        if sorted(shard_order) != list(range(len(shards))):
+            raise ValueError(
+                f"shard_order must be a permutation of range({len(shards)})"
+            )
+        shards = [shards[index] for index in shard_order]
+    info = SweepInfo(workers=workers, shards_total=len(shards))
+
+    completed: dict[str, ShardOutcome] = {}
+    if sweep_journal is not None and resume:
+        completed = sweep_journal.load_completed(shards)
+        info.shards_resumed = len(completed)
+    pending = [shard for shard in shards if shard.shard_id not in completed]
+
+    inject = set(inject_fail)
+    unknown_inject = inject - {shard.shard_id for shard in shards}
+    if unknown_inject:
+        raise ValueError(f"inject_fail names unknown shards: {sorted(unknown_inject)}")
+
+    manager = None
+    event_queue = None
+    drainer = None
+    callback_errors: list = []
+    if progress is not None and pending:
+        manager = multiprocessing.Manager()
+        event_queue = manager.Queue()
+        drainer = threading.Thread(
+            target=_drain_events,
+            args=(event_queue, progress, callback_errors),
+            daemon=True,
+        )
+        drainer.start()
+
+    def emit(event: RunEvent) -> None:
+        # While the drainer lives, the main thread's shard events go
+        # through the same queue as the workers' trial events, so the
+        # user's callback is only ever invoked from one thread.
+        if event_queue is not None:
+            event_queue.put(event)
+        else:
+            _emit(progress, event)
+
+    failures: list[ShardFailure] = []
+    outcomes: list[ShardOutcome] = list(completed.values())
+    try:
+        if pending:
+            context = multiprocessing.get_context("spawn")
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                mp_context=context,
+                initializer=_warm_worker,
+                initargs=(str(cache_path) if cache_path is not None else None,),
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _run_shard,
+                        _ShardJob(
+                            spec=spec,
+                            shard=shard,
+                            event_queue=event_queue,
+                            inject_fail=shard.shard_id in inject,
+                        ),
+                    ): shard
+                    for shard in pending
+                }
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        shard = futures[future]
+                        try:
+                            outcome = future.result()
+                        except Exception as exc:
+                            info.shards_failed += 1
+                            failures.append(
+                                ShardFailure(
+                                    shard_id=shard.shard_id,
+                                    scenario=_scenario_label(spec, shard),
+                                    policy=spec.policies[
+                                        shard.policy_index
+                                    ].display_label,
+                                    trials=shard.trial_indices(),
+                                    error=_format_error(exc),
+                                )
+                            )
+                            emit(
+                                RunEvent(
+                                    stage="shard-failed",
+                                    policy=spec.policies[
+                                        shard.policy_index
+                                    ].display_label,
+                                    detail=f"{shard.shard_id}: {exc}",
+                                )
+                            )
+                            continue
+                        info.shards_run += 1
+                        outcomes.append(outcome)
+                        if sweep_journal is not None:
+                            sweep_journal.record(outcome)
+                        emit(
+                            RunEvent(
+                                stage="shard-end",
+                                scenario=outcome.scenario_name,
+                                policy=outcome.policy_label,
+                                detail=(
+                                    f"{outcome.shard.shard_id}: lost_utility="
+                                    f"{outcome.stats.lost_utility_mean:.3f}"
+                                ),
+                            )
+                        )
+    finally:
+        if event_queue is not None:
+            # The sentinel is already enqueued, so the drainer is
+            # guaranteed to terminate once it works through the backlog;
+            # an unbounded join (rather than a timeout) means no queued
+            # event is ever dropped and the callback is never invoked
+            # concurrently with the main thread's final run-end emit.
+            event_queue.put(_QUEUE_SENTINEL)
+            drainer.join()
+        if manager is not None:
+            manager.shutdown()
+    if callback_errors:
+        # Completed shards are already journaled, so a resume can pick up
+        # from here; the faulty callback fails the run exactly as it
+        # would have on the serial path.
+        raise callback_errors[0]
+
+    # Group shard outcomes per cell and merge each cell once (linear in
+    # shards), then let RunReport.merge restore canonical spec ordering.
+    cells: dict[tuple[str, str], list[TrialStats]] = {}
+    scenario_index: dict[str, int] = {}
+    for outcome in sorted(outcomes, key=lambda o: o.shard.shard_id):
+        name = outcome.scenario_name
+        if scenario_index.setdefault(name, outcome.shard.scenario_index) != (
+            outcome.shard.scenario_index
+        ):
+            raise ValueError(
+                f"two scenario specs built the same name {name!r}; set "
+                "ScenarioSpec.name to disambiguate repeated kinds"
+            )
+        cells.setdefault((name, outcome.policy_label), []).append(outcome.stats)
+    partial = RunReport(spec=spec, scenario_index=scenario_index)
+    for (name, label), parts in cells.items():
+        partial.stats.setdefault(name, {})[label] = (
+            parts[0] if len(parts) == 1 else TrialStats.merged(parts)
+        )
+    report = RunReport(spec=spec, failures=failures).merge(partial)
+    report.sweep = info
+    _emit(
+        progress,
+        RunEvent(
+            stage="run-end",
+            detail=(
+                f"{len(report.stats)} scenario(s), {info.shards_run} shard(s) run, "
+                f"{info.shards_resumed} resumed, {info.shards_failed} failed"
+            ),
+        ),
+    )
+    return report
+
+
+# ------------------------------------------------- built-scenario fan-out
+
+
+@dataclass(frozen=True)
+class _PolicyShardJob:
+    """Worker payload for fan-out over an already-built scenario.
+
+    The scenario itself is *not* here: it ships once per worker process
+    via the pool initializer (:func:`_install_worker_scenario`), not once
+    per shard -- traces for every job would otherwise be re-pickled for
+    every trial range.  (Spec files are not involved; this is the path
+    parameter sweeps over hand-built scenarios take, e.g.
+    :func:`repro.experiments.sweeps.sweep_faro_config`.)
+    """
+
+    policy_spec: object  # PolicySpec
+    trial_start: int
+    trial_stop: int
+    total_trials: int
+    simulator: str
+    seed: int
+    predictor_profile: object = None
+    sim_overrides: object = None
+
+
+#: Per-worker-process scenario installed by :func:`_install_worker_scenario`.
+_WORKER_SCENARIO = None
+
+
+def _install_worker_scenario(scenario) -> None:
+    global _WORKER_SCENARIO
+    _WORKER_SCENARIO = scenario
+
+
+def _run_policy_shard(job: _PolicyShardJob) -> TrialStats:
+    return run_policy(
+        _WORKER_SCENARIO,
+        job.policy_spec,
+        trials=job.trial_stop - job.trial_start,
+        simulator=job.simulator,
+        seed=job.seed,
+        predictor_profile=job.predictor_profile,
+        sim_overrides=job.sim_overrides,
+        trial_offset=job.trial_start,
+        total_trials=job.total_trials,
+    )
+
+
+def run_policies_parallel(
+    scenario,
+    policy_specs: Sequence,
+    *,
+    workers: int,
+    trials: int = 1,
+    simulator: str = "request",
+    seed: int = 0,
+    predictor_profile=None,
+    sim_overrides=None,
+    trials_per_shard: int | None = None,
+) -> list[TrialStats]:
+    """Run several policies on one *built* scenario across a process pool.
+
+    Returns one :class:`TrialStats` per entry of ``policy_specs``, in
+    order, bit-identical to calling :func:`repro.api.runner.run_policy`
+    serially for each (same :func:`derive_trial_seed` seeds; per-cell
+    trials are merged with :meth:`TrialStats.merged`).  Unlike
+    :func:`run_parallel` this path has no journal and no fault isolation:
+    a failing shard raises, like the serial loop would.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not policy_specs:
+        raise ValueError("policy_specs must be non-empty")
+    if trials_per_shard is None:
+        trials_per_shard = _auto_trials_per_shard(trials, len(policy_specs), workers)
+    jobs = []
+    for policy_index, policy_spec in enumerate(policy_specs):
+        for start in range(0, trials, trials_per_shard):
+            jobs.append(
+                (
+                    policy_index,
+                    _PolicyShardJob(
+                        policy_spec=policy_spec,
+                        trial_start=start,
+                        trial_stop=min(start + trials_per_shard, trials),
+                        total_trials=trials,
+                        simulator=simulator,
+                        seed=seed,
+                        predictor_profile=predictor_profile,
+                        sim_overrides=sim_overrides,
+                    ),
+                )
+            )
+    context = multiprocessing.get_context("spawn")
+    parts: dict[int, list[TrialStats]] = {}
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(jobs)),
+        mp_context=context,
+        initializer=_install_worker_scenario,
+        initargs=(scenario,),
+    ) as pool:
+        futures = [
+            (policy_index, pool.submit(_run_policy_shard, job))
+            for policy_index, job in jobs
+        ]
+        for policy_index, future in futures:
+            parts.setdefault(policy_index, []).append(future.result())
+    return [
+        parts[index][0]
+        if len(parts[index]) == 1
+        else TrialStats.merged(parts[index])
+        for index in range(len(policy_specs))
+    ]
+
+
+def _scenario_label(spec: ExperimentSpec, shard: TrialShard) -> str:
+    """Best scenario name available without building it (failure reports)."""
+    scenario_spec = spec.scenarios[shard.scenario_index]
+    return scenario_spec.name or f"{scenario_spec.kind}[{shard.scenario_index}]"
+
+
+def _format_error(exc: BaseException) -> str:
+    """Exception text plus the worker-side traceback, when available.
+
+    ``ProcessPoolExecutor`` chains the remote traceback text onto the
+    re-raised exception as ``__cause__``; without it a shard failure would
+    name the exception but not the file/line it crashed at.
+    """
+    text = "".join(traceback.format_exception_only(type(exc), exc)).strip()
+    if exc.__cause__ is not None:
+        text = f"{text}\n{str(exc.__cause__).strip()}"
+    return text

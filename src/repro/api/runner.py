@@ -14,6 +14,7 @@ at scenario/policy/trial boundaries (the CLI uses this for live output).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping
@@ -32,11 +33,31 @@ __all__ = [
     "RunEvent",
     "ProgressCallback",
     "TrialStats",
+    "ShardFailure",
     "RunReport",
+    "derive_trial_seed",
     "execute_trials",
     "run_policy",
     "run",
 ]
+
+
+def derive_trial_seed(base_seed: int, trial_index: int) -> int:
+    """Seed for global trial ``trial_index`` of a run with ``base_seed``.
+
+    This is the single seed-derivation rule for the whole engine: a trial's
+    seed depends only on the experiment's base seed and the trial's *global*
+    index -- never on which policy or scenario it belongs to, how trials are
+    sharded across workers, or how many workers run.  That invariance is
+    what makes the sharded executor (:mod:`repro.api.parallel`)
+    bit-identical to the serial loop: a shard covering trials ``[a, b)``
+    derives exactly the seeds the serial loop would.
+
+    The affine form ``base + 1000 * trial`` is the scheme the serial engine
+    has always used (pinned by ``tests/test_api_run.py``), so it must not
+    change; treat it like a file-format constant.
+    """
+    return int(base_seed) + 1000 * int(trial_index)
 
 
 @dataclass(frozen=True)
@@ -45,7 +66,11 @@ class RunEvent:
 
     ``stage`` is one of ``scenario-start``, ``policy-start``,
     ``trial-start``, ``trial-end``, ``policy-end``, ``scenario-end``,
-    ``run-end``.
+    ``run-end``, plus -- from the sharded executor
+    (:mod:`repro.api.parallel`) -- ``shard-end`` and ``shard-failed``.
+    Sharded runs emit trial and shard events (with *global* trial indices)
+    but no scenario/policy boundary events, since cells run interleaved
+    across workers.
     """
 
     stage: str
@@ -66,7 +91,14 @@ def _emit(progress: ProgressCallback | None, event: RunEvent) -> None:
 
 @dataclass
 class TrialStats:
-    """Mean/SD of the headline metrics over trials for one policy."""
+    """Mean/SD of the headline metrics over trials for one policy.
+
+    ``trial_indices`` records which *global* trial indices ``results``
+    covers, in order.  The serial engine always produces the full
+    ``[0, trials)`` range; partial stats coming out of a sharded run carry
+    their sub-range so :meth:`merged` can reassemble the serial ordering.
+    ``None`` means "indices unknown" (summary-only stats cannot merge).
+    """
 
     policy: str
     lost_utility_mean: float
@@ -76,9 +108,15 @@ class TrialStats:
     violation_rate_mean: float
     violation_rate_sd: float
     results: list[SimulationResult] = field(default_factory=list)
+    trial_indices: list[int] | None = None
 
     @classmethod
-    def from_results(cls, policy: str, results: list[SimulationResult]) -> "TrialStats":
+    def from_results(
+        cls,
+        policy: str,
+        results: list[SimulationResult],
+        trial_indices: list[int] | None = None,
+    ) -> "TrialStats":
         lost = np.array([r.avg_lost_cluster_utility for r in results])
         lost_eff = np.array([r.avg_lost_effective_utility for r in results])
         viol = np.array([r.cluster_slo_violation_rate for r in results])
@@ -91,6 +129,46 @@ class TrialStats:
             violation_rate_mean=float(viol.mean()),
             violation_rate_sd=float(viol.std()),
             results=results,
+            trial_indices=trial_indices,
+        )
+
+    @classmethod
+    def merged(cls, parts: "list[TrialStats]") -> "TrialStats":
+        """Combine partial per-trial stats into one, in global trial order.
+
+        Every part must carry ``trial_indices`` (one per result) and the
+        indices must not overlap.  The summary statistics are recomputed
+        from the union of results sorted by trial index -- exactly the
+        array the serial loop would have built -- so a merge of any
+        partition of a cell's trials is bit-identical to running the cell
+        serially.  The operation is associative and order-invariant.
+        """
+        if not parts:
+            raise ValueError("cannot merge zero TrialStats")
+        policies = {part.policy for part in parts}
+        if len(policies) != 1:
+            raise ValueError(f"cannot merge stats of different policies: {sorted(policies)}")
+        pairs: list[tuple[int, SimulationResult]] = []
+        for part in parts:
+            if part.trial_indices is None:
+                raise ValueError(
+                    "cannot merge TrialStats without trial_indices "
+                    "(summary-only stats)"
+                )
+            if len(part.trial_indices) != len(part.results):
+                raise ValueError(
+                    f"trial_indices/results length mismatch: "
+                    f"{len(part.trial_indices)} != {len(part.results)}"
+                )
+            pairs.extend(zip(part.trial_indices, part.results))
+        indices = [index for index, _ in pairs]
+        if len(set(indices)) != len(indices):
+            raise ValueError(f"overlapping trial indices in merge: {sorted(indices)}")
+        pairs.sort(key=lambda pair: pair[0])
+        return cls.from_results(
+            parts[0].policy,
+            [result for _, result in pairs],
+            trial_indices=[index for index, _ in pairs],
         )
 
     def to_summary_dict(self) -> dict[str, float]:
@@ -116,21 +194,33 @@ def execute_trials(
     seed: int = 0,
     sim_overrides: Mapping[str, Any] | None = None,
     progress: ProgressCallback | None = None,
+    trial_offset: int = 0,
+    total_trials: int | None = None,
 ) -> TrialStats:
     """Run one policy for several trials and aggregate its metrics.
 
-    This is the single trial loop every entry point shares.  Trial ``t``
-    uses seed ``seed + 1000 * t`` for both policy construction and the
-    simulator, so any two routes into this function with equal arguments
-    produce identical results.
+    This is the single trial loop every entry point shares.  Global trial
+    ``t`` uses :func:`derive_trial_seed` (``seed + 1000 * t``) for both
+    policy construction and the simulator, so any two routes into this
+    function with equal arguments produce identical results.
+
+    ``trial_offset`` runs trials ``[offset, offset + trials)`` of a larger
+    sweep: seeds derive from the *global* index and progress events report
+    it, so a shard of a sweep is indistinguishable from the corresponding
+    slice of the serial loop.  ``total_trials`` only labels progress events
+    (defaults to ``trial_offset + trials``).
     """
     if simulator not in ("request", "flow"):
         raise ValueError(f"unknown simulator {simulator!r}")
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    if trial_offset < 0:
+        raise ValueError(f"trial_offset must be >= 0, got {trial_offset}")
+    shown_trials = total_trials if total_trials is not None else trial_offset + trials
     results = []
-    for trial in range(trials):
-        trial_seed = seed + 1000 * trial
+    for local in range(trials):
+        trial = trial_offset + local
+        trial_seed = derive_trial_seed(seed, trial)
         _emit(
             progress,
             RunEvent(
@@ -138,7 +228,7 @@ def execute_trials(
                 scenario=scenario.name,
                 policy=policy_label,
                 trial=trial,
-                trials=trials,
+                trials=shown_trials,
             ),
         )
         policy = policy_factory(scenario, trial_seed)
@@ -168,11 +258,15 @@ def execute_trials(
                 scenario=scenario.name,
                 policy=policy_label,
                 trial=trial,
-                trials=trials,
+                trials=shown_trials,
                 detail=f"lost_utility={result.avg_lost_cluster_utility:.3f}",
             ),
         )
-    return TrialStats.from_results(policy_label, results)
+    return TrialStats.from_results(
+        policy_label,
+        results,
+        trial_indices=list(range(trial_offset, trial_offset + trials)),
+    )
 
 
 def run_policy(
@@ -185,6 +279,8 @@ def run_policy(
     predictor_profile: Any = None,
     sim_overrides: Mapping[str, Any] | None = None,
     progress: ProgressCallback | None = None,
+    trial_offset: int = 0,
+    total_trials: int | None = None,
 ) -> TrialStats:
     """Run one registered policy (by spec or name) on a built scenario.
 
@@ -218,6 +314,8 @@ def run_policy(
         seed=seed,
         sim_overrides=sim_overrides,
         progress=progress,
+        trial_offset=trial_offset,
+        total_trials=total_trials,
     )
 
 
@@ -235,6 +333,8 @@ def _validate_spec(spec: ExperimentSpec) -> None:
     for policy in spec.policies:
         registry.parse_options(policy.name, policy.options)
     scenario_registry = get_scenario_registry()
+    seen_specs: set[str] = set()
+    explicit_names: set[str] = set()
     for scenario_spec in spec.scenarios:
         info = scenario_registry.get(scenario_spec.kind)
         unknown = set(scenario_spec.params) - set(info.param_names())
@@ -243,6 +343,54 @@ def _validate_spec(spec: ExperimentSpec) -> None:
                 f"unknown parameter(s) {sorted(unknown)} for scenario kind "
                 f"{info.name!r}; accepted: {sorted(info.param_names())}"
             )
+        # Guaranteed name collisions fail here, in milliseconds, on both
+        # the serial and sharded paths (the sharded executor has no build
+        # step in the parent, so waiting for build-time detection would
+        # waste the whole sweep).  Distinct unnamed specs that *build* to
+        # the same name still fail later, at build/merge time.
+        if scenario_spec.name is not None:
+            if scenario_spec.name in explicit_names:
+                raise ValueError(
+                    f"duplicate scenario name {scenario_spec.name!r}; "
+                    "ScenarioSpec names must be unique"
+                )
+            explicit_names.add(scenario_spec.name)
+        try:
+            digest = json.dumps(scenario_spec.to_dict(), sort_keys=True)
+        except TypeError:  # non-JSON params; skip the identical-spec check
+            digest = None
+        if digest is not None:
+            if digest in seen_specs:
+                raise ValueError(
+                    f"scenario spec {scenario_spec.kind!r} appears twice with "
+                    "identical parameters; set ScenarioSpec.name to "
+                    "disambiguate repeated kinds"
+                )
+            seen_specs.add(digest)
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One failed shard of a sharded sweep, surfaced in the report.
+
+    ``trials`` lists the global trial indices the shard covered; those
+    cells' stats are missing (or partial) in ``RunReport.stats``.
+    """
+
+    shard_id: str
+    scenario: str | None
+    policy: str | None
+    trials: tuple[int, ...]
+    error: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "trials": list(self.trials),
+            "error": self.error,
+        }
 
 
 @dataclass
@@ -251,10 +399,23 @@ class RunReport:
 
     ``stats`` maps scenario name -> policy label -> :class:`TrialStats`,
     in spec order.
+
+    ``scenario_index`` maps built scenario names to their position in
+    ``spec.scenarios``; partial reports coming out of the sharded executor
+    carry it so :meth:`merge` can restore spec ordering no matter which
+    shard finished first.  ``failures`` lists shards that crashed in a
+    sharded run (always empty for serial runs).  Neither affects equality
+    of ``to_dict`` for clean runs: ``scenario_index`` is never serialized
+    and ``failures`` only appears when non-empty.
     """
 
     spec: ExperimentSpec
     stats: dict[str, dict[str, TrialStats]] = field(default_factory=dict)
+    scenario_index: dict[str, int] = field(default_factory=dict, compare=False)
+    failures: list[ShardFailure] = field(default_factory=list)
+    #: Execution accounting of a sharded run (:class:`repro.api.parallel.
+    #: SweepInfo`); ``None`` for serial runs.  Never serialized.
+    sweep: Any = field(default=None, compare=False)
 
     def get(self, scenario: str, policy: str) -> TrialStats:
         try:
@@ -316,8 +477,13 @@ class RunReport:
         )
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe report: the spec plus summary statistics per cell."""
-        return {
+        """JSON-safe report: the spec plus summary statistics per cell.
+
+        For a clean (no-failure) run the output is bit-identical between
+        the serial engine and any sharded execution of the same spec --
+        that contract is pinned by ``tests/test_parallel_sweep.py``.
+        """
+        data: dict[str, Any] = {
             "spec": self.spec.to_dict(),
             "stats": {
                 scenario: {
@@ -326,24 +492,117 @@ class RunReport:
                 for scenario, per_policy in self.stats.items()
             },
         }
+        if self.failures:
+            data["failures"] = [failure.to_dict() for failure in self.failures]
+        return data
+
+    # ------------------------------------------------------------ merging
+
+    def merge(self, other: "RunReport") -> "RunReport":
+        """Combine two (partial) reports of the same spec into one.
+
+        The operation is **associative and order-invariant**: folding any
+        partition of a run's cells/trials together in any order yields the
+        same report, with scenarios restored to spec order (via the union
+        of ``scenario_index``) and policies to spec order.  Cells present
+        in both reports are merged trial-wise with
+        :meth:`TrialStats.merged`, which recomputes the summary statistics
+        from the union of per-trial results in global trial order -- so the
+        fully-merged report is bit-identical to a serial run.
+        """
+        if self.spec != other.spec:
+            raise ValueError(
+                f"cannot merge reports of different specs: "
+                f"{self.spec.name!r} vs {other.spec.name!r}"
+            )
+        scenario_index = dict(self.scenario_index)
+        for name, index in other.scenario_index.items():
+            if scenario_index.setdefault(name, index) != index:
+                raise ValueError(
+                    f"conflicting spec positions for scenario {name!r}: "
+                    f"{scenario_index[name]} vs {index}"
+                )
+        cells: dict[tuple[str, str], list[TrialStats]] = {}
+        for report in (self, other):
+            for scenario, per_policy in report.stats.items():
+                for label, stats in per_policy.items():
+                    cells.setdefault((scenario, label), []).append(stats)
+        label_order = {label: i for i, label in enumerate(self.policy_labels())}
+        unknown = len(scenario_index) + len(self.spec.scenarios)
+
+        def scenario_sort_key(name: str):
+            return (scenario_index.get(name, unknown), name)
+
+        def label_sort_key(label: str):
+            return (label_order.get(label, len(label_order)), label)
+
+        merged: dict[str, dict[str, TrialStats]] = {}
+        for scenario in sorted({s for s, _ in cells}, key=scenario_sort_key):
+            labels = sorted({l for s, l in cells if s == scenario}, key=label_sort_key)
+            merged[scenario] = {
+                label: (
+                    parts[0]
+                    if len(parts := cells[(scenario, label)]) == 1
+                    else TrialStats.merged(parts)
+                )
+                for label in labels
+            }
+        failures = sorted(
+            [*self.failures, *other.failures], key=lambda failure: failure.shard_id
+        )
+        return RunReport(
+            spec=self.spec,
+            stats=merged,
+            scenario_index=scenario_index,
+            failures=failures,
+        )
 
 
 def run(
     spec: ExperimentSpec | str | Path,
     progress: ProgressCallback | None = None,
+    *,
+    workers: int = 1,
+    journal: str | Path | None = None,
+    resume: bool = False,
+    cache_path: str | Path | None = None,
 ) -> RunReport:
     """Run a whole experiment spec and return its :class:`RunReport`.
 
     ``spec`` may be an :class:`ExperimentSpec` or a path to a JSON/YAML
     spec file.  Scenarios run in spec order; within a scenario, policies
     run in spec order, each for ``spec.trials`` trials.
+
+    ``workers > 1`` fans the run out over a process pool via
+    :func:`repro.api.parallel.run_parallel`; results are bit-identical to
+    the serial path (same :func:`derive_trial_seed` seeds, order-invariant
+    :meth:`RunReport.merge`).  ``journal`` checkpoints completed shards so
+    ``resume=True`` skips them after a crash; ``cache_path`` warms each
+    worker from a persisted
+    :class:`~repro.core.optimizer.UtilityTableCache`.  These three options
+    require the sharded executor (``journal``/``resume``/``cache_path``
+    imply it even with ``workers=1``).
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1 or journal is not None or resume or cache_path is not None:
+        from repro.api.parallel import run_parallel
+
+        return run_parallel(
+            spec,
+            workers=workers,
+            progress=progress,
+            journal=journal,
+            resume=resume,
+            cache_path=cache_path,
+        )
     if isinstance(spec, (str, Path)):
         spec = ExperimentSpec.from_file(spec)
     _validate_spec(spec)
     report = RunReport(spec=spec)
-    for scenario_spec in spec.scenarios:
+    for scenario_index, scenario_spec in enumerate(spec.scenarios):
         scenario = scenario_spec.build()
+        report.scenario_index[scenario.name] = scenario_index
         _emit(
             progress,
             RunEvent(

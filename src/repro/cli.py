@@ -1,9 +1,12 @@
 """Command-line interface for the Faro reproduction.
 
-Six subcommands cover the workflows a user reaches for first:
+Seven subcommands cover the workflows a user reaches for first:
 
 - ``run``      -- one policy on one paper scenario, or (with ``--spec``)
   a whole declarative experiment file driven through ``repro.api.run``.
+- ``sweep``    -- spec files on a sharded parallel worker pool
+  (``repro.api.run_parallel``): bit-identical to ``run --spec``, resumable
+  via a shard journal (``--resume``), failures isolated per shard.
 - ``compare``  -- several policies on the same scenario side by side
   (the Fig. 10 / Table 3 workflow).
 - ``policies`` -- list/inspect the policy registry (built-ins + plugins).
@@ -69,6 +72,10 @@ def _progress_printer(verbose: bool):
             print(f"[scenario] {event.scenario}: {event.detail}")
         elif event.stage == "policy-end":
             print(f"  [policy] {event.policy}: {event.detail}")
+        elif event.stage == "shard-end":
+            print(f"  [shard] {event.detail}")
+        elif event.stage == "shard-failed":
+            print(f"  [shard] FAILED {event.detail}")
         elif verbose and event.stage == "trial-end":
             print(f"    [trial {event.trial + 1}/{event.trials}] {event.detail}")
 
@@ -145,6 +152,119 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         )
     return 0
+
+
+# ------------------------------------------------------------------- sweep
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run spec files as sharded parallel sweeps (``repro.api.run_parallel``).
+
+    Exit codes: 0 = all shards completed, 1 = some shards failed (their
+    results are missing from the report; rerun with ``--resume`` to retry
+    just those), 2 = bad invocation/spec.
+    """
+    import json
+
+    from repro import api
+    from repro.experiments.report import format_table
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if len(set(args.spec)) != len(args.spec):
+        print("error: the same spec file is listed more than once", file=sys.stderr)
+        return 2
+    # Load every spec up front: a typo in the last file must fail in
+    # milliseconds, not after the first sweeps burned hours.
+    specs = []
+    for spec_path in args.spec:
+        try:
+            specs.append(api.ExperimentSpec.from_file(spec_path))
+        except (OSError, ValueError, RuntimeError) as exc:
+            print(f"error: cannot load spec {spec_path}: {exc}", file=sys.stderr)
+            return 2
+    reports: dict[str, api.RunReport] = {}
+    any_failures = False
+    spent_journals: list[Path] = []
+
+    def cleanup_spent_journals() -> None:
+        # Default journals are crash-recovery artifacts; once their sweep
+        # completed cleanly the checkpoints are spent, and removing them
+        # keeps the command idempotent -- including when a *later* spec
+        # aborts the invocation.  With failed shards anywhere, everything
+        # is kept so the advised --resume rerun skips finished work.  An
+        # explicit --journal is always kept for the user.
+        if not any_failures:
+            import shutil
+
+            for spent in spent_journals:
+                shutil.rmtree(spent, ignore_errors=True)
+
+    for index, (spec_path, spec) in enumerate(zip(args.spec, specs)):
+        # Full-name suffix (exp.json.journal, exp.yaml.journal) so specs
+        # sharing a stem never share a journal.
+        journal = (
+            args.journal
+            if args.journal
+            else spec_path.with_name(spec_path.name + ".journal")
+        )
+        if len(args.spec) > 1 and args.journal:
+            # Positional prefix keeps same-named spec files in different
+            # directories from sharing (and corrupting) one journal.
+            journal = args.journal / f"{index:02d}-{spec_path.stem}"
+        print(f"== sweep {spec.name!r} ({spec_path}) -> journal {journal} ==")
+        try:
+            report = api.run_parallel(
+                spec,
+                workers=args.workers,
+                progress=_progress_printer(args.verbose),
+                journal=journal,
+                resume=args.resume,
+                cache_path=args.cache,
+                trials_per_shard=args.trials_per_shard,
+            )
+        except ValueError as exc:
+            print(f"error: invalid sweep of {spec_path}: {exc}", file=sys.stderr)
+            cleanup_spent_journals()
+            return 2
+        reports[str(spec_path)] = report
+        print()
+        print(report.describe())
+        info = report.sweep
+        print(
+            format_table(
+                ["workers", "shards", "run", "resumed", "failed"],
+                [info.as_row()],
+                title="Sweep execution",
+            )
+        )
+        if report.failures:
+            any_failures = True
+            rows = [
+                [f.shard_id, f.scenario or "-", f.policy or "-", f.error]
+                for f in report.failures
+            ]
+            print()
+            print(
+                format_table(
+                    ["shard", "scenario", "policy", "error"],
+                    rows,
+                    title=f"FAILED shards ({len(report.failures)})",
+                )
+            )
+            print("rerun with --resume to retry only the failed shards")
+        elif not args.journal:
+            spent_journals.append(journal)
+    cleanup_spent_journals()
+    if args.report:
+        if len(reports) == 1:
+            payload = next(iter(reports.values())).to_dict()
+        else:
+            payload = {name: report.to_dict() for name, report in reports.items()}
+        Path(args.report).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote report JSON to {args.report}")
+    return 1 if any_failures else 0
 
 
 # ----------------------------------------------------------------- compare
@@ -421,6 +541,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="with --spec: print per-trial progress"
     )
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run spec files as sharded parallel sweeps (resumable)",
+    )
+    sweep.add_argument(
+        "--spec",
+        type=Path,
+        nargs="+",
+        required=True,
+        help="experiment spec file(s) (JSON/YAML)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=4, help="worker processes (default 4)"
+    )
+    sweep.add_argument(
+        "--journal",
+        type=Path,
+        help="shard checkpoint directory (default: <spec>.journal)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards already completed in the journal",
+    )
+    sweep.add_argument(
+        "--cache",
+        type=Path,
+        help="persisted UtilityTableCache file to warm each worker from",
+    )
+    sweep.add_argument(
+        "--trials-per-shard",
+        type=int,
+        help="override shard granularity (default: auto from --workers)",
+    )
+    sweep.add_argument("--report", type=Path, help="write the report JSON here")
+    sweep.add_argument(
+        "--verbose", action="store_true", help="print per-trial progress"
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     compare = sub.add_parser("compare", help="compare policies on one scenario")
     compare.add_argument(

@@ -350,6 +350,26 @@ class UtilityTableCache:
             _, evicted = self._entries.popitem(last=False)
             self._bytes -= evicted.nbytes
 
+    def absorb(self, other: "UtilityTableCache") -> int:
+        """Admit every entry of ``other`` into this cache, in LRU order.
+
+        Returns the number of *new* keys admitted (existing keys are left
+        in place -- tables are pure functions of their key, so both copies
+        are bit-identical anyway).  This is how sweep workers warm the
+        process-wide :data:`DEFAULT_TABLE_CACHE` from a persisted cache
+        file without replacing the object other modules already hold.
+        """
+        admitted = 0
+        for key, table in other._entries.items():
+            if key in self._entries:
+                continue
+            self._admit(key, table)
+            # _admit may reject (maxsize=0 / oversized table) or evict
+            # *other* entries; only the key's own presence counts.
+            if key in self._entries:
+                admitted += 1
+        return admitted
+
     def clear(self) -> None:
         self._entries.clear()
         self._bytes = 0

@@ -23,7 +23,10 @@ Policy names:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.experiments.scenarios import Scenario
 from repro.forecast.nhits import NHiTSConfig, NHiTSForecaster
@@ -64,6 +67,25 @@ class PredictorProfile:
 _PREDICTOR_CACHE: dict[tuple, dict[str, NHiTSForecaster]] = {}
 
 
+def _training_digest(scenario: Scenario) -> str:
+    """Content digest of the training inputs (job names + train traces).
+
+    The cache used to key on ``scenario.name``, which silently served
+    stale forecasters when two differently-parameterized scenarios shared
+    a display name (e.g. the same ``ScenarioSpec.name`` override across
+    runs in one process).  Keying on the actual training bytes makes a hit
+    bit-identical to retraining, which the sharded sweep executor's
+    differential tests rely on: a fresh worker process (empty cache) and a
+    long-lived serial process (warm cache) must produce the same results.
+    """
+    hasher = hashlib.sha256()
+    for name in scenario.job_names:
+        hasher.update(name.encode())
+        trace = np.ascontiguousarray(np.asarray(scenario.train_traces[name], dtype=float))
+        hasher.update(trace.tobytes())
+    return hasher.hexdigest()
+
+
 def train_predictors(
     scenario: Scenario, profile: PredictorProfile | None = None, seed: int = 0
 ) -> dict[str, NHiTSForecaster]:
@@ -71,10 +93,12 @@ def train_predictors(
 
     Models are trained on each job's training days in requests/minute units;
     the returned forecasters are shared -- wrap them in
-    :class:`ForecastWorkloadPredictor` per policy.
+    :class:`ForecastWorkloadPredictor` per policy.  The cache key is a
+    content digest of the training traces, so a hit is guaranteed to match
+    what retraining would produce.
     """
     profile = profile or PredictorProfile.fast()
-    key = (scenario.name, profile, seed)
+    key = (_training_digest(scenario), profile, seed)
     if key in _PREDICTOR_CACHE:
         return _PREDICTOR_CACHE[key]
     forecasters: dict[str, NHiTSForecaster] = {}

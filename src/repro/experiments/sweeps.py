@@ -75,23 +75,46 @@ def sweep_faro_config(
     simulator: str = "flow",
     seed: int = 0,
     predictor_profile: PredictorProfile | None = None,
+    workers: int = 1,
 ) -> SweepResult:
     """Sweep one :class:`~repro.core.autoscaler.FaroConfig` field.
 
     Every other setting stays at the paper default, so the sweep isolates
-    the single knob.
+    the single knob.  ``workers > 1`` fans the sweep points out over the
+    sharded executor (:mod:`repro.api.parallel`); trial seeds never depend
+    on the policy or sharding, so parallel sweeps are bit-identical to
+    serial ones.
     """
     if parameter not in SWEEPABLE:
         raise ValueError(f"cannot sweep {parameter!r}; choose from {SWEEPABLE}")
     if not values:
         raise ValueError("values must be non-empty")
-    result = SweepResult(parameter=parameter)
-    for value in values:
-        spec = PolicySpec(
+    specs = [
+        PolicySpec(
             name=f"faro-{objective}",
             options={"faro": {parameter: value}},
             label=f"faro-{objective}",
         )
+        for value in values
+    ]
+    if workers > 1:
+        from repro.api.parallel import run_policies_parallel
+
+        stats_list = run_policies_parallel(
+            scenario,
+            specs,
+            workers=workers,
+            trials=trials,
+            simulator=simulator,
+            seed=seed,
+            predictor_profile=predictor_profile,
+        )
+        result = SweepResult(parameter=parameter)
+        for value, stats in zip(values, stats_list):
+            result.add(value, stats)
+        return result
+    result = SweepResult(parameter=parameter)
+    for value, spec in zip(values, specs):
         stats = run_policy(
             scenario,
             spec,

@@ -1,0 +1,252 @@
+"""Fault isolation and crash-resume behaviour of the sharded executor.
+
+Mirrors the philosophy of :mod:`repro.sim.faults`: failures are injected
+deterministically (here via ``inject_fail`` shard ids, which cross the
+spawn boundary in the worker payload) so recovery behaviour is testable.
+A failing shard must surface in ``RunReport.failures`` without killing the
+sweep, and an interrupted sweep must resume from its journal without
+recomputing finished shards -- ending bit-identical to an uninterrupted
+run.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro import api
+from repro.api.parallel import SweepJournal, plan_shards
+from repro.cli import main as cli_main
+
+
+def tiny_spec(trials=2):
+    return api.ExperimentSpec.compare(
+        "tiny-faults",
+        [
+            api.ScenarioSpec(
+                kind="paper",
+                params={
+                    "size": 8,
+                    "num_jobs": 2,
+                    "duration_minutes": 8,
+                    "days": 2,
+                    "rate_hi": 300.0,
+                },
+                name="tiny-paper",
+            )
+        ],
+        ["fairshare", "aiad"],
+        trials=trials,
+        simulator="flow",
+        predictor_profile={"epochs": 1, "max_windows": 64},
+    )
+
+
+class TestFaultIsolation:
+    def test_failed_shard_is_reported_not_fatal(self, tmp_path):
+        spec = tiny_spec()
+        shards = plan_shards(spec, 2)
+        victim = shards[1]
+        report = api.run_parallel(
+            spec, workers=2, inject_fail=[victim.shard_id]
+        )
+        assert [f.shard_id for f in report.failures] == [victim.shard_id]
+        failure = report.failures[0]
+        assert failure.policy == spec.policies[victim.policy_index].display_label
+        assert failure.trials == victim.trial_indices()
+        assert "injected fault" in failure.error
+        # The healthy cell completed and is present.
+        healthy_label = spec.policies[shards[0].policy_index].display_label
+        assert healthy_label in report.stats["tiny-paper"]
+        assert failure.policy not in report.stats["tiny-paper"]
+        # Failures serialize; clean reports omit the key entirely.
+        assert report.to_dict()["failures"][0]["shard_id"] == victim.shard_id
+        assert "failures" not in api.run(spec).to_dict()
+        assert report.sweep.shards_failed == 1
+
+    def test_unknown_inject_fail_rejected(self):
+        with pytest.raises(ValueError, match="unknown shards"):
+            api.run_parallel(tiny_spec(), workers=1, inject_fail=["nope"])
+
+    def test_missing_cache_file_fails_fast(self, tmp_path):
+        """A typo'd --cache must error before any shard runs, not silently
+        sweep cold (only *content* problems are best-effort)."""
+        with pytest.raises(ValueError, match="does not exist"):
+            api.run_parallel(
+                tiny_spec(), workers=1, cache_path=tmp_path / "nope.pkl"
+            )
+
+    def test_duplicate_scenario_specs_fail_before_any_shard(self):
+        """Identical/same-named scenario specs abort in validation -- the
+        sharded path must not discover the collision hours in, at merge."""
+        unnamed = api.ScenarioSpec(kind="paper", params={"size": 8, "num_jobs": 2})
+        dup_identical = api.ExperimentSpec.compare(
+            "dup-a", [unnamed, unnamed], ["fairshare"]
+        )
+        with pytest.raises(ValueError, match="identical parameters"):
+            api.run_parallel(dup_identical, workers=1)
+        dup_named = api.ExperimentSpec.compare(
+            "dup-b",
+            [
+                api.ScenarioSpec(kind="paper", name="same"),
+                api.ScenarioSpec(kind="mixed", name="same"),
+            ],
+            ["fairshare"],
+        )
+        with pytest.raises(ValueError, match="duplicate scenario name"):
+            api.run_parallel(dup_named, workers=1)
+
+    def test_cli_sweep_exit_code_on_failures(self, tmp_path, monkeypatch, capsys):
+        spec = tiny_spec()
+        spec_path = spec.to_file(tmp_path / "spec.json")
+        victim = plan_shards(spec, 2)[0].shard_id
+
+        real = api.run_parallel
+
+        def with_fault(spec_arg, **kwargs):
+            return real(spec_arg, **kwargs, inject_fail=[victim])
+
+        monkeypatch.setattr(api, "run_parallel", with_fault)
+        code = cli_main(
+            [
+                "sweep",
+                "--spec",
+                str(spec_path),
+                "--workers",
+                "2",
+                "--journal",
+                str(tmp_path / "journal"),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED shards" in out and victim in out
+
+
+class TestResume:
+    def test_crash_then_resume_completes_without_recompute(self, tmp_path):
+        spec = tiny_spec()
+        journal = tmp_path / "journal"
+        serial = api.run(spec)
+        shards = plan_shards(spec, 2)
+        victim = shards[0]
+
+        interrupted = api.run_parallel(
+            spec, workers=2, journal=journal, inject_fail=[victim.shard_id]
+        )
+        assert interrupted.sweep.shards_failed == 1
+        assert interrupted.sweep.shards_run == len(shards) - 1
+
+        resumed = api.run_parallel(spec, workers=2, journal=journal, resume=True)
+        # Only the crashed shard is recomputed; the rest load from disk.
+        assert resumed.sweep.shards_run == 1
+        assert resumed.sweep.shards_resumed == len(shards) - 1
+        assert resumed.sweep.shards_failed == 0
+        assert json.dumps(resumed.to_dict()) == json.dumps(serial.to_dict())
+
+    def test_cli_sweep_default_journal_lifecycle(self, tmp_path):
+        """Clean success removes the default journal (idempotent command);
+        an explicit --journal is kept for the user."""
+        spec = tiny_spec()
+        spec_path = spec.to_file(tmp_path / "spec.json")
+        args = [
+            "sweep",
+            "--spec",
+            str(spec_path),
+            "--workers",
+            "2",
+            "--report",
+            str(tmp_path / "report.json"),
+        ]
+        assert cli_main(args) == 0
+        assert not (tmp_path / "spec.json.journal").exists()
+        # The exact same command runs again without complaint.
+        assert cli_main(args) == 0
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert set(report["stats"]["tiny-paper"]) == {"fairshare", "aiad"}
+        # Explicit journals survive success and support --resume.
+        kept = ["--journal", str(tmp_path / "kept")]
+        assert cli_main(args + kept) == 0
+        assert (tmp_path / "kept" / "meta.json").exists()
+        assert cli_main(args + kept + ["--resume"]) == 0
+
+    def test_resume_without_journal_rejected(self):
+        with pytest.raises(ValueError, match="requires a journal"):
+            api.run_parallel(tiny_spec(), workers=1, resume=True)
+        with pytest.raises(ValueError, match="requires a journal"):
+            api.run(tiny_spec(), resume=True)
+
+    def test_dirty_journal_without_resume_rejected(self, tmp_path):
+        spec = tiny_spec()
+        journal = tmp_path / "journal"
+        api.run_parallel(spec, workers=1, journal=journal)
+        with pytest.raises(ValueError, match="resume"):
+            api.run_parallel(spec, workers=1, journal=journal)
+
+    def test_foreign_nonempty_directory_not_adopted(self, tmp_path):
+        """A populated directory without meta.json is someone else's data;
+        adopting it would end with cleanup deleting their files."""
+        journal = tmp_path / "journal"
+        journal.mkdir()
+        (journal / "precious.txt").write_text("not yours")
+        with pytest.raises(ValueError, match="refusing to adopt"):
+            api.run_parallel(tiny_spec(), workers=1, journal=journal)
+        assert (journal / "precious.txt").exists()
+
+    def test_journal_of_other_spec_rejected(self, tmp_path):
+        journal = tmp_path / "journal"
+        api.run_parallel(tiny_spec(), workers=1, journal=journal)
+        with pytest.raises(ValueError, match="different spec"):
+            api.run_parallel(
+                tiny_spec(trials=3), workers=1, journal=journal, resume=True
+            )
+
+    def test_truncated_checkpoint_never_trusted(self, tmp_path):
+        """Atomic write leaves no partial shard files for resume to read."""
+        spec = tiny_spec()
+        journal_dir = tmp_path / "journal"
+        api.run_parallel(spec, workers=1, journal=journal_dir)
+        shard_files = sorted(journal_dir.glob("shard-*.pkl"))
+        assert len(shard_files) == len(plan_shards(spec, 1))
+        assert not list(journal_dir.glob("*.tmp"))
+        for path in shard_files:
+            with open(path, "rb") as fh:
+                outcome = pickle.load(fh)
+            assert outcome.stats.trial_indices is not None
+
+    def test_journal_roundtrip(self, tmp_path):
+        spec = tiny_spec()
+        journal = SweepJournal(tmp_path / "j", spec)
+        assert journal.open(resume=False, trials_per_shard=2) == 2
+        shards = plan_shards(spec, 2)
+        assert journal.load_completed(shards) == {}
+        # Reopening for resume against the same spec reuses the recorded
+        # granularity, whatever the new run would have auto-picked.
+        assert SweepJournal(tmp_path / "j", spec).open(resume=True, trials_per_shard=1) == 2
+
+    def test_resume_with_different_workers_reuses_checkpoints(self, tmp_path):
+        """Shard ids embed trial ranges, so the journal pins granularity:
+        resuming with another --workers must not silently recompute."""
+        spec = tiny_spec(trials=4)
+        journal = tmp_path / "journal"
+        serial = api.run(spec)
+        first = api.run_parallel(spec, workers=8, journal=journal)
+        assert first.sweep.shards_total == 8  # 2 cells x 4 single-trial shards
+        resumed = api.run_parallel(spec, workers=2, journal=journal, resume=True)
+        assert resumed.sweep.shards_resumed == 8
+        assert resumed.sweep.shards_run == 0
+        assert json.dumps(resumed.to_dict()) == json.dumps(serial.to_dict())
+        # An *explicit* conflicting granularity is an error, not a shrug.
+        with pytest.raises(ValueError, match="trials_per_shard"):
+            api.run_parallel(
+                spec, workers=2, journal=journal, resume=True, trials_per_shard=4
+            )
+
+    def test_corrupt_cache_file_degrades_to_cold_not_failed(self, tmp_path):
+        """Warm-up is best-effort: a truncated cache must not fail shards."""
+        spec = tiny_spec()
+        bad_cache = tmp_path / "tables.pkl"
+        bad_cache.write_bytes(b"\x80\x05truncated")
+        report = api.run_parallel(spec, workers=2, cache_path=bad_cache)
+        assert not report.failures
+        assert json.dumps(report.to_dict()) == json.dumps(api.run(spec).to_dict())

@@ -1,11 +1,19 @@
 #!/usr/bin/env python
-"""Perf regression gate for the optimizer hot path.
+"""Perf regression gates: optimizer hot path + sharded sweep executor.
 
-Re-runs the allocation hot-path micro-benchmark
-(``benchmarks/bench_optimizer_hotpath.py``) in-process and compares the
-warm-cache / warm-start solve timings against the checked-in baseline
-(``results/BENCH_optimizer.json``).  A point regresses when its measured
-time exceeds ``baseline * (1 + tolerance)``.
+Two benches run in-process and compare against checked-in baselines:
+
+- the allocation hot-path micro-benchmark
+  (``benchmarks/bench_optimizer_hotpath.py`` vs
+  ``results/BENCH_optimizer.json``): warm-cache / warm-start solve timings
+  regress when they exceed ``baseline * (1 + tolerance)``;
+- the sharded sweep bench (``benchmarks/bench_parallel_sweep.py`` vs
+  ``results/BENCH_parallel.json``): parallel reports must stay
+  byte-identical to serial (unconditional), the serial path must not
+  regress, and -- on machines with >= 4 cores -- the 4-worker sweep must
+  keep its >= 1.5x speedup.  The speedup gate is skipped (loudly) on
+  smaller machines: identity is provable anywhere, wall-clock scaling is
+  not.
 
 Run next to the tier-1 verify command:
 
@@ -13,11 +21,11 @@ Run next to the tier-1 verify command:
     PYTHONPATH=src python tools/check_perf.py      # performance
 
 Exit codes: 0 = within tolerance, 1 = regression, 2 = bad invocation.
-``--write`` refreshes the baseline file with the new measurements (do this
-deliberately, on the machine class the baseline describes).  The default
-tolerance is generous (75%) because wall-clock micro-benchmarks are noisy;
-a real regression -- losing the warm cache or warm starts -- is a
-multiple, not a percentage.
+``--write`` refreshes the baseline files with the new measurements (do
+this deliberately, on the machine class the baselines describe).  The
+default tolerance is generous (75%) because wall-clock micro-benchmarks
+are noisy; a real regression -- losing the warm cache, warm starts, or
+parallel scaling -- is a multiple, not a percentage.
 """
 
 from __future__ import annotations
@@ -94,6 +102,83 @@ def compare(
     return rows, ok
 
 
+def load_parallel_baseline(path: Path) -> dict:
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or not isinstance(data.get("points"), list):
+        raise ValueError(f"{path} has no benchmark points")
+    if "serial_s" not in data:
+        raise ValueError(f"{path} is missing 'serial_s'")
+    for point in data["points"]:
+        missing = {"workers", "wall_s", "speedup", "identical"} - set(point)
+        if missing:
+            raise ValueError(f"{path} point is missing {sorted(missing)}")
+    return data
+
+
+def compare_parallel(
+    baseline: dict, measured: dict, tolerance: float
+) -> tuple[list[tuple], bool]:
+    """Gate rows for the sweep bench; same row shape as :func:`compare`."""
+    rows = []
+    ok = True
+
+    broken = [p["workers"] for p in measured["points"] if not p["identical"]]
+    identical = not broken
+    ok = ok and identical
+    rows.append(
+        (
+            "sweep/identity",
+            "report bytes",
+            "== serial",
+            "== serial" if identical else f"DIVERGED at {broken} workers",
+            "ok" if identical else "REGRESSED (parallel != serial)",
+        )
+    )
+
+    budget = baseline["serial_s"] * (1.0 + tolerance)
+    serial_ok = measured["serial_s"] <= budget
+    ok = ok and serial_ok
+    rows.append(
+        (
+            "sweep/serial",
+            "wall_s",
+            f"{baseline['serial_s']:.2f}s",
+            f"{measured['serial_s']:.2f}s",
+            "ok" if serial_ok else f"REGRESSED (> {budget:.2f}s)",
+        )
+    )
+
+    cores = measured.get("cpu_count", 1)
+    required = baseline.get("gated_speedup_at_4", 1.5)
+    at_4 = next((p for p in measured["points"] if p["workers"] == 4), None)
+    if at_4 is None:
+        ok = False
+        rows.append(("sweep/4-workers", "speedup", f">= {required}", "-", "MISSING from run"))
+    elif cores >= 4:
+        passed = at_4["speedup"] >= required
+        ok = ok and passed
+        rows.append(
+            (
+                "sweep/4-workers",
+                "speedup",
+                f">= {required:.1f}x",
+                f"{at_4['speedup']:.2f}x",
+                "ok" if passed else "REGRESSED (lost parallel scaling)",
+            )
+        )
+    else:
+        rows.append(
+            (
+                "sweep/4-workers",
+                "speedup",
+                f">= {required:.1f}x",
+                f"{at_4['speedup']:.2f}x",
+                f"SKIPPED (needs >= 4 cores, have {cores})",
+            )
+        )
+    return rows, ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -109,9 +194,20 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional slowdown per gated metric (default 0.75)",
     )
     parser.add_argument(
+        "--parallel-baseline",
+        type=Path,
+        default=REPO_ROOT / "results" / "BENCH_parallel.json",
+        help="sweep-executor baseline JSON (default: results/BENCH_parallel.json)",
+    )
+    parser.add_argument(
+        "--skip-parallel",
+        action="store_true",
+        help="gate only the optimizer hot path",
+    )
+    parser.add_argument(
         "--write",
         action="store_true",
-        help="refresh the baseline file with the new measurements",
+        help="refresh the baseline file(s) with the new measurements",
     )
     args = parser.parse_args(argv)
 
@@ -125,9 +221,23 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    run_parallel_gate = not args.skip_parallel
+    if run_parallel_gate and not args.parallel_baseline.exists():
+        print(
+            f"error: baseline {args.parallel_baseline} not found; run the bench "
+            "once (pytest benchmarks/bench_parallel_sweep.py) or pass "
+            "--parallel-baseline / --skip-parallel",
+            file=sys.stderr,
+        )
+        return 2
 
     try:
         baseline = load_baseline(args.baseline)
+        parallel_baseline = (
+            load_parallel_baseline(args.parallel_baseline)
+            if run_parallel_gate
+            else None
+        )
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"error: cannot read baseline: {exc}", file=sys.stderr)
         return 2
@@ -150,18 +260,44 @@ def main(argv: list[str] | None = None) -> int:
         )
     )
 
+    parallel_measured = None
+    if run_parallel_gate:
+        from benchmarks.bench_parallel_sweep import run_parallel_bench
+
+        print(
+            f"\nrunning sharded sweep bench (baseline: {args.parallel_baseline}) ..."
+        )
+        parallel_measured = run_parallel_bench()
+        parallel_rows, parallel_ok = compare_parallel(
+            parallel_baseline, parallel_measured, args.tolerance
+        )
+        ok = ok and parallel_ok
+        print()
+        print(
+            format_table(
+                ["point", "metric", "baseline", "measured", "verdict"],
+                parallel_rows,
+                title="== Sharded sweep executor perf gate ==",
+            )
+        )
+
     if args.write:
         args.baseline.write_text(json.dumps({"points": measured}, indent=2) + "\n")
         print(f"\nwrote new baseline to {args.baseline}")
+        if parallel_measured is not None:
+            args.parallel_baseline.write_text(
+                json.dumps(parallel_measured, indent=2) + "\n"
+            )
+            print(f"wrote new baseline to {args.parallel_baseline}")
 
     if not ok:
         print(
-            "\nFAIL: warm-path timings regressed beyond tolerance "
+            "\nFAIL: perf gate regressed beyond tolerance "
             "(or the gate lost baseline coverage)",
             file=sys.stderr,
         )
         return 1
-    print("\nOK: warm-path timings within tolerance")
+    print("\nOK: all perf gates within tolerance")
     return 0
 
 
