@@ -39,7 +39,16 @@ from repro.cluster import (
     ResourceQuota,
 )
 from repro.policy import AutoscalePolicy, JobObservation, ScalingDecision
-from repro.sim import FlowSimulation, Simulation, SimulationConfig, SimulationResult
+from repro.sim import (
+    FlowSimulation,
+    HybridSimulation,
+    SimHarness,
+    Simulation,
+    SimulationConfig,
+    SimulationResult,
+    get_backend_registry,
+    register_backend,
+)
 from repro.sim.faults import FaultConfig
 
 __version__ = "1.0.0"
@@ -78,7 +87,11 @@ __all__ = [
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
+    "SimHarness",
     "FlowSimulation",
+    "HybridSimulation",
+    "register_backend",
+    "get_backend_registry",
     "FaultConfig",
     "quickstart_faro",
 ]

@@ -31,10 +31,18 @@ command line via ``repro-faro run --spec demo.json``.
 """
 
 from repro.api.registry import (
+    PLUGIN_ENTRY_POINT_GROUPS,
     PolicyInfo,
     PolicyRegistry,
     get_registry,
+    load_entry_point_plugins,
     register_policy,
+)
+from repro.sim.backends import (
+    SimBackendInfo,
+    SimBackendRegistry,
+    get_backend_registry,
+    register_backend,
 )
 from repro.api.spec import SPEC_VERSION, ExperimentSpec, PolicySpec, ScenarioSpec
 from repro.api.scenarios import (
@@ -65,8 +73,13 @@ from repro.api.parallel import (
     run_policies_parallel,
 )
 
-# Populate the default registries with every built-in policy.
+# Populate the default registries with every built-in policy, then pull in
+# third-party policies/backends advertised via importlib.metadata entry
+# points (spawn sweep workers re-run both on their own import of this
+# package, so plugin names resolve in worker processes too).
 import repro.api.builtin  # noqa: E402,F401  (imported for registration side effects)
+
+load_entry_point_plugins()
 
 __all__ = [
     "SPEC_VERSION",
@@ -77,6 +90,12 @@ __all__ = [
     "PolicyRegistry",
     "register_policy",
     "get_registry",
+    "PLUGIN_ENTRY_POINT_GROUPS",
+    "load_entry_point_plugins",
+    "SimBackendInfo",
+    "SimBackendRegistry",
+    "register_backend",
+    "get_backend_registry",
     "ScenarioInfo",
     "ScenarioRegistry",
     "register_scenario",

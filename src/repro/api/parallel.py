@@ -385,6 +385,7 @@ def _run_shard(job: _ShardJob) -> ShardOutcome:
         seed=spec.seed,
         predictor_profile=spec.predictor_profile,
         sim_overrides=spec.sim_overrides,
+        backend_options=spec.backend_options,
         progress=progress,
         trial_offset=shard.trial_start,
         total_trials=spec.trials,
@@ -667,6 +668,7 @@ class _PolicyShardJob:
     seed: int
     predictor_profile: object = None
     sim_overrides: object = None
+    backend_options: object = None
 
 
 #: Per-worker-process scenario installed by :func:`_install_worker_scenario`.
@@ -687,6 +689,7 @@ def _run_policy_shard(job: _PolicyShardJob) -> TrialStats:
         seed=job.seed,
         predictor_profile=job.predictor_profile,
         sim_overrides=job.sim_overrides,
+        backend_options=job.backend_options,
         trial_offset=job.trial_start,
         total_trials=job.total_trials,
     )
@@ -702,6 +705,7 @@ def run_policies_parallel(
     seed: int = 0,
     predictor_profile=None,
     sim_overrides=None,
+    backend_options=None,
     trials_per_shard: int | None = None,
 ) -> list[TrialStats]:
     """Run several policies on one *built* scenario across a process pool.
@@ -736,6 +740,7 @@ def run_policies_parallel(
                         seed=seed,
                         predictor_profile=predictor_profile,
                         sim_overrides=sim_overrides,
+                        backend_options=backend_options,
                     ),
                 )
             )

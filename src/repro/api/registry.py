@@ -41,6 +41,8 @@ __all__ = [
     "PolicyRegistry",
     "register_policy",
     "get_registry",
+    "PLUGIN_ENTRY_POINT_GROUPS",
+    "load_entry_point_plugins",
 ]
 
 #: Builder signature: ``(scenario, seed, options) -> AutoscalePolicy``.
@@ -242,3 +244,59 @@ def register_policy(
         config_type=config_type,
         aliases=aliases,
     )
+
+
+# ----------------------------------------------------- entry-point plugins
+
+#: Entry-point groups scanned for third-party registrations: policies and
+#: simulation backends.
+PLUGIN_ENTRY_POINT_GROUPS = ("repro_faro.policies", "repro_faro.sim_backends")
+
+
+def load_entry_point_plugins(
+    groups: tuple[str, ...] = PLUGIN_ENTRY_POINT_GROUPS,
+) -> tuple[str, ...]:
+    """Load third-party registry plugins advertised via package metadata.
+
+    An installed package opts in by declaring entry points, e.g.::
+
+        [project.entry-points."repro_faro.policies"]
+        my-policy = my_package.faro_plugin:register
+
+    Each entry point resolves to either a callable (invoked with no
+    arguments) or a module whose import performs the registration -- both
+    are expected to call :func:`register_policy` /
+    :func:`repro.sim.backends.register_backend`.  Returns
+    ``"group:name"`` labels of the plugins that loaded.
+
+    ``repro.api`` calls this once at import time, which also covers
+    ``spawn`` sweep workers (:mod:`repro.api.parallel`): a fresh worker
+    interpreter imports ``repro.api`` before resolving any policy or
+    backend named in a spec, so third-party names resolve there too.  A
+    plugin that fails to load is reported as a ``RuntimeWarning`` and
+    skipped -- one broken package must not take down every experiment.
+    """
+    import warnings
+    from importlib import metadata
+
+    loaded: list[str] = []
+    for group in groups:
+        try:
+            entries = metadata.entry_points(group=group)
+        except TypeError:  # pragma: no cover - Python < 3.10 select API
+            entries = metadata.entry_points().get(group, ())  # type: ignore[attr-defined]
+        for entry in entries:
+            try:
+                plugin = entry.load()
+                if callable(plugin):
+                    plugin()
+            except Exception as exc:
+                warnings.warn(
+                    f"failed to load plugin {entry.name!r} from entry-point "
+                    f"group {group!r}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            loaded.append(f"{group}:{entry.name}")
+    return tuple(loaded)

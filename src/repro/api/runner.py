@@ -25,9 +25,9 @@ from repro.api.registry import get_registry
 from repro.api.spec import ExperimentSpec, PolicySpec
 from repro.cluster.kubernetes import ResourceQuota
 from repro.experiments.scenarios import Scenario
-from repro.sim.analytic import FlowSimulation
+from repro.sim.backends import get_backend_registry
 from repro.sim.recorder import SimulationResult
-from repro.sim.simulation import Simulation, SimulationConfig
+from repro.sim.simulation import SimulationConfig
 
 __all__ = [
     "RunEvent",
@@ -193,6 +193,7 @@ def execute_trials(
     simulator: str = "request",
     seed: int = 0,
     sim_overrides: Mapping[str, Any] | None = None,
+    backend_options: Mapping[str, Any] | Any = None,
     progress: ProgressCallback | None = None,
     trial_offset: int = 0,
     total_trials: int | None = None,
@@ -204,14 +205,20 @@ def execute_trials(
     policy construction and the simulator, so any two routes into this
     function with equal arguments produce identical results.
 
+    ``simulator`` names a registered simulation backend
+    (:mod:`repro.sim.backends`); ``backend_options`` carries that
+    backend's typed options (mapping or config instance), validated by the
+    registry before any trial runs.
+
     ``trial_offset`` runs trials ``[offset, offset + trials)`` of a larger
     sweep: seeds derive from the *global* index and progress events report
     it, so a shard of a sweep is indistinguishable from the corresponding
     slice of the serial loop.  ``total_trials`` only labels progress events
     (defaults to ``trial_offset + trials``).
     """
-    if simulator not in ("request", "flow"):
-        raise ValueError(f"unknown simulator {simulator!r}")
+    backend_registry = get_backend_registry()
+    backend = backend_registry.get(simulator)  # unknown names raise here
+    parsed_options = backend_registry.parse_options(simulator, backend_options)
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     if trial_offset < 0:
@@ -239,14 +246,14 @@ def execute_trials(
             **dict(sim_overrides or {}),
         )
         quota = ResourceQuota.of_replicas(scenario.total_replicas)
-        sim_cls = Simulation if simulator == "request" else FlowSimulation
-        simulation = sim_cls(
+        simulation = backend.cls(
             scenario.jobs,
             scenario.eval_traces,
             policy,
             quota,
             config=config,
             history_prefix=scenario.history_prefix or None,
+            options=parsed_options,
         )
         result = simulation.run()
         result.policy_name = getattr(policy, "name", policy_label)
@@ -278,6 +285,7 @@ def run_policy(
     seed: int = 0,
     predictor_profile: Any = None,
     sim_overrides: Mapping[str, Any] | None = None,
+    backend_options: Mapping[str, Any] | Any = None,
     progress: ProgressCallback | None = None,
     trial_offset: int = 0,
     total_trials: int | None = None,
@@ -313,6 +321,7 @@ def run_policy(
         simulator=simulator,
         seed=seed,
         sim_overrides=sim_overrides,
+        backend_options=backend_options,
         progress=progress,
         trial_offset=trial_offset,
         total_trials=total_trials,
@@ -332,6 +341,9 @@ def _validate_spec(spec: ExperimentSpec) -> None:
     registry = get_registry()
     for policy in spec.policies:
         registry.parse_options(policy.name, policy.options)
+    # Backend name + options resolve through the backend registry, so a
+    # typo'd backend option dies here too.
+    get_backend_registry().parse_options(spec.simulator, spec.backend_options)
     scenario_registry = get_scenario_registry()
     seen_specs: set[str] = set()
     explicit_names: set[str] = set()
@@ -633,6 +645,7 @@ def run(
                 seed=spec.seed,
                 predictor_profile=spec.predictor_profile,
                 sim_overrides=spec.sim_overrides,
+                backend_options=spec.backend_options,
                 progress=progress,
             )
             per_policy[label] = stats

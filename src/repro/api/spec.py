@@ -23,6 +23,14 @@ Spec-file shape (JSON shown; YAML is accepted with the same keys)::
       "predictor_profile": "fast"
     }
 
+``simulator`` (spec files may also spell it ``backend``) names any
+registered simulation backend -- ``request``, ``flow``, ``hybrid``, or a
+plugin (see :mod:`repro.sim.backends`); the optional ``backend_options``
+mapping carries that backend's typed options, e.g.::
+
+      "simulator": "hybrid",
+      "backend_options": {"auto_request_jobs": 2}
+
 Unknown keys raise ``ValueError`` everywhere: a typo in a spec file fails
 at load time, not as a silently-ignored setting.
 """
@@ -39,7 +47,24 @@ __all__ = ["SPEC_VERSION", "ScenarioSpec", "PolicySpec", "ExperimentSpec"]
 #: Current spec-file schema version.
 SPEC_VERSION = 1
 
-_SIMULATORS = ("request", "flow")
+
+def _backend_registry():
+    """The simulation-backend registry, imported lazily.
+
+    Spec construction must stay importable without dragging in the whole
+    simulation stack unless a simulator name actually needs resolving.
+    """
+    from repro.sim.backends import get_backend_registry
+
+    return get_backend_registry()
+
+
+def __getattr__(name: str):
+    # Backwards compatibility: the simulator catalog used to be a frozen
+    # module constant; it is now derived from the backend registry.
+    if name == "_SIMULATORS":
+        return _backend_registry().names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _plain(value: Any) -> Any:
@@ -171,8 +196,16 @@ class ExperimentSpec:
     :class:`~repro.experiments.policies.PredictorProfile` fields, or
     ``None`` (policy defaults).  Per-policy options may still override it.
     ``sim_overrides`` passes extra
-    :class:`~repro.sim.simulation.SimulationConfig` fields (e.g.
+    :class:`~repro.sim.harness.SimulationConfig` fields (e.g.
     ``cold_start_range``, ``faults``) through to every trial.
+
+    ``simulator`` names a registered simulation backend
+    (:mod:`repro.sim.backends`; ``repro-faro backends list`` shows the
+    catalog -- ``request``, ``flow``, ``hybrid``, plus plugins).  Spec
+    files may spell the key ``backend`` instead.  ``backend_options``
+    carries that backend's typed options (e.g. the hybrid backend's
+    ``request_jobs``); unknown backends and unknown option keys fail at
+    load/validation time, exactly like policy options.
     """
 
     name: str
@@ -183,6 +216,7 @@ class ExperimentSpec:
     simulator: str = "request"
     predictor_profile: str | dict[str, Any] | None = None
     sim_overrides: dict[str, Any] = field(default_factory=dict)
+    backend_options: dict[str, Any] = field(default_factory=dict)
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -208,13 +242,16 @@ class ExperimentSpec:
             )
         if self.trials < 1:
             raise ValueError(f"trials must be >= 1, got {self.trials}")
-        if self.simulator not in _SIMULATORS:
+        registry = _backend_registry()
+        if self.simulator not in registry:
             raise ValueError(
-                f"unknown simulator {self.simulator!r}; expected one of {_SIMULATORS}"
+                f"unknown simulator {self.simulator!r}; expected one of "
+                f"{registry.names()} (or a registered alias)"
             )
         object.__setattr__(self, "scenarios", scenarios)
         object.__setattr__(self, "policies", policies)
         object.__setattr__(self, "sim_overrides", _normalize(self.sim_overrides))
+        object.__setattr__(self, "backend_options", _normalize(self.backend_options))
         if isinstance(self.predictor_profile, (Mapping, list, tuple)):
             object.__setattr__(
                 self, "predictor_profile", _normalize(self.predictor_profile)
@@ -242,7 +279,7 @@ class ExperimentSpec:
     # ------------------------------------------------------ serialization
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "version": SPEC_VERSION,
             "name": self.name,
             "description": self.description,
@@ -254,6 +291,10 @@ class ExperimentSpec:
             "predictor_profile": _plain(self.predictor_profile),
             "sim_overrides": _plain(self.sim_overrides),
         }
+        # Emitted only when set: legacy specs keep byte-identical dumps.
+        if self.backend_options:
+            data["backend_options"] = _plain(self.backend_options)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
@@ -268,8 +309,10 @@ class ExperimentSpec:
                 "trials",
                 "seed",
                 "simulator",
+                "backend",
                 "predictor_profile",
                 "sim_overrides",
+                "backend_options",
             },
             "experiment spec",
         )
@@ -281,6 +324,16 @@ class ExperimentSpec:
             )
         if "name" not in data:
             raise ValueError("experiment spec requires a 'name'")
+        # "backend" is an input-side alias for "simulator" (the canonical,
+        # serialized key): spec files written around the backend registry
+        # read more naturally with it.
+        simulator = data.get("simulator")
+        backend = data.get("backend")
+        if simulator is not None and backend is not None and simulator != backend:
+            raise ValueError(
+                f"spec sets both simulator={simulator!r} and "
+                f"backend={backend!r}; use one (they are aliases)"
+            )
         profile = data.get("predictor_profile")
         return cls(
             name=data["name"],
@@ -291,11 +344,12 @@ class ExperimentSpec:
             policies=tuple(PolicySpec.from_dict(p) for p in data.get("policies", ())),
             trials=int(data.get("trials", 1)),
             seed=int(data.get("seed", 0)),
-            simulator=data.get("simulator", "request"),
+            simulator=simulator if simulator is not None else (backend or "request"),
             predictor_profile=(
                 dict(profile) if isinstance(profile, Mapping) else profile
             ),
             sim_overrides=dict(data.get("sim_overrides", {})),
+            backend_options=dict(data.get("backend_options", {})),
         )
 
     # ------------------------------------------------------------ file IO

@@ -1,6 +1,6 @@
 """Command-line interface for the Faro reproduction.
 
-Seven subcommands cover the workflows a user reaches for first:
+Eight subcommands cover the workflows a user reaches for first:
 
 - ``run``      -- one policy on one paper scenario, or (with ``--spec``)
   a whole declarative experiment file driven through ``repro.api.run``.
@@ -10,6 +10,8 @@ Seven subcommands cover the workflows a user reaches for first:
 - ``compare``  -- several policies on the same scenario side by side
   (the Fig. 10 / Table 3 workflow).
 - ``policies`` -- list/inspect the policy registry (built-ins + plugins).
+- ``backends`` -- list/inspect the simulation-backend registry
+  (request / flow / hybrid fidelities + plugins) and their typed options.
 - ``scenarios``-- list the registered scenario kinds and their parameters.
 - ``traces``   -- generate, describe, or export the synthetic Azure/Twitter
   workload mixes.
@@ -46,9 +48,10 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="base random seed")
     parser.add_argument(
         "--simulator",
-        choices=("flow", "request"),
         default="flow",
-        help="flow = fast analytic simulator, request = request-level simulator",
+        help="simulation backend: flow (fast analytic), request "
+        "(request-level), hybrid, or any registered backend "
+        "(see `repro-faro backends list`)",
     )
 
 
@@ -369,6 +372,52 @@ def _cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+    from repro.sim import get_backend_registry
+
+    registry = get_backend_registry()
+    if args.action == "list":
+        rows = [
+            [
+                info.name,
+                info.fidelity or "-",
+                ",".join(info.aliases) or "-",
+                info.description,
+            ]
+            for info in registry
+        ]
+        print(
+            format_table(
+                ["backend", "fidelity", "aliases", "description"],
+                rows,
+                title=f"Registered simulation backends ({len(rows)})",
+            )
+        )
+        return 0
+    # action == "show"
+    if not args.name:
+        print("error: show requires a backend name", file=sys.stderr)
+        return 2
+    try:
+        info = registry.get(args.name)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{info.name} (fidelity={info.fidelity or '-'})")
+    print(f"  {info.description}")
+    if info.aliases:
+        print(f"  aliases: {', '.join(info.aliases)}")
+    options = info.option_fields()
+    if options:
+        print("  options (spec-file 'backend_options' keys):")
+        for field_name, default in options:
+            print(f"    {field_name} = {default!r}")
+    else:
+        print("  options: none")
+    return 0
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     from repro import api
     from repro.experiments.report import format_table
@@ -597,6 +646,13 @@ def build_parser() -> argparse.ArgumentParser:
     policies.add_argument("name", nargs="?", help="policy name (show)")
     policies.add_argument("--kind", help="filter by kind (faro/baseline/controller/plugin)")
     policies.set_defaults(func=_cmd_policies)
+
+    backends = sub.add_parser(
+        "backends", help="list / inspect registered simulation backends"
+    )
+    backends.add_argument("action", choices=("list", "show"))
+    backends.add_argument("name", nargs="?", help="backend name (show)")
+    backends.set_defaults(func=_cmd_backends)
 
     scenarios = sub.add_parser("scenarios", help="list registered scenario kinds")
     scenarios.add_argument("action", choices=("list",))

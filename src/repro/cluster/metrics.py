@@ -93,6 +93,54 @@ class MetricsCollector:
         bin_.latencies.append(latency)
         bin_.proc_time_sum += proc_time if proc_time is not None else self.proc_time
 
+    def record_many(self, arrival_times, latencies) -> None:
+        """Record a batch of request outcomes (``inf`` latency = drop).
+
+        Bit-identical to calling :meth:`record` once per request in order
+        (pinned by ``tests/test_sim_backends.py``): counts are exact, bin
+        latency lists receive the same values in the same order, and the
+        per-bin ``proc_time_sum`` is accumulated with the same sequential
+        additions (one per served request, in order) so not even
+        floating-point rounding can differ.
+        """
+        arrival_times = np.asarray(arrival_times, dtype=float)
+        latencies = np.asarray(latencies, dtype=float)
+        n = arrival_times.shape[0]
+        if n == 0:
+            return
+        indices = (arrival_times // self.bin_seconds).astype(np.int64)
+        # Arrivals come in nondecreasing time order, so equal bins form
+        # contiguous runs; processing runs in order preserves the exact
+        # per-bin append/accumulate order of the scalar path.  (Out-of-order
+        # input still lands in the right bins -- later runs of a repeated
+        # bin just append after earlier ones, as record() would.)
+        boundaries = np.flatnonzero(indices[1:] != indices[:-1]) + 1
+        run_starts = [0, *boundaries.tolist()]
+        run_ends = [*boundaries.tolist(), n]
+        slo_target = self.slo.target
+        proc_time = self.proc_time
+        for start, end in zip(run_starts, run_ends):
+            bin_ = self._bins.setdefault(int(indices[start]), _Bin())
+            count = end - start
+            bin_.arrivals += count
+            window = latencies[start:end]
+            # inf > target is True, so this counts drops and slow requests
+            # in one comparison (record() counts a drop as a violation).
+            bin_.violations += int(np.count_nonzero(window > slo_target))
+            drops = int(np.count_nonzero(np.isinf(window)))
+            if drops:
+                bin_.drops += drops
+                window = window[np.isfinite(window)]
+            served = window.shape[0]
+            if served:
+                bin_.latencies.extend(window.tolist())
+                # Repeated addition is not multiplication in floating
+                # point: accumulate exactly as record() would have.
+                total = bin_.proc_time_sum
+                for _ in range(served):
+                    total += proc_time
+                bin_.proc_time_sum = total
+
     # -------------------------------------------------------- observation
 
     def _bins_in(self, start: float, end: float) -> list[_Bin]:

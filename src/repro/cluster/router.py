@@ -220,3 +220,228 @@ class JobRouter:
             self._pending_starts.append(start)
         self.totals.served += 1
         return completion - arrival
+
+    # ------------------------------------------------------- batch offers
+
+    def offer_many(self, arrivals: np.ndarray) -> np.ndarray:
+        """Offer a chunk of arrivals (nondecreasing times); returns latencies.
+
+        Semantically identical to calling :meth:`offer` once per arrival in
+        order -- bit-for-bit, including RNG consumption and post-chunk
+        replica state (pinned by ``tests/test_sim_backends.py``).  When the
+        chunk provably involves no queueing and no randomness
+        (deterministic service, no drop directive, pool drained before the
+        first arrival, and no request would wait), the whole chunk is
+        resolved with numpy batch arithmetic instead of per-request heap
+        operations; any chunk that could queue, drop, or draw a random
+        number falls back to the exact scalar loop.
+        """
+        arrivals = np.asarray(arrivals, dtype=float)
+        n = arrivals.shape[0]
+        if n == 0:
+            return np.empty(0)
+        latencies = np.empty(n)
+        offer = self.offer
+        arrivals_list = None
+        position = 0
+        while position < n:
+            if (
+                n - position >= self._MIN_FAST_PREFIX
+                and self.chunk_fast_preconditions(float(arrivals[position]))
+            ):
+                fast = self._offer_chunk_fast(arrivals[position:])
+                if fast is not None:
+                    prefix_latencies, consumed = fast
+                    latencies[position : position + consumed] = prefix_latencies
+                    position += consumed
+                    continue
+            # A burst (or randomness) blocks batching here: resolve a
+            # bounded block with the exact per-request loop, then retry --
+            # the pool usually drains again a few requests past the burst.
+            stop = min(position + self._SCALAR_BLOCK, n)
+            if arrivals_list is None:
+                arrivals_list = arrivals.tolist()
+            while position < stop:
+                latencies[position] = offer(arrivals_list[position])
+                position += 1
+        return latencies
+
+    def chunk_fast_preconditions(self, first_arrival: float) -> bool:
+        """Cheap (numpy-free) screen for the batch fast path.
+
+        True only when the chunk starting at ``first_arrival`` cannot
+        involve randomness (no drop directive, deterministic service) and
+        the router queue is empty before the first arrival -- the regime
+        where FIFO earliest-free dispatch has a closed per-replica-class
+        form.  Expires the consumed prefix of the pending-start deque
+        exactly like the scalar path's first ``queue_length`` call would.
+        """
+        if (
+            self.drop_rate > 0.0
+            or self.model.proc_jitter != 0.0
+            or not self._replicas
+        ):
+            return False
+        pending = self._pending_starts
+        while pending and pending[0] <= first_arrival:
+            pending.popleft()
+        return not pending
+
+    #: Smallest no-wait prefix worth committing in one numpy pass; below
+    #: this the batch bookkeeping costs more than it saves.
+    _MIN_FAST_PREFIX = 12
+
+    #: Requests resolved per-request after a declined batch attempt before
+    #: the fast path is retried (bounds retry overhead during bursts).
+    _SCALAR_BLOCK = 32
+
+    #: Pool size from which the closed-form recurrence runs as c-wide
+    #: numpy rows; below it, per-row dispatch overhead loses to a plain
+    #: Python scan (both compute identical IEEE doubles).
+    _NUMPY_RECURRENCE_MIN_POOL = 12
+
+    def _offer_chunk_fast(self, arrivals: np.ndarray) -> tuple[np.ndarray, int] | None:
+        """Closed-form routing of a chunk under deterministic service.
+
+        Requires :meth:`chunk_fast_preconditions` (no randomness, empty
+        router queue at the first arrival).  With constant service time
+        ``p`` the pop-min dispatch has exact structure: completions are
+        nondecreasing, so the heap's pops are the sorted initial free
+        times followed by completions in request order -- request ``k``
+        is served by the ``k``-th smallest ``(free_at, id)`` replica for
+        ``k < c`` and by the replica of request ``k - c`` afterwards, and
+
+            ``start[k] = max(arrival[k], F[k])            (k < c)``
+            ``start[k] = max(arrival[k], start[k-c] + p)  (k >= c)``
+
+        which vectorizes across the ``c`` replica classes (one numpy row
+        per ``c`` requests, using exactly the scalar path's floating-point
+        operations, so engagement is bit-identical).  The recurrence is
+        valid while every request is *accepted*; the chunk is therefore
+        committed up to the first tail-drop (computed from the vectorized
+        queue lengths) and the scalar loop continues from the identical
+        post-prefix state.  Pop-order ties that would fall to the heap's
+        id tie-break decline the whole chunk (``None``).
+        """
+        replicas = list(self._replicas.values())
+        count = len(replicas)
+        proc = self.model.proc_time
+        n = arrivals.shape[0]
+        order = sorted(replicas, key=lambda r: (r.free_at, r.replica_id))
+        frees = [replica.free_at for replica in order]
+        # The recurrence costs one numpy row per c requests, so wide pools
+        # amortize numpy dispatch and narrow pools are cheaper in plain
+        # Python (identical IEEE ops either way -- max and + on float64).
+        if count >= self._NUMPY_RECURRENCE_MIN_POOL:
+            resolved = self._fast_starts_numpy(arrivals, frees, count, proc)
+        else:
+            resolved = self._fast_starts_python(arrivals, frees, count, proc)
+        if resolved is None:
+            return None
+        starts, completions, prefix = resolved
+        if prefix < self._MIN_FAST_PREFIX:
+            return None
+        self.totals.arrivals += prefix
+        self.totals.served += prefix
+        for position, replica in enumerate(order):
+            served = (prefix - position + count - 1) // count
+            if served > 0:
+                replica.served += served
+                replica.free_at = float(
+                    completions[position + (served - 1) * count]
+                )
+        # Rebuild the heap from live state: equivalent to the scalar heap
+        # minus its lazily-deleted stale entries (pop order is the total
+        # order on (free_at, id) either way).
+        self._free_heap = [(replica.free_at, replica.replica_id) for replica in replicas]
+        heapq.heapify(self._free_heap)
+        # Waiting starts still pending at the last accepted arrival feed
+        # the next queue_length calls, exactly as the scalar loop would
+        # have left them (it expires entries <= each arrival as it goes).
+        last_arrival = arrivals[prefix - 1]
+        accepted = arrivals[:prefix]
+        waiting = starts[(starts > accepted) & (starts > last_arrival)]
+        if waiting.shape[0]:
+            self._pending_starts.extend(waiting.tolist())
+        return completions - accepted, prefix
+
+    def _fast_starts_numpy(self, arrivals, frees, count, proc):
+        """Start/completion times via c-wide numpy rows (large pools).
+
+        Returns ``(starts, completions, prefix)`` with the prefix cut at
+        the first tail-drop, or ``None`` on a pop-order tie.
+        """
+        n = arrivals.shape[0]
+        rows = -(-n // count)
+        padded = np.empty(rows * count)
+        padded[:n] = arrivals
+        padded[n:] = arrivals[-1]
+        chunk = padded.reshape(rows, count)
+        starts = np.empty_like(chunk)
+        starts[0] = np.maximum(chunk[0], frees)
+        for row in range(1, rows):
+            starts[row] = np.maximum(chunk[row], starts[row - 1] + proc)
+        starts = starts.reshape(-1)[:n]
+        completions = starts + proc
+        # Pop-order guards: every initial free must pop strictly before the
+        # first completion, and completions must be strictly increasing --
+        # otherwise assignment falls to the heap's id tie-break and the
+        # class structure above is not provably the heap's order.
+        if frees[-1] >= completions[0]:
+            return None
+        if n > 1 and not np.all(completions[1:] > completions[:-1]):
+            return None
+        # Vectorized router-queue lengths: q[k] = waiting starts > a[k]
+        # among requests 0..k-1 (starts are nondecreasing, so the count is
+        # a prefix difference).  The first arrival over the threshold
+        # tail-drops, which invalidates the recurrence past it: commit the
+        # accepted prefix only.
+        positions = np.arange(n)
+        queued = positions - np.minimum(
+            np.searchsorted(starts, arrivals, side="right"), positions
+        )
+        over = queued >= self.queue_threshold
+        prefix = int(np.argmax(over)) if over.any() else n
+        return starts[:prefix], completions[:prefix], prefix
+
+    def _fast_starts_python(self, arrivals, frees, count, proc):
+        """Start/completion times via a plain-Python scan (small pools).
+
+        Same recurrence, same guards, same IEEE-double operations as
+        :meth:`_fast_starts_numpy` -- ``max``/``+`` on Python floats and
+        on float64 arrays round identically -- but without per-row numpy
+        dispatch, which dominates when the pool is only a few replicas.
+        """
+        arrival_list = arrivals.tolist()
+        n = len(arrival_list)
+        threshold = self.queue_threshold
+        last_free = frees[-1]
+        starts: list[float] = []
+        completions: list[float] = []
+        append_start = starts.append
+        append_completion = completions.append
+        previous_completion = -math.inf
+        served_pointer = 0  # starts[:served_pointer] have begun by now
+        prefix = n
+        for index in range(n):
+            arrival = arrival_list[index]
+            base = frees[index] if index < count else completions[index - count]
+            start = arrival if arrival >= base else base
+            completion = start + proc
+            if completion <= previous_completion:
+                return None  # pop-order tie: the heap's id tie-break rules
+            if index == 0 and last_free >= completion:
+                return None
+            while served_pointer < index and starts[served_pointer] <= arrival:
+                served_pointer += 1
+            if index - served_pointer >= threshold:
+                prefix = index  # this arrival tail-drops; commit before it
+                break
+            append_start(start)
+            append_completion(completion)
+            previous_completion = completion
+        return (
+            np.asarray(starts),
+            np.asarray(completions),
+            prefix,
+        )

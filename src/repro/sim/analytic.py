@@ -11,25 +11,31 @@ Table 7 ranking comparison against the request-level simulator.
 
 Policies interact with it through exactly the same observation/decision
 interface, so every autoscaler implementation is reused unchanged --
-mirroring how the paper's simulator reuses the deployment code.
+mirroring how the paper's simulator reuses the deployment code.  The
+control loop is the shared :class:`~repro.sim.harness.SimHarness`; replica
+cold starts and drains run on the event-driven
+:class:`~repro.sim.lifecycle.ReplicaLifecycle`, and
+``SimulationConfig.faults`` is honoured with the same per-replica fault
+process the request-level simulator uses (failures remove serving
+capacity; the reconcile step recreates pods behind a fresh cold start).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cluster.job import InferenceJobSpec
-from repro.cluster.kubernetes import ResourceQuota
 from repro.core.penalty import penalty_multiplier
 from repro.core.utility import inverse_utility
-from repro.policy import AutoscalePolicy, JobObservation, ScalingDecision
+from repro.policy import JobObservation, ScalingDecision
 from repro.queueing.mdc import mdc_latency_percentile
 from repro.queueing.mmc import erlang_c
+from repro.sim.faults import make_fault_injector
+from repro.sim.harness import SimHarness, SimulationConfig, admit_decision
+from repro.sim.lifecycle import ReplicaLifecycle
 from repro.sim.recorder import JobSeries, SimulationResult
-from repro.sim.simulation import SimulationConfig
 
 __all__ = ["FlowSimulation"]
 
@@ -48,38 +54,39 @@ class _FlowJob:
         self.spec = spec
         self.trace = trace
         self.queue_threshold = queue_threshold
-        self.cold_start_range = cold_start_range
         self.rng = rng
-        self.running = 0
-        self.pending: list[float] = []  # ready_at times
+        self.lifecycle = ReplicaLifecycle(cold_start_range, rng)
         self.queue = 0.0
         self.drop_rate = 0.0
         self.target = 0
 
     # ----------------------------------------------------------- scaling
 
+    @property
+    def running(self) -> int:
+        """Replicas past their cold start (serving capacity)."""
+        return self.lifecycle.ready
+
+    @running.setter
+    def running(self, value: int) -> None:
+        self.lifecycle.ready = int(value)
+
+    @property
+    def existing(self) -> int:
+        """Replicas that exist (running or still cold-starting)."""
+        return self.lifecycle.total
+
     def scale_to(self, target: int, now: float) -> None:
         self.target = target
-        current = self.running + len(self.pending)
-        if target > current:
-            lo, hi = self.cold_start_range
-            for _ in range(target - current):
-                delay = lo if hi == lo else float(self.rng.uniform(lo, hi))
-                self.pending.append(now + delay)
-        elif target < current:
-            shrink = current - target
-            # Cancel cold-starting pods first (latest ready time first).
-            self.pending.sort()
-            while shrink > 0 and self.pending:
-                self.pending.pop()
-                shrink -= 1
-            self.running = max(self.running - shrink, 0)
+        self.lifecycle.scale_to(target, now)
 
-    def promote(self, now: float) -> None:
-        ready = [t for t in self.pending if t <= now]
-        if ready:
-            self.running += len(ready)
-            self.pending = [t for t in self.pending if t > now]
+    def fail(self, count: int, now: float) -> int:
+        """Fault injection: lose ``count`` running replicas, then let the
+        reconcile step recreate them behind a fresh cold start."""
+        killed = self.lifecycle.fail(count)
+        if killed:
+            self.lifecycle.scale_to(self.target, now)
+        return killed
 
     # ------------------------------------------------------------- flow
 
@@ -88,7 +95,7 @@ class _FlowJob:
 
         ``lam`` is the offered arrival rate in requests/second.
         """
-        self.promote(now)
+        self.lifecycle.advance(now)
         spec = self.spec
         p = spec.model.proc_time
         arrivals = lam * dt
@@ -187,190 +194,202 @@ class _FlowJob:
         return fraction
 
 
-class FlowSimulation:
+# Shared analytic accounting, used verbatim by :class:`FlowSimulation` and
+# the hybrid backend's analytic half (:mod:`repro.sim.hybrid`) -- one
+# implementation, so the two fidelities cannot drift.
+
+def new_flow_buckets(names, minutes: int) -> dict[str, dict]:
+    """Fresh per-minute accumulators for the analytic jobs ``names``."""
+    return {
+        name: {
+            "arrivals": np.zeros(minutes),
+            "drops": np.zeros(minutes),
+            "violations": np.zeros(minutes),
+            "lat_sum": np.zeros(minutes),
+            "lat_weight": np.zeros(minutes),
+            "lat_max": np.zeros(minutes),
+            "replicas": np.zeros(minutes, dtype=int),
+        }
+        for name in names
+    }
+
+
+def accumulate_flow_tick(bucket: dict, minute: int, stats: dict) -> None:
+    """Fold one tick's :meth:`_FlowJob.step` aggregates into a bucket."""
+    bucket["arrivals"][minute] += stats["arrivals"]
+    bucket["drops"][minute] += stats["drops"]
+    bucket["violations"][minute] += stats["violations"]
+    if math.isfinite(stats["latency_p"]):
+        bucket["lat_sum"][minute] += stats["latency_p"] * stats["arrivals"]
+        bucket["lat_weight"][minute] += stats["arrivals"]
+        bucket["lat_max"][minute] = max(bucket["lat_max"][minute], stats["latency_p"])
+    else:
+        bucket["lat_max"][minute] = math.inf
+
+
+def flow_observation(
+    name: str,
+    flow: _FlowJob,
+    minute: int,
+    history_rpm: dict[str, np.ndarray],
+    last_tick: dict[str, dict],
+) -> JobObservation:
+    """Build one analytic job's observation at trace ``minute``."""
+    start = minute - 14
+    if start >= 0:
+        window = flow.trace[start : minute + 1]
+    else:
+        prefix = history_rpm.get(name, np.zeros(0))
+        pad = prefix[len(prefix) + start :] if len(prefix) + start >= 0 else prefix
+        window = np.concatenate([pad, flow.trace[: minute + 1]])
+    tick_stats = last_tick.get(name, {})
+    arrivals = tick_stats.get("arrivals", 0.0)
+    violations = tick_stats.get("violations", 0.0)
+    return JobObservation(
+        job_name=name,
+        arrival_rate=flow.trace[minute] / 60.0,
+        rate_history=tuple(window / 60.0),
+        mean_proc_time=flow.spec.model.proc_time,
+        latency=tick_stats.get("latency_p", 0.0),
+        slo_violation_rate=violations / arrivals if arrivals else 0.0,
+        current_replicas=flow.running,
+        target_replicas=flow.target,
+        queue_length=int(flow.queue),
+        drop_rate=flow.drop_rate,
+    )
+
+
+def collect_flow_series(name: str, flow: _FlowJob, bucket: dict, minutes: int) -> JobSeries:
+    """Assemble one analytic job's per-minute evaluation series."""
+    spec = flow.spec
+    latency = np.zeros(minutes)
+    utility = np.zeros(minutes)
+    effective = np.zeros(minutes)
+    for m in range(minutes):
+        if math.isinf(bucket["lat_max"][m]):
+            latency[m] = math.inf
+        elif bucket["lat_weight"][m] > 0:
+            mean_component = bucket["lat_sum"][m] / bucket["lat_weight"][m]
+            latency[m] = 0.5 * (mean_component + bucket["lat_max"][m])
+        else:
+            latency[m] = 0.0
+        arrivals = bucket["arrivals"][m]
+        if arrivals <= 0:
+            utility[m] = 1.0
+            effective[m] = 1.0
+            continue
+        utility[m] = inverse_utility(latency[m], spec.slo.target)
+        drop_fraction = min(bucket["drops"][m] / arrivals, 1.0)
+        effective[m] = penalty_multiplier(drop_fraction) * utility[m]
+    return JobSeries(
+        name=name,
+        arrivals=np.round(bucket["arrivals"]).astype(int),
+        drops=np.round(bucket["drops"]).astype(int),
+        violations=np.minimum(
+            np.round(bucket["violations"]), np.round(bucket["arrivals"])
+        ).astype(int),
+        latency_p=latency,
+        utility=utility,
+        effective_utility=effective,
+        replicas=bucket["replicas"],
+    )
+
+
+class FlowSimulation(SimHarness):
     """Analytic counterpart of :class:`repro.sim.simulation.Simulation`."""
 
-    def __init__(
-        self,
-        jobs: list[InferenceJobSpec],
-        traces: dict[str, np.ndarray],
-        policy: AutoscalePolicy,
-        quota: ResourceQuota,
-        config: SimulationConfig | None = None,
-        initial_replicas: dict[str, int] | None = None,
-        history_prefix: dict[str, np.ndarray] | None = None,
-    ) -> None:
-        self.config = config or SimulationConfig()
-        missing = [job.name for job in jobs if job.name not in traces]
-        if missing:
-            raise ValueError(f"traces missing for jobs: {missing}")
-        self.jobs = jobs
-        self.policy = policy
-        self.quota = quota
-        trace_minutes = min(len(traces[job.name]) for job in jobs)
-        limit = self.config.duration_minutes
-        self.duration_minutes = min(trace_minutes, limit) if limit else trace_minutes
+    fidelity_label = "analytic-flow"
+
+    # ------------------------------------------------------------- hooks
+
+    def _setup(self) -> None:
         rng = np.random.default_rng(self.config.seed)
-        initial_replicas = initial_replicas or {}
-        self._history_prefix = {
-            name: np.asarray(values, dtype=float) * self.config.rate_scale
-            for name, values in (history_prefix or {}).items()
+        self._history_rpm = {
+            name: values * self.config.rate_scale
+            for name, values in self.history_prefix.items()
         }
         self.state: dict[str, _FlowJob] = {}
-        for job in jobs:
+        for job in self.jobs:
             flow = _FlowJob(
                 spec=job,
-                trace=np.asarray(traces[job.name], dtype=float)[: self.duration_minutes]
-                * self.config.rate_scale,
+                trace=self.traces[job.name] * self.config.rate_scale,
                 queue_threshold=self.config.queue_threshold,
                 cold_start_range=self.config.cold_start_range,
                 rng=np.random.default_rng(rng.integers(2**31)),
             )
-            count = int(initial_replicas.get(job.name, job.min_replicas))
+            count = int(self.initial_replicas.get(job.name, job.min_replicas))
             flow.running = count
             flow.target = count
             self.state[job.name] = flow
+        self._fault_injector = (
+            make_fault_injector(self.config.faults) if self.config.faults else None
+        )
 
-    # ------------------------------------------------------------ control
+    def _reset(self) -> None:
+        if self._fault_injector is not None:
+            self._fault_injector.reset()
+        self._acc = new_flow_buckets(self.state, self.duration_minutes)
+        self._last_tick: dict[str, dict] = {}
 
-    def _observations(self, now: float, last_tick: dict[str, dict]) -> dict[str, JobObservation]:
-        observations = {}
-        minute = min(int(now // 60.0), self.duration_minutes - 1)
+    def advance(self, now: float, tick: float, end_time: float) -> float:
+        dt = min(tick, end_time - now)
+        minutes = self.duration_minutes
+        minute = min(int(now // 60.0), minutes - 1)
         for name, flow in self.state.items():
-            start = minute - 14
-            if start >= 0:
-                window = flow.trace[start : minute + 1]
-            else:
-                prefix = self._history_prefix.get(name, np.zeros(0))
-                pad = prefix[len(prefix) + start :] if len(prefix) + start >= 0 else prefix
-                window = np.concatenate([pad, flow.trace[: minute + 1]])
-            history = tuple(window / 60.0)
-            tick_stats = last_tick.get(name, {})
-            arrivals = tick_stats.get("arrivals", 0.0)
-            violations = tick_stats.get("violations", 0.0)
-            observations[name] = JobObservation(
-                job_name=name,
-                arrival_rate=flow.trace[minute] / 60.0,
-                rate_history=history,
-                mean_proc_time=flow.spec.model.proc_time,
-                latency=tick_stats.get("latency_p", 0.0),
-                slo_violation_rate=violations / arrivals if arrivals else 0.0,
-                current_replicas=flow.running,
-                target_replicas=flow.target,
-                queue_length=int(flow.queue),
-                drop_rate=flow.drop_rate,
-            )
-        return observations
+            lam = flow.trace[minute] / 60.0
+            stats = flow.step(now, dt, lam)
+            self._last_tick[name] = stats
+            accumulate_flow_tick(self._acc[name], minute, stats)
+        now += dt
+        if self._fault_injector is not None:
+            for name, flow in self.state.items():
+                kills = self._fault_injector.sample(name, flow.existing, dt)
+                if kills:
+                    flow.fail(kills, now)
+        return now
 
-    def _apply(self, decision: ScalingDecision, now: float) -> None:
+    def observations(self, now: float) -> dict[str, JobObservation]:
+        minute = min(int(now // 60.0), self.duration_minutes - 1)
+        return {
+            name: flow_observation(
+                name, flow, minute, self._history_rpm, self._last_tick
+            )
+            for name, flow in self.state.items()
+        }
+
+    def apply(self, decision: ScalingDecision, now: float) -> None:
         current = {name: flow.target for name, flow in self.state.items()}
-        cpu_per = {n: f.spec.model.cpu_per_replica for n, f in self.state.items()}
-        mem_per = {n: f.spec.model.mem_per_replica for n, f in self.state.items()}
-        admitted = self.quota.admit(current, decision.replicas, cpu_per, mem_per)
+        admitted = admit_decision(self.quota, self.jobs, current, decision)
         for name, target in admitted.items():
             flow = self.state[name]
             target = max(target, flow.spec.min_replicas)
-            if target != flow.running + len(flow.pending):
+            if target != flow.existing:
                 flow.scale_to(target, now)
             flow.target = target
         for name, rate in decision.drop_rates.items():
             if name in self.state:
                 self.state[name].drop_rate = float(rate)
 
-    # ----------------------------------------------------------------- run
+    def end_of_chunk(self, now: float) -> None:
+        minute_after = min(int(now // 60.0), self.duration_minutes - 1)
+        for name, flow in self.state.items():
+            self._acc[name]["replicas"][minute_after] = flow.target
 
-    def run(self) -> SimulationResult:
-        self.policy.reset()
-        tick = float(self.policy.tick_interval)
-        minutes = self.duration_minutes
-        acc = {
-            name: {
-                "arrivals": np.zeros(minutes),
-                "drops": np.zeros(minutes),
-                "violations": np.zeros(minutes),
-                "lat_sum": np.zeros(minutes),
-                "lat_weight": np.zeros(minutes),
-                "lat_max": np.zeros(minutes),
-                "replicas": np.zeros(minutes, dtype=int),
-            }
-            for name in self.state
-        }
-        now = 0.0
-        end_time = minutes * 60.0
-        last_tick: dict[str, dict] = {}
-        while now < end_time - 1e-9:
-            dt = min(tick, end_time - now)
-            minute = min(int(now // 60.0), minutes - 1)
-            for name, flow in self.state.items():
-                lam = flow.trace[minute] / 60.0
-                stats = flow.step(now, dt, lam)
-                last_tick[name] = stats
-                bucket = acc[name]
-                bucket["arrivals"][minute] += stats["arrivals"]
-                bucket["drops"][minute] += stats["drops"]
-                bucket["violations"][minute] += stats["violations"]
-                if math.isfinite(stats["latency_p"]):
-                    bucket["lat_sum"][minute] += stats["latency_p"] * stats["arrivals"]
-                    bucket["lat_weight"][minute] += stats["arrivals"]
-                    bucket["lat_max"][minute] = max(
-                        bucket["lat_max"][minute], stats["latency_p"]
-                    )
-                else:
-                    bucket["lat_max"][minute] = math.inf
-            now += dt
-            observations = self._observations(now, last_tick)
-            decision = self.policy.tick(now, observations)
-            if decision is not None:
-                self._apply(decision, now)
-            minute_after = min(int(now // 60.0), minutes - 1)
-            for name, flow in self.state.items():
-                acc[name]["replicas"][minute_after] = flow.target
-        return self._collect(acc)
+    # ------------------------------------------------------------ collect
 
-    def _collect(self, acc: dict[str, dict]) -> SimulationResult:
-        series = {}
-        for name, bucket in acc.items():
-            spec = self.state[name].spec
-            minutes = self.duration_minutes
-            latency = np.zeros(minutes)
-            utility = np.zeros(minutes)
-            effective = np.zeros(minutes)
-            for m in range(minutes):
-                if math.isinf(bucket["lat_max"][m]):
-                    latency[m] = math.inf
-                elif bucket["lat_weight"][m] > 0:
-                    mean_component = bucket["lat_sum"][m] / bucket["lat_weight"][m]
-                    latency[m] = 0.5 * (mean_component + bucket["lat_max"][m])
-                else:
-                    latency[m] = 0.0
-                arrivals = bucket["arrivals"][m]
-                if arrivals <= 0:
-                    utility[m] = 1.0
-                    effective[m] = 1.0
-                    continue
-                utility[m] = inverse_utility(latency[m], spec.slo.target)
-                drop_fraction = min(bucket["drops"][m] / arrivals, 1.0)
-                effective[m] = penalty_multiplier(drop_fraction) * utility[m]
-            series[name] = JobSeries(
-                name=name,
-                arrivals=np.round(bucket["arrivals"]).astype(int),
-                drops=np.round(bucket["drops"]).astype(int),
-                violations=np.minimum(
-                    np.round(bucket["violations"]), np.round(bucket["arrivals"])
-                ).astype(int),
-                latency_p=latency,
-                utility=utility,
-                effective_utility=effective,
-                replicas=bucket["replicas"],
+    def collect(self) -> SimulationResult:
+        series = {
+            name: collect_flow_series(
+                name, self.state[name], bucket, self.duration_minutes
             )
+            for name, bucket in self._acc.items()
+        }
+        metadata = self.base_metadata()
+        if self._fault_injector is not None:
+            metadata["failures_injected"] = dict(self._fault_injector.failures_injected)
+            metadata["total_failures"] = self._fault_injector.total_failures
         return SimulationResult(
             jobs=series,
             policy_name=getattr(self.policy, "name", "policy"),
-            metadata={
-                "duration_minutes": self.duration_minutes,
-                "rate_scale": self.config.rate_scale,
-                "seed": self.config.seed,
-                "quota_cpus": self.quota.cpus,
-                "simulator": "analytic-flow",
-            },
+            metadata=metadata,
         )

@@ -1,4 +1,4 @@
-"""Replica fault injection for the request-level simulation.
+"""Replica fault injection for the trace simulators.
 
 The paper treats Ray's and Kubernetes' fault-tolerance mechanisms as
 orthogonal to Faro (§7); this module makes that orthogonality testable.
@@ -10,6 +10,13 @@ removed immediately; Kubernetes reconciliation
 the next control tick, after which it pays a normal cold start -- so the
 effective outage per failure is detection (<= one tick) plus the 50-70 s
 startup, matching pod-restart behaviour on a real cluster.
+
+Two interchangeable samplers realize the process
+(``FaultConfig.process``): the historical per-tick Poisson-count sampler
+here (``"tick"``, the default -- bit-compatible with every earlier run)
+and the event-driven :class:`repro.sim.lifecycle.EventFaultProcess`
+(``"event"``), which draws exact exponential inter-failure gaps instead of
+per-tick counts.
 """
 
 from __future__ import annotations
@@ -18,7 +25,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["FaultConfig", "FaultInjector"]
+__all__ = ["FaultConfig", "FaultInjector", "make_fault_injector"]
+
+#: Accepted values of :attr:`FaultConfig.process`.
+FAULT_PROCESSES = ("tick", "event")
 
 
 @dataclass(frozen=True)
@@ -27,15 +37,37 @@ class FaultConfig:
 
     The default MTTF of 4 hours per replica is aggressive (production pods
     fail far less often); it is chosen so day-long experiments see enough
-    failures to measure recovery behaviour.
+    failures to measure recovery behaviour.  ``process`` picks the sampler:
+    ``"tick"`` (per-tick Poisson counts, the historical default) or
+    ``"event"`` (exact event-time Poisson process; see
+    :class:`repro.sim.lifecycle.EventFaultProcess`).
     """
 
     mttf_seconds: float = 4 * 3600.0
     seed: int = 0
+    process: str = "tick"
 
     def __post_init__(self) -> None:
         if self.mttf_seconds <= 0:
             raise ValueError(f"mttf_seconds must be positive, got {self.mttf_seconds}")
+        if self.process not in FAULT_PROCESSES:
+            raise ValueError(
+                f"unknown fault process {self.process!r}; "
+                f"expected one of {FAULT_PROCESSES}"
+            )
+
+
+def make_fault_injector(config: FaultConfig):
+    """Build the sampler ``config`` selects (shared by every backend).
+
+    Both implementations expose ``sample(job, replica_count, dt)``,
+    ``reset()``, ``failures_injected`` and ``total_failures``.
+    """
+    if config.process == "event":
+        from repro.sim.lifecycle import EventFaultProcess
+
+        return EventFaultProcess(config)
+    return FaultInjector(config)
 
 
 class FaultInjector:

@@ -1,0 +1,233 @@
+"""The shared simulation harness: one control loop for every backend.
+
+Every simulation fidelity in this repo -- the request-level simulator, the
+analytic flow simulator, and the hybrid backend -- advances the same way:
+chunk time at the policy's tick interval, let the backend's dynamics play
+out over the chunk, build per-job observations, invoke the autoscaling
+policy, and admit its decision through the shared resource quota.  Before
+this module existed that loop was duplicated (and had drifted) between
+``Simulation`` and ``FlowSimulation``; now :class:`SimHarness` owns the
+loop plus the common plumbing (trace trimming, duration computation,
+history prefixes, config validation, metadata assembly) and a backend
+supplies only its dynamics through four hooks:
+
+- :meth:`SimHarness.advance` -- play one chunk of dynamics, return the new
+  simulation time (the backend keeps its own exact floating-point
+  arithmetic for the chunk boundary, which is what keeps the refactor
+  bit-identical to the pre-harness simulators);
+- :meth:`SimHarness.observations` -- per-job :class:`JobObservation`\\ s;
+- :meth:`SimHarness.apply` -- apply an admitted :class:`ScalingDecision`;
+- :meth:`SimHarness.collect` -- assemble the :class:`SimulationResult`.
+
+Backends register with :mod:`repro.sim.backends`, which gives them the
+same named-registry + typed-options treatment policies get from
+:class:`repro.api.PolicyRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from repro.cluster.job import InferenceJobSpec
+from repro.cluster.kubernetes import ResourceQuota
+from repro.policy import AutoscalePolicy, JobObservation, ScalingDecision
+from repro.sim.faults import FaultConfig
+from repro.sim.recorder import SimulationResult
+
+__all__ = ["SimulationConfig", "SimHarness", "admit_decision"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Simulation-wide knobs, shared by every backend.
+
+    ``rate_scale`` multiplies all trace rates (useful for scaled-down runs);
+    ``observation_window`` is the trailing window from which observations
+    are built (60 s, one metrics minute).  A non-None ``faults`` enables
+    replica fault injection (see :mod:`repro.sim.faults`); a mapping is
+    coerced to a :class:`~repro.sim.faults.FaultConfig` so spec files can
+    carry fault settings as plain JSON.  Backend-specific options do not
+    live here -- they are typed per backend (see
+    :mod:`repro.sim.backends`).
+    """
+
+    duration_minutes: int | None = None
+    rate_scale: float = 1.0
+    seed: int = 0
+    queue_threshold: int = 50
+    cold_start_range: tuple[float, float] = (50.0, 70.0)
+    observation_window: float = 60.0
+    history_minutes: int = 15
+    metrics_bin_seconds: float = 15.0
+    faults: FaultConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_minutes is not None and self.duration_minutes < 1:
+            raise ValueError("duration_minutes must be >= 1 when given")
+        if self.rate_scale < 0:
+            raise ValueError("rate_scale must be >= 0")
+        cold = tuple(self.cold_start_range)
+        if len(cold) != 2:
+            raise ValueError(
+                f"cold_start_range must be a (low, high) pair, got {cold!r}"
+            )
+        lo, hi = cold
+        if lo < 0 or hi < lo:
+            raise ValueError(
+                f"invalid cold_start_range {cold!r}: need 0 <= low <= high"
+            )
+        object.__setattr__(self, "cold_start_range", (float(lo), float(hi)))
+        if isinstance(self.faults, Mapping):
+            object.__setattr__(self, "faults", FaultConfig(**self.faults))
+        if self.faults is not None and self.duration_minutes is None:
+            raise ValueError(
+                "fault injection needs an explicit duration_minutes: an "
+                "open-ended run would inject an unbounded number of "
+                "failures; set SimulationConfig.duration_minutes"
+            )
+
+
+def admit_decision(
+    quota: ResourceQuota,
+    jobs: list[InferenceJobSpec],
+    current: dict[str, int],
+    decision: ScalingDecision,
+) -> dict[str, int]:
+    """Admit a scaling decision's replica targets through the quota.
+
+    The single admission rule every backend shares: the quota sees the
+    current targets, the requested targets, and each job's per-replica
+    resource footprint, and returns what actually fits.  (Per-job
+    ``min_replicas`` floors are applied by the caller, which knows how to
+    apply targets to its own replica machinery.)
+    """
+    cpu_per = {job.name: job.model.cpu_per_replica for job in jobs}
+    mem_per = {job.name: job.model.mem_per_replica for job in jobs}
+    return quota.admit(current, decision.replicas, cpu_per, mem_per)
+
+
+class SimHarness:
+    """Shared driver for one experiment run: jobs + traces + policy + quota.
+
+    Subclasses implement the dynamics hooks (:meth:`_setup`,
+    :meth:`advance`, :meth:`observations`, :meth:`apply`,
+    :meth:`collect`, and optionally :meth:`_reset` /
+    :meth:`end_of_chunk`); everything else -- validation, trace trimming,
+    the control loop, metadata -- lives here once.
+    """
+
+    #: Value recorded under ``metadata["simulator"]`` (stable per backend).
+    fidelity_label = "abstract"
+
+    #: Typed per-backend options dataclass (``None`` = backend takes no
+    #: options).  The registry validates spec-file options against it; a
+    #: ``None`` ``options`` argument is replaced with a default instance.
+    options_type: type | None = None
+
+    def __init__(
+        self,
+        jobs: list[InferenceJobSpec],
+        traces: dict[str, np.ndarray],
+        policy: AutoscalePolicy,
+        quota: ResourceQuota,
+        config: SimulationConfig | None = None,
+        initial_replicas: dict[str, int] | None = None,
+        history_prefix: dict[str, np.ndarray] | None = None,
+        options: Any = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        missing = [job.name for job in jobs if job.name not in traces]
+        if missing:
+            raise ValueError(f"traces missing for jobs: {missing}")
+        self.jobs = jobs
+        self.policy = policy
+        self.quota = quota
+        if options is None and self.options_type is not None:
+            options = self.options_type()
+        self.options = options
+        trace_minutes = min(len(traces[job.name]) for job in jobs)
+        limit = self.config.duration_minutes
+        self.duration_minutes = min(trace_minutes, limit) if limit else trace_minutes
+        #: Per-job evaluation traces in requests/minute, trimmed to the run
+        #: duration but *not* rate-scaled (backends scale as they consume).
+        self.traces = {
+            job.name: np.asarray(traces[job.name], dtype=float)[: self.duration_minutes]
+            for job in jobs
+        }
+        #: Raw pre-run history in requests/minute (trace units); backends
+        #: convert to their own units (the request backend keeps rate
+        #: histories in requests/second, the flow backend in trace units).
+        self.history_prefix = {
+            name: np.asarray(values, dtype=float)
+            for name, values in (history_prefix or {}).items()
+        }
+        self.initial_replicas = dict(initial_replicas or {})
+        self._setup()
+
+    # ------------------------------------------------------ backend hooks
+
+    def _setup(self) -> None:
+        """Build backend state (cluster, analytic jobs, arrival streams)."""
+        raise NotImplementedError
+
+    def _reset(self) -> None:
+        """Reset per-run backend state before the loop (fault injectors)."""
+
+    def advance(self, now: float, tick: float, end_time: float) -> float:
+        """Play dynamics for one chunk starting at ``now``; return new time.
+
+        The backend owns the chunk-boundary arithmetic (e.g.
+        ``min(now + tick, end_time)``) so extraction into the harness
+        cannot perturb floating-point behaviour.
+        """
+        raise NotImplementedError
+
+    def observations(self, now: float) -> dict[str, JobObservation]:
+        """Per-job observations for the policy at time ``now``."""
+        raise NotImplementedError
+
+    def apply(self, decision: ScalingDecision, now: float) -> None:
+        """Admit ``decision`` through the quota and apply it."""
+        raise NotImplementedError
+
+    def end_of_chunk(self, now: float) -> None:
+        """Post-control bookkeeping (e.g. per-minute replica sampling)."""
+
+    def collect(self) -> SimulationResult:
+        """Assemble the run's :class:`SimulationResult`."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- run
+
+    def run(self) -> SimulationResult:
+        """Drive the whole experiment and return its result."""
+        self.policy.reset()
+        self._reset()
+        tick = float(self.policy.tick_interval)
+        if tick <= 0:
+            raise ValueError(f"policy tick_interval must be positive, got {tick}")
+        end_time = self.duration_minutes * 60.0
+        now = 0.0
+        while now < end_time - 1e-9:
+            now = self.advance(now, tick, end_time)
+            observations = self.observations(now)
+            decision = self.policy.tick(now, observations)
+            if decision is not None:
+                self.apply(decision, now)
+            self.end_of_chunk(now)
+        return self.collect()
+
+    # ---------------------------------------------------------- helpers
+
+    def base_metadata(self) -> dict:
+        """The metadata fields every backend records identically."""
+        return {
+            "duration_minutes": self.duration_minutes,
+            "rate_scale": self.config.rate_scale,
+            "seed": self.config.seed,
+            "quota_cpus": self.quota.cpus,
+            "simulator": self.fidelity_label,
+        }

@@ -1,0 +1,297 @@
+"""Hybrid-fidelity simulation backend: request-level where it matters.
+
+The request-level simulator is the accuracy reference; the analytic flow
+simulator is two to three orders of magnitude faster.  The ``hybrid``
+backend splits the difference *per job*: jobs flagged in
+:class:`HybridBackendOptions` (explicitly by name, or automatically as the
+``auto_request_jobs`` busiest by offered load) run through the full
+request-level machinery -- Poisson arrivals, virtual-time routers, metrics
+bins -- while every other job advances analytically.  All jobs still share
+one resource quota, one autoscaling policy, and one control loop
+(:class:`~repro.sim.harness.SimHarness`), so the policy sees a single
+cluster and its allocation trade-offs span both fidelity classes.
+
+This is the configuration the paper's large-scale studies want: keep
+per-request fidelity on the handful of jobs under inspection (tail
+latencies, drop behaviour) without paying request-level cost for the other
+ninety.  Replica lifecycle transitions on the analytic side -- cold
+starts, drains, fault recovery -- run on the event-driven
+:class:`~repro.sim.lifecycle.ReplicaLifecycle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.rayserve import RayServeCluster
+from repro.policy import JobObservation, ScalingDecision
+from repro.sim.analytic import (
+    _FlowJob,
+    accumulate_flow_tick,
+    collect_flow_series,
+    flow_observation,
+    new_flow_buckets,
+)
+from repro.sim.faults import make_fault_injector
+from repro.sim.harness import SimHarness, admit_decision
+from repro.sim.recorder import SimulationResult
+from repro.sim.simulation import collect_request_series, replicas_per_minute
+from repro.sim.workload import PoissonArrivals
+
+__all__ = ["HybridBackendOptions", "HybridSimulation"]
+
+
+@dataclass(frozen=True)
+class HybridBackendOptions:
+    """Typed options of the ``hybrid`` backend.
+
+    ``request_jobs`` names the jobs to simulate at request level (unknown
+    names fail loudly at construction).  ``auto_request_jobs`` additionally
+    flags the N busiest remaining jobs by mean offered trace rate (ties
+    broken by job order, so the selection is deterministic).  Jobs not
+    flagged either way advance analytically.
+    """
+
+    request_jobs: tuple[str, ...] = field(default_factory=tuple)
+    auto_request_jobs: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "request_jobs", tuple(self.request_jobs))
+        if self.auto_request_jobs < 0:
+            raise ValueError(
+                f"auto_request_jobs must be >= 0, got {self.auto_request_jobs}"
+            )
+
+
+class HybridSimulation(SimHarness):
+    """Request-level fidelity for flagged jobs, analytic for the rest."""
+
+    fidelity_label = "hybrid"
+    options_type = HybridBackendOptions
+
+    # ------------------------------------------------------------- hooks
+
+    def _select_request_jobs(self) -> set[str]:
+        names = [job.name for job in self.jobs]
+        flagged = set(self.options.request_jobs)
+        unknown = flagged - set(names)
+        if unknown:
+            raise ValueError(
+                f"hybrid request_jobs name unknown job(s) {sorted(unknown)}; "
+                f"jobs in this run: {names}"
+            )
+        extra = self.options.auto_request_jobs
+        if extra > 0:
+            candidates = [name for name in names if name not in flagged]
+            means = {name: float(self.traces[name].mean()) for name in candidates}
+            candidates.sort(key=lambda name: -means[name])  # stable: ties keep job order
+            flagged.update(candidates[:extra])
+        return flagged
+
+    def _setup(self) -> None:
+        flagged = self._select_request_jobs()
+        self.request_jobs = [job for job in self.jobs if job.name in flagged]
+        self.flow_jobs = [job for job in self.jobs if job.name not in flagged]
+        self._is_request = {job.name: job.name in flagged for job in self.jobs}
+
+        # --- request-level half (full cluster substrate) ---
+        self.cluster = None
+        self.arrivals: dict[str, PoissonArrivals] = {}
+        self._replica_log: dict[str, list[tuple[float, int]]] = {}
+        if self.request_jobs:
+            prefix_rps = {
+                name: values * (self.config.rate_scale / 60.0)
+                for name, values in self.history_prefix.items()
+                if name in flagged
+            }
+            self.cluster = RayServeCluster(
+                self.request_jobs,
+                self.quota,
+                initial_replicas=self.initial_replicas,
+                queue_threshold=self.config.queue_threshold,
+                cold_start_range=self.config.cold_start_range,
+                metrics_bin_seconds=self.config.metrics_bin_seconds,
+                history_minutes=self.config.history_minutes,
+                history_prefix=prefix_rps or None,
+                seed=self.config.seed,
+            )
+            # Arrival-stream seeds use the *global* job index, so flagging a
+            # job request-level never shifts another job's random stream.
+            for index, job in enumerate(self.jobs):
+                if job.name in flagged:
+                    self.arrivals[job.name] = PoissonArrivals(
+                        self.traces[job.name],
+                        rate_scale=self.config.rate_scale,
+                        seed=self.config.seed + 17 * index + 3,
+                    )
+            self._replica_log = {
+                job.name: [(0.0, self.cluster.targets[job.name])]
+                for job in self.request_jobs
+            }
+
+        # --- analytic half ---
+        # One child RNG is drawn per job in global order (and simply unused
+        # for request-level jobs), so a job's analytic stream is stable no
+        # matter which other jobs are flagged.
+        rng = np.random.default_rng(self.config.seed)
+        self._history_rpm = {
+            name: values * self.config.rate_scale
+            for name, values in self.history_prefix.items()
+        }
+        self.state: dict[str, _FlowJob] = {}
+        for job in self.jobs:
+            child = np.random.default_rng(rng.integers(2**31))
+            if job.name in flagged:
+                continue
+            flow = _FlowJob(
+                spec=job,
+                trace=self.traces[job.name] * self.config.rate_scale,
+                queue_threshold=self.config.queue_threshold,
+                cold_start_range=self.config.cold_start_range,
+                rng=child,
+            )
+            count = int(self.initial_replicas.get(job.name, job.min_replicas))
+            flow.running = count
+            flow.target = count
+            self.state[job.name] = flow
+
+        self._fault_injector = (
+            make_fault_injector(self.config.faults) if self.config.faults else None
+        )
+
+    def _reset(self) -> None:
+        if self._fault_injector is not None:
+            self._fault_injector.reset()
+        self._acc = new_flow_buckets(self.state, self.duration_minutes)
+        self._last_tick: dict[str, dict] = {}
+
+    # ------------------------------------------------------------ advance
+
+    def advance(self, now: float, tick: float, end_time: float) -> float:
+        chunk_end = min(now + tick, end_time)
+        dt = min(tick, end_time - now)
+        minutes = self.duration_minutes
+        minute = min(int(now // 60.0), minutes - 1)
+        for name, stream in self.arrivals.items():
+            chunk = stream.take_until(chunk_end)
+            if chunk:
+                self.cluster.offer_chunk(name, chunk)
+        for name, flow in self.state.items():
+            lam = flow.trace[minute] / 60.0
+            stats = flow.step(now, dt, lam)
+            self._last_tick[name] = stats
+            accumulate_flow_tick(self._acc[name], minute, stats)
+        if self._fault_injector is not None:
+            # Sampled per job in global job order so the fault stream is
+            # independent of the fidelity split.
+            for job in self.jobs:
+                name = job.name
+                if self._is_request[name]:
+                    # `tick`, not `dt`: the pure request backend samples the
+                    # full tick even on the final partial chunk, and an
+                    # all-flagged hybrid must realize the same process.
+                    router = self.cluster.routers[name]
+                    kills = self._fault_injector.sample(
+                        name, router.replica_count, tick
+                    )
+                    for _ in range(kills):
+                        router.fail_replica(chunk_end)
+                else:
+                    flow = self.state[name]
+                    kills = self._fault_injector.sample(name, flow.existing, dt)
+                    if kills:
+                        flow.fail(kills, chunk_end)
+            if self.cluster is not None:
+                self.cluster.reconcile(chunk_end)
+        return chunk_end
+
+    # ------------------------------------------------------------ control
+
+    def observations(self, now: float) -> dict[str, JobObservation]:
+        request_obs: dict[str, JobObservation] = {}
+        if self.cluster is not None:
+            request_obs = self.cluster.observations(
+                now, window=self.config.observation_window
+            )
+        minute = min(int(now // 60.0), self.duration_minutes - 1)
+        observations: dict[str, JobObservation] = {}
+        for job in self.jobs:
+            name = job.name
+            if self._is_request[name]:
+                observations[name] = request_obs[name]
+            else:
+                observations[name] = flow_observation(
+                    name, self.state[name], minute, self._history_rpm,
+                    self._last_tick,
+                )
+        return observations
+
+    def apply(self, decision: ScalingDecision, now: float) -> None:
+        # Joint quota admission across both fidelity halves: the quota sees
+        # one cluster, exactly like the pure backends.
+        current = {}
+        for job in self.jobs:
+            name = job.name
+            if self._is_request[name]:
+                current[name] = self.cluster.targets[name]
+            else:
+                current[name] = self.state[name].target
+        admitted = admit_decision(self.quota, self.jobs, current, decision)
+        for name, target in admitted.items():
+            if self._is_request[name]:
+                router = self.cluster.routers[name]
+                target = max(target, self.cluster.jobs[name].min_replicas)
+                if target != router.replica_count:
+                    router.scale_to(target, now)
+                self.cluster.targets[name] = target
+                log = self._replica_log[name]
+                if log[-1][1] != target:
+                    log.append((now, target))
+            else:
+                flow = self.state[name]
+                target = max(target, flow.spec.min_replicas)
+                if target != flow.existing:
+                    flow.scale_to(target, now)
+                flow.target = target
+        for name, rate in decision.drop_rates.items():
+            if self._is_request.get(name):
+                self.cluster.routers[name].drop_rate = float(rate)
+            elif name in self.state:
+                self.state[name].drop_rate = float(rate)
+
+    def end_of_chunk(self, now: float) -> None:
+        minute_after = min(int(now // 60.0), self.duration_minutes - 1)
+        for name, flow in self.state.items():
+            self._acc[name]["replicas"][minute_after] = flow.target
+
+    # ------------------------------------------------------------ collect
+
+    def collect(self) -> SimulationResult:
+        minutes = self.duration_minutes
+        series = {}
+        for job in self.jobs:
+            name = job.name
+            if self._is_request[name]:
+                series[name] = collect_request_series(
+                    name,
+                    self.cluster.metrics[name],
+                    minutes,
+                    replicas_per_minute(self._replica_log[name], minutes),
+                )
+            else:
+                series[name] = collect_flow_series(
+                    name, self.state[name], self._acc[name], minutes
+                )
+        metadata = self.base_metadata()
+        metadata["request_jobs"] = [job.name for job in self.request_jobs]
+        metadata["flow_jobs"] = [job.name for job in self.flow_jobs]
+        if self._fault_injector is not None:
+            metadata["failures_injected"] = dict(self._fault_injector.failures_injected)
+            metadata["total_failures"] = self._fault_injector.total_failures
+        return SimulationResult(
+            jobs=series,
+            policy_name=getattr(self.policy, "name", "policy"),
+            metadata=metadata,
+        )

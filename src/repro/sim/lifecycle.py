@@ -1,0 +1,230 @@
+"""Event-driven replica lifecycle built on :class:`repro.sim.engine.EventLoop`.
+
+The per-tick simulators historically approximated replica lifecycle
+transitions at control-tick granularity: cold starts were "ready lists"
+scanned every tick, drains were immediate, and failures were per-tick
+Poisson *counts* (``Poisson(n * dt / mttf)``).  This module promotes those
+transitions to first-class scheduled events:
+
+- :class:`ReplicaLifecycle` keeps one job's replica pool as a set of
+  scheduled ready/drain events on an :class:`~repro.sim.engine.EventLoop`;
+  advancing the loop to ``t`` promotes exactly the replicas whose cold
+  start completes by ``t``.
+- :class:`EventFaultProcess` realizes the *exact* Poisson failure process:
+  exponential inter-failure gaps in accumulated replica-time, so failure
+  times are continuous instants rather than per-tick counts.  (The per-tick
+  sampler in :mod:`repro.sim.faults` remains the default for backward
+  bit-compatibility; ``FaultConfig(process="event")`` selects this one.)
+
+The flow backend's analytic jobs consume :class:`ReplicaLifecycle` for
+their cold-start/drain bookkeeping, the hybrid backend drives both of its
+halves through it, and both request- and flow-level fault injection can run
+on :class:`EventFaultProcess`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.sim.engine import EventLoop
+
+__all__ = ["ReplicaLifecycle", "EventFaultProcess"]
+
+
+class ReplicaLifecycle:
+    """One job's replica pool with event-scheduled cold starts and drains.
+
+    ``ready`` counts replicas past their cold start; ``starting`` those
+    still paying one.  Scale-ups sample a cold-start delay per new replica
+    (uniform over ``cold_start_range``, one RNG draw each, in creation
+    order -- the exact draw order the list-based flow simulator used, so
+    swapping the implementation cannot move any random number).
+    Scale-downs cancel cold-starting replicas first, latest ready time
+    first, then retire ready replicas; cancellation is tombstone-based
+    because :class:`EventLoop` has no unschedule operation.
+    """
+
+    def __init__(
+        self,
+        cold_start_range: tuple[float, float],
+        rng: np.random.Generator,
+        initial_ready: int = 0,
+    ) -> None:
+        if initial_ready < 0:
+            raise ValueError(f"initial_ready must be >= 0, got {initial_ready}")
+        lo, hi = cold_start_range
+        if lo < 0 or hi < lo:
+            raise ValueError(f"invalid cold_start_range {cold_start_range!r}")
+        self.cold_start_range = (float(lo), float(hi))
+        self.rng = rng
+        self.loop = EventLoop()
+        self.ready = int(initial_ready)
+        self._ids = itertools.count()
+        #: token -> ready_at for replicas still cold-starting.
+        self._starting: dict[int, float] = {}
+        #: Lifetime counters (observability; never consulted for dynamics).
+        self.cold_starts_completed = 0
+        self.cold_starts_cancelled = 0
+        self.failures = 0
+
+    # ----------------------------------------------------------- queries
+
+    @property
+    def starting(self) -> int:
+        """Replicas currently paying a cold start."""
+        return len(self._starting)
+
+    @property
+    def total(self) -> int:
+        """Replicas that exist (ready or still cold-starting)."""
+        return self.ready + len(self._starting)
+
+    def pending_ready_times(self) -> list[float]:
+        """Ready times of cold-starting replicas (unsorted)."""
+        return list(self._starting.values())
+
+    # ----------------------------------------------------------- control
+
+    def _sample_cold_start(self) -> float:
+        lo, hi = self.cold_start_range
+        if hi == lo:
+            return lo
+        return float(self.rng.uniform(lo, hi))
+
+    def _schedule_start(self, now: float) -> None:
+        token = next(self._ids)
+        ready_at = now + self._sample_cold_start()
+        self._starting[token] = ready_at
+
+        def on_ready() -> None:
+            # A cancelled (drained) cold start leaves a tombstone: the
+            # event still fires but finds its token gone and does nothing.
+            if self._starting.pop(token, None) is not None:
+                self.ready += 1
+                self.cold_starts_completed += 1
+
+        self.loop.schedule(ready_at, on_ready)
+
+    def scale_to(self, target: int, now: float) -> int:
+        """Set the replica target; returns the applied delta.
+
+        Mirrors the analytic simulator's semantics exactly: scale-ups
+        schedule one cold start per new replica; scale-downs cancel
+        cold-starting replicas first (latest ready time first), then
+        retire ready replicas immediately.
+        """
+        if target < 0:
+            raise ValueError(f"target must be >= 0, got {target}")
+        delta = target - self.total
+        if delta > 0:
+            for _ in range(delta):
+                self._schedule_start(now)
+        elif delta < 0:
+            shrink = -delta
+            victims = sorted(self._starting, key=lambda t: self._starting[t])
+            while shrink > 0 and victims:
+                token = victims.pop()  # latest ready time first
+                del self._starting[token]
+                self.cold_starts_cancelled += 1
+                shrink -= 1
+            if shrink > 0:
+                self.ready = max(self.ready - shrink, 0)
+        return delta
+
+    def fail(self, count: int = 1) -> int:
+        """Remove up to ``count`` replicas (fault injection).
+
+        Returns how many were actually removed.  Ready replicas die first
+        (that is the capacity that matters); if the demand exceeds them,
+        cold-starting replicas are killed too (latest ready time first) --
+        the request-level simulator's ``fail_replica`` likewise kills pods
+        that are still cold-starting, so a fault process sampled over the
+        *existing* pool is always fully applied here as well.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        killed = min(count, self.ready)
+        self.ready -= killed
+        remaining = count - killed
+        if remaining > 0 and self._starting:
+            victims = sorted(self._starting, key=lambda t: self._starting[t])
+            while remaining > 0 and victims:
+                token = victims.pop()  # latest ready time first
+                del self._starting[token]
+                killed += 1
+                remaining -= 1
+        self.failures += killed
+        return killed
+
+    def advance(self, now: float) -> int:
+        """Process every lifecycle event with time <= ``now``.
+
+        Returns the number of replicas that became ready.
+        """
+        before = self.ready
+        self.loop.run_until(now)
+        return self.ready - before
+
+
+class EventFaultProcess:
+    """Exact Poisson replica-failure process with event-time resolution.
+
+    A pool of ``n`` replicas fails at rate ``n / mttf``; over any interval
+    the failure count is Poisson, but unlike the per-tick sampler the
+    *times* are real instants: the process accumulates replica-time
+    ``W += n * dt / mttf`` and fires a failure each time ``W`` crosses the
+    next unit-mean exponential threshold.  With a piecewise-constant pool
+    (replica counts change only at control boundaries) this is the exact
+    thinned process, not an approximation.
+
+    The interface matches :class:`repro.sim.faults.FaultInjector` --
+    ``sample(job, replica_count, dt) -> kills`` -- so the simulators can
+    drive either implementation through one code path; which one runs is
+    selected by :attr:`repro.sim.faults.FaultConfig.process`.
+    """
+
+    def __init__(self, config) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        #: Accumulated replica-time (in MTTF units) per job.
+        self._work: dict[str, float] = {}
+        #: Next exponential threshold per job.
+        self._threshold: dict[str, float] = {}
+        self.failures_injected: dict[str, int] = {}
+
+    def sample(self, job_name: str, replica_count: int, dt: float) -> int:
+        """Failures of ``job_name`` during ``dt`` seconds at constant pool."""
+        if replica_count < 0:
+            raise ValueError(f"replica_count must be >= 0, got {replica_count}")
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        if replica_count == 0 or dt == 0.0:
+            return 0
+        work = self._work.get(job_name, 0.0)
+        work += replica_count * dt / self.config.mttf_seconds
+        if job_name not in self._threshold:
+            self._threshold[job_name] = float(self._rng.exponential(1.0))
+        count = 0
+        while work >= self._threshold[job_name]:
+            work -= self._threshold[job_name]
+            self._threshold[job_name] = float(self._rng.exponential(1.0))
+            count += 1
+        self._work[job_name] = work
+        count = min(count, replica_count)
+        if count:
+            self.failures_injected[job_name] = (
+                self.failures_injected.get(job_name, 0) + count
+            )
+        return count
+
+    @property
+    def total_failures(self) -> int:
+        return sum(self.failures_injected.values())
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.config.seed)
+        self._work = {}
+        self._threshold = {}
+        self.failures_injected = {}

@@ -2,101 +2,128 @@
 
 Wires together the cluster substrate (:mod:`repro.cluster`), Poisson trace
 workloads (:mod:`repro.sim.workload`) and an autoscaling policy
-(:mod:`repro.policy`) and advances time in policy-tick chunks:
+(:mod:`repro.policy`).  The control loop itself lives in the shared
+:class:`~repro.sim.harness.SimHarness`; this backend contributes only the
+request-level dynamics per chunk:
 
-1. offer every request arriving in the chunk to its job's router,
-2. build per-job observations from collected metrics,
-3. invoke the policy; admit its decision through the resource quota.
+1. offer every request arriving in the chunk to its job's router (in
+   numpy batches -- see :meth:`repro.cluster.router.JobRouter.offer_many`),
+2. inject replica faults and reconcile,
+3. build per-job observations from collected metrics,
+4. apply the policy's decision through the resource quota.
 
 Because routers use virtual-time dispatch (see
 :mod:`repro.cluster.router`), per-request costs stay small enough for
 day-long, multi-policy trace sweeps in pure Python.
+
+``SimulationConfig`` is re-exported from :mod:`repro.sim.harness`, its
+home since the backend refactor.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.job import InferenceJobSpec
-from repro.cluster.kubernetes import ResourceQuota
 from repro.cluster.rayserve import RayServeCluster
-from repro.policy import AutoscalePolicy
-from repro.sim.faults import FaultConfig, FaultInjector
+from repro.policy import JobObservation, ScalingDecision
+from repro.sim.faults import make_fault_injector
+from repro.sim.harness import SimHarness, SimulationConfig
 from repro.sim.recorder import JobSeries, SimulationResult
 from repro.sim.workload import PoissonArrivals
 
-__all__ = ["SimulationConfig", "Simulation"]
+__all__ = ["SimulationConfig", "RequestBackendOptions", "Simulation"]
+
+
+def replicas_per_minute(log: list[tuple[float, int]], minutes: int) -> np.ndarray:
+    """Replica target sampled at each minute boundary from an event log.
+
+    ``log`` is a time-ordered list of ``(time, target)`` changes starting
+    at ``(0.0, initial)``.  Shared by the request backend and the hybrid
+    backend's request-level half.
+    """
+    out = np.empty(minutes, dtype=int)
+    idx = 0
+    current = log[0][1]
+    for minute in range(minutes):
+        boundary = minute * 60.0
+        while idx + 1 < len(log) and log[idx + 1][0] <= boundary:
+            idx += 1
+            current = log[idx][1]
+        out[minute] = current
+    return out
+
+
+def collect_request_series(
+    name: str, collector, minutes: int, replicas: np.ndarray
+) -> JobSeries:
+    """Per-minute evaluation series from a job's metrics collector.
+
+    Shared by the request backend and the hybrid backend's request-level
+    half -- one implementation of the minute-stats rollup.
+    """
+    arrivals = np.zeros(minutes, dtype=int)
+    drops = np.zeros(minutes, dtype=int)
+    violations = np.zeros(minutes, dtype=int)
+    latency = np.zeros(minutes)
+    utility = np.zeros(minutes)
+    effective = np.zeros(minutes)
+    for minute in range(minutes):
+        stats = collector.minute_stats(minute)
+        arrivals[minute] = stats.arrivals
+        drops[minute] = stats.drops
+        violations[minute] = stats.violations
+        latency[minute] = stats.latency_p
+        utility[minute] = stats.utility
+        effective[minute] = stats.effective_utility
+    return JobSeries(
+        name=name,
+        arrivals=arrivals,
+        drops=drops,
+        violations=violations,
+        latency_p=latency,
+        utility=utility,
+        effective_utility=effective,
+        replicas=replicas,
+    )
 
 
 @dataclass(frozen=True)
-class SimulationConfig:
-    """Simulation-wide knobs.
+class RequestBackendOptions:
+    """Typed options of the ``request`` backend.
 
-    ``rate_scale`` multiplies all trace rates (useful for scaled-down runs);
-    ``observation_window`` is the trailing window from which observations
-    are built (60 s, one metrics minute).  A non-None ``faults`` enables
-    replica fault injection (see :mod:`repro.sim.faults`).
+    ``vectorize`` enables the numpy batch-offer path
+    (:meth:`repro.cluster.router.JobRouter.offer_many`); it is bit-identical
+    to per-request offers (the fast path only engages when it can prove
+    exactness), so this knob exists for benchmarking and debugging, not for
+    changing results.
     """
 
-    duration_minutes: int | None = None
-    rate_scale: float = 1.0
-    seed: int = 0
-    queue_threshold: int = 50
-    cold_start_range: tuple[float, float] = (50.0, 70.0)
-    observation_window: float = 60.0
-    history_minutes: int = 15
-    metrics_bin_seconds: float = 15.0
-    faults: FaultConfig | None = None
-
-    def __post_init__(self) -> None:
-        if self.duration_minutes is not None and self.duration_minutes < 1:
-            raise ValueError("duration_minutes must be >= 1 when given")
-        if self.rate_scale < 0:
-            raise ValueError("rate_scale must be >= 0")
+    vectorize: bool = True
 
 
-class Simulation:
-    """One experiment run: jobs + traces + policy + quota."""
+class Simulation(SimHarness):
+    """One experiment run at request-level fidelity: jobs + traces + policy."""
 
-    def __init__(
-        self,
-        jobs: list[InferenceJobSpec],
-        traces: dict[str, np.ndarray],
-        policy: AutoscalePolicy,
-        quota: ResourceQuota,
-        config: SimulationConfig | None = None,
-        initial_replicas: dict[str, int] | None = None,
-        history_prefix: dict[str, np.ndarray] | None = None,
-    ) -> None:
-        self.config = config or SimulationConfig()
-        missing = [job.name for job in jobs if job.name not in traces]
-        if missing:
-            raise ValueError(f"traces missing for jobs: {missing}")
-        self.jobs = jobs
-        self.policy = policy
-        self.quota = quota
-        trace_minutes = min(len(traces[job.name]) for job in jobs)
-        limit = self.config.duration_minutes
-        self.duration_minutes = min(trace_minutes, limit) if limit else trace_minutes
-        self.traces = {
-            job.name: np.asarray(traces[job.name], dtype=float)[: self.duration_minutes]
-            for job in jobs
-        }
+    fidelity_label = "request-level"
+    options_type = RequestBackendOptions
+
+    # ------------------------------------------------------------- hooks
+
+    def _setup(self) -> None:
         # History prefixes arrive in requests/minute (trace units); the
         # collectors keep rate histories in requests/second.
         prefix_rps = None
-        if history_prefix:
+        if self.history_prefix:
             prefix_rps = {
-                name: np.asarray(values, dtype=float) * (self.config.rate_scale / 60.0)
-                for name, values in history_prefix.items()
+                name: values * (self.config.rate_scale / 60.0)
+                for name, values in self.history_prefix.items()
             }
         self.cluster = RayServeCluster(
-            jobs,
-            quota,
-            initial_replicas=initial_replicas,
+            self.jobs,
+            self.quota,
+            initial_replicas=self.initial_replicas,
             queue_threshold=self.config.queue_threshold,
             cold_start_range=self.config.cold_start_range,
             metrics_bin_seconds=self.config.metrics_bin_seconds,
@@ -110,102 +137,64 @@ class Simulation:
                 rate_scale=self.config.rate_scale,
                 seed=self.config.seed + 17 * index + 3,
             )
-            for index, job in enumerate(jobs)
+            for index, job in enumerate(self.jobs)
         }
         self._replica_log: dict[str, list[tuple[float, int]]] = {
-            job.name: [(0.0, self.cluster.targets[job.name])] for job in jobs
+            job.name: [(0.0, self.cluster.targets[job.name])] for job in self.jobs
         }
         self._fault_injector = (
-            FaultInjector(self.config.faults) if self.config.faults else None
+            make_fault_injector(self.config.faults) if self.config.faults else None
         )
 
-    # ----------------------------------------------------------------- run
-
-    def run(self) -> SimulationResult:
-        self.policy.reset()
+    def _reset(self) -> None:
         if self._fault_injector is not None:
             self._fault_injector.reset()
-        tick = float(self.policy.tick_interval)
-        if tick <= 0:
-            raise ValueError(f"policy tick_interval must be positive, got {tick}")
-        end_time = self.duration_minutes * 60.0
-        now = 0.0
-        offer = self.cluster.offer
-        while now < end_time - 1e-9:
-            now = min(now + tick, end_time)
+
+    def advance(self, now: float, tick: float, end_time: float) -> float:
+        now = min(now + tick, end_time)
+        if self.options.vectorize:
+            for name, stream in self.arrivals.items():
+                chunk = stream.take_until(now)
+                if chunk:
+                    self.cluster.offer_chunk(name, chunk)
+        else:
+            offer = self.cluster.offer
             for name, stream in self.arrivals.items():
                 for arrival in stream.take_until(now):
                     offer(name, arrival)
-            if self._fault_injector is not None:
-                for name, router in self.cluster.routers.items():
-                    kills = self._fault_injector.sample(name, router.replica_count, tick)
-                    for _ in range(kills):
-                        router.fail_replica(now)
-                self.cluster.reconcile(now)
-            observations = self.cluster.observations(
-                now, window=self.config.observation_window
-            )
-            decision = self.policy.tick(now, observations)
-            if decision is not None:
-                admitted = self.cluster.apply(decision, now)
-                for name, target in admitted.items():
-                    log = self._replica_log[name]
-                    if log[-1][1] != target:
-                        log.append((now, target))
-        return self._collect()
+        if self._fault_injector is not None:
+            for name, router in self.cluster.routers.items():
+                kills = self._fault_injector.sample(name, router.replica_count, tick)
+                for _ in range(kills):
+                    router.fail_replica(now)
+            self.cluster.reconcile(now)
+        return now
+
+    def observations(self, now: float) -> dict[str, JobObservation]:
+        return self.cluster.observations(now, window=self.config.observation_window)
+
+    def apply(self, decision: ScalingDecision, now: float) -> None:
+        admitted = self.cluster.apply(decision, now)
+        for name, target in admitted.items():
+            log = self._replica_log[name]
+            if log[-1][1] != target:
+                log.append((now, target))
 
     # ------------------------------------------------------------ collect
 
-    def _replicas_per_minute(self, name: str) -> np.ndarray:
-        """Replica target sampled at each minute boundary."""
-        log = self._replica_log[name]
-        out = np.empty(self.duration_minutes, dtype=int)
-        idx = 0
-        current = log[0][1]
-        for minute in range(self.duration_minutes):
-            boundary = minute * 60.0
-            while idx + 1 < len(log) and log[idx + 1][0] <= boundary:
-                idx += 1
-                current = log[idx][1]
-            out[minute] = current
-        return out
-
-    def _collect(self) -> SimulationResult:
-        series: dict[str, JobSeries] = {}
-        for job in self.jobs:
-            collector = self.cluster.metrics[job.name]
-            minutes = self.duration_minutes
-            arrivals = np.zeros(minutes, dtype=int)
-            drops = np.zeros(minutes, dtype=int)
-            violations = np.zeros(minutes, dtype=int)
-            latency = np.zeros(minutes)
-            utility = np.zeros(minutes)
-            effective = np.zeros(minutes)
-            for minute in range(minutes):
-                stats = collector.minute_stats(minute)
-                arrivals[minute] = stats.arrivals
-                drops[minute] = stats.drops
-                violations[minute] = stats.violations
-                latency[minute] = stats.latency_p
-                utility[minute] = stats.utility
-                effective[minute] = stats.effective_utility
-            series[job.name] = JobSeries(
-                name=job.name,
-                arrivals=arrivals,
-                drops=drops,
-                violations=violations,
-                latency_p=latency,
-                utility=utility,
-                effective_utility=effective,
-                replicas=self._replicas_per_minute(job.name),
+    def collect(self) -> SimulationResult:
+        series = {
+            job.name: collect_request_series(
+                job.name,
+                self.cluster.metrics[job.name],
+                self.duration_minutes,
+                replicas_per_minute(
+                    self._replica_log[job.name], self.duration_minutes
+                ),
             )
-        metadata = {
-            "duration_minutes": self.duration_minutes,
-            "rate_scale": self.config.rate_scale,
-            "seed": self.config.seed,
-            "quota_cpus": self.quota.cpus,
-            "simulator": "request-level",
+            for job in self.jobs
         }
+        metadata = self.base_metadata()
         if self._fault_injector is not None:
             metadata["failures_injected"] = dict(self._fault_injector.failures_injected)
             metadata["total_failures"] = self._fault_injector.total_failures

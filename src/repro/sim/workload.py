@@ -9,6 +9,8 @@ so day-long multi-job simulations stay memory-bounded.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 import numpy as np
 
 __all__ = ["PoissonArrivals"]
@@ -61,15 +63,18 @@ class PoissonArrivals:
             and self._next_minute * self.minute_seconds < end_time
         ):
             self._generate_minute()
-        taken: list[float] = []
-        cursor = self._cursor
         buffer = self._buffer
-        while cursor < len(buffer) and buffer[cursor] <= end_time:
-            taken.append(buffer[cursor])
-            cursor += 1
+        # The buffer is globally sorted (minutes generated in order, times
+        # sorted within each minute), so the cut point is one bisection.
+        cursor = bisect_right(buffer, end_time, self._cursor)
+        taken = buffer[self._cursor : cursor]
         self._cursor = cursor
         if cursor > 4096:
             # Compact the consumed prefix to bound memory.
             del buffer[:cursor]
             self._cursor = 0
         return taken
+
+    def take_until_array(self, end_time: float) -> np.ndarray:
+        """Like :meth:`take_until`, as a float array (batch-offer input)."""
+        return np.asarray(self.take_until(end_time), dtype=float)

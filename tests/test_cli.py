@@ -151,6 +151,49 @@ class TestScenarios:
         assert "duration_minutes" in out
 
 
+class TestBackends:
+    def test_list(self, capsys):
+        code = main(["backends", "list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("request", "flow", "hybrid"):
+            assert name in out
+        assert "analytic-flow" in out  # aliases column
+
+    def test_show(self, capsys):
+        code = main(["backends", "show", "hybrid"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fidelity=hybrid" in out
+        assert "request_jobs" in out and "auto_request_jobs" in out
+        assert "backend_options" in out
+
+    def test_show_no_options_backend(self, capsys):
+        code = main(["backends", "show", "flow"])
+        assert code == 0
+        assert "options: none" in capsys.readouterr().out
+
+    def test_show_resolves_alias(self, capsys):
+        code = main(["backends", "show", "analytic"])
+        assert code == 0
+        assert "flow" in capsys.readouterr().out
+
+    def test_show_unknown(self, capsys):
+        code = main(["backends", "show", "ghost"])
+        assert code == 2
+        assert "unknown simulator" in capsys.readouterr().err
+
+    def test_show_requires_name(self, capsys):
+        code = main(["backends", "show"])
+        assert code == 2
+
+    def test_run_accepts_hybrid_simulator(self, capsys):
+        code = main(["run", "--policy", "fairshare", "--jobs", "2", "--size", "6",
+                     "--minutes", "6", "--simulator", "hybrid"])
+        assert code == 0
+        assert "lost cluster utility" in capsys.readouterr().out
+
+
 class TestCompare:
     def test_compare_two_policies(self, capsys):
         code = main(["compare", "--policies", "fairshare,aiad", "--jobs", "3",

@@ -90,6 +90,7 @@ class TestShippedSpecSeeds:
         "paper_headline.json": [0],
         "quickstart.yaml": [0],
         "mixed_sweep.json": [0, 1000, 2000, 3000],
+        "hybrid_paper.json": [0],
     }
 
     def test_every_shipped_spec_is_pinned(self):

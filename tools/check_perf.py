@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Perf regression gates: optimizer hot path + sharded sweep executor.
+"""Perf gates: optimizer hot path, sharded sweeps, simulation backends.
 
-Two benches run in-process and compare against checked-in baselines:
+Three benches run in-process and compare against checked-in baselines:
 
 - the allocation hot-path micro-benchmark
   (``benchmarks/bench_optimizer_hotpath.py`` vs
@@ -13,7 +13,11 @@ Two benches run in-process and compare against checked-in baselines:
   regress, and -- on machines with >= 4 cores -- the 4-worker sweep must
   keep its >= 1.5x speedup.  The speedup gate is skipped (loudly) on
   smaller machines: identity is provable anywhere, wall-clock scaling is
-  not.
+  not;
+- the simulation-backend bench (``benchmarks/bench_sim_backends.py`` vs
+  ``results/BENCH_sim.json``): batch offers must stay byte-identical to
+  per-request offers (unconditional), keep their speedup on the steady
+  workload, and no backend's wall-clock may regress beyond tolerance.
 
 Run next to the tier-1 verify command:
 
@@ -179,6 +183,85 @@ def compare_parallel(
     return rows, ok
 
 
+def load_sim_baseline(path: Path) -> dict:
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or not isinstance(data.get("points"), list):
+        raise ValueError(f"{path} has no benchmark points")
+    if "vector_identical" not in data:
+        raise ValueError(f"{path} is missing 'vector_identical'")
+    return data
+
+
+#: Simulation-bench points whose wall-clock the gate bounds.  The scalar
+#: reference points are recorded but not gated: they measure the
+#: deliberately-unvectorized path kept for debugging.
+SIM_GATED_POINTS = (
+    "request-steady-vector",
+    "request-adaptive",
+    "request-paper",
+    "flow",
+    "hybrid",
+)
+
+
+def compare_sim(baseline: dict, measured: dict, tolerance: float) -> tuple[list[tuple], bool]:
+    """Gate rows for the backend bench; same row shape as :func:`compare`."""
+    rows = []
+    ok = True
+
+    identical = bool(measured.get("vector_identical"))
+    ok = ok and identical
+    rows.append(
+        (
+            "sim/batch-identity",
+            "series",
+            "== scalar",
+            "== scalar" if identical else "DIVERGED",
+            "ok" if identical else "REGRESSED (batch offers changed results)",
+        )
+    )
+
+    required = baseline.get("gated_vector_speedup", 1.5)
+    speedup = measured.get("steady_vector_speedup", 0.0)
+    passed = speedup >= required
+    ok = ok and passed
+    rows.append(
+        (
+            "sim/steady-speedup",
+            "speedup",
+            f">= {required:.1f}x",
+            f"{speedup:.2f}x",
+            "ok" if passed else "REGRESSED (lost batch-offer speedup)",
+        )
+    )
+
+    base_points = {p["name"]: p for p in baseline["points"]}
+    measured_points = {p["name"]: p for p in measured["points"]}
+    for name in SIM_GATED_POINTS:
+        base = base_points.get(name)
+        point = measured_points.get(name)
+        if base is None:
+            rows.append((f"sim/{name}", "wall_s", "-", "-", "NEW (no baseline)"))
+            continue
+        if point is None:
+            ok = False
+            rows.append((f"sim/{name}", "wall_s", "present", "-", "MISSING from run"))
+            continue
+        budget = base["wall_s"] * (1.0 + tolerance)
+        passed = point["wall_s"] <= budget
+        ok = ok and passed
+        rows.append(
+            (
+                f"sim/{name}",
+                "wall_s",
+                f"{base['wall_s']*1000:.0f}ms",
+                f"{point['wall_s']*1000:.0f}ms",
+                "ok" if passed else f"REGRESSED (> {budget*1000:.0f}ms)",
+            )
+        )
+    return rows, ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -202,7 +285,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-parallel",
         action="store_true",
-        help="gate only the optimizer hot path",
+        help="skip the sharded-sweep gate",
+    )
+    parser.add_argument(
+        "--sim-baseline",
+        type=Path,
+        default=REPO_ROOT / "results" / "BENCH_sim.json",
+        help="simulation-backend baseline JSON (default: results/BENCH_sim.json)",
+    )
+    parser.add_argument(
+        "--skip-sim",
+        action="store_true",
+        help="skip the simulation-backend gate",
     )
     parser.add_argument(
         "--write",
@@ -230,6 +324,15 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    run_sim_gate = not args.skip_sim
+    if run_sim_gate and not args.sim_baseline.exists():
+        print(
+            f"error: baseline {args.sim_baseline} not found; run the bench "
+            "once (pytest benchmarks/bench_sim_backends.py) or pass "
+            "--sim-baseline / --skip-sim",
+            file=sys.stderr,
+        )
+        return 2
 
     try:
         baseline = load_baseline(args.baseline)
@@ -238,6 +341,7 @@ def main(argv: list[str] | None = None) -> int:
             if run_parallel_gate
             else None
         )
+        sim_baseline = load_sim_baseline(args.sim_baseline) if run_sim_gate else None
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"error: cannot read baseline: {exc}", file=sys.stderr)
         return 2
@@ -281,6 +385,23 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    sim_measured = None
+    if run_sim_gate:
+        from benchmarks.bench_sim_backends import run_sim_bench
+
+        print(f"\nrunning simulation-backend bench (baseline: {args.sim_baseline}) ...")
+        sim_measured = run_sim_bench()
+        sim_rows, sim_ok = compare_sim(sim_baseline, sim_measured, args.tolerance)
+        ok = ok and sim_ok
+        print()
+        print(
+            format_table(
+                ["point", "metric", "baseline", "measured", "verdict"],
+                sim_rows,
+                title="== Simulation backend perf gate ==",
+            )
+        )
+
     if args.write:
         args.baseline.write_text(json.dumps({"points": measured}, indent=2) + "\n")
         print(f"\nwrote new baseline to {args.baseline}")
@@ -289,6 +410,9 @@ def main(argv: list[str] | None = None) -> int:
                 json.dumps(parallel_measured, indent=2) + "\n"
             )
             print(f"wrote new baseline to {args.parallel_baseline}")
+        if sim_measured is not None:
+            args.sim_baseline.write_text(json.dumps(sim_measured, indent=2) + "\n")
+            print(f"wrote new baseline to {args.sim_baseline}")
 
     if not ok:
         print(
