@@ -52,6 +52,22 @@ from repro.api.scenarios import (
     get_scenario_registry,
     register_scenario,
 )
+from repro.api.composition import (
+    MODEL_CATALOG,
+    ClusterSpec,
+    JobSpec,
+    TraceSpec,
+    TransformStep,
+    custom_scenario,
+)
+from repro.traces.generators import (
+    get_trace_source_registry,
+    register_trace_source,
+)
+from repro.traces.transforms import (
+    get_trace_transform_registry,
+    register_trace_transform,
+)
 from repro.api.runner import (
     ProgressCallback,
     RunEvent,
@@ -101,6 +117,16 @@ __all__ = [
     "register_scenario",
     "get_scenario_registry",
     "build_scenario",
+    "MODEL_CATALOG",
+    "TraceSpec",
+    "TransformStep",
+    "JobSpec",
+    "ClusterSpec",
+    "custom_scenario",
+    "register_trace_source",
+    "get_trace_source_registry",
+    "register_trace_transform",
+    "get_trace_transform_registry",
     "RunEvent",
     "ProgressCallback",
     "RunReport",

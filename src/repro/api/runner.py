@@ -349,12 +349,10 @@ def _validate_spec(spec: ExperimentSpec) -> None:
     explicit_names: set[str] = set()
     for scenario_spec in spec.scenarios:
         info = scenario_registry.get(scenario_spec.kind)
-        unknown = set(scenario_spec.params) - set(info.param_names())
-        if unknown:
-            raise ValueError(
-                f"unknown parameter(s) {sorted(unknown)} for scenario kind "
-                f"{info.name!r}; accepted: {sorted(info.param_names())}"
-            )
+        # Name-level check (honouring **kwargs factories) plus the kind's
+        # deep-validation hook -- the custom kind resolves its entire
+        # job/trace-pipeline graph here, before anything simulates.
+        info.check_params(scenario_spec.params)
         # Guaranteed name collisions fail here, in milliseconds, on both
         # the serial and sharded paths (the sharded executor has no build
         # step in the parent, so waiting for build-time detection would

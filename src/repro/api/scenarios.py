@@ -3,15 +3,25 @@
 A :class:`~repro.api.spec.ScenarioSpec` names a registered scenario *kind*
 plus keyword parameters; :func:`build_scenario` resolves the kind here and
 calls the factory.  The built-in kinds wrap the paper's setups
-(:mod:`repro.experiments.scenarios`); plugins may register new kinds with
+(:mod:`repro.experiments.scenarios`) plus the fully-declarative ``custom``
+kind (:mod:`repro.api.composition`); plugins may register new kinds with
 :func:`register_scenario` -- any callable returning a
 :class:`~repro.experiments.scenarios.Scenario` qualifies.
+
+Kinds may also carry two optional hooks:
+
+- ``validate(params)`` runs at spec load/validation time for deep,
+  cheap checks beyond parameter *names* (the ``custom`` kind resolves its
+  whole job/trace pipeline graph here, before anything simulates);
+- ``lower(params)`` re-expresses the kind's parameters as equivalent
+  ``custom``-kind parameters (see :meth:`repro.api.ScenarioSpec.lower`).
+  Every built-in kind lowers; the lowered spec's simulated statistics are
+  bit-identical to the factory's.
 """
 
 from __future__ import annotations
 
-import inspect
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
 
 from repro.experiments.scenarios import (
@@ -19,6 +29,7 @@ from repro.experiments.scenarios import (
     mixed_model_scenario,
     paper_scenario,
 )
+from repro.traces.generators import check_unknown_params, signature_params
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.spec import ScenarioSpec
@@ -42,24 +53,51 @@ class ScenarioInfo:
     name: str
     description: str
     factory: ScenarioFactory
+    #: Optional deep-validation hook run at spec load time (cheap; must not
+    #: generate traces).
+    validate: Callable[[Mapping[str, Any]], None] | None = None
+    #: Optional lowering hook: this kind's params -> equivalent params of
+    #: the ``custom`` kind.  ``None`` means the kind cannot lower.
+    lower: Callable[[Mapping[str, Any]], dict[str, Any]] | None = None
 
     def param_names(self) -> tuple[str, ...]:
         """Keyword parameters the factory accepts (for validation/CLI)."""
-        sig = inspect.signature(self.factory)
-        return tuple(
-            p.name
-            for p in sig.parameters.values()
-            if p.kind
-            in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
-        )
+        names, _, _ = signature_params(self.factory)
+        return names
 
     def param_defaults(self) -> dict[str, Any]:
-        sig = inspect.signature(self.factory)
-        return {
-            p.name: p.default
-            for p in sig.parameters.values()
-            if p.default is not inspect.Parameter.empty
-        }
+        _, defaults, _ = signature_params(self.factory)
+        return defaults
+
+    def accepts_any_params(self) -> bool:
+        """True when the factory takes ``**kwargs`` (VAR_KEYWORD).
+
+        Such factories accept arbitrary parameter names, so name-level
+        validation must defer to the factory itself instead of rejecting
+        everything as unknown.
+        """
+        _, _, accepts_kwargs = signature_params(self.factory)
+        return accepts_kwargs
+
+    def check_param_names(self, params: Mapping[str, Any]) -> None:
+        """Reject unknown parameter names (honouring ``**kwargs`` factories)."""
+        if not self.accepts_any_params():
+            check_unknown_params(
+                params, self.param_names(), f"scenario kind {self.name!r}"
+            )
+
+    def check_params(self, params: Mapping[str, Any]) -> None:
+        """Validate parameters without building: names, then the deep hook."""
+        self.check_param_names(params)
+        if self.validate is not None:
+            try:
+                self.validate(dict(params))
+            except TypeError as exc:
+                # Wrong-typed JSON values surface as contextual load-time
+                # errors, never bare TypeError tracebacks.
+                raise ValueError(
+                    f"invalid parameters for scenario kind {self.name!r}: {exc}"
+                ) from exc
 
 
 class ScenarioRegistry:
@@ -69,14 +107,23 @@ class ScenarioRegistry:
         self._entries: dict[str, ScenarioInfo] = {}
 
     def register(
-        self, name: str, *, description: str = ""
+        self,
+        name: str,
+        *,
+        description: str = "",
+        validate: Callable[[Mapping[str, Any]], None] | None = None,
+        lower: Callable[[Mapping[str, Any]], dict[str, Any]] | None = None,
     ) -> Callable[[ScenarioFactory], ScenarioFactory]:
         def decorator(factory: ScenarioFactory) -> ScenarioFactory:
             key = name.lower()
             if key in self._entries:
                 raise ValueError(f"scenario kind {name!r} is already registered")
             self._entries[key] = ScenarioInfo(
-                name=name, description=description, factory=factory
+                name=name,
+                description=description,
+                factory=factory,
+                validate=validate,
+                lower=lower,
             )
             return factory
 
@@ -106,16 +153,18 @@ class ScenarioRegistry:
         return tuple(info.name for info in self)
 
     def build(self, kind: str, params: Mapping[str, Any] | None = None) -> "Scenario":
-        """Build a scenario of ``kind``; unknown parameters raise ValueError."""
+        """Build a scenario of ``kind``; unknown parameters raise ValueError.
+
+        Only parameter *names* are pre-checked here: the deep ``validate``
+        hook belongs to spec load/validation time (``_validate_spec``,
+        ``check_params``), and the factory is about to parse its own
+        parameters anyway -- running the hook again would parse a composed
+        scenario's whole job graph twice per build (once per shard in
+        every sweep worker).
+        """
         info = self.get(kind)
         params = dict(params or {})
-        accepted = set(info.param_names())
-        unknown = set(params) - accepted
-        if unknown:
-            raise ValueError(
-                f"unknown parameter(s) {sorted(unknown)} for scenario kind "
-                f"{info.name!r}; accepted: {sorted(accepted)}"
-            )
+        info.check_param_names(params)
         return info.factory(**params)
 
 
@@ -128,21 +177,38 @@ def get_scenario_registry() -> ScenarioRegistry:
 
 
 def register_scenario(
-    name: str, *, description: str = ""
+    name: str,
+    *,
+    description: str = "",
+    validate: Callable[[Mapping[str, Any]], None] | None = None,
+    lower: Callable[[Mapping[str, Any]], dict[str, Any]] | None = None,
 ) -> Callable[[ScenarioFactory], ScenarioFactory]:
     """Register a scenario factory on the default registry (decorator)."""
-    return _DEFAULT_SCENARIOS.register(name, description=description)
+    return _DEFAULT_SCENARIOS.register(
+        name, description=description, validate=validate, lower=lower
+    )
 
 
 def build_scenario(spec: "ScenarioSpec") -> "Scenario":
-    """Materialize a :class:`ScenarioSpec` into a concrete scenario."""
+    """Materialize a :class:`ScenarioSpec` into a concrete scenario.
+
+    A ``spec.name`` override is applied on a *copy* of the factory's
+    result: factories are free to cache or share Scenario instances, and
+    renaming a shared instance in place would leak one spec's label into
+    every later build.
+    """
     scenario = _DEFAULT_SCENARIOS.build(spec.kind, spec.params)
-    if spec.name:
-        scenario.name = spec.name
+    if spec.name and spec.name != scenario.name:
+        scenario = replace(scenario, name=spec.name)
     return scenario
 
 
 # ------------------------------------------------------- built-in kinds
+
+# The composition module is a leaf (it does not import this one); the
+# ``custom`` kind and the built-ins' lowering hooks both register here so
+# the whole catalog assembles in one place.
+from repro.api import composition as _composition  # noqa: E402
 
 register_scenario(
     "paper",
@@ -150,14 +216,27 @@ register_scenario(
         "The paper's main setup (§6): N ResNet34 jobs on Azure+Twitter "
         "traces; size RS(36)/SO(32)/HO(16) or an explicit replica count."
     ),
+    lower=_composition.lower_paper,
 )(paper_scenario)
 
 register_scenario(
     "mixed",
     description="Mixed workload (§6.3): alternating ResNet18/ResNet34 jobs.",
+    lower=_composition.lower_mixed,
 )(mixed_model_scenario)
 
 register_scenario(
     "large-scale",
     description="Large-scale workloads (§6.5): duplicated job mixes.",
+    lower=_composition.lower_large_scale,
 )(large_scale_scenario)
+
+register_scenario(
+    "custom",
+    description=(
+        "Fully declarative scenario: jobs (model/SLO/trace pipelines), "
+        "cluster, and train/eval split from spec parameters alone."
+    ),
+    validate=_composition.validate_custom_params,
+    lower=_composition.lower_custom,
+)(_composition.custom_scenario)

@@ -126,6 +126,29 @@ class ScenarioSpec:
 
         return build_scenario(self)
 
+    def lower(self) -> "ScenarioSpec":
+        """Re-express this spec as the fully-composed ``custom`` kind.
+
+        The built-in kinds are sugar: ``paper``/``mixed``/``large-scale``
+        lower to explicit job/trace-pipeline/cluster parameters whose
+        simulated statistics are bit-identical to the legacy factory
+        (pinned by ``tests/test_composition.py``); ``custom`` lowers to
+        itself.  Kinds registered without a lowering hook raise
+        ``ValueError``.
+        """
+        from repro.api.scenarios import get_scenario_registry
+
+        info = get_scenario_registry().get(self.kind)
+        if info.lower is None:
+            raise ValueError(
+                f"scenario kind {info.name!r} does not support lowering "
+                "(no lower hook registered)"
+            )
+        info.check_param_names(self.params)  # kind-named error for typos
+        return ScenarioSpec(
+            kind="custom", params=info.lower(dict(self.params)), name=self.name
+        )
+
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {"kind": self.kind, "params": _plain(self.params)}
         if self.name is not None:
@@ -275,6 +298,17 @@ class ExperimentSpec:
             p if isinstance(p, PolicySpec) else PolicySpec(name=p) for p in policies
         )
         return cls(name=name, scenarios=scenarios, policies=specs, **settings)
+
+    def lower(self) -> "ExperimentSpec":
+        """The same experiment with every scenario lowered to ``custom``.
+
+        Useful for freezing an experiment: the lowered spec file spells
+        out every job, trace pipeline, and cluster explicitly instead of
+        referencing factory sugar, yet simulates bit-identically.
+        """
+        from dataclasses import replace
+
+        return replace(self, scenarios=tuple(s.lower() for s in self.scenarios))
 
     # ------------------------------------------------------ serialization
 

@@ -12,7 +12,9 @@ Eight subcommands cover the workflows a user reaches for first:
 - ``policies`` -- list/inspect the policy registry (built-ins + plugins).
 - ``backends`` -- list/inspect the simulation-backend registry
   (request / flow / hybrid fidelities + plugins) and their typed options.
-- ``scenarios``-- list the registered scenario kinds and their parameters.
+- ``scenarios``-- list/inspect the registered scenario kinds, *lower*
+  built-in kinds to the fully-composed ``custom`` form, or dry-run
+  ``build`` a scenario (traces generated, nothing simulated).
 - ``traces``   -- generate, describe, or export the synthetic Azure/Twitter
   workload mixes.
 - ``forecast`` -- train a workload forecaster and report its rolling
@@ -418,11 +420,127 @@ def _cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_cli_params(args: argparse.Namespace) -> dict:
+    """Parse ``--params`` (a JSON object) for scenarios lower/build."""
+    import json
+
+    if not args.params:
+        return {}
+    params = json.loads(args.params)
+    if not isinstance(params, dict):
+        raise ValueError("--params must be a JSON object")
+    return params
+
+
+def _cmd_scenarios_lower(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import api
+
+    if args.spec:
+        spec = api.ExperimentSpec.from_file(args.spec)
+        payload = spec.lower().to_dict()
+    elif args.name:
+        scenario_spec = api.ScenarioSpec(
+            kind=args.name, params=_scenario_cli_params(args)
+        )
+        payload = scenario_spec.lower().to_dict()
+    else:
+        print("error: lower requires a scenario kind or --spec FILE", file=sys.stderr)
+        return 2
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote lowered spec to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_scenarios_build(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.experiments.report import format_table
+
+    if args.spec:
+        spec = api.ExperimentSpec.from_file(args.spec)
+        scenario_specs = list(spec.scenarios)
+    elif args.name:
+        scenario_specs = [
+            api.ScenarioSpec(kind=args.name, params=_scenario_cli_params(args))
+        ]
+    else:
+        print("error: build requires a scenario kind or --spec FILE", file=sys.stderr)
+        return 2
+    for scenario_spec in scenario_specs:
+        scenario = scenario_spec.build()
+        print(
+            f"{scenario.name}: {len(scenario.jobs)} job(s), "
+            f"{scenario.total_replicas} replicas, "
+            f"{scenario.duration_minutes} evaluation minute(s)"
+        )
+        rows = [
+            [
+                job.name,
+                job.model.name,
+                f"{job.slo.target * 1000:.0f}ms p{job.slo.percentile:.0f}",
+                f"{float(scenario.eval_traces[job.name].mean()):.1f}",
+                f"{float(scenario.eval_traces[job.name].max()):.1f}",
+                len(scenario.train_traces[job.name]),
+            ]
+            for job in scenario.jobs
+        ]
+        print(
+            format_table(
+                ["job", "model", "SLO", "eval mean rpm", "eval peak rpm", "train min"],
+                rows,
+                title=f"Scenario {scenario.name!r}",
+            )
+        )
+    return 0
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     from repro import api
     from repro.experiments.report import format_table
 
     registry = api.get_scenario_registry()
+    if args.action == "lower":
+        try:
+            return _cmd_scenarios_lower(args)
+        except (OSError, ValueError, TypeError, RuntimeError) as exc:
+            print(f"error: cannot lower: {exc}", file=sys.stderr)
+            return 2
+    if args.action == "build":
+        try:
+            return _cmd_scenarios_build(args)
+        except (OSError, ValueError, TypeError, RuntimeError) as exc:
+            print(f"error: cannot build: {exc}", file=sys.stderr)
+            return 2
+    if args.action == "show":
+        if not args.name:
+            print("error: show requires a scenario kind", file=sys.stderr)
+            return 2
+        try:
+            info = registry.get(args.name)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{info.name}")
+        print(f"  {info.description}")
+        print(f"  lowers to 'custom': {'yes' if info.lower is not None else 'no'}")
+        defaults = info.param_defaults()
+        names = info.param_names()
+        if names:
+            print("  parameters (spec-file 'params' keys):")
+            for name in names:
+                if name in defaults:
+                    print(f"    {name} = {defaults[name]!r}")
+                else:
+                    print(f"    {name} (required)")
+        else:
+            print("  parameters: none")
+        return 0
+    # action == "list"
     rows = []
     for info in registry:
         defaults = info.param_defaults()
@@ -654,8 +772,26 @@ def build_parser() -> argparse.ArgumentParser:
     backends.add_argument("name", nargs="?", help="backend name (show)")
     backends.set_defaults(func=_cmd_backends)
 
-    scenarios = sub.add_parser("scenarios", help="list registered scenario kinds")
-    scenarios.add_argument("action", choices=("list",))
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="list / inspect / lower / build registered scenario kinds",
+    )
+    scenarios.add_argument("action", choices=("list", "show", "lower", "build"))
+    scenarios.add_argument("name", nargs="?", help="scenario kind (show/lower/build)")
+    scenarios.add_argument(
+        "--params",
+        help="factory parameters as a JSON object (lower/build), "
+        'e.g. \'{"size": "SO", "num_jobs": 4}\'',
+    )
+    scenarios.add_argument(
+        "--spec",
+        type=Path,
+        help="experiment spec file: lower/build every scenario in it "
+        "instead of naming a kind",
+    )
+    scenarios.add_argument(
+        "--out", type=Path, help="with lower: write the lowered spec JSON here"
+    )
     scenarios.set_defaults(func=_cmd_scenarios)
 
     traces = sub.add_parser("traces", help="generate / describe / export traces")

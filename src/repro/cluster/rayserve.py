@@ -92,7 +92,7 @@ class RayServeCluster:
         return latencies
 
     def offer_chunk(self, job_name: str, chunk: list) -> None:
-        """Route one chunk given as a plain list (the simulators' hot call).
+        """Route one chunk, list or float array (the simulators' hot call).
 
         Chooses per chunk: when the router's batch fast path can engage
         (checked without touching numpy), the chunk is routed and recorded

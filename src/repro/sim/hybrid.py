@@ -175,8 +175,8 @@ class HybridSimulation(SimHarness):
         minutes = self.duration_minutes
         minute = min(int(now // 60.0), minutes - 1)
         for name, stream in self.arrivals.items():
-            chunk = stream.take_until(chunk_end)
-            if chunk:
+            chunk = stream.take_until_array(chunk_end)
+            if chunk.size:
                 self.cluster.offer_chunk(name, chunk)
         for name, flow in self.state.items():
             lam = flow.trace[minute] / 60.0

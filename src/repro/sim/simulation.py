@@ -154,8 +154,8 @@ class Simulation(SimHarness):
         now = min(now + tick, end_time)
         if self.options.vectorize:
             for name, stream in self.arrivals.items():
-                chunk = stream.take_until(now)
-                if chunk:
+                chunk = stream.take_until_array(now)
+                if chunk.size:
                     self.cluster.offer_chunk(name, chunk)
         else:
             offer = self.cluster.offer

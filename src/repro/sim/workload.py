@@ -3,13 +3,27 @@
 The paper's load generator replays trace arrival counts as a Poisson
 process (§6, following Swayam/DeepRecSys/INFaaS/MArk).  Each trace minute
 with rate ``r`` requests/minute yields ``Poisson(r * rate_scale)`` arrivals
-placed uniformly in the minute.  Generation is lazy (one minute at a time)
-so day-long multi-job simulations stay memory-bounded.
+placed uniformly in the minute.
+
+Generation is batched per consumption step: one call path
+(:meth:`PoissonArrivals._generate_minutes`) draws every not-yet-generated
+minute a ``take_until`` needs and lands them in a single numpy buffer, so
+the hot request-level loop does one ``searchsorted`` cut per chunk instead
+of per-arrival Python-list bookkeeping, and ``take_until_array`` hands the
+simulator's batch-offer path a slice with no list round-trip.  Day-long
+multi-job simulations stay memory-bounded: consumed prefixes are compacted
+away.
+
+**RNG contract (pinned):** the draw sequence is, per minute in order, one
+scalar ``poisson(rate)`` when the scaled rate is positive, then one
+``uniform`` batch when the count is positive.  Every byte-identity digest
+in the test suite rests on this order; the batched generator must consume
+the bit stream exactly like the historical lazy per-minute generator
+(differential-tested in ``tests/test_workload_vectorized.py``).  Treat it
+like a file format.
 """
 
 from __future__ import annotations
-
-from bisect import bisect_right
 
 import numpy as np
 
@@ -17,7 +31,7 @@ __all__ = ["PoissonArrivals"]
 
 
 class PoissonArrivals:
-    """Lazy per-minute Poisson arrival stream for one job."""
+    """Per-minute Poisson arrival stream for one job, batched per take."""
 
     def __init__(
         self,
@@ -36,7 +50,10 @@ class PoissonArrivals:
         self.rate_scale = rate_scale
         self.minute_seconds = minute_seconds
         self._rng = np.random.default_rng(seed)
-        self._buffer: list[float] = []
+        # Scaled per-minute rates, precomputed once (same float product the
+        # per-minute path computed, so the positive-rate test is identical).
+        self._scaled = self.rates * rate_scale
+        self._buffer = np.empty(0, dtype=float)
         self._cursor = 0
         self._next_minute = 0
         self.generated = 0
@@ -45,36 +62,56 @@ class PoissonArrivals:
     def duration_seconds(self) -> float:
         return self.rates.shape[0] * self.minute_seconds
 
-    def _generate_minute(self) -> None:
-        minute = self._next_minute
-        rate = self.rates[minute] * self.rate_scale
-        count = int(self._rng.poisson(rate)) if rate > 0 else 0
-        start = minute * self.minute_seconds
-        if count:
-            times = np.sort(self._rng.uniform(start, start + self.minute_seconds, count))
-            self._buffer.extend(times.tolist())
-            self.generated += count
-        self._next_minute += 1
+    def _generate_minutes(self, end_time: float) -> None:
+        """Draw every minute a take up to ``end_time`` still needs.
 
-    def take_until(self, end_time: float) -> list[float]:
-        """All arrival times <= end_time not yet taken, in order."""
-        while (
-            self._next_minute < self.rates.shape[0]
-            and self._next_minute * self.minute_seconds < end_time
-        ):
-            self._generate_minute()
+        All newly generated minutes land in the buffer with a single
+        concatenate (which also compacts the consumed prefix).  The RNG
+        draws themselves stay per-minute, in minute order -- that sequence
+        is the pinned contract documented above.
+        """
+        chunks: list[np.ndarray] = []
+        minute = self._next_minute
+        total_minutes = self.rates.shape[0]
+        seconds = self.minute_seconds
+        rng = self._rng
+        scaled = self._scaled
+        while minute < total_minutes and minute * seconds < end_time:
+            rate = scaled[minute]
+            count = int(rng.poisson(rate)) if rate > 0 else 0
+            if count:
+                start = minute * seconds
+                chunks.append(np.sort(rng.uniform(start, start + seconds, count)))
+                self.generated += count
+            minute += 1
+        self._next_minute = minute
+        if chunks:
+            self._buffer = np.concatenate([self._buffer[self._cursor :], *chunks])
+            self._cursor = 0
+
+    def _take_view(self, end_time: float) -> np.ndarray:
+        """Buffer view of all arrivals <= end_time not yet taken."""
+        self._generate_minutes(end_time)
         buffer = self._buffer
         # The buffer is globally sorted (minutes generated in order, times
-        # sorted within each minute), so the cut point is one bisection.
-        cursor = bisect_right(buffer, end_time, self._cursor)
+        # sorted within each minute), so the cut point is one searchsorted.
+        cursor = int(np.searchsorted(buffer, end_time, side="right"))
+        cursor = max(cursor, self._cursor)
         taken = buffer[self._cursor : cursor]
         self._cursor = cursor
         if cursor > 4096:
-            # Compact the consumed prefix to bound memory.
-            del buffer[:cursor]
+            # Compact the consumed prefix to bound memory (copy, not view:
+            # a view would pin the full backing array alive).
+            self._buffer = buffer[cursor:].copy()
             self._cursor = 0
         return taken
 
+    def take_until(self, end_time: float) -> list[float]:
+        """All arrival times <= end_time not yet taken, in order."""
+        return self._take_view(end_time).tolist()
+
     def take_until_array(self, end_time: float) -> np.ndarray:
         """Like :meth:`take_until`, as a float array (batch-offer input)."""
-        return np.asarray(self.take_until(end_time), dtype=float)
+        # Copy: the view would otherwise alias a buffer a later compaction
+        # (or this very call's slice-out) shares with future takes.
+        return self._take_view(end_time).copy()

@@ -19,7 +19,19 @@ from repro.traces.scaling import (
     rescale_trace,
     train_eval_split,
 )
-from repro.traces.library import JobTrace, standard_job_mix
+from repro.traces.library import JobTrace, standard_job_mix, standard_mix_source
+from repro.traces.generators import (
+    TraceSourceInfo,
+    TraceSourceRegistry,
+    get_trace_source_registry,
+    register_trace_source,
+)
+from repro.traces.transforms import (
+    TraceTransformInfo,
+    TraceTransformRegistry,
+    get_trace_transform_registry,
+    register_trace_transform,
+)
 from repro.traces.io import (
     load_job_mix_json,
     load_trace_csv,
@@ -45,6 +57,15 @@ __all__ = [
     "train_eval_split",
     "JobTrace",
     "standard_job_mix",
+    "standard_mix_source",
+    "TraceSourceInfo",
+    "TraceSourceRegistry",
+    "register_trace_source",
+    "get_trace_source_registry",
+    "TraceTransformInfo",
+    "TraceTransformRegistry",
+    "register_trace_transform",
+    "get_trace_transform_registry",
     "save_trace_csv",
     "load_trace_csv",
     "save_job_mix_json",

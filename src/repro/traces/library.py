@@ -18,7 +18,7 @@ from repro.traces.azure import AzureTraceConfig, generate_azure_trace
 from repro.traces.scaling import rescale_trace, train_eval_split
 from repro.traces.twitter import TwitterTraceConfig, generate_twitter_trace
 
-__all__ = ["JobTrace", "standard_job_mix"]
+__all__ = ["JobTrace", "standard_job_mix", "standard_mix_source"]
 
 # Shape presets giving the nine Azure-like jobs distinct temporal patterns:
 # (diurnal_amplitude, second_harmonic, phase_minutes, noise_sigma,
@@ -69,6 +69,31 @@ class JobTrace:
         return int(self.rates_per_min.shape[0])
 
 
+def standard_mix_source(index: int, days: int, seed: int) -> tuple[str, dict]:
+    """The generator (source name, parameters) of job ``index`` in the mix.
+
+    This is the single source of truth for the paper mix's per-job seed
+    and shape formulas: :func:`standard_job_mix` generates from it, and the
+    scenario-lowering layer (:mod:`repro.api.composition`) re-expresses it
+    as a declarative trace pipeline -- both must stay bit-identical, so
+    the formulas live exactly once.
+    """
+    slot = index % 10
+    replica_round = index // 10
+    if slot < 9:
+        amp, second, phase, noise, bursts = _AZURE_SHAPES[slot]
+        return "azure", {
+            "days": days,
+            "diurnal_amplitude": amp,
+            "second_harmonic": second,
+            "phase_minutes": phase,
+            "noise_sigma": noise,
+            "burst_rate_per_day": bursts,
+            "seed": seed + 101 * index + 7 * replica_round,
+        }
+    return "twitter", {"days": days, "seed": seed + 101 * index + 13}
+
+
 def standard_job_mix(
     num_jobs: int = 10,
     days: int = 11,
@@ -88,25 +113,11 @@ def standard_job_mix(
         raise ValueError(f"need >= 2 days for a train/eval split, got {days}")
     jobs: list[JobTrace] = []
     for index in range(num_jobs):
-        slot = index % 10
-        replica_round = index // 10
-        if slot < 9:
-            amp, second, phase, noise, bursts = _AZURE_SHAPES[slot]
-            config = AzureTraceConfig(
-                days=days,
-                diurnal_amplitude=amp,
-                second_harmonic=second,
-                phase_minutes=phase,
-                noise_sigma=noise,
-                burst_rate_per_day=bursts,
-                seed=seed + 101 * index + 7 * replica_round,
-            )
-            trace = generate_azure_trace(config)
-            source = "azure"
+        source, params = standard_mix_source(index, days, seed)
+        if source == "azure":
+            trace = generate_azure_trace(AzureTraceConfig(**params))
         else:
-            config = TwitterTraceConfig(days=days, seed=seed + 101 * index + 13)
-            trace = generate_twitter_trace(config)
-            source = "twitter"
+            trace = generate_twitter_trace(TwitterTraceConfig(**params))
         rescaled = rescale_trace(trace, rate_lo, rate_hi)
         jobs.append(
             JobTrace(

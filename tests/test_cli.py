@@ -146,9 +146,53 @@ class TestScenarios:
         code = main(["scenarios", "list"])
         assert code == 0
         out = capsys.readouterr().out
-        for kind in ("paper", "mixed", "large-scale"):
+        for kind in ("paper", "mixed", "large-scale", "custom"):
             assert kind in out
         assert "duration_minutes" in out
+
+    def test_show(self, capsys):
+        code = main(["scenarios", "show", "paper"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eval_offset_minutes" in out
+        assert "lowers to 'custom': yes" in out
+
+    def test_show_requires_name(self, capsys):
+        assert main(["scenarios", "show"]) == 2
+
+    def test_lower_prints_composed_spec(self, capsys):
+        import json
+
+        code = main(
+            ["scenarios", "lower", "paper",
+             "--params", '{"size": 8, "num_jobs": 2, "days": 2}']
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "custom"
+
+    def test_lower_unknown_param_names_the_kind(self, capsys):
+        code = main(
+            ["scenarios", "lower", "paper", "--params", '{"bogus": 1}']
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "'paper'" in err and "bogus" in err
+
+    def test_build_dry_run(self, capsys):
+        code = main(
+            ["scenarios", "build", "paper",
+             "--params",
+             '{"size": 8, "num_jobs": 2, "days": 2, "duration_minutes": 8, '
+             '"rate_hi": 300.0}']
+        )
+        assert code == 0
+        assert "paper-8-2jobs" in capsys.readouterr().out
+
+    def test_build_wrong_typed_param_exits_cleanly(self, capsys):
+        code = main(["scenarios", "build", "paper", "--params", '{"days": "2"}'])
+        assert code == 2
+        assert "cannot build" in capsys.readouterr().err
 
 
 class TestBackends:

@@ -19,6 +19,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = [
     ("quickstart.py", "Faro quickstart"),
     ("declarative_experiment.py", "Declarative experiment"),
+    ("composed_scenario.py", "Declarative scenario composition"),
     ("heterogeneous_cluster.py", "Heterogeneous allocation"),
     ("budget_cloud.py", "Budget-limited cloud"),
     ("admission_control.py", "Admission control"),

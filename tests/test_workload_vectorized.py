@@ -1,0 +1,162 @@
+"""Differential suite for the batched ``PoissonArrivals`` generator.
+
+The batched implementation (numpy buffer, one searchsorted cut per take)
+must consume the RNG bit stream *exactly* like the historical lazy
+per-minute generator: every byte-identity digest in the repo rests on the
+per-minute ``poisson`` / ``uniform`` draw order.  ``_ReferenceArrivals``
+below is a faithful copy of the pre-vectorization implementation; the
+tests pin stream identity against it across rate patterns, scales, and
+consumption schedules, including the buffer-compaction path.
+"""
+
+from bisect import bisect_right
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.workload import PoissonArrivals
+
+
+class _ReferenceArrivals:
+    """The pre-vectorization lazy generator, verbatim (the RNG contract)."""
+
+    def __init__(self, rates_per_min, rate_scale=1.0, seed=0, minute_seconds=60.0):
+        self.rates = np.asarray(rates_per_min, dtype=float)
+        self.rate_scale = rate_scale
+        self.minute_seconds = minute_seconds
+        self._rng = np.random.default_rng(seed)
+        self._buffer: list[float] = []
+        self._cursor = 0
+        self._next_minute = 0
+        self.generated = 0
+
+    def _generate_minute(self) -> None:
+        minute = self._next_minute
+        rate = self.rates[minute] * self.rate_scale
+        count = int(self._rng.poisson(rate)) if rate > 0 else 0
+        start = minute * self.minute_seconds
+        if count:
+            times = np.sort(self._rng.uniform(start, start + self.minute_seconds, count))
+            self._buffer.extend(times.tolist())
+            self.generated += count
+        self._next_minute += 1
+
+    def take_until(self, end_time: float) -> list[float]:
+        while (
+            self._next_minute < self.rates.shape[0]
+            and self._next_minute * self.minute_seconds < end_time
+        ):
+            self._generate_minute()
+        buffer = self._buffer
+        cursor = bisect_right(buffer, end_time, self._cursor)
+        taken = buffer[self._cursor : cursor]
+        self._cursor = cursor
+        if cursor > 4096:
+            del buffer[:cursor]
+            self._cursor = 0
+        return taken
+
+
+RATE_PATTERNS = {
+    "steady": np.full(30, 120.0),
+    "zeros": np.zeros(20),
+    "sparse": np.array([0.0, 300.0, 0.0, 0.0, 50.0, 0.0, 800.0, 0.0] * 4),
+    "ramp": np.linspace(0.0, 900.0, 25),
+    "bursty": np.array([5.0, 5.0, 2000.0, 5.0, 5.0, 1500.0] * 5),
+}
+
+
+def _consume(stream, schedule):
+    out = []
+    for end_time in schedule:
+        out.append(np.asarray(stream.take_until(end_time), dtype=float))
+    return out
+
+
+class TestStreamIdentity:
+    @pytest.mark.parametrize("pattern", sorted(RATE_PATTERNS))
+    @pytest.mark.parametrize("rate_scale", [1.0, 0.5, 0.0])
+    def test_identical_to_reference_per_minute_takes(self, pattern, rate_scale):
+        rates = RATE_PATTERNS[pattern]
+        schedule = [60.0 * (m + 1) for m in range(rates.shape[0])]
+        new = PoissonArrivals(rates, rate_scale=rate_scale, seed=7)
+        ref = _ReferenceArrivals(rates, rate_scale=rate_scale, seed=7)
+        for got, want in zip(_consume(new, schedule), _consume(ref, schedule)):
+            np.testing.assert_array_equal(got, want)
+        assert new.generated == ref.generated
+
+    @pytest.mark.parametrize("pattern", sorted(RATE_PATTERNS))
+    def test_identical_under_uneven_chunk_schedules(self, pattern):
+        rates = RATE_PATTERNS[pattern]
+        horizon = rates.shape[0] * 60.0
+        # Deliberately awkward boundaries: sub-minute, multi-minute, exact
+        # minute edges, and a final take past the end of the trace.
+        schedule = [7.5, 60.0, 61.0, 200.0, 200.0, 433.3, horizon / 2, horizon + 90.0]
+        new = PoissonArrivals(rates, seed=11)
+        ref = _ReferenceArrivals(rates, seed=11)
+        for got, want in zip(_consume(new, schedule), _consume(ref, schedule)):
+            np.testing.assert_array_equal(got, want)
+
+    def test_identical_rng_state_after_consumption(self):
+        """Not just the same values: the same bit-stream position."""
+        rates = RATE_PATTERNS["bursty"]
+        new = PoissonArrivals(rates, seed=3)
+        ref = _ReferenceArrivals(rates, seed=3)
+        for end in (90.0, 300.0, 1800.0):
+            new.take_until(end)
+            ref.take_until(end)
+        assert (
+            new._rng.bit_generator.state == ref._rng.bit_generator.state
+        )
+
+    def test_compaction_path_is_transparent(self):
+        """Crossing the 4096-arrival compaction threshold loses nothing."""
+        rates = np.full(40, 9000.0)  # ~9k arrivals/minute
+        new = PoissonArrivals(rates, seed=5)
+        ref = _ReferenceArrivals(rates, seed=5)
+        schedule = [60.0 * (m + 1) - 0.25 for m in range(40)] + [40 * 60.0]
+        for got, want in zip(_consume(new, schedule), _consume(ref, schedule)):
+            np.testing.assert_array_equal(got, want)
+        assert new.generated == ref.generated > 4096
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        cuts=st.lists(
+            st.floats(min_value=0.0, max_value=1300.0, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_identical_for_arbitrary_monotone_schedules(self, seed, cuts):
+        rates = np.array([0.0, 40.0, 500.0, 0.0, 120.0, 60.0, 0.0, 900.0, 30.0, 10.0] * 2)
+        schedule = sorted(cuts)
+        new = PoissonArrivals(rates, seed=seed)
+        ref = _ReferenceArrivals(rates, seed=seed)
+        for got, want in zip(_consume(new, schedule), _consume(ref, schedule)):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestArrayTake:
+    def test_take_until_array_matches_take_until(self):
+        a = PoissonArrivals(np.full(5, 300.0), seed=9)
+        b = PoissonArrivals(np.full(5, 300.0), seed=9)
+        for end in (45.0, 120.0, 300.0):
+            np.testing.assert_array_equal(
+                a.take_until_array(end), np.asarray(b.take_until(end), dtype=float)
+            )
+
+    def test_take_until_array_returns_owned_data(self):
+        """The returned array must survive later takes/compactions intact."""
+        stream = PoissonArrivals(np.full(10, 6000.0), seed=2)
+        first = stream.take_until_array(120.0)
+        snapshot = first.copy()
+        stream.take_until_array(600.0)  # forces generation + compaction
+        np.testing.assert_array_equal(first, snapshot)
+
+    def test_take_until_returns_python_list(self):
+        taken = PoissonArrivals(np.full(2, 100.0), seed=1).take_until(120.0)
+        assert isinstance(taken, list)
+        assert all(isinstance(value, float) for value in taken)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Perf gates: optimizer hot path, sharded sweeps, simulation backends.
+"""Perf gates: optimizer hot path, sweeps, sim backends, scenario builds.
 
-Three benches run in-process and compare against checked-in baselines:
+Four benches run in-process and compare against checked-in baselines:
 
 - the allocation hot-path micro-benchmark
   (``benchmarks/bench_optimizer_hotpath.py`` vs
@@ -17,7 +17,12 @@ Three benches run in-process and compare against checked-in baselines:
 - the simulation-backend bench (``benchmarks/bench_sim_backends.py`` vs
   ``results/BENCH_sim.json``): batch offers must stay byte-identical to
   per-request offers (unconditional), keep their speedup on the steady
-  workload, and no backend's wall-clock may regress beyond tolerance.
+  workload, and no backend's wall-clock may regress beyond tolerance;
+- the scenario-build bench (``benchmarks/bench_scenario_build.py`` vs
+  ``results/BENCH_scenarios.json``): scenario construction + trace
+  generation at 10/100/500 jobs may not regress beyond tolerance, and the
+  fully-composed (lowered) path must stay within its gated cost ratio of
+  the legacy factory path.
 
 Run next to the tier-1 verify command:
 
@@ -262,6 +267,65 @@ def compare_sim(baseline: dict, measured: dict, tolerance: float) -> tuple[list[
     return rows, ok
 
 
+def load_scenario_baseline(path: Path) -> dict:
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or not isinstance(data.get("points"), list):
+        raise ValueError(f"{path} has no benchmark points")
+    for point in data["points"]:
+        missing = {"name", "wall_s"} - set(point)
+        if missing:
+            raise ValueError(f"{path} point is missing {sorted(missing)}")
+    return data
+
+
+def compare_scenarios(
+    baseline: dict, measured: dict, tolerance: float
+) -> tuple[list[tuple], bool]:
+    """Gate rows for the scenario-build bench; same row shape as :func:`compare`."""
+    rows = []
+    ok = True
+
+    # The composed (lowered) path must stay in the factory's cost class.
+    required = baseline.get("gated_composed_overhead", 1.5)
+    overhead = measured.get("composed_overhead_at_500", float("inf"))
+    passed = overhead <= required
+    ok = ok and passed
+    rows.append(
+        (
+            "scenario/composed-overhead",
+            "ratio",
+            f"<= {required:.1f}x",
+            f"{overhead:.2f}x",
+            "ok" if passed else "REGRESSED (composition became a tax)",
+        )
+    )
+
+    base_points = {p["name"]: p for p in baseline["points"]}
+    measured_points = {p["name"]: p for p in measured["points"]}
+    for name in base_points:
+        point = measured_points.get(name)
+        if point is None:
+            ok = False
+            rows.append((f"scenario/{name}", "wall_s", "present", "-", "MISSING from run"))
+            continue
+        budget = base_points[name]["wall_s"] * (1.0 + tolerance)
+        passed = point["wall_s"] <= budget
+        ok = ok and passed
+        rows.append(
+            (
+                f"scenario/{name}",
+                "wall_s",
+                f"{base_points[name]['wall_s']*1000:.0f}ms",
+                f"{point['wall_s']*1000:.0f}ms",
+                "ok" if passed else f"REGRESSED (> {budget*1000:.0f}ms)",
+            )
+        )
+    for name in measured_points:
+        if name not in base_points:
+            rows.append((f"scenario/{name}", "wall_s", "-", "-", "NEW (no baseline)"))
+    return rows, ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -299,6 +363,17 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the simulation-backend gate",
     )
     parser.add_argument(
+        "--scenario-baseline",
+        type=Path,
+        default=REPO_ROOT / "results" / "BENCH_scenarios.json",
+        help="scenario-build baseline JSON (default: results/BENCH_scenarios.json)",
+    )
+    parser.add_argument(
+        "--skip-scenarios",
+        action="store_true",
+        help="skip the scenario-build gate",
+    )
+    parser.add_argument(
         "--write",
         action="store_true",
         help="refresh the baseline file(s) with the new measurements",
@@ -333,6 +408,15 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
+    run_scenario_gate = not args.skip_scenarios
+    if run_scenario_gate and not args.scenario_baseline.exists():
+        print(
+            f"error: baseline {args.scenario_baseline} not found; run the bench "
+            "once (pytest benchmarks/bench_scenario_build.py) or pass "
+            "--scenario-baseline / --skip-scenarios",
+            file=sys.stderr,
+        )
+        return 2
 
     try:
         baseline = load_baseline(args.baseline)
@@ -342,6 +426,11 @@ def main(argv: list[str] | None = None) -> int:
             else None
         )
         sim_baseline = load_sim_baseline(args.sim_baseline) if run_sim_gate else None
+        scenario_baseline = (
+            load_scenario_baseline(args.scenario_baseline)
+            if run_scenario_gate
+            else None
+        )
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"error: cannot read baseline: {exc}", file=sys.stderr)
         return 2
@@ -402,6 +491,27 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    scenario_measured = None
+    if run_scenario_gate:
+        from benchmarks.bench_scenario_build import run_scenario_bench
+
+        print(
+            f"\nrunning scenario-build bench (baseline: {args.scenario_baseline}) ..."
+        )
+        scenario_measured = run_scenario_bench()
+        scenario_rows, scenario_ok = compare_scenarios(
+            scenario_baseline, scenario_measured, args.tolerance
+        )
+        ok = ok and scenario_ok
+        print()
+        print(
+            format_table(
+                ["point", "metric", "baseline", "measured", "verdict"],
+                scenario_rows,
+                title="== Scenario build perf gate ==",
+            )
+        )
+
     if args.write:
         args.baseline.write_text(json.dumps({"points": measured}, indent=2) + "\n")
         print(f"\nwrote new baseline to {args.baseline}")
@@ -413,6 +523,11 @@ def main(argv: list[str] | None = None) -> int:
         if sim_measured is not None:
             args.sim_baseline.write_text(json.dumps(sim_measured, indent=2) + "\n")
             print(f"wrote new baseline to {args.sim_baseline}")
+        if scenario_measured is not None:
+            args.scenario_baseline.write_text(
+                json.dumps(scenario_measured, indent=2) + "\n"
+            )
+            print(f"wrote new baseline to {args.scenario_baseline}")
 
     if not ok:
         print(
