@@ -1,0 +1,176 @@
+"""Heterogeneous allocation: ILP-vs-greedy agreement and solve wall-clock.
+
+The heterogeneity layer's quality/performance contract, pinned for the
+perf gate (``tools/check_perf.py`` vs ``results/BENCH_hetero.json``):
+
+- on small instances the ILP placement baseline and the greedy-with-repair
+  solver must agree on total normalized goodput within a floor ratio
+  (both report utilities under the ``throughput`` objective, so the
+  numbers are directly comparable), and
+- both solvers must stay interactive: they run inside the policy tick of
+  every heterogeneous simulation, so a solve is bounded by a wall-clock
+  ceiling rather than a relative baseline.
+
+Instances sweep job count, device-class inventories, and per-model
+throughput matrices; everything is deterministic (no RNG) so the agreement
+ratios are stable across runs and machines.
+"""
+
+import json
+import time
+
+from benchmarks.conftest import RESULTS_DIR, write_result
+from repro.core.utility import SLO
+from repro.experiments.report import format_table
+from repro.hetero.allocation import (
+    HeteroJob,
+    HeteroProblem,
+    solve_hetero_allocation,
+)
+from repro.hetero.ilp import solve_ilp_allocation
+from repro.hetero.types import DeviceClass, DeviceFleet
+
+#: Smallest ILP/greedy total-utility ratio the perf gate tolerates.  The
+#: ILP optimizes a linear proxy of the same objective, so it may land a
+#: hair above or below greedy-with-repair; large gaps mean a solver bug.
+GATED_MIN_RATIO = 0.9
+
+#: Per-solve wall-clock ceiling (seconds).  Solves run inside policy
+#: ticks; an interactive bound matters more than relative drift.
+GATED_SOLVE_CEILING_S = 2.0
+
+
+def _instances() -> list[tuple[str, HeteroProblem]]:
+    """Deterministic small instances spanning the matrix/inventory space."""
+    fleets = {
+        "2c": DeviceFleet(
+            (
+                DeviceClass(name="cpu", count=10),
+                DeviceClass(
+                    name="gpu-t4", count=4, speedup=4.0, cpus=2.0, mem=8.0, accels=1.0
+                ),
+            ),
+            speedups={"resnet34": {"gpu-t4": 6.0}, "resnet18": {"gpu-t4": 3.2}},
+        ),
+        "3c": DeviceFleet(
+            (
+                DeviceClass(name="cpu", count=8),
+                DeviceClass(
+                    name="gpu-t4", count=3, speedup=4.0, cpus=2.0, mem=8.0, accels=1.0
+                ),
+                DeviceClass(
+                    name="gpu-v100",
+                    count=2,
+                    speedup=8.0,
+                    cpus=4.0,
+                    mem=16.0,
+                    accels=1.0,
+                ),
+            ),
+            speedups={"resnet34": {"gpu-t4": 6.0, "gpu-v100": 10.0}},
+        ),
+    }
+    # "low" leaves the fleet slack (both solvers should saturate goodput);
+    # "high" oversubscribes it (rates are in the fleet's aggregate
+    # service-rate class), forcing real trade-offs between jobs/classes.
+    loads = {
+        "low": (3.0, 5.0, 2.0, 4.0),
+        "high": (150.0, 260.0, 120.0, 200.0),
+    }
+    instances = []
+    for fleet_name, fleet in fleets.items():
+        for load_name, rates in loads.items():
+            jobs = [
+                HeteroJob(
+                    name=f"job{i}",
+                    slo=SLO(target=0.72 if i % 2 == 0 else 0.4),
+                    proc_time=0.18 if i % 2 == 0 else 0.10,
+                    arrival_rate=rate,
+                    priority=1.0 + 0.5 * (i % 2),
+                )
+                for i, rate in enumerate(rates[: 2 + (fleet_name == "3c")])
+            ]
+            model = {True: "resnet34", False: "resnet18"}
+            overrides = {
+                job.name: {
+                    cls.name: fleet.speedup_for(
+                        model[job.proc_time == 0.18], cls.name
+                    )
+                    for cls in fleet.classes
+                }
+                for job in jobs
+            }
+            problem = HeteroProblem(
+                jobs=jobs,
+                types=fleet.replica_types(),
+                capacity=fleet.capacity(),
+                objective="throughput",
+                type_counts=fleet.counts(),
+                speedup_overrides=overrides,
+            )
+            instances.append((f"{fleet_name}-{load_name}", problem))
+    return instances
+
+
+def run_hetero_bench() -> dict:
+    points = []
+    ratios = []
+    greedy_wall = ilp_wall = 0.0
+    for name, problem in _instances():
+        started = time.perf_counter()
+        greedy = solve_hetero_allocation(problem)
+        greedy_s = time.perf_counter() - started
+        started = time.perf_counter()
+        ilp = solve_ilp_allocation(problem)
+        ilp_s = time.perf_counter() - started
+        greedy_wall = max(greedy_wall, greedy_s)
+        ilp_wall = max(ilp_wall, ilp_s)
+        base = max(greedy.total_utility, 1e-12)
+        ratio = ilp.total_utility / base
+        ratios.append(ratio)
+        points.append(
+            {
+                "name": name,
+                "greedy_utility": greedy.total_utility,
+                "ilp_utility": ilp.total_utility,
+                "ratio": ratio,
+                "greedy_wall_s": greedy_s,
+                "ilp_wall_s": ilp_s,
+            }
+        )
+    return {
+        "min_ratio": min(ratios),
+        "gated_min_ratio": GATED_MIN_RATIO,
+        "greedy_wall_s": greedy_wall,
+        "ilp_wall_s": ilp_wall,
+        "gated_solve_ceiling_s": GATED_SOLVE_CEILING_S,
+        "points": points,
+    }
+
+
+def test_hetero_policies_bench(benchmark):
+    data = benchmark.pedantic(run_hetero_bench, rounds=1, iterations=1)
+
+    rows = [
+        [
+            p["name"],
+            f"{p['greedy_utility']:.3f}",
+            f"{p['ilp_utility']:.3f}",
+            f"{p['ratio']:.3f}",
+            f"{p['greedy_wall_s'] * 1000:.1f}ms",
+            f"{p['ilp_wall_s'] * 1000:.1f}ms",
+        ]
+        for p in data["points"]
+    ]
+    text = format_table(
+        ["instance", "greedy", "ilp", "ilp/greedy", "greedy wall", "ilp wall"],
+        rows,
+        title="== Heterogeneous allocation: ILP vs greedy-with-repair ==",
+    )
+    write_result("hetero_policies", text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_hetero.json").write_text(json.dumps(data, indent=2) + "\n")
+
+    assert data["min_ratio"] >= GATED_MIN_RATIO
+    assert data["greedy_wall_s"] < GATED_SOLVE_CEILING_S
+    assert data["ilp_wall_s"] < GATED_SOLVE_CEILING_S

@@ -94,6 +94,7 @@ from repro.api.parallel import (
 # points (spawn sweep workers re-run both on their own import of this
 # package, so plugin names resolve in worker processes too).
 import repro.api.builtin  # noqa: E402,F401  (imported for registration side effects)
+import repro.api.hetero_policies  # noqa: E402,F401  (imported for registration side effects)
 
 load_entry_point_plugins()
 

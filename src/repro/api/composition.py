@@ -48,6 +48,7 @@ from repro.experiments.scenarios import (
     mixed_model_scenario,
     paper_scenario,
 )
+from repro.hetero.types import DeviceClass, DeviceFleet
 from repro.traces.generators import (
     check_unknown_params,
     get_trace_source_registry,
@@ -93,10 +94,15 @@ class TransformStep:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("transform name must be non-empty")
-        params = {
-            key: value.to_dict() if isinstance(value, TraceSpec) else value
-            for key, value in dict(self.params).items()
-        }
+
+        def despec(value: Any) -> Any:
+            if isinstance(value, TraceSpec):
+                return value.to_dict()
+            if isinstance(value, (list, tuple)):
+                return [despec(item) for item in value]
+            return value
+
+        params = {key: despec(value) for key, value in dict(self.params).items()}
         object.__setattr__(self, "params", _normalize(params))
 
     def to_dict(self) -> dict[str, Any]:
@@ -154,12 +160,26 @@ class TraceSpec:
                         f"trace transform {step.name!r} requires a nested "
                         f"{nested_name!r} pipeline"
                     )
-                nested_spec = (
-                    nested
-                    if isinstance(nested, TraceSpec)
-                    else TraceSpec.from_dict(nested)
-                )
-                nested_spec.validate()
+                # A nested param holds one pipeline (superpose/splice) or a
+                # list of pipelines (mixture); both recurse.
+                if isinstance(nested, (TraceSpec, Mapping, str)):
+                    items: Sequence[Any] = [nested]
+                elif isinstance(nested, Sequence):
+                    items = nested
+                else:
+                    items = [nested]
+                if not items:
+                    raise ValueError(
+                        f"trace transform {step.name!r} requires at least one "
+                        f"nested {nested_name!r} pipeline"
+                    )
+                for item in items:
+                    nested_spec = (
+                        item
+                        if isinstance(item, TraceSpec)
+                        else TraceSpec.from_dict(item)
+                    )
+                    nested_spec.validate()
 
     def build(self) -> np.ndarray:
         """Generate the series: source output through each transform in order."""
@@ -357,32 +377,142 @@ class JobSpec:
         )
 
 
+#: Per-device-class fields a spec file may set (name/count required).
+_DEVICE_CLASS_KEYS = {
+    "name",
+    "count",
+    "speedup",
+    "cpus",
+    "mem",
+    "accels",
+    "cost_per_hour",
+}
+
+#: DeviceClass fields whose defaults are omitted from ``to_dict``.
+_DEVICE_CLASS_DEFAULTS = {
+    "speedup": 1.0,
+    "cpus": 1.0,
+    "mem": 1.0,
+    "accels": 0.0,
+    "cost_per_hour": 0.0,
+}
+
+
+def _coerce_device_class(data: Any) -> DeviceClass:
+    if isinstance(data, DeviceClass):
+        return data
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"device class must be a mapping, got {type(data).__name__}"
+        )
+    _check_keys(data, _DEVICE_CLASS_KEYS, "device class")
+    missing = {"name", "count"} - set(data)
+    if missing:
+        raise ValueError(f"device class is missing {sorted(missing)}")
+    fields = dict(data)
+    fields["count"] = _coerce_whole(
+        fields["count"], f"device class {fields['name']!r} count",
+        minimum=1, optional=False,
+    )
+    for key in _DEVICE_CLASS_DEFAULTS:
+        if key in fields:
+            fields[key] = float(fields[key])
+    return DeviceClass(**fields)
+
+
 @dataclass(frozen=True)
 class ClusterSpec:
-    """The cluster as a value: total replica capacity."""
+    """The cluster as a value: total replica capacity, optionally typed.
 
-    total_replicas: int
+    The homogeneous form is a bare ``total_replicas`` -- unchanged, and
+    byte-identical through ``to_dict``.  A heterogeneous cluster instead
+    lists ``device_classes`` (name, count, per-resource footprint, default
+    speedup) plus an optional per-(model, class) ``throughput`` matrix of
+    speedups relative to the reference CPU processing time;
+    ``total_replicas`` may then be omitted (it is the sum of class counts)
+    or stated redundantly (it must match).  A single class with speedup 1
+    *is* the homogeneous cluster -- not a separate code path.
+    """
+
+    total_replicas: int | None = None
+    device_classes: tuple[DeviceClass, ...] = ()
+    throughput: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        object.__setattr__(
-            self,
-            "total_replicas",
-            _coerce_whole(
-                self.total_replicas, "total_replicas", minimum=1, optional=False
-            ),
-        )
+        classes = tuple(_coerce_device_class(cls) for cls in self.device_classes)
+        object.__setattr__(self, "device_classes", classes)
+        if self.throughput and not classes:
+            raise ValueError(
+                "cluster spec has a 'throughput' matrix but no 'device_classes'"
+            )
+        matrix = {
+            str(model): {str(name): float(v) for name, v in dict(row).items()}
+            for model, row in dict(self.throughput).items()
+        }
+        object.__setattr__(self, "throughput", matrix)
+        if classes:
+            # DeviceFleet validates class names, matrix references, and
+            # speedup positivity; build it once here to fail at load time.
+            derived = self.to_fleet().total_count()
+            total = _coerce_whole(self.total_replicas, "total_replicas", minimum=1)
+            if total is not None and total != derived:
+                raise ValueError(
+                    f"total_replicas={total} does not match the "
+                    f"{derived} slots the device classes provide"
+                )
+            object.__setattr__(self, "total_replicas", derived)
+        else:
+            object.__setattr__(
+                self,
+                "total_replicas",
+                _coerce_whole(
+                    self.total_replicas, "total_replicas", minimum=1, optional=False
+                ),
+            )
+
+    def to_fleet(self) -> DeviceFleet | None:
+        """The typed fleet, or None for the homogeneous single-pool form."""
+        if not self.device_classes:
+            return None
+        return DeviceFleet(classes=self.device_classes, speedups=self.throughput)
 
     def to_dict(self) -> dict[str, Any]:
-        return {"total_replicas": self.total_replicas}
+        data: dict[str, Any] = {"total_replicas": self.total_replicas}
+        if self.device_classes:
+            data["device_classes"] = [
+                {
+                    "name": cls.name,
+                    "count": cls.count,
+                    **{
+                        key: getattr(cls, key)
+                        for key, default in _DEVICE_CLASS_DEFAULTS.items()
+                        if getattr(cls, key) != default
+                    },
+                }
+                for cls in self.device_classes
+            ]
+        if self.throughput:
+            data["throughput"] = {
+                model: dict(row) for model, row in self.throughput.items()
+            }
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any] | int) -> "ClusterSpec":
         if isinstance(data, int):
             return cls(total_replicas=data)
-        _check_keys(data, {"total_replicas"}, "cluster spec")
-        if "total_replicas" not in data:
-            raise ValueError("cluster spec requires 'total_replicas'")
-        return cls(total_replicas=data["total_replicas"])
+        _check_keys(
+            data, {"total_replicas", "device_classes", "throughput"}, "cluster spec"
+        )
+        if "total_replicas" not in data and not data.get("device_classes"):
+            raise ValueError(
+                "cluster spec requires 'total_replicas' or 'device_classes'"
+            )
+        return cls(
+            total_replicas=data.get("total_replicas"),
+            device_classes=tuple(data.get("device_classes", ())),
+            throughput=dict(data.get("throughput", {})),
+        )
 
 
 # ------------------------------------------------------- the custom kind
@@ -471,6 +601,18 @@ def _parse_custom(
             f"cluster of {cluster_spec.total_replicas} replicas cannot host "
             f"{len(job_specs)} job(s) whose min_replicas floors sum to {floors}"
         )
+    # A throughput matrix row for a model no job uses is a typo, not a
+    # forward declaration -- fail at load time like every other bad key.
+    fleet = cluster_spec.to_fleet()
+    if fleet is not None and fleet.speedups:
+        model_names = {job.resolve_model().name for job in job_specs}
+        unknown_models = set(fleet.speedups) - model_names
+        if unknown_models:
+            raise ValueError(
+                f"cluster throughput matrix references model(s) "
+                f"{sorted(unknown_models)} not used by any job; job models: "
+                f"{sorted(model_names)}"
+            )
     train_minutes = _coerce_whole(train_minutes, "train_minutes", minimum=1)
     if train_minutes is None and any(job.train_trace is None for job in job_specs):
         raise ValueError(
@@ -578,6 +720,7 @@ def custom_scenario(
         rate_scale=rate_scale,
         history_prefix=history_prefix,
         metadata=dict(metadata or {}),
+        devices=parsed.cluster.to_fleet(),
     )
 
 

@@ -372,7 +372,12 @@ def _run_shard(job: _ShardJob) -> ShardOutcome:
     if job.inject_fail:
         raise RuntimeError(f"injected fault in shard {shard.shard_id}")
     spec = job.spec
-    scenario = spec.scenarios[shard.scenario_index].build()
+    from repro.traces.generators import trace_search_path
+
+    # Default pickling carries the non-field `spec_dir` attribute to the
+    # worker, so spec-relative replay files resolve here too.
+    with trace_search_path(getattr(spec, "spec_dir", None)):
+        scenario = spec.scenarios[shard.scenario_index].build()
     policy_spec = spec.policies[shard.policy_index]
     progress = (
         _queue_progress(job.event_queue) if job.event_queue is not None else None
@@ -465,7 +470,10 @@ def run_parallel(
         # A typo'd --cache must not silently run the whole sweep cold;
         # only *content* problems are best-effort (see _warm_worker).
         raise ValueError(f"cache file {cache_path} does not exist")
-    _validate_spec(spec)
+    from repro.traces.generators import trace_search_path
+
+    with trace_search_path(getattr(spec, "spec_dir", None)):
+        _validate_spec(spec)
 
     effective_tps = (
         trials_per_shard

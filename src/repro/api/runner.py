@@ -246,6 +246,12 @@ def execute_trials(
             **dict(sim_overrides or {}),
         )
         quota = ResourceQuota.of_replicas(scenario.total_replicas)
+        # `devices` is passed only for heterogeneous scenarios, so backend
+        # construction (and everything downstream) is untouched -- argument
+        # for argument -- on homogeneous runs.
+        backend_kwargs: dict[str, Any] = {}
+        if scenario.devices is not None:
+            backend_kwargs["devices"] = scenario.devices
         simulation = backend.cls(
             scenario.jobs,
             scenario.eval_traces,
@@ -254,6 +260,7 @@ def execute_trials(
             config=config,
             history_prefix=scenario.history_prefix or None,
             options=parsed_options,
+            **backend_kwargs,
         )
         result = simulation.run()
         result.policy_name = getattr(policy, "name", policy_label)
@@ -608,10 +615,15 @@ def run(
         )
     if isinstance(spec, (str, Path)):
         spec = ExperimentSpec.from_file(spec)
-    _validate_spec(spec)
+    from repro.traces.generators import trace_search_path
+
+    spec_dir = getattr(spec, "spec_dir", None)
+    with trace_search_path(spec_dir):
+        _validate_spec(spec)
     report = RunReport(spec=spec)
     for scenario_index, scenario_spec in enumerate(spec.scenarios):
-        scenario = scenario_spec.build()
+        with trace_search_path(spec_dir):
+            scenario = scenario_spec.build()
         report.scenario_index[scenario.name] = scenario_index
         _emit(
             progress,

@@ -235,7 +235,9 @@ register_scenario(
     "custom",
     description=(
         "Fully declarative scenario: jobs (model/SLO/trace pipelines), "
-        "cluster, and train/eval split from spec parameters alone."
+        "cluster -- homogeneous (total_replicas) or heterogeneous "
+        "(device_classes + per-model throughput matrix) -- and train/eval "
+        "split from spec parameters alone."
     ),
     validate=_composition.validate_custom_params,
     lower=_composition.lower_custom,

@@ -308,7 +308,11 @@ class ExperimentSpec:
         """
         from dataclasses import replace
 
-        return replace(self, scenarios=tuple(s.lower() for s in self.scenarios))
+        lowered = replace(self, scenarios=tuple(s.lower() for s in self.scenarios))
+        spec_dir = getattr(self, "spec_dir", None)
+        if spec_dir is not None:
+            object.__setattr__(lowered, "spec_dir", spec_dir)
+        return lowered
 
     # ------------------------------------------------------ serialization
 
@@ -416,7 +420,13 @@ class ExperimentSpec:
                 raise ValueError(f"invalid JSON in {path}: {exc}") from exc
         if not isinstance(data, Mapping):
             raise ValueError(f"spec file {path} must contain a mapping")
-        return cls.from_dict(data)
+        spec = cls.from_dict(data)
+        # Remember where the spec came from (not a dataclass field: it is
+        # deliberately absent from to_dict/digests) so relative replay-file
+        # paths can resolve against the spec's own directory -- including in
+        # sweep workers, which receive this object pickled.
+        object.__setattr__(spec, "spec_dir", str(path.parent.resolve()))
+        return spec
 
 
 def _yaml():

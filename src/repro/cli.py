@@ -457,13 +457,103 @@ def _cmd_scenarios_lower(args: argparse.Namespace) -> int:
     return 0
 
 
+def _slug(name: str) -> str:
+    """Filesystem-safe scenario label for export file names."""
+    return "".join(c if c.isalnum() or c in "-_" else "-" for c in name)
+
+
+def _export_scenario_csv(scenario, directory: Path) -> list[Path]:
+    """Dump a composed scenario (job table + traces) as CSV files."""
+    import csv
+
+    directory.mkdir(parents=True, exist_ok=True)
+    slug = _slug(scenario.name)
+    written: list[Path] = []
+
+    jobs_path = directory / f"{slug}_jobs.csv"
+    with jobs_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "job",
+                "model",
+                "slo_target_s",
+                "slo_percentile",
+                "priority",
+                "min_replicas",
+                "proc_time_s",
+                "eval_minutes",
+                "train_minutes",
+            ]
+        )
+        for job in scenario.jobs:
+            writer.writerow(
+                [
+                    job.name,
+                    job.model.name,
+                    job.slo.target,
+                    job.slo.percentile,
+                    job.priority,
+                    job.min_replicas,
+                    job.model.proc_time,
+                    len(scenario.eval_traces[job.name]),
+                    len(scenario.train_traces[job.name]),
+                ]
+            )
+    written.append(jobs_path)
+
+    for split, traces in (
+        ("eval", scenario.eval_traces),
+        ("train", scenario.train_traces),
+    ):
+        names = [job.name for job in scenario.jobs]
+        length = max((len(traces[name]) for name in names), default=0)
+        trace_path = directory / f"{slug}_{split}_traces.csv"
+        with trace_path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["minute"] + names)
+            for minute in range(length):
+                writer.writerow(
+                    [minute]
+                    + [
+                        float(traces[name][minute])
+                        if minute < len(traces[name])
+                        else ""
+                        for name in names
+                    ]
+                )
+        written.append(trace_path)
+
+    if scenario.devices is not None:
+        devices_path = directory / f"{slug}_devices.csv"
+        with devices_path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["device_class", "count", "speedup", "cpus", "mem", "accels"]
+                + [f"speedup[{model}]" for model in sorted(scenario.devices.speedups)]
+            )
+            for cls in scenario.devices.classes:
+                writer.writerow(
+                    [cls.name, cls.count, cls.speedup, cls.cpus, cls.mem, cls.accels]
+                    + [
+                        scenario.devices.speedup_for(model, cls.name)
+                        for model in sorted(scenario.devices.speedups)
+                    ]
+                )
+        written.append(devices_path)
+    return written
+
+
 def _cmd_scenarios_build(args: argparse.Namespace) -> int:
     from repro import api
     from repro.experiments.report import format_table
+    from repro.traces.generators import trace_search_path
 
+    search_dir = None
     if args.spec:
         spec = api.ExperimentSpec.from_file(args.spec)
         scenario_specs = list(spec.scenarios)
+        search_dir = getattr(spec, "spec_dir", None)
     elif args.name:
         scenario_specs = [
             api.ScenarioSpec(kind=args.name, params=_scenario_cli_params(args))
@@ -472,7 +562,8 @@ def _cmd_scenarios_build(args: argparse.Namespace) -> int:
         print("error: build requires a scenario kind or --spec FILE", file=sys.stderr)
         return 2
     for scenario_spec in scenario_specs:
-        scenario = scenario_spec.build()
+        with trace_search_path(search_dir):
+            scenario = scenario_spec.build()
         print(
             f"{scenario.name}: {len(scenario.jobs)} job(s), "
             f"{scenario.total_replicas} replicas, "
@@ -496,6 +587,29 @@ def _cmd_scenarios_build(args: argparse.Namespace) -> int:
                 title=f"Scenario {scenario.name!r}",
             )
         )
+        if scenario.devices is not None:
+            device_rows = [
+                [
+                    cls.name,
+                    cls.count,
+                    f"{cls.speedup:g}x",
+                    f"{cls.cpus:g}",
+                    f"{cls.mem:g}",
+                    f"{cls.accels:g}",
+                ]
+                for cls in scenario.devices.classes
+            ]
+            print(
+                format_table(
+                    ["device class", "count", "speedup", "cpus", "mem", "accels"],
+                    device_rows,
+                    title="Device classes",
+                )
+            )
+        if args.export:
+            written = _export_scenario_csv(scenario, args.export)
+            for path in written:
+                print(f"wrote {path}")
     return 0
 
 
@@ -762,7 +876,9 @@ def build_parser() -> argparse.ArgumentParser:
     policies = sub.add_parser("policies", help="list / inspect registered policies")
     policies.add_argument("action", choices=("list", "show"))
     policies.add_argument("name", nargs="?", help="policy name (show)")
-    policies.add_argument("--kind", help="filter by kind (faro/baseline/controller/plugin)")
+    policies.add_argument(
+        "--kind", help="filter by kind (faro/baseline/controller/hetero/plugin)"
+    )
     policies.set_defaults(func=_cmd_policies)
 
     backends = sub.add_parser(
@@ -791,6 +907,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios.add_argument(
         "--out", type=Path, help="with lower: write the lowered spec JSON here"
+    )
+    scenarios.add_argument(
+        "--export",
+        type=Path,
+        help="with build: dump composed traces, job tables, and device "
+        "classes as CSV files into this directory",
     )
     scenarios.set_defaults(func=_cmd_scenarios)
 

@@ -81,6 +81,9 @@ class JobRouter:
         self.queue_threshold = queue_threshold
         self.cold_start_range = cold_start_range
         self.drop_rate = 0.0
+        #: Effective processing time pushed by heterogeneous device pools;
+        #: ``None`` (the homogeneous default) serves at the model's time.
+        self.proc_time_override: float | None = None
         self.totals = RouterTotals()
         self._rng = np.random.default_rng(seed)
         self._ids = itertools.count()
@@ -175,8 +178,15 @@ class JobRouter:
             pending.popleft()
         return len(pending)
 
+    @property
+    def proc_time(self) -> float:
+        """Deterministic per-request service time currently in force."""
+        if self.proc_time_override is not None:
+            return self.proc_time_override
+        return self.model.proc_time
+
     def _proc_time_sample(self) -> float:
-        base = self.model.proc_time
+        base = self.proc_time
         if self.model.proc_jitter == 0.0:
             return base
         jitter = self._rng.normal(1.0, self.model.proc_jitter)
@@ -325,7 +335,7 @@ class JobRouter:
         """
         replicas = list(self._replicas.values())
         count = len(replicas)
-        proc = self.model.proc_time
+        proc = self.proc_time
         n = arrivals.shape[0]
         order = sorted(replicas, key=lambda r: (r.free_at, r.replica_id))
         frees = [replica.free_at for replica in order]

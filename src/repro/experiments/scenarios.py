@@ -42,6 +42,10 @@ class Scenario:
     rate_scale: float = 1.0
     history_prefix: dict[str, np.ndarray] = field(default_factory=dict)
     metadata: dict = field(default_factory=dict)
+    #: Optional heterogeneous fleet (:class:`repro.hetero.types.DeviceFleet`).
+    #: None -- the default, and the only case for factory-built scenarios --
+    #: means the homogeneous replica pool of the paper.
+    devices: object | None = None
 
     def __post_init__(self) -> None:
         names = {job.name for job in self.jobs}
@@ -51,6 +55,11 @@ class Scenario:
             raise ValueError(
                 f"cluster of {self.total_replicas} replicas cannot host "
                 f"{len(self.jobs)} jobs at one replica minimum"
+            )
+        if self.devices is not None and self.devices.total_count() != self.total_replicas:
+            raise ValueError(
+                f"device classes provide {self.devices.total_count()} slots but "
+                f"total_replicas is {self.total_replicas}"
             )
 
     @property

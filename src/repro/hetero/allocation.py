@@ -26,14 +26,30 @@ stalls.  The relaxation keeps differentiating "how overloaded" a job is.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Mapping
 
 from repro.core.latency import RELAXED_MDC, LatencyModel
 from repro.core.utility import SLO, inverse_utility
-from repro.hetero.latency import mixed_pool_latency
+from repro.hetero.latency import mixed_pool_latency, mixed_pool_stats
 from repro.hetero.types import HeteroCapacity, ReplicaType
 
-__all__ = ["HeteroJob", "HeteroProblem", "HeteroAllocation", "solve_hetero_allocation"]
+#: Objectives the allocation problem can optimize.  ``latency-utility`` is
+#: Faro's priority-weighted relaxed inverse utility (the default,
+#: bit-identical to the historical behaviour); ``throughput`` is the
+#: Gavel-style normalized goodput ``min(service_rate, arrival_rate) /
+#: arrival_rate`` over heterogeneous configs.
+OBJECTIVES = ("latency-utility", "throughput")
+
+__all__ = [
+    "OBJECTIVES",
+    "HeteroJob",
+    "HeteroProblem",
+    "HeteroAllocation",
+    "build_allocation",
+    "seed_counts",
+    "solve_hetero_allocation",
+]
 
 
 @dataclass(frozen=True)
@@ -87,9 +103,16 @@ class HeteroProblem:
         capacity: HeteroCapacity,
         latency_model: LatencyModel = RELAXED_MDC,
         alpha: float = 1.0,
+        objective: str = "latency-utility",
+        type_counts: Mapping[str, int] | None = None,
+        speedup_overrides: Mapping[str, Mapping[str, float]] | None = None,
     ) -> None:
         if not jobs:
             raise ValueError("at least one job is required")
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r}; choose from {OBJECTIVES}"
+            )
         if not types:
             raise ValueError("at least one replica type is required")
         names = [job.name for job in jobs]
@@ -105,7 +128,49 @@ class HeteroProblem:
         self.capacity = capacity
         self.latency_model = latency_model
         self.alpha = alpha
+        self.objective = objective
         self._type_by_name = {t.name: t for t in types}
+        # Optional per-type inventory (device-class counts).  None means the
+        # aggregate capacity is the only limit -- the historical behaviour.
+        self.type_counts: dict[str, int] | None = None
+        if type_counts is not None:
+            self.type_counts = {}
+            for type_name, limit in dict(type_counts).items():
+                if type_name not in self._type_by_name:
+                    raise ValueError(
+                        f"type_counts references unknown type {type_name!r}; "
+                        f"types: {type_names}"
+                    )
+                if int(limit) != limit or limit < 0:
+                    raise ValueError(
+                        f"type_counts[{type_name!r}] must be a whole number >= 0, "
+                        f"got {limit!r}"
+                    )
+                self.type_counts[type_name] = int(limit)
+        # Optional per-(job, type) speedup overrides -- the throughput matrix
+        # of a heterogeneous fleet, resolved per job.
+        self.speedup_overrides: dict[str, dict[str, float]] = {}
+        if speedup_overrides:
+            job_names = set(names)
+            for job_name, row in dict(speedup_overrides).items():
+                if job_name not in job_names:
+                    raise ValueError(
+                        f"speedup_overrides references unknown job {job_name!r}"
+                    )
+                self.speedup_overrides[job_name] = {}
+                for type_name, value in dict(row).items():
+                    if type_name not in self._type_by_name:
+                        raise ValueError(
+                            f"speedup_overrides for job {job_name!r} references "
+                            f"unknown type {type_name!r}"
+                        )
+                    value = float(value)
+                    if value <= 0:
+                        raise ValueError(
+                            f"speedup override for ({job_name!r}, {type_name!r}) "
+                            f"must be positive, got {value}"
+                        )
+                    self.speedup_overrides[job_name][type_name] = value
         # Types usable on this cluster at all (accelerator types need accels).
         self.feasible_types = [
             t
@@ -117,8 +182,42 @@ class HeteroProblem:
 
     # ------------------------------------------------------------- utility
 
+    def job_speedup(self, job: HeteroJob, rtype: ReplicaType) -> float:
+        """Speedup of ``job`` on ``rtype`` (override matrix, else type default)."""
+        return self.speedup_overrides.get(job.name, {}).get(rtype.name, rtype.speedup)
+
+    def _job_pool(
+        self, job: HeteroJob, counts: dict[ReplicaType, int]
+    ) -> dict[ReplicaType, int]:
+        """``counts`` with this job's speedup overrides applied to the keys."""
+        over = self.speedup_overrides.get(job.name)
+        if not over:
+            return counts
+        pool: dict[ReplicaType, int] = {}
+        for rtype, count in counts.items():
+            speedup = over.get(rtype.name)
+            key = rtype if speedup is None else replace(rtype, speedup=speedup)
+            pool[key] = pool.get(key, 0) + count
+        return pool
+
     def job_utility(self, job: HeteroJob, counts: dict[ReplicaType, int]) -> float:
-        """Relaxed inverse utility of ``job`` under pool ``counts``."""
+        """Per-job objective value of ``job`` under pool ``counts``.
+
+        ``latency-utility``: Faro's relaxed inverse utility of the mixed-pool
+        latency.  ``throughput``: Gavel-style normalized goodput
+        ``min(R, lambda) / lambda`` where ``R`` is the pool's aggregate
+        service rate -- both live in ``[0, 1]`` so greedy fill and swap
+        repair work unchanged.
+        """
+        counts = self._job_pool(job, counts)
+        if self.objective == "throughput":
+            servers, proc_eff = mixed_pool_stats(counts, job.proc_time)
+            if servers == 0:
+                return 0.0
+            rate = servers / proc_eff
+            if job.arrival_rate <= 0:
+                return 1.0
+            return min(rate, job.arrival_rate) / job.arrival_rate
         latency = mixed_pool_latency(
             job.slo.quantile, job.arrival_rate, job.proc_time, counts, self.latency_model
         )
@@ -149,6 +248,23 @@ class HeteroProblem:
         cpus, mem, accels = usage
         return self.capacity.fits(cpus + rtype.cpus, mem + rtype.mem, accels + rtype.accels)
 
+    def type_usage(self, counts: dict[str, dict[ReplicaType, int]]) -> dict[str, int]:
+        """Total replicas assigned per type name across all jobs."""
+        usage: dict[str, int] = {}
+        for pools in counts.values():
+            for rtype, count in pools.items():
+                usage[rtype.name] = usage.get(rtype.name, 0) + count
+        return usage
+
+    def _type_available(self, type_usage: dict[str, int], rtype: ReplicaType) -> bool:
+        """True when one more ``rtype`` replica stays within its inventory."""
+        if self.type_counts is None:
+            return True
+        limit = self.type_counts.get(rtype.name)
+        if limit is None:
+            return True
+        return type_usage.get(rtype.name, 0) < limit
+
     def _scarcity_cost(self, rtype: ReplicaType) -> float:
         """Resource cost normalized by capacity so scarce dimensions weigh more."""
         cost = 0.0
@@ -172,6 +288,7 @@ def _greedy_fill(
     """Add one replica at a time by best marginal utility per scarcity cost."""
     utilities = {job.name: problem.job_utility(job, counts[job.name]) for job in problem.jobs}
     usage = problem.usage(counts)
+    type_usage = problem.type_usage(counts)
     while True:
         best: tuple[float, HeteroJob, ReplicaType] | None = None
         for job in problem.jobs:
@@ -179,6 +296,8 @@ def _greedy_fill(
                 continue  # already at max utility; adding replicas cannot help
             for rtype in problem.feasible_types:
                 if not problem._fits_with(usage, rtype):
+                    continue
+                if not problem._type_available(type_usage, rtype):
                     continue
                 trial = dict(counts[job.name])
                 trial[rtype] = trial.get(rtype, 0) + 1
@@ -192,6 +311,7 @@ def _greedy_fill(
         counts[job.name][rtype] = counts[job.name].get(rtype, 0) + 1
         utilities[job.name] = problem.job_utility(job, counts[job.name])
         usage = problem.usage(counts)
+        type_usage[rtype.name] = type_usage.get(rtype.name, 0) + 1
 
 
 def _swap_repair(
@@ -215,6 +335,11 @@ def _swap_repair(
                     if sum(trial.values()) == 0:
                         continue  # keep the x_i >= 1 constraint
                     trial[new_type] = trial.get(new_type, 0) + 1
+                    if old_type.name != new_type.name:
+                        type_usage = problem.type_usage(counts)
+                        type_usage[old_type.name] -= 1
+                        if not problem._type_available(type_usage, new_type):
+                            continue
                     base_usage = problem.usage(counts)
                     delta = (
                         base_usage[0] - old_type.cpus + new_type.cpus,
@@ -236,28 +361,10 @@ def _swap_repair(
             return
 
 
-def solve_hetero_allocation(
-    problem: HeteroProblem, tol: float = 1e-9, repair_passes: int = 4
+def build_allocation(
+    problem: HeteroProblem, counts: dict[str, dict[ReplicaType, int]]
 ) -> HeteroAllocation:
-    """Greedy + swap-repair solve of the heterogeneous allocation problem.
-
-    Every job receives at least one replica (cheapest feasible type) even if
-    the cluster cannot satisfy any SLO -- matching Faro's ``x_i >= 1``
-    constraint.  Raises :class:`ValueError` if even that seed assignment
-    exceeds capacity.
-    """
-    seed_type = _cheapest_type(problem)
-    counts: dict[str, dict[ReplicaType, int]] = {
-        job.name: {seed_type: 1} for job in problem.jobs
-    }
-    usage = problem.usage(counts)
-    if not problem.capacity.fits(*usage):
-        raise ValueError(
-            f"cluster too small for one {seed_type.name} replica per job "
-            f"({len(problem.jobs)} jobs)"
-        )
-    _greedy_fill(problem, counts, tol)
-    _swap_repair(problem, counts, tol, repair_passes)
+    """Package a full assignment as a :class:`HeteroAllocation`."""
     utilities = {
         job.name: problem.job_utility(job, counts[job.name]) for job in problem.jobs
     }
@@ -275,3 +382,65 @@ def solve_hetero_allocation(
         mem_used=mem,
         accels_used=accels,
     )
+
+
+def seed_counts(problem: HeteroProblem) -> dict[str, dict[ReplicaType, int]]:
+    """One cheapest feasible replica per job (Faro's ``x_i >= 1`` seed).
+
+    Without per-type inventory this is the historical single-type seed;
+    with :attr:`HeteroProblem.type_counts` set, jobs spill over to the
+    next-cheapest type once a class's inventory is exhausted.
+    """
+    if problem.type_counts is None:
+        seed_type = _cheapest_type(problem)
+        counts: dict[str, dict[ReplicaType, int]] = {
+            job.name: {seed_type: 1} for job in problem.jobs
+        }
+        if not problem.capacity.fits(*problem.usage(counts)):
+            raise ValueError(
+                f"cluster too small for one {seed_type.name} replica per job "
+                f"({len(problem.jobs)} jobs)"
+            )
+        return counts
+    ordered = sorted(problem.feasible_types, key=problem._scarcity_cost)
+    counts = {}
+    usage = (0.0, 0.0, 0.0)
+    type_usage: dict[str, int] = {}
+    for job in problem.jobs:
+        placed = False
+        for rtype in ordered:
+            if not problem._fits_with(usage, rtype):
+                continue
+            if not problem._type_available(type_usage, rtype):
+                continue
+            counts[job.name] = {rtype: 1}
+            usage = (
+                usage[0] + rtype.cpus,
+                usage[1] + rtype.mem,
+                usage[2] + rtype.accels,
+            )
+            type_usage[rtype.name] = type_usage.get(rtype.name, 0) + 1
+            placed = True
+            break
+        if not placed:
+            raise ValueError(
+                f"cluster too small for one replica per job "
+                f"({len(problem.jobs)} jobs, inventory {problem.type_counts})"
+            )
+    return counts
+
+
+def solve_hetero_allocation(
+    problem: HeteroProblem, tol: float = 1e-9, repair_passes: int = 4
+) -> HeteroAllocation:
+    """Greedy + swap-repair solve of the heterogeneous allocation problem.
+
+    Every job receives at least one replica (cheapest feasible type) even if
+    the cluster cannot satisfy any SLO -- matching Faro's ``x_i >= 1``
+    constraint.  Raises :class:`ValueError` if even that seed assignment
+    exceeds capacity.
+    """
+    counts = seed_counts(problem)
+    _greedy_fill(problem, counts, tol)
+    _swap_repair(problem, counts, tol, repair_passes)
+    return build_allocation(problem, counts)

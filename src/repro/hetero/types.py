@@ -10,9 +10,18 @@ data-center GPU serves a single request roughly 4-8x faster than one vCPU.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Mapping
 
-__all__ = ["ReplicaType", "HeteroCapacity", "CPU_SMALL", "GPU_T4", "GPU_V100"]
+__all__ = [
+    "ReplicaType",
+    "HeteroCapacity",
+    "DeviceClass",
+    "DeviceFleet",
+    "CPU_SMALL",
+    "GPU_T4",
+    "GPU_V100",
+]
 
 
 @dataclass(frozen=True)
@@ -68,6 +77,123 @@ class HeteroCapacity:
             cpus <= self.cpus + eps
             and mem <= self.mem + eps
             and accels <= self.accels + eps
+        )
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """One inventory line of a heterogeneous cluster: a type plus a count.
+
+    ``speedup`` is the class *default* speedup relative to the reference
+    (CPU) processing time; a :class:`DeviceFleet` throughput matrix may
+    override it per model.  Resource footprints mirror
+    :class:`ReplicaType` (one replica of this class consumes ``cpus`` /
+    ``mem`` / ``accels``).
+    """
+
+    name: str
+    count: int
+    speedup: float = 1.0
+    cpus: float = 1.0
+    mem: float = 1.0
+    accels: float = 0.0
+    cost_per_hour: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("device class name must be non-empty")
+        if int(self.count) != self.count or self.count < 1:
+            raise ValueError(
+                f"device class {self.name!r} count must be a whole number >= 1, "
+                f"got {self.count!r}"
+            )
+        object.__setattr__(self, "count", int(self.count))
+        # Reuse ReplicaType's validation for the per-replica fields.
+        self.replica_type()
+
+    def replica_type(self, speedup: float | None = None) -> ReplicaType:
+        """This class as a deployable :class:`ReplicaType` (speedup overridable)."""
+        return ReplicaType(
+            name=self.name,
+            speedup=self.speedup if speedup is None else speedup,
+            cpus=self.cpus,
+            mem=self.mem,
+            accels=self.accels,
+            cost_per_hour=self.cost_per_hour,
+        )
+
+
+@dataclass(frozen=True)
+class DeviceFleet:
+    """A cluster's device-class inventory plus a per-model throughput matrix.
+
+    ``speedups`` maps ``model name -> device class name -> speedup``; classes
+    a model does not mention fall back to the class default.  The degenerate
+    single-class fleet with speedup 1.0 is exactly the homogeneous cluster.
+    """
+
+    classes: tuple[DeviceClass, ...]
+    speedups: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "classes", tuple(self.classes))
+        if not self.classes:
+            raise ValueError("a device fleet needs at least one device class")
+        names = [cls.name for cls in self.classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate device class names: {names}")
+        matrix: dict[str, dict[str, float]] = {}
+        for model, row in dict(self.speedups).items():
+            matrix[str(model)] = {}
+            for cls_name, value in dict(row).items():
+                if cls_name not in names:
+                    raise ValueError(
+                        f"throughput matrix for model {model!r} references "
+                        f"unknown device class {cls_name!r}; classes: {names}"
+                    )
+                value = float(value)
+                if value <= 0:
+                    raise ValueError(
+                        f"throughput matrix speedup for ({model!r}, {cls_name!r}) "
+                        f"must be positive, got {value}"
+                    )
+                matrix[str(model)][str(cls_name)] = value
+        object.__setattr__(self, "speedups", matrix)
+
+    def class_by_name(self, name: str) -> DeviceClass:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        known = [cls.name for cls in self.classes]
+        raise ValueError(f"unknown device class {name!r}; classes: {known}")
+
+    def speedup_for(self, model_name: str, class_name: str) -> float:
+        """Speedup of ``model_name`` on ``class_name`` (matrix, else class default)."""
+        row = self.speedups.get(model_name, {})
+        if class_name in row:
+            return row[class_name]
+        return self.class_by_name(class_name).speedup
+
+    def replica_types(self, model_name: str | None = None) -> list[ReplicaType]:
+        """One :class:`ReplicaType` per class, speedups resolved for ``model_name``."""
+        if model_name is None:
+            return [cls.replica_type() for cls in self.classes]
+        return [
+            cls.replica_type(self.speedup_for(model_name, cls.name))
+            for cls in self.classes
+        ]
+
+    def counts(self) -> dict[str, int]:
+        return {cls.name: cls.count for cls in self.classes}
+
+    def total_count(self) -> int:
+        return sum(cls.count for cls in self.classes)
+
+    def capacity(self) -> HeteroCapacity:
+        return HeteroCapacity(
+            cpus=sum(cls.cpus * cls.count for cls in self.classes),
+            mem=sum(cls.mem * cls.count for cls in self.classes),
+            accels=sum(cls.accels * cls.count for cls in self.classes),
         )
 
 

@@ -68,10 +68,18 @@ class JobObservation:
 
 @dataclass
 class ScalingDecision:
-    """Replica targets and drop rates to apply; jobs absent are unchanged."""
+    """Replica targets and drop rates to apply; jobs absent are unchanged.
+
+    ``device_replicas`` is an optional per-job breakdown of the replica
+    target across device classes (``job -> class name -> count``).  On
+    heterogeneous runs the simulator honors a breakdown whose counts sum to
+    the admitted target and fit the fleet inventory; homogeneous runs ignore
+    it entirely.  Policies that do not place per class leave it empty.
+    """
 
     replicas: dict[str, int] = field(default_factory=dict)
     drop_rates: dict[str, float] = field(default_factory=dict)
+    device_replicas: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for name, count in self.replicas.items():
@@ -80,12 +88,25 @@ class ScalingDecision:
         for name, rate in self.drop_rates.items():
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"drop rate for {name} must be in [0, 1], got {rate}")
+        for name, pools in self.device_replicas.items():
+            for cls, count in pools.items():
+                if count < 0:
+                    raise ValueError(
+                        f"device replica count for {name}/{cls} must be >= 0, "
+                        f"got {count}"
+                    )
 
     def merge(self, other: "ScalingDecision") -> "ScalingDecision":
         """Overlay ``other`` on top of this decision (other wins on conflict)."""
-        merged = ScalingDecision(dict(self.replicas), dict(self.drop_rates))
+        merged = ScalingDecision(
+            dict(self.replicas),
+            dict(self.drop_rates),
+            {name: dict(pools) for name, pools in self.device_replicas.items()},
+        )
         merged.replicas.update(other.replicas)
         merged.drop_rates.update(other.drop_rates)
+        for name, pools in other.device_replicas.items():
+            merged.device_replicas[name] = dict(pools)
         return merged
 
 

@@ -59,6 +59,11 @@ class _FlowJob:
         self.queue = 0.0
         self.drop_rate = 0.0
         self.target = 0
+        #: Effective service time of the job's replica pool.  Homogeneous
+        #: runs never reassign it (it stays the model's reference time);
+        #: heterogeneous runs push the mixed-pool effective time after each
+        #: device assignment.
+        self.proc_time = spec.model.proc_time
 
     # ----------------------------------------------------------- scaling
 
@@ -97,7 +102,7 @@ class _FlowJob:
         """
         self.lifecycle.advance(now)
         spec = self.spec
-        p = spec.model.proc_time
+        p = self.proc_time
         arrivals = lam * dt
         explicit_drops = arrivals * self.drop_rate
         kept_rate = lam * (1.0 - self.drop_rate)
@@ -150,7 +155,7 @@ class _FlowJob:
         half-wait approximation as the latency estimator):
         ``P(W > t) ~= C * exp(-2 (c mu - lam) t)``.
         """
-        p = self.spec.model.proc_time
+        p = self.proc_time
         if slo <= p:
             return 1.0
         if lam <= 0.0:
@@ -177,7 +182,7 @@ class _FlowJob:
         The queue evolves linearly within the tick; an arrival at offset
         ``tau`` waits ``Q(tau) / service_rate`` plus one service time.
         """
-        p = self.spec.model.proc_time
+        p = self.proc_time
         budget = (slo - p) * service_rate  # queue length that still meets SLO
         if budget <= 0:
             return 1.0
@@ -249,7 +254,7 @@ def flow_observation(
         job_name=name,
         arrival_rate=flow.trace[minute] / 60.0,
         rate_history=tuple(window / 60.0),
-        mean_proc_time=flow.spec.model.proc_time,
+        mean_proc_time=flow.proc_time,
         latency=tick_stats.get("latency_p", 0.0),
         slo_violation_rate=violations / arrivals if arrivals else 0.0,
         current_replicas=flow.running,
@@ -321,9 +326,22 @@ class FlowSimulation(SimHarness):
             flow.running = count
             flow.target = count
             self.state[job.name] = flow
+        self._push_device_assignment()
         self._fault_injector = (
             make_fault_injector(self.config.faults) if self.config.faults else None
         )
+
+    def _push_device_assignment(
+        self, hints: dict[str, dict[str, int]] | None = None
+    ) -> None:
+        """Re-place replica targets onto device classes; push each job's
+        effective processing time.  No-op on homogeneous runs."""
+        if self.device_pool is None:
+            return
+        targets = {name: flow.target for name, flow in self.state.items()}
+        self.device_pool.assign(targets, hints)
+        for name, flow in self.state.items():
+            flow.proc_time = self.device_pool.effective_proc_time(name)
 
     def _reset(self) -> None:
         if self._fault_injector is not None:
@@ -366,6 +384,7 @@ class FlowSimulation(SimHarness):
             if target != flow.existing:
                 flow.scale_to(target, now)
             flow.target = target
+        self._push_device_assignment(decision.device_replicas)
         for name, rate in decision.drop_rates.items():
             if name in self.state:
                 self.state[name].drop_rate = float(rate)

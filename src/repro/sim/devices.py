@@ -1,0 +1,147 @@
+"""Per-device-class replica pools for the simulation backends.
+
+Heterogeneity enters the simulators through one reduction: a job's mixed
+pool of device-class replicas collapses to an *effective homogeneous pool*
+via :func:`repro.hetero.latency.mixed_pool_stats` -- ``c`` servers at
+effective processing time ``p_eff = c / sum_t n_t * speedup_t / p`` -- which
+preserves the aggregate service rate exactly.  Every backend then runs its
+existing homogeneous machinery (virtual-time routers, analytic flows) with
+``p_eff`` in place of the model's reference processing time, so request,
+flow, and hybrid fidelities all serve mixed fleets under the one quota
+loop, with no forked code path.
+
+:class:`DevicePoolManager` owns the fleet inventory and the deterministic
+assignment of per-job replica targets to device classes:
+
+- a policy's :attr:`~repro.policy.ScalingDecision.device_replicas` hint is
+  honored when it names known classes, sums to the job's admitted target,
+  and fits the inventory still unassigned when the job (in job order) is
+  placed;
+- otherwise the job fills classes fastest-for-its-model first (ties broken
+  by fleet declaration order), the same rule every tick, so device-agnostic
+  policies get a deterministic, greedy-best mapping for free.
+
+Assignments are recomputed from scratch at every apply: the manager tracks
+*shape*, not replica identity (churn between classes is modelled only
+through the cold starts the backends already charge for count changes).
+"""
+
+from __future__ import annotations
+
+from repro.hetero.latency import mixed_pool_stats
+from repro.hetero.types import DeviceFleet
+
+__all__ = ["DevicePoolManager"]
+
+
+class DevicePoolManager:
+    """Deterministic device-class bookkeeping for one simulated cluster."""
+
+    def __init__(self, fleet: DeviceFleet, jobs) -> None:
+        self.fleet = fleet
+        self.job_names = [job.name for job in jobs]
+        self._model = {job.name: job.model.name for job in jobs}
+        self._ref_proc = {job.name: job.model.proc_time for job in jobs}
+        # Per-job class preference: fastest for the job's model first,
+        # declaration order breaking ties (sort is stable).
+        self._order = {
+            job.name: sorted(
+                (cls.name for cls in fleet.classes),
+                key=lambda name: -fleet.speedup_for(job.model.name, name),
+            )
+            for job in jobs
+        }
+        self._types = {
+            job.name: {
+                cls.name: cls.replica_type(fleet.speedup_for(job.model.name, cls.name))
+                for cls in fleet.classes
+            }
+            for job in jobs
+        }
+        self.assignments: dict[str, dict[str, int]] = {
+            name: {} for name in self.job_names
+        }
+
+    # ---------------------------------------------------------- assignment
+
+    def _hint_valid(
+        self, name: str, target: int, hint: dict[str, int] | None, remaining: dict[str, int]
+    ) -> bool:
+        if not hint:
+            return False
+        if any(cls not in remaining for cls in hint):
+            return False
+        if sum(hint.values()) != target:
+            return False
+        return all(count <= remaining[cls] for cls, count in hint.items())
+
+    def assign(
+        self,
+        targets: dict[str, int],
+        hints: dict[str, dict[str, int]] | None = None,
+    ) -> dict[str, dict[str, int]]:
+        """Map per-job replica targets onto the fleet inventory.
+
+        Deterministic and recomputed from scratch: jobs place in job order,
+        each taking its (valid) hint or filling fastest-first.  ``targets``
+        must fit the fleet in total -- the quota loop guarantees that,
+        since the quota *is* the fleet's total slot count.
+        """
+        hints = hints or {}
+        remaining = self.fleet.counts()
+        result: dict[str, dict[str, int]] = {}
+        for name in self.job_names:
+            target = int(targets.get(name, 0))
+            hint = hints.get(name)
+            if self._hint_valid(name, target, hint, remaining):
+                alloc = {cls: int(n) for cls, n in hint.items() if n > 0}
+                for cls, count in alloc.items():
+                    remaining[cls] -= count
+                result[name] = alloc
+                continue
+            alloc = {}
+            left = target
+            for cls in self._order[name]:
+                if left == 0:
+                    break
+                take = min(left, remaining[cls])
+                if take > 0:
+                    alloc[cls] = take
+                    remaining[cls] -= take
+                    left -= take
+            if left > 0:
+                raise ValueError(
+                    f"device fleet has no room for {left} of job {name!r}'s "
+                    f"{target} replicas (inventory {self.fleet.counts()})"
+                )
+            result[name] = alloc
+        self.assignments = result
+        return result
+
+    # ----------------------------------------------------------- reduction
+
+    def effective_proc_time(self, name: str, counts: dict[str, int] | None = None) -> float:
+        """Effective homogeneous processing time of a job's current pool.
+
+        ``mixed_pool_stats`` over the job's per-class counts; an empty pool
+        returns the reference processing time (there is nothing to serve
+        with, and the backends handle zero replicas themselves).
+        """
+        if counts is None:
+            counts = self.assignments.get(name, {})
+        ref = self._ref_proc[name]
+        pool = {
+            self._types[name][cls]: count
+            for cls, count in counts.items()
+            if count > 0
+        }
+        if not pool:
+            return ref
+        servers, proc_eff = mixed_pool_stats(pool, ref)
+        return proc_eff
+
+    def metadata(self) -> dict:
+        """Fleet description for result metadata."""
+        return {
+            "device_classes": {cls.name: cls.count for cls in self.fleet.classes},
+        }

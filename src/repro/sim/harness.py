@@ -137,6 +137,7 @@ class SimHarness:
         initial_replicas: dict[str, int] | None = None,
         history_prefix: dict[str, np.ndarray] | None = None,
         options: Any = None,
+        devices: Any = None,
     ) -> None:
         self.config = config or SimulationConfig()
         missing = [job.name for job in jobs if job.name not in traces]
@@ -145,6 +146,14 @@ class SimHarness:
         self.jobs = jobs
         self.policy = policy
         self.quota = quota
+        #: Heterogeneous fleet bookkeeping, or None on homogeneous runs --
+        #: the default, in which the backends perform exactly the
+        #: historical (byte-identical) homogeneous arithmetic.
+        self.device_pool = None
+        if devices is not None:
+            from repro.sim.devices import DevicePoolManager
+
+            self.device_pool = DevicePoolManager(devices, jobs)
         if options is None and self.options_type is not None:
             options = self.options_type()
         self.options = options
@@ -224,10 +233,13 @@ class SimHarness:
 
     def base_metadata(self) -> dict:
         """The metadata fields every backend records identically."""
-        return {
+        metadata = {
             "duration_minutes": self.duration_minutes,
             "rate_scale": self.config.rate_scale,
             "seed": self.config.seed,
             "quota_cpus": self.quota.cpus,
             "simulator": self.fidelity_label,
         }
+        if self.device_pool is not None:
+            metadata.update(self.device_pool.metadata())
+        return metadata

@@ -157,9 +157,34 @@ class HybridSimulation(SimHarness):
             flow.target = count
             self.state[job.name] = flow
 
+        self._push_device_assignment()
         self._fault_injector = (
             make_fault_injector(self.config.faults) if self.config.faults else None
         )
+
+    def _push_device_assignment(
+        self, hints: dict[str, dict[str, int]] | None = None
+    ) -> None:
+        """Re-place replica targets onto device classes; push each job's
+        effective processing time into whichever half simulates it.  No-op
+        on homogeneous runs."""
+        if self.device_pool is None:
+            return
+        targets: dict[str, int] = {}
+        for job in self.jobs:
+            name = job.name
+            if self._is_request[name]:
+                targets[name] = self.cluster.targets[name]
+            else:
+                targets[name] = self.state[name].target
+        self.device_pool.assign(targets, hints)
+        for job in self.jobs:
+            name = job.name
+            proc_eff = self.device_pool.effective_proc_time(name)
+            if self._is_request[name]:
+                self.cluster.routers[name].proc_time_override = proc_eff
+            else:
+                self.state[name].proc_time = proc_eff
 
     def _reset(self) -> None:
         if self._fault_injector is not None:
@@ -255,6 +280,7 @@ class HybridSimulation(SimHarness):
                 if target != flow.existing:
                     flow.scale_to(target, now)
                 flow.target = target
+        self._push_device_assignment(decision.device_replicas)
         for name, rate in decision.drop_rates.items():
             if self._is_request.get(name):
                 self.cluster.routers[name].drop_rate = float(rate)

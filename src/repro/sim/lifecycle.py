@@ -20,6 +20,16 @@ The flow backend's analytic jobs consume :class:`ReplicaLifecycle` for
 their cold-start/drain bookkeeping, the hybrid backend drives both of its
 halves through it, and both request- and flow-level fault injection can run
 on :class:`EventFaultProcess`.
+
+Heterogeneous device fleets do not fork this machinery.  A job's lifecycle
+counts *replicas*, not device classes: on mixed fleets the
+:class:`~repro.sim.devices.DevicePoolManager` maps each admitted target
+onto per-class pools and collapses them (``mixed_pool_stats``) to an
+effective processing time, while the lifecycle keeps scheduling the same
+count-valued cold starts and drains.  Assignments are shape-only and
+recomputed every apply, so a replica migrating between classes is charged
+exactly the cold starts the count deltas already imply -- no per-class
+event streams, and homogeneous runs stay byte-identical.
 """
 
 from __future__ import annotations

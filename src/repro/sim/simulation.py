@@ -142,9 +142,22 @@ class Simulation(SimHarness):
         self._replica_log: dict[str, list[tuple[float, int]]] = {
             job.name: [(0.0, self.cluster.targets[job.name])] for job in self.jobs
         }
+        self._push_device_assignment()
         self._fault_injector = (
             make_fault_injector(self.config.faults) if self.config.faults else None
         )
+
+    def _push_device_assignment(
+        self, hints: dict[str, dict[str, int]] | None = None
+    ) -> None:
+        """Re-place replica targets onto device classes; push each job's
+        effective processing time onto its router.  No-op on homogeneous
+        runs."""
+        if self.device_pool is None:
+            return
+        self.device_pool.assign(dict(self.cluster.targets), hints)
+        for name, router in self.cluster.routers.items():
+            router.proc_time_override = self.device_pool.effective_proc_time(name)
 
     def _reset(self) -> None:
         if self._fault_injector is not None:
@@ -179,6 +192,7 @@ class Simulation(SimHarness):
             log = self._replica_log[name]
             if log[-1][1] != target:
                 log.append((now, target))
+        self._push_device_assignment(decision.device_replicas)
 
     # ------------------------------------------------------------ collect
 

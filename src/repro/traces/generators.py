@@ -24,6 +24,7 @@ Plugins register more with :func:`register_trace_source`.
 
 from __future__ import annotations
 
+import contextlib
 import inspect
 from dataclasses import dataclass
 from functools import lru_cache
@@ -42,7 +43,54 @@ __all__ = [
     "get_trace_source_registry",
     "check_unknown_params",
     "signature_params",
+    "resolve_trace_path",
+    "trace_search_path",
 ]
+
+
+#: Stack of directories spec files were loaded from; ``file`` trace paths
+#: resolve against these (innermost last) after the working directory.
+_SPEC_DIRS: list[Path] = []
+
+
+@contextlib.contextmanager
+def trace_search_path(directory: str | Path | None) -> Iterator[None]:
+    """Resolve relative ``file`` trace paths against ``directory`` too.
+
+    Entered around spec validation and scenario builds with the spec
+    file's directory, so a spec can name replay files relative to itself
+    no matter the process working directory.  ``None`` is a no-op (specs
+    built from literal dicts have no home directory).  Reentrant: nested
+    contexts stack, innermost directory wins.
+    """
+    if directory is None:
+        yield
+        return
+    _SPEC_DIRS.append(Path(directory))
+    try:
+        yield
+    finally:
+        _SPEC_DIRS.pop()
+
+
+def resolve_trace_path(path: str | Path) -> Path:
+    """Resolve a ``file`` trace path.
+
+    Absolute paths pass through untouched (the escape hatch).  Relative
+    paths keep their historical working-directory meaning when such a file
+    exists; otherwise the directories of the spec files currently being
+    loaded are tried, innermost first.  When nothing matches, the
+    CWD-relative path is returned so the caller's error names the primary
+    location.
+    """
+    path = Path(path)
+    if path.is_absolute() or path.is_file():
+        return path
+    for directory in reversed(_SPEC_DIRS):
+        candidate = directory / path
+        if candidate.is_file():
+            return candidate
+    return path
 
 SourceFn = Callable[..., np.ndarray]
 
@@ -364,7 +412,7 @@ def _validate_file_params(params: dict[str, Any]) -> None:
     path = params.get("path")
     if not path:
         raise ValueError("file trace source requires a 'path'")
-    path = Path(path)
+    path = resolve_trace_path(path)
     if path.suffix.lower() not in _FILE_SUFFIXES:
         raise ValueError(
             f"file trace source supports {_FILE_SUFFIXES}, got {path.suffix!r}"
@@ -377,13 +425,14 @@ def _validate_file_params(params: dict[str, Any]) -> None:
     "file",
     description=(
         "Replay a trace file: CSV (minute,requests), job-mix JSON (pass "
-        "`job` to pick one), or a .npy array.  Paths resolve against the "
-        "working directory."
+        "`job` to pick one), or a .npy array.  Relative paths resolve "
+        "against the working directory, then the spec file's directory."
     ),
     validate=_validate_file_params,
 )
 def _file_source(path: str = "", job: str | None = None) -> np.ndarray:
     _validate_file_params({"path": path})
+    path = str(resolve_trace_path(path))
     suffix = Path(path).suffix.lower()
     if suffix == ".csv":
         from repro.traces.io import load_trace_csv

@@ -273,6 +273,61 @@ def _superpose(
 
 
 @register_trace_transform(
+    "mixture",
+    description=(
+        "Windowed superposition of nested pipelines: per `window`-minute "
+        "window, a weight row (cycled from `weights`) blends the base "
+        "series with each pipeline in `traces`."
+    ),
+    nested_params=("traces",),
+)
+def _mixture(
+    series: np.ndarray,
+    traces: Any = None,
+    weights: Any = None,
+    window: int = 60,
+) -> np.ndarray:
+    """Blend the base with N nested pipelines, re-weighted every window.
+
+    ``weights`` is a list of rows, each ``[base_w, t1_w, ..., tN_w]``; row
+    ``k`` scales window ``k`` and rows cycle when the series outlasts them.
+    Omitted weights mean an unweighted sum (every component at 1.0).  All
+    series are truncated to the shortest component.
+    """
+    if traces is None:
+        raise ValueError("mixture requires a nested 'traces' list of pipelines")
+    if isinstance(traces, (Mapping, str)):
+        traces = [traces]
+    others = [_build_nested(trace, "mixture") for trace in traces]
+    if not others:
+        raise ValueError("mixture requires at least one nested pipeline")
+    window = int(window)
+    if window < 1:
+        raise ValueError(f"mixture window must be >= 1 minute, got {window}")
+    k = len(others) + 1
+    if weights is None:
+        rows = np.ones((1, k))
+    else:
+        rows = np.asarray(weights, dtype=float)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.ndim != 2 or rows.shape[0] == 0 or rows.shape[1] != k:
+            raise ValueError(
+                f"mixture weights must be rows of {k} entries (base + "
+                f"{len(others)} pipeline(s)), got shape {rows.shape}"
+            )
+        if np.any(rows < 0):
+            raise ValueError("mixture weights must be non-negative")
+    n = min(series.shape[0], *(other.shape[0] for other in others))
+    components = np.stack([series[:n]] + [other[:n] for other in others])
+    out = np.empty(n)
+    for start in range(0, n, window):
+        row = rows[(start // window) % rows.shape[0]]
+        out[start : start + window] = row @ components[:, start : start + window]
+    return np.maximum(out, 0.0)
+
+
+@register_trace_transform(
     "splice",
     description=(
         "Concatenate another trace pipeline's series; with `at`, the base "

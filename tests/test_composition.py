@@ -802,3 +802,228 @@ class TestScenariosCli:
         from repro.cli import main
 
         assert main(["scenarios", "lower"]) == 2
+
+
+# ------------------------------------------------- mixture transform
+
+
+def _mixture_trace(base_minutes=4, base_level=10.0, **mixture_params):
+    params = {
+        "traces": [
+            {"source": "constant", "params": {"minutes": 4, "level": 100.0}}
+        ],
+    }
+    params.update(mixture_params)
+    return TraceSpec.from_dict(
+        {
+            "source": "constant",
+            "params": {"minutes": base_minutes, "level": base_level},
+            "transforms": [{"name": "mixture", "params": params}],
+        }
+    )
+
+
+class TestMixtureTransform:
+    def test_registered(self):
+        assert "mixture" in get_trace_transform_registry().names()
+
+    def test_windowed_weight_rows(self):
+        series = _mixture_trace(window=2, weights=[[1.0, 0.0], [0.0, 1.0]]).build()
+        np.testing.assert_allclose(series, [10.0, 10.0, 100.0, 100.0])
+
+    def test_weight_rows_cycle(self):
+        series = _mixture_trace(window=1, weights=[[1.0, 0.0], [0.0, 1.0]]).build()
+        np.testing.assert_allclose(series, [10.0, 100.0, 10.0, 100.0])
+
+    def test_default_weights_are_plain_sum(self):
+        series = _mixture_trace().build()
+        np.testing.assert_allclose(series, [110.0] * 4)
+
+    def test_single_mapping_pipeline_wrapped(self):
+        spec = TraceSpec.from_dict(
+            {
+                "source": "constant",
+                "params": {"minutes": 4, "level": 10.0},
+                "transforms": [
+                    {
+                        "name": "mixture",
+                        "params": {
+                            "traces": {
+                                "source": "constant",
+                                "params": {"minutes": 4, "level": 1.0},
+                            },
+                            "weights": [1.0, 2.0],
+                        },
+                    }
+                ],
+            }
+        )
+        np.testing.assert_allclose(spec.build(), [12.0] * 4)
+
+    def test_truncates_to_shortest_component(self):
+        series = _mixture_trace(
+            traces=[{"source": "constant", "params": {"minutes": 2, "level": 1.0}}]
+        ).build()
+        assert series.shape[0] == 2
+
+    @pytest.mark.parametrize(
+        "params,match",
+        [
+            ({"traces": None}, "nested 'traces'"),
+            ({"traces": []}, "at least one"),
+            ({"window": 0}, "window"),
+            ({"weights": [[1.0, 0.0, 0.0]]}, "rows of 2 entries"),
+            ({"weights": [[1.0, -0.5]]}, "non-negative"),
+        ],
+    )
+    def test_validation_errors(self, params, match):
+        with pytest.raises(ValueError, match=match):
+            _mixture_trace(**params).build()
+
+    def test_nested_pipeline_validated_recursively(self):
+        with pytest.raises(ValueError, match="ghost"):
+            _mixture_trace(
+                traces=[{"source": "ghost", "params": {}}]
+            ).build()
+
+
+# ------------------------------------------- spec-relative replay paths
+
+
+def _write_replay_csv(path, minutes=30, level=12.0):
+    rows = ["minute,requests"] + [f"{m},{level}" for m in range(minutes)]
+    path.write_text("\n".join(rows) + "\n")
+
+
+def _file_spec_dict(trace_path):
+    return {
+        "version": 1,
+        "name": "replay-exp",
+        "scenarios": [
+            {
+                "kind": "custom",
+                "params": {
+                    "name": "replay-scn",
+                    "jobs": [
+                        {
+                            "name": "a",
+                            "model": "resnet18",
+                            "trace": {
+                                "source": "file",
+                                "params": {"path": str(trace_path)},
+                            },
+                        }
+                    ],
+                    "cluster": {"total_replicas": 4},
+                    "train_minutes": 20,
+                    "duration_minutes": 5,
+                },
+            }
+        ],
+        "policies": [{"name": "fairshare"}],
+        "trials": 1,
+        "seed": 0,
+        "simulator": "flow",
+    }
+
+
+class TestSpecRelativeTracePaths:
+    def test_custom_burst_cwd_relative_regression(self):
+        # The shipped spec names its replay file relative to the repo root
+        # (the historical working-directory meaning) -- must keep working.
+        spec = api.ExperimentSpec.from_file("specs/custom_burst.json")
+        scenario = spec.scenarios[0].build()
+        assert any(len(t) > 0 for t in scenario.eval_traces.values())
+
+    def test_spec_relative_path_from_foreign_cwd(self, tmp_path, monkeypatch):
+        home = tmp_path / "home"
+        home.mkdir()
+        _write_replay_csv(home / "replay.csv")
+        spec_path = home / "exp.json"
+        spec_path.write_text(json.dumps(_file_spec_dict("replay.csv")))
+        elsewhere = tmp_path / "elsewhere"
+        elsewhere.mkdir()
+        monkeypatch.chdir(elsewhere)
+        spec = api.ExperimentSpec.from_file(spec_path)
+        report = api.run(spec)
+        assert "fairshare" in report.stats["replay-scn"]
+
+    def test_absolute_path_escape_hatch(self, tmp_path, monkeypatch):
+        data_dir = tmp_path / "data"
+        data_dir.mkdir()
+        _write_replay_csv(data_dir / "replay.csv")
+        spec_path = tmp_path / "exp.json"
+        spec_path.write_text(
+            json.dumps(_file_spec_dict(data_dir / "replay.csv"))
+        )
+        monkeypatch.chdir(tmp_path)
+        spec = api.ExperimentSpec.from_file(spec_path)
+        assert "fairshare" in api.run(spec).stats["replay-scn"]
+
+    def test_missing_file_still_names_cwd_candidate(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        from repro.traces.generators import resolve_trace_path, trace_search_path
+
+        with trace_search_path(tmp_path / "specs"):
+            assert resolve_trace_path("ghost.csv") == Path("ghost.csv")
+
+    def test_cwd_meaning_wins_over_spec_dir(self, tmp_path, monkeypatch):
+        from repro.traces.generators import resolve_trace_path, trace_search_path
+
+        cwd = tmp_path / "cwd"
+        spec_dir = tmp_path / "spec"
+        cwd.mkdir()
+        spec_dir.mkdir()
+        _write_replay_csv(cwd / "dup.csv", level=1.0)
+        _write_replay_csv(spec_dir / "dup.csv", level=2.0)
+        monkeypatch.chdir(cwd)
+        with trace_search_path(spec_dir):
+            assert resolve_trace_path("dup.csv") == Path("dup.csv")
+
+
+# --------------------------------------------------- scenarios --export
+
+
+class TestScenariosExportCli:
+    def test_export_spec_with_devices(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "export"
+        code = main(
+            [
+                "scenarios", "build",
+                "--spec", "specs/hetero_mixed.json",
+                "--export", str(out),
+            ]
+        )
+        assert code == 0
+        slug = "hetero-mixed-2m-16d"
+        for suffix in ("jobs", "eval_traces", "train_traces", "devices"):
+            assert (out / f"{slug}_{suffix}.csv").is_file()
+        header = (out / f"{slug}_devices.csv").read_text().splitlines()[0]
+        assert "speedup[resnet34]" in header
+        jobs = (out / f"{slug}_jobs.csv").read_text().splitlines()
+        assert jobs[0].startswith("job,model,slo_target_s")
+        assert len(jobs) == 3  # header + 2 jobs
+        assert str(out) in capsys.readouterr().out
+
+    def test_export_builtin_kind_without_devices(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "export"
+        code = main(
+            [
+                "scenarios", "build", "paper",
+                "--params", json.dumps(TINY_LOWER_PARAMS["paper"]),
+                "--export", str(out),
+            ]
+        )
+        assert code == 0
+        written = sorted(p.name for p in out.iterdir())
+        assert not any("devices" in name for name in written)
+        assert any(name.endswith("_jobs.csv") for name in written)
+        # Trace CSVs replay: minute column plus one column per job.
+        eval_csv = next(p for p in out.iterdir() if p.name.endswith("_eval_traces.csv"))
+        header = eval_csv.read_text().splitlines()[0].split(",")
+        assert header[0] == "minute"
+        assert len(header) == 3

@@ -1,0 +1,532 @@
+"""Heterogeneous device classes as a scenario dimension: spec -> policy -> sim.
+
+Four layers of protection around the heterogeneity tentpole:
+
+- **Spec layer**: ``ClusterSpec`` keeps its homogeneous forms byte-stable
+  (a bare int / ``total_replicas`` dict emits exactly what it always did)
+  while typed ``device_classes`` + per-(model, class) ``throughput``
+  matrices round-trip losslessly and validate eagerly (count mismatches,
+  matrix references to unknown classes, matrices without classes).
+- **Reduction properties**: Hypothesis pins the ``mixed_pool_stats``
+  contract the simulators rely on -- the effective homogeneous pool
+  preserves the aggregate service rate exactly, adding a replica of any
+  class is monotone, and a single-class pool degenerates to the
+  homogeneous M/D/c model.
+- **Policy layer**: the Gavel-style throughput-matrix policies and the
+  ILP placement baseline register/build/tick correctly, respect the
+  fleet inventory, honor the re-solve period, degrade to the uniform
+  single-class fleet on homogeneous scenarios, and the ILP agrees with
+  greedy-with-repair within tolerance on small instances (the
+  differential the perf gate also enforces).
+- **Sim layer**: ``DevicePoolManager`` assignment semantics (valid hints
+  honored, invalid hints replaced by the deterministic fastest-first
+  fill), and a tiny heterogeneous custom scenario runs end-to-end on the
+  flow, request, and hybrid backends.  The shipped
+  ``specs/hetero_mixed.json`` parses/builds in tier-1 and runs
+  serial-vs-parallel byte-identical under ``slow``.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.api.composition import ClusterSpec, TraceSpec
+from repro.api.hetero_policies import HeteroAllocationPolicy, HeteroPolicyOptions
+from repro.api.registry import get_registry
+from repro.core.latency import MDC
+from repro.core.utility import SLO
+from repro.hetero import (
+    HeteroJob,
+    HeteroProblem,
+    ReplicaType,
+    mixed_pool_latency,
+    mixed_pool_stats,
+    solve_hetero_allocation,
+)
+from repro.hetero.ilp import solve_ilp_allocation
+from repro.hetero.types import DeviceClass, DeviceFleet
+from repro.policy import JobObservation
+from repro.sim.devices import DevicePoolManager
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+HETERO_CLUSTER = {
+    "device_classes": [
+        {"name": "cpu", "count": 4},
+        {"name": "gpu", "count": 2, "speedup": 4.0, "cpus": 2.0, "mem": 8.0,
+         "accels": 1.0},
+    ],
+    "throughput": {"resnet34": {"gpu": 6.0}},
+}
+
+
+def _hetero_custom_params(**overrides):
+    params = {
+        "name": "tiny-hetero",
+        "jobs": [
+            {
+                "name": "a",
+                "model": "resnet34",
+                "trace": {
+                    "source": "diurnal",
+                    "params": {"minutes": 50, "base_level": 60.0},
+                },
+            },
+            {
+                "name": "b",
+                "model": "resnet18",
+                "slo": {"target": 0.4, "percentile": 95.0},
+                "trace": {
+                    "source": "constant",
+                    "params": {"minutes": 50, "level": 30.0},
+                },
+            },
+        ],
+        "cluster": dict(HETERO_CLUSTER),
+        "train_minutes": 40,
+        "duration_minutes": 10,
+    }
+    params.update(overrides)
+    return params
+
+
+def _hetero_scenario():
+    return api.ScenarioSpec(kind="custom", params=_hetero_custom_params()).build()
+
+
+def _observation(name, rate, replicas=1, proc=0.18):
+    return JobObservation(
+        job_name=name,
+        arrival_rate=rate,
+        rate_history=(rate,),
+        mean_proc_time=proc,
+        latency=proc,
+        slo_violation_rate=0.0,
+        current_replicas=replicas,
+        target_replicas=replicas,
+    )
+
+
+# --------------------------------------------------------------- spec layer
+
+
+class TestClusterSpecHetero:
+    def test_homogeneous_int_form_unchanged(self):
+        spec = ClusterSpec.from_dict(6)
+        assert spec.total_replicas == 6
+        assert spec.to_dict() == {"total_replicas": 6}
+        assert spec.to_fleet() is None
+
+    def test_homogeneous_dict_form_unchanged(self):
+        spec = ClusterSpec.from_dict({"total_replicas": 9})
+        assert spec.to_dict() == {"total_replicas": 9}
+
+    def test_device_classes_round_trip(self):
+        spec = ClusterSpec.from_dict(dict(HETERO_CLUSTER))
+        data = spec.to_dict()
+        assert ClusterSpec.from_dict(data) == spec
+        # Lossless: class fields at defaults are omitted, the rest kept.
+        assert data["device_classes"][0] == {"name": "cpu", "count": 4}
+        assert data["device_classes"][1]["speedup"] == 4.0
+        assert data["throughput"] == {"resnet34": {"gpu": 6.0}}
+
+    def test_total_replicas_derived_from_classes(self):
+        spec = ClusterSpec.from_dict(dict(HETERO_CLUSTER))
+        assert spec.total_replicas == 6
+
+    def test_redundant_total_must_match(self):
+        data = dict(HETERO_CLUSTER, total_replicas=6)
+        assert ClusterSpec.from_dict(data).total_replicas == 6
+        with pytest.raises(ValueError, match="does not match"):
+            ClusterSpec.from_dict(dict(HETERO_CLUSTER, total_replicas=7))
+
+    def test_throughput_requires_classes(self):
+        with pytest.raises(ValueError, match="no 'device_classes'"):
+            ClusterSpec.from_dict(
+                {"total_replicas": 4, "throughput": {"resnet34": {"gpu": 2.0}}}
+            )
+
+    def test_matrix_unknown_class_rejected(self):
+        data = {
+            "device_classes": [{"name": "cpu", "count": 4}],
+            "throughput": {"resnet34": {"tpu": 2.0}},
+        }
+        with pytest.raises(ValueError, match="unknown device class"):
+            ClusterSpec.from_dict(data)
+
+    def test_single_class_is_homogeneous_degenerate(self):
+        spec = ClusterSpec.from_dict(
+            {"device_classes": [{"name": "cpu", "count": 5}]}
+        )
+        fleet = spec.to_fleet()
+        assert spec.total_replicas == 5
+        assert fleet.speedup_for("anything", "cpu") == 1.0
+
+    def test_custom_scenario_carries_fleet(self):
+        scenario = _hetero_scenario()
+        assert scenario.devices is not None
+        assert scenario.total_replicas == 6
+        assert scenario.devices.speedup_for("resnet34", "gpu") == 6.0
+        assert scenario.devices.speedup_for("resnet18", "gpu") == 4.0  # default
+
+    def test_matrix_model_must_be_used(self):
+        params = _hetero_custom_params()
+        params["cluster"] = dict(
+            HETERO_CLUSTER, throughput={"resnet50": {"gpu": 2.0}}
+        )
+        with pytest.raises(ValueError, match="resnet50"):
+            api.ScenarioSpec(kind="custom", params=params).build()
+
+
+# -------------------------------------------------- mixed_pool_stats laws
+
+
+def _type(name, speedup):
+    return ReplicaType(name=name, speedup=speedup)
+
+
+pool_strategy = st.dictionaries(
+    st.sampled_from(["t0", "t1", "t2", "t3"]),
+    st.integers(min_value=0, max_value=20),
+    min_size=1,
+    max_size=4,
+)
+speedup_strategy = st.floats(
+    min_value=0.25, max_value=16.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestMixedPoolStatsProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        counts=pool_strategy,
+        speedups=st.lists(speedup_strategy, min_size=4, max_size=4),
+        ref=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_preserves_aggregate_service_rate(self, counts, speedups, ref):
+        by_name = {f"t{i}": _type(f"t{i}", s) for i, s in enumerate(speedups)}
+        pool = {by_name[name]: n for name, n in counts.items()}
+        servers, proc = mixed_pool_stats(pool, ref)
+        total_rate = sum(n * t.speedup / ref for t, n in pool.items())
+        assert servers == sum(counts.values())
+        if servers == 0:
+            assert math.isinf(proc)
+        else:
+            assert servers / proc == pytest.approx(total_rate, rel=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        counts=pool_strategy,
+        speedups=st.lists(speedup_strategy, min_size=4, max_size=4),
+        added=st.sampled_from(["t0", "t1", "t2", "t3"]),
+        ref=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_monotone_in_added_replicas(self, counts, speedups, added, ref):
+        by_name = {f"t{i}": _type(f"t{i}", s) for i, s in enumerate(speedups)}
+        pool = {by_name[name]: n for name, n in counts.items()}
+        before_servers, before_proc = mixed_pool_stats(pool, ref)
+        before_rate = 0.0 if before_servers == 0 else before_servers / before_proc
+        grown = dict(pool)
+        grown[by_name[added]] = grown.get(by_name[added], 0) + 1
+        after_servers, after_proc = mixed_pool_stats(grown, ref)
+        assert after_servers == before_servers + 1
+        assert after_servers / after_proc >= before_rate
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        count=st.integers(min_value=1, max_value=12),
+        speedup=speedup_strategy,
+        ref=st.floats(min_value=0.05, max_value=0.5),
+    )
+    def test_single_class_degenerates_to_homogeneous_mdc(
+        self, count, speedup, ref
+    ):
+        rtype = _type("only", speedup)
+        servers, proc = mixed_pool_stats({rtype: count}, ref)
+        assert servers == count
+        assert proc == pytest.approx(ref / speedup, rel=1e-12)
+        # A stable operating point for the latency comparison.
+        lam = 0.5 * count * speedup / ref
+        direct = MDC.estimate(0.99, lam, ref / speedup, count)
+        pooled = mixed_pool_latency(0.99, lam, ref, {rtype: count})
+        assert pooled == pytest.approx(direct, rel=1e-9)
+
+
+# ---------------------------------------------------- ILP vs greedy solver
+
+
+def _small_problems():
+    fleet = DeviceFleet(
+        (
+            DeviceClass(name="cpu", count=8),
+            DeviceClass(
+                name="gpu", count=3, speedup=4.0, cpus=2.0, mem=8.0, accels=1.0
+            ),
+        ),
+        speedups={"resnet34": {"gpu": 6.0}},
+    )
+    problems = {}
+    for label, rates in {"slack": (4.0, 6.0), "contended": (120.0, 180.0)}.items():
+        jobs = [
+            HeteroJob(
+                name=f"j{i}",
+                slo=SLO(target=0.72 if i % 2 == 0 else 0.4),
+                proc_time=0.18 if i % 2 == 0 else 0.10,
+                arrival_rate=rate,
+                priority=1.0 + 0.5 * i,
+            )
+            for i, rate in enumerate(rates)
+        ]
+        overrides = {
+            jobs[0].name: {
+                cls.name: fleet.speedup_for("resnet34", cls.name)
+                for cls in fleet.classes
+            },
+            jobs[1].name: {
+                cls.name: fleet.speedup_for("resnet18", cls.name)
+                for cls in fleet.classes
+            },
+        }
+        problems[label] = HeteroProblem(
+            jobs=jobs,
+            types=fleet.replica_types(),
+            capacity=fleet.capacity(),
+            objective="throughput",
+            type_counts=fleet.counts(),
+            speedup_overrides=overrides,
+        )
+    return fleet, problems
+
+
+class TestIlpGreedyDifferential:
+    @pytest.mark.parametrize("label", ["slack", "contended"])
+    def test_ilp_matches_greedy_within_tolerance(self, label):
+        fleet, problems = _small_problems()
+        problem = problems[label]
+        greedy = solve_hetero_allocation(problem)
+        ilp = solve_ilp_allocation(problem)
+        assert ilp.total_utility >= 0.9 * greedy.total_utility
+
+    @pytest.mark.parametrize("label", ["slack", "contended"])
+    def test_both_solvers_respect_inventory(self, label):
+        fleet, problems = _small_problems()
+        problem = problems[label]
+        counts = fleet.counts()
+        for allocation in (
+            solve_hetero_allocation(problem),
+            solve_ilp_allocation(problem),
+        ):
+            used = {}
+            for pools in allocation.counts.values():
+                for cls, n in pools.items():
+                    assert n >= 0
+                    used[cls] = used.get(cls, 0) + n
+            for cls, n in used.items():
+                assert n <= counts[cls]
+            cap = problem.capacity
+            assert allocation.cpus_used <= cap.cpus + 1e-9
+            assert allocation.accels_used <= cap.accels + 1e-9
+
+    def test_saturated_instance_reaches_full_goodput(self):
+        _, problems = _small_problems()
+        greedy = solve_hetero_allocation(problems["slack"])
+        # Both jobs fully served: priority-weighted goodput = sum(priority).
+        assert greedy.total_utility == pytest.approx(2.5)
+
+
+# -------------------------------------------------------------- policies
+
+
+class TestHeteroPolicyRegistry:
+    def test_policies_registered_under_hetero_kind(self):
+        registry = get_registry()
+        names = registry.names(kind="hetero")
+        assert {"hetero-max-throughput", "hetero-las", "ilp-placement"} <= set(
+            names
+        )
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("max-sum-throughput", "hetero-max-throughput"),
+            ("las", "hetero-las"),
+            ("hetero-ilp", "ilp-placement"),
+        ],
+    )
+    def test_aliases_resolve(self, alias, canonical):
+        assert get_registry().get(alias).name == canonical
+
+    def test_options_validate(self):
+        with pytest.raises(ValueError):
+            HeteroPolicyOptions(period=0)
+        with pytest.raises(ValueError):
+            HeteroPolicyOptions(headroom=-1.0)
+        with pytest.raises(ValueError):
+            HeteroAllocationPolicy(_hetero_scenario(), name="x", solver="magic")
+
+
+class TestHeteroPolicyTicks:
+    def _ticked(self, name="hetero-max-throughput", options=None):
+        scenario = _hetero_scenario()
+        policy = get_registry().build(name, scenario, seed=0, options=options)
+        policy.reset()
+        observations = {
+            "a": _observation("a", 5.0, proc=scenario.jobs[0].model.proc_time),
+            "b": _observation("b", 3.0, proc=scenario.jobs[1].model.proc_time),
+        }
+        return scenario, policy, policy.tick(0.0, observations), observations
+
+    @pytest.mark.parametrize(
+        "name", ["hetero-max-throughput", "hetero-las", "ilp-placement"]
+    )
+    def test_decision_fits_fleet(self, name):
+        scenario, policy, decision, _ = self._ticked(name)
+        assert decision is not None
+        counts = scenario.devices.counts()
+        assert sum(decision.replicas.values()) <= scenario.total_replicas
+        used = {}
+        for job, pools in decision.device_replicas.items():
+            assert sum(pools.values()) == decision.replicas[job]
+            for cls, n in pools.items():
+                used[cls] = used.get(cls, 0) + n
+        for cls, n in used.items():
+            assert n <= counts[cls]
+
+    def test_resolve_period_gates_ticks(self):
+        _, policy, first, observations = self._ticked(options={"period": 30.0})
+        assert first is not None
+        assert policy.tick(10.0, observations) is None
+        assert policy.tick(20.0, observations) is None
+        assert policy.tick(31.0, observations) is not None
+
+    def test_homogeneous_scenario_uses_uniform_fleet(self):
+        scenario = api.ScenarioSpec(
+            kind="mixed",
+            params={"total_replicas": 8, "num_jobs": 2, "duration_minutes": 8},
+        ).build()
+        assert scenario.devices is None
+        policy = get_registry().build("hetero-max-throughput", scenario, seed=0)
+        policy.reset()
+        observations = {
+            job.name: _observation(job.name, 4.0, proc=job.model.proc_time)
+            for job in scenario.jobs
+        }
+        decision = policy.tick(0.0, observations)
+        assert decision is not None
+        for pools in decision.device_replicas.values():
+            assert set(pools) <= {"uniform"}
+        assert sum(decision.replicas.values()) <= scenario.total_replicas
+
+    def test_las_downweights_attained_service(self):
+        scenario = _hetero_scenario()
+        policy = HeteroAllocationPolicy(scenario, name="las", las=True)
+        policy.reset()
+        policy._attained = {"a": 1000.0, "b": 10.0}
+        priorities = policy._priorities()
+        # Equal base priorities: the job with more attained service loses.
+        assert priorities["a"] < priorities["b"]
+
+
+# -------------------------------------------------- sim-layer assignment
+
+
+class TestDevicePoolManager:
+    def _manager(self):
+        scenario = _hetero_scenario()
+        return scenario, DevicePoolManager(scenario.devices, scenario.jobs)
+
+    def test_fastest_first_fill(self):
+        scenario, manager = self._manager()
+        assignments = manager.assign({"a": 3, "b": 3})
+        # Job a (resnet34, 6x on gpu) grabs both GPUs first.
+        assert assignments["a"] == {"gpu": 2, "cpu": 1}
+        assert assignments["b"] == {"cpu": 3}
+
+    def test_valid_hint_honored(self):
+        _, manager = self._manager()
+        hints = {"a": {"cpu": 3}, "b": {"gpu": 2, "cpu": 1}}
+        assignments = manager.assign({"a": 3, "b": 3}, hints)
+        assert assignments == hints
+
+    def test_invalid_hint_falls_back(self):
+        _, manager = self._manager()
+        # Sums to 2, target is 3: rejected, deterministic fill instead.
+        assignments = manager.assign({"a": 3, "b": 0}, {"a": {"gpu": 2}})
+        assert assignments["a"] == {"gpu": 2, "cpu": 1}
+
+    def test_effective_proc_time_reduction(self):
+        scenario, manager = self._manager()
+        manager.assign({"a": 3, "b": 0})
+        ref = scenario.jobs[0].model.proc_time
+        # 2 gpus at 6x + 1 cpu at 1x: rate = 13/ref over 3 servers.
+        assert manager.effective_proc_time("a") == pytest.approx(3 * ref / 13.0)
+        # Empty pool: reference time (backends handle zero replicas).
+        assert manager.effective_proc_time("b") == pytest.approx(
+            scenario.jobs[1].model.proc_time
+        )
+
+    def test_overflow_raises(self):
+        _, manager = self._manager()
+        with pytest.raises(ValueError, match="no room"):
+            manager.assign({"a": 5, "b": 3})
+
+    def test_metadata_lists_classes(self):
+        _, manager = self._manager()
+        assert manager.metadata() == {"device_classes": {"cpu": 4, "gpu": 2}}
+
+
+class TestHeteroEndToEnd:
+    @pytest.mark.parametrize("simulator", ["flow", "request", "hybrid"])
+    def test_tiny_hetero_runs_on_every_backend(self, simulator):
+        spec = api.ExperimentSpec.compare(
+            f"hetero-tiny-{simulator}",
+            api.ScenarioSpec(kind="custom", params=_hetero_custom_params()),
+            ["hetero-max-throughput"],
+            simulator=simulator,
+            trials=1,
+        )
+        report = api.run(spec)
+        stats = report.stats["tiny-hetero"]["hetero-max-throughput"]
+        assert math.isfinite(stats.lost_utility_mean)
+        assert 0.0 <= stats.violation_rate_mean <= 1.0
+
+    def test_ilp_policy_runs_on_flow(self):
+        spec = api.ExperimentSpec.compare(
+            "hetero-tiny-ilp",
+            api.ScenarioSpec(kind="custom", params=_hetero_custom_params()),
+            ["ilp-placement"],
+            simulator="flow",
+            trials=1,
+        )
+        report = api.run(spec)
+        assert "ilp-placement" in report.stats["tiny-hetero"]
+
+    def test_shipped_spec_parses_and_builds(self):
+        spec = api.ExperimentSpec.from_file("specs/hetero_mixed.json")
+        assert {p.name for p in spec.policies} == {
+            "fairshare", "hetero-max-throughput", "hetero-las", "ilp-placement"
+        }
+        scenario = spec.scenarios[0].build()
+        assert scenario.devices is not None
+        assert scenario.devices.counts() == {"cpu": 12, "gpu-t4": 4}
+        assert scenario.total_replicas == 16
+
+
+@pytest.mark.slow
+class TestHeteroMixedSweep:
+    def test_serial_and_parallel_reports_identical(self):
+        spec = api.ExperimentSpec.from_file("specs/hetero_mixed.json")
+        serial = api.run(spec)
+        parallel = api.run_parallel(spec, workers=2)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            parallel.to_dict(), sort_keys=True
+        )
+        for policy in ("fairshare", "hetero-max-throughput", "hetero-las",
+                       "ilp-placement"):
+            assert policy in serial.stats["hetero-mixed-2m-16d"]

@@ -92,6 +92,7 @@ class TestShippedSpecSeeds:
         "mixed_sweep.json": [0, 1000, 2000, 3000],
         "hybrid_paper.json": [0],
         "custom_burst.json": [0, 1000],
+        "hetero_mixed.json": [0, 1000],
     }
 
     def test_every_shipped_spec_is_pinned(self):

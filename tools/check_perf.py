@@ -22,7 +22,15 @@ Four benches run in-process and compare against checked-in baselines:
   ``results/BENCH_scenarios.json``): scenario construction + trace
   generation at 10/100/500 jobs may not regress beyond tolerance, and the
   fully-composed (lowered) path must stay within its gated cost ratio of
-  the legacy factory path.
+  the legacy factory path;
+- the heterogeneous-allocation bench (``benchmarks/bench_hetero_policies.py``
+  vs ``results/BENCH_hetero.json``): the ILP placement baseline must agree
+  with the greedy-with-repair solver within the gated utility-ratio floor
+  on every instance, and both solvers must stay under the absolute
+  wall-clock ceiling (they run inside policy ticks).  Unlike the other
+  gates this one self-reports SKIPPED and keeps going when its baseline
+  file is absent: the hetero layer is newer than the other baselines and
+  a missing file should not block the pre-existing gates.
 
 Run next to the tier-1 verify command:
 
@@ -326,6 +334,73 @@ def compare_scenarios(
     return rows, ok
 
 
+def load_hetero_baseline(path: Path) -> dict:
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or not isinstance(data.get("points"), list):
+        raise ValueError(f"{path} has no benchmark points")
+    missing = {"min_ratio", "gated_min_ratio", "gated_solve_ceiling_s"} - set(data)
+    if missing:
+        raise ValueError(f"{path} is missing {sorted(missing)}")
+    return data
+
+
+def hetero_skipped_rows(path: Path) -> list[tuple]:
+    """SKIPPED rows shown when the hetero baseline file is absent."""
+    hint = f"SKIPPED ({path.name} absent; run the bench or --write)"
+    return [
+        ("hetero/agreement", "ilp/greedy", "-", "-", hint),
+        ("hetero/solve", "wall_s", "-", "-", hint),
+    ]
+
+
+def compare_hetero(baseline: dict, measured: dict) -> tuple[list[tuple], bool]:
+    """Gate rows for the hetero-allocation bench; same row shape as :func:`compare`.
+
+    Both checks are absolute rather than baseline-relative: the agreement
+    floor catches solver bugs (a collapsed ratio, not a slow one) and the
+    wall-clock ceiling keeps solves interactive inside policy ticks.
+    Baseline-relative drift on sub-millisecond solves would gate on noise.
+    """
+    rows = []
+    ok = True
+
+    floor = baseline.get("gated_min_ratio", 0.9)
+    for point in measured["points"]:
+        passed = point["ratio"] >= floor
+        ok = ok and passed
+        rows.append(
+            (
+                f"hetero/{point['name']}",
+                "ilp/greedy",
+                f">= {floor:.2f}",
+                f"{point['ratio']:.3f}",
+                "ok" if passed else "REGRESSED (solvers disagree)",
+            )
+        )
+    measured_names = {p["name"] for p in measured["points"]}
+    for name in sorted({p["name"] for p in baseline["points"]} - measured_names):
+        ok = False
+        rows.append(
+            (f"hetero/{name}", "ilp/greedy", "present", "-", "MISSING from run")
+        )
+
+    ceiling = baseline.get("gated_solve_ceiling_s", 2.0)
+    for solver in ("greedy", "ilp"):
+        wall = measured[f"{solver}_wall_s"]
+        passed = wall < ceiling
+        ok = ok and passed
+        rows.append(
+            (
+                f"hetero/{solver}",
+                "wall_s",
+                f"< {ceiling:.1f}s",
+                f"{wall*1000:.1f}ms",
+                "ok" if passed else "REGRESSED (solve no longer interactive)",
+            )
+        )
+    return rows, ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -374,6 +449,17 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the scenario-build gate",
     )
     parser.add_argument(
+        "--hetero-baseline",
+        type=Path,
+        default=REPO_ROOT / "results" / "BENCH_hetero.json",
+        help="hetero-allocation baseline JSON (default: results/BENCH_hetero.json)",
+    )
+    parser.add_argument(
+        "--skip-hetero",
+        action="store_true",
+        help="skip the heterogeneous-allocation gate",
+    )
+    parser.add_argument(
         "--write",
         action="store_true",
         help="refresh the baseline file(s) with the new measurements",
@@ -418,6 +504,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
+    # The hetero gate deliberately tolerates a missing baseline file (it
+    # self-reports SKIPPED below) -- a malformed one is still an error.
+    run_hetero_gate = not args.skip_hetero
+    hetero_baseline = None
+
     try:
         baseline = load_baseline(args.baseline)
         parallel_baseline = (
@@ -431,6 +522,8 @@ def main(argv: list[str] | None = None) -> int:
             if run_scenario_gate
             else None
         )
+        if run_hetero_gate and args.hetero_baseline.exists():
+            hetero_baseline = load_hetero_baseline(args.hetero_baseline)
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"error: cannot read baseline: {exc}", file=sys.stderr)
         return 2
@@ -512,6 +605,42 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    hetero_measured = None
+    if run_hetero_gate:
+        if hetero_baseline is None and not args.write:
+            print(f"\nhetero baseline {args.hetero_baseline} absent; gate skipped")
+            print()
+            print(
+                format_table(
+                    ["point", "metric", "baseline", "measured", "verdict"],
+                    hetero_skipped_rows(args.hetero_baseline),
+                    title="== Heterogeneous allocation perf gate ==",
+                )
+            )
+        else:
+            from benchmarks.bench_hetero_policies import run_hetero_bench
+
+            print(
+                "\nrunning heterogeneous-allocation bench "
+                f"(baseline: {args.hetero_baseline}) ..."
+            )
+            hetero_measured = run_hetero_bench()
+            # With --write and no prior baseline, the measurement gates
+            # itself: the floors/ceilings come from the bench constants.
+            hetero_rows, hetero_ok = compare_hetero(
+                hetero_baseline if hetero_baseline is not None else hetero_measured,
+                hetero_measured,
+            )
+            ok = ok and hetero_ok
+            print()
+            print(
+                format_table(
+                    ["point", "metric", "baseline", "measured", "verdict"],
+                    hetero_rows,
+                    title="== Heterogeneous allocation perf gate ==",
+                )
+            )
+
     if args.write:
         args.baseline.write_text(json.dumps({"points": measured}, indent=2) + "\n")
         print(f"\nwrote new baseline to {args.baseline}")
@@ -528,6 +657,11 @@ def main(argv: list[str] | None = None) -> int:
                 json.dumps(scenario_measured, indent=2) + "\n"
             )
             print(f"wrote new baseline to {args.scenario_baseline}")
+        if hetero_measured is not None:
+            args.hetero_baseline.write_text(
+                json.dumps(hetero_measured, indent=2) + "\n"
+            )
+            print(f"wrote new baseline to {args.hetero_baseline}")
 
     if not ok:
         print(
