@@ -1,0 +1,33 @@
+"""Built-in analysis passes; importing this package registers all of them.
+
+Six rules guard the byte-identity invariant and the registry contract:
+
+=================== ======== ====================================================
+pass id             scope    what it rejects
+=================== ======== ====================================================
+determinism         file     global RNG, unseeded generators, wall-clock in sim
+ordered-iteration   file     hash-ordered set iteration on merge/output paths
+frozen-mutation     file     object.__setattr__ outside construction hooks
+registry-contract   file     undocumented/untyped/non-round-trippable entries
+spawn-safety        file     unpicklable callables handed to process pools
+perf-gate           project  emitted BENCH baselines check_perf.py never gates
+=================== ======== ====================================================
+"""
+
+from repro.analysis.passes import (  # noqa: F401  (imported for registration)
+    determinism,
+    frozen_spec,
+    ordering,
+    perf_gate,
+    registry_contract,
+    spawn_safety,
+)
+
+__all__ = [
+    "determinism",
+    "frozen_spec",
+    "ordering",
+    "perf_gate",
+    "registry_contract",
+    "spawn_safety",
+]

@@ -1,0 +1,80 @@
+"""Pass ``frozen-mutation``: frozen specs stay frozen after construction.
+
+The declarative control plane rests on specs being *values*: frozen
+dataclasses whose digests pin byte-identity across refactors.  The one
+sanctioned use of ``object.__setattr__`` on them is inside
+``__post_init__`` (normalizing fields during construction) and
+``__setstate__`` (rebuilding after unpickling).  Anywhere else it is a
+backdoor mutation that silently invalidates digests, caches keyed on the
+spec, and the frozen contract itself -- this pass flags every such call.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding, ModuleContext
+from repro.analysis.registry import register_pass
+
+__all__ = ["FrozenMutationOptions", "check_frozen_mutation"]
+
+PASS_ID = "frozen-mutation"
+
+
+@dataclass(frozen=True)
+class FrozenMutationOptions:
+    """Methods allowed to call ``object.__setattr__`` (construction hooks)."""
+
+    allowed_methods: tuple[str, ...] = ("__post_init__", "__setstate__", "__init__")
+
+
+def _is_object_setattr(node: ast.Call) -> bool:
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "__setattr__"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "object"
+    )
+
+
+def check_frozen_mutation(
+    context: ModuleContext, options: FrozenMutationOptions | None
+) -> list[Finding]:
+    options = options or FrozenMutationOptions()
+    findings: list[Finding] = []
+
+    def walk(node: ast.AST, enclosing: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                walk(child, child.name)
+                continue
+            if isinstance(child, ast.Call) and _is_object_setattr(child):
+                if enclosing not in options.allowed_methods:
+                    where = (
+                        f"in {enclosing}()" if enclosing else "at module level"
+                    )
+                    findings.append(
+                        context.finding(
+                            PASS_ID,
+                            child,
+                            f"object.__setattr__ {where} mutates a frozen "
+                            "dataclass outside its construction hooks "
+                            f"({', '.join(options.allowed_methods)}); build a "
+                            "new instance with dataclasses.replace instead",
+                        )
+                    )
+            walk(child, enclosing)
+
+    walk(context.tree, None)
+    return findings
+
+
+register_pass(
+    PASS_ID,
+    description=(
+        "object.__setattr__ on (frozen) dataclasses outside "
+        "__post_init__/__setstate__ construction hooks."
+    ),
+    config_type=FrozenMutationOptions,
+)(check_frozen_mutation)

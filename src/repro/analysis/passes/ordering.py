@@ -1,0 +1,217 @@
+"""Pass ``ordered-iteration``: no hash-ordered iteration on merge/output paths.
+
+``RunReport.merge`` is associative and order-invariant, and the sharded
+sweep executor is pinned byte-identical to serial execution -- invariants
+that survive only if nothing on those paths iterates a collection whose
+order is hash- or arrival-dependent.  Python ``set`` iteration is the
+canonical offender: the order varies with insertion history and (for
+str keys under hash randomization) across interpreter runs.
+
+Within the configured module prefixes -- an over-approximation of "every
+function reachable from ``SimHarness.run`` or ``RunReport.merge``", kept
+honest by scoping to the packages those call graphs live in -- this pass
+flags iteration over *syntactically set-valued* expressions:
+
+- ``for x in some_set:`` / comprehension generators,
+- materialization (``list(s)``, ``tuple(s)``, ``iter(s)``,
+  ``enumerate(s)``, ``"".join(s)``, ``zip(s, ...)``, ``map(f, s)``),
+- unpacking (``a, b = s``, ``f(*s)``),
+
+where "set-valued" means a set literal/comprehension, a ``set(...)`` /
+``frozenset(...)`` call, a set-algebra expression over one, a
+``.union/.intersection/...`` method call on one, or a local name bound to
+one of those.  Order-insensitive consumers (``sorted``, ``min``, ``max``,
+``sum``, ``len``, ``any``, ``all``, membership tests) are the sanctioned
+fixes and are not flagged.
+
+``dict`` iteration is deliberately *not* flagged by default: dicts
+iterate in insertion order, so nondeterminism can only sneak in through
+how they were built -- which the set rules (and the determinism pass)
+catch upstream.  ``flag_dict_views=True`` turns on strict mode for
+audits.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding, ModuleContext
+from repro.analysis.registry import register_pass
+
+__all__ = ["OrderedIterationOptions", "check_ordered_iteration"]
+
+PASS_ID = "ordered-iteration"
+
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+#: Consumers whose result order mirrors the iterable's order.
+_ORDER_SENSITIVE_CALLS = frozenset(
+    {"list", "tuple", "iter", "enumerate", "zip", "map", "filter", "reversed"}
+)
+_DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+
+@dataclass(frozen=True)
+class OrderedIterationOptions:
+    """Scope and strictness of the ordered-iteration rules."""
+
+    #: Module prefixes over-approximating the SimHarness.run /
+    #: RunReport.merge call graphs (shard merge + simulation output paths).
+    modules: tuple[str, ...] = (
+        "repro.sim",
+        "repro.queueing",
+        "repro.hetero",
+        "repro.api",
+        "repro.experiments",
+    )
+    #: Also flag iteration over dict views (strict audit mode).
+    flag_dict_views: bool = False
+
+
+class _SetValueTracker:
+    """Per-scope map of names syntactically bound to set-valued expressions."""
+
+    def __init__(self, flag_dict_views: bool) -> None:
+        self.flag_dict_views = flag_dict_views
+        self.set_names: set[str] = set()
+
+    def is_set_valued(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in _SET_CONSTRUCTORS
+            ):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+                and self.is_set_valued(node.func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # Set algebra: either operand being a set makes the result one.
+            return self.is_set_valued(node.left) or self.is_set_valued(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.is_set_valued(node.body) or self.is_set_valued(node.orelse)
+        return False
+
+    def is_dict_view(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DICT_VIEW_METHODS
+            and not node.args
+            and not node.keywords
+        )
+
+    def observe_binding(self, target: ast.AST, value: ast.AST) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        if self.is_set_valued(value):
+            self.set_names.add(target.id)
+        else:
+            # Rebinding to a non-set expression clears the mark (lexical
+            # order approximates flow order well enough for lint purposes).
+            self.set_names.discard(target.id)
+
+
+def _iter_scopes(tree: ast.Module):
+    """Yield (scope node, statement list) for the module and each function."""
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def check_ordered_iteration(
+    context: ModuleContext, options: OrderedIterationOptions | None
+) -> list[Finding]:
+    options = options or OrderedIterationOptions()
+    if not context.in_modules(options.modules):
+        return []
+
+    findings: list[Finding] = []
+
+    def flag(node: ast.AST, what: str) -> None:
+        findings.append(
+            context.finding(
+                PASS_ID,
+                node,
+                f"{what} iterates in hash/arrival order on a merge/output "
+                "path; wrap it in sorted(...) or keep an ordered structure",
+            )
+        )
+
+    def check_iterable(tracker: _SetValueTracker, node: ast.AST, what: str) -> None:
+        if tracker.is_set_valued(node):
+            flag(node, what)
+        elif tracker.flag_dict_views and tracker.is_dict_view(node):
+            flag(node, what + " (dict view, strict mode)")
+
+    for scope, body in _iter_scopes(context.tree):
+        tracker = _SetValueTracker(options.flag_dict_views)
+        # One linear walk in source order so name bindings are observed
+        # before later uses; nested function bodies are handled by their
+        # own scope entry (closures over outer set names are rare enough
+        # that missing them beats double-reporting).
+        nested: set[int] = set()
+        for child in ast.walk(scope):
+            if child is scope:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                nested.update(id(n) for n in ast.walk(child) if n is not child)
+                continue
+            if id(child) in nested:
+                continue
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    tracker.observe_binding(target, child.value)
+            elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                tracker.observe_binding(child.target, child.value)
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                check_iterable(tracker, child.iter, "for-loop")
+            elif isinstance(child, ast.comprehension):
+                check_iterable(tracker, child.iter, "comprehension")
+            elif isinstance(child, ast.Call):
+                if (
+                    isinstance(child.func, ast.Name)
+                    and child.func.id in _ORDER_SENSITIVE_CALLS
+                ):
+                    for arg in child.args:
+                        check_iterable(tracker, arg, f"{child.func.id}(...)")
+                elif (
+                    isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "join"
+                    and child.args
+                ):
+                    check_iterable(tracker, child.args[0], "str.join(...)")
+                for arg in child.args:
+                    if isinstance(arg, ast.Starred):
+                        check_iterable(tracker, arg.value, "*-unpacking")
+            elif isinstance(child, ast.Assign) is False and isinstance(
+                child, (ast.Tuple, ast.List)
+            ):
+                for element in child.elts:
+                    if isinstance(element, ast.Starred):
+                        check_iterable(tracker, element.value, "*-unpacking")
+    return findings
+
+
+register_pass(
+    PASS_ID,
+    description=(
+        "Iteration over hash-ordered sets (and, in strict mode, dict "
+        "views) in modules on the merge/output path."
+    ),
+    config_type=OrderedIterationOptions,
+)(check_ordered_iteration)

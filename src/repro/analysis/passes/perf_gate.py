@@ -1,0 +1,127 @@
+"""Pass ``perf-gate``: every emitted perf baseline is actually gated.
+
+The perf-regression story only works if ``tools/check_perf.py`` knows
+about every baseline the benches emit: a ``benchmarks/bench_*.py`` that
+writes ``results/BENCH_<name>.json`` without the gate reading it is a
+baseline that silently stops guarding anything.  This project-scoped
+pass cross-references the two directions:
+
+- every ``BENCH_<name>.json`` literal appearing in *code* (docstrings are
+  ignored) of a ``benchmarks/bench_*.py`` must also appear in
+  ``tools/check_perf.py``;
+
+the inverse direction -- a checked-in ``results/BENCH_*.json`` whose
+emitting bench module has vanished -- is a *runtime* concern and is
+enforced by ``tools/check_perf.py`` itself (it fails when a baseline has
+no emitter), so drift is caught whichever half goes missing first.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding, ProjectContext
+from repro.analysis.registry import register_pass
+
+__all__ = ["PerfGateOptions", "check_perf_gate", "bench_baseline_names"]
+
+PASS_ID = "perf-gate"
+
+_BENCH_NAME_RE = re.compile(r"BENCH_\w+\.json")
+
+
+@dataclass(frozen=True)
+class PerfGateOptions:
+    """Where benches and the gate live, relative to the project root."""
+
+    bench_glob: str = "benchmarks/bench_*.py"
+    gate_path: str = "tools/check_perf.py"
+
+
+def _docstring_constants(tree: ast.Module) -> set[int]:
+    """ids of Constant nodes that are docstrings (excluded from emission scan)."""
+    out: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                out.add(id(body[0].value))
+    return out
+
+
+def bench_baseline_names(path: Path) -> dict[str, int]:
+    """``BENCH_*.json`` names a bench module emits, with their first line.
+
+    Only string constants *outside docstrings* count: a doc mention of a
+    baseline is narrative, a code literal is an emission/reference.
+    Unparseable files yield nothing (syntax errors are not this pass's
+    business).
+    """
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except (OSError, SyntaxError):
+        return {}
+    doc_ids = _docstring_constants(tree)
+    names: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and id(node) not in doc_ids
+        ):
+            for match in _BENCH_NAME_RE.findall(node.value):
+                names.setdefault(match, node.lineno)
+    return names
+
+
+def check_perf_gate(
+    project: ProjectContext, options: PerfGateOptions | None
+) -> list[Finding]:
+    options = options or PerfGateOptions()
+    gate_file = project.root / options.gate_path
+    if not gate_file.exists():
+        # Not a repo checkout with the perf-gate layout (e.g. linting a
+        # loose directory); nothing to cross-reference.
+        return []
+    gated = set(_BENCH_NAME_RE.findall(gate_file.read_text()))
+
+    findings: list[Finding] = []
+    for bench in sorted(project.root.glob(options.bench_glob)):
+        for name, line in sorted(bench_baseline_names(bench).items()):
+            if name not in gated:
+                rel = bench.relative_to(project.root)
+                findings.append(
+                    Finding(
+                        pass_id=PASS_ID,
+                        path=str(rel),
+                        line=line,
+                        message=(
+                            f"{rel} emits results/{name} but "
+                            f"{options.gate_path} never reads it; wire the "
+                            "baseline into the perf gate or it guards nothing"
+                        ),
+                        snippet=name,
+                    )
+                )
+    return findings
+
+
+register_pass(
+    PASS_ID,
+    description=(
+        "benchmarks/bench_*.py baselines (results/BENCH_*.json) that "
+        "tools/check_perf.py never gates."
+    ),
+    scope="project",
+    config_type=PerfGateOptions,
+)(check_perf_gate)

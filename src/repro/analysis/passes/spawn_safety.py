@@ -1,0 +1,137 @@
+"""Pass ``spawn-safety``: only picklable callables cross process boundaries.
+
+The sweep executor runs shards on a ``spawn`` ``ProcessPoolExecutor``:
+workers import a fresh interpreter and unpickle their payloads, so a
+lambda, a function defined inside another function, or a bound local
+closure submitted to the pool fails at runtime -- on some platforms only
+when the pool is actually exercised, which is exactly the kind of bug
+that survives a single-process test run.  This pass flags, at every
+``*.submit(...)`` / ``*.map(...)`` call whose receiver looks like an
+executor or pool (and any ``ProcessPoolExecutor(initializer=...)``):
+
+- ``lambda`` expressions passed as the callable or initializer;
+- names bound to a nested ``def``/``lambda`` in the enclosing function
+  scope (module-level functions pickle fine and are not flagged).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding, ModuleContext
+from repro.analysis.registry import register_pass
+
+__all__ = ["SpawnSafetyOptions", "check_spawn_safety"]
+
+PASS_ID = "spawn-safety"
+
+
+@dataclass(frozen=True)
+class SpawnSafetyOptions:
+    """What counts as a process-pool dispatch site."""
+
+    #: Method names that take a callable destined for another process.
+    methods: tuple[str, ...] = ("submit", "map", "apply_async", "starmap")
+    #: Receiver-name substrings identifying executors/pools.
+    receiver_hints: tuple[str, ...] = ("pool", "executor")
+
+
+def _receiver_is_pool(node: ast.expr, hints: tuple[str, ...]) -> bool:
+    if isinstance(node, ast.Name):
+        lowered = node.id.lower()
+        return any(h in lowered for h in hints)
+    if isinstance(node, ast.Attribute):
+        lowered = node.attr.lower()
+        return any(h in lowered for h in hints) or _receiver_is_pool(
+            node.value, hints
+        )
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        return "executor" in name.lower() or "pool" in name.lower()
+    return False
+
+
+def check_spawn_safety(
+    context: ModuleContext, options: SpawnSafetyOptions | None
+) -> list[Finding]:
+    options = options or SpawnSafetyOptions()
+    findings: list[Finding] = []
+
+    def local_callables(fn: ast.AST) -> set[str]:
+        """Names bound to nested defs/lambdas within ``fn`` (not ``fn`` itself)."""
+        names: set[str] = set()
+        for child in ast.walk(fn):
+            if child is fn:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(child.name)
+            elif isinstance(child, ast.Assign) and isinstance(
+                child.value, ast.Lambda
+            ):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def check_callable_arg(arg: ast.expr, locals_: set[str], what: str) -> None:
+        if isinstance(arg, ast.Lambda):
+            findings.append(
+                context.finding(
+                    PASS_ID,
+                    arg,
+                    f"lambda passed as {what} cannot pickle into a spawn "
+                    "worker; use a module-level function",
+                )
+            )
+        elif isinstance(arg, ast.Name) and arg.id in locals_:
+            findings.append(
+                context.finding(
+                    PASS_ID,
+                    arg,
+                    f"{arg.id!r} is defined inside the enclosing function; "
+                    f"a nested callable passed as {what} cannot pickle into "
+                    "a spawn worker -- move it to module level",
+                )
+            )
+
+    def scan(scope: ast.AST, locals_: set[str]) -> None:
+        for child in ast.iter_child_nodes(scope):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scan(child, local_callables(child))
+                continue
+            if isinstance(child, ast.Call):
+                func = child.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in options.methods
+                    and _receiver_is_pool(func.value, options.receiver_hints)
+                    and child.args
+                ):
+                    check_callable_arg(
+                        child.args[0], locals_, f"a pool {func.attr}() payload"
+                    )
+                for kw in child.keywords:
+                    if kw.arg == "initializer":
+                        check_callable_arg(kw.value, locals_, "a pool initializer")
+            scan(child, locals_)
+
+    scan(context.tree, set())
+    return findings
+
+
+register_pass(
+    PASS_ID,
+    description=(
+        "Lambdas and function-local callables handed to process pools "
+        "(spawn workers cannot unpickle them)."
+    ),
+    config_type=SpawnSafetyOptions,
+)(check_spawn_safety)

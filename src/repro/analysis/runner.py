@@ -1,0 +1,375 @@
+"""Lint driver: collect files, run passes, apply baseline, format reports.
+
+This is the engine behind ``repro-faro lint``.  The flow is:
+
+1. :func:`collect_files` expands paths (or :func:`changed_files` in
+   ``--changed`` mode) into a sorted list of ``.py`` files;
+2. :func:`run_analysis` parses each file once into a
+   :class:`~repro.analysis.findings.ModuleContext`, runs every registered
+   file pass over it, runs project passes once against the repo root,
+   drops findings covered by inline suppressions, and applies the
+   checked-in baseline (:class:`Baseline`);
+3. the resulting :class:`AnalysisReport` renders as text or JSON and
+   maps to the process exit code (0 clean, 1 findings).
+
+Baseline entries are matched by :meth:`Finding.fingerprint` -- pass id +
+path + flagged-line text -- so they survive unrelated edits, and every
+entry must carry a written justification: a grandfathered finding without
+a reason is indistinguishable from a silenced bug.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.findings import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+)
+from repro.analysis.registry import AnalysisPassRegistry, get_pass_registry
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "collect_files",
+    "changed_files",
+    "find_project_root",
+    "run_analysis",
+]
+
+
+# ------------------------------------------------------------------ files
+
+
+def collect_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list.
+
+    Hidden directories and ``__pycache__`` are skipped; a named file is
+    taken as-is (so ``repro-faro lint one_file.py`` works on anything).
+    """
+    out: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = candidate.relative_to(path).parts
+                if any(p.startswith(".") or p == "__pycache__" for p in parts):
+                    continue
+                out.add(candidate.resolve())
+        elif path.suffix == ".py":
+            out.add(path.resolve())
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def changed_files(
+    paths: Sequence[Path | str],
+    *,
+    base: str = "main",
+    root: Path | None = None,
+) -> list[Path]:
+    """Files under ``paths`` that differ from ``git merge-base HEAD <base>``.
+
+    The fast pre-commit mode: lints only what this branch touched.
+    Untracked files count as changed.  Raises ``RuntimeError`` when git
+    is unavailable or ``base`` does not resolve.
+    """
+    root = (root or find_project_root(paths) or Path.cwd()).resolve()
+
+    def git(*args: str) -> str:
+        proc = subprocess.run(
+            ["git", *args], cwd=root, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"git {' '.join(args)} failed: {proc.stderr.strip()}"
+            )
+        return proc.stdout
+
+    merge_base = git("merge-base", "HEAD", base).strip()
+    changed = set(git("diff", "--name-only", merge_base, "--").splitlines())
+    changed.update(
+        git("ls-files", "--others", "--exclude-standard").splitlines()
+    )
+    changed_abs = {(root / name).resolve() for name in changed if name}
+    return [p for p in collect_files(paths) if p in changed_abs]
+
+
+def find_project_root(paths: Sequence[Path | str]) -> Path | None:
+    """Nearest ancestor holding the repo layout (tools/check_perf.py or .git)."""
+    seeds = [Path(p).resolve() for p in paths] or [Path.cwd()]
+    for seed in seeds:
+        probe = seed if seed.is_dir() else seed.parent
+        while True:
+            if (probe / "tools" / "check_perf.py").exists() or (
+                probe / ".git"
+            ).exists():
+                return probe
+            if probe.parent == probe:
+                break
+            probe = probe.parent
+    return None
+
+
+# --------------------------------------------------------------- baseline
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding and why it is tolerated."""
+
+    pass_id: str
+    path: str
+    fingerprint: str
+    justification: str
+
+    def to_dict(self) -> dict:
+        return {
+            "pass": self.pass_id,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """The checked-in grandfather list (``tools/lint_baseline.json``)."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text())
+        if not isinstance(data, Mapping) or not isinstance(
+            data.get("findings"), list
+        ):
+            raise ValueError(
+                f"baseline {path} must be an object with a 'findings' list"
+            )
+        entries = []
+        for raw in data["findings"]:
+            missing = {"pass", "path", "fingerprint", "justification"} - set(raw)
+            if missing:
+                raise ValueError(
+                    f"baseline {path} entry is missing {sorted(missing)}"
+                )
+            if not str(raw["justification"]).strip():
+                raise ValueError(
+                    f"baseline {path} entry for {raw['path']} has an empty "
+                    "justification; every grandfathered finding must say why"
+                )
+            entries.append(
+                BaselineEntry(
+                    pass_id=raw["pass"],
+                    path=raw["path"],
+                    fingerprint=raw["fingerprint"],
+                    justification=str(raw["justification"]),
+                )
+            )
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], justification: str
+    ) -> "Baseline":
+        return cls(
+            entries=[
+                BaselineEntry(
+                    pass_id=f.pass_id,
+                    path=f.path,
+                    fingerprint=f.fingerprint(),
+                    justification=justification,
+                )
+                for f in findings
+            ]
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": 1,
+            "findings": [e.to_dict() for e in self.entries],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """(new findings, grandfathered findings, stale baseline entries)."""
+        by_print = {e.fingerprint: e for e in self.entries}
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        seen: set[str] = set()
+        for finding in findings:
+            entry = by_print.get(finding.fingerprint())
+            if entry is None:
+                new.append(finding)
+            else:
+                grandfathered.append(finding)
+                seen.add(entry.fingerprint)
+        stale = [e for e in self.entries if e.fingerprint not in seen]
+        return new, grandfathered, stale
+
+
+# ----------------------------------------------------------------- report
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one lint run, ready to render or exit on."""
+
+    findings: list[Finding] = field(default_factory=list)
+    grandfathered: list[Finding] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+    passes: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files": self.files,
+            "passes": list(self.passes),
+            "suppressed": self.suppressed,
+            "findings": [f.to_dict() for f in self.findings],
+            "grandfathered": [f.to_dict() for f in self.grandfathered],
+            "stale_baseline": [e.to_dict() for e in self.stale_baseline],
+        }
+
+    def format_text(self) -> str:
+        lines: list[str] = []
+        for finding in self.findings:
+            lines.append(f"{finding.location()}: [{finding.pass_id}] {finding.message}")
+            if finding.snippet:
+                lines.append(f"    {finding.snippet}")
+        if self.stale_baseline:
+            lines.append("")
+            for entry in self.stale_baseline:
+                lines.append(
+                    f"note: stale baseline entry {entry.fingerprint} "
+                    f"({entry.pass_id} in {entry.path}) no longer matches; "
+                    "remove it from the baseline"
+                )
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files} file(s), "
+            f"{len(self.passes)} pass(es)"
+        )
+        extras = []
+        if self.grandfathered:
+            extras.append(f"{len(self.grandfathered)} baselined")
+        if self.suppressed:
+            extras.append(f"{self.suppressed} suppressed inline")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+        lines.append("")
+        lines.append(("OK: " if self.ok else "FAIL: ") + summary)
+        return "\n".join(lines)
+
+
+# ------------------------------------------------------------------- run
+
+
+def run_analysis(
+    paths: Sequence[Path | str],
+    *,
+    root: Path | None = None,
+    registry: AnalysisPassRegistry | None = None,
+    select: Sequence[str] | None = None,
+    pass_options: Mapping[str, Mapping[str, Any]] | None = None,
+    baseline: Baseline | None = None,
+    changed_base: str | None = None,
+    display_relative_to: Path | None = None,
+) -> AnalysisReport:
+    """Run the registered passes over ``paths`` and assemble a report.
+
+    ``select`` restricts to the named pass ids; ``pass_options`` carries
+    per-pass option mappings (validated against each pass's config type);
+    ``changed_base`` switches file collection to :func:`changed_files`;
+    ``display_relative_to`` controls how paths render (default: the
+    detected project root, falling back to absolute paths).
+    """
+    registry = registry or get_pass_registry()
+    pass_options = dict(pass_options or {})
+    root = (root or find_project_root(paths) or Path.cwd()).resolve()
+    rel_base = (display_relative_to or root).resolve()
+
+    if select is not None:
+        infos = [registry.get(name) for name in select]
+    else:
+        infos = list(registry)
+    for name in pass_options:
+        registry.get(name)  # unknown pass ids in options fail loudly
+
+    if changed_base is not None:
+        files = changed_files(paths, base=changed_base, root=root)
+    else:
+        files = collect_files(paths)
+
+    def display(path: Path) -> str:
+        try:
+            return path.relative_to(rel_base).as_posix()
+        except ValueError:
+            return str(path)
+
+    raw: list[Finding] = []
+    suppressed = 0
+    contexts: list[ModuleContext] = []
+    for path in files:
+        try:
+            context = ModuleContext.from_file(path, display_path=display(path))
+        except SyntaxError as exc:
+            raw.append(
+                Finding(
+                    pass_id="parse-error",
+                    path=display(path),
+                    line=exc.lineno or 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        contexts.append(context)
+        raw.extend(context.parse_findings)
+        for info in infos:
+            if info.scope != "file":
+                continue
+            options = registry.parse_options(
+                info.name, pass_options.get(info.name)
+            )
+            for finding in info.fn(context, options) or ():
+                if context.is_suppressed(finding):
+                    suppressed += 1
+                else:
+                    raw.append(finding)
+
+    project = ProjectContext(root=root, contexts=contexts)
+    for info in infos:
+        if info.scope != "project":
+            continue
+        options = registry.parse_options(info.name, pass_options.get(info.name))
+        raw.extend(info.fn(project, options) or ())
+
+    raw.sort(key=lambda f: (f.path, f.line, f.pass_id, f.message))
+
+    if baseline is not None:
+        new, grandfathered, stale = baseline.split(raw)
+    else:
+        new, grandfathered, stale = raw, [], []
+
+    return AnalysisReport(
+        findings=new,
+        grandfathered=grandfathered,
+        stale_baseline=stale,
+        suppressed=suppressed,
+        files=len(files),
+        passes=tuple(info.name for info in infos),
+    )

@@ -374,9 +374,9 @@ def _run_shard(job: _ShardJob) -> ShardOutcome:
     spec = job.spec
     from repro.traces.generators import trace_search_path
 
-    # Default pickling carries the non-field `spec_dir` attribute to the
-    # worker, so spec-relative replay files resolve here too.
-    with trace_search_path(getattr(spec, "spec_dir", None)):
+    # Pickling carries the `spec_dir` provenance field to the worker, so
+    # spec-relative replay files resolve here too.
+    with trace_search_path(spec.spec_dir):
         scenario = spec.scenarios[shard.scenario_index].build()
     policy_spec = spec.policies[shard.policy_index]
     progress = (
@@ -472,7 +472,7 @@ def run_parallel(
         raise ValueError(f"cache file {cache_path} does not exist")
     from repro.traces.generators import trace_search_path
 
-    with trace_search_path(getattr(spec, "spec_dir", None)):
+    with trace_search_path(spec.spec_dir):
         _validate_spec(spec)
 
     effective_tps = (

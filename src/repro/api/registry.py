@@ -248,9 +248,13 @@ def register_policy(
 
 # ----------------------------------------------------- entry-point plugins
 
-#: Entry-point groups scanned for third-party registrations: policies and
-#: simulation backends.
-PLUGIN_ENTRY_POINT_GROUPS = ("repro_faro.policies", "repro_faro.sim_backends")
+#: Entry-point groups scanned for third-party registrations: policies,
+#: simulation backends, and static-analysis passes.
+PLUGIN_ENTRY_POINT_GROUPS = (
+    "repro_faro.policies",
+    "repro_faro.sim_backends",
+    "repro_faro.analysis_passes",
+)
 
 
 def load_entry_point_plugins(

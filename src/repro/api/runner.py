@@ -617,7 +617,7 @@ def run(
         spec = ExperimentSpec.from_file(spec)
     from repro.traces.generators import trace_search_path
 
-    spec_dir = getattr(spec, "spec_dir", None)
+    spec_dir = spec.spec_dir
     with trace_search_path(spec_dir):
         _validate_spec(spec)
     report = RunReport(spec=spec)

@@ -38,7 +38,7 @@ at load time, not as a silently-ignored setting.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
@@ -241,6 +241,12 @@ class ExperimentSpec:
     sim_overrides: dict[str, Any] = field(default_factory=dict)
     backend_options: dict[str, Any] = field(default_factory=dict)
     description: str = ""
+    #: Load-time provenance: the directory the spec file came from, used
+    #: to resolve relative replay-trace paths (including in pickled sweep
+    #: workers).  Not part of the experiment's identity -- excluded from
+    #: comparisons, ``to_dict``, and digests -- but a declared field so
+    #: every ``dataclasses.replace``-derived spec keeps it automatically.
+    spec_dir: str | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -305,14 +311,9 @@ class ExperimentSpec:
         Useful for freezing an experiment: the lowered spec file spells
         out every job, trace pipeline, and cluster explicitly instead of
         referencing factory sugar, yet simulates bit-identically.
+        ``spec_dir`` provenance rides along as a declared field.
         """
-        from dataclasses import replace
-
-        lowered = replace(self, scenarios=tuple(s.lower() for s in self.scenarios))
-        spec_dir = getattr(self, "spec_dir", None)
-        if spec_dir is not None:
-            object.__setattr__(lowered, "spec_dir", spec_dir)
-        return lowered
+        return replace(self, scenarios=tuple(s.lower() for s in self.scenarios))
 
     # ------------------------------------------------------ serialization
 
@@ -420,13 +421,13 @@ class ExperimentSpec:
                 raise ValueError(f"invalid JSON in {path}: {exc}") from exc
         if not isinstance(data, Mapping):
             raise ValueError(f"spec file {path} must contain a mapping")
-        spec = cls.from_dict(data)
-        # Remember where the spec came from (not a dataclass field: it is
-        # deliberately absent from to_dict/digests) so relative replay-file
-        # paths can resolve against the spec's own directory -- including in
-        # sweep workers, which receive this object pickled.
-        object.__setattr__(spec, "spec_dir", str(path.parent.resolve()))
-        return spec
+        # Remember where the spec came from so relative replay-file paths
+        # can resolve against the spec's own directory -- including in
+        # sweep workers, which receive this object pickled.  ``spec_dir``
+        # is a declared (non-compared, non-serialized) field, so the
+        # derived instance is built with ``replace`` instead of mutating a
+        # frozen value after the fact.
+        return replace(cls.from_dict(data), spec_dir=str(path.parent.resolve()))
 
 
 def _yaml():

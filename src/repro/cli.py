@@ -1,6 +1,6 @@
 """Command-line interface for the Faro reproduction.
 
-Eight subcommands cover the workflows a user reaches for first:
+Nine subcommands cover the workflows a user reaches for first:
 
 - ``run``      -- one policy on one paper scenario, or (with ``--spec``)
   a whole declarative experiment file driven through ``repro.api.run``.
@@ -19,6 +19,9 @@ Eight subcommands cover the workflows a user reaches for first:
   workload mixes.
 - ``forecast`` -- train a workload forecaster and report its rolling
   prediction quality (the §3.5 workflow).
+- ``lint``     -- run the ``repro.analysis`` static passes (determinism,
+  ordered iteration, frozen-spec mutation, registry contract, spawn
+  safety, perf-gate drift) over the source tree; the pre-PR gate.
 
 Installed as the ``repro-faro`` console script; also runnable via
 ``python -m repro.cli``.
@@ -553,7 +556,7 @@ def _cmd_scenarios_build(args: argparse.Namespace) -> int:
     if args.spec:
         spec = api.ExperimentSpec.from_file(args.spec)
         scenario_specs = list(spec.scenarios)
-        search_dir = getattr(spec, "spec_dir", None)
+        search_dir = spec.spec_dir
     elif args.name:
         scenario_specs = [
             api.ScenarioSpec(kind=args.name, params=_scenario_cli_params(args))
@@ -793,6 +796,86 @@ def _cmd_forecast(args: argparse.Namespace) -> int:
     return 0
 
 
+# -------------------------------------------------------------------- lint
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import (
+        Baseline,
+        find_project_root,
+        get_pass_registry,
+        run_analysis,
+    )
+
+    registry = get_pass_registry()
+    if args.list:
+        width = max((len(info.name) for info in registry), default=0)
+        for info in registry:
+            print(f"{info.name:<{width}}  [{info.scope:<7}] {info.description}")
+        return 0
+
+    paths = list(args.paths)
+    root = find_project_root(paths or [Path.cwd()])
+    if not paths:
+        paths = [root / "src" if root and (root / "src").is_dir() else Path("src")]
+
+    select = None
+    if args.select:
+        select = [name.strip() for name in args.select.split(",") if name.strip()]
+        unknown = [name for name in select if name not in registry]
+        if unknown:
+            print(f"error: unknown pass(es): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None and root is not None:
+        candidate = root / "tools" / "lint_baseline.json"
+        if candidate.exists():
+            baseline_path = candidate
+    baseline = None
+    if (
+        baseline_path is not None
+        and Path(baseline_path).exists()
+        and not args.write_baseline
+    ):
+        try:
+            baseline = Baseline.load(Path(baseline_path))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        report = run_analysis(
+            paths,
+            root=root,
+            select=select,
+            baseline=baseline,
+            changed_base=args.base if args.changed else None,
+        )
+    except (FileNotFoundError, RuntimeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = Path(baseline_path) if baseline_path else Path("tools/lint_baseline.json")
+        Baseline.from_findings(
+            report.findings,
+            justification=(
+                "grandfathered by --write-baseline; replace with a real reason"
+            ),
+        ).save(target)
+        print(f"wrote {len(report.findings)} baseline entr(y|ies) to {target}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
+
+
 # -------------------------------------------------------------------- main
 
 
@@ -937,6 +1020,45 @@ def build_parser() -> argparse.ArgumentParser:
     forecast.add_argument("--horizon", type=int, default=8, help="prediction horizon (minutes)")
     forecast.add_argument("--seed", type=int, default=0)
     forecast.set_defaults(func=_cmd_forecast)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check determinism + registry contracts (repro.analysis)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repo's src/)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        help="grandfather-list JSON (default: tools/lint_baseline.json when present)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit",
+    )
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed since the merge-base with --base",
+    )
+    lint.add_argument(
+        "--base", default="main", help="git ref for --changed (default: main)"
+    )
+    lint.add_argument(
+        "--select", help="comma-separated pass ids to run (default: all)"
+    )
+    lint.add_argument(
+        "--list", action="store_true", help="list registered passes and exit"
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,73 @@
+"""Meta-test: the linter's own verdict on this repository is part of tier-1.
+
+``repro-faro lint`` guards the byte-identity invariant statically; this
+suite pins that the shipped tree is clean modulo the checked-in baseline
+(``tools/lint_baseline.json``), that the baseline carries no stale
+entries, and that the lint exit path agrees with the library verdict.
+A finding here means a real rule violation landed in src/ -- fix it (or,
+for a deliberate exception, suppress it inline with a written reason);
+do not grow the baseline casually.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, run_analysis
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "tools" / "lint_baseline.json"
+
+pytestmark = pytest.mark.lint
+
+
+@pytest.fixture(scope="module")
+def report():
+    baseline = Baseline.load(BASELINE_PATH) if BASELINE_PATH.exists() else None
+    return run_analysis(
+        [REPO_ROOT / "src"], root=REPO_ROOT, baseline=baseline
+    )
+
+
+def test_src_is_clean_modulo_baseline(report):
+    assert report.ok, "\n" + report.format_text()
+
+
+def test_baseline_has_no_stale_entries(report):
+    assert report.stale_baseline == [], (
+        "baseline entries no longer match any finding; "
+        "remove them from tools/lint_baseline.json"
+    )
+
+
+def test_every_builtin_pass_ran(report):
+    assert set(report.passes) == {
+        "determinism",
+        "ordered-iteration",
+        "frozen-mutation",
+        "registry-contract",
+        "spawn-safety",
+        "perf-gate",
+    }
+    assert report.files > 50  # the whole src tree, not a stray subset
+
+
+def test_support_trees_are_clean_too():
+    # Benches, tools, and examples feed baselines and docs; hold them to
+    # the same bar (they carry no baseline of their own).
+    for tree in ("tools", "benchmarks", "examples"):
+        path = REPO_ROOT / tree
+        if not path.exists():
+            continue
+        report = run_analysis([path], root=REPO_ROOT)
+        assert report.ok, f"{tree}/ has lint findings:\n" + report.format_text()
+
+
+def test_cli_gate_agrees(capsys):
+    code = cli_main(
+        ["lint", "--baseline", str(BASELINE_PATH), str(REPO_ROOT / "src")]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "OK:" in out

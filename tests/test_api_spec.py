@@ -220,3 +220,47 @@ class TestValidation:
         )
         assert spec.trials == 3
         assert [p.name for p in spec.policies] == ["aiad", "mark"]
+
+
+# ----------------------------------------------------- spec_dir provenance
+
+
+class TestSpecDirProvenance:
+    """spec_dir: load-time provenance that must survive spec derivation.
+
+    Regression tests for a defect the ``frozen-mutation`` lint pass found:
+    ``spec_dir`` used to be a non-field attribute smuggled onto frozen
+    specs via ``object.__setattr__``, so any ``dataclasses.replace``-derived
+    spec silently dropped it (``lower()`` carried a manual re-copy as a
+    workaround).  As a declared ``compare=False`` field it now survives
+    ``replace`` automatically while staying out of ``to_dict``, equality,
+    and digests.
+    """
+
+    def test_from_file_records_origin_dir(self, tmp_path, small_spec):
+        path = small_spec.to_file(tmp_path / "spec.json")
+        loaded = ExperimentSpec.from_file(path)
+        assert loaded.spec_dir == str(tmp_path.resolve())
+
+    def test_programmatic_spec_has_no_spec_dir(self, small_spec):
+        assert small_spec.spec_dir is None
+
+    def test_replace_preserves_spec_dir(self, tmp_path, small_spec):
+        import dataclasses
+
+        loaded = ExperimentSpec.from_file(small_spec.to_file(tmp_path / "s.json"))
+        derived = dataclasses.replace(loaded, trials=loaded.trials + 1)
+        assert derived.spec_dir == loaded.spec_dir == str(tmp_path.resolve())
+
+    def test_lower_preserves_spec_dir(self, tmp_path, small_spec):
+        loaded = ExperimentSpec.from_file(small_spec.to_file(tmp_path / "s.json"))
+        assert loaded.lower().spec_dir == str(tmp_path.resolve())
+
+    def test_spec_dir_excluded_from_serialization(self, tmp_path, small_spec):
+        loaded = ExperimentSpec.from_file(small_spec.to_file(tmp_path / "s.json"))
+        assert "spec_dir" not in loaded.to_dict()
+        assert loaded.to_dict() == small_spec.to_dict()
+
+    def test_spec_dir_excluded_from_equality(self, tmp_path, small_spec):
+        loaded = ExperimentSpec.from_file(small_spec.to_file(tmp_path / "s.json"))
+        assert loaded == small_spec

@@ -37,6 +37,11 @@ Run next to the tier-1 verify command:
     PYTHONPATH=src python -m pytest -x -q          # correctness
     PYTHONPATH=src python tools/check_perf.py      # performance
 
+Before any bench runs, the gate fails (exit 1) if a ``results/BENCH_*.json``
+baseline exists that no ``benchmarks/bench_*.py`` module references: a
+baseline whose bench was deleted gates nothing, and the regression it was
+pinning can silently return.
+
 Exit codes: 0 = within tolerance, 1 = regression, 2 = bad invocation.
 ``--write`` refreshes the baseline files with the new measurements (do
 this deliberately, on the machine class the baselines describe).  The
@@ -64,6 +69,36 @@ def _ensure_import_paths() -> None:
     for entry in (REPO_ROOT, REPO_ROOT / "src"):
         if str(entry) not in sys.path:
             sys.path.insert(0, str(entry))
+
+
+def find_unpaired_baselines(
+    results_dir: Path, bench_dir: Path
+) -> list[tuple[Path, str]]:
+    """``results/BENCH_*.json`` files no ``benchmarks/bench_*.py`` emits.
+
+    A baseline whose bench module was deleted or renamed gates nothing --
+    the regression it was pinning can silently return.  Pairing is by
+    reference: a baseline is owned as soon as any bench module's text
+    mentions its file name.  Returns ``(baseline_path, hint)`` pairs; an
+    empty list means every baseline still has an emitting bench.  (The
+    inverse direction -- a bench whose baseline check_perf.py never reads
+    -- is the ``perf-gate`` pass in ``repro.analysis``.)
+    """
+    bench_texts = [
+        p.read_text() for p in sorted(bench_dir.glob("bench_*.py")) if p.is_file()
+    ]
+    unpaired: list[tuple[Path, str]] = []
+    for baseline in sorted(results_dir.glob("BENCH_*.json")):
+        if any(baseline.name in text for text in bench_texts):
+            continue
+        unpaired.append(
+            (
+                baseline,
+                f"no {bench_dir.name}/bench_*.py references {baseline.name}; "
+                "restore the bench module or delete the stale baseline",
+            )
+        )
+    return unpaired
 
 
 def load_baseline(path: Path) -> dict[tuple[str, int], dict]:
@@ -469,6 +504,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.tolerance < 0:
         print("error: tolerance must be >= 0", file=sys.stderr)
         return 2
+    unpaired = find_unpaired_baselines(
+        REPO_ROOT / "results", REPO_ROOT / "benchmarks"
+    )
+    if unpaired:
+        for baseline, hint in unpaired:
+            print(
+                f"error: orphaned baseline {baseline.relative_to(REPO_ROOT)}: "
+                f"{hint}",
+                file=sys.stderr,
+            )
+        return 1
     if not args.baseline.exists():
         print(
             f"error: baseline {args.baseline} not found; run the bench once "

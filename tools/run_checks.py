@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Pre-PR umbrella gate: tier-1 tests, perf gates, and the static linter.
+
+One command runs everything a PR must keep green, in the order that fails
+fastest:
+
+1. ``repro-faro lint src tools benchmarks examples`` -- static passes
+   (determinism, ordered iteration, frozen-spec mutation, registry
+   contract, spawn safety, perf-gate drift), seconds;
+2. ``PYTHONPATH=src python -m pytest -x -q`` -- the tier-1 suite;
+3. ``PYTHONPATH=src python tools/check_perf.py`` -- the perf gates
+   (skippable with ``--skip-perf`` on machines whose wall-clock the
+   checked-in baselines do not describe).
+
+Every step runs even after an earlier one fails (so one invocation shows
+the full damage); the exit code is 0 only when all of them passed.
+
+    PYTHONPATH=src python tools/run_checks.py            # the full gate
+    PYTHONPATH=src python tools/run_checks.py --skip-perf
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = ["CheckStep", "build_steps", "main"]
+
+
+@dataclass(frozen=True)
+class CheckStep:
+    """One gate: a name and the argv to run from the repo root."""
+
+    name: str
+    argv: tuple[str, ...]
+
+
+def build_steps(
+    *,
+    skip_perf: bool = False,
+    skip_tests: bool = False,
+    lint_changed: bool = False,
+) -> list[CheckStep]:
+    """The gate sequence, cheapest first.  Pure -- easy to test."""
+    python = sys.executable or "python"
+    lint_argv = [python, "-m", "repro.cli", "lint"]
+    if lint_changed:
+        lint_argv.append("--changed")
+    lint_argv += ["src", "tools", "benchmarks", "examples"]
+    steps = [CheckStep(name="lint", argv=tuple(lint_argv))]
+    if not skip_tests:
+        steps.append(
+            CheckStep(name="tests", argv=(python, "-m", "pytest", "-x", "-q"))
+        )
+    if not skip_perf:
+        steps.append(
+            CheckStep(name="perf", argv=(python, str(Path("tools") / "check_perf.py")))
+        )
+    return steps
+
+
+def run_steps(steps: list[CheckStep], *, cwd: Path = REPO_ROOT) -> int:
+    env = dict(os.environ)
+    src = str(cwd / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    failures: list[str] = []
+    for step in steps:
+        print(f"==> {step.name}: {' '.join(step.argv)}")
+        start = time.perf_counter()
+        code = subprocess.run(list(step.argv), cwd=cwd, env=env).returncode
+        elapsed = time.perf_counter() - start
+        status = "ok" if code == 0 else f"FAILED (exit {code})"
+        print(f"<== {step.name}: {status} in {elapsed:.1f}s\n")
+        if code != 0:
+            failures.append(step.name)
+    if failures:
+        print(f"FAIL: {', '.join(failures)} -- fix before opening the PR")
+        return 1
+    print(f"OK: all {len(steps)} check(s) passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--skip-perf",
+        action="store_true",
+        help="skip tools/check_perf.py (wall-clock baselines are machine-bound)",
+    )
+    parser.add_argument(
+        "--skip-tests", action="store_true", help="skip the tier-1 pytest suite"
+    )
+    parser.add_argument(
+        "--lint-changed",
+        action="store_true",
+        help="lint only files changed since the merge-base with main",
+    )
+    args = parser.parse_args(argv)
+    steps = build_steps(
+        skip_perf=args.skip_perf,
+        skip_tests=args.skip_tests,
+        lint_changed=args.lint_changed,
+    )
+    return run_steps(steps)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
