@@ -18,6 +18,7 @@ per-table/per-figure reproduction harness.
 """
 
 from repro.core.autoscaler import FaroAutoscaler, FaroConfig, JobSpec, PersistencePredictor
+from repro.core.batched_solver import PGDOptions
 from repro.core.decentralized import DecentralizedFaro, RebalanceConfig
 from repro.core.hybrid import HybridAutoscaler, ReactiveConfig
 from repro.core.objectives import ClusterObjective, make_objective
@@ -65,6 +66,7 @@ __all__ = [
     "ClusterCapacity",
     "Allocation",
     "solve_allocation",
+    "PGDOptions",
     "FaroAutoscaler",
     "FaroConfig",
     "JobSpec",

@@ -133,10 +133,13 @@ class FaroOptions:
     """Options shared by every Faro variant.
 
     ``faro`` holds :class:`FaroConfig` field overrides (the spec-file
-    counterpart of the old ``faro_overrides`` argument).  ``hybrid=False``
-    drops the short-term reactive path (long-term optimizer only);
-    ``use_trained_predictor=False`` falls back to the persistence
-    predictor.
+    counterpart of the old ``faro_overrides`` argument) -- e.g.
+    ``{"solver": "pgd", "solver_options": {"maxiter": 40}}`` selects the
+    batched first-order solver with method-specific knobs
+    (:class:`~repro.core.batched_solver.PGDOptions` fields).
+    ``hybrid=False`` drops the short-term reactive path (long-term
+    optimizer only); ``use_trained_predictor=False`` falls back to the
+    persistence predictor.
     """
 
     hybrid: bool = True

@@ -9,6 +9,10 @@ Layout:
   their plateau-free relaxations (§3.3-§3.4).
 - :mod:`repro.core.optimizer` -- precise and relaxed cluster optimization,
   solver wrappers and integer post-processing (§3.4).
+- :mod:`repro.core.interp` -- the batched table-interpolation kernel
+  (numpy reference + optional bit-identical numba JIT).
+- :mod:`repro.core.batched_solver` -- batched first-order solver
+  (projected gradient ascent, ``method="pgd"``).
 - :mod:`repro.core.hierarchical` -- grouped (hierarchical) optimization (§3.4).
 - :mod:`repro.core.autoscaler` -- the three-stage multi-tenant autoscaler (§4).
 - :mod:`repro.core.hybrid` -- hybrid long-term predictive + short-term
@@ -34,6 +38,7 @@ from repro.core.optimizer import (
     solve_allocation,
     warm_start_vector,
 )
+from repro.core.batched_solver import PGDOptions, solve_pgd
 from repro.core.hierarchical import solve_hierarchical
 from repro.core.autoscaler import FaroAutoscaler, FaroConfig
 from repro.core.hybrid import HybridAutoscaler, ReactiveConfig
@@ -61,6 +66,8 @@ __all__ = [
     "warm_start_vector",
     "UtilityTableCache",
     "DEFAULT_TABLE_CACHE",
+    "PGDOptions",
+    "solve_pgd",
     "solve_hierarchical",
     "FaroAutoscaler",
     "FaroConfig",

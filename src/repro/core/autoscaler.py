@@ -98,6 +98,13 @@ class FaroConfig:
 
     objective: str = "fairsum"
     solver: str = "cobyla"
+    #: Method-specific solver knobs forwarded to
+    #: :func:`~repro.core.optimizer.solve_allocation` -- e.g. with
+    #: ``solver="pgd"``, ``{"maxiter": 40, "multi_start": False}``
+    #: (:class:`~repro.core.batched_solver.PGDOptions` fields).  Spec files
+    #: set this through the ``faro`` options block; non-empty options with a
+    #: solver that takes none raise at solve time so typos fail loudly.
+    solver_options: dict | None = None
     period: float = 300.0
     horizon_steps: int = 7
     step_seconds: float = 60.0
@@ -247,6 +254,7 @@ class FaroAutoscaler(AutoscalePolicy):
                 maxiter=cfg.maxiter,
                 seed=int(self._rng.integers(2**31)),
                 table_cache=self.table_cache,
+                solver_options=cfg.solver_options,
             )
             return result.allocation, problem
         # Warm start from the previous cycle's (post-shrink) allocation when
@@ -265,6 +273,7 @@ class FaroAutoscaler(AutoscalePolicy):
             x0=x0,
             maxiter=cfg.maxiter,
             seed=int(self._rng.integers(2**31)),
+            solver_options=cfg.solver_options,
         )
         return allocation, problem
 
@@ -357,4 +366,5 @@ def replace_allocation(
         solve_time=allocation.solve_time,
         nfev=allocation.nfev,
         method=allocation.method,
+        post_nfev=allocation.post_nfev,
     )

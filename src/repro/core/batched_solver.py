@@ -1,0 +1,441 @@
+"""Batched first-order allocation solver: projected gradient ascent (PGD).
+
+Why this exists (ROADMAP item 1): the planner hot loop is solver-bound, not
+model-bound.  COBYLA's pure-Python trust-region algebra costs ~1-12 ms per
+iteration at >= 50 jobs and iterates one scalar evaluation at a time, so flat
+solves hit a wall around a few hundred jobs (79 s converged at 200 jobs,
+633 s at 500).  Every expensive quantity the solver needs, however, is
+available *batched*: :meth:`~repro.core.optimizer.AllocationProblem.evaluate_many`
+scores a whole candidate matrix in one numpy pass, and
+:meth:`~repro.core.optimizer.AllocationProblem.evaluate_perturbed` scores all
+``n`` single-coordinate perturbations of a point from just two table
+interpolation rows.  This module rebuilds the local search around those
+primitives:
+
+- **Finite-difference gradient, one pass per iterate.**  The forward/backward
+  difference at step ``fd_step`` (backward at upper bounds) is exactly one
+  ``evaluate_perturbed`` call -- all ``n`` coordinates at once, no per-job
+  Python loop.
+- **Projection instead of penalty.**  Iterates stay feasible via the exact
+  affine projection :func:`~repro.core.optimizer._project_into_capacity`
+  (box + CPU/memory capacity), so there is no constraint bookkeeping in the
+  inner loop at all.
+- **Multi-start.**  Ascent runs from the fair-share default start, a
+  demand-proportional start, and the caller's warm start when given; all
+  starts share each iteration's batched line search, and after
+  ``prune_after`` iterations only the best survivor continues.
+- **Batched line search.**  Each active start proposes three projected
+  candidates (``0.5x / 1x / 2x`` the current step); the whole candidate
+  block is scored with one ``evaluate_many``.  Steps grow on success and
+  shrink on failure; a start deactivates when its step underflows
+  ``min_step``.
+- **Integer snap.**  The continuous optimum is floored and greedily
+  re-filled in gain-sorted *batches* (``evaluate_perturbed`` scan, several
+  adds per scan), so the shared one-at-a-time rounding in
+  :func:`~repro.core.optimizer._round_allocation` -- which must stay
+  byte-identical for the COBYLA digest pins -- has almost nothing left to do
+  at 1000+ jobs.
+
+Drop rates are *not* continuous variables here: for penalty objectives PGD
+optimizes replicas at zero drop and leaves drops to the shared grid
+refinement (:func:`~repro.core.optimizer._optimize_drops`), which is where
+the paper's drop decisions are actually quantized anyway.
+
+The solver is deterministic (no RNG) and is registered as ``method="pgd"``
+in :func:`~repro.core.optimizer.solve_allocation`; select it from policy
+specs via ``FaroConfig(solver="pgd", solver_options={...})``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.core.optimizer import (
+    AllocationProblem,
+    EvalCounter,
+    _can_add_mask,
+    _default_start,
+    _greedy_phase1,
+    _optimize_drops,
+    _project_into_capacity,
+)
+
+__all__ = ["PGDOptions", "solve_pgd"]
+
+#: Step multipliers tried per line-search round (shrink / hold / grow).
+_STEP_FACTORS = (0.5, 1.0, 2.0)
+
+
+@dataclass(frozen=True)
+class PGDOptions:
+    """Knobs for :func:`solve_pgd`; all have scale-free defaults.
+
+    ``maxiter`` bounds gradient iterations (each is one batched
+    finite-difference pass per active start -- a different unit from COBYLA
+    iterations).  ``fd_step`` is the finite-difference step in replicas;
+    ``step0``/``max_step``/``min_step`` govern the adaptive step length
+    (shrink x0.25 on failure, grow x2 on success, deactivate below
+    ``min_step``).  ``tol`` is the minimum objective improvement that counts
+    as progress.  ``multi_start=False`` drops the extra starts, leaving only
+    the fair-share default (and any warm start); ``greedy_start=False``
+    keeps multi-start but skips the greedy phase-1 fill, which doubles as
+    the quality anchor guaranteeing the result is never worse than greedy
+    phase-1 -- disable it on huge problems to skip phase-1's
+    one-replica-per-round loop at the price of that guarantee.  After
+    ``prune_after`` iterations, only the best start continues.  ``snap=False``
+    returns the raw continuous optimum and leaves all integerization to the
+    shared rounding; ``snap_batch`` divides the job count to size the
+    per-scan batch of greedy adds (larger divisor = smaller batches =
+    closer to exact one-at-a-time greedy).
+    """
+
+    maxiter: int = 60
+    fd_step: float = 0.5
+    step0: float = 2.0
+    max_step: float = 64.0
+    min_step: float = 1e-3
+    #: Finite-difference step and initial step length for the drop block
+    #: (penalty objectives only); drops live in [0, drop_grid[-1]], so both
+    #: are an order of magnitude below their replica counterparts.
+    drop_fd_step: float = 0.05
+    drop_step0: float = 0.1
+    tol: float = 1e-9
+    multi_start: bool = True
+    greedy_start: bool = True
+    prune_after: int = 10
+    snap: bool = True
+    snap_batch: int = 64
+
+    def __post_init__(self) -> None:
+        if self.maxiter < 1:
+            raise ValueError(f"maxiter must be >= 1, got {self.maxiter}")
+        if self.fd_step <= 0:
+            raise ValueError(f"fd_step must be positive, got {self.fd_step}")
+        if self.step0 <= 0 or self.max_step <= 0 or self.min_step <= 0:
+            raise ValueError("step0, max_step and min_step must be positive")
+        if self.drop_fd_step <= 0 or self.drop_step0 <= 0:
+            raise ValueError("drop_fd_step and drop_step0 must be positive")
+        if self.tol < 0:
+            raise ValueError(f"tol must be >= 0, got {self.tol}")
+        if self.prune_after < 1:
+            raise ValueError(f"prune_after must be >= 1, got {self.prune_after}")
+        if self.snap_batch < 1:
+            raise ValueError(f"snap_batch must be >= 1, got {self.snap_batch}")
+
+
+def _coerce_options(options: "PGDOptions | dict | None") -> PGDOptions:
+    if options is None:
+        return PGDOptions()
+    if isinstance(options, PGDOptions):
+        return options
+    known = {f.name for f in fields(PGDOptions)}
+    unknown = sorted(set(options) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown pgd solver option(s) {unknown}; known options: {sorted(known)}"
+        )
+    return PGDOptions(**options)
+
+
+def _demand_start(problem: AllocationProblem) -> np.ndarray:
+    """Demand-proportional start: CPUs split by mean offered load, projected.
+
+    Offered load is ``mean(rates) * proc_time`` busy-servers per job -- the
+    fluid-limit replica demand -- so jobs that need 10x the service capacity
+    start with 10x the replicas instead of the fair share.  On skewed-rate
+    problems this start is frequently already near the basin the fair-share
+    start takes many iterations to reach.
+    """
+    load = np.array([float(np.mean(j.rates)) * j.proc_time for j in problem.jobs])
+    load = np.maximum(load, 1e-9)
+    cpus = np.maximum(problem._cpu_vec, 1e-9)
+    x = load / load.sum() * problem.capacity.cpus / cpus
+    return _project_into_capacity(problem, x)
+
+
+def _knee_start(problem: AllocationProblem) -> np.ndarray:
+    """Priority-density knee fill: serve whole jobs, not fractional ones.
+
+    Utility curves in this model are near-sigmoid in the replica count:
+    flat while the job cannot serve its load, then saturating sharply at a
+    per-job knee.  That gives the objective an assignment structure --
+    allocations that fully serve a subset of jobs sit in separate basins,
+    and gradient ascent cannot cross the low-utility valley between
+    "job i saturated" and "job j saturated".  This start picks a basin
+    combinatorially: read each job's knee (smallest replica count reaching
+    95% of its peak zero-drop table utility) straight from the already
+    materialised utility tables, then fill jobs to their knees in
+    descending priority-utility-per-CPU order until capacity runs out.
+    Costs O(n) table reads and no objective evaluations.
+    """
+    n = problem.num_jobs
+    x = problem._mins_vec.astype(float)
+    knees = np.empty(n, dtype=int)
+    density = np.zeros(n)
+    for j in range(n):
+        col = problem._tables[j][:, 0]
+        peak = float(col.max())
+        knee = int(np.argmax(col >= 0.95 * peak)) if peak > 0.0 else 0
+        knees[j] = max(knee, int(x[j]))
+        cost = max(float(problem._cpu_vec[j]) * knees[j], 1e-9)
+        density[j] = problem._priorities_vec[j] * peak / cost
+    cap = problem.capacity
+    cpu_now = float(problem.cpu_usage(x))
+    mem_now = float(problem.mem_usage(x))
+    for j in np.argsort(-density, kind="stable"):
+        extra = float(knees[j] - x[j])
+        if extra <= 0.0:
+            continue
+        # Fractional-knapsack fill: when the full knee no longer fits,
+        # take what room is left rather than skipping the job -- a partial
+        # fill of a dense job beats a full fill of a sparser one, and the
+        # ascent polishes the fractional tail anyway.
+        if problem._cpu_vec[j] > 0:
+            extra = min(extra, (cap.cpus - cpu_now) / problem._cpu_vec[j])
+        if problem._mem_vec[j] > 0:
+            extra = min(extra, (cap.mem - mem_now) / problem._mem_vec[j])
+        if extra <= 0.0:
+            continue
+        x[j] += extra
+        cpu_now += extra * problem._cpu_vec[j]
+        mem_now += extra * problem._mem_vec[j]
+    return _project_into_capacity(problem, x)
+
+
+def _snap_to_integers(
+    problem: AllocationProblem, x: np.ndarray, counter: EvalCounter, opts: PGDOptions
+) -> np.ndarray:
+    """Floor the continuous optimum and greedily re-fill capacity in batches.
+
+    Same floor rule and stopping condition as the shared
+    :func:`~repro.core.optimizer._round_allocation`, but each
+    ``evaluate_perturbed`` scan commits up to ``max(1, n // snap_batch)``
+    adds in descending-gain order (re-checking capacity incrementally), so
+    filling the post-floor deficit costs ``O(snap_batch)`` scans instead of
+    one scan per replica.  Any residual single-add improvement is picked up
+    by the shared rounding pass that follows -- which then terminates after
+    a single scan.
+    """
+    n = problem.num_jobs
+    mins = problem._mins_vec
+    ints = np.clip(np.floor(x + 1e-9).astype(int), mins, problem.max_replicas)
+    cap = problem.capacity
+    cpu_vec, mem_vec = problem._cpu_vec, problem._mem_vec
+    per_scan = max(1, n // opts.snap_batch)
+    while True:
+        can_add = _can_add_mask(problem, ints)
+        if not can_add.any():
+            break
+        base, scores = problem.evaluate_perturbed(ints.astype(float), 1.0)
+        counter.add(n + 1)
+        gains = np.where(can_add, scores - base, -np.inf)
+        order = np.argsort(-gains, kind="stable")
+        cpu_now = problem.cpu_usage(ints)
+        mem_now = problem.mem_usage(ints)
+        added = 0
+        for j in order:
+            if added >= per_scan or gains[j] <= 1e-12:
+                break
+            if ints[j] >= problem.max_replicas[j]:
+                continue
+            if (
+                cpu_now + cpu_vec[j] > cap.cpus + 1e-9
+                or mem_now + mem_vec[j] > cap.mem + 1e-9
+            ):
+                continue
+            ints[j] += 1
+            cpu_now += cpu_vec[j]
+            mem_now += mem_vec[j]
+            added += 1
+        if added == 0:
+            break
+    return ints
+
+
+def solve_pgd(
+    problem: AllocationProblem,
+    x0: np.ndarray | None = None,
+    options: "PGDOptions | dict | None" = None,
+) -> tuple[np.ndarray, float, int]:
+    """Projected gradient ascent over the relaxed allocation problem.
+
+    Returns ``(replicas, value, nfev)``: the (integer-snapped, unless
+    ``snap=False``) replica vector, its objective value at zero drops, and
+    the number of evaluation rows spent.  ``x0`` may be a full solver vector
+    (drop variables, if any, are ignored) or a replica vector; it joins the
+    multi-start set after projection.
+    """
+    opts = _coerce_options(options)
+    n = problem.num_jobs
+    maxs = problem.max_replicas.astype(float)
+    counter = EvalCounter()
+
+    uses_drops = problem.objective.uses_drops
+    dmax = float(problem.drop_grid[-1]) if uses_drops else 0.0
+
+    starts = [_default_start(problem)[:n]]
+    drop_seeds = [np.zeros(n)]
+    if opts.multi_start:
+        starts.append(_demand_start(problem))
+        drop_seeds.append(np.zeros(n))
+        starts.append(_knee_start(problem))
+        drop_seeds.append(np.zeros(n))
+    anchor = None
+    anchor_idx = -1
+    if opts.multi_start and opts.greedy_start:
+        # Exact greedy phase-1 fill: both an ascent start and the quality
+        # anchor -- the returned point is guaranteed no worse than it.
+        anchor = _greedy_phase1(problem, counter).astype(float)
+        anchor_idx = len(starts)
+        starts.append(anchor)
+        drop_seeds.append(np.zeros(n))
+    if uses_drops and opts.multi_start:
+        # At a zero-drop point the drop gradient is dominated by the
+        # penalty term: shedding load only pays off after the freed
+        # capacity is reallocated, which a first-order step cannot see.
+        # A start on the far side of that saddle -- everything dropped --
+        # lets the ascent walk drops *down* per job while reshaping
+        # replicas around the jobs that keep their drops.
+        starts.append(_default_start(problem)[:n])
+        drop_seeds.append(np.full(n, dmax))
+    if x0 is not None:
+        warm = _project_into_capacity(problem, np.asarray(x0, dtype=float)[:n])
+        warm_drops = np.zeros(n)
+        if uses_drops and np.asarray(x0).shape[0] == 2 * n:
+            # A full warm-start vector seeds the warm start's drop block too.
+            warm_drops = np.clip(np.asarray(x0, dtype=float)[n:], 0.0, dmax)
+        if not any(
+            np.array_equal(warm, s) and np.array_equal(warm_drops, d)
+            for s, d in zip(starts, drop_seeds)
+        ):
+            starts.append(warm)
+            drop_seeds.append(warm_drops)
+    X = np.stack(starts)
+    m = X.shape[0]
+    D = np.stack(drop_seeds)
+    f = problem.evaluate_many(X, D)
+    counter.add(m)
+    anchor_value = float(f[anchor_idx]) if anchor is not None else None
+    if x0 is not None and np.array_equal(warm, np.round(warm)):
+        # An integral warm start (e.g. the previous planning round's
+        # allocation) doubles as a snap fallback: re-solving from a known
+        # solution must never return something worse than that solution.
+        warm_value = problem.evaluate(warm)
+        counter.add(1)
+        if anchor_value is None or warm_value > anchor_value:
+            anchor, anchor_value = warm.copy(), warm_value
+    step = np.full(m, opts.step0)
+    dstep = np.full(m, opts.drop_step0)
+    active = np.ones(m, dtype=bool)
+
+    for it in range(opts.maxiter):
+        if it == opts.prune_after and int(active.sum()) > 1:
+            survivor = int(np.argmax(f))
+            active[:] = False
+            active[survivor] = True
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            break
+        # One structured finite-difference pass per active start and
+        # variable block: forward step except at the upper bound, where the
+        # difference is backward.  Penalty objectives get a second pass for
+        # the drop block, so the ascent sees replica/drop trade-offs (e.g.
+        # shedding load instead of scaling a low-priority job).
+        r_dirs: dict[int, np.ndarray] = {}
+        d_dirs: dict[int, np.ndarray] = {}
+        for s in idx:
+            h = np.where(X[s] + opts.fd_step <= maxs, opts.fd_step, -opts.fd_step)
+            base, scores = problem.evaluate_perturbed(X[s], h, D[s])
+            counter.add(n + 1)
+            grad = (scores - base) / h
+            gmax = float(np.max(np.abs(grad)))
+            dgmax = 0.0
+            if uses_drops:
+                hd = np.where(
+                    D[s] + opts.drop_fd_step <= dmax,
+                    opts.drop_fd_step,
+                    -opts.drop_fd_step,
+                )
+                dbase, dscores = problem.evaluate_perturbed(
+                    X[s], hd, D[s], axis="drops"
+                )
+                counter.add(n + 1)
+                dgrad = (dscores - dbase) / hd
+                dgmax = float(np.max(np.abs(dgrad)))
+            if gmax <= opts.tol and dgmax <= opts.tol:
+                active[s] = False
+                continue
+            r_dirs[int(s)] = grad / gmax if gmax > opts.tol else np.zeros(n)
+            if uses_drops:
+                d_dirs[int(s)] = dgrad / dgmax if dgmax > opts.tol else np.zeros(n)
+        live = [int(s) for s in idx if active[s]]
+        if not live:
+            break
+        # Batched line search: every candidate of every active start in one
+        # evaluate_many call; the drop block moves with its own step scale.
+        cands = np.stack(
+            [
+                _project_into_capacity(problem, X[s] + step[s] * fac * r_dirs[s])
+                for s in live
+                for fac in _STEP_FACTORS
+            ]
+        )
+        if uses_drops:
+            dcands = np.stack(
+                [
+                    np.clip(D[s] + dstep[s] * fac * d_dirs[s], 0.0, dmax)
+                    for s in live
+                    for fac in _STEP_FACTORS
+                ]
+            )
+        else:
+            dcands = np.zeros_like(cands)
+        values = problem.evaluate_many(cands, dcands)
+        counter.add(cands.shape[0])
+        for a, s in enumerate(live):
+            block = slice(a * len(_STEP_FACTORS), (a + 1) * len(_STEP_FACTORS))
+            vals = values[block]
+            best = int(np.argmax(vals))
+            if vals[best] > f[s] + opts.tol:
+                X[s] = cands[block][best]
+                D[s] = dcands[block][best]
+                f[s] = vals[best]
+                step[s] = min(step[s] * _STEP_FACTORS[best], opts.max_step)
+                if uses_drops:
+                    dstep[s] = min(dstep[s] * _STEP_FACTORS[best], max(dmax, opts.drop_step0))
+            else:
+                step[s] *= 0.25
+                dstep[s] *= 0.25
+                if step[s] < opts.min_step:
+                    active[s] = False
+
+    best = int(np.argmax(f))
+    z, value = X[best], float(f[best])
+    if opts.snap:
+        ints = _snap_to_integers(problem, z, counter, opts)
+        z = ints.astype(float)
+        value = problem.evaluate(z)
+        counter.add(1)
+        if anchor_value is not None and anchor_value > value:
+            if uses_drops:
+                # Zero-drop scores under-sell a drop-shaped allocation, so
+                # compare both candidates *after* the same grid refinement
+                # the shared post-processing will apply; the winner's final
+                # refined value then can never fall below the anchor's.
+                refined_z = _optimize_drops(problem, ints, counter)
+                refined_anchor = _optimize_drops(
+                    problem, anchor.astype(int), counter
+                )
+                value_z = problem.evaluate(z, refined_z)
+                value_a = problem.evaluate(anchor, refined_anchor)
+                counter.add(2)
+                if value_a > value_z:
+                    z, value = anchor.copy(), anchor_value
+            else:
+                # Flooring the continuous optimum can land below the
+                # integer greedy fill; the anchor keeps the guarantee
+                # unconditional.
+                z, value = anchor.copy(), anchor_value
+    return z, value, counter.rows

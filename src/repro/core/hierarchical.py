@@ -206,8 +206,13 @@ def solve_hierarchical(
     refine_moves: int | None = None,
     seed: int | None = None,
     table_cache: UtilityTableCache | None = None,
+    solver_options: dict | None = None,
 ) -> HierarchicalResult:
     """Solve the cluster problem hierarchically with ``groups`` groups.
+
+    ``solver_options`` carries method-specific knobs to every inner
+    :func:`solve_allocation` call (e.g. ``method="pgd"`` accepts the
+    :class:`~repro.core.batched_solver.PGDOptions` fields).
 
     ``groups >= len(jobs)`` degenerates to the flat problem (every job its
     own group), matching the paper's ``G = 1`` baseline semantics where the
@@ -230,7 +235,10 @@ def solve_hierarchical(
             jobs, capacity, objective, relaxed=relaxed, alpha=alpha, rho_max=rho_max,
             table_cache=table_cache,
         )
-        allocation = solve_allocation(problem, method=method, maxiter=maxiter, seed=seed)
+        allocation = solve_allocation(
+            problem, method=method, maxiter=maxiter, seed=seed,
+            solver_options=solver_options,
+        )
         allocation.solve_time = time.perf_counter() - started
         return HierarchicalResult(
             allocation=allocation,
@@ -250,7 +258,8 @@ def solve_hierarchical(
         table_cache=table_cache,
     )
     group_allocation = solve_allocation(
-        group_problem, method=method, maxiter=maxiter, seed=seed
+        group_problem, method=method, maxiter=maxiter, seed=seed,
+        solver_options=solver_options,
     )
 
     replicas = np.zeros(len(jobs), dtype=int)
@@ -292,6 +301,7 @@ def solve_hierarchical(
         solve_time=elapsed,
         nfev=group_allocation.nfev,
         method=f"hier-{method}-G{groups}",
+        post_nfev=group_allocation.post_nfev,
     )
     return HierarchicalResult(
         allocation=allocation,

@@ -64,6 +64,7 @@ from typing import Sequence
 import numpy as np
 from scipy import optimize as sciopt
 
+from repro.core import interp
 from repro.core.objectives import ClusterObjective
 from repro.core.penalty import (
     penalty_multiplier,
@@ -78,6 +79,7 @@ __all__ = [
     "ClusterCapacity",
     "AllocationProblem",
     "Allocation",
+    "EvalCounter",
     "solve_allocation",
     "warm_start_vector",
     "UtilityTableCache",
@@ -166,7 +168,14 @@ class ClusterCapacity:
 
 @dataclass
 class Allocation:
-    """Result of one cluster optimization."""
+    """Result of one cluster optimization.
+
+    ``nfev`` counts evaluation rows spent by the continuous/integer *solver*
+    itself; ``post_nfev`` counts rows spent in shared post-processing
+    (:func:`_round_allocation`'s greedy re-add and :func:`_optimize_drops`'
+    grid sweeps), which historically went unreported and misattributed where
+    planner time goes.  Total solve cost is ``nfev + post_nfev`` rows.
+    """
 
     replicas: np.ndarray
     drops: np.ndarray
@@ -175,9 +184,22 @@ class Allocation:
     solve_time: float
     nfev: int
     method: str
+    post_nfev: int = 0
 
     def as_dict(self, jobs: Sequence[OptimizationJob]) -> dict[str, int]:
         return {job.name: int(r) for job, r in zip(jobs, self.replicas)}
+
+
+class EvalCounter:
+    """Mutable tally of evaluation rows, threaded through post-processing."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self) -> None:
+        self.rows = 0
+
+    def add(self, rows: int) -> None:
+        self.rows += int(rows)
 
 
 # ------------------------------------------------------------- table cache
@@ -342,6 +364,12 @@ class UtilityTableCache:
         """Store ``table`` under ``key``, honouring the size/byte bounds."""
         if self.maxsize == 0 or table.nbytes > self.max_bytes:
             return
+        displaced = self._entries.pop(key, None)
+        if displaced is not None:
+            # Overwrite (reachable via load() on a file with duplicate keys,
+            # or absorb/load races): release the displaced entry's bytes or
+            # _bytes drifts upward and triggers premature LRU eviction.
+            self._bytes -= displaced.nbytes
         self._entries[key] = table
         self._bytes += table.nbytes
         while self._bytes > self.max_bytes or (
@@ -454,6 +482,14 @@ class AllocationProblem:
     ``table_cache`` supplies per-job utility tables (default: the shared
     :data:`DEFAULT_TABLE_CACHE`); see the module docstring for the keying
     and invariance guarantees.
+
+    ``max_replicas_per_job`` optionally caps every job's replica upper bound
+    (still at least its ``min_replicas``).  Without it a job's bound is the
+    whole cluster (``capacity // footprint``), which makes per-job table
+    size -- and hence problem construction -- scale with *cluster* size;
+    with a cap, 1000+-job problems build tables in O(cap) rows per job.
+    ``None`` (the default) preserves the historical uncapped bounds
+    bit-for-bit.
     """
 
     def __init__(
@@ -467,11 +503,17 @@ class AllocationProblem:
         latency_model: str = "mdc",
         drop_grid: Sequence[float] = DEFAULT_DROP_GRID,
         table_cache: UtilityTableCache | None = None,
+        max_replicas_per_job: int | None = None,
     ) -> None:
         if not jobs:
             raise ValueError("at least one job is required")
         if latency_model not in ("mdc", "upper"):
             raise ValueError(f"unknown latency_model {latency_model!r}")
+        if max_replicas_per_job is not None and max_replicas_per_job < 1:
+            raise ValueError(
+                f"max_replicas_per_job must be >= 1, got {max_replicas_per_job}"
+            )
+        self.max_replicas_per_job = max_replicas_per_job
         self.jobs = list(jobs)
         self.capacity = capacity
         self.objective = objective
@@ -550,7 +592,10 @@ class AllocationProblem:
     def _max_replicas_for(self, job: OptimizationJob) -> int:
         by_cpu = int(self.capacity.cpus // job.cpu_per_replica)
         by_mem = int(self.capacity.mem // job.mem_per_replica)
-        return max(job.min_replicas, min(by_cpu, by_mem))
+        bound = min(by_cpu, by_mem)
+        if self.max_replicas_per_job is not None:
+            bound = min(bound, self.max_replicas_per_job)
+        return max(job.min_replicas, bound)
 
     # ------------------------------------------------------------ evaluation
 
@@ -592,31 +637,24 @@ class AllocationProblem:
         """Vectorized bilinear interpolation over a ``(C, n)`` matrix.
 
         Elementwise mirror of :meth:`_interp` (same operation order, so
-        results are bit-for-bit equal to the scalar path).
+        results are bit-for-bit equal to the scalar path).  Delegates to
+        :mod:`repro.core.interp`, which JIT-compiles the gather loop with
+        numba when available (bit-identical to the numpy reference).
         """
         R = np.asarray(replicas, dtype=float)
-        x = np.clip(R, 0.0, self._max_row_f)
-        x_lo = np.floor(x).astype(np.int64)
-        x_hi = np.minimum(x_lo + 1, self.max_replicas)
-        xf = x - x_lo
-        base = self._table_offsets
-        stride = self._table_stride
-        flat = self._flat_tables
-        if stride == 1:
-            lo = flat[base + x_lo]
-            hi = flat[base + x_hi]
-            return (1.0 - xf) * lo + xf * hi
-        grid = self.drop_grid
-        d = np.clip(np.asarray(drops, dtype=float), grid[0], grid[-1])
-        d_hi_idx = np.clip(np.searchsorted(grid, d), 1, grid.shape[0] - 1)
-        d_lo_idx = d_hi_idx - 1
-        span = grid[d_hi_idx] - grid[d_lo_idx]
-        df = np.where(span == 0, 0.0, (d - grid[d_lo_idx]) / np.where(span == 0, 1.0, span))
-        row_lo = base + x_lo * stride
-        row_hi = base + x_hi * stride
-        lo = (1.0 - df) * flat[row_lo + d_lo_idx] + df * flat[row_lo + d_hi_idx]
-        hi = (1.0 - df) * flat[row_hi + d_lo_idx] + df * flat[row_hi + d_hi_idx]
-        return (1.0 - xf) * lo + xf * hi
+        D = np.asarray(drops, dtype=float)
+        if D.shape != R.shape:
+            D = np.broadcast_to(D, R.shape)
+        return interp.interp_flat(
+            self._flat_tables,
+            self._table_offsets,
+            self._table_stride,
+            self._max_row_f,
+            self.max_replicas,
+            self.drop_grid,
+            R,
+            D,
+        )
 
     def utilities_many(self, replicas: np.ndarray, drops: np.ndarray) -> np.ndarray:
         """Per-job raw utilities for a ``(C, n)`` candidate matrix.
@@ -690,6 +728,61 @@ class AllocationProblem:
         R = np.asarray(replicas, dtype=float).reshape(1, -1)
         D = None if drops is None else np.asarray(drops, dtype=float).reshape(1, -1)
         return float(self.evaluate_many(R, D)[0])
+
+    def evaluate_perturbed(
+        self,
+        replicas: np.ndarray,
+        deltas: np.ndarray | float,
+        drops: np.ndarray | None = None,
+        axis: str = "replicas",
+    ) -> tuple[float, np.ndarray]:
+        """Score the base point and every single-coordinate perturbation.
+
+        Returns ``(base, scores)`` where ``scores[j]`` equals
+        ``evaluate_many(P, drops)[j]`` for the ``(n, n)`` matrix ``P`` whose
+        row ``j`` is ``replicas`` with coordinate ``j`` bumped by
+        ``deltas[j]`` -- bit-for-bit (per-job utilities are elementwise in
+        the replica matrix, so a perturbed row's utilities differ from the
+        base row only in the perturbed column).  Cost: **two** table
+        interpolation rows plus the cheap objective reduction, instead of
+        the ``n`` full rows the naive perturbation matrix needs.  This is
+        the finite-difference / greedy-scan primitive behind the batched
+        first-order solver and integer rounding at 1000+ jobs.
+
+        ``axis="drops"`` perturbs the drop coordinates instead (replicas
+        held fixed): ``scores[j]`` matches ``evaluate_many`` over the drop
+        matrix whose row ``j`` bumps ``drops[j]`` by ``deltas[j]`` -- the
+        same two-row trick, since effective utilities are elementwise in
+        the drop matrix too.
+        """
+        x = np.asarray(replicas, dtype=float)
+        n = self.num_jobs
+        if axis not in ("replicas", "drops"):
+            raise ValueError(f"unknown perturbation axis {axis!r}")
+        if x.shape != (n,):
+            raise ValueError(f"expected a length-{n} replica vector, got shape {x.shape}")
+        delta = np.broadcast_to(np.asarray(deltas, dtype=float), (n,))
+        d = np.zeros(n) if drops is None else np.asarray(drops, dtype=float)
+        if d.shape != (n,):
+            raise ValueError(f"expected a length-{n} drop vector, got shape {d.shape}")
+        if axis == "replicas":
+            EU = self.effective_utilities_many(
+                np.stack([x, x + delta]), np.stack([d, d])
+            )
+        else:
+            EU = self.effective_utilities_many(
+                np.stack([x, x]), np.stack([d, d + delta])
+            )
+        base_row, pert_diag = EU[0], EU[1]
+        base = float(self.objective.evaluate_many(base_row[None, :], self._priorities_vec)[0])
+        scores = np.empty(n, dtype=float)
+        for start in range(0, n, _EVAL_CHUNK):
+            stop = min(start + _EVAL_CHUNK, n)
+            count = stop - start
+            block = np.repeat(base_row[None, :], count, axis=0)
+            block[np.arange(count), np.arange(start, stop)] = pert_diag[start:stop]
+            scores[start:stop] = self.objective.evaluate_many(block, self._priorities_vec)
+        return base, scores
 
     def cpu_usage(self, replicas: np.ndarray) -> float:
         return float(np.dot(np.asarray(replicas, dtype=float), self._cpu_vec))
@@ -772,7 +865,13 @@ def warm_start_vector(problem: AllocationProblem, allocation: Allocation) -> np.
     if problem.objective.uses_drops:
         drops = np.asarray(allocation.drops, dtype=float)
         if drops.shape[0] != problem.num_jobs:
-            drops = np.zeros(problem.num_jobs)
+            # Same contract as the replica path: a length mismatch means the
+            # caller's job list changed between cycles -- fail loudly rather
+            # than silently zeroing the drop seed.
+            raise ValueError(
+                f"warm start has {drops.shape[0]} drop rates, "
+                f"problem has {problem.num_jobs} jobs"
+            )
         drops = np.clip(drops, 0.0, problem.drop_grid[-1])
         return np.concatenate([x0, drops])
     return x0
@@ -832,13 +931,20 @@ def _can_add_mask(problem: AllocationProblem, ints: np.ndarray) -> np.ndarray:
     )
 
 
-def _round_allocation(problem: AllocationProblem, replicas: np.ndarray) -> np.ndarray:
+def _round_allocation(
+    problem: AllocationProblem,
+    replicas: np.ndarray,
+    counter: EvalCounter | None = None,
+) -> np.ndarray:
     """Integer post-processing (paper §4.2).
 
     Floors the continuous solution (respecting per-job minimums), trims by
     resource footprint while over capacity, then greedily re-adds replicas
-    by best marginal objective gain -- the candidate scan is one
-    :meth:`AllocationProblem.evaluate_many` pass per round.
+    by best marginal objective gain -- the candidate scan is one structured
+    :meth:`AllocationProblem.evaluate_perturbed` pass per round (bit-identical
+    to the historical full ``evaluate_many`` scan, but two interpolation rows
+    instead of ``n``).  ``counter``, when given, tallies the evaluation rows
+    spent here for :class:`Allocation.post_nfev`.
     """
     mins = problem._mins_vec
     ints = np.clip(np.floor(replicas + 1e-9).astype(int), mins, problem.max_replicas)
@@ -872,10 +978,10 @@ def _round_allocation(problem: AllocationProblem, replicas: np.ndarray) -> np.nd
         idx = np.flatnonzero(_can_add_mask(problem, ints))
         if idx.size == 0:
             break
-        base = problem.evaluate(ints, drops)
-        trials = np.repeat(ints[None, :], idx.size, axis=0).astype(float)
-        trials[np.arange(idx.size), idx] += 1.0
-        gains = problem.evaluate_many(trials, drops[None, :]) - base
+        base, scores = problem.evaluate_perturbed(ints.astype(float), 1.0, drops)
+        if counter is not None:
+            counter.add(idx.size + 1)
+        gains = scores[idx] - base
         best = int(np.argmax(gains))
         if gains[best] <= 1e-12:
             break
@@ -883,11 +989,16 @@ def _round_allocation(problem: AllocationProblem, replicas: np.ndarray) -> np.nd
     return ints
 
 
-def _optimize_drops(problem: AllocationProblem, replicas: np.ndarray) -> np.ndarray:
+def _optimize_drops(
+    problem: AllocationProblem,
+    replicas: np.ndarray,
+    counter: EvalCounter | None = None,
+) -> np.ndarray:
     """Per-job drop-rate grid refinement for penalty objectives.
 
     Coordinate descent; each job's whole drop grid is scored in one
-    batched evaluation.
+    batched evaluation.  ``counter`` tallies the rows spent here for
+    :class:`Allocation.post_nfev`.
     """
     drops = np.zeros(problem.num_jobs)
     if not problem.objective.uses_drops:
@@ -898,6 +1009,8 @@ def _optimize_drops(problem: AllocationProblem, replicas: np.ndarray) -> np.ndar
         trials = np.repeat(drops[None, :], grid.shape[0], axis=0)
         trials[:, i] = grid
         values = problem.evaluate_many(R, trials)
+        if counter is not None:
+            counter.add(grid.shape[0])
         best_d, best_v = 0.0, -math.inf
         for d, value in zip(grid, values):
             if value > best_v + 1e-12:
@@ -954,6 +1067,33 @@ def _solve_de(
     return np.asarray(result.x, dtype=float), float(-result.fun), counter["nfev"]
 
 
+def _greedy_phase1(
+    problem: AllocationProblem, counter: EvalCounter | None = None
+) -> np.ndarray:
+    """Phase 1 of the greedy solver: monotone capacity fill (integer vector).
+
+    Starts from per-job minimums and repeatedly adds the replica with the
+    best marginal gain in the priority-weighted utility *sum* (one two-row
+    utility pass per round).  Exposed separately so the batched first-order
+    solver's differential suite can assert "never worse than greedy
+    phase-1" without paying phase 2's hill climb.
+    """
+    ints = problem._mins_vec.copy()
+    priorities = problem._priorities_vec
+    while True:
+        pair = np.stack([ints, np.minimum(ints + 1, problem.max_replicas)]).astype(float)
+        utilities = problem.utilities_many(pair, np.zeros_like(pair))
+        if counter is not None:
+            counter.add(2)
+        gains = priorities * (utilities[1] - utilities[0])
+        gains = np.where(_can_add_mask(problem, ints), gains, -np.inf)
+        best = int(np.argmax(gains))
+        if not np.isfinite(gains[best]) or gains[best] <= 1e-12:
+            break
+        ints[best] += 1
+    return ints
+
+
 def _solve_greedy(problem: AllocationProblem) -> tuple[np.ndarray, float, int]:
     """Two-phase integer search used as a deterministic reference solver.
 
@@ -969,22 +1109,11 @@ def _solve_greedy(problem: AllocationProblem) -> tuple[np.ndarray, float, int]:
     one ``evaluate_many`` over the whole move set.
     """
     n = problem.num_jobs
-    ints = problem._mins_vec.copy()
+    counter = EvalCounter()
+    ints = _greedy_phase1(problem, counter)
     drops = np.zeros(n)
-    nfev = 0
+    nfev = counter.rows
     cap = problem.capacity
-    priorities = problem._priorities_vec
-
-    while True:
-        pair = np.stack([ints, np.minimum(ints + 1, problem.max_replicas)]).astype(float)
-        utilities = problem.utilities_many(pair, np.zeros_like(pair))
-        nfev += 2
-        gains = priorities * (utilities[1] - utilities[0])
-        gains = np.where(_can_add_mask(problem, ints), gains, -np.inf)
-        best = int(np.argmax(gains))
-        if not np.isfinite(gains[best]) or gains[best] <= 1e-12:
-            break
-        ints[best] += 1
 
     for _ in range(50 * n):
         base = problem.evaluate(ints, drops)
@@ -1036,26 +1165,45 @@ def solve_allocation(
     x0: np.ndarray | Allocation | None = None,
     maxiter: int = 1000,
     seed: int | None = None,
+    solver_options: dict | None = None,
 ) -> Allocation:
     """Solve the cluster optimization and return an integer allocation.
 
-    ``method`` is one of ``"cobyla"`` (paper default), ``"slsqp"``, ``"de"``
-    (differential evolution) or ``"greedy"`` (integer hill climbing).  The
-    continuous solution is post-processed into a feasible integer allocation
-    and, for penalty objectives, per-job drop rates are refined on a grid.
+    ``method`` is one of ``"cobyla"`` (paper default), ``"slsqp"``, ``"pgd"``
+    (batched projected gradient ascent, :mod:`repro.core.batched_solver`),
+    ``"de"`` (differential evolution) or ``"greedy"`` (integer hill
+    climbing).  The continuous solution is post-processed into a feasible
+    integer allocation and, for penalty objectives, per-job drop rates are
+    refined on a grid.
 
     ``x0`` warm-starts the local solvers: pass a previous cycle's
     :class:`Allocation` (projected feasible via :func:`warm_start_vector`)
     or a raw variable vector.  ``"de"`` and ``"greedy"`` ignore it.
+
+    ``solver_options`` holds method-specific knobs -- currently only
+    ``"pgd"`` accepts any (the :class:`~repro.core.batched_solver.PGDOptions`
+    fields); passing options to another method raises so spec-file typos
+    fail loudly.  ``"pgd"`` paces itself by its own ``maxiter`` option (one
+    iteration = a full batched gradient pass, a different unit from COBYLA
+    iterations), so this function's ``maxiter`` does not apply to it.
     """
     method = method.lower()
     started = time.perf_counter()
+    if solver_options and method != "pgd":
+        raise ValueError(
+            f"solver_options is only supported for method='pgd', got method={method!r}"
+        )
     if isinstance(x0, Allocation):
         x0 = warm_start_vector(problem, x0)
     if x0 is None:
         x0 = _default_start(problem)
     if method in ("cobyla", "slsqp"):
         z, solver_value, nfev = _solve_scipy(problem, method, x0, maxiter)
+    elif method == "pgd":
+        from repro.core.batched_solver import solve_pgd
+
+        z, solver_value, nfev = solve_pgd(problem, x0=x0, options=solver_options)
+        z = np.concatenate([z, np.zeros(problem.num_jobs)]) if problem.objective.uses_drops else z
     elif method == "de":
         z, solver_value, nfev = _solve_de(problem, maxiter, seed)
     elif method == "greedy":
@@ -1064,8 +1212,9 @@ def solve_allocation(
     else:
         raise ValueError(f"unknown method {method!r}")
     replicas_cont, _ = _split_vars(problem, z)
-    replicas = _round_allocation(problem, replicas_cont)
-    drops = _optimize_drops(problem, replicas)
+    post = EvalCounter()
+    replicas = _round_allocation(problem, replicas_cont, post)
+    drops = _optimize_drops(problem, replicas, post)
     value = problem.evaluate(replicas, drops)
     return Allocation(
         replicas=replicas,
@@ -1075,4 +1224,5 @@ def solve_allocation(
         solve_time=time.perf_counter() - started,
         nfev=nfev,
         method=method,
+        post_nfev=post.rows,
     )

@@ -93,6 +93,7 @@ class TestShippedSpecSeeds:
         "hybrid_paper.json": [0],
         "custom_burst.json": [0, 1000],
         "hetero_mixed.json": [0, 1000],
+        "pgd_planner.json": [0],
     }
 
     def test_every_shipped_spec_is_pinned(self):

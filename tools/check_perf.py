@@ -6,7 +6,12 @@ Four benches run in-process and compare against checked-in baselines:
 - the allocation hot-path micro-benchmark
   (``benchmarks/bench_optimizer_hotpath.py`` vs
   ``results/BENCH_optimizer.json``): warm-cache / warm-start solve timings
-  regress when they exceed ``baseline * (1 + tolerance)``;
+  regress when they exceed ``baseline * (1 + tolerance)``.  Its pgd points
+  additionally pass an absolute quality gate (objective within the gated
+  tolerance of the point's COBYLA differential and at least the gated
+  speedup over it -- constants embedded in the emitted points, so bench and
+  gate cannot drift apart).  Like the hetero gate, the pgd gate
+  self-reports SKIPPED instead of failing when the run has no pgd points;
 - the sharded sweep bench (``benchmarks/bench_parallel_sweep.py`` vs
   ``results/BENCH_parallel.json``): parallel reports must stay
   byte-identical to serial (unconditional), the serial path must not
@@ -151,6 +156,64 @@ def compare(
     if compared == 0:
         ok = False
         rows.append(("(none)", "-", "-", "-", "NO POINTS COMPARED"))
+    return rows, ok
+
+
+def pgd_skipped_rows() -> list[tuple]:
+    """SKIPPED rows shown when the run produced no pgd points."""
+    hint = "SKIPPED (no pgd points in this run; bench was trimmed?)"
+    return [
+        ("pgd/quality", "objective", "-", "-", hint),
+        ("pgd/speedup", "cobyla/warm", "-", "-", hint),
+    ]
+
+
+def compare_pgd(measured: list[dict]) -> tuple[list[tuple], bool]:
+    """Absolute gates for the batched first-order solver points.
+
+    Each pgd point carries its own gate constants (``gated_quality_tol``,
+    ``gated_speedup``) plus the COBYLA differential it was measured against
+    (in-bench at 200 jobs; the embedded converged reference at 1000 jobs,
+    where a live COBYLA solve takes minutes).  The checks are absolute, not
+    baseline-relative, mirroring the hetero gate: a quality collapse or a
+    lost order-of-magnitude speedup is a solver bug, and gating it against
+    a drifting baseline would let it creep.  Baseline-relative wall-clock
+    drift on ``warm_ms``/``warmstart_ms`` is still handled by the generic
+    :func:`compare` pass like every other point.
+    """
+    rows = []
+    ok = True
+    pgd_points = [p for p in measured if p.get("solver") == "pgd"]
+    if not pgd_points:
+        return pgd_skipped_rows(), ok
+    for point in pgd_points:
+        label = f"pgd/{point['jobs']} jobs"
+        tol = point["gated_quality_tol"] * max(1.0, abs(point["cobyla_objective"]))
+        floor = point["cobyla_objective"] - tol
+        passed = point["objective"] >= floor
+        ok = ok and passed
+        rows.append(
+            (
+                label,
+                "objective",
+                f">= {floor:.2f}",
+                f"{point['objective']:.2f}",
+                "ok" if passed else "REGRESSED (lost COBYLA-level quality)",
+            )
+        )
+        speedup = point["cobyla_ms"] / max(point["warm_ms"], 1e-9)
+        required = point["gated_speedup"]
+        passed = speedup >= required
+        ok = ok and passed
+        rows.append(
+            (
+                label,
+                "cobyla/warm",
+                f">= {required:.0f}x",
+                f"{speedup:.0f}x",
+                "ok" if passed else "REGRESSED (lost the pgd speedup)",
+            )
+        )
     return rows, ok
 
 
@@ -589,6 +652,17 @@ def main(argv: list[str] | None = None) -> int:
             ["point", "metric", "baseline", "measured", "verdict"],
             rows,
             title=f"== Optimizer hot-path perf gate (tolerance {args.tolerance:.0%}) ==",
+        )
+    )
+
+    pgd_rows, pgd_ok = compare_pgd(measured)
+    ok = ok and pgd_ok
+    print()
+    print(
+        format_table(
+            ["point", "metric", "baseline", "measured", "verdict"],
+            pgd_rows,
+            title="== Batched first-order solver (pgd) quality gate ==",
         )
     )
 
