@@ -1,6 +1,6 @@
 """Built-in analysis passes; importing this package registers all of them.
 
-Six rules guard the byte-identity invariant and the registry contract:
+Seven rules guard the byte-identity invariant and the registry contract:
 
 =================== ======== ====================================================
 pass id             scope    what it rejects
@@ -10,6 +10,7 @@ ordered-iteration   file     hash-ordered set iteration on merge/output paths
 frozen-mutation     file     object.__setattr__ outside construction hooks
 registry-contract   file     undocumented/untyped/non-round-trippable entries
 spawn-safety        file     unpicklable callables handed to process pools
+rng-batching        file     per-iteration scalar RNG draws in sim hot loops
 perf-gate           project  emitted BENCH baselines check_perf.py never gates
 =================== ======== ====================================================
 """
@@ -20,6 +21,7 @@ from repro.analysis.passes import (  # noqa: F401  (imported for registration)
     ordering,
     perf_gate,
     registry_contract,
+    rng_batching,
     spawn_safety,
 )
 
@@ -29,5 +31,6 @@ __all__ = [
     "ordering",
     "perf_gate",
     "registry_contract",
+    "rng_batching",
     "spawn_safety",
 ]

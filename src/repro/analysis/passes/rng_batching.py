@@ -1,0 +1,131 @@
+"""Pass ``rng-batching``: per-request scalar RNG draws inside hot loops.
+
+The vectorized request path exists because drawing one random number per
+request is the dominant cost of the scalar simulator: a loop body calling
+``Generator.random()`` or ``Generator.normal()`` once per iteration pays
+numpy's per-call overhead thousands of times where a single pre-drawn
+batch (``rng.random(n)`` / ``rng.normal(mu, sigma, n)``) would pay it
+once -- and, on PCG64, consume the *identical* stream, so batching is a
+pure win whenever the number of draws is known up front.
+
+This pass flags scalar draws (no ``size`` argument) through a
+``Generator``-named receiver inside ``for``/``while`` bodies of the
+simulation hot-path packages (``modules`` option).  It is advisory by
+design: draws whose *count* depends on earlier outcomes (accept/reject
+chains, event-driven thinning) cannot be batched without changing the
+pinned stream -- grandfather those in ``tools/lint_baseline.json`` with a
+justification, or suppress inline with
+``# repro: allow(rng-batching) -- reason``.
+
+Receiver matching is by name (``rng``, ``_rng``, ``self._rng``, ...): the
+linter has no type information, and the repo's convention of threading
+explicit generators under these names (enforced socially, checked by the
+``determinism`` pass) makes the name a reliable proxy.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding, ModuleContext
+from repro.analysis.registry import register_pass
+
+__all__ = ["RngBatchingOptions", "check_rng_batching"]
+
+PASS_ID = "rng-batching"
+
+#: Generator method -> positional index of its ``size`` argument.  A call
+#: with fewer positional arguments and no ``size=`` keyword draws a single
+#: scalar sample.
+_SIZE_POSITION = {
+    "random": 0,
+    "normal": 2,
+    "standard_normal": 0,
+}
+
+
+@dataclass(frozen=True)
+class RngBatchingOptions:
+    """Where and what the batching hint applies to."""
+
+    #: Dotted module prefixes forming the request hot path: per-draw numpy
+    #: overhead here multiplies by the request count.
+    modules: tuple[str, ...] = ("repro.sim", "repro.cluster")
+
+    #: Receiver names treated as ``numpy.random.Generator`` instances
+    #: (matched against the last name before the method: ``rng.normal``,
+    #: ``self._rng.random``, ...).
+    receivers: tuple[str, ...] = ("rng", "_rng")
+
+
+def _receiver_name(node: ast.AST) -> str | None:
+    """``self._rng`` -> "_rng"; ``rng`` -> "rng"; None for other shapes."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_scalar_draw(call: ast.Call, method: str) -> bool:
+    size_position = _SIZE_POSITION[method]
+    if len(call.args) > size_position:
+        return False
+    return all(kw.arg != "size" for kw in call.keywords)
+
+
+def check_rng_batching(
+    context: ModuleContext, options: RngBatchingOptions | None
+) -> list[Finding]:
+    options = options or RngBatchingOptions()
+    if not context.in_modules(options.modules):
+        return []
+
+    findings: list[Finding] = []
+    flagged: set[int] = set()
+    for loop in ast.walk(context.tree):
+        if not isinstance(loop, (ast.For, ast.While, ast.AsyncFor)):
+            continue
+        # Only the repeated body draws per iteration; the iterable and the
+        # while-condition are evaluated per iteration too, so take the
+        # whole loop node and exclude nothing -- a draw in the condition
+        # is just as scalar.
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Call) or id(node) in flagged:
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            method = func.attr
+            if method not in _SIZE_POSITION:
+                continue
+            if _receiver_name(func.value) not in options.receivers:
+                continue
+            if not _is_scalar_draw(node, method):
+                continue
+            flagged.add(id(node))
+            findings.append(
+                context.finding(
+                    PASS_ID,
+                    node,
+                    f"{_receiver_name(func.value)}.{method}() draws one "
+                    "sample per loop iteration in a hot path; pre-draw a "
+                    f"batch ({_receiver_name(func.value)}.{method}(..., n)) "
+                    "outside the loop -- on PCG64 a batch consumes the "
+                    "identical stream -- or justify why the draw count is "
+                    "outcome-dependent",
+                )
+            )
+    return findings
+
+
+register_pass(
+    PASS_ID,
+    description=(
+        "Scalar Generator.random()/normal() draws inside loops in the "
+        "simulation hot-path packages; batch draws are stream-identical "
+        "and amortize numpy call overhead."
+    ),
+    config_type=RngBatchingOptions,
+)(check_rng_batching)

@@ -76,6 +76,13 @@ class MetricsCollector:
             np.asarray(history_prefix, dtype=float) if history_prefix is not None else None
         )
         self._bins: dict[int, _Bin] = {}
+        #: Synthetic per-minute rates (requests/second) for minutes this
+        #: collector never observed -- seeded by the hybrid backend when a
+        #: job is promoted to request fidelity mid-run, so predictors are
+        #: not blinded by the empty pre-promotion history.  Consulted by
+        #: :meth:`rate_history` only where no real bins exist; never
+        #: contributes to :meth:`minute_stats` or observations.
+        self._rate_backfill: dict[int, float] = {}
 
     # ------------------------------------------------------------- record
 
@@ -207,8 +214,22 @@ class MetricsCollector:
                 for k in range(bins_per_minute)
                 if (first_bin + k) in self._bins
             )
-            rates[offset] = total / 60.0
+            if total == 0 and minute in self._rate_backfill:
+                rates[offset] = self._rate_backfill[minute]
+            else:
+                rates[offset] = total / 60.0
         return rates
+
+    def backfill_rate_history(self, minute_rates: dict[int, float]) -> None:
+        """Seed per-minute rates (requests/second) for unobserved minutes.
+
+        Hybrid fidelity promotion calls this with the offered trace rates
+        of the minutes the job spent on the analytic side, so
+        :meth:`rate_history` stays informative across the fidelity switch.
+        Backfill never overrides minutes with real recorded bins.
+        """
+        for minute, rate in minute_rates.items():
+            self._rate_backfill[int(minute)] = float(rate)
 
     # ------------------------------------------------------------ results
 

@@ -36,8 +36,9 @@ class RayServeCluster:
         history_minutes: int = 15,
         history_prefix: dict[str, "np.ndarray"] | None = None,
         seed: int = 0,
+        allow_empty: bool = False,
     ) -> None:
-        if not jobs:
+        if not jobs and not allow_empty:
             raise ValueError("at least one job is required")
         names = [job.name for job in jobs]
         if len(set(names)) != len(names):
@@ -45,6 +46,12 @@ class RayServeCluster:
         self.jobs = {job.name: job for job in jobs}
         self.quota = quota
         self.history_minutes = history_minutes
+        # Construction knobs are kept so jobs can attach mid-run
+        # (:meth:`add_job`, hybrid fidelity promotion) with the same
+        # settings the initial pool got.
+        self.queue_threshold = queue_threshold
+        self.cold_start_range = cold_start_range
+        self.metrics_bin_seconds = metrics_bin_seconds
         initial_replicas = initial_replicas or {}
         self.routers: dict[str, JobRouter] = {}
         self.metrics: dict[str, MetricsCollector] = {}
@@ -69,6 +76,50 @@ class RayServeCluster:
                 history_prefix=prefix,
             )
             self.targets[job.name] = count
+
+    # ----------------------------------------------------------- topology
+
+    def add_job(self, job: InferenceJobSpec, count: int, seed: int) -> JobRouter:
+        """Attach ``job`` mid-run with ``count`` ready replicas.
+
+        Used by the hybrid backend's fidelity promotion.  The router is
+        built fresh with the caller-supplied ``seed`` (the caller owns
+        making it deterministic); an existing metrics collector from a
+        previous request-fidelity span of the same job is reused, so
+        already-recorded minutes stay reportable across demote/re-promote
+        cycles.
+        """
+        if job.name in self.routers:
+            raise ValueError(f"job {job.name!r} is already attached")
+        self.jobs[job.name] = job
+        router = JobRouter(
+            job_name=job.name,
+            model=job.model,
+            initial_replicas=count,
+            queue_threshold=self.queue_threshold,
+            cold_start_range=self.cold_start_range,
+            seed=seed,
+        )
+        self.routers[job.name] = router
+        if job.name not in self.metrics:
+            self.metrics[job.name] = MetricsCollector(
+                job_name=job.name,
+                slo=job.slo,
+                proc_time=job.model.proc_time,
+                bin_seconds=self.metrics_bin_seconds,
+            )
+        self.targets[job.name] = count
+        return router
+
+    def remove_job(self, name: str) -> None:
+        """Detach a job (hybrid fidelity demotion).
+
+        The metrics collector is intentionally kept: minutes the job spent
+        at request fidelity remain part of the run's evaluation series.
+        """
+        del self.jobs[name]
+        del self.routers[name]
+        del self.targets[name]
 
     # ------------------------------------------------------------ serving
 

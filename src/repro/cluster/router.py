@@ -85,6 +85,11 @@ class JobRouter:
         #: ``None`` (the homogeneous default) serves at the model's time.
         self.proc_time_override: float | None = None
         self.totals = RouterTotals()
+        #: Dispatch-regime counters: requests resolved by the closed-form
+        #: batch path vs the per-request scalar loop (observability only;
+        #: never serialized into report digests).
+        self.vector_requests = 0
+        self.scalar_requests = 0
         self._rng = np.random.default_rng(seed)
         self._ids = itertools.count()
         self._replicas: dict[int, Replica] = {}
@@ -200,6 +205,7 @@ class JobRouter:
         are not retried, per the paper's load generator).
         """
         self.totals.arrivals += 1
+        self.scalar_requests += 1
         if self.drop_rate > 0.0 and self._rng.random() < self.drop_rate:
             self.totals.explicit_dropped += 1
             return math.inf
@@ -238,13 +244,14 @@ class JobRouter:
 
         Semantically identical to calling :meth:`offer` once per arrival in
         order -- bit-for-bit, including RNG consumption and post-chunk
-        replica state (pinned by ``tests/test_sim_backends.py``).  When the
-        chunk provably involves no queueing and no randomness
-        (deterministic service, no drop directive, pool drained before the
-        first arrival, and no request would wait), the whole chunk is
-        resolved with numpy batch arithmetic instead of per-request heap
-        operations; any chunk that could queue, drop, or draw a random
-        number falls back to the exact scalar loop.
+        replica state (pinned by ``tests/test_sim_backends.py``).  Chunks
+        whose randomness is *separable* -- proc-time jitter alone, or a
+        drop directive alone -- pre-draw the chunk's random variates in
+        one batch (consumed in exactly the scalar path's per-request draw
+        order, with the generator rewound and replayed on a partial
+        commit) and resolve dispatch with the closed-form recurrence;
+        chunks that interleave outcome-dependent draws (jitter *and*
+        drops together) fall back to the exact scalar loop.
         """
         arrivals = np.asarray(arrivals, dtype=float)
         n = arrivals.shape[0]
@@ -254,20 +261,50 @@ class JobRouter:
         offer = self.offer
         arrivals_list = None
         position = 0
+        jitter = self.model.proc_jitter
         while position < n:
             if (
                 n - position >= self._MIN_FAST_PREFIX
                 and self.chunk_fast_preconditions(float(arrivals[position]))
             ):
-                fast = self._offer_chunk_fast(arrivals[position:])
+                if arrivals_list is None:
+                    arrivals_list = arrivals.tolist()
+                if jitter != 0.0 and self.drop_rate == 0.0:
+                    # Pre-draw the remaining chunk's jitter batch
+                    # speculatively, resolve the whole suffix with the
+                    # run-splitting kernel (which consumes one draw per
+                    # *served* request -- the scalar draw order), then
+                    # rewind and replay exactly the consumed draws so the
+                    # generator lands bit-for-bit where the per-request
+                    # loop would have left it.
+                    remaining = n - position
+                    rng_state = self._rng.bit_generator.state
+                    draws = self._rng.normal(1.0, jitter, remaining)
+                    procs = self.proc_time * np.minimum(
+                        np.maximum(draws, 0.5), 1.5
+                    )
+                    chunk_latencies, drawn = self._offer_chunk_jitter(
+                        remaining, arrivals_list, position, procs.tolist()
+                    )
+                    latencies[position:] = chunk_latencies
+                    position = n
+                    if drawn < remaining:
+                        self._rng.bit_generator.state = rng_state
+                        if drawn:
+                            self._rng.normal(1.0, jitter, drawn)
+                    continue
+                fast = self._offer_chunk_fast(
+                    arrivals[position:], arrivals_list, position
+                )
                 if fast is not None:
                     prefix_latencies, consumed = fast
                     latencies[position : position + consumed] = prefix_latencies
                     position += consumed
                     continue
-            # A burst (or randomness) blocks batching here: resolve a
-            # bounded block with the exact per-request loop, then retry --
-            # the pool usually drains again a few requests past the burst.
+            # A burst (or inseparable randomness) blocks batching here:
+            # resolve a bounded block with the exact per-request loop, then
+            # retry -- the pool usually drains again a few requests past
+            # the burst.
             stop = min(position + self._SCALAR_BLOCK, n)
             if arrivals_list is None:
                 arrivals_list = arrivals.tolist()
@@ -279,18 +316,22 @@ class JobRouter:
     def chunk_fast_preconditions(self, first_arrival: float) -> bool:
         """Cheap (numpy-free) screen for the batch fast path.
 
-        True only when the chunk starting at ``first_arrival`` cannot
-        involve randomness (no drop directive, deterministic service) and
-        the router queue is empty before the first arrival -- the regime
-        where FIFO earliest-free dispatch has a closed per-replica-class
-        form.  Expires the consumed prefix of the pending-start deque
-        exactly like the scalar path's first ``queue_length`` call would.
+        True only when the chunk starting at ``first_arrival`` has
+        *separable* randomness -- at most one of {proc-time jitter, drop
+        directive} is active, so one batch draw per chunk replays the
+        scalar per-request draw order exactly -- and the router queue is
+        empty before the first arrival, the regime where FIFO
+        earliest-free dispatch has a closed per-replica-class form.
+        Jitter *and* drops together interleave outcome-dependent draws
+        (a uniform per arrival, then a normal only if served) that no
+        fixed pair of batch draws can reproduce, so those chunks stay on
+        the scalar loop.  Expires the consumed prefix of the
+        pending-start deque exactly like the scalar path's first
+        ``queue_length`` call would.
         """
-        if (
-            self.drop_rate > 0.0
-            or self.model.proc_jitter != 0.0
-            or not self._replicas
-        ):
+        if not self._replicas:
+            return False
+        if self.drop_rate > 0.0 and self.model.proc_jitter != 0.0:
             return False
         pending = self._pending_starts
         while pending and pending[0] <= first_arrival:
@@ -301,6 +342,12 @@ class JobRouter:
     #: this the batch bookkeeping costs more than it saves.
     _MIN_FAST_PREFIX = 12
 
+
+    #: cuts the run: the chunk's draws are already batched, so even short
+    #: runs amortize; below this the commit bookkeeping loses to the
+    #: scalar loop and the chunk falls back for a block.
+    _MIN_JITTER_COMMIT = 4
+
     #: Requests resolved per-request after a declined batch attempt before
     #: the fast path is retried (bounds retry overhead during bursts).
     _SCALAR_BLOCK = 32
@@ -310,12 +357,18 @@ class JobRouter:
     #: Python scan (both compute identical IEEE doubles).
     _NUMPY_RECURRENCE_MIN_POOL = 12
 
-    def _offer_chunk_fast(self, arrivals: np.ndarray) -> tuple[np.ndarray, int] | None:
+    def _offer_chunk_fast(
+        self,
+        arrivals: np.ndarray,
+        arrival_list: list[float] | None = None,
+        offset: int = 0,
+    ) -> tuple[np.ndarray, int] | None:
         """Closed-form routing of a chunk under deterministic service.
 
-        Requires :meth:`chunk_fast_preconditions` (no randomness, empty
-        router queue at the first arrival).  With constant service time
-        ``p`` the pop-min dispatch has exact structure: completions are
+        Requires :meth:`chunk_fast_preconditions` (empty router queue at
+        the first arrival; jitter-only chunks route to
+        :meth:`_offer_chunk_jitter` instead).  With deterministic service
+        the pop-min dispatch has exact structure: completions are
         nondecreasing, so the heap's pops are the sorted initial free
         times followed by completions in request order -- request ``k``
         is served by the ``k``-th smallest ``(free_at, id)`` replica for
@@ -326,35 +379,84 @@ class JobRouter:
 
         which vectorizes across the ``c`` replica classes (one numpy row
         per ``c`` requests, using exactly the scalar path's floating-point
-        operations, so engagement is bit-identical).  The recurrence is
-        valid while every request is *accepted*; the chunk is therefore
-        committed up to the first tail-drop (computed from the vectorized
-        queue lengths) and the scalar loop continues from the identical
-        post-prefix state.  Pop-order ties that would fall to the heap's
-        id tie-break decline the whole chunk (``None``).
+        operations, so engagement is bit-identical).  A drop directive is
+        pre-drawn as one uniform batch in the scalar path's draw order --
+        the scalar drop check precedes every accept check, so each
+        arrival consumes exactly one uniform -- and the recurrence runs
+        on the drop-thinned subsequence.  The chunk is committed up to
+        the first tail-drop (computed from the vectorized queue lengths)
+        or pop-order tie; on a partial commit the generator is rewound to
+        the chunk entry state and replayed for exactly the committed
+        draws, so the scalar continuation sees the identical stream.
         """
         replicas = list(self._replicas.values())
         count = len(replicas)
         proc = self.proc_time
         n = arrivals.shape[0]
+        rng_state = None
+        drop_mask = None
+        kept = None
+        if self.drop_rate > 0.0:
+            rng_state = self._rng.bit_generator.state
+            drop_mask = self._rng.random(n) < self.drop_rate
+            kept = np.flatnonzero(~drop_mask)
+            if kept.shape[0] == 0:
+                # Whole chunk explicitly dropped: n uniforms consumed,
+                # exactly as n scalar offers would have.
+                self.totals.arrivals += n
+                self.totals.explicit_dropped += n
+                self.vector_requests += n
+                return np.full(n, math.inf), n
+            offered = arrivals[kept]
+        else:
+            offered = arrivals
         order = sorted(replicas, key=lambda r: (r.free_at, r.replica_id))
         frees = [replica.free_at for replica in order]
         # The recurrence costs one numpy row per c requests, so wide pools
         # amortize numpy dispatch and narrow pools are cheaper in plain
         # Python (identical IEEE ops either way -- max and + on float64).
         if count >= self._NUMPY_RECURRENCE_MIN_POOL:
-            resolved = self._fast_starts_numpy(arrivals, frees, count, proc)
+            resolved = self._fast_starts_numpy(offered, frees, count, proc)
+        elif kept is None:
+            if arrival_list is None:
+                arrival_list = arrivals.tolist()
+                offset = 0
+            resolved = self._fast_starts_python(
+                offered, frees, count, proc, arrival_list, offset
+            )
         else:
-            resolved = self._fast_starts_python(arrivals, frees, count, proc)
+            # Drop-thinned chunks index a fancy-copied subsequence, so a
+            # pre-built whole-chunk list does not line up with it.
+            resolved = self._fast_starts_python(
+                offered, frees, count, proc, offered.tolist(), 0
+            )
         if resolved is None:
+            if rng_state is not None:
+                self._rng.bit_generator.state = rng_state
             return None
-        starts, completions, prefix = resolved
+        starts, completions, served_prefix = resolved
+        # ``served_prefix`` counts committed *offered* (non-drop-masked)
+        # requests; map the cut back to raw-arrival coordinates.
+        if kept is None:
+            prefix = served_prefix
+        else:
+            prefix = int(kept[served_prefix]) if served_prefix < kept.shape[0] else n
         if prefix < self._MIN_FAST_PREFIX:
+            if rng_state is not None:
+                self._rng.bit_generator.state = rng_state
             return None
+        if prefix < n and rng_state is not None:
+            # Rewind and replay exactly the committed draws so the
+            # generator lands where the scalar loop would leave it.
+            self._rng.bit_generator.state = rng_state
+            self._rng.random(prefix)
         self.totals.arrivals += prefix
-        self.totals.served += prefix
+        self.totals.served += served_prefix
+        self.vector_requests += prefix
+        if drop_mask is not None:
+            self.totals.explicit_dropped += prefix - served_prefix
         for position, replica in enumerate(order):
-            served = (prefix - position + count - 1) // count
+            served = (served_prefix - position + count - 1) // count
             if served > 0:
                 replica.served += served
                 replica.free_at = float(
@@ -365,21 +467,153 @@ class JobRouter:
         # order on (free_at, id) either way).
         self._free_heap = [(replica.free_at, replica.replica_id) for replica in replicas]
         heapq.heapify(self._free_heap)
-        # Waiting starts still pending at the last accepted arrival feed
-        # the next queue_length calls, exactly as the scalar loop would
-        # have left them (it expires entries <= each arrival as it goes).
-        last_arrival = arrivals[prefix - 1]
-        accepted = arrivals[:prefix]
-        waiting = starts[(starts > accepted) & (starts > last_arrival)]
-        if waiting.shape[0]:
-            self._pending_starts.extend(waiting.tolist())
-        return completions - accepted, prefix
+        if served_prefix:
+            # Waiting starts still pending at the last dispatched arrival
+            # feed the next queue_length calls, exactly as the scalar loop
+            # would have left them (only accepted requests expire entries,
+            # each at its own arrival time).
+            last_arrival = offered[served_prefix - 1]
+            dispatched = offered[:served_prefix]
+            waiting = starts[(starts > dispatched) & (starts > last_arrival)]
+            if waiting.shape[0]:
+                self._pending_starts.extend(waiting.tolist())
+        if kept is None:
+            return completions - offered[:prefix], prefix
+        latencies = np.full(prefix, math.inf)
+        if served_prefix:
+            latencies[kept[:served_prefix]] = completions - offered[:served_prefix]
+        return latencies, prefix
+
+    def _offer_chunk_jitter(
+        self,
+        n: int,
+        arrival_list: list[float],
+        offset: int,
+        procs: list[float],
+    ) -> tuple[np.ndarray, int]:
+        """Exact run-splitting dispatch for jitter-only chunks.
+
+        Resolves ``arrival_list[offset : offset + n]`` against the live
+        pool in one pass.  Jittered service reorders completions, which
+        breaks the single-sort closed form, so the scan works in *runs*:
+        within a run, request ``i`` is served by the ``i``-th smallest
+        ``(free_at, id)`` replica (``i < c``) or chains onto the run's
+        completion ``i - c``; the run is provably the heap's pop order
+        while its completions stay strictly increasing and each next
+        initial free pops before the run's first completion.  When either
+        condition fails, the run is committed to the replica objects, the
+        pool re-sorted (exactly the scalar heap's live content), and the
+        scan continues on a fresh run -- reproducing the heap's decisions
+        and floats bit-for-bit without per-request heap traffic.
+        Tail-drops are resolved inline from the global nondecreasing
+        start sequence and consume no draw.  ``procs`` are the pre-drawn,
+        pre-clipped jittered service times, consumed one per *served*
+        request (the scalar draw order); returns ``(latencies,
+        draws_consumed)`` so the caller can rewind/replay the generator
+        to the exact scalar stream position.
+        """
+        threshold = self.queue_threshold
+        sort_key = lambda r: (r.free_at, r.replica_id)  # noqa: E731
+        pool = sorted(self._replicas.values(), key=sort_key)
+        count = len(pool)
+        frees = [replica.free_at for replica in pool]
+        latencies = [0.0] * n
+        starts: list[float] = []
+        completions: list[float] = []
+        append_start = starts.append
+        append_completion = completions.append
+        served_pointer = 0  # starts[:served_pointer] have begun by now
+        run_start = 0       # completions[run_start:] belong to the run
+        previous_completion = -math.inf
+        accepted = 0
+        draw_ptr = 0
+        tail_dropped = 0
+        index = 0
+        while index < n:
+            arrival = arrival_list[offset + index]
+            while served_pointer < accepted and starts[served_pointer] <= arrival:
+                served_pointer += 1
+            if accepted - served_pointer >= threshold:
+                latencies[index] = math.inf
+                tail_dropped += 1
+                index += 1
+                continue
+            position = accepted - run_start
+            if position < count:
+                if position and frees[position] >= completions[run_start]:
+                    # This class replica would not pop before the run's
+                    # completions: commit the run, re-sort, retry fresh.
+                    self._commit_jitter_run(pool, frees, completions, run_start, position, count, sort_key)
+                    run_start = accepted
+                    previous_completion = -math.inf
+                    continue
+                base = frees[position]
+            else:
+                base = completions[accepted - count]
+            start = arrival if arrival >= base else base
+            completion = start + procs[draw_ptr]
+            append_start(start)
+            append_completion(completion)
+            accepted += 1
+            draw_ptr += 1
+            latencies[index] = completion - arrival
+            index += 1
+            if completion <= previous_completion:
+                # Out-of-order completion: this request's pop was still
+                # exact (conditions checked above), but later pops are
+                # not provable -- close the run behind it.
+                self._commit_jitter_run(pool, frees, completions, run_start, accepted - run_start, count, sort_key)
+                run_start = accepted
+                previous_completion = -math.inf
+            else:
+                previous_completion = completion
+        self._commit_jitter_run(pool, frees, completions, run_start, accepted - run_start, count, sort_key)
+        self.totals.arrivals += n
+        self.totals.served += accepted
+        self.totals.tail_dropped += tail_dropped
+        self.vector_requests += n
+        self._free_heap = [
+            (replica.free_at, replica.replica_id)
+            for replica in self._replicas.values()
+        ]
+        heapq.heapify(self._free_heap)
+        last_arrival = arrival_list[offset + n - 1]
+        while served_pointer < accepted and starts[served_pointer] <= last_arrival:
+            served_pointer += 1
+        if served_pointer < accepted:
+            self._pending_starts.extend(starts[served_pointer:])
+        return np.asarray(latencies), draw_ptr
+
+    @staticmethod
+    def _commit_jitter_run(pool, frees, completions, run_start, length, count, sort_key):
+        """Write one run's class assignments back and re-sort the pool.
+
+        Replica at run position ``p`` served every run request with index
+        ``p (mod c)``; its free time is its class's last completion
+        (class chains are sequential per replica, so cross-class
+        completion order does not matter here).  Mutates ``pool`` and
+        ``frees`` in place.
+        """
+        if not length:
+            return
+        for position in range(min(length, count)):
+            replica = pool[position]
+            served = (length - position + count - 1) // count
+            replica.served += served
+            replica.free_at = completions[
+                run_start + position + (served - 1) * count
+            ]
+        pool.sort(key=sort_key)
+        frees[:] = [replica.free_at for replica in pool]
 
     def _fast_starts_numpy(self, arrivals, frees, count, proc):
         """Start/completion times via c-wide numpy rows (large pools).
 
         Returns ``(starts, completions, prefix)`` with the prefix cut at
-        the first tail-drop, or ``None`` on a pop-order tie.
+        the first tail-drop or pop-order tie (the class structure is
+        provably the heap's order only while completions are strictly
+        increasing), or ``None`` when not even the first request has
+        closed form.
         """
         n = arrivals.shape[0]
         rows = -(-n // count)
@@ -393,14 +627,21 @@ class JobRouter:
             starts[row] = np.maximum(chunk[row], starts[row - 1] + proc)
         starts = starts.reshape(-1)[:n]
         completions = starts + proc
-        # Pop-order guards: every initial free must pop strictly before the
-        # first completion, and completions must be strictly increasing --
-        # otherwise assignment falls to the heap's id tie-break and the
-        # class structure above is not provably the heap's order.
+        # Pop-order guards: every initial free must pop strictly before
+        # the first completion, and completions must be strictly
+        # increasing -- otherwise assignment falls to the heap's id
+        # tie-break and the class structure above is not provably the
+        # heap's order.  A tie cuts the commit before the offending
+        # request.
         if frees[-1] >= completions[0]:
             return None
-        if n > 1 and not np.all(completions[1:] > completions[:-1]):
-            return None
+        if n > 1:
+            increasing = completions[1:] > completions[:-1]
+            if not increasing.all():
+                n = int(np.argmin(increasing)) + 1
+                starts = starts[:n]
+                completions = completions[:n]
+                arrivals = arrivals[:n]
         # Vectorized router-queue lengths: q[k] = waiting starts > a[k]
         # among requests 0..k-1 (starts are nondecreasing, so the count is
         # a prefix difference).  The first arrival over the threshold
@@ -414,16 +655,22 @@ class JobRouter:
         prefix = int(np.argmax(over)) if over.any() else n
         return starts[:prefix], completions[:prefix], prefix
 
-    def _fast_starts_python(self, arrivals, frees, count, proc):
+    def _fast_starts_python(
+        self, arrivals, frees, count, proc, arrival_list=None, offset=0
+    ):
         """Start/completion times via a plain-Python scan (small pools).
 
         Same recurrence, same guards, same IEEE-double operations as
         :meth:`_fast_starts_numpy` -- ``max``/``+`` on Python floats and
         on float64 arrays round identically -- but without per-row numpy
         dispatch, which dominates when the pool is only a few replicas.
+        ``arrival_list``/``offset`` index a pre-built whole-chunk list so
+        retried attempts never re-convert the remaining suffix.
         """
-        arrival_list = arrivals.tolist()
-        n = len(arrival_list)
+        if arrival_list is None:
+            arrival_list = arrivals.tolist()
+            offset = 0
+        n = arrivals.shape[0]
         threshold = self.queue_threshold
         last_free = frees[-1]
         starts: list[float] = []
@@ -434,12 +681,13 @@ class JobRouter:
         served_pointer = 0  # starts[:served_pointer] have begun by now
         prefix = n
         for index in range(n):
-            arrival = arrival_list[index]
+            arrival = arrival_list[offset + index]
             base = frees[index] if index < count else completions[index - count]
             start = arrival if arrival >= base else base
             completion = start + proc
             if completion <= previous_completion:
-                return None  # pop-order tie: the heap's id tie-break rules
+                prefix = index  # pop-order tie: the heap's id tie-break rules
+                break
             if index == 0 and last_free >= completion:
                 return None
             while served_pointer < index and starts[served_pointer] <= arrival:

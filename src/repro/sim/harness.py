@@ -231,6 +231,20 @@ class SimHarness:
 
     # ---------------------------------------------------------- helpers
 
+    def dispatch_stats(self) -> dict | None:
+        """Per-run dispatch-regime counters, or ``None`` if the backend has
+        none.
+
+        Backends report how their hot path actually ran -- vectorized vs
+        scalar request dispatch, chunk cuts forced by event-time faults,
+        hybrid fidelity promotions/demotions -- so a regression into a slow
+        regime shows up in ``metadata["dispatch"]`` without profiling.
+        Counters are observability only and are never serialized into
+        report digests (``RunReport.to_dict`` carries spec + summary stats,
+        not result metadata).
+        """
+        return None
+
     def base_metadata(self) -> dict:
         """The metadata fields every backend records identically."""
         metadata = {
@@ -242,4 +256,7 @@ class SimHarness:
         }
         if self.device_pool is not None:
             metadata.update(self.device_pool.metadata())
+        dispatch = self.dispatch_stats()
+        if dispatch is not None:
+            metadata["dispatch"] = dispatch
         return metadata

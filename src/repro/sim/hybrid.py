@@ -21,6 +21,7 @@ starts, drains, fault recovery -- run on the event-driven
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,7 +37,7 @@ from repro.sim.analytic import (
 )
 from repro.sim.faults import make_fault_injector
 from repro.sim.harness import SimHarness, admit_decision
-from repro.sim.recorder import SimulationResult
+from repro.sim.recorder import JobSeries, SimulationResult
 from repro.sim.simulation import collect_request_series, replicas_per_minute
 from repro.sim.workload import PoissonArrivals
 
@@ -52,16 +53,48 @@ class HybridBackendOptions:
     flags the N busiest remaining jobs by mean offered trace rate (ties
     broken by job order, so the selection is deterministic).  Jobs not
     flagged either way advance analytically.
+
+    ``promote_headroom`` enables *mid-run fidelity promotion*: at each
+    control tick every analytic job's SLO headroom
+    (``1 - latency / slo_target``) is compared against it, and a job whose
+    headroom stays below the threshold for ``min_dwell_ticks`` consecutive
+    ticks is switched to request fidelity at the next minute boundary --
+    cheap analytic dynamics until SLO pressure makes per-request detail
+    matter.  ``demote_headroom`` is the hysteresis upper band: a promoted
+    job whose headroom stays above it for ``min_dwell_ticks`` ticks drops
+    back to the analytic side (it must exceed ``promote_headroom`` when
+    both are set; ``None`` means promoted jobs never demote).  Switches
+    happen only at minute boundaries so every evaluation minute is covered
+    by exactly one fidelity, and the rule is a pure function of the run's
+    spec -- promotion times, router seeds and arrival streams are all
+    deterministic and digest-pinned.
     """
 
     request_jobs: tuple[str, ...] = field(default_factory=tuple)
     auto_request_jobs: int = 0
+    promote_headroom: float | None = None
+    demote_headroom: float | None = None
+    min_dwell_ticks: int = 3
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "request_jobs", tuple(self.request_jobs))
         if self.auto_request_jobs < 0:
             raise ValueError(
                 f"auto_request_jobs must be >= 0, got {self.auto_request_jobs}"
+            )
+        if self.min_dwell_ticks < 1:
+            raise ValueError(
+                f"min_dwell_ticks must be >= 1, got {self.min_dwell_ticks}"
+            )
+        if (
+            self.promote_headroom is not None
+            and self.demote_headroom is not None
+            and self.demote_headroom <= self.promote_headroom
+        ):
+            raise ValueError(
+                "demote_headroom must exceed promote_headroom (hysteresis), "
+                f"got demote={self.demote_headroom} <= "
+                f"promote={self.promote_headroom}"
             )
 
 
@@ -95,12 +128,29 @@ class HybridSimulation(SimHarness):
         self.request_jobs = [job for job in self.jobs if job.name in flagged]
         self.flow_jobs = [job for job in self.jobs if job.name not in flagged]
         self._is_request = {job.name: job.name in flagged for job in self.jobs}
+        self._promotion_enabled = self.options.promote_headroom is not None
+        self._global_index = {job.name: i for i, job in enumerate(self.jobs)}
+        #: Per-job fidelity spans as ``(start_minute, is_request)`` events;
+        #: a single entry means the job never switched mid-run.
+        self._fidelity_log: dict[str, list[tuple[int, bool]]] = {
+            job.name: [(0, self._is_request[job.name])] for job in self.jobs
+        }
+        self._fidelity_events: list[dict] = []
+        #: Analytic state of currently-promoted jobs, parked for demotion.
+        self._parked_flow: dict[str, _FlowJob] = {}
+        self._promo_count: dict[str, int] = {}
+        self._pressure: dict[str, int] = {}
+        self._relief: dict[str, int] = {}
+        self._last_obs: dict[str, JobObservation] = {}
+        #: Dispatch counters of routers retired by demotion.
+        self._retired_vector = 0
+        self._retired_scalar = 0
 
         # --- request-level half (full cluster substrate) ---
         self.cluster = None
         self.arrivals: dict[str, PoissonArrivals] = {}
         self._replica_log: dict[str, list[tuple[float, int]]] = {}
-        if self.request_jobs:
+        if self.request_jobs or self._promotion_enabled:
             prefix_rps = {
                 name: values * (self.config.rate_scale / 60.0)
                 for name, values in self.history_prefix.items()
@@ -116,6 +166,10 @@ class HybridSimulation(SimHarness):
                 history_minutes=self.config.history_minutes,
                 history_prefix=prefix_rps or None,
                 seed=self.config.seed,
+                # Promotion-enabled runs may start with no request-level
+                # jobs at all; the cluster then exists only as the substrate
+                # promotions attach to.
+                allow_empty=True,
             )
             # Arrival-stream seeds use the *global* job index, so flagging a
             # job request-level never shifts another job's random stream.
@@ -251,6 +305,7 @@ class HybridSimulation(SimHarness):
                     name, self.state[name], minute, self._history_rpm,
                     self._last_tick,
                 )
+        self._last_obs = observations
         return observations
 
     def apply(self, decision: ScalingDecision, now: float) -> None:
@@ -291,15 +346,159 @@ class HybridSimulation(SimHarness):
         minute_after = min(int(now // 60.0), self.duration_minutes - 1)
         for name, flow in self.state.items():
             self._acc[name]["replicas"][minute_after] = flow.target
+        if self._promotion_enabled:
+            self._update_fidelity(now)
+
+    # -------------------------------------------------- fidelity switching
+
+    @staticmethod
+    def _headroom(job, obs: JobObservation) -> float:
+        """Predicted-vs-target SLO headroom: ``1 - latency / slo_target``.
+
+        ``inf`` latency (all requests dropped) is maximal pressure; a
+        non-finite SLO target means the job can never be under pressure.
+        """
+        target = job.slo.target
+        if not math.isfinite(target) or target <= 0.0:
+            return math.inf
+        if math.isinf(obs.latency):
+            return -math.inf
+        return 1.0 - obs.latency / target
+
+    def _update_fidelity(self, now: float) -> None:
+        """The promotion controller, run once per control tick.
+
+        Hysteresis with dwell: pressure/relief streak counters advance
+        every tick, but a switch is executed only at a minute boundary --
+        so each evaluation minute is covered by exactly one fidelity per
+        job and :meth:`collect` can stitch series minute-wise.  Jobs are
+        scanned in global job order; every input is a deterministic
+        function of the spec, so the whole switching schedule is too.
+        """
+        opts = self.options
+        boundary = now % 60.0 == 0.0 and now < self.duration_minutes * 60.0
+        for job in self.jobs:
+            name = job.name
+            obs = self._last_obs.get(name)
+            if obs is None:
+                continue
+            headroom = self._headroom(job, obs)
+            if not self._is_request[name]:
+                if headroom < opts.promote_headroom:
+                    self._pressure[name] = self._pressure.get(name, 0) + 1
+                else:
+                    self._pressure[name] = 0
+                if boundary and self._pressure[name] >= opts.min_dwell_ticks:
+                    self._promote(job, now)
+                    self._pressure[name] = 0
+            elif name in self._parked_flow:
+                # Only dynamically-promoted jobs can demote; the initial
+                # request_jobs flag is a pin, not a starting point.
+                if (
+                    opts.demote_headroom is not None
+                    and headroom > opts.demote_headroom
+                ):
+                    self._relief[name] = self._relief.get(name, 0) + 1
+                else:
+                    self._relief[name] = 0
+                if boundary and self._relief[name] >= opts.min_dwell_ticks:
+                    self._demote(job, now)
+                    self._relief[name] = 0
+
+    def _promote(self, job, now: float) -> None:
+        """Switch one job from analytic to request fidelity at ``now``.
+
+        The analytic state is parked for a later demotion.  The new router
+        starts with the flow side's ready replicas and schedules cold
+        starts up to its target; its seed is a pure function of the run
+        seed, the job's *global* index, and the job's promotion count --
+        never of which other jobs are flagged or promoted.  The arrival
+        stream is the job's canonical request-backend stream (same seed
+        derivation as :class:`~repro.sim.simulation.Simulation`) fast-
+        forwarded to ``now``, so post-promotion arrivals are exactly the
+        suffix a pure request-fidelity run would have offered.
+        """
+        name = job.name
+        flow = self.state.pop(name)
+        self._parked_flow[name] = flow
+        index = self._global_index[name]
+        count = self._promo_count.get(name, 0)
+        seed = self.config.seed + 1000 * index + 7919 * count + 13
+        router = self.cluster.add_job(job, flow.running, seed)
+        router.drop_rate = flow.drop_rate
+        if flow.target != router.replica_count:
+            router.scale_to(flow.target, now)
+        self.cluster.targets[name] = flow.target
+        minute = int(now // 60.0)
+        self.cluster.metrics[name].backfill_rate_history({
+            m: float(flow.trace[m]) / 60.0
+            for m in range(max(minute - self.config.history_minutes, 0), minute)
+        })
+        stream = PoissonArrivals(
+            self.traces[name],
+            rate_scale=self.config.rate_scale,
+            seed=self.config.seed + 17 * index + 3,
+        )
+        stream.take_until_array(now)
+        self.arrivals[name] = stream
+        self._replica_log.setdefault(name, []).append((now, flow.target))
+        self._is_request[name] = True
+        self._promo_count[name] = count + 1
+        self._fidelity_log[name].append((minute, True))
+        self._fidelity_events.append({"job": name, "time": now, "to": "request"})
+
+    def _demote(self, job, now: float) -> None:
+        """Switch a previously-promoted job back to analytic fidelity.
+
+        The parked flow state resumes with the router's ready replicas and
+        live queue length; the router's in-flight cold starts are
+        re-scheduled as fresh analytic cold starts (a conservative
+        approximation).  The router is detached -- its metrics collector
+        stays with the cluster so the request-fidelity minutes remain in
+        the evaluation series.
+        """
+        name = job.name
+        router = self.cluster.routers[name]
+        flow = self._parked_flow.pop(name)
+        flow.running = router.ready_replica_count(now)
+        flow.queue = float(router.queue_length(now))
+        flow.drop_rate = router.drop_rate
+        flow.scale_to(self.cluster.targets[name], now)
+        self._retired_vector += router.vector_requests
+        self._retired_scalar += router.scalar_requests
+        self.cluster.remove_job(name)
+        del self.arrivals[name]
+        self.state[name] = flow
+        self._is_request[name] = False
+        self._fidelity_log[name].append((int(now // 60.0), False))
+        self._fidelity_events.append({"job": name, "time": now, "to": "flow"})
 
     # ------------------------------------------------------------ collect
+
+    def dispatch_stats(self) -> dict:
+        vector = self._retired_vector
+        scalar = self._retired_scalar
+        if self.cluster is not None:
+            vector += sum(r.vector_requests for r in self.cluster.routers.values())
+            scalar += sum(r.scalar_requests for r in self.cluster.routers.values())
+        return {
+            "vector_requests": vector,
+            "scalar_requests": scalar,
+            "promotions": sum(
+                1 for e in self._fidelity_events if e["to"] == "request"
+            ),
+            "demotions": sum(1 for e in self._fidelity_events if e["to"] == "flow"),
+        }
 
     def collect(self) -> SimulationResult:
         minutes = self.duration_minutes
         series = {}
         for job in self.jobs:
             name = job.name
-            if self._is_request[name]:
+            log = self._fidelity_log[name]
+            if len(log) > 1:
+                series[name] = self._stitch_series(name, log, minutes)
+            elif self._is_request[name]:
                 series[name] = collect_request_series(
                     name,
                     self.cluster.metrics[name],
@@ -313,6 +512,8 @@ class HybridSimulation(SimHarness):
         metadata = self.base_metadata()
         metadata["request_jobs"] = [job.name for job in self.request_jobs]
         metadata["flow_jobs"] = [job.name for job in self.flow_jobs]
+        if self._fidelity_events:
+            metadata["fidelity_events"] = list(self._fidelity_events)
         if self._fault_injector is not None:
             metadata["failures_injected"] = dict(self._fault_injector.failures_injected)
             metadata["total_failures"] = self._fault_injector.total_failures
@@ -320,4 +521,39 @@ class HybridSimulation(SimHarness):
             jobs=series,
             policy_name=getattr(self.policy, "name", "policy"),
             metadata=metadata,
+        )
+
+    def _stitch_series(
+        self, name: str, log: list[tuple[int, bool]], minutes: int
+    ) -> JobSeries:
+        """Minute-wise merge of a switched job's two fidelity series.
+
+        Switches land only on minute boundaries, so every minute was
+        simulated by exactly one side: build both full-length series (the
+        other side's minutes are zero-filled and masked away) and take
+        each minute from the side that actually ran it.
+        """
+        mask = np.zeros(minutes, dtype=bool)
+        for i, (start, is_request) in enumerate(log):
+            end = log[i + 1][0] if i + 1 < len(log) else minutes
+            mask[start:end] = is_request
+        request = collect_request_series(
+            name,
+            self.cluster.metrics[name],
+            minutes,
+            replicas_per_minute(self._replica_log[name], minutes),
+        )
+        flow_obj = self.state.get(name) or self._parked_flow[name]
+        flow = collect_flow_series(name, flow_obj, self._acc[name], minutes)
+        return JobSeries(
+            name=name,
+            arrivals=np.where(mask, request.arrivals, flow.arrivals),
+            drops=np.where(mask, request.drops, flow.drops),
+            violations=np.where(mask, request.violations, flow.violations),
+            latency_p=np.where(mask, request.latency_p, flow.latency_p),
+            utility=np.where(mask, request.utility, flow.utility),
+            effective_utility=np.where(
+                mask, request.effective_utility, flow.effective_utility
+            ),
+            replicas=np.where(mask, request.replicas, flow.replicas),
         )

@@ -229,6 +229,54 @@ class EventFaultProcess:
             )
         return count
 
+    def failure_times(
+        self, job_name: str, replica_count: int, start: float, dt: float
+    ) -> list[float]:
+        """Exact failure instants of ``job_name`` in ``(start, start + dt]``.
+
+        The event-time refinement of :meth:`sample`: instead of one Poisson
+        count quantized to the interval boundary, each threshold crossing is
+        resolved to the real instant it occurs.  Because the caller kills a
+        replica *at* each returned instant (the request backend splits its
+        offer pass there), the pool genuinely shrinks mid-interval, so
+        replica-time accrues at the reduced rate after every failure -- the
+        exact inhomogeneous thinning ``sample`` approximates with its
+        end-of-interval kill cap.  Shares the per-job work/threshold state
+        with :meth:`sample`, so a process can be driven through either
+        entry point without re-rolling any draw.
+        """
+        if replica_count < 0:
+            raise ValueError(f"replica_count must be >= 0, got {replica_count}")
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        if replica_count == 0 or dt == 0.0:
+            return []
+        mttf = self.config.mttf_seconds
+        work = self._work.get(job_name, 0.0)
+        if job_name not in self._threshold:
+            self._threshold[job_name] = float(self._rng.exponential(1.0))
+        times: list[float] = []
+        now = start
+        end = start + dt
+        alive = replica_count
+        while alive > 0:
+            rate = alive / mttf
+            gap = (self._threshold[job_name] - work) / rate
+            if now + gap > end:
+                work += (end - now) * rate
+                break
+            now += gap
+            times.append(now)
+            work = 0.0
+            self._threshold[job_name] = float(self._rng.exponential(1.0))
+            alive -= 1
+        self._work[job_name] = work
+        if times:
+            self.failures_injected[job_name] = (
+                self.failures_injected.get(job_name, 0) + len(times)
+            )
+        return times
+
     @property
     def total_failures(self) -> int:
         return sum(self.failures_injected.values())

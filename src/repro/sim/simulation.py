@@ -146,6 +146,14 @@ class Simulation(SimHarness):
         self._fault_injector = (
             make_fault_injector(self.config.faults) if self.config.faults else None
         )
+        # The event-driven process supports exact in-chunk failure instants;
+        # the per-tick sampler only produces end-of-tick counts.
+        self._event_faults = (
+            self._fault_injector
+            if self.config.faults is not None and self.config.faults.process == "event"
+            else None
+        )
+        self._fault_chunk_cuts = 0
 
     def _push_device_assignment(
         self, hints: dict[str, dict[str, int]] | None = None
@@ -162,9 +170,13 @@ class Simulation(SimHarness):
     def _reset(self) -> None:
         if self._fault_injector is not None:
             self._fault_injector.reset()
+        self._fault_chunk_cuts = 0
 
     def advance(self, now: float, tick: float, end_time: float) -> float:
+        start = now
         now = min(now + tick, end_time)
+        if self._event_faults is not None:
+            return self._advance_event_faults(start, now)
         if self.options.vectorize:
             for name, stream in self.arrivals.items():
                 chunk = stream.take_until_array(now)
@@ -183,6 +195,47 @@ class Simulation(SimHarness):
             self.cluster.reconcile(now)
         return now
 
+    def _advance_event_faults(self, start: float, now: float) -> float:
+        """Advance one control interval with event-time failure cuts.
+
+        The per-tick path above quantizes failures to the interval boundary:
+        every request in the chunk still sees the full pool, and the kill
+        lands at ``now``.  Here each job's failure instants are resolved
+        exactly (:meth:`repro.sim.lifecycle.EventFaultProcess.failure_times`)
+        and the offer pass is split *at* them -- requests arriving before a
+        failure dispatch against the full pool, requests after it against
+        the shrunk pool, exactly as a continuously-running cluster would
+        see.  Jobs are processed in router (insertion) order, the same
+        per-job order the fault process's RNG was consumed in before.
+        """
+        injector = self._event_faults
+        vectorize = self.options.vectorize
+        for name, router in self.cluster.routers.items():
+            stream = self.arrivals[name]
+            cuts = injector.failure_times(
+                name, router.replica_count, start, now - start
+            )
+            self._fault_chunk_cuts += len(cuts)
+            if vectorize:
+                for instant in cuts:
+                    chunk = stream.take_until_array(instant)
+                    if chunk.size:
+                        self.cluster.offer_chunk(name, chunk)
+                    router.fail_replica(instant)
+                chunk = stream.take_until_array(now)
+                if chunk.size:
+                    self.cluster.offer_chunk(name, chunk)
+            else:
+                offer = self.cluster.offer
+                for instant in cuts:
+                    for arrival in stream.take_until(instant):
+                        offer(name, arrival)
+                    router.fail_replica(instant)
+                for arrival in stream.take_until(now):
+                    offer(name, arrival)
+        self.cluster.reconcile(now)
+        return now
+
     def observations(self, now: float) -> dict[str, JobObservation]:
         return self.cluster.observations(now, window=self.config.observation_window)
 
@@ -195,6 +248,14 @@ class Simulation(SimHarness):
         self._push_device_assignment(decision.device_replicas)
 
     # ------------------------------------------------------------ collect
+
+    def dispatch_stats(self) -> dict:
+        routers = self.cluster.routers.values()
+        return {
+            "vector_requests": sum(r.vector_requests for r in routers),
+            "scalar_requests": sum(r.scalar_requests for r in routers),
+            "fault_chunk_cuts": self._fault_chunk_cuts,
+        }
 
     def collect(self) -> SimulationResult:
         series = {

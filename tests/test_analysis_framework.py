@@ -106,6 +106,7 @@ class TestRegistry:
             "frozen-mutation",
             "registry-contract",
             "spawn-safety",
+            "rng-batching",
             "perf-gate",
         }
         assert get_pass_registry().names(scope="project") == ("perf-gate",)
@@ -438,3 +439,9 @@ class TestRunChecks:
         assert "--changed" not in steps[0].argv
         changed = mod.build_steps(skip_perf=True, skip_tests=True, lint_changed=True)
         assert "--changed" in changed[0].argv
+
+    def test_bench_smoke_runs_before_the_test_suite(self):
+        steps = self.load_run_checks().build_steps(bench_smoke=True)
+        assert [s.name for s in steps] == ["lint", "bench-smoke", "tests", "perf"]
+        smoke = steps[1]
+        assert "benchmarks.bench_sim_backends" in smoke.argv

@@ -461,6 +461,117 @@ class TestSpawnSafety:
         )
 
 
+# --------------------------------------------------------- rng-batching
+
+
+class TestRngBatching:
+    def test_scalar_draw_in_loop_flagged(self):
+        findings = lint(
+            """
+            def offer_all(rng, arrivals):
+                out = []
+                for a in arrivals:
+                    out.append(rng.random() < 0.5)
+                return out
+            """,
+            "rng-batching",
+            module=SIM_MODULE,
+        )
+        assert len(findings) == 1
+        assert "pre-draw a batch" in findings[0].message
+
+    def test_scalar_normal_through_self_rng_flagged(self):
+        findings = lint(
+            """
+            class Router:
+                def run(self, arrivals):
+                    while arrivals:
+                        jitter = self._rng.normal(1.0, 0.05)
+                        arrivals.pop()
+            """,
+            "rng-batching",
+            module="repro.cluster.fixture",
+        )
+        assert len(findings) == 1
+
+    def test_batched_draws_and_loopless_draws_allowed(self):
+        assert not lint(
+            """
+            def offer_all(rng, arrivals):
+                draws = rng.random(len(arrivals))
+                jitters = rng.normal(1.0, 0.05, size=len(arrivals))
+                for a, d in zip(arrivals, draws):
+                    serve(a, d)
+
+            def one_offer(rng):
+                return rng.random()  # not in a loop: one draw total
+            """,
+            "rng-batching",
+            module=SIM_MODULE,
+        )
+
+    def test_outcome_dependent_methods_not_flagged(self):
+        # exponential/uniform draws whose count depends on earlier
+        # outcomes are the scalar loop's legitimate residue.
+        assert not lint(
+            """
+            def failures(rng, n):
+                while n > 0:
+                    gap = rng.exponential(1.0)
+                    n -= 1
+            """,
+            "rng-batching",
+            module=SIM_MODULE,
+        )
+
+    def test_outside_hot_path_modules_silent(self):
+        source = """
+        def offer_all(rng, arrivals):
+            for a in arrivals:
+                serve(a, rng.random())
+        """
+        assert not lint(source, "rng-batching", module=OUTSIDE_MODULE)
+        assert lint(source, "rng-batching", module=SIM_MODULE)
+
+    def test_non_generator_receivers_ignored(self):
+        assert not lint(
+            """
+            def run(matrix, arrivals):
+                for a in arrivals:
+                    x = matrix.normal(1.0, 0.5)
+            """,
+            "rng-batching",
+            module=SIM_MODULE,
+        )
+
+    def test_suppression_and_options(self):
+        source = """
+        def offer_all(rng, arrivals):
+            for a in arrivals:
+                serve(a, rng.random())  # repro: allow(rng-batching) -- accept/reject chain
+        """
+        assert not lint(source, "rng-batching", module=SIM_MODULE)
+        # Custom module scope via options.
+        assert lint(
+            source,
+            "rng-batching",
+            module=OUTSIDE_MODULE,
+            options={"modules": ("myplugin",)},
+        ) == []  # suppressed inline even under custom scope
+        assert len(
+            lint(
+                """
+                def offer_all(rng, arrivals):
+                    for a in arrivals:
+                        serve(a, rng.random())
+                """,
+                "rng-batching",
+                module=OUTSIDE_MODULE,
+                options={"modules": ("myplugin",)},
+            )
+        ) == 1
+
+
 # ----------------------------------------------------------- perf-gate
 
 

@@ -48,6 +48,7 @@ def test_every_builtin_pass_ran(report):
         "frozen-mutation",
         "registry-contract",
         "spawn-safety",
+        "rng-batching",
         "perf-gate",
     }
     assert report.files > 50  # the whole src tree, not a stray subset

@@ -40,6 +40,15 @@ PRE_REFACTOR_DIGESTS = {
 #: PR): seed/ordering changes in the hybrid split show up here.
 HYBRID_DIGEST = "9e983e6687899d876aa91b6a1bfa44f5e1aa31b21bd748df3d09671c7009b9d2"
 
+#: Behaviour pin for hybrid mid-run fidelity promotion (captured at
+#: introduction).  The promotion rule is required to be a deterministic
+#: function of the spec -- promotion times, router seeds, and arrival
+#: streams included -- so any change to the hysteresis controller, seed
+#: derivation, or minute stitching shows up here.
+HYBRID_PROMOTION_DIGEST = (
+    "00cdf9235a83b23d4f800fd7ac3aec43b247b94f145e683e68ce07333980336b"
+)
+
 
 def report_digest(spec) -> str:
     report = api.run(spec)
@@ -241,6 +250,53 @@ class TestHybridEndToEnd:
 class TestHybridSweep:
     def test_hybrid_sharded_sweep_matches_serial(self):
         spec = hybrid_spec(trials=4)
+        serial = api.run(spec)
+        parallel = api.run_parallel(spec, workers=2)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            parallel.to_dict(), sort_keys=True
+        )
+
+
+# ------------------------------------------------- hybrid mid-run promotion
+
+
+def promotion_spec(trials: int = 2, policies=("fairshare", "faro-fairsum")):
+    """An undersized paper scenario whose jobs come under SLO pressure
+    within the first minute, driving the promotion controller."""
+    return api.ExperimentSpec.compare(
+        "hybrid-promotion-pin",
+        api.ScenarioSpec(
+            kind="paper",
+            params={"size": 5, "num_jobs": 2, "duration_minutes": 10,
+                    "days": 2, "rate_hi": 600.0},
+            name="tiny-promo",
+        ),
+        list(policies),
+        simulator="hybrid",
+        backend_options={"promote_headroom": 0.2, "demote_headroom": 0.7,
+                         "min_dwell_ticks": 2},
+        trials=trials,
+        seed=0,
+        predictor_profile={"epochs": 1, "max_windows": 64},
+    )
+
+
+class TestHybridPromotion:
+    def test_promotion_behaviour_pinned(self):
+        """The whole promotion schedule is deterministic and digest-pinned."""
+        assert report_digest(promotion_spec()) == HYBRID_PROMOTION_DIGEST
+
+    def test_promotions_actually_fire(self):
+        report = api.run(promotion_spec(trials=1, policies=("fairshare",)))
+        result = report.get("tiny-promo", "fairshare").results[0]
+        dispatch = result.metadata["dispatch"]
+        assert dispatch["promotions"] > 0
+        events = result.metadata["fidelity_events"]
+        assert all(e["time"] % 60.0 == 0.0 for e in events)  # minute boundaries
+        assert dispatch["vector_requests"] > 0  # promoted routers vectorize
+
+    def test_promotion_sharded_sweep_matches_serial(self):
+        spec = promotion_spec(trials=2, policies=("fairshare",))
         serial = api.run(spec)
         parallel = api.run_parallel(spec, workers=2)
         assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(

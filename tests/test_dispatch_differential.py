@@ -1,0 +1,212 @@
+"""Randomized differential suite for the vectorized dispatch paths.
+
+The vectorized request path (PR 4, extended to jittered service and drop
+directives in this round) claims *bit-identity* with the per-request scalar
+loop -- every latency float, every replica's state, every totals counter,
+and the RNG generator's final position.  These properties fuzz that claim
+across the whole randomness cross-product (jitter x drop-rate x pool size x
+queue pressure) instead of trusting a handful of handpicked cases, and the
+event-time fault path is checked the same way: vectorized and scalar offer
+loops must split chunks at the exact same failure instants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.models import ModelProfile
+from repro.cluster.router import JobRouter
+from repro.sim.faults import FaultConfig
+from repro.sim.lifecycle import EventFaultProcess
+
+
+def make_router(jitter, replicas, drop_rate, threshold, seed):
+    router = JobRouter(
+        job_name="svc",
+        model=ModelProfile(name="m", proc_time=0.18, proc_jitter=jitter),
+        initial_replicas=replicas,
+        queue_threshold=threshold,
+        cold_start_range=(0.0, 0.0),
+        seed=seed,
+    )
+    router.drop_rate = drop_rate
+    return router
+
+
+def chunked_arrivals(rng, chunks, tick, rate):
+    out, now = [], 0.0
+    for _ in range(chunks):
+        n = int(rng.poisson(rate * tick))
+        out.append(np.sort(rng.random(n)) * tick + now)
+        now += tick
+    return out
+
+
+def router_state(router, now):
+    return {
+        "replicas": {
+            rid: (r.ready_at, r.free_at, r.served, r.active)
+            for rid, r in router._replicas.items()
+        },
+        "queue": router.queue_length(now),
+        "totals": (
+            router.totals.arrivals,
+            router.totals.served,
+            router.totals.tail_dropped,
+            router.totals.explicit_dropped,
+        ),
+        "rng": router._rng.bit_generator.state,
+    }
+
+
+class TestOfferManyFuzz:
+    """offer_many == the scalar loop, bit for bit, on randomized chunks."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        jitter=st.sampled_from([0.0, 0.05, 0.2]),
+        drop_rate=st.sampled_from([0.0, 0.05, 0.3]),
+        replicas=st.integers(min_value=1, max_value=16),
+        threshold=st.sampled_from([3, 50]),
+        rate=st.floats(min_value=0.2, max_value=30.0),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_bit_identical_including_rng_state(
+        self, jitter, drop_rate, replicas, threshold, rate, seed
+    ):
+        rng = np.random.default_rng(seed)
+        chunks = chunked_arrivals(rng, chunks=4, tick=10.0, rate=rate)
+        scalar = make_router(jitter, replicas, drop_rate, threshold, seed=7)
+        batch = make_router(jitter, replicas, drop_rate, threshold, seed=7)
+        now = 0.0
+        for chunk in chunks:
+            now += 10.0
+            expected = np.array([scalar.offer(a) for a in chunk.tolist()])
+            got = batch.offer_many(chunk)
+            np.testing.assert_array_equal(got, expected)
+            assert router_state(batch, now) == router_state(scalar, now)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        jitter=st.sampled_from([0.0, 0.08]),
+        drop_rate=st.sampled_from([0.0, 0.1]),
+        replicas=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_interleaved_scaling_keeps_identity(
+        self, jitter, drop_rate, replicas, seed
+    ):
+        """Scale events between chunks (the control loop's usage pattern)
+        must not open a gap between the paths."""
+        rng = np.random.default_rng(seed)
+        chunks = chunked_arrivals(rng, chunks=3, tick=10.0, rate=4.0)
+        scalar = make_router(jitter, replicas, drop_rate, 50, seed=3)
+        batch = make_router(jitter, replicas, drop_rate, 50, seed=3)
+        now = 0.0
+        targets = [replicas + 2, max(replicas - 1, 1), replicas]
+        for chunk, target in zip(chunks, targets):
+            now += 10.0
+            expected = np.array([scalar.offer(a) for a in chunk.tolist()])
+            np.testing.assert_array_equal(batch.offer_many(chunk), expected)
+            scalar.scale_to(target, now)
+            batch.scale_to(target, now)
+            assert router_state(batch, now) == router_state(scalar, now)
+
+
+class TestEventFaultCuts:
+    """Exact failure instants, and identical splits on both offer paths."""
+
+    def test_failure_times_shrink_the_pool(self):
+        process = EventFaultProcess(
+            FaultConfig(mttf_seconds=30.0, seed=1, process="event")
+        )
+        times = process.failure_times("j", 8, 0.0, 600.0)
+        assert times == sorted(times)
+        assert 0 < len(times) <= 8
+        assert all(0.0 < t <= 600.0 for t in times)
+        assert process.failures_injected["j"] == len(times)
+
+    def test_failure_times_deterministic(self):
+        a = EventFaultProcess(FaultConfig(mttf_seconds=50.0, seed=9, process="event"))
+        b = EventFaultProcess(FaultConfig(mttf_seconds=50.0, seed=9, process="event"))
+        for start in (0.0, 120.0, 240.0):
+            assert a.failure_times("j", 5, start, 120.0) == b.failure_times(
+                "j", 5, start, 120.0
+            )
+
+    def test_zero_pool_and_zero_dt(self):
+        process = EventFaultProcess(FaultConfig(mttf_seconds=10.0, seed=0))
+        assert process.failure_times("j", 0, 0.0, 100.0) == []
+        assert process.failure_times("j", 3, 0.0, 0.0) == []
+        with pytest.raises(ValueError):
+            process.failure_times("j", -1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            process.failure_times("j", 1, 0.0, -1.0)
+
+    @pytest.mark.parametrize("vectorize", [True, False])
+    def test_event_cuts_identical_across_offer_paths(self, vectorize):
+        """The chunk split at failure instants is the same simulation no
+        matter which offer path runs it -- pinned by comparing both paths'
+        full per-minute series."""
+        results = {}
+        for vec in (True, False):
+            results[vec] = self._run_event_sim(vec)
+        for field in (
+            "arrivals", "drops", "violations", "latency_p",
+            "utility", "effective_utility", "replicas",
+        ):
+            np.testing.assert_array_equal(
+                getattr(results[True].jobs["a"], field),
+                getattr(results[False].jobs["a"], field),
+            )
+        meta = results[vectorize].metadata
+        assert meta["total_failures"] > 0
+        assert meta["dispatch"]["fault_chunk_cuts"] > 0
+
+    @staticmethod
+    def _run_event_sim(vectorize, faults="event"):
+        from repro.cluster.job import InferenceJobSpec
+        from repro.cluster.kubernetes import ResourceQuota
+        from repro.cluster.models import RESNET34
+        from repro.sim import (
+            RequestBackendOptions,
+            Simulation,
+            SimulationConfig,
+        )
+        from tests.test_simulation import StaticPolicy
+
+        jobs = [InferenceJobSpec.with_default_slo("a", RESNET34)]
+        traces = {"a": np.full(10, 300.0)}
+        config = SimulationConfig(
+            duration_minutes=10, seed=0, cold_start_range=(10.0, 10.0),
+            faults=FaultConfig(mttf_seconds=45.0, seed=1, process="event")
+            if faults == "event" else None,
+        )
+        sim = Simulation(
+            jobs, traces, StaticPolicy({"a": 4}), ResourceQuota.of_replicas(4),
+            config=config, initial_replicas={"a": 4},
+            options=RequestBackendOptions(vectorize=vectorize),
+        )
+        return sim.run()
+
+
+class TestDispatchCounters:
+    """The harness reports which regime served each request (metadata only:
+    counters never enter report digests)."""
+
+    def test_vectorized_run_counts_vector_requests(self):
+        result = TestEventFaultCuts._run_event_sim(True, faults=None)
+        dispatch = result.metadata["dispatch"]
+        assert dispatch["vector_requests"] > 0
+        assert dispatch["fault_chunk_cuts"] == 0
+        total = dispatch["vector_requests"] + dispatch["scalar_requests"]
+        assert total == int(result.jobs["a"].arrivals.sum())
+
+    def test_scalar_run_counts_everything_scalar(self):
+        result = TestEventFaultCuts._run_event_sim(False, faults=None)
+        dispatch = result.metadata["dispatch"]
+        assert dispatch["vector_requests"] == 0
+        assert dispatch["scalar_requests"] == int(
+            result.jobs["a"].arrivals.sum()
+        )

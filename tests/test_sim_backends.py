@@ -101,6 +101,9 @@ class TestBackendRegistry:
         assert dict(info.option_fields()) == {
             "request_jobs": (),
             "auto_request_jobs": 0,
+            "promote_headroom": None,
+            "demote_headroom": None,
+            "min_dwell_ticks": 3,
         }
 
     def test_config_type_must_be_dataclass(self):
@@ -246,9 +249,12 @@ class TestOfferManyBitIdentity:
         # differential test asserts wholesale.
 
     def test_fast_path_declines_randomness_and_queue(self):
-        # Randomness (jitter or drop directives) disqualifies the chunk...
-        assert not _mk_router(jitter=0.05).chunk_fast_preconditions(1.0)
-        assert not _mk_router(jitter=0.0, drop_rate=0.5).chunk_fast_preconditions(1.0)
+        # Separable randomness (jitter alone, drops alone) batch-draws and
+        # stays on the fast path; jitter AND drops interleave
+        # outcome-dependent draws and must stay scalar...
+        assert _mk_router(jitter=0.05).chunk_fast_preconditions(1.0)
+        assert _mk_router(jitter=0.0, drop_rate=0.5).chunk_fast_preconditions(1.0)
+        assert not _mk_router(jitter=0.05, drop_rate=0.5).chunk_fast_preconditions(1.0)
         # ...as does a non-empty router queue at the first arrival.
         router = _mk_router(jitter=0.0, replicas=1)
         router.offer(1.0)

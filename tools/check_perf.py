@@ -21,8 +21,11 @@ Four benches run in-process and compare against checked-in baselines:
   not;
 - the simulation-backend bench (``benchmarks/bench_sim_backends.py`` vs
   ``results/BENCH_sim.json``): batch offers must stay byte-identical to
-  per-request offers (unconditional), keep their speedup on the steady
-  workload, and no backend's wall-clock may regress beyond tolerance;
+  per-request offers (unconditional), keep their speedup on the steady,
+  jittered-service, and explicit-drop workloads, and no backend's
+  wall-clock may regress beyond tolerance.  The jittered/drops speedup
+  gates self-report SKIPPED when the checked-in baseline predates those
+  points;
 - the scenario-build bench (``benchmarks/bench_scenario_build.py`` vs
   ``results/BENCH_scenarios.json``): scenario construction + trace
   generation at 10/100/500 jobs may not regress beyond tolerance, and the
@@ -310,8 +313,21 @@ SIM_GATED_POINTS = (
     "request-steady-vector",
     "request-adaptive",
     "request-paper",
+    "request-paper-vector",
+    "request-drops-vector",
     "flow",
     "hybrid",
+)
+
+#: Vectorization speedups the sim gate bounds from below:
+#: ``(measured key, baseline gate-constant key, default floor)``.  The
+#: jittered/drops entries self-report SKIPPED when the checked-in baseline
+#: predates them (a stale baseline should say so, not silently gate
+#: nothing and not block older gates either).
+SIM_SPEEDUP_GATES = (
+    ("steady_vector_speedup", "gated_vector_speedup", 1.5),
+    ("jittered_vector_speedup", "gated_jitter_speedup", 2.0),
+    ("drops_vector_speedup", "gated_jitter_speedup", 2.0),
 )
 
 
@@ -332,19 +348,35 @@ def compare_sim(baseline: dict, measured: dict, tolerance: float) -> tuple[list[
         )
     )
 
-    required = baseline.get("gated_vector_speedup", 1.5)
-    speedup = measured.get("steady_vector_speedup", 0.0)
-    passed = speedup >= required
-    ok = ok and passed
-    rows.append(
-        (
-            "sim/steady-speedup",
-            "speedup",
-            f">= {required:.1f}x",
-            f"{speedup:.2f}x",
-            "ok" if passed else "REGRESSED (lost batch-offer speedup)",
+    for key, gate_key, default in SIM_SPEEDUP_GATES:
+        label = f"sim/{key.replace('_vector_speedup', '')}-speedup"
+        if key not in baseline:
+            # The checked-in baseline predates this speedup point (the
+            # jittered/drops regimes are newer than the steady one); say
+            # so instead of silently gating nothing.
+            rows.append(
+                (
+                    label,
+                    "speedup",
+                    "-",
+                    "-",
+                    f"SKIPPED ({key} absent from baseline; rerun --write)",
+                )
+            )
+            continue
+        required = baseline.get(gate_key, default)
+        speedup = measured.get(key, 0.0)
+        passed = speedup >= required
+        ok = ok and passed
+        rows.append(
+            (
+                label,
+                "speedup",
+                f">= {required:.1f}x",
+                f"{speedup:.2f}x",
+                "ok" if passed else "REGRESSED (lost batch-offer speedup)",
+            )
         )
-    )
 
     base_points = {p["name"]: p for p in baseline["points"]}
     measured_points = {p["name"]: p for p in measured["points"]}

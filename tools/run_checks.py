@@ -6,9 +6,12 @@ fastest:
 
 1. ``repro-faro lint src tools benchmarks examples`` -- static passes
    (determinism, ordered iteration, frozen-spec mutation, registry
-   contract, spawn safety, perf-gate drift), seconds;
-2. ``PYTHONPATH=src python -m pytest -x -q`` -- the tier-1 suite;
-3. ``PYTHONPATH=src python tools/check_perf.py`` -- the perf gates
+   contract, spawn safety, rng batching, perf-gate drift), seconds;
+2. optionally (``--bench-smoke``) the tiny sim-backend smoke bench --
+   structural perf drift (diverged batch series, a vector kernel that
+   stopped engaging) in seconds rather than at the full perf gate;
+3. ``PYTHONPATH=src python -m pytest -x -q`` -- the tier-1 suite;
+4. ``PYTHONPATH=src python tools/check_perf.py`` -- the perf gates
    (skippable with ``--skip-perf`` on machines whose wall-clock the
    checked-in baselines do not describe).
 
@@ -47,6 +50,7 @@ def build_steps(
     skip_perf: bool = False,
     skip_tests: bool = False,
     lint_changed: bool = False,
+    bench_smoke: bool = False,
 ) -> list[CheckStep]:
     """The gate sequence, cheapest first.  Pure -- easy to test."""
     python = sys.executable or "python"
@@ -55,6 +59,17 @@ def build_steps(
         lint_argv.append("--changed")
     lint_argv += ["src", "tools", "benchmarks", "examples"]
     steps = [CheckStep(name="lint", argv=tuple(lint_argv))]
+    if bench_smoke:
+        # Before the (slow) tier-1 suite: the smoke bench trips in seconds
+        # on structural perf drift (a kernel that stopped engaging, a
+        # diverged batch series) that the full perf gate would only catch
+        # minutes later.
+        steps.append(
+            CheckStep(
+                name="bench-smoke",
+                argv=(python, "-m", "benchmarks.bench_sim_backends"),
+            )
+        )
     if not skip_tests:
         steps.append(
             CheckStep(name="tests", argv=(python, "-m", "pytest", "-x", "-q"))
@@ -104,11 +119,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="lint only files changed since the merge-base with main",
     )
+    parser.add_argument(
+        "--bench-smoke",
+        action="store_true",
+        help="run the tiny sim-backend bench (seconds) before the test suite",
+    )
     args = parser.parse_args(argv)
     steps = build_steps(
         skip_perf=args.skip_perf,
         skip_tests=args.skip_tests,
         lint_changed=args.lint_changed,
+        bench_smoke=args.bench_smoke,
     )
     return run_steps(steps)
 
