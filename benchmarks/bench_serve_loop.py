@@ -1,0 +1,174 @@
+"""Serve loop vs batch run: report identity and accelerated-replay overhead.
+
+The serving subsystem's performance contract, pinned for the perf gate
+(``tools/check_perf.py`` vs ``results/BENCH_serve.json``):
+
+- serving a finite replay must produce a merged report byte-identical
+  (canonical JSON) to batch ``api.run`` -- windowing is presentation,
+  never content -- and
+- the serve loop's accelerated replay (virtual clock, no sleeping) must
+  stay within a gated wall-clock ratio of the batch harness on the same
+  trial: window accounting, degradation flags, and sink dispatch are
+  per-tick overhead, and the ratio is how that overhead is bounded.
+
+The gated ratio times ``ServeLoop.run`` against ``SimHarness.run`` on
+freshly-built copies of the *same* trial (same scenario, policy, seed),
+so policy construction and trace generation -- identical on both sides
+-- cannot dilute or jitter it.  The flow backend's ticks are the
+cheapest in the repo, which makes this the most sensitive point to
+measure serve bookkeeping at.  Measurements are interleaved and
+best-of-five per side, after an untimed warm-up pair.
+"""
+
+import json
+import time
+
+from benchmarks.conftest import RESULTS_DIR, write_result
+from repro import api
+from repro.api.runner import build_trial_simulation, derive_trial_seed, make_policy
+from repro.experiments.policies import PredictorProfile
+from repro.experiments.report import format_table
+from repro.serve import (
+    ReplayCursor,
+    ServeLoop,
+    ServeOptions,
+    ServeSpec,
+    VirtualClock,
+    WindowAccumulator,
+    serve,
+)
+
+#: Largest serve/batch wall-clock ratio the perf gate tolerates.  The
+#: serve loop replays the identical trial plus window accounting; a
+#: ratio beyond this means per-tick bookkeeping grew into a tax.
+GATED_MAX_OVERHEAD = 1.25
+
+_WINDOW_MINUTES = 2
+
+_PROFILE = PredictorProfile(epochs=1, max_windows=64)
+
+_SCENARIO = api.ScenarioSpec(
+    kind="paper",
+    params={
+        "size": 8,
+        "num_jobs": 2,
+        "duration_minutes": 60,
+        "days": 2,
+        "rate_hi": 300.0,
+    },
+    name="serve-bench",
+)
+
+
+def _bench_spec() -> ServeSpec:
+    experiment = api.ExperimentSpec.compare(
+        "serve-bench-exp",
+        [_SCENARIO],
+        ["fairshare", "aiad"],
+        trials=2,
+        seed=0,
+        simulator="flow",
+        predictor_profile={"epochs": 1, "max_windows": 64},
+    )
+    return ServeSpec(
+        experiment=experiment, serve=ServeOptions(window_minutes=_WINDOW_MINUTES)
+    )
+
+
+def _canon(report) -> str:
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+def _fresh_harness(scenario):
+    seed = derive_trial_seed(0, 0)
+    policy = make_policy(
+        api.PolicySpec(name="fairshare"),
+        scenario,
+        seed,
+        predictor_profile=_PROFILE,
+    )
+    return build_trial_simulation(
+        scenario, policy, simulator="flow", trial_seed=seed
+    )
+
+
+def _fresh_loop(scenario) -> ServeLoop:
+    acc = WindowAccumulator(
+        scenario=scenario.name,
+        policy="fairshare",
+        trial=0,
+        window_minutes=_WINDOW_MINUTES,
+    )
+    return ServeLoop(
+        _fresh_harness(scenario),
+        ReplayCursor.for_scenario(scenario),
+        ServeOptions(window_minutes=_WINDOW_MINUTES),
+        VirtualClock(),
+        acc,
+    )
+
+
+def run_serve_bench() -> dict:
+    spec = _bench_spec()
+
+    # Identity: the full pipeline, end to end.
+    result = serve(spec)
+    identical = _canon(result.report) == _canon(api.run(spec.experiment))
+
+    # Overhead: the loops alone, on freshly-built copies of one trial.
+    # Interleaved best-of-five so a load spike hits both sides; an untimed
+    # warm-up pair absorbs first-run effects (caches, specialization).
+    scenario = _SCENARIO.build()
+    _fresh_harness(scenario).run()
+    _fresh_loop(scenario).run()
+    batch_wall = serve_wall = float("inf")
+    ticks = 0
+    for _ in range(5):
+        harness = _fresh_harness(scenario)
+        started = time.perf_counter()
+        harness.run()
+        batch_wall = min(batch_wall, time.perf_counter() - started)
+        loop = _fresh_loop(scenario)
+        started = time.perf_counter()
+        loop.run()
+        serve_wall = min(serve_wall, time.perf_counter() - started)
+        ticks = loop.tick_count
+
+    return {
+        "batch_wall_s": batch_wall,
+        "serve_wall_s": serve_wall,
+        "overhead_ratio": serve_wall / max(batch_wall, 1e-9),
+        "gated_max_overhead": GATED_MAX_OVERHEAD,
+        "identical": identical,
+        "ticks": ticks,
+        "ticks_per_s": ticks / max(serve_wall, 1e-9),
+        "windows": len(result.windows),
+        "window_minutes": _WINDOW_MINUTES,
+        "held_ticks": result.totals.held_ticks,
+    }
+
+
+def test_serve_loop_bench(benchmark):
+    data = benchmark.pedantic(run_serve_bench, rounds=1, iterations=1)
+
+    rows = [
+        ["batch loop wall", f"{data['batch_wall_s']*1000:.1f}ms"],
+        ["serve loop wall", f"{data['serve_wall_s']*1000:.1f}ms"],
+        ["serve/batch", f"{data['overhead_ratio']:.3f}x"],
+        ["report identical", str(data["identical"])],
+        ["ticks per loop", str(data["ticks"])],
+        ["ticks/s (accelerated)", f"{data['ticks_per_s']:.0f}"],
+        ["windows (full run)", str(data["windows"])],
+    ]
+    text = format_table(
+        ["metric", "value"],
+        rows,
+        title="== Serve loop vs batch harness ==",
+    )
+    write_result("serve_loop", text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serve.json").write_text(json.dumps(data, indent=2) + "\n")
+
+    assert data["identical"]
+    assert data["overhead_ratio"] <= GATED_MAX_OVERHEAD
+    assert data["held_ticks"] == 0

@@ -23,6 +23,15 @@ and, inside the simulation-path packages only (``modules`` option):
   ``os.urandom``, and anything from ``secrets``.  Telemetry timers
   (``time.perf_counter``) are deliberately allowed: they time solves,
   they never steer them.
+
+The online-serving package (``serve_modules`` option) gets a *stricter*
+rule: there even the telemetry timers (``time.monotonic``,
+``time.perf_counter``, ``time.sleep``) are flagged, because in the serve
+loop timers *do* steer behaviour (deadline overruns, pacing).  All
+wall-clock access must go through the injectable clock in
+``clock_modules`` (``repro.serve.clock``), the one sanctioned boundary --
+which is itself exempt.  That confinement is what lets the same loop run
+digest-reproducibly on a virtual clock and live on a wall clock.
 """
 
 from __future__ import annotations
@@ -73,6 +82,17 @@ _CLOCK_CALLS = {
     ("os", "urandom"),
 }
 
+#: Additional (module, attribute) clock calls flagged only inside the
+#: serving package: timers steer the serve loop (deadlines, pacing), so
+#: outside the sanctioned clock module they break replayability.
+_SERVE_CLOCK_CALLS = {
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "sleep"),
+}
+
 
 @dataclass(frozen=True)
 class DeterminismOptions:
@@ -86,6 +106,11 @@ class DeterminismOptions:
         "repro.hetero",
         "repro.api.parallel",
     )
+    #: The online-serving package: the strict rule (telemetry timers and
+    #: sleeps flagged too) applies here, except in ``clock_modules``.
+    serve_modules: tuple[str, ...] = ("repro.serve",)
+    #: The sanctioned wall-clock boundary; exempt from all clock findings.
+    clock_modules: tuple[str, ...] = ("repro.serve.clock",)
 
 
 class _ImportTracker(ast.NodeVisitor):
@@ -152,6 +177,10 @@ def check_determinism(
     imports = _ImportTracker()
     imports.visit(context.tree)
     in_sim_path = context.in_modules(options.modules)
+    in_clock_module = context.in_modules(options.clock_modules)
+    in_serve_path = (
+        context.in_modules(options.serve_modules) and not in_clock_module
+    )
 
     findings: list[Finding] = []
     for node in ast.walk(context.tree):
@@ -193,28 +222,44 @@ def check_determinism(
                         "pass an explicit seed or SeedSequence",
                     )
                 )
-        elif in_sim_path and (
-            (module.rsplit(".", 1)[-1], attr) in _CLOCK_CALLS
-            or module == "secrets"
-            or module.startswith("secrets.")
-        ):
-            findings.append(
-                context.finding(
-                    PASS_ID,
-                    node,
-                    f"{'.'.join(chain)}() reads wall-clock/OS entropy inside "
-                    f"a simulation-path module ({context.module}); derive it "
-                    "from the scenario seed or pass it in as a parameter",
-                )
+        else:
+            key = (module.rsplit(".", 1)[-1], attr)
+            is_entropy = (
+                key in _CLOCK_CALLS
+                or module == "secrets"
+                or module.startswith("secrets.")
             )
+            if in_serve_path and (is_entropy or key in _SERVE_CLOCK_CALLS):
+                findings.append(
+                    context.finding(
+                        PASS_ID,
+                        node,
+                        f"{'.'.join(chain)}() reads the wall clock inside the "
+                        f"serving package ({context.module}); all clock access "
+                        "must go through the injectable repro.serve.clock "
+                        "boundary so serve runs stay replayable",
+                    )
+                )
+            elif in_sim_path and not in_clock_module and is_entropy:
+                findings.append(
+                    context.finding(
+                        PASS_ID,
+                        node,
+                        f"{'.'.join(chain)}() reads wall-clock/OS entropy "
+                        f"inside a simulation-path module ({context.module}); "
+                        "derive it from the scenario seed or pass it in as a "
+                        "parameter",
+                    )
+                )
     return findings
 
 
 register_pass(
     PASS_ID,
     description=(
-        "Global RNG (random.*, np.random.*), unseeded default_rng, and "
-        "wall-clock/uuid reads in simulation-path modules."
+        "Global RNG (random.*, np.random.*), unseeded default_rng, "
+        "wall-clock/uuid reads in simulation-path modules, and any clock "
+        "access in repro.serve outside the repro.serve.clock boundary."
     ),
     config_type=DeterminismOptions,
 )(check_determinism)

@@ -88,6 +88,19 @@ from repro.api.parallel import (
     run_parallel,
     run_policies_parallel,
 )
+# The serving engine re-exports are lazy (PEP 562): repro.serve imports
+# this package's submodules at its own import time, so an eager
+# ``from repro.serve import ...`` here would deadlock the import cycle
+# whenever repro.serve is imported first.
+_SERVE_EXPORTS = ("ServeOptions", "ServeSpec", "ServeResult", "serve")
+
+
+def __getattr__(name: str):
+    if name in _SERVE_EXPORTS:
+        import repro.serve as _serve
+
+        return getattr(_serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 # Populate the default registries with every built-in policy, then pull in
 # third-party policies/backends advertised via importlib.metadata entry
@@ -144,4 +157,8 @@ __all__ = [
     "plan_shards",
     "run_parallel",
     "run_policies_parallel",
+    "ServeOptions",
+    "ServeSpec",
+    "ServeResult",
+    "serve",
 ]

@@ -296,20 +296,49 @@ class SweepJournal:
         )
         return trials_per_shard
 
+    #: Version of the per-shard checkpoint payload.  v1 embeds the spec
+    #: digest in every entry, so a checkpoint file copied (or symlinked)
+    #: into another spec's journal is refused on its own evidence -- the
+    #: meta.json check alone cannot see that.
+    _ENTRY_VERSION = 1
+
     def load_completed(self, shards: Sequence[TrialShard]) -> dict[str, ShardOutcome]:
-        """Outcomes of ``shards`` already checkpointed, by shard id."""
+        """Outcomes of ``shards`` already checkpointed, by shard id.
+
+        Every entry's own ``spec_digest`` is validated against this
+        journal's spec; a mismatch (or a pre-digest legacy payload) is an
+        error with a clear message, never a silent merge of another
+        spec's results.
+        """
         completed = {}
         for shard in shards:
             path = self._shard_path(shard)
             if not path.exists():
                 continue
             with open(path, "rb") as fh:
-                outcome = pickle.load(fh)
-            completed[shard.shard_id] = outcome
+                payload = pickle.load(fh)
+            if not isinstance(payload, dict) or "spec_digest" not in payload:
+                raise ValueError(
+                    f"journal entry {path} has no spec digest (written by an "
+                    "older version?); re-run without --resume or use a fresh "
+                    "journal directory"
+                )
+            if payload["spec_digest"] != self.digest:
+                raise ValueError(
+                    f"journal entry {path} was written by a different spec "
+                    f"(digest {payload['spec_digest'][:12]}... != "
+                    f"{self.digest[:12]}...); use a fresh journal directory"
+                )
+            completed[shard.shard_id] = payload["outcome"]
         return completed
 
     def record(self, outcome: ShardOutcome) -> None:
-        self._atomic_write(self._shard_path(outcome.shard), pickle.dumps(outcome))
+        payload = {
+            "version": self._ENTRY_VERSION,
+            "spec_digest": self.digest,
+            "outcome": outcome,
+        }
+        self._atomic_write(self._shard_path(outcome.shard), pickle.dumps(payload))
 
     def _atomic_write(self, path: Path, payload: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=self.path, prefix=path.name, suffix=".tmp")
@@ -334,6 +363,10 @@ class _ShardJob:
     shard: TrialShard
     event_queue: object | None = None
     inject_fail: bool = False
+    #: When set, the worker merge-saves its table cache back to this file
+    #: after the shard completes (exclusive-locked, merge-on-save -- see
+    #: :meth:`UtilityTableCache.merge_save`).
+    cache_write_back: str | None = None
 
 
 def _warm_worker(cache_path: str | None) -> None:
@@ -395,6 +428,12 @@ def _run_shard(job: _ShardJob) -> ShardOutcome:
         trial_offset=shard.trial_start,
         total_trials=spec.trials,
     )
+    if job.cache_write_back is not None:
+        from repro.core.optimizer import DEFAULT_TABLE_CACHE
+
+        # Persist tables this shard built (merge-on-save under an exclusive
+        # lock, so concurrent workers interleave instead of clobbering).
+        DEFAULT_TABLE_CACHE.merge_save(job.cache_write_back)
     return ShardOutcome(
         shard=shard,
         scenario_name=scenario.name,
@@ -439,6 +478,7 @@ def run_parallel(
     journal: str | Path | None = None,
     resume: bool = False,
     cache_path: str | Path | None = None,
+    cache_write_back: bool = False,
     trials_per_shard: int | None = None,
     shard_order: Sequence[int] | None = None,
     inject_fail: Sequence[str] = (),
@@ -457,6 +497,12 @@ def run_parallel(
     named shards raise -- both exist for the differential/fault test
     suites (results must be invariant to the former; the latter exercises
     fault isolation deterministically across spawn boundaries).
+
+    ``cache_write_back=True`` makes each worker persist the utility tables
+    it built back into ``cache_path`` after every shard (merge-on-save
+    under an exclusive lock, so concurrent workers never clobber each
+    other); the file is created if missing.  Warm-up stays best-effort and
+    results can never differ -- cache hits are bit-identical to rebuilds.
     """
     if isinstance(spec, (str, Path)):
         spec = ExperimentSpec.from_file(spec)
@@ -466,9 +512,17 @@ def run_parallel(
         raise ValueError(f"trials_per_shard must be >= 1, got {trials_per_shard}")
     if resume and journal is None:
         raise ValueError("resume=True requires a journal directory")
-    if cache_path is not None and not Path(cache_path).is_file():
+    if cache_write_back and cache_path is None:
+        raise ValueError("cache_write_back requires a cache_path")
+    if (
+        cache_path is not None
+        and not cache_write_back
+        and not Path(cache_path).is_file()
+    ):
         # A typo'd --cache must not silently run the whole sweep cold;
         # only *content* problems are best-effort (see _warm_worker).
+        # With write-back the file may legitimately not exist yet -- the
+        # first completed shard creates it.
         raise ValueError(f"cache file {cache_path} does not exist")
     from repro.traces.generators import trace_search_path
 
@@ -553,6 +607,9 @@ def run_parallel(
                             shard=shard,
                             event_queue=event_queue,
                             inject_fail=shard.shard_id in inject,
+                            cache_write_back=(
+                                str(cache_path) if cache_write_back else None
+                            ),
                         ),
                     ): shard
                     for shard in pending

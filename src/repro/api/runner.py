@@ -36,10 +36,17 @@ __all__ = [
     "ShardFailure",
     "RunReport",
     "derive_trial_seed",
+    "make_policy_factory",
+    "make_policy",
+    "build_trial_simulation",
     "execute_trials",
     "run_policy",
     "run",
 ]
+
+#: Sentinel for "caller did not override" (None is a meaningful value for
+#: ``duration_minutes``: run the whole trace).
+_UNSET = object()
 
 
 def derive_trial_seed(base_seed: int, trial_index: int) -> int:
@@ -184,6 +191,105 @@ class TrialStats:
         }
 
 
+def make_policy_factory(
+    policy: PolicySpec | str,
+    *,
+    predictor_profile: Any = None,
+) -> tuple[str, Callable[[Scenario, int], Any]]:
+    """Resolve a policy spec into ``(display_label, factory)``.
+
+    The factory maps ``(scenario, trial_seed) -> policy instance`` through
+    the registry, with options parsed once up front.  This is the policy
+    half of :func:`run_policy`, shared with the serving engine
+    (:mod:`repro.serve`) so both construct policies identically.
+
+    ``predictor_profile`` is the experiment-level default: injected only
+    when the policy's config type has a ``predictor_profile`` field and
+    the spec does not already set one.
+    """
+    if isinstance(policy, str):
+        policy = PolicySpec(name=policy)
+    registry = get_registry()
+    info = registry.get(policy.name)
+    options = dict(policy.options)
+    if (
+        predictor_profile is not None
+        and info.config_type is not None
+        and "predictor_profile" in {f_name for f_name, _ in info.option_fields()}
+        and options.get("predictor_profile") is None
+    ):
+        options["predictor_profile"] = predictor_profile
+    config = registry.parse_options(policy.name, options)
+
+    def factory(sc: Scenario, trial_seed: int):
+        return info.builder(sc, trial_seed, config)
+
+    return policy.display_label, factory
+
+
+def make_policy(
+    policy: PolicySpec | str,
+    scenario: Scenario,
+    trial_seed: int,
+    *,
+    predictor_profile: Any = None,
+) -> Any:
+    """Construct one trial's policy instance for ``scenario``."""
+    _, factory = make_policy_factory(policy, predictor_profile=predictor_profile)
+    return factory(scenario, trial_seed)
+
+
+def build_trial_simulation(
+    scenario: Scenario,
+    policy: Any,
+    *,
+    simulator: str = "request",
+    trial_seed: int = 0,
+    sim_overrides: Mapping[str, Any] | None = None,
+    backend_options: Mapping[str, Any] | Any = None,
+    eval_traces: Mapping[str, Any] | None = None,
+    duration_minutes: Any = _UNSET,
+) -> Any:
+    """Construct one trial's simulation harness, exactly as the trial loop
+    does -- argument for argument, so a harness built here and run to
+    completion is bit-identical to the corresponding
+    :func:`execute_trials` trial.
+
+    ``eval_traces``/``duration_minutes`` let the serving engine substitute
+    a trace prefix (grown later via ``SimHarness.extend_traces``) and a
+    streaming horizon; left at their defaults, the scenario's own traces
+    and duration apply.
+    """
+    backend_registry = get_backend_registry()
+    backend = backend_registry.get(simulator)
+    parsed_options = backend_registry.parse_options(simulator, backend_options)
+    if duration_minutes is _UNSET:
+        duration_minutes = scenario.duration_minutes
+    config = SimulationConfig(
+        duration_minutes=duration_minutes,
+        rate_scale=scenario.rate_scale,
+        seed=trial_seed,
+        **dict(sim_overrides or {}),
+    )
+    quota = ResourceQuota.of_replicas(scenario.total_replicas)
+    # `devices` is passed only for heterogeneous scenarios, so backend
+    # construction (and everything downstream) is untouched -- argument
+    # for argument -- on homogeneous runs.
+    backend_kwargs: dict[str, Any] = {}
+    if scenario.devices is not None:
+        backend_kwargs["devices"] = scenario.devices
+    return backend.cls(
+        scenario.jobs,
+        eval_traces if eval_traces is not None else scenario.eval_traces,
+        policy,
+        quota,
+        config=config,
+        history_prefix=scenario.history_prefix or None,
+        options=parsed_options,
+        **backend_kwargs,
+    )
+
+
 def execute_trials(
     scenario: Scenario,
     policy_label: str,
@@ -217,8 +323,8 @@ def execute_trials(
     (defaults to ``trial_offset + trials``).
     """
     backend_registry = get_backend_registry()
-    backend = backend_registry.get(simulator)  # unknown names raise here
-    parsed_options = backend_registry.parse_options(simulator, backend_options)
+    backend_registry.get(simulator)  # unknown names raise here, not mid-loop
+    backend_registry.parse_options(simulator, backend_options)
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     if trial_offset < 0:
@@ -239,28 +345,13 @@ def execute_trials(
             ),
         )
         policy = policy_factory(scenario, trial_seed)
-        config = SimulationConfig(
-            duration_minutes=scenario.duration_minutes,
-            rate_scale=scenario.rate_scale,
-            seed=trial_seed,
-            **dict(sim_overrides or {}),
-        )
-        quota = ResourceQuota.of_replicas(scenario.total_replicas)
-        # `devices` is passed only for heterogeneous scenarios, so backend
-        # construction (and everything downstream) is untouched -- argument
-        # for argument -- on homogeneous runs.
-        backend_kwargs: dict[str, Any] = {}
-        if scenario.devices is not None:
-            backend_kwargs["devices"] = scenario.devices
-        simulation = backend.cls(
-            scenario.jobs,
-            scenario.eval_traces,
+        simulation = build_trial_simulation(
+            scenario,
             policy,
-            quota,
-            config=config,
-            history_prefix=scenario.history_prefix or None,
-            options=parsed_options,
-            **backend_kwargs,
+            simulator=simulator,
+            trial_seed=trial_seed,
+            sim_overrides=sim_overrides,
+            backend_options=backend_options,
         )
         result = simulation.run()
         result.policy_name = getattr(policy, "name", policy_label)
@@ -303,26 +394,10 @@ def run_policy(
     into the policy's options only when the policy's config type has a
     ``predictor_profile`` field and the spec does not already set one.
     """
-    if isinstance(policy, str):
-        policy = PolicySpec(name=policy)
-    registry = get_registry()
-    info = registry.get(policy.name)
-    options = dict(policy.options)
-    if (
-        predictor_profile is not None
-        and info.config_type is not None
-        and "predictor_profile" in {f_name for f_name, _ in info.option_fields()}
-        and options.get("predictor_profile") is None
-    ):
-        options["predictor_profile"] = predictor_profile
-    config = registry.parse_options(policy.name, options)
-
-    def factory(sc: Scenario, trial_seed: int):
-        return info.builder(sc, trial_seed, config)
-
+    label, factory = make_policy_factory(policy, predictor_profile=predictor_profile)
     return execute_trials(
         scenario,
-        policy.display_label,
+        label,
         factory,
         trials=trials,
         simulator=simulator,
@@ -583,6 +658,7 @@ def run(
     journal: str | Path | None = None,
     resume: bool = False,
     cache_path: str | Path | None = None,
+    cache_write_back: bool = False,
 ) -> RunReport:
     """Run a whole experiment spec and return its :class:`RunReport`.
 
@@ -596,13 +672,22 @@ def run(
     :meth:`RunReport.merge`).  ``journal`` checkpoints completed shards so
     ``resume=True`` skips them after a crash; ``cache_path`` warms each
     worker from a persisted
-    :class:`~repro.core.optimizer.UtilityTableCache`.  These three options
-    require the sharded executor (``journal``/``resume``/``cache_path``
-    imply it even with ``workers=1``).
+    :class:`~repro.core.optimizer.UtilityTableCache`;
+    ``cache_write_back=True`` additionally persists tables the workers
+    build back into that file (merge-on-save under an exclusive lock).
+    These options require the sharded executor
+    (``journal``/``resume``/``cache_path``/``cache_write_back`` imply it
+    even with ``workers=1``).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    if workers > 1 or journal is not None or resume or cache_path is not None:
+    if (
+        workers > 1
+        or journal is not None
+        or resume
+        or cache_path is not None
+        or cache_write_back
+    ):
         from repro.api.parallel import run_parallel
 
         return run_parallel(
@@ -612,6 +697,7 @@ def run(
             journal=journal,
             resume=resume,
             cache_path=cache_path,
+            cache_write_back=cache_write_back,
         )
     if isinstance(spec, (str, Path)):
         spec = ExperimentSpec.from_file(spec)

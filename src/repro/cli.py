@@ -1,12 +1,16 @@
 """Command-line interface for the Faro reproduction.
 
-Nine subcommands cover the workflows a user reaches for first:
+Ten subcommands cover the workflows a user reaches for first:
 
 - ``run``      -- one policy on one paper scenario, or (with ``--spec``)
   a whole declarative experiment file driven through ``repro.api.run``.
 - ``sweep``    -- spec files on a sharded parallel worker pool
   (``repro.api.run_parallel``): bit-identical to ``run --spec``, resumable
   via a shard journal (``--resume``), failures isolated per shard.
+- ``serve``    -- continuous online serving (``repro.api.serve``): the
+  same experiment driven tick by tick through streaming trace cursors,
+  sealed window reports as they close, crash-safe ``--journal`` +
+  ``--resume``, and ``--realtime`` pacing for live demos.
 - ``compare``  -- several policies on the same scenario side by side
   (the Fig. 10 / Table 3 workflow).
 - ``policies`` -- list/inspect the policy registry (built-ins + plugins).
@@ -209,6 +213,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             for spent in spent_journals:
                 shutil.rmtree(spent, ignore_errors=True)
 
+    if args.cache_write_back and not args.cache:
+        print("error: --cache-write-back requires --cache", file=sys.stderr)
+        return 2
     for index, (spec_path, spec) in enumerate(zip(args.spec, specs)):
         # Full-name suffix (exp.json.journal, exp.yaml.journal) so specs
         # sharing a stem never share a journal.
@@ -230,6 +237,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 journal=journal,
                 resume=args.resume,
                 cache_path=args.cache,
+                cache_write_back=args.cache_write_back,
                 trials_per_shard=args.trials_per_shard,
             )
         except ValueError as exc:
@@ -273,6 +281,89 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         Path(args.report).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"\nwrote report JSON to {args.report}")
     return 1 if any_failures else 0
+
+
+# ------------------------------------------------------------------- serve
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Drive a spec through the continuous serving loop (``repro.api.serve``).
+
+    Exit codes: 0 = served to completion, 1 = ``--check`` mismatch against
+    the batch engine, 2 = bad invocation/spec.
+    """
+    import dataclasses
+    import json
+
+    from repro import api
+    from repro.serve import JsonlSink, ServeSpec, TableSink, serve
+
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    try:
+        spec = ServeSpec.from_file(args.spec)
+    except (OSError, ValueError, RuntimeError) as exc:
+        print(f"error: cannot load spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    overrides: dict = {}
+    if args.window is not None:
+        overrides["window_minutes"] = args.window
+    if args.realtime or args.speedup is not None:
+        overrides["realtime"] = True
+    if args.speedup is not None:
+        overrides["realtime_speedup"] = args.speedup
+    if overrides:
+        try:
+            spec = ServeSpec(
+                experiment=spec.experiment,
+                serve=dataclasses.replace(spec.serve, **overrides),
+            )
+        except ValueError as exc:
+            print(f"error: invalid serve options: {exc}", file=sys.stderr)
+            return 2
+    sinks = []
+    if not args.quiet:
+        sinks.append(TableSink())
+    if args.jsonl:
+        sinks.append(JsonlSink(args.jsonl))
+    try:
+        result = serve(
+            spec,
+            sinks=sinks,
+            progress=_progress_printer(args.verbose),
+            journal=args.journal,
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        print(f"error: invalid serve of {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(result.describe())
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(result.report.to_dict(), indent=2) + "\n"
+        )
+        print(f"\nwrote report JSON to {args.report}")
+    if args.check:
+        if spec.serve.stream is not None:
+            print(
+                "error: --check needs a finite replay (remove the 'stream' "
+                "block); a live stream has no batch equivalent",
+                file=sys.stderr,
+            )
+            return 2
+        batch = api.run(spec.experiment)
+        served_json = json.dumps(result.report.to_dict(), sort_keys=True)
+        batch_json = json.dumps(batch.to_dict(), sort_keys=True)
+        if served_json != batch_json:
+            print(
+                "CHECK FAILED: serve report differs from batch api.run",
+                file=sys.stderr,
+            )
+            return 1
+        print("check passed: serve report is byte-identical to batch api.run")
+    return 0
 
 
 # ----------------------------------------------------------------- compare
@@ -940,11 +1031,78 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="override shard granularity (default: auto from --workers)",
     )
+    sweep.add_argument(
+        "--cache-write-back",
+        action="store_true",
+        help="with --cache: merge each shard's learned utility tables back "
+        "into the cache file after it finishes",
+    )
     sweep.add_argument("--report", type=Path, help="write the report JSON here")
     sweep.add_argument(
         "--verbose", action="store_true", help="print per-trial progress"
     )
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a spec continuously with windowed streaming reports",
+    )
+    serve.add_argument(
+        "--spec",
+        type=Path,
+        required=True,
+        help="experiment spec file (JSON/YAML), optionally with a 'serve' block",
+    )
+    serve.add_argument(
+        "--window",
+        type=int,
+        help="override serve.window_minutes (report window length)",
+    )
+    serve.add_argument(
+        "--realtime",
+        action="store_true",
+        help="pace the loop against the wall clock instead of running "
+        "accelerated",
+    )
+    serve.add_argument(
+        "--speedup",
+        type=float,
+        help="wall-clock speedup factor (implies --realtime; 60 = one "
+        "simulated minute per wall second)",
+    )
+    serve.add_argument(
+        "--journal",
+        type=Path,
+        help="checkpoint directory for crash-safe serving",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --journal, reproducing the uninterrupted digest",
+    )
+    serve.add_argument(
+        "--jsonl",
+        type=Path,
+        help="append each sealed window report to this JSONL file",
+    )
+    serve.add_argument(
+        "--report", type=Path, help="write the merged report JSON here"
+    )
+    serve.add_argument(
+        "--check",
+        action="store_true",
+        help="after serving, rerun through batch api.run and fail unless "
+        "the reports are byte-identical",
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the live per-window table",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="print per-trial progress"
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     compare = sub.add_parser("compare", help="compare policies on one scenario")
     compare.add_argument(

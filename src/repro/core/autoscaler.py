@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.hierarchical import solve_hierarchical
 from repro.core.objectives import ClusterObjective, make_objective
 from repro.core.optimizer import (
+    DEFAULT_TABLE_CACHE,
     Allocation,
     AllocationProblem,
     ClusterCapacity,
@@ -163,8 +164,11 @@ class FaroAutoscaler(AutoscalePolicy):
         self.last_allocation: Allocation | None = None
         #: Utility-table cache shared across this autoscaler's cycles (and,
         #: when passed in, across sibling controllers).  Tables are pure
-        #: functions of their key, so reuse cannot change decisions.
-        self.table_cache = table_cache if table_cache is not None else UtilityTableCache()
+        #: functions of their key, so reuse cannot change decisions.  The
+        #: default is the process-wide cache, which is what sweep/serve
+        #: cache warm-up absorbs into and write-back persists from -- a
+        #: private UtilityTableCache() here would leave those paths empty.
+        self.table_cache = table_cache if table_cache is not None else DEFAULT_TABLE_CACHE
         self._warm: Allocation | None = None
 
     def reset(self) -> None:

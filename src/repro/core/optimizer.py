@@ -55,7 +55,9 @@ from __future__ import annotations
 
 import hashlib
 import math
+import os
 import pickle
+import tempfile
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -465,6 +467,70 @@ class UtilityTableCache:
             table.setflags(write=False)
             cache._admit(key, table)
         return cache
+
+    def merge_save(self, path, *, lock: bool = True) -> int:
+        """Write-back: merge this cache's entries *into* the file at ``path``.
+
+        Unlike :meth:`save`, which clobbers, merge_save is safe for many
+        workers persisting tables to one shared file: under an exclusive
+        ``flock`` on a ``<path>.lock`` sidecar it re-reads the file's
+        current entries, absorbs them (file entries win ties -- both copies
+        are bit-identical anyway, tables being pure functions of their
+        key), adds this cache's entries, and atomically replaces the file
+        (write-temp-then-rename).  Returns the number of entries written.
+
+        A missing file is created; a corrupt or incompatible one is
+        overwritten with this cache's entries alone -- the same
+        degrade-to-cold stance warm-up takes.  On platforms without
+        ``fcntl`` (or with ``lock=False``) the merge still happens, just
+        without inter-process exclusion.
+        """
+        path_str = os.fspath(path)
+        lock_handle = None
+        if lock:
+            try:
+                import fcntl
+
+                lock_handle = open(path_str + ".lock", "ab")
+                fcntl.flock(lock_handle, fcntl.LOCK_EX)
+            except (ImportError, OSError):
+                if lock_handle is not None:
+                    lock_handle.close()
+                lock_handle = None
+        try:
+            merged = type(self)(maxsize=None, max_bytes=self.max_bytes)
+            if os.path.exists(path_str):
+                try:
+                    merged.absorb(type(self).load(path_str, max_bytes=self.max_bytes))
+                except Exception:
+                    pass  # unreadable existing file: replace with our entries
+            merged.absorb(self)
+            directory = os.path.dirname(path_str) or "."
+            fd, tmp = tempfile.mkstemp(
+                dir=directory, prefix=os.path.basename(path_str), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(
+                        {
+                            "version": self._PICKLE_VERSION,
+                            "entries": [
+                                (key, np.asarray(table))
+                                for key, table in merged._entries.items()
+                            ],
+                        },
+                        fh,
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                os.replace(tmp, path_str)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+            return len(merged._entries)
+        finally:
+            if lock_handle is not None:
+                lock_handle.close()
 
 
 #: Process-wide default cache; :class:`AllocationProblem` uses it unless an

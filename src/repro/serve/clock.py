@@ -1,0 +1,156 @@
+"""Injectable clocks: the one sanctioned wall-clock boundary of the repo.
+
+Everything in ``repro.serve`` that needs time-of-day, pacing, or latency
+measurement goes through a :class:`Clock` instance handed to it -- never
+the ``time`` module directly.  That rule is what keeps the serve loop's
+byte-identity claim enforceable: with a :class:`VirtualClock` the loop is
+a pure function of its inputs (digest-pinned against batch ``api.run``),
+and with a :class:`WallClock` the *same code* paces itself against real
+time for ``--realtime`` serving.  The ``determinism`` lint pass enforces
+the boundary statically: wall-clock reads anywhere else under
+``repro.serve`` are findings.
+
+Three implementations:
+
+- :class:`VirtualClock` -- accelerated time for tests, benches, and batch
+  replays.  ``perf()`` ticks a deterministic counter (so measured
+  "durations" are exactly 0 and can never trip a tick deadline), waits
+  are no-ops that only count.
+- :class:`WallClock` -- real time, optionally sped up (``speedup=60``
+  replays a minute of trace per wall second).
+- :class:`FakeClock` -- scripted ``perf()`` values for deadline/degradation
+  tests: the test decides how long each solve "took".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+__all__ = ["Clock", "VirtualClock", "WallClock", "FakeClock"]
+
+
+class Clock:
+    """Time source injected into the serve loop.
+
+    ``perf()`` is a monotonic seconds reading used *only* for
+    observability and deadline accounting -- it never steers simulation
+    dynamics, which advance in virtual time.  ``pace(virtual_seconds)``
+    blocks until the run may proceed past that virtual instant;
+    ``sleep(seconds)`` waits out a cursor that has no data yet.
+    """
+
+    #: True when ``pace`` actually blocks (wall-clock serving).
+    realtime = False
+
+    #: True when ``perf()`` intervals carry information.  The serve loop
+    #: skips its per-tick latency reads when this is False -- on a clock
+    #: whose intervals are defined to be zero, measuring them is pure
+    #: hot-loop overhead.
+    measures = True
+
+    def perf(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+    def pace(self, virtual_seconds: float) -> None:
+        raise NotImplementedError
+
+
+class VirtualClock(Clock):
+    """Accelerated time: never blocks, measures nothing.
+
+    ``perf()`` returns a counter that advances by zero-width steps (each
+    call returns the previous value), so any ``t1 - t0`` interval measured
+    through it is exactly ``0.0`` -- a virtual-clock run can never trip a
+    tick deadline, which is what pins the degradation-free digest path.
+    ``sleep``/``pace`` return immediately but count invocations, so tests
+    can assert the loop *would* have waited.
+    """
+
+    measures = False
+
+    def __init__(self) -> None:
+        self.sleeps = 0
+        self.slept_seconds = 0.0
+        self.paced = 0
+
+    def perf(self) -> float:
+        return 0.0
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps += 1
+        self.slept_seconds += float(seconds)
+
+    def pace(self, virtual_seconds: float) -> None:
+        self.paced += 1
+
+
+class WallClock(Clock):
+    """Real time, for ``--realtime`` serving.
+
+    ``speedup`` maps virtual seconds to wall seconds: at the default 1.0
+    the loop replays trace time 1:1; at 60.0 each trace minute takes one
+    wall second.  ``pace(v)`` blocks until ``v`` virtual seconds have
+    elapsed since this clock was constructed (loop start).
+    """
+
+    realtime = True
+
+    #: Longest single wait inside ``pace`` -- keeps the loop responsive
+    #: to cursor growth and KeyboardInterrupt during long gaps.
+    _MAX_NAP = 0.5
+
+    def __init__(self, speedup: float = 1.0) -> None:
+        if speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {speedup}")
+        self.speedup = float(speedup)
+        self._start = time.monotonic()
+
+    def perf(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def elapsed_virtual(self) -> float:
+        """Virtual seconds elapsed since construction."""
+        return (time.monotonic() - self._start) * self.speedup
+
+    def pace(self, virtual_seconds: float) -> None:
+        while True:
+            behind = virtual_seconds - self.elapsed_virtual()
+            if behind <= 0:
+                return
+            time.sleep(min(behind / self.speedup, self._MAX_NAP))
+
+
+class FakeClock(Clock):
+    """Scripted ``perf()`` readings for deadline/degradation tests.
+
+    ``perf_values`` are returned in order; when exhausted, the last value
+    repeats.  Waits are recorded, never taken.
+    """
+
+    def __init__(self, perf_values: Sequence[float] = (0.0,)) -> None:
+        values = [float(v) for v in perf_values]
+        if not values:
+            raise ValueError("perf_values must be non-empty")
+        self._values = values
+        self._index = 0
+        self.sleeps = 0
+        self.paced = 0
+
+    def perf(self) -> float:
+        value = self._values[min(self._index, len(self._values) - 1)]
+        self._index += 1
+        return value
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps += 1
+
+    def pace(self, virtual_seconds: float) -> None:
+        self.paced += 1

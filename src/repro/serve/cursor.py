@@ -1,0 +1,270 @@
+"""Trace cursors: incremental access to arrival traces.
+
+Batch experiments hand the harness whole per-job rate arrays up front.
+Online serving inverts that: a :class:`TraceCursor` exposes "arrival
+rates for minutes ``[0, available_minutes())``" and may *grow* as its
+source produces more data.  Replaying a finite trace through a cursor is
+the degenerate case -- :class:`ReplayCursor` wraps any in-memory trace
+dict (and, via :func:`cursor_from_source`, anything the registered trace
+sources can build), which is what makes the serve loop digest-comparable
+to batch ``api.run``.  :class:`TailingFileCursor` tails a CSV being
+appended by an external producer -- the live-serving case.
+
+Cursors deal in *rates* (requests/minute per trace minute), not arrival
+instants: the pinned Poisson RNG contract
+(:mod:`repro.sim.workload`) draws arrivals lazily per minute in order, so
+revealing minute ``m`` before the simulator consumes it is all a cursor
+has to guarantee -- gating/streaming can never perturb the draw sequence.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TraceCursor",
+    "ReplayCursor",
+    "ChunkedReplayCursor",
+    "TailingFileCursor",
+    "cursor_from_source",
+]
+
+
+class TraceCursor:
+    """Incremental per-job arrival-rate source.
+
+    ``jobs`` names the jobs the cursor covers.  ``available_minutes()`` is
+    how many trace minutes (from 0) every job has data for right now;
+    ``poll()`` refreshes from the underlying source and returns the new
+    availability; ``read(start, stop)`` returns each job's rates for
+    minutes ``[start, stop)``.  ``finished()`` is True once no further
+    minutes will ever appear; ``horizon_minutes()`` is the declared total
+    length when known in advance (``None`` for open-ended sources).
+    """
+
+    jobs: tuple[str, ...] = ()
+
+    def available_minutes(self) -> int:
+        raise NotImplementedError
+
+    def poll(self) -> int:
+        """Refresh from the source; returns :meth:`available_minutes`."""
+        return self.available_minutes()
+
+    def read(self, start: int, stop: int) -> dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def finished(self) -> bool:
+        raise NotImplementedError
+
+    def horizon_minutes(self) -> int | None:
+        return None
+
+
+class ReplayCursor(TraceCursor):
+    """The degenerate cursor: a finite in-memory trace, fully available.
+
+    Wrapping a scenario's evaluation traces in a ReplayCursor and serving
+    them is the configuration the identity claim pins: every minute is
+    available from the start, so the serve loop's tick sequence is exactly
+    the batch harness's.
+    """
+
+    def __init__(self, traces: Mapping[str, np.ndarray]) -> None:
+        if not traces:
+            raise ValueError("ReplayCursor needs at least one job trace")
+        self._traces = {
+            name: np.asarray(values, dtype=float) for name, values in traces.items()
+        }
+        self.jobs = tuple(self._traces)
+        self._minutes = min(len(v) for v in self._traces.values())
+
+    @classmethod
+    def for_scenario(cls, scenario) -> "ReplayCursor":
+        """Cursor over a built scenario's evaluation traces."""
+        return cls(scenario.eval_traces)
+
+    def available_minutes(self) -> int:
+        return self._minutes
+
+    def read(self, start: int, stop: int) -> dict[str, np.ndarray]:
+        stop = min(stop, self._minutes)
+        return {name: values[start:stop] for name, values in self._traces.items()}
+
+    def finished(self) -> bool:
+        return True
+
+    def horizon_minutes(self) -> int:
+        return self._minutes
+
+
+class ChunkedReplayCursor(ReplayCursor):
+    """A finite trace revealed a few minutes per poll -- streaming in vitro.
+
+    ``schedule`` lists how many new minutes each ``poll()`` reveals (the
+    last entry repeats until the trace is exhausted).  Deterministic, so
+    streaming tests and benches can exercise the gating/extension path
+    without files or timers.
+    """
+
+    def __init__(
+        self,
+        traces: Mapping[str, np.ndarray],
+        schedule: Sequence[int] = (1,),
+        initial_minutes: int = 1,
+    ) -> None:
+        super().__init__(traces)
+        steps = [int(s) for s in schedule]
+        if not steps or any(s < 1 for s in steps):
+            raise ValueError(f"schedule must be positive ints, got {schedule!r}")
+        if initial_minutes < 1:
+            raise ValueError(f"initial_minutes must be >= 1, got {initial_minutes}")
+        self._total = self._minutes
+        self._minutes = min(initial_minutes, self._total)
+        self._schedule = steps
+        self._polls = 0
+
+    def poll(self) -> int:
+        step = self._schedule[min(self._polls, len(self._schedule) - 1)]
+        self._polls += 1
+        self._minutes = min(self._minutes + step, self._total)
+        return self._minutes
+
+    def finished(self) -> bool:
+        return self._minutes >= self._total
+
+    def horizon_minutes(self) -> int:
+        return self._total
+
+
+class TailingFileCursor(TraceCursor):
+    """Tail a trace CSV that an external producer appends to.
+
+    Two layouts are accepted, both with contiguous minutes from 0:
+
+    - ``minute,requests`` (the :func:`repro.traces.io.save_trace_csv`
+      format) -- a single job, whose name is the ``job`` argument;
+    - ``minute,<job1>,<job2>,...`` (the ``scenarios build --export``
+      format) -- one column per job.
+
+    Each ``poll()`` re-reads complete lines only (a partially-written last
+    line is left for the next poll -- the producer's appends need not be
+    atomic).  A row whose minute field is the literal ``end`` marks the
+    stream complete; a declared ``horizon_minutes`` completes it too.
+    Malformed or non-contiguous rows raise rather than silently skewing
+    rate statistics, matching :func:`repro.traces.io.load_trace_csv`.
+    """
+
+    END_MARKER = "end"
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        job: str | None = None,
+        horizon_minutes: int | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self._job = job
+        self._horizon = horizon_minutes
+        if horizon_minutes is not None and horizon_minutes < 1:
+            raise ValueError(f"horizon_minutes must be >= 1, got {horizon_minutes}")
+        self._rows: list[list[float]] = []
+        self._ended = False
+        self._consumed_lines = 0
+        self.jobs = ()
+        self.poll()
+        if not self.jobs:
+            raise ValueError(f"trace file {self.path} has no header yet")
+
+    def _parse_header(self, header: list[str]) -> None:
+        if header == ["minute", "requests"]:
+            if self._job is None:
+                raise ValueError(
+                    f"{self.path} is a single-job trace (minute,requests); "
+                    "pass job=<name> to TailingFileCursor"
+                )
+            self.jobs = (self._job,)
+        elif len(header) >= 2 and header[0] == "minute":
+            self.jobs = tuple(header[1:])
+        else:
+            raise ValueError(
+                f"unexpected CSV header {header!r} in {self.path}; expected "
+                "'minute,requests' or 'minute,<job>,...'"
+            )
+
+    def poll(self) -> int:
+        if self._ended:
+            return len(self._rows)
+        text = self.path.read_text()
+        # Only complete lines count: the producer may be mid-append.
+        complete, newline, _tail = text.rpartition("\n")
+        if not newline:
+            return len(self._rows)
+        lines = complete.split("\n")
+        if not self.jobs:
+            header = next(csv.reader([lines[0]]))
+            self._parse_header(header)
+            self._consumed_lines = 1
+        for line in lines[self._consumed_lines :]:
+            self._consumed_lines += 1
+            if not line.strip():
+                continue
+            row = next(csv.reader([line]))
+            if row[0] == self.END_MARKER:
+                self._ended = True
+                break
+            expected = len(self._rows)
+            if int(row[0]) != expected:
+                raise ValueError(
+                    f"non-contiguous minutes in {self.path}: expected "
+                    f"{expected}, got {row[0]}"
+                )
+            if len(row) != 1 + len(self.jobs):
+                raise ValueError(f"malformed row {row!r} in {self.path}")
+            values = [float(v) for v in row[1:]]
+            if any(v < 0 for v in values):
+                raise ValueError(f"negative rate at minute {expected} in {self.path}")
+            self._rows.append(values)
+            if self._horizon is not None and len(self._rows) >= self._horizon:
+                self._ended = True
+                break
+        return len(self._rows)
+
+    def available_minutes(self) -> int:
+        return len(self._rows)
+
+    def read(self, start: int, stop: int) -> dict[str, np.ndarray]:
+        stop = min(stop, len(self._rows))
+        block = np.asarray(self._rows[start:stop], dtype=float).reshape(
+            stop - start if stop > start else 0, len(self.jobs)
+        )
+        return {name: block[:, i].copy() for i, name in enumerate(self.jobs)}
+
+    def finished(self) -> bool:
+        return self._ended
+
+    def horizon_minutes(self) -> int | None:
+        return self._horizon
+
+
+def cursor_from_source(
+    name: str, params: Mapping | None = None, *, job: str
+) -> ReplayCursor:
+    """Adapt any registered trace source into a (replay) cursor.
+
+    ``name``/``params`` go through the same
+    :class:`~repro.traces.generators.TraceSourceRegistry` spec files use
+    (``file``, ``azure``, ``diurnal``, plugins, ...), so every source the
+    batch path can replay, the serve path can serve.  Multi-job cursors
+    are built by merging: ``ReplayCursor({**a.read(...), ...})`` or simply
+    constructing one ReplayCursor from a combined trace dict.
+    """
+    from repro.traces.generators import get_trace_source_registry
+
+    series = get_trace_source_registry().build(name, params)
+    return ReplayCursor({job: series})

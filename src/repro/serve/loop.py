@@ -1,0 +1,863 @@
+"""The continuous serving loop and its engine (`repro.api.serve`).
+
+:class:`ServeLoop` drives one trial the way
+:meth:`repro.sim.harness.SimHarness.run` does -- the tick body is that
+loop's, statement for statement -- but owned from outside the harness so
+it can be cursor-gated, paced, checkpointed, and degraded:
+
+- **cursor gating** -- a tick only runs once the
+  :class:`~repro.serve.cursor.TraceCursor` has a full tick of trace
+  minutes; newly available minutes are appended to the live harness
+  through :meth:`SimHarness.extend_traces` (legal because the Poisson
+  workload draws arrivals lazily, per minute in order).  With a finite
+  replay cursor the gate never engages and the tick sequence -- hence the
+  result -- is byte-identical to batch ``api.run``;
+- **graceful degradation** -- a policy solve that raises, or overruns
+  ``tick_deadline_s`` on the injected clock, holds the previous
+  allocation (no ``apply``), counts the event, and backs off
+  exponentially before retrying.  The loop never dies on a solver bug;
+- **crash-safe checkpoints** -- loop state (harness, window accumulator,
+  counters) pickles into a :class:`ServeJournal` (atomic
+  write-temp-then-rename, the ``api/parallel.py`` idiom); ``resume=True``
+  restores mid-trial and re-ticks deterministically to the same digest.
+
+:func:`serve` is the engine: it walks the spec's scenario x policy x
+trial grid in batch order, runs each trial through a ServeLoop, attaches
+each completed trial's partial :class:`~repro.api.runner.RunReport` to
+the window it completed in, and folds all partials through the
+order-invariant ``RunReport.merge`` -- the identity claim pinned by
+``tests/test_serve_loop.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.api.runner import (
+    ProgressCallback,
+    RunEvent,
+    RunReport,
+    TrialStats,
+    _emit,
+    _validate_spec,
+    build_trial_simulation,
+    derive_trial_seed,
+    make_policy,
+)
+from repro.api.spec import ExperimentSpec
+from repro.serve.clock import Clock, VirtualClock, WallClock
+from repro.serve.cursor import ReplayCursor, TailingFileCursor, TraceCursor
+from repro.serve.sinks import WindowSink
+from repro.serve.spec import ServeOptions, ServeSpec, serve_digest
+from repro.serve.windows import WindowAccumulator, WindowReport, WindowStats
+
+__all__ = [
+    "ServeAborted",
+    "TrialOutcome",
+    "ServeJournal",
+    "ServeLoop",
+    "ServeResult",
+    "serve",
+]
+
+#: Harness end-of-run epsilon (must match SimHarness.run's loop test).
+_EPS = 1e-9
+
+#: Consecutive dry polls before an accelerated (non-realtime) run declares
+#: the cursor stalled -- a virtual clock cannot wait wall time out, so a
+#: source that neither grows nor finishes would otherwise spin forever.
+_MAX_DRY_POLLS = 10_000
+
+
+class ServeAborted(RuntimeError):
+    """Injected mid-run abort (the crash/kill test hook)."""
+
+
+@dataclass
+class _TickFlags:
+    overrun: bool = False
+    error: bool = False
+    backoff: bool = False
+    held: bool = False
+
+
+#: Shared all-False flags for the no-event solve path.  Every healthy tick
+#: would otherwise allocate a fresh dataclass; callers only read flags, and
+#: the degradation paths still build their own mutable instances.
+_CLEAN_FLAGS = _TickFlags()
+
+
+@dataclass
+class TrialOutcome:
+    """One completed trial, as journaled and merged by the engine."""
+
+    scenario_index: int
+    policy_index: int
+    trial: int
+    scenario_name: str
+    policy_label: str
+    stats: TrialStats
+    windows: list[WindowReport]
+    totals: WindowStats
+
+
+class ServeJournal:
+    """Crash-safe checkpoint directory for a serve run.
+
+    Layout: ``meta.json`` records the serve-spec digest; each completed
+    trial is one ``cell-s<si>-p<pi>-t<t>.pkl``; the in-flight trial's
+    loop state lives in ``checkpoint.pkl``, rewritten at each checkpoint
+    cadence and cleared when its trial completes.  Every payload embeds
+    the spec digest, so a journal written by a different spec is refused
+    with a clear message instead of silently merging unrelated results.
+    All writes are write-temp-then-rename (the ``SweepJournal`` idiom).
+    """
+
+    _META_VERSION = 1
+
+    def __init__(self, path: str | Path, spec: ServeSpec) -> None:
+        self.path = Path(path)
+        self.digest = serve_digest(spec)
+
+    def _meta_path(self) -> Path:
+        return self.path / "meta.json"
+
+    def _cell_path(self, si: int, pi: int, trial: int) -> Path:
+        return self.path / f"cell-s{si:03d}-p{pi:03d}-t{trial:04d}.pkl"
+
+    def _checkpoint_path(self) -> Path:
+        return self.path / "checkpoint.pkl"
+
+    def open(self, resume: bool) -> None:
+        """Create the journal directory, or validate it against the spec."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        meta_path = self._meta_path()
+        if not meta_path.exists() and any(self.path.iterdir()):
+            raise ValueError(
+                f"journal directory {self.path} is not empty and has no "
+                "meta.json; refusing to adopt it -- choose a fresh directory"
+            )
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            if meta.get("serve_digest") != self.digest:
+                raise ValueError(
+                    f"serve journal {self.path} belongs to a different spec "
+                    f"(digest {meta.get('serve_digest', '?')[:12]}... != "
+                    f"{self.digest[:12]}...); use a fresh journal directory"
+                )
+            if not resume and any(self.path.glob("cell-*.pkl")):
+                raise ValueError(
+                    f"serve journal {self.path} already holds completed "
+                    "trials; pass resume=True (--resume) to reuse them or "
+                    "choose a fresh directory"
+                )
+            return
+        self._atomic_write(
+            meta_path,
+            json.dumps(
+                {"version": self._META_VERSION, "serve_digest": self.digest},
+                indent=2,
+            ).encode(),
+        )
+
+    def record_trial(self, outcome: TrialOutcome) -> None:
+        payload = {"serve_digest": self.digest, "outcome": outcome}
+        self._atomic_write(
+            self._cell_path(
+                outcome.scenario_index, outcome.policy_index, outcome.trial
+            ),
+            pickle.dumps(payload),
+        )
+
+    def load_trials(self) -> dict[tuple[int, int, int], TrialOutcome]:
+        completed: dict[tuple[int, int, int], TrialOutcome] = {}
+        for path in sorted(self.path.glob("cell-*.pkl")):
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            self._check_payload(payload, path)
+            outcome = payload["outcome"]
+            key = (outcome.scenario_index, outcome.policy_index, outcome.trial)
+            completed[key] = outcome
+        return completed
+
+    def save_checkpoint(self, cell: tuple[int, int, int], state: dict) -> None:
+        payload = {"serve_digest": self.digest, "cell": cell, "state": state}
+        self._atomic_write(self._checkpoint_path(), pickle.dumps(payload))
+
+    def load_checkpoint(self) -> tuple[tuple[int, int, int], dict] | None:
+        path = self._checkpoint_path()
+        if not path.exists():
+            return None
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        self._check_payload(payload, path)
+        return tuple(payload["cell"]), payload["state"]
+
+    def clear_checkpoint(self) -> None:
+        path = self._checkpoint_path()
+        if path.exists():
+            os.unlink(path)
+
+    def _check_payload(self, payload: Any, path: Path) -> None:
+        if not isinstance(payload, dict) or "serve_digest" not in payload:
+            raise ValueError(
+                f"journal entry {path} has no spec digest (written by an "
+                "incompatible version?); use a fresh journal directory"
+            )
+        if payload["serve_digest"] != self.digest:
+            raise ValueError(
+                f"journal entry {path} was written by a different spec "
+                f"(digest {payload['serve_digest'][:12]}... != "
+                f"{self.digest[:12]}...); use a fresh journal directory"
+            )
+
+    def _atomic_write(self, path: Path, payload: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.path, prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+
+class ServeLoop:
+    """The continuous control loop for one trial.
+
+    The tick body replicates :meth:`SimHarness.run` exactly --
+    ``advance -> observations -> policy.tick -> apply -> end_of_chunk``
+    with the same chunk arithmetic and epsilon -- which is what makes a
+    gated, windowed, checkpointed serve run byte-identical to the batch
+    loop on a finite replay.
+    """
+
+    def __init__(
+        self,
+        harness,
+        cursor: TraceCursor,
+        options: ServeOptions,
+        clock: Clock,
+        acc: WindowAccumulator,
+        *,
+        on_window: Callable[[WindowReport], None] | None = None,
+        on_tick: Callable[["ServeLoop", list[WindowReport]], None] | None = None,
+    ) -> None:
+        self.harness = harness
+        self.cursor = cursor
+        self.options = options
+        self.clock = clock
+        self.acc = acc
+        self.on_window = on_window
+        self.on_tick = on_tick
+        self.now = 0.0
+        self.tick_count = 0
+        self._backoff_remaining = 0
+        self._backoff_next = options.backoff_ticks
+        self._resumed = False
+        #: Whether the cursor could gate this run at construction time --
+        #: replay cursors with every minute on hand never gate, and their
+        #: windows report zero cursor lag.
+        self._streaming = not (
+            cursor.finished()
+            and cursor.available_minutes() >= self.harness.duration_minutes
+        )
+
+    # ---------------------------------------------------- checkpoint state
+
+    def state(self) -> dict:
+        """Picklable resume state: the harness carries policy + RNG state."""
+        return {
+            "harness": self.harness,
+            "acc": self.acc,
+            "now": self.now,
+            "tick_count": self.tick_count,
+            "backoff_remaining": self._backoff_remaining,
+            "backoff_next": self._backoff_next,
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        cursor: TraceCursor,
+        options: ServeOptions,
+        clock: Clock,
+        *,
+        on_window=None,
+        on_tick=None,
+    ) -> "ServeLoop":
+        loop = cls(
+            state["harness"],
+            cursor,
+            options,
+            clock,
+            state["acc"],
+            on_window=on_window,
+            on_tick=on_tick,
+        )
+        loop.now = state["now"]
+        loop.tick_count = state["tick_count"]
+        loop._backoff_remaining = state["backoff_remaining"]
+        loop._backoff_next = state["backoff_next"]
+        loop._resumed = True
+        return loop
+
+    # -------------------------------------------------------------- gating
+
+    def _stream_complete(self) -> bool:
+        """True once no further trace minutes can ever arrive."""
+        if not self._streaming:
+            return True
+        limit = self.harness.config.duration_minutes
+        if limit is not None and self.harness.duration_minutes >= limit:
+            return True
+        return (
+            self.cursor.finished()
+            and self.cursor.available_minutes() <= self.harness.duration_minutes
+        )
+
+    def _await_growth(self) -> None:
+        """Poll the cursor; append new minutes to the harness or wait."""
+        available = self.cursor.poll()
+        consumed = self.harness.duration_minutes
+        if available > consumed:
+            self.harness.extend_traces(
+                self.cursor.read(consumed, available), limit_to_jobs=True
+            )
+            self._dry_polls = 0
+            return
+        self.acc.current.cursor_wait_polls += 1
+        self._dry_polls = getattr(self, "_dry_polls", 0) + 1
+        if not self.clock.realtime and self._dry_polls > _MAX_DRY_POLLS:
+            raise RuntimeError(
+                f"trace cursor stalled: {self._dry_polls} polls produced no "
+                "data and the stream is not finished (accelerated runs "
+                "cannot wait out wall time; use --realtime for live sources)"
+            )
+        self.clock.sleep(self.options.poll_seconds)
+
+    # ---------------------------------------------------------- degradation
+
+    def _solve(self, now: float, observations) -> tuple[Any, _TickFlags]:
+        if self._backoff_remaining > 0:
+            self._backoff_remaining -= 1
+            return None, _TickFlags(backoff=True, held=True)
+        deadline = self.options.tick_deadline_s
+        solve_start = self.clock.perf() if deadline is not None else 0.0
+        try:
+            decision = self.harness.policy.tick(now, observations)
+        except Exception:
+            self._enter_backoff()
+            return None, _TickFlags(error=True, held=True)
+        if deadline is not None and self.clock.perf() - solve_start > deadline:
+            # The solve finished but blew its budget: applying it would act
+            # on stale observations, so hold the previous allocation.
+            self._enter_backoff()
+            return None, _TickFlags(overrun=True, held=True)
+        self._backoff_next = self.options.backoff_ticks
+        return decision, _CLEAN_FLAGS
+
+    def _enter_backoff(self) -> None:
+        self._backoff_remaining = self._backoff_next
+        self._backoff_next = min(
+            self._backoff_next * 2, self.options.max_backoff_ticks
+        )
+
+    # ----------------------------------------------------------------- run
+
+    def run(self):
+        """Drive the trial to completion.
+
+        Returns ``(result, windows, unemitted_tail)``: the trial's
+        :class:`SimulationResult`, every sealed window in order, and the
+        trailing windows :meth:`WindowAccumulator.finish` sealed after the
+        last tick (not yet pushed through ``on_window`` -- the engine
+        attaches the trial's partial report to the last one first).
+        """
+        harness = self.harness
+        if not self._resumed:
+            harness.policy.reset()
+            harness._reset()
+        tick = float(harness.policy.tick_interval)
+        if tick <= 0:
+            raise ValueError(f"policy tick_interval must be positive, got {tick}")
+        # Hot loop: everything invariant across ticks lives in a local --
+        # per-tick overhead versus the batch harness is a gated perf
+        # contract (benchmarks/bench_serve_loop.py).
+        clock = self.clock
+        acc = self.acc
+        streaming = self._streaming
+        on_window = self.on_window
+        on_tick = self.on_tick
+        measures = clock.measures
+        realtime = clock.realtime
+        deadline = self.options.tick_deadline_s
+        static_end_time = None if streaming else harness.duration_minutes * 60.0
+        while True:
+            if streaming:
+                end_time = harness.duration_minutes * 60.0
+                complete = self._stream_complete()
+            else:
+                end_time = static_end_time
+                complete = True
+            if self.now >= end_time - _EPS:
+                if complete:
+                    break
+                self._await_growth()
+                continue
+            if not complete and self.now + tick > end_time + _EPS:
+                # Only part of the next tick's trace minutes have arrived;
+                # ticking now would cut the chunk short of the batch loop's
+                # boundary.  Wait for the rest.
+                self._await_growth()
+                continue
+            if realtime:
+                clock.pace(min(self.now + tick, end_time))
+            tick_start = clock.perf() if measures else 0.0
+            # --- the SimHarness.run tick body, verbatim ------------------
+            now = harness.advance(self.now, tick, end_time)
+            observations = harness.observations(now)
+            if self._backoff_remaining == 0 and deadline is None:
+                # Degradation-free fast path: _solve inlined (same
+                # semantics, no dispatch) for the overwhelmingly common
+                # healthy tick without a deadline armed.
+                try:
+                    decision = harness.policy.tick(now, observations)
+                    flags = _CLEAN_FLAGS
+                    self._backoff_next = self.options.backoff_ticks
+                except Exception:
+                    self._enter_backoff()
+                    decision, flags = None, _TickFlags(error=True, held=True)
+            else:
+                decision, flags = self._solve(now, observations)
+            if decision is not None:
+                harness.apply(decision, now)
+            harness.end_of_chunk(now)
+            # -------------------------------------------------------------
+            elapsed = clock.perf() - tick_start if measures else 0.0
+            self.now = now
+            self.tick_count += 1
+            lag = 0.0
+            if streaming:
+                lag = max(0.0, self.cursor.available_minutes() * 60.0 - now)
+            sealed = acc.on_tick(
+                now,
+                elapsed,
+                sum([obs.queue_length for obs in observations.values()]),
+                flags.overrun,
+                flags.error,
+                flags.backoff,
+                flags.held,
+                lag,
+            )
+            if on_window is not None:
+                for window in sealed:
+                    on_window(window)
+            if on_tick is not None:
+                on_tick(self, sealed)
+        result = harness.collect()
+        tail = self.acc.finish(self.now)
+        return result, list(self.acc.sealed), tail
+
+
+@dataclass
+class ServeResult:
+    """Everything one :func:`serve` run produced.
+
+    ``report`` is the merged :class:`RunReport` -- byte-identical to
+    batch ``api.run`` on the same experiment for finite replays.
+    ``windows`` are every sealed window in emission order; ``totals`` is
+    the run-level observability rollup.
+    """
+
+    report: RunReport
+    windows: list[WindowReport] = field(default_factory=list)
+    totals: WindowStats = field(default_factory=WindowStats)
+    trials_run: int = 0
+    trials_resumed: int = 0
+
+    def describe(self) -> str:
+        from repro.experiments.report import format_table
+
+        serving = format_table(
+            ["ticks", "windows", "held", "overruns", "errors", "resumed"],
+            [
+                [
+                    self.totals.ticks,
+                    len(self.windows),
+                    self.totals.held_ticks,
+                    self.totals.solver_overruns,
+                    self.totals.solver_errors,
+                    self.trials_resumed,
+                ]
+            ],
+            title="Serving",
+        )
+        return self.report.describe() + "\n\n" + serving
+
+
+def _normalize_spec(spec) -> ServeSpec:
+    if isinstance(spec, ServeSpec):
+        return spec
+    if isinstance(spec, ExperimentSpec):
+        return ServeSpec(experiment=spec)
+    return ServeSpec.from_file(spec)
+
+
+def _make_cursor(
+    scenario,
+    options: ServeOptions,
+    spec_dir: str | None,
+    cursor_factory,
+    clock: Clock,
+) -> TraceCursor:
+    if cursor_factory is not None:
+        return cursor_factory(scenario)
+    if options.stream is not None:
+        from repro.traces.generators import resolve_trace_path, trace_search_path
+
+        stream = options.stream
+        with trace_search_path(spec_dir):
+            path = resolve_trace_path(stream["path"])
+        return TailingFileCursor(
+            path,
+            job=stream.get("job"),
+            horizon_minutes=stream.get("horizon_minutes"),
+        )
+    return ReplayCursor.for_scenario(scenario)
+
+
+def serve(
+    spec: ServeSpec | ExperimentSpec | str | Path,
+    *,
+    sinks: Sequence[WindowSink] = (),
+    progress: ProgressCallback | None = None,
+    journal: str | Path | None = None,
+    resume: bool = False,
+    clock: Clock | None = None,
+    cursor_factory: Callable[[Any], TraceCursor] | None = None,
+    cache_path: str | Path | None = None,
+    abort_after_ticks: int | None = None,
+) -> ServeResult:
+    """Serve an experiment continuously; return the merged report + windows.
+
+    Walks the scenario x policy x trial grid in the batch engine's order;
+    each trial runs through a :class:`ServeLoop` against a trace cursor
+    (a replay of the scenario's traces by default, a tailing live file
+    with ``spec.serve.stream``, or whatever ``cursor_factory(scenario)``
+    returns).  Sealed windows stream to ``sinks`` as they close.
+
+    ``journal`` enables crash-safe checkpoints; ``resume=True`` reloads
+    completed trials and the mid-trial checkpoint, reproducing the
+    uninterrupted run's digest.  ``cache_path`` warms the process-wide
+    utility-table cache before serving and merge-saves it back after
+    (see :meth:`UtilityTableCache.merge_save`).  ``abort_after_ticks``
+    raises :class:`ServeAborted` after that many ticks of *this* call --
+    the deterministic stand-in for a crash in the resume tests.
+    """
+    sspec = _normalize_spec(spec)
+    exp = sspec.experiment
+    options = sspec.serve
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal directory")
+    if clock is None:
+        clock = (
+            WallClock(options.realtime_speedup) if options.realtime else VirtualClock()
+        )
+    from repro.sim.backends import get_backend_registry
+    from repro.traces.generators import trace_search_path
+
+    with trace_search_path(exp.spec_dir):
+        _validate_spec(exp)
+    backend = get_backend_registry().get(exp.simulator)
+    if options.stream is not None:
+        if not getattr(backend.cls, "supports_streaming", False):
+            raise ValueError(
+                f"backend {exp.simulator!r} does not support streaming trace "
+                "extension; use the request backend for live serving, or a "
+                "finite replay (no 'stream' block)"
+            )
+        if exp.sim_overrides.get("faults"):
+            raise ValueError(
+                "fault injection needs a fixed duration and cannot be "
+                "combined with a streaming trace source"
+            )
+
+    if cache_path is not None:
+        _warm_cache(cache_path)
+
+    serve_journal = None
+    completed: dict[tuple[int, int, int], TrialOutcome] = {}
+    checkpoint: tuple[tuple[int, int, int], dict] | None = None
+    if journal is not None:
+        serve_journal = ServeJournal(journal, sspec)
+        serve_journal.open(resume)
+        if resume:
+            completed = serve_journal.load_trials()
+            checkpoint = serve_journal.load_checkpoint()
+
+    def emit_window(window: WindowReport) -> None:
+        for sink in sinks:
+            sink.on_window(window)
+
+    ticks_this_run = [0]
+
+    def on_tick(loop: ServeLoop, sealed: list[WindowReport]) -> None:
+        ticks_this_run[0] += 1
+        if serve_journal is not None and (
+            sealed
+            or (
+                options.checkpoint_ticks is not None
+                and loop.tick_count % options.checkpoint_ticks == 0
+            )
+        ):
+            serve_journal.save_checkpoint(loop._cell, loop.state())
+        if (
+            abort_after_ticks is not None
+            and ticks_this_run[0] >= abort_after_ticks
+        ):
+            raise ServeAborted(
+                f"injected abort after {ticks_this_run[0]} ticks"
+            )
+
+    # Without a journal or an injected abort the callback would only count
+    # ticks nobody reads; keep it off the hot loop entirely.
+    if serve_journal is None and abort_after_ticks is None:
+        on_tick = None
+
+    merged = RunReport(spec=exp)
+    result = ServeResult(report=merged)
+    scenarios: dict[int, Any] = {}
+
+    def get_scenario(index: int):
+        if index not in scenarios:
+            with trace_search_path(exp.spec_dir):
+                scenario = exp.scenarios[index].build()
+            for other_index, other in scenarios.items():
+                if other.name == scenario.name:
+                    raise ValueError(
+                        f"duplicate scenario name {scenario.name!r}; set "
+                        "ScenarioSpec.name to disambiguate repeated kinds"
+                    )
+            scenarios[index] = scenario
+            _emit(
+                progress,
+                RunEvent(
+                    stage="scenario-start",
+                    scenario=scenario.name,
+                    detail=f"{len(scenario.jobs)} jobs, "
+                    f"{scenario.total_replicas} replicas",
+                ),
+            )
+        return scenarios[index]
+
+    try:
+        for si in range(len(exp.scenarios)):
+            for pi, policy_spec in enumerate(exp.policies):
+                label = policy_spec.display_label
+                for trial in range(exp.trials):
+                    key = (si, pi, trial)
+                    if key in completed:
+                        outcome = completed[key]
+                        result.trials_resumed += 1
+                        _absorb_outcome(result, outcome, exp)
+                        continue
+                    scenario = get_scenario(si)
+                    loop = _build_or_restore_loop(
+                        key,
+                        scenario,
+                        policy_spec,
+                        exp,
+                        options,
+                        clock,
+                        checkpoint,
+                        cursor_factory,
+                        emit_window,
+                        on_tick,
+                    )
+                    trial_result, windows, tail = loop.run()
+                    trial_result.policy_name = getattr(
+                        loop.harness.policy, "name", label
+                    )
+                    stats = TrialStats.from_results(
+                        label, [trial_result], trial_indices=[trial]
+                    )
+                    partial = RunReport(
+                        spec=exp,
+                        stats={scenario.name: {label: stats}},
+                        scenario_index={scenario.name: si},
+                    )
+                    windows[-1].report = partial
+                    for window in tail:
+                        emit_window(window)
+                    totals = WindowStats()
+                    for window in windows:
+                        totals.merge(window.stats)
+                    outcome = TrialOutcome(
+                        scenario_index=si,
+                        policy_index=pi,
+                        trial=trial,
+                        scenario_name=scenario.name,
+                        policy_label=label,
+                        stats=stats,
+                        windows=windows,
+                        totals=totals,
+                    )
+                    if serve_journal is not None:
+                        serve_journal.record_trial(outcome)
+                        serve_journal.clear_checkpoint()
+                    result.trials_run += 1
+                    _absorb_outcome(result, outcome, exp)
+                    _emit(
+                        progress,
+                        RunEvent(
+                            stage="trial-end",
+                            scenario=scenario.name,
+                            policy=label,
+                            trial=trial,
+                            trials=exp.trials,
+                            detail=(
+                                f"lost_utility="
+                                f"{trial_result.avg_lost_cluster_utility:.3f}"
+                            ),
+                        ),
+                    )
+    finally:
+        for sink in sinks:
+            sink.close()
+    if cache_path is not None:
+        from repro.core.optimizer import DEFAULT_TABLE_CACHE
+
+        DEFAULT_TABLE_CACHE.merge_save(cache_path)
+    _emit(
+        progress,
+        RunEvent(
+            stage="run-end",
+            detail=(
+                f"{result.totals.ticks} tick(s), {len(result.windows)} "
+                f"window(s), {result.trials_resumed} trial(s) resumed"
+            ),
+        ),
+    )
+    return result
+
+
+def _absorb_outcome(result: ServeResult, outcome: TrialOutcome, exp) -> None:
+    """Fold one trial's windows + partial report into the running result."""
+    result.windows.extend(outcome.windows)
+    result.totals.merge(outcome.totals)
+    partial = RunReport(
+        spec=exp,
+        stats={outcome.scenario_name: {outcome.policy_label: outcome.stats}},
+        scenario_index={outcome.scenario_name: outcome.scenario_index},
+    )
+    result.report = result.report.merge(partial)
+
+
+def _build_or_restore_loop(
+    key: tuple[int, int, int],
+    scenario,
+    policy_spec,
+    exp: ExperimentSpec,
+    options: ServeOptions,
+    clock: Clock,
+    checkpoint,
+    cursor_factory,
+    emit_window,
+    on_tick,
+) -> ServeLoop:
+    si, pi, trial = key
+    cursor = _make_cursor(scenario, options, exp.spec_dir, cursor_factory, clock)
+    if checkpoint is not None and tuple(checkpoint[0]) == key:
+        loop = ServeLoop.from_state(
+            checkpoint[1],
+            cursor,
+            options,
+            clock,
+            on_window=emit_window,
+            on_tick=on_tick,
+        )
+        loop._cell = key
+        return loop
+    missing = [job.name for job in scenario.jobs if job.name not in cursor.jobs]
+    if missing:
+        raise ValueError(
+            f"trace cursor covers jobs {list(cursor.jobs)} but scenario "
+            f"{scenario.name!r} needs {missing} too"
+        )
+    dry = 0
+    while cursor.available_minutes() < 1:
+        if cursor.finished():
+            raise ValueError("trace cursor finished with no data")
+        dry += 1
+        if not clock.realtime and dry > _MAX_DRY_POLLS:
+            raise RuntimeError("trace cursor produced no data")
+        clock.sleep(options.poll_seconds)
+        cursor.poll()
+    available = cursor.available_minutes()
+    prefix = {
+        name: series
+        for name, series in cursor.read(0, available).items()
+        if any(job.name == name for job in scenario.jobs)
+    }
+    if options.stream is not None:
+        duration_limit = options.stream.get("horizon_minutes")
+        if duration_limit is None:
+            horizon = cursor.horizon_minutes()
+            duration_limit = int(horizon) if horizon is not None else None
+    else:
+        duration_limit = scenario.duration_minutes
+    trial_seed = derive_trial_seed(exp.seed, trial)
+    policy = make_policy(
+        policy_spec,
+        scenario,
+        trial_seed,
+        predictor_profile=exp.predictor_profile,
+    )
+    harness = build_trial_simulation(
+        scenario,
+        policy,
+        simulator=exp.simulator,
+        trial_seed=trial_seed,
+        sim_overrides=exp.sim_overrides,
+        backend_options=exp.backend_options,
+        eval_traces=prefix,
+        duration_minutes=duration_limit,
+    )
+    acc = WindowAccumulator(
+        scenario=scenario.name,
+        policy=policy_spec.display_label,
+        trial=trial,
+        window_minutes=options.window_minutes,
+    )
+    loop = ServeLoop(
+        harness,
+        cursor,
+        options,
+        clock,
+        acc,
+        on_window=emit_window,
+        on_tick=on_tick,
+    )
+    loop._cell = key
+    return loop
+
+
+def _warm_cache(cache_path: str | Path) -> None:
+    """Warm the process-wide table cache, best-effort (``_warm_worker``
+    semantics: content problems degrade to cold tables; a missing file is
+    fine here because serve merge-saves it back into existence)."""
+    try:
+        from repro.core.optimizer import DEFAULT_TABLE_CACHE, UtilityTableCache
+
+        DEFAULT_TABLE_CACHE.absorb(UtilityTableCache.load(cache_path))
+    except Exception:
+        pass

@@ -1,0 +1,113 @@
+"""Window subscribers: where sealed window reports stream to.
+
+The serve loop pushes every sealed :class:`~repro.serve.windows.
+WindowReport` (and, at end of run, a final summary) to a list of sinks.
+Three built-ins cover the common shapes: a plain callback adapter, a
+JSONL appender (one window object per line -- greppable, tail-able, and
+trivially replayable into dashboards), and a live CLI table.
+
+Sinks are observability: they must never influence the run.  A raising
+sink is a bug in the subscriber, so it propagates -- exactly like a
+raising progress callback on the batch path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, TextIO
+
+from repro.serve.windows import WindowReport
+
+__all__ = ["WindowSink", "CallbackSink", "JsonlSink", "TableSink"]
+
+
+class WindowSink:
+    """Receiver of sealed windows.  Subclass and override what you need."""
+
+    def on_window(self, window: WindowReport) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """End of run: flush/teardown.  Default: nothing."""
+
+
+class CallbackSink(WindowSink):
+    """Adapt a plain callable into a sink."""
+
+    def __init__(self, callback: Callable[[WindowReport], None]) -> None:
+        self._callback = callback
+
+    def on_window(self, window: WindowReport) -> None:
+        self._callback(window)
+
+
+class JsonlSink(WindowSink):
+    """Append each sealed window as one JSON line to a file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: TextIO = self.path.open("a")
+
+    def on_window(self, window: WindowReport) -> None:
+        self._handle.write(json.dumps(window.to_dict(), sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+class TableSink(WindowSink):
+    """Live CLI table: one row per sealed window, header printed once."""
+
+    _COLUMNS = (
+        ("scenario", 18),
+        ("policy", 18),
+        ("trial", 5),
+        ("window", 6),
+        ("minutes", 11),
+        ("ticks", 5),
+        ("held", 4),
+        ("overruns", 8),
+        ("errors", 6),
+        ("queue.max", 9),
+        ("lag.max", 8),
+    )
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        import sys
+
+        self._stream = stream if stream is not None else sys.stdout
+        self._header_done = False
+
+    def _print_header(self) -> None:
+        cells = [name.ljust(width) for name, width in self._COLUMNS]
+        line = "  ".join(cells)
+        self._stream.write(line + "\n" + "-" * len(line) + "\n")
+        self._header_done = True
+
+    def on_window(self, window: WindowReport) -> None:
+        if not self._header_done:
+            self._print_header()
+        stats = window.stats
+        values = (
+            window.scenario,
+            window.policy,
+            str(window.trial),
+            str(window.index),
+            f"{window.start_minute:g}-{window.end_minute:g}",
+            str(stats.ticks),
+            str(stats.held_ticks),
+            str(stats.solver_overruns),
+            str(stats.solver_errors),
+            str(stats.queue_depth_max),
+            f"{stats.cursor_lag_s_max:.1f}s",
+        )
+        self._stream.write(
+            "  ".join(
+                str(value)[:width].ljust(width)
+                for value, (_, width) in zip(values, self._COLUMNS)
+            )
+            + "\n"
+        )
+        self._stream.flush()

@@ -1,0 +1,283 @@
+"""Incremental report windows: sealing, observability stats, merging.
+
+The serve loop chops a trial's virtual time into windows of
+``window_minutes``.  A tick belongs to the window containing its *end*
+instant -- a tick ending exactly on a boundary belongs to the window it
+closes -- so windows partition the tick sequence exactly (no tick is ever
+split or double-counted; the Hypothesis suite in
+``tests/test_serve_windows.py`` pins this for arbitrary partitions).
+
+Each sealed :class:`WindowReport` carries a :class:`WindowStats`
+observability block (tick latency histogram, solver overrun/degradation
+counters, queue depth, cursor lag).  When a trial *completes* inside a
+window, that window additionally carries the trial's partial
+:class:`~repro.api.runner.RunReport`; folding every window's partial
+through the order-invariant ``RunReport.merge`` reassembles the batch
+report byte-for-byte.  Observability never enters the digest: stats live
+beside the partial report, not inside it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["WindowStats", "WindowReport", "WindowAccumulator", "window_index"]
+
+#: Same boundary epsilon the harness loop uses for its end-of-run test.
+_EPS = 1e-9
+
+#: Upper edges (ms) of the tick-latency histogram buckets; the last bucket
+#: is open-ended.
+_LATENCY_EDGES_MS = (1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0)
+
+
+def window_index(now: float, window_seconds: float) -> int:
+    """Window containing the tick that ends at virtual time ``now``.
+
+    Boundary ticks (``now`` an exact multiple of the window) close the
+    *lower* window.  The tolerance is *relative* to ``now``: an absolute
+    epsilon falls below one float ulp once ``now`` is large (a few
+    thousand virtual hours) and would flip boundary ticks into the upper
+    window, while the relative form stays far smaller than any tick
+    length at every magnitude.
+    """
+    index = int(now // window_seconds)
+    if index > 0 and now - index * window_seconds <= _EPS * now:
+        return index - 1
+    return index
+
+
+def _bucket_label(index: int) -> str:
+    if index < len(_LATENCY_EDGES_MS):
+        return f"<{_LATENCY_EDGES_MS[index]:g}ms"
+    return f">={_LATENCY_EDGES_MS[-1]:g}ms"
+
+
+#: Bucket labels precomputed once -- ``record_tick`` runs on every serve
+#: tick, and formatting a label there is measurable loop overhead.
+_BUCKET_LABELS = tuple(
+    _bucket_label(index) for index in range(len(_LATENCY_EDGES_MS) + 1)
+)
+
+
+@dataclass
+class WindowStats:
+    """Observability counters for one window (or a whole run, merged).
+
+    ``held_ticks`` counts every tick where the loop held the previous
+    allocation instead of applying a fresh solve -- the union of deadline
+    overruns, solver exceptions, and backoff skips.  ``cursor_wait_polls``
+    counts cursor polls that found no new data (streaming lag);
+    ``cursor_lag_s_max`` is the worst virtual-time lag behind the cursor's
+    available horizon observed at a tick.
+    """
+
+    ticks: int = 0
+    solver_overruns: int = 0
+    solver_errors: int = 0
+    backoff_skips: int = 0
+    held_ticks: int = 0
+    cursor_wait_polls: int = 0
+    cursor_lag_s_max: float = 0.0
+    queue_depth_sum: int = 0
+    queue_depth_max: int = 0
+    tick_latency_hist: dict[str, int] = field(default_factory=dict)
+    tick_latency_s_max: float = 0.0
+
+    def record_tick(
+        self,
+        latency_s: float,
+        queue_depth: int,
+        overrun: bool = False,
+        error: bool = False,
+        backoff: bool = False,
+        held: bool = False,
+        cursor_lag_s: float = 0.0,
+    ) -> None:
+        # Hot path (every serve tick): bool += and compare-then-assign beat
+        # int()/max() calls, and bucket labels are precomputed.
+        self.ticks += 1
+        self.solver_overruns += overrun
+        self.solver_errors += error
+        self.backoff_skips += backoff
+        self.held_ticks += held
+        if cursor_lag_s > self.cursor_lag_s_max:
+            self.cursor_lag_s_max = cursor_lag_s
+        queue_depth = int(queue_depth)
+        self.queue_depth_sum += queue_depth
+        if queue_depth > self.queue_depth_max:
+            self.queue_depth_max = queue_depth
+        label = _BUCKET_LABELS[bisect_right(_LATENCY_EDGES_MS, latency_s * 1000.0)]
+        self.tick_latency_hist[label] = self.tick_latency_hist.get(label, 0) + 1
+        if latency_s > self.tick_latency_s_max:
+            self.tick_latency_s_max = latency_s
+
+    def merge(self, other: "WindowStats") -> None:
+        """Fold ``other`` into this block (running run-level totals)."""
+        self.ticks += other.ticks
+        self.solver_overruns += other.solver_overruns
+        self.solver_errors += other.solver_errors
+        self.backoff_skips += other.backoff_skips
+        self.held_ticks += other.held_ticks
+        self.cursor_wait_polls += other.cursor_wait_polls
+        self.cursor_lag_s_max = max(self.cursor_lag_s_max, other.cursor_lag_s_max)
+        self.queue_depth_sum += other.queue_depth_sum
+        self.queue_depth_max = max(self.queue_depth_max, other.queue_depth_max)
+        for label, count in other.tick_latency_hist.items():
+            self.tick_latency_hist[label] = (
+                self.tick_latency_hist.get(label, 0) + count
+            )
+        self.tick_latency_s_max = max(
+            self.tick_latency_s_max, other.tick_latency_s_max
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        hist = {label: self.tick_latency_hist[label] for label in sorted(
+            self.tick_latency_hist, key=_hist_sort_key
+        )}
+        return {
+            "ticks": self.ticks,
+            "solver_overruns": self.solver_overruns,
+            "solver_errors": self.solver_errors,
+            "backoff_skips": self.backoff_skips,
+            "held_ticks": self.held_ticks,
+            "cursor_wait_polls": self.cursor_wait_polls,
+            "cursor_lag_s_max": self.cursor_lag_s_max,
+            "queue_depth_sum": self.queue_depth_sum,
+            "queue_depth_max": self.queue_depth_max,
+            "queue_depth_mean": (
+                self.queue_depth_sum / self.ticks if self.ticks else 0.0
+            ),
+            "tick_latency_hist": hist,
+            "tick_latency_s_max": self.tick_latency_s_max,
+        }
+
+
+def _hist_sort_key(label: str) -> float:
+    return float(label.lstrip("<>=").rstrip("ms"))
+
+
+@dataclass
+class WindowReport:
+    """One sealed window of one trial's serve run.
+
+    ``start_minute``/``end_minute`` span the window in virtual trace time.
+    ``report`` is the trial's partial :class:`~repro.api.runner.RunReport`
+    when the trial completed in this window, else ``None`` -- merging all
+    non-None partials of a run reproduces the batch report byte-for-byte.
+    """
+
+    scenario: str
+    policy: str
+    trial: int
+    index: int
+    start_minute: float
+    end_minute: float
+    stats: WindowStats
+    report: Any = None
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "trial": self.trial,
+            "window": self.index,
+            "start_minute": self.start_minute,
+            "end_minute": self.end_minute,
+            "stats": self.stats.to_dict(),
+        }
+        if self.report is not None:
+            data["report"] = self.report.to_dict()
+        return data
+
+
+#: Shared return value for ticks that seal nothing -- the overwhelmingly
+#: common case; allocating a fresh empty list per tick is loop overhead.
+_NO_WINDOWS: list["WindowReport"] = []
+
+
+class WindowAccumulator:
+    """Assign ticks to windows and seal completed ones, per trial.
+
+    The loop feeds every tick through :meth:`on_tick`, which returns the
+    windows sealed by that tick (every window strictly before the tick's
+    own, including empty gap windows so window indices stay dense).
+    :meth:`finish` seals the trailing window at end of trial.  The whole
+    accumulator (including already-sealed windows) pickles into serve
+    checkpoints, so a resumed run re-emits an identical window sequence.
+    """
+
+    def __init__(
+        self, *, scenario: str, policy: str, trial: int, window_minutes: int
+    ) -> None:
+        if window_minutes < 1:
+            raise ValueError(f"window_minutes must be >= 1, got {window_minutes}")
+        self.scenario = scenario
+        self.policy = policy
+        self.trial = trial
+        self.window_seconds = window_minutes * 60.0
+        self.window_minutes = window_minutes
+        self.current = WindowStats()
+        self.current_index = 0
+        self.sealed: list[WindowReport] = []
+
+    def _seal(self) -> WindowReport:
+        start = self.current_index * self.window_minutes
+        window = WindowReport(
+            scenario=self.scenario,
+            policy=self.policy,
+            trial=self.trial,
+            index=self.current_index,
+            start_minute=float(start),
+            end_minute=float(start + self.window_minutes),
+            stats=self.current,
+        )
+        self.sealed.append(window)
+        self.current = WindowStats()
+        self.current_index += 1
+        return window
+
+    def on_tick(
+        self,
+        now: float,
+        latency_s: float = 0.0,
+        queue_depth: int = 0,
+        overrun: bool = False,
+        error: bool = False,
+        backoff: bool = False,
+        held: bool = False,
+        cursor_lag_s: float = 0.0,
+    ) -> list[WindowReport]:
+        """Record a tick ending at ``now``; return newly sealed windows.
+
+        Positional-friendly on purpose: this runs on every serve tick, and
+        keyword plumbing is measurable there.  The common no-seal tick
+        returns a shared empty list (callers only iterate the result,
+        never mutate it).
+        """
+        index = window_index(now, self.window_seconds)
+        if self.current_index < index:
+            sealed = []
+            while self.current_index < index:
+                sealed.append(self._seal())
+            self.current.record_tick(
+                latency_s, queue_depth, overrun, error, backoff, held,
+                cursor_lag_s,
+            )
+            return sealed
+        self.current.record_tick(
+            latency_s, queue_depth, overrun, error, backoff, held, cursor_lag_s
+        )
+        return _NO_WINDOWS
+
+    def finish(self, end_time: float) -> list[WindowReport]:
+        """Seal the window in progress (end of trial).
+
+        The final window's ``end_minute`` is clamped to the trial's actual
+        end, so short tails don't claim a full window span.
+        """
+        sealed = [self._seal()]
+        sealed[-1].end_minute = min(sealed[-1].end_minute, end_time / 60.0)
+        return sealed

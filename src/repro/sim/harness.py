@@ -122,6 +122,11 @@ class SimHarness:
     #: Value recorded under ``metadata["simulator"]`` (stable per backend).
     fidelity_label = "abstract"
 
+    #: Whether the backend can accept additional trace minutes mid-run via
+    #: :meth:`extend_traces` (online serving).  Backends that precompute
+    #: over the whole trace at setup keep the default ``False``.
+    supports_streaming = False
+
     #: Typed per-backend options dataclass (``None`` = backend takes no
     #: options).  The registry validates spec-file options against it; a
     #: ``None`` ``options`` argument is replaced with a default instance.
@@ -208,6 +213,70 @@ class SimHarness:
     def collect(self) -> SimulationResult:
         """Assemble the run's :class:`SimulationResult`."""
         raise NotImplementedError
+
+    def _extend(self, new: dict[str, np.ndarray]) -> None:
+        """Feed appended trace minutes into backend state (arrival streams).
+
+        Called by :meth:`extend_traces` with per-job arrays already trimmed
+        to the admitted extension; only backends with
+        ``supports_streaming = True`` need to implement it.
+        """
+        raise NotImplementedError(
+            f"backend {self.fidelity_label!r} does not support streaming "
+            "trace extension"
+        )
+
+    # ---------------------------------------------------------- streaming
+
+    def extend_traces(
+        self, new: Mapping[str, np.ndarray], *, limit_to_jobs: bool = False
+    ) -> int:
+        """Append trace minutes that arrived mid-run; return minutes added.
+
+        ``new`` maps job name -> additional requests/minute values for the
+        minutes directly following the current ``duration_minutes``.  Every
+        harness job must be covered (extra keys are an error unless
+        ``limit_to_jobs`` is set, in which case they are ignored -- the
+        serve loop passes cursors that may cover more jobs than the
+        scenario).  The extension is capped at
+        ``config.duration_minutes``; once that horizon is reached further
+        calls add nothing and return 0.
+
+        Appending is only legal because arrivals are drawn lazily, per
+        minute in order (:class:`~repro.sim.workload.PoissonArrivals`):
+        minutes at or beyond the current duration have not been consumed,
+        so growing the tail cannot perturb any draw already made.
+        """
+        if not self.supports_streaming:
+            raise NotImplementedError(
+                f"backend {self.fidelity_label!r} does not support streaming "
+                "trace extension"
+            )
+        names = {job.name for job in self.jobs}
+        missing = sorted(names - set(new))
+        if missing:
+            raise ValueError(f"extension missing traces for jobs: {missing}")
+        if not limit_to_jobs:
+            extra = sorted(set(new) - names)
+            if extra:
+                raise ValueError(f"extension has traces for unknown jobs: {extra}")
+        arrays = {
+            job.name: np.asarray(new[job.name], dtype=float) for job in self.jobs
+        }
+        minutes = min(len(values) for values in arrays.values())
+        limit = self.config.duration_minutes
+        if limit is not None:
+            minutes = min(minutes, limit - self.duration_minutes)
+        if minutes <= 0:
+            return 0
+        appended = {name: values[:minutes] for name, values in arrays.items()}
+        self._extend(appended)
+        self.traces = {
+            name: np.concatenate([self.traces[name], appended[name]])
+            for name in self.traces
+        }
+        self.duration_minutes += minutes
+        return minutes
 
     # -------------------------------------------------------------- run
 

@@ -34,6 +34,7 @@ event streams, and homogeneous runs stay byte-identical.
 
 from __future__ import annotations
 
+import functools
 import itertools
 
 import numpy as np
@@ -107,15 +108,16 @@ class ReplicaLifecycle:
         token = next(self._ids)
         ready_at = now + self._sample_cold_start()
         self._starting[token] = ready_at
+        # A partial over the bound method, not a closure: scheduled events
+        # must survive pickling (serve checkpoints snapshot live harnesses).
+        self.loop.schedule(ready_at, functools.partial(self._on_ready, token))
 
-        def on_ready() -> None:
-            # A cancelled (drained) cold start leaves a tombstone: the
-            # event still fires but finds its token gone and does nothing.
-            if self._starting.pop(token, None) is not None:
-                self.ready += 1
-                self.cold_starts_completed += 1
-
-        self.loop.schedule(ready_at, on_ready)
+    def _on_ready(self, token: int) -> None:
+        # A cancelled (drained) cold start leaves a tombstone: the event
+        # still fires but finds its token gone and does nothing.
+        if self._starting.pop(token, None) is not None:
+            self.ready += 1
+            self.cold_starts_completed += 1
 
     def scale_to(self, target: int, now: float) -> int:
         """Set the replica target; returns the applied delta.

@@ -108,6 +108,9 @@ class Simulation(SimHarness):
 
     fidelity_label = "request-level"
     options_type = RequestBackendOptions
+    #: Arrivals are drawn lazily per minute (PoissonArrivals), so trace
+    #: minutes can stream in mid-run without perturbing past draws.
+    supports_streaming = True
 
     # ------------------------------------------------------------- hooks
 
@@ -171,6 +174,10 @@ class Simulation(SimHarness):
         if self._fault_injector is not None:
             self._fault_injector.reset()
         self._fault_chunk_cuts = 0
+
+    def _extend(self, new: dict[str, np.ndarray]) -> None:
+        for name, values in new.items():
+            self.arrivals[name].extend(values)
 
     def advance(self, now: float, tick: float, end_time: float) -> float:
         start = now

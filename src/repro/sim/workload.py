@@ -62,6 +62,25 @@ class PoissonArrivals:
     def duration_seconds(self) -> float:
         return self.rates.shape[0] * self.minute_seconds
 
+    def extend(self, rates_per_min: np.ndarray) -> None:
+        """Append trace minutes past the current end (online serving).
+
+        Generation is lazy and strictly in minute order, so appending
+        minutes the generator has not reached yet cannot perturb any draw
+        already made: the stream behaves exactly as if it had been
+        constructed with the concatenated trace up front.  The serve
+        engine's byte-identity to batch replay rests on this.
+        """
+        new = np.asarray(rates_per_min, dtype=float)
+        if np.any(new < 0):
+            raise ValueError("trace rates must be non-negative")
+        if self._next_minute > self.rates.shape[0]:
+            raise AssertionError("generator ran past the end of the trace")
+        self.rates = np.concatenate([self.rates, new])
+        # Same per-element float product __init__ computes, so minute m's
+        # scaled rate is identical whether m arrived up front or streamed.
+        self._scaled = np.concatenate([self._scaled, new * self.rate_scale])
+
     def _generate_minutes(self, end_time: float) -> None:
         """Draw every minute a take up to ``end_time`` still needs.
 

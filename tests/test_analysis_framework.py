@@ -445,3 +445,11 @@ class TestRunChecks:
         assert [s.name for s in steps] == ["lint", "bench-smoke", "tests", "perf"]
         smoke = steps[1]
         assert "benchmarks.bench_sim_backends" in smoke.argv
+
+    def test_serve_smoke_checks_the_shipped_replay_spec(self):
+        steps = self.load_run_checks().build_steps(serve_smoke=True)
+        assert [s.name for s in steps] == ["lint", "serve-smoke", "tests", "perf"]
+        smoke = steps[1]
+        assert "serve" in smoke.argv
+        assert "--check" in smoke.argv
+        assert any("serve_replay.json" in arg for arg in smoke.argv)

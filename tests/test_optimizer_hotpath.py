@@ -325,6 +325,119 @@ class TestCachePersistence:
             table[0] = 123.0
 
 
+class TestMergeSave:
+    """Write-back persistence: many writers, one shared cache file."""
+
+    def _cache_with(self, *keys):
+        cache = UtilityTableCache()
+        for i, key in enumerate(keys):
+            table = np.arange(8, dtype=float).reshape(2, 4) + i
+            table.setflags(write=False)
+            cache._admit((key,), table)
+        return cache
+
+    def test_merge_save_creates_missing_file(self, tmp_path):
+        path = tmp_path / "tables.pkl"
+        assert self._cache_with("a", "b").merge_save(path) == 2
+        assert len(UtilityTableCache.load(path)) == 2
+
+    def test_merge_save_merges_instead_of_clobbering(self, tmp_path):
+        # The concurrent-save regression: plain save() from two workers
+        # loses the first writer's tables; merge_save must keep the union.
+        path = tmp_path / "tables.pkl"
+        self._cache_with("a", "b").merge_save(path)
+        self._cache_with("b", "c").merge_save(path)
+        merged = UtilityTableCache.load(path)
+        assert sorted(key[0] for key in merged._entries) == ["a", "b", "c"]
+
+    def test_concurrent_merge_saves_lose_nothing(self, tmp_path):
+        # Eight threads race merge_save on one file with disjoint entries;
+        # the flock + read-merge-replace protocol must preserve all of
+        # them, whatever the interleaving.
+        import threading
+
+        path = tmp_path / "tables.pkl"
+        errors = []
+
+        def writer(index):
+            try:
+                self._cache_with(f"w{index}-a", f"w{index}-b").merge_save(path)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        merged = UtilityTableCache.load(path)
+        assert len(merged) == 16
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_corrupt_existing_file_is_replaced(self, tmp_path):
+        path = tmp_path / "tables.pkl"
+        path.write_bytes(b"\x80\x05 truncated garbage")
+        assert self._cache_with("a").merge_save(path) == 1
+        assert len(UtilityTableCache.load(path)) == 1
+
+    def test_sweep_write_back_persists_worker_tables(self, tmp_path):
+        # End-to-end through the sharded executor: a sweep with
+        # cache_write_back leaves a loadable cache file whose tables warm
+        # the next run, without perturbing the report.
+        from repro import api
+
+        spec = api.ExperimentSpec.compare(
+            "wb",
+            [
+                api.ScenarioSpec(
+                    kind="paper",
+                    params={
+                        "size": 8,
+                        "num_jobs": 2,
+                        "duration_minutes": 8,
+                        "days": 2,
+                        "rate_hi": 300.0,
+                    },
+                    name="tiny-wb",
+                )
+            ],
+            # The faro policy builds utility tables (baselines never touch
+            # the cache, so write-back would be empty).
+            ["fairshare", "faro-fairsum"],
+            trials=2,
+            simulator="flow",
+            predictor_profile={"epochs": 1, "max_windows": 64},
+        )
+        cache_path = tmp_path / "tables.pkl"
+        report = api.run_parallel(
+            spec, workers=2, cache_path=cache_path, cache_write_back=True
+        )
+        assert not report.failures
+        assert cache_path.exists()
+        warmed = UtilityTableCache.load(cache_path)
+        assert len(warmed) > 0
+        import json
+
+        again = api.run_parallel(
+            spec, workers=2, cache_path=cache_path, cache_write_back=True
+        )
+        assert json.dumps(again.to_dict()) == json.dumps(report.to_dict())
+
+    def test_write_back_requires_cache_path(self):
+        from repro import api
+
+        spec = api.ExperimentSpec.compare(
+            "wb-bad",
+            [api.ScenarioSpec(kind="paper", params={"size": 8, "num_jobs": 2})],
+            ["fairshare"],
+        )
+        with pytest.raises(ValueError, match="cache_path"):
+            api.run_parallel(spec, workers=1, cache_write_back=True)
+
+
 class TestWarmStart:
     def test_warm_start_vector_is_feasible(self):
         problem = build_problem("sum")

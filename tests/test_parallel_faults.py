@@ -209,10 +209,14 @@ class TestResume:
         shard_files = sorted(journal_dir.glob("shard-*.pkl"))
         assert len(shard_files) == len(plan_shards(spec, 1))
         assert not list(journal_dir.glob("*.tmp"))
+        journal = SweepJournal(journal_dir, spec)
         for path in shard_files:
             with open(path, "rb") as fh:
-                outcome = pickle.load(fh)
-            assert outcome.stats.trial_indices is not None
+                payload = pickle.load(fh)
+            # Entries are digest-wrapped so a foreign spec's journal can
+            # never be silently merged.
+            assert payload["spec_digest"] == journal.digest
+            assert payload["outcome"].stats.trial_indices is not None
 
     def test_journal_roundtrip(self, tmp_path):
         spec = tiny_spec()

@@ -1,0 +1,171 @@
+"""Hypothesis properties of serve report windows.
+
+Pins the partition/merge algebra the incremental reports rest on:
+
+- windows partition the tick sequence exactly -- every tick lands in
+  exactly one window, boundary ticks close the *lower* window, and no
+  tick is ever split or double-counted;
+- folding sealed windows through ``WindowStats.merge`` is invariant to
+  the partition (any window size gives the same run totals) and to the
+  fold order;
+- window indices stay dense: a gap in tick activity seals empty windows
+  instead of skipping indices.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import WindowAccumulator, WindowStats
+from repro.serve.windows import window_index
+
+#: The loop's virtual tick length used by these properties (10s, the
+#: paper policies' interval); windows are whole minutes, so a window
+#: never cuts a tick in half by construction -- the properties verify it.
+TICK_SECONDS = 10.0
+
+sample_st = st.fixed_dictionaries(
+    {
+        "latency_s": st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+        "queue_depth": st.integers(min_value=0, max_value=100),
+        "overrun": st.booleans(),
+        "error": st.booleans(),
+        "backoff": st.booleans(),
+        "held": st.booleans(),
+        "cursor_lag_s": st.floats(
+            min_value=0.0, max_value=600.0, allow_nan=False
+        ),
+    }
+)
+
+samples_st = st.lists(sample_st, max_size=120)
+
+
+def _run_accumulator(samples, window_minutes):
+    acc = WindowAccumulator(
+        scenario="s", policy="p", trial=0, window_minutes=window_minutes
+    )
+    for i, sample in enumerate(samples):
+        acc.on_tick((i + 1) * TICK_SECONDS, **sample)
+    acc.finish(len(samples) * TICK_SECONDS)
+    return acc.sealed
+
+
+def _fold(windows):
+    totals = WindowStats()
+    for window in windows:
+        totals.merge(window.stats)
+    return totals.to_dict()
+
+
+class TestPartitionInvariance:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        samples=samples_st,
+        w1=st.integers(min_value=1, max_value=7),
+        w2=st.integers(min_value=1, max_value=7),
+    )
+    def test_any_partition_merges_to_the_same_totals(self, samples, w1, w2):
+        """Window size is presentation, not content: folding any window
+        partition of the same tick sequence gives identical run totals --
+        which also equal recording every tick into one block directly."""
+        assert _fold(_run_accumulator(samples, w1)) == _fold(
+            _run_accumulator(samples, w2)
+        )
+        direct = WindowStats()
+        for sample in samples:
+            direct.record_tick(**sample)
+        assert _fold(_run_accumulator(samples, w1)) == direct.to_dict()
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples=samples_st, w=st.integers(min_value=1, max_value=7))
+    def test_merge_is_order_invariant(self, samples, w):
+        windows = _run_accumulator(samples, w)
+        assert _fold(windows) == _fold(list(reversed(windows)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples=samples_st, w=st.integers(min_value=1, max_value=7))
+    def test_ticks_never_split_or_double_counted(self, samples, w):
+        windows = _run_accumulator(samples, w)
+        assert sum(win.stats.ticks for win in windows) == len(samples)
+        # Every tick's window assignment agrees with window_index; each
+        # window holds exactly its own ticks.
+        seconds = w * 60.0
+        by_index = {win.index: win for win in windows}
+        for i in range(len(samples)):
+            now = (i + 1) * TICK_SECONDS
+            index = window_index(now, seconds)
+            assert index in by_index
+        for win in windows:
+            own = [
+                i
+                for i in range(len(samples))
+                if window_index((i + 1) * TICK_SECONDS, seconds) == win.index
+            ]
+            assert win.stats.ticks == len(own)
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples=samples_st, w=st.integers(min_value=1, max_value=7))
+    def test_window_indices_are_dense_and_spans_abut(self, samples, w):
+        windows = _run_accumulator(samples, w)
+        assert [win.index for win in windows] == list(range(len(windows)))
+        for prev, cur in zip(windows, windows[1:]):
+            assert prev.end_minute == cur.start_minute
+        if windows:
+            assert windows[0].start_minute == 0.0
+            # finish() clamps the tail to the trial's real end.
+            assert windows[-1].end_minute <= len(samples) * TICK_SECONDS / 60.0
+
+
+class TestBoundaries:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=10_000),
+        w=st.integers(min_value=1, max_value=60),
+    )
+    def test_boundary_tick_closes_the_lower_window(self, k, w):
+        """A tick ending exactly on a window boundary belongs to the
+        window it closes, never the one it opens."""
+        seconds = w * 60.0
+        assert window_index(k * seconds, seconds) == k - 1
+        assert window_index(k * seconds + 1.0, seconds) == k
+
+    def test_time_zero_is_window_zero(self):
+        assert window_index(0.0, 60.0) == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        gap_windows=st.integers(min_value=1, max_value=20),
+        w=st.integers(min_value=1, max_value=7),
+    )
+    def test_activity_gaps_seal_empty_windows(self, gap_windows, w):
+        """A quiet stretch seals zero-tick windows rather than leaving
+        holes in the index sequence."""
+        acc = WindowAccumulator(
+            scenario="s", policy="p", trial=0, window_minutes=w
+        )
+        seconds = w * 60.0
+        acc.on_tick(TICK_SECONDS, latency_s=0.0, queue_depth=0)
+        late = (gap_windows + 1) * seconds + TICK_SECONDS
+        sealed = acc.on_tick(late, latency_s=0.0, queue_depth=0)
+        assert [win.index for win in sealed] == list(range(gap_windows + 1))
+        assert all(win.stats.ticks == 0 for win in sealed[1:])
+        assert sealed[0].stats.ticks == 1
+
+
+class TestAccumulatorContract:
+    def test_rejects_zero_window(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="window_minutes"):
+            WindowAccumulator(
+                scenario="s", policy="p", trial=0, window_minutes=0
+            )
+
+    def test_sealed_list_includes_finish_tail(self):
+        acc = WindowAccumulator(
+            scenario="s", policy="p", trial=0, window_minutes=1
+        )
+        acc.on_tick(10.0, latency_s=0.0, queue_depth=1)
+        tail = acc.finish(10.0)
+        assert acc.sealed == tail
+        assert tail[-1].end_minute == 10.0 / 60.0

@@ -10,8 +10,11 @@ fastest:
 2. optionally (``--bench-smoke``) the tiny sim-backend smoke bench --
    structural perf drift (diverged batch series, a vector kernel that
    stopped engaging) in seconds rather than at the full perf gate;
-3. ``PYTHONPATH=src python -m pytest -x -q`` -- the tier-1 suite;
-4. ``PYTHONPATH=src python tools/check_perf.py`` -- the perf gates
+3. optionally (``--serve-smoke``) the serve-loop identity smoke --
+   ``repro-faro serve --check`` replays ``specs/serve_replay.json`` and
+   diffs the merged report against batch ``api.run`` byte-for-byte;
+4. ``PYTHONPATH=src python -m pytest -x -q`` -- the tier-1 suite;
+5. ``PYTHONPATH=src python tools/check_perf.py`` -- the perf gates
    (skippable with ``--skip-perf`` on machines whose wall-clock the
    checked-in baselines do not describe).
 
@@ -51,6 +54,7 @@ def build_steps(
     skip_tests: bool = False,
     lint_changed: bool = False,
     bench_smoke: bool = False,
+    serve_smoke: bool = False,
 ) -> list[CheckStep]:
     """The gate sequence, cheapest first.  Pure -- easy to test."""
     python = sys.executable or "python"
@@ -68,6 +72,25 @@ def build_steps(
             CheckStep(
                 name="bench-smoke",
                 argv=(python, "-m", "benchmarks.bench_sim_backends"),
+            )
+        )
+    if serve_smoke:
+        # End-to-end serve identity on the shipped replay spec: the CLI's
+        # --check mode replays it through the serve loop and diffs the
+        # merged report against batch api.run byte-for-byte.
+        steps.append(
+            CheckStep(
+                name="serve-smoke",
+                argv=(
+                    python,
+                    "-m",
+                    "repro.cli",
+                    "serve",
+                    "--spec",
+                    str(Path("specs") / "serve_replay.json"),
+                    "--check",
+                    "--quiet",
+                ),
             )
         )
     if not skip_tests:
@@ -124,12 +147,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the tiny sim-backend bench (seconds) before the test suite",
     )
+    parser.add_argument(
+        "--serve-smoke",
+        action="store_true",
+        help="replay specs/serve_replay.json through the serve loop and "
+        "check byte-identity against batch api.run",
+    )
     args = parser.parse_args(argv)
     steps = build_steps(
         skip_perf=args.skip_perf,
         skip_tests=args.skip_tests,
         lint_changed=args.lint_changed,
         bench_smoke=args.bench_smoke,
+        serve_smoke=args.serve_smoke,
     )
     return run_steps(steps)
 
